@@ -1,0 +1,140 @@
+//! Chip-activity patterns (the "MPSoC activity" input of Figure 3).
+//!
+//! The paper evaluates uniform, diagonal and random activities
+//! (Section V-C). An activity is a *distribution* of the total chip power
+//! over the tile grid; the thermal model multiplies it by P_chip.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A spatial distribution of the chip's activity over its tile grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Activity {
+    /// Every tile dissipates the same power.
+    #[default]
+    Uniform,
+    /// The paper's diagonal pattern: "the upper-right and bottom-left parts
+    /// of the chip dissipate each 4 W while the upper-left and bottom-right
+    /// parts dissipate 8 W each" — i.e. a 2:1 quadrant split along one
+    /// diagonal.
+    Diagonal,
+    /// Random per-tile weights drawn from U(0.5, 1.5), reproducible via the
+    /// seed.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A single tile dissipates `share` of the total; the remainder spreads
+    /// uniformly (not in the paper; useful for stress tests).
+    Hotspot {
+        /// Tile row of the hotspot.
+        row: usize,
+        /// Tile column of the hotspot.
+        col: usize,
+        /// Fraction of total power in the hotspot, per mille (0‥=1000).
+        per_mille: u16,
+    },
+}
+
+impl Activity {
+    /// Per-tile weights over a `rows × cols` grid, normalized to sum to 1.
+    /// Tile `(r, c)` maps to index `r * cols + c`; row 0 is the *bottom* of
+    /// the die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty or a hotspot refers to a tile outside
+    /// it.
+    pub fn tile_weights(&self, rows: usize, cols: usize) -> Vec<f64> {
+        assert!(rows > 0 && cols > 0, "tile grid must be non-empty");
+        let n = rows * cols;
+        let raw: Vec<f64> = match self {
+            Activity::Uniform => vec![1.0; n],
+            Activity::Diagonal => {
+                let mut w = Vec::with_capacity(n);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let top = r >= rows / 2;
+                        let right = c >= cols / 2;
+                        // Upper-left and bottom-right quadrants run hot (2x).
+                        let hot = (top && !right) || (!top && right);
+                        w.push(if hot { 2.0 } else { 1.0 });
+                    }
+                }
+                w
+            }
+            Activity::Random { seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                (0..n).map(|_| rng.gen_range(0.5..1.5)).collect()
+            }
+            Activity::Hotspot { row, col, per_mille } => {
+                assert!(*row < rows && *col < cols, "hotspot tile outside the grid");
+                assert!(*per_mille <= 1000, "hotspot share must be <= 1000 per mille");
+                let share = f64::from(*per_mille) / 1000.0;
+                let rest = if n > 1 { (1.0 - share) / (n - 1) as f64 } else { 0.0 };
+                let mut w = vec![rest; n];
+                w[row * cols + col] = share;
+                w
+            }
+        };
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|v| v / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_normalized(w: &[f64]) {
+        let s: f64 = w.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12, "weights sum to {s}");
+        assert!(w.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let w = Activity::Uniform.tile_weights(4, 6);
+        assert_normalized(&w);
+        assert!(w.iter().all(|&v| (v - 1.0 / 24.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn diagonal_quadrants_are_2_to_1() {
+        let w = Activity::Diagonal.tile_weights(4, 6);
+        assert_normalized(&w);
+        // Bottom-left tile (r=0, c=0): cool. Bottom-right (r=0, c=5): hot.
+        let cool = w[0];
+        let hot = w[5];
+        assert!((hot / cool - 2.0).abs() < 1e-12);
+        // Upper-left (r=3, c=0): hot. Upper-right (r=3, c=5): cool.
+        assert!((w[3 * 6] / w[3 * 6 + 5] - 2.0).abs() < 1e-12);
+        // Paper's 24 W example: hot quadrants get 8 W, cool get 4 W.
+        let quadrant_power: f64 = w.iter().take(3).sum::<f64>() + w[6..9].iter().sum::<f64>();
+        assert!((quadrant_power * 24.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_seed_sensitive() {
+        let a = Activity::Random { seed: 7 }.tile_weights(4, 6);
+        let b = Activity::Random { seed: 7 }.tile_weights(4, 6);
+        let c = Activity::Random { seed: 8 }.tile_weights(4, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_normalized(&a);
+    }
+
+    #[test]
+    fn hotspot_concentrates_power() {
+        let w = Activity::Hotspot { row: 1, col: 2, per_mille: 500 }.tile_weights(4, 6);
+        assert_normalized(&w);
+        assert!((w[6 + 2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the grid")]
+    fn hotspot_out_of_grid_panics() {
+        let _ = Activity::Hotspot { row: 9, col: 0, per_mille: 100 }.tile_weights(4, 6);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for architecture construction.
+
+use core::fmt;
+use vcsel_network::NetworkError;
+use vcsel_thermal::ThermalError;
+
+/// Errors produced while building the case-study architecture.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A configuration value is invalid.
+    BadConfig {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// Geometry construction failed in the thermal layer.
+    Thermal(ThermalError),
+    /// Topology construction failed in the network layer.
+    Network(NetworkError),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+            Self::Thermal(e) => write!(f, "thermal model: {e}"),
+            Self::Network(e) => write!(f, "network model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Thermal(e) => Some(e),
+            Self::Network(e) => Some(e),
+            Self::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<ThermalError> for ArchError {
+    fn from(e: ThermalError) -> Self {
+        Self::Thermal(e)
+    }
+}
+
+impl From<NetworkError> for ArchError {
+    fn from(e: NetworkError) -> Self {
+        Self::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ArchError::from(ThermalError::NoHeatPath);
+        assert!(e.to_string().contains("thermal"));
+        assert!(e.source().is_some());
+        let e = ArchError::BadConfig { reason: "zero ONIs".into() };
+        assert!(e.to_string().contains("zero ONIs"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! The SCC tile floorplan.
+//!
+//! Intel's SCC is a 24-tile (6 × 4), 48-core die of ≈ 567 mm². We model a
+//! 26.4 mm × 21.6 mm die split into 4.4 mm × 5.4 mm tiles; each tile is one
+//! heat-source block in the BEOL layer whose power follows the activity
+//! pattern.
+
+use vcsel_thermal::{Block, BoxRegion, Design, Material, ThermalError};
+use vcsel_units::{Meters, Watts};
+
+use crate::Activity;
+
+/// The 6 × 4 tile grid of the SCC die.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_arch::SccFloorplan;
+///
+/// let fp = SccFloorplan::scc();
+/// assert_eq!(fp.tile_count(), 24);
+/// assert!((fp.die_width().as_millimeters() - 26.4).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SccFloorplan {
+    die_width: f64,
+    die_depth: f64,
+    cols: usize,
+    rows: usize,
+}
+
+impl SccFloorplan {
+    /// The paper's 24-tile SCC: 26.4 mm × 21.6 mm, 6 columns × 4 rows.
+    pub fn scc() -> Self {
+        Self { die_width: 26.4e-3, die_depth: 21.6e-3, cols: 6, rows: 4 }
+    }
+
+    /// A reduced floorplan for fast tests: same aspect, `cols × rows`
+    /// tiles, scaled die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid dimension is zero.
+    pub fn reduced(cols: usize, rows: usize, die_width: Meters, die_depth: Meters) -> Self {
+        assert!(cols > 0 && rows > 0, "tile grid must be non-empty");
+        Self { die_width: die_width.value(), die_depth: die_depth.value(), cols, rows }
+    }
+
+    /// Die width (x).
+    pub fn die_width(&self) -> Meters {
+        Meters::new(self.die_width)
+    }
+
+    /// Die depth (y).
+    pub fn die_depth(&self) -> Meters {
+        Meters::new(self.die_depth)
+    }
+
+    /// Number of tile columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of tile rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total tile count.
+    pub fn tile_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// The x/y footprint of tile `(row, col)`; row 0 is at y = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is outside the grid.
+    pub fn tile_footprint(&self, row: usize, col: usize) -> (Meters, Meters, Meters, Meters) {
+        assert!(row < self.rows && col < self.cols, "tile ({row},{col}) outside the grid");
+        let tw = self.die_width / self.cols as f64;
+        let td = self.die_depth / self.rows as f64;
+        (
+            Meters::new(col as f64 * tw),
+            Meters::new(row as f64 * td),
+            Meters::new((col + 1) as f64 * tw),
+            Meters::new((row + 1) as f64 * td),
+        )
+    }
+
+    /// Adds one heat-source block per tile to `design`, placing the tiles
+    /// in the z-range `[z_min, z_max]` (the BEOL layer) with per-tile power
+    /// `p_chip × weight` from the activity pattern. All tile blocks join the
+    /// `"chip"` power group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError`] if a tile falls outside the design domain.
+    pub fn add_tiles(
+        &self,
+        design: &mut Design,
+        z_min: Meters,
+        z_max: Meters,
+        p_chip: Watts,
+        activity: &Activity,
+    ) -> Result<(), ThermalError> {
+        let weights = activity.tile_weights(self.rows, self.cols);
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let (x0, y0, x1, y1) = self.tile_footprint(row, col);
+                let region = BoxRegion::new([x0, y0, z_min], [x1, y1, z_max])?;
+                let power = p_chip * weights[row * self.cols + col];
+                design.try_add_block(
+                    Block::heat_source(
+                        format!("tile({row},{col})"),
+                        region,
+                        Material::BEOL,
+                        power,
+                    )
+                    .with_group("chip"),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds the SCC's *uncore* periphery: the system interface (SIF) along
+    /// the bottom die edge and the four DDR3 memory controllers near the
+    /// left/right edges (Figure 1-a).
+    ///
+    /// The paper's Section V-C notes that "the asymmetric structure of the
+    /// SCC chip leads to a 3 °C difference among the ONIs" even under
+    /// uniform tile activity — this periphery is what provides that
+    /// asymmetry. The blocks dissipate `p_uncore` in total (SIF 60 %, each
+    /// MC 10 %), overlaid on the tile power, and join the `"chip"` group so
+    /// superposition sweeps scale them with the activity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError`] if the die is too small to host the
+    /// periphery strips.
+    pub fn add_uncore(
+        &self,
+        design: &mut Design,
+        z_min: Meters,
+        z_max: Meters,
+        p_uncore: Watts,
+    ) -> Result<(), ThermalError> {
+        let w = self.die_width;
+        let d = self.die_depth;
+        // SIF: full-width strip along the bottom edge, 8 % of the die deep.
+        let sif = BoxRegion::new(
+            [Meters::ZERO, Meters::ZERO, z_min],
+            [Meters::new(w), Meters::new(0.08 * d), z_max],
+        )?;
+        design.try_add_block(
+            Block::heat_source("SIF", sif, Material::BEOL, p_uncore * 0.6).with_group("chip"),
+        )?;
+        // Four DDR3 MCs: small blocks inset from the left/right edges, the
+        // left pair sitting lower than the right pair (the real die is not
+        // mirror symmetric).
+        let mc_w = 0.06 * w;
+        let mc_d = 0.15 * d;
+        let mcs = [
+            ("MC0", 0.02 * w, 0.18 * d),
+            ("MC1", 0.02 * w, 0.48 * d),
+            ("MC2", 0.92 * w, 0.32 * d),
+            ("MC3", 0.92 * w, 0.66 * d),
+        ];
+        for (name, x, y) in mcs {
+            let region = BoxRegion::new(
+                [Meters::new(x), Meters::new(y), z_min],
+                [Meters::new(x + mc_w), Meters::new(y + mc_d), z_max],
+            )?;
+            design.try_add_block(
+                Block::heat_source(name, region, Material::BEOL, p_uncore * 0.1)
+                    .with_group("chip"),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsel_thermal::{Design, Material};
+
+    #[test]
+    fn tiles_tile_the_die() {
+        let fp = SccFloorplan::scc();
+        let (x0, y0, ..) = fp.tile_footprint(0, 0);
+        assert_eq!(x0.value(), 0.0);
+        assert_eq!(y0.value(), 0.0);
+        let (.., x1, y1) = fp.tile_footprint(3, 5);
+        assert!((x1 - fp.die_width()).value().abs() < 1e-12);
+        assert!((y1 - fp.die_depth()).value().abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_tiles_conserves_power() {
+        let fp = SccFloorplan::scc();
+        let domain = BoxRegion::new(
+            [Meters::ZERO; 3],
+            [fp.die_width(), fp.die_depth(), Meters::from_millimeters(1.0)],
+        )
+        .unwrap();
+        let mut d = Design::new(domain, Material::SILICON).unwrap();
+        fp.add_tiles(
+            &mut d,
+            Meters::ZERO,
+            Meters::from_micrometers(15.0),
+            Watts::new(25.0),
+            &Activity::Diagonal,
+        )
+        .unwrap();
+        assert_eq!(d.blocks().len(), 24);
+        assert!((d.total_power().value() - 25.0).abs() < 1e-9);
+        assert!((d.group_power("chip").value() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the grid")]
+    fn tile_out_of_grid_panics() {
+        let _ = SccFloorplan::scc().tile_footprint(4, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! 3D MPSoC architecture models for the paper's case study (Section V-A).
+//!
+//! The targeted system is Intel's Single-chip Cloud Computer (SCC): a
+//! 24-tile, 48-core 45 nm processor dissipating up to 125 W, stacked with an
+//! optical layer carrying the ORNoC interconnect. This crate turns that
+//! description into a [`vcsel_thermal::Design`]:
+//!
+//! * [`PackageStack`] — the Figure 7 assembly: substrate, silicon
+//!   interposer, logic die + BEOL, bonding layer, optical layer, cap
+//!   silicon, epoxy, TIM, copper lid, heat-sink convection,
+//! * [`SccFloorplan`] — the 6 × 4 tile grid with per-tile heat sources,
+//! * [`Activity`] — uniform / diagonal / random / hotspot power maps
+//!   (Figure 3's "MPSoC activity" input),
+//! * [`OniLayout`] — the chessboard Optical Network Interface of Figure 1-b
+//!   (4 waveguides × alternating transmitter/receiver sites) plus a
+//!   clustered variant for the layout ablation,
+//! * [`PlacementCase`] — the three ONI placements of Figure 11 (18 mm,
+//!   32.4 mm, 46.8 mm rings),
+//! * [`SccSystem`] — glue: builds the complete thermal design with power
+//!   groups (`"chip"`, `"vcsel"`, `"driver"`, `"heater"`) ready for
+//!   superposition sweeps, the matching [`vcsel_network::RingTopology`], and
+//!   the mesh policy for each [`Fidelity`] preset.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vcsel_arch::{Activity, Fidelity, PlacementCase, SccConfig, SccSystem};
+//! use vcsel_units::Watts;
+//!
+//! let config = SccConfig {
+//!     placement: PlacementCase::Case1,
+//!     p_vcsel: Watts::from_milliwatts(3.6),
+//!     p_heater: Watts::from_milliwatts(1.08),
+//!     p_chip: Watts::new(25.0),
+//!     activity: Activity::Uniform,
+//!     fidelity: Fidelity::Fast,
+//!     ..SccConfig::default()
+//! };
+//! let system = SccSystem::build(&config)?;
+//! assert_eq!(system.onis().len(), 8);
+//! # Ok::<(), vcsel_arch::ArchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout as a NaN-rejecting validity
+// check (`x <= 0.0` would silently accept NaN).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+mod activity;
+mod error;
+mod floorplan;
+mod oni;
+mod package;
+mod placement;
+mod system;
+
+pub use activity::Activity;
+pub use error::ArchError;
+pub use floorplan::SccFloorplan;
+pub use oni::{OniInstance, OniLayout, SiteKind};
+pub use package::{PackageLayer, PackageStack};
+pub use placement::PlacementCase;
+pub use system::{Fidelity, OniThermals, SccConfig, SccSystem};

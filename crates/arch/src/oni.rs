@@ -1,0 +1,402 @@
+//! Optical Network Interface layout (Figure 1-b).
+//!
+//! Each ONI hosts 4 waveguides; on each waveguide, 4 transmitters (VCSEL +
+//! CMOS driver + TSV bundle) and 4 receivers (microring + heater +
+//! photodetector) are placed *alternately* — the "chessboard-like layout"
+//! the paper proposes so that VCSEL heat pre-warms the neighboring rings
+//! and the residual gradient can be closed with small heater powers.
+//!
+//! A clustered variant (all transmitters on one side) is provided for the
+//! layout ablation study.
+
+use vcsel_thermal::{Block, BoxRegion, Design, Material, ThermalError};
+use vcsel_units::{Meters, Watts};
+
+/// What occupies one device site of the ONI grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// VCSEL + TSV bundle + CMOS driver below.
+    Transmitter,
+    /// Microring + trimming heater + photodetector.
+    Receiver,
+}
+
+/// Device-placement policy inside an ONI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OniLayout {
+    /// The paper's alternating layout (Figure 1-b).
+    Chessboard,
+    /// All transmitters grouped on the left half — the layout the paper
+    /// argues *against*; used by the ablation bench.
+    Clustered,
+}
+
+impl OniLayout {
+    /// Device-site edge length (VCSEL footprint class: 15–30 µm).
+    pub fn site_size() -> Meters {
+        Meters::from_micrometers(30.0)
+    }
+
+    /// Pitch between waveguide rows (site + waveguide clearance).
+    pub fn row_pitch() -> Meters {
+        Meters::from_micrometers(50.0)
+    }
+
+    /// Number of waveguide rows per ONI.
+    pub const ROWS: usize = 4;
+    /// Number of device sites per row (4 TX + 4 RX).
+    pub const COLS: usize = 8;
+
+    /// ONI footprint width (x).
+    pub fn width() -> Meters {
+        Self::site_size() * Self::COLS as f64
+    }
+
+    /// ONI footprint depth (y).
+    pub fn depth() -> Meters {
+        Self::row_pitch() * (Self::ROWS - 1) as f64 + Self::site_size()
+    }
+
+    /// What sits at grid position `(row, col)`.
+    pub fn site_kind(&self, row: usize, col: usize) -> SiteKind {
+        match self {
+            OniLayout::Chessboard => {
+                if (row + col).is_multiple_of(2) {
+                    SiteKind::Transmitter
+                } else {
+                    SiteKind::Receiver
+                }
+            }
+            OniLayout::Clustered => {
+                if col < Self::COLS / 2 {
+                    SiteKind::Transmitter
+                } else {
+                    SiteKind::Receiver
+                }
+            }
+        }
+    }
+}
+
+/// One placed ONI: a layout at a position on the optical layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OniInstance {
+    index: usize,
+    origin_x: f64,
+    origin_y: f64,
+    layout: OniLayout,
+}
+
+impl OniInstance {
+    /// Places ONI number `index` with its minimum corner at `(x, y)`.
+    pub fn new(index: usize, x: Meters, y: Meters, layout: OniLayout) -> Self {
+        Self { index, origin_x: x.value(), origin_y: y.value(), layout }
+    }
+
+    /// The ONI's index on the ring.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The layout policy.
+    pub fn layout(&self) -> OniLayout {
+        self.layout
+    }
+
+    /// Center of the ONI footprint.
+    pub fn center(&self) -> [Meters; 2] {
+        [
+            Meters::new(self.origin_x) + OniLayout::width() / 2.0,
+            Meters::new(self.origin_y) + OniLayout::depth() / 2.0,
+        ]
+    }
+
+    /// The ONI footprint extruded over `[z0, z1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError`] for a degenerate z-range.
+    pub fn region(&self, z0: Meters, z1: Meters) -> Result<BoxRegion, ThermalError> {
+        BoxRegion::new(
+            [Meters::new(self.origin_x), Meters::new(self.origin_y), z0],
+            [
+                Meters::new(self.origin_x) + OniLayout::width(),
+                Meters::new(self.origin_y) + OniLayout::depth(),
+                z1,
+            ],
+        )
+    }
+
+    fn site_origin(&self, row: usize, col: usize) -> (Meters, Meters) {
+        (
+            Meters::new(self.origin_x) + OniLayout::site_size() * col as f64,
+            Meters::new(self.origin_y) + OniLayout::row_pitch() * row as f64,
+        )
+    }
+
+    fn site_region(
+        &self,
+        row: usize,
+        col: usize,
+        z0: Meters,
+        z1: Meters,
+    ) -> Result<BoxRegion, ThermalError> {
+        let (x, y) = self.site_origin(row, col);
+        BoxRegion::new(
+            [x, y, z0],
+            [x + OniLayout::site_size(), y + OniLayout::site_size(), z1],
+        )
+    }
+
+    /// The VCSEL device footprint centered in a transmitter site: the
+    /// paper's 15 µm × 30 µm mesa.
+    fn vcsel_region(
+        &self,
+        row: usize,
+        col: usize,
+        z0: Meters,
+        z1: Meters,
+    ) -> Result<BoxRegion, ThermalError> {
+        let (x, y) = self.site_origin(row, col);
+        let dx = (OniLayout::site_size() - Meters::from_micrometers(15.0)) / 2.0;
+        BoxRegion::new(
+            [x + dx, y, z0],
+            [x + dx + Meters::from_micrometers(15.0), y + OniLayout::site_size(), z1],
+        )
+    }
+
+    /// The microring + heater footprint centered in a receiver site: the
+    /// paper's 10 µm-diameter ring. The small area is what makes the ring's
+    /// per-mW self-heating ~3× the VCSEL's — the physical origin of the
+    /// P_heater ≈ 0.3 × P_VCSEL optimum.
+    fn ring_region(
+        &self,
+        row: usize,
+        col: usize,
+        z0: Meters,
+        z1: Meters,
+    ) -> Result<BoxRegion, ThermalError> {
+        let (x, y) = self.site_origin(row, col);
+        let d = (OniLayout::site_size() - Meters::from_micrometers(10.0)) / 2.0;
+        BoxRegion::new(
+            [x + d, y + d, z0],
+            [
+                x + d + Meters::from_micrometers(10.0),
+                y + d + Meters::from_micrometers(10.0),
+                z1,
+            ],
+        )
+    }
+
+    /// Regions of all transmitter sites over `[z0, z1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError`] for a degenerate z-range.
+    pub fn tx_regions(&self, z0: Meters, z1: Meters) -> Result<Vec<BoxRegion>, ThermalError> {
+        self.kind_regions(SiteKind::Transmitter, z0, z1)
+    }
+
+    /// Regions of all receiver sites over `[z0, z1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError`] for a degenerate z-range.
+    pub fn rx_regions(&self, z0: Meters, z1: Meters) -> Result<Vec<BoxRegion>, ThermalError> {
+        self.kind_regions(SiteKind::Receiver, z0, z1)
+    }
+
+    fn kind_regions(
+        &self,
+        kind: SiteKind,
+        z0: Meters,
+        z1: Meters,
+    ) -> Result<Vec<BoxRegion>, ThermalError> {
+        let mut out = Vec::new();
+        for row in 0..OniLayout::ROWS {
+            for col in 0..OniLayout::COLS {
+                if self.layout.site_kind(row, col) == kind {
+                    out.push(match kind {
+                        SiteKind::Transmitter => self.vcsel_region(row, col, z0, z1)?,
+                        SiteKind::Receiver => self.ring_region(row, col, z0, z1)?,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Adds all device blocks of this ONI to `design`.
+    ///
+    /// Transmitter sites get a VCSEL block in the optical layer (group
+    /// `"vcsel"`, power `p_vcsel`), a TSV-bundle block through the bonding
+    /// layer, and a CMOS-driver block in the BEOL (group `"driver"`, power
+    /// `p_driver`). Receiver sites get a ring+heater block in the optical
+    /// layer (group `"heater"`, power `p_heater`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError`] if any block falls outside the domain.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_devices(
+        &self,
+        design: &mut Design,
+        beol_z: (Meters, Meters),
+        bonding_z: (Meters, Meters),
+        optical_z: (Meters, Meters),
+        p_vcsel: Watts,
+        p_driver: Watts,
+        p_heater: Watts,
+    ) -> Result<(), ThermalError> {
+        // Effective conductivity of a 5 µm-TSV bundle diluted in the
+        // bonding polymer (paper Figure 1-c: "bundle of TSVs").
+        let tsv_bundle = Material::new("TSV bundle effective", 60.0);
+        for row in 0..OniLayout::ROWS {
+            for col in 0..OniLayout::COLS {
+                let tag = format!("oni{}[{row},{col}]", self.index);
+                match self.layout.site_kind(row, col) {
+                    SiteKind::Transmitter => {
+                        design.try_add_block(
+                            Block::heat_source(
+                                format!("vcsel@{tag}"),
+                                self.vcsel_region(row, col, optical_z.0, optical_z.1)?,
+                                Material::III_V,
+                                p_vcsel,
+                            )
+                            .with_group("vcsel"),
+                        )?;
+                        design.try_add_block(Block::passive(
+                            format!("tsv@{tag}"),
+                            self.vcsel_region(row, col, bonding_z.0, bonding_z.1)?,
+                            tsv_bundle.clone(),
+                        ))?;
+                        design.try_add_block(
+                            Block::heat_source(
+                                format!("driver@{tag}"),
+                                self.site_region(row, col, beol_z.0, beol_z.1)?,
+                                Material::BEOL,
+                                p_driver,
+                            )
+                            .with_group("driver"),
+                        )?;
+                    }
+                    SiteKind::Receiver => {
+                        design.try_add_block(
+                            Block::heat_source(
+                                format!("ring@{tag}"),
+                                self.ring_region(row, col, optical_z.0, optical_z.1)?,
+                                Material::SILICON,
+                                p_heater,
+                            )
+                            .with_group("heater"),
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsel_thermal::Design;
+
+    #[test]
+    fn chessboard_alternates() {
+        let l = OniLayout::Chessboard;
+        assert_eq!(l.site_kind(0, 0), SiteKind::Transmitter);
+        assert_eq!(l.site_kind(0, 1), SiteKind::Receiver);
+        assert_eq!(l.site_kind(1, 0), SiteKind::Receiver);
+        assert_eq!(l.site_kind(1, 1), SiteKind::Transmitter);
+        // Each row has exactly 4 transmitters ("4 lasers per waveguide").
+        for row in 0..OniLayout::ROWS {
+            let tx = (0..OniLayout::COLS)
+                .filter(|&c| l.site_kind(row, c) == SiteKind::Transmitter)
+                .count();
+            assert_eq!(tx, 4);
+        }
+    }
+
+    #[test]
+    fn clustered_separates() {
+        let l = OniLayout::Clustered;
+        assert!((0..4).all(|c| l.site_kind(0, c) == SiteKind::Transmitter));
+        assert!((4..8).all(|c| l.site_kind(0, c) == SiteKind::Receiver));
+    }
+
+    #[test]
+    fn footprint_dimensions() {
+        // 8 x 30 µm = 240 µm wide; 3 x 50 + 30 = 180 µm deep.
+        assert!((OniLayout::width().as_micrometers() - 240.0).abs() < 1e-9);
+        assert!((OniLayout::depth().as_micrometers() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_counts_and_power() {
+        let stack = crate::PackageStack::scc();
+        let domain = BoxRegion::new(
+            [Meters::ZERO; 3],
+            [
+                Meters::from_millimeters(2.0),
+                Meters::from_millimeters(2.0),
+                stack.total_thickness(),
+            ],
+        )
+        .unwrap();
+        let mut d = Design::new(domain, Material::SILICON).unwrap();
+        let oni = OniInstance::new(
+            0,
+            Meters::from_micrometers(500.0),
+            Meters::from_micrometers(500.0),
+            OniLayout::Chessboard,
+        );
+        oni.add_devices(
+            &mut d,
+            stack.beol_z(),
+            stack.bonding_z(),
+            stack.optical_layer_z(),
+            Watts::from_milliwatts(2.0),
+            Watts::from_milliwatts(2.0),
+            Watts::from_milliwatts(0.6),
+        )
+        .unwrap();
+        // 16 TX x 3 blocks + 16 RX x 1 block = 64 blocks.
+        assert_eq!(d.blocks().len(), 64);
+        // Power: 16 x 2 mW vcsel + 16 x 2 mW driver + 16 x 0.6 mW heater.
+        assert!((d.group_power("vcsel").as_milliwatts() - 32.0).abs() < 1e-9);
+        assert!((d.group_power("driver").as_milliwatts() - 32.0).abs() < 1e-9);
+        assert!((d.group_power("heater").as_milliwatts() - 9.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tx_rx_regions_are_disjoint_and_complete() {
+        let oni = OniInstance::new(1, Meters::ZERO, Meters::ZERO, OniLayout::Chessboard);
+        let z = (Meters::ZERO, Meters::from_micrometers(4.0));
+        let tx = oni.tx_regions(z.0, z.1).unwrap();
+        let rx = oni.rx_regions(z.0, z.1).unwrap();
+        assert_eq!(tx.len(), 16);
+        assert_eq!(rx.len(), 16);
+        // No TX region center is inside an RX region.
+        for t in &tx {
+            let c = t.center();
+            assert!(rx.iter().all(|r| !r.contains(c)));
+        }
+    }
+
+    #[test]
+    fn center_is_inside_region() {
+        let oni = OniInstance::new(
+            2,
+            Meters::from_millimeters(1.0),
+            Meters::from_millimeters(2.0),
+            OniLayout::Chessboard,
+        );
+        let region = oni
+            .region(Meters::ZERO, Meters::from_micrometers(4.0))
+            .unwrap();
+        let c = oni.center();
+        assert!(region.contains([c[0], c[1], Meters::from_micrometers(2.0)]));
+    }
+}

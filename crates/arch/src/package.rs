@@ -1,0 +1,185 @@
+//! The Figure 7 package stack.
+//!
+//! "Figure 7 shows the assembly view of the targeted system, which contains
+//! the following components: steel back-plate, motherboard, socket, SCC
+//! chip with silicon-photonic links and on-chip laser sources, copper lid
+//! and heat sink." The annotated thicknesses are: substrate 1 mm, silicon
+//! interposer 200 µm, metal layers 15 µm, bonding layer 20 µm, optical
+//! layer ~4 µm, silicon 50 µm (×2), epoxy 80 µm, TIM 75 µm, copper lid
+//! 2 mm.
+//!
+//! We model the chip-to-sink path explicitly and collapse everything below
+//! the substrate (socket/motherboard/back-plate) into an adiabatic bottom —
+//! virtually all heat leaves through the lid in this assembly.
+
+use vcsel_thermal::{Block, BoxRegion, Design, Material, ThermalError};
+use vcsel_units::{Meters, SquareMeters};
+
+/// One layer of the vertical stack, bottom-up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackageLayer {
+    /// Layer name (also used as the thermal block name).
+    pub name: &'static str,
+    /// Layer thickness.
+    pub thickness: Meters,
+    /// Layer material.
+    pub material: Material,
+}
+
+/// The Figure 7 vertical stack and its derived z-coordinates.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_arch::PackageStack;
+///
+/// let stack = PackageStack::scc();
+/// // The optical layer sits between the bonding layer and the cap silicon.
+/// let z = stack.optical_layer_z();
+/// assert!(z.0 < z.1);
+/// assert!((stack.total_thickness().as_millimeters() - 3.494).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackageStack {
+    layers: Vec<PackageLayer>,
+}
+
+impl PackageStack {
+    /// Index of the BEOL (metal) layer holding the electrical heat sources.
+    const BEOL: usize = 3;
+    /// Index of the bonding layer crossed by the TSVs.
+    const BONDING: usize = 4;
+    /// Index of the optical device layer.
+    const OPTICAL: usize = 5;
+
+    /// The paper's SCC assembly (Figure 7), bottom-up.
+    pub fn scc() -> Self {
+        let um = Meters::from_micrometers;
+        Self {
+            layers: vec![
+                PackageLayer { name: "substrate", thickness: um(1000.0), material: Material::SUBSTRATE },
+                PackageLayer { name: "interposer", thickness: um(200.0), material: Material::SILICON },
+                PackageLayer { name: "logic silicon", thickness: um(50.0), material: Material::SILICON },
+                PackageLayer { name: "BEOL", thickness: um(15.0), material: Material::BEOL },
+                PackageLayer { name: "bonding", thickness: um(20.0), material: Material::BONDING },
+                PackageLayer { name: "optical layer", thickness: um(4.0), material: Material::OPTICAL_LAYER },
+                PackageLayer { name: "cap silicon", thickness: um(50.0), material: Material::SILICON },
+                PackageLayer { name: "epoxy", thickness: um(80.0), material: Material::EPOXY },
+                PackageLayer { name: "TIM", thickness: um(75.0), material: Material::TIM },
+                PackageLayer { name: "copper lid", thickness: um(2000.0), material: Material::COPPER },
+            ],
+        }
+    }
+
+    /// The layers, bottom-up.
+    pub fn layers(&self) -> &[PackageLayer] {
+        &self.layers
+    }
+
+    /// Total stack thickness.
+    pub fn total_thickness(&self) -> Meters {
+        self.layers.iter().map(|l| l.thickness).sum()
+    }
+
+    fn z_range(&self, index: usize) -> (Meters, Meters) {
+        let below: Meters = self.layers[..index].iter().map(|l| l.thickness).sum();
+        (below, below + self.layers[index].thickness)
+    }
+
+    /// `(z_min, z_max)` of the BEOL layer (electrical heat sources).
+    pub fn beol_z(&self) -> (Meters, Meters) {
+        self.z_range(Self::BEOL)
+    }
+
+    /// `(z_min, z_max)` of the bonding layer (TSV bundles).
+    pub fn bonding_z(&self) -> (Meters, Meters) {
+        self.z_range(Self::BONDING)
+    }
+
+    /// `(z_min, z_max)` of the optical device layer.
+    pub fn optical_layer_z(&self) -> (Meters, Meters) {
+        self.z_range(Self::OPTICAL)
+    }
+
+    /// Die cross-section area for a given footprint.
+    pub fn area(&self, width: Meters, depth: Meters) -> SquareMeters {
+        width.area(depth)
+    }
+
+    /// Adds one passive block per layer to `design`, spanning the full
+    /// `width × depth` footprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError`] if the footprint is degenerate or exceeds
+    /// the design domain.
+    pub fn add_layers(
+        &self,
+        design: &mut Design,
+        width: Meters,
+        depth: Meters,
+    ) -> Result<(), ThermalError> {
+        let mut z = Meters::ZERO;
+        for layer in &self.layers {
+            let region = BoxRegion::new(
+                [Meters::ZERO, Meters::ZERO, z],
+                [width, depth, z + layer.thickness],
+            )?;
+            design.try_add_block(Block::passive(layer.name, region, layer.material.clone()))?;
+            z += layer.thickness;
+        }
+        Ok(())
+    }
+}
+
+impl Default for PackageStack {
+    fn default() -> Self {
+        Self::scc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scc_stack_thicknesses() {
+        let s = PackageStack::scc();
+        assert_eq!(s.layers().len(), 10);
+        // 1000 + 200 + 50 + 15 + 20 + 4 + 50 + 80 + 75 + 2000 = 3494 µm.
+        assert!((s.total_thickness().as_micrometers() - 3494.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_order_is_physical() {
+        let s = PackageStack::scc();
+        let beol = s.beol_z();
+        let bonding = s.bonding_z();
+        let optical = s.optical_layer_z();
+        assert!(beol.1 <= bonding.0 + Meters::new(1e-12));
+        assert!(bonding.1 <= optical.0 + Meters::new(1e-12));
+        // Optical layer is 4 µm thick.
+        assert!(((optical.1 - optical.0).as_micrometers() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_layers_builds_blocks() {
+        let domain = BoxRegion::new(
+            [Meters::ZERO; 3],
+            [
+                Meters::from_millimeters(5.0),
+                Meters::from_millimeters(5.0),
+                PackageStack::scc().total_thickness(),
+            ],
+        )
+        .unwrap();
+        let mut design = Design::new(domain, Material::SILICON).unwrap();
+        PackageStack::scc()
+            .add_layers(&mut design, Meters::from_millimeters(5.0), Meters::from_millimeters(5.0))
+            .unwrap();
+        assert_eq!(design.blocks().len(), 10);
+        // Blocks tile the full height without gaps.
+        let top = design.blocks().last().unwrap().region().max(2);
+        assert!((top - PackageStack::scc().total_thickness()).value().abs() < 1e-12);
+    }
+}

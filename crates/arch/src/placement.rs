@@ -1,0 +1,206 @@
+//! The three ONI-placement scenarios of Figure 11.
+//!
+//! The case study varies where the 8 ONIs sit on the die, producing ring
+//! waveguides of 18 mm, 32.4 mm and 46.8 mm. We realize each scenario as a
+//! rectangular serpentine centered on the die with the prescribed
+//! perimeter; ONIs are spaced evenly along it.
+
+use vcsel_units::Meters;
+
+use crate::ArchError;
+
+/// One of the paper's placement scenarios (or a custom ring).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementCase {
+    /// Figure 11-a: compact central ring, 18 mm.
+    Case1,
+    /// Figure 11-b: mid-size ring, 32.4 mm.
+    Case2,
+    /// Figure 11-c: die-spanning ring, 46.8 mm.
+    Case3,
+    /// A custom rectangular ring with the given perimeter.
+    Custom {
+        /// Ring perimeter.
+        perimeter: Meters,
+    },
+}
+
+impl PlacementCase {
+    /// The ring (waveguide) length of this scenario.
+    pub fn ring_length(&self) -> Meters {
+        match self {
+            PlacementCase::Case1 => Meters::from_millimeters(18.0),
+            PlacementCase::Case2 => Meters::from_millimeters(32.4),
+            PlacementCase::Case3 => Meters::from_millimeters(46.8),
+            PlacementCase::Custom { perimeter } => *perimeter,
+        }
+    }
+
+    /// All three paper scenarios, in order.
+    pub fn paper_cases() -> [PlacementCase; 3] {
+        [PlacementCase::Case1, PlacementCase::Case2, PlacementCase::Case3]
+    }
+
+    /// Centers of `n` ONIs evenly spaced along the rectangular ring,
+    /// centered within a `die_w × die_h` die, together with each ONI's
+    /// arc-length position along the ring.
+    ///
+    /// The rectangle keeps the die's aspect ratio, so larger rings spread
+    /// the ONIs further apart — reproducing the growing inter-ONI thermal
+    /// gradients of the paper's Figure 12 discussion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::BadConfig`] if the ring does not fit in the
+    /// die or `n < 2`.
+    pub fn oni_positions(
+        &self,
+        n: usize,
+        die_w: Meters,
+        die_h: Meters,
+    ) -> Result<Vec<OniPlacement>, ArchError> {
+        if n < 2 {
+            return Err(ArchError::BadConfig { reason: format!("need at least 2 ONIs, got {n}") });
+        }
+        let perimeter = self.ring_length().value();
+        let (w, h) = rectangle_for(perimeter, die_w.value() / die_h.value());
+        if w >= die_w.value() || h >= die_h.value() {
+            return Err(ArchError::BadConfig {
+                reason: format!(
+                    "ring of perimeter {} does not fit in the {} x {} die",
+                    self.ring_length(),
+                    die_w,
+                    die_h
+                ),
+            });
+        }
+        let cx = die_w.value() / 2.0;
+        let cy = die_h.value() / 2.0;
+
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let arc = perimeter * k as f64 / n as f64;
+            let (x, y) = point_on_rectangle(w, h, arc);
+            out.push(OniPlacement {
+                center_x: Meters::new(cx - w / 2.0 + x),
+                center_y: Meters::new(cy - h / 2.0 + y),
+                arc_position: Meters::new(arc),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Where one ONI sits: die coordinates of its center and its arc position
+/// along the ring waveguide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OniPlacement {
+    /// Die x-coordinate of the ONI center.
+    pub center_x: Meters,
+    /// Die y-coordinate of the ONI center.
+    pub center_y: Meters,
+    /// Arc-length position along the ring.
+    pub arc_position: Meters,
+}
+
+/// Rectangle of the given perimeter and aspect ratio (w/h).
+fn rectangle_for(perimeter: f64, aspect: f64) -> (f64, f64) {
+    // w = aspect * h; 2(w + h) = perimeter.
+    let h = perimeter / (2.0 * (1.0 + aspect));
+    (aspect * h, h)
+}
+
+/// Point at arc length `s` along the rectangle boundary (counter-clockwise
+/// from the bottom-left corner), in rectangle-local coordinates.
+fn point_on_rectangle(w: f64, h: f64, s: f64) -> (f64, f64) {
+    let p = 2.0 * (w + h);
+    let s = s.rem_euclid(p);
+    if s < w {
+        (s, 0.0)
+    } else if s < w + h {
+        (w, s - w)
+    } else if s < 2.0 * w + h {
+        (w - (s - w - h), h)
+    } else {
+        (0.0, h - (s - 2.0 * w - h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ring_lengths() {
+        assert!((PlacementCase::Case1.ring_length().as_millimeters() - 18.0).abs() < 1e-12);
+        assert!((PlacementCase::Case2.ring_length().as_millimeters() - 32.4).abs() < 1e-12);
+        assert!((PlacementCase::Case3.ring_length().as_millimeters() - 46.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangle_perimeter_round_trip() {
+        let (w, h) = rectangle_for(18e-3, 26.4 / 21.6);
+        assert!((2.0 * (w + h) - 18e-3).abs() < 1e-12);
+        assert!((w / h - 26.4 / 21.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walking_the_rectangle() {
+        let (w, h) = (4.0, 2.0);
+        assert_eq!(point_on_rectangle(w, h, 0.0), (0.0, 0.0));
+        assert_eq!(point_on_rectangle(w, h, 4.0), (4.0, 0.0));
+        assert_eq!(point_on_rectangle(w, h, 6.0), (4.0, 2.0));
+        assert_eq!(point_on_rectangle(w, h, 10.0), (0.0, 2.0));
+        // Full perimeter wraps to the origin.
+        assert_eq!(point_on_rectangle(w, h, 12.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn onis_stay_on_die_and_spread_with_case() {
+        let die_w = Meters::from_millimeters(26.4);
+        let die_h = Meters::from_millimeters(21.6);
+        let spread = |case: PlacementCase| {
+            let ps = case.oni_positions(8, die_w, die_h).unwrap();
+            assert_eq!(ps.len(), 8);
+            for p in &ps {
+                assert!(p.center_x.value() > 0.0 && p.center_x < die_w);
+                assert!(p.center_y.value() > 0.0 && p.center_y < die_h);
+            }
+            // Max pairwise distance as a spread metric.
+            let mut max_d: f64 = 0.0;
+            for a in &ps {
+                for b in &ps {
+                    let dx = (a.center_x - b.center_x).value();
+                    let dy = (a.center_y - b.center_y).value();
+                    max_d = max_d.max((dx * dx + dy * dy).sqrt());
+                }
+            }
+            max_d
+        };
+        let s1 = spread(PlacementCase::Case1);
+        let s2 = spread(PlacementCase::Case2);
+        let s3 = spread(PlacementCase::Case3);
+        assert!(s1 < s2 && s2 < s3, "spread must grow with ring length: {s1} {s2} {s3}");
+    }
+
+    #[test]
+    fn arc_positions_are_even() {
+        let ps = PlacementCase::Case1
+            .oni_positions(6, Meters::from_millimeters(26.4), Meters::from_millimeters(21.6))
+            .unwrap();
+        for (k, p) in ps.iter().enumerate() {
+            let expected = 18.0e-3 * k as f64 / 6.0;
+            assert!((p.arc_position.value() - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn oversized_ring_rejected() {
+        let err = PlacementCase::Custom { perimeter: Meters::from_millimeters(200.0) }
+            .oni_positions(4, Meters::from_millimeters(26.4), Meters::from_millimeters(21.6));
+        assert!(err.is_err());
+        assert!(PlacementCase::Case1
+            .oni_positions(1, Meters::from_millimeters(26.4), Meters::from_millimeters(21.6))
+            .is_err());
+    }
+}

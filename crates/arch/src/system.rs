@@ -1,0 +1,379 @@
+//! The complete case-study system: SCC + package + ONIs + ring.
+
+use vcsel_network::RingTopology;
+use vcsel_thermal::{
+    Boundary, BoundaryCondition, BoxRegion, Design, Material, MeshSpec, RefineRegion, ThermalMap,
+};
+use vcsel_units::{Celsius, Meters, TemperatureDelta, Watts, WattsPerSquareMeterKelvin};
+
+use crate::{
+    Activity, ArchError, OniInstance, OniLayout, PackageStack, PlacementCase, SccFloorplan,
+};
+
+/// Mesh-resolution presets.
+///
+/// The paper meshes the ONI regions at 5 µm and the rest of the system at
+/// 100–500 µm. [`Fidelity::Paper`] reproduces that; [`Fidelity::Fast`] uses
+/// device-pitch resolution (30 µm) over the ONIs for second-scale release
+/// runs; [`Fidelity::Tiny`] is for debug-mode unit tests on reduced
+/// floorplans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// Unit-test scale: ~60 µm over ONIs, 3 mm elsewhere.
+    Tiny,
+    /// Release-run scale: 30 µm over ONIs (device pitch), 1.5 mm elsewhere.
+    Fast,
+    /// The paper's meshing: 5 µm over ONIs, 0.5 mm elsewhere. Expensive.
+    Paper,
+}
+
+impl Fidelity {
+    /// (ONI-region cell cap, bulk cell cap) in meters.
+    fn resolutions(&self) -> (f64, f64) {
+        match self {
+            Fidelity::Tiny => (60e-6, 3e-3),
+            Fidelity::Fast => (30e-6, 1.5e-3),
+            Fidelity::Paper => (5e-6, 0.5e-3),
+        }
+    }
+}
+
+/// Configuration of the case-study build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SccConfig {
+    /// Tile floorplan (defaults to the 24-tile SCC).
+    pub floorplan: SccFloorplan,
+    /// ONI placement scenario.
+    pub placement: PlacementCase,
+    /// Number of ONIs on the ring.
+    pub oni_count: usize,
+    /// Device layout inside each ONI.
+    pub layout: OniLayout,
+    /// Dissipated power per VCSEL (the paper's P_VCSEL, 0–6 mW).
+    pub p_vcsel: Watts,
+    /// Dissipated power per CMOS driver; `None` means "equal to P_VCSEL"
+    /// (the paper's worst-case assumption).
+    pub p_driver: Option<Watts>,
+    /// Heater power per receiver site (the paper's P_heater).
+    pub p_heater: Watts,
+    /// Total chip (processing) power, 12.5–31.25 W in the paper.
+    pub p_chip: Watts,
+    /// Spatial activity pattern.
+    pub activity: Activity,
+    /// Heat-sink coolant temperature.
+    pub ambient: Celsius,
+    /// Effective sink heat-transfer coefficient on the lid.
+    pub heat_transfer: WattsPerSquareMeterKelvin,
+    /// Mesh-resolution preset.
+    pub fidelity: Fidelity,
+}
+
+impl Default for SccConfig {
+    fn default() -> Self {
+        Self {
+            floorplan: SccFloorplan::scc(),
+            placement: PlacementCase::Case1,
+            oni_count: 8,
+            layout: OniLayout::Chessboard,
+            p_vcsel: Watts::from_milliwatts(1.0),
+            p_driver: None,
+            p_heater: Watts::ZERO,
+            p_chip: Watts::new(12.5),
+            activity: Activity::Uniform,
+            ambient: Celsius::new(40.0),
+            // Calibrated so the full package shows ~0.5 K/W junction-to-
+            // ambient, matching Figure 9-a's ~3.3 °C per 6.25 W slope.
+            heat_transfer: WattsPerSquareMeterKelvin::new(7_500.0),
+            fidelity: Fidelity::Fast,
+        }
+    }
+}
+
+impl SccConfig {
+    /// A reduced configuration for debug-mode unit tests: 2×2 tiles on an
+    /// 8 × 6 mm die, 2 ONIs on a 6 mm ring, tiny mesh.
+    pub fn tiny_test() -> Self {
+        Self {
+            floorplan: SccFloorplan::reduced(
+                2,
+                2,
+                Meters::from_millimeters(8.0),
+                Meters::from_millimeters(6.0),
+            ),
+            placement: PlacementCase::Custom { perimeter: Meters::from_millimeters(6.0) },
+            oni_count: 2,
+            p_chip: Watts::new(2.0),
+            fidelity: Fidelity::Tiny,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-ONI thermal metrics extracted from a solved map (the paper's two
+/// headline quantities, Section III-D).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OniThermals {
+    /// Mean temperature over all device sites of the ONI.
+    pub average: Celsius,
+    /// Max − min over the device sites — the "gradient temperature".
+    pub gradient: TemperatureDelta,
+    /// Mean temperature of the VCSEL (transmitter) sites.
+    pub vcsel_mean: Celsius,
+    /// Mean temperature of the ring (receiver) sites.
+    pub ring_mean: Celsius,
+}
+
+/// The built case-study system.
+#[derive(Debug, Clone)]
+pub struct SccSystem {
+    design: Design,
+    stack: PackageStack,
+    onis: Vec<OniInstance>,
+    topology: RingTopology,
+    fidelity: Fidelity,
+}
+
+impl SccSystem {
+    /// Builds the thermal design (with power groups `"chip"`, `"vcsel"`,
+    /// `"driver"`, `"heater"`), the ONI instances and the ring topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::BadConfig`] for inconsistent parameters and
+    /// propagates geometry errors.
+    pub fn build(config: &SccConfig) -> Result<Self, ArchError> {
+        if config.p_vcsel.value() < 0.0
+            || config.p_heater.value() < 0.0
+            || config.p_chip.value() < 0.0
+        {
+            return Err(ArchError::BadConfig { reason: "powers must be non-negative".into() });
+        }
+        let stack = PackageStack::scc();
+        let fp = config.floorplan;
+        let domain = BoxRegion::new(
+            [Meters::ZERO; 3],
+            [fp.die_width(), fp.die_depth(), stack.total_thickness()],
+        )?;
+        let mut design = Design::new(domain, Material::SILICON)?;
+        design.set_boundary(
+            Boundary::top(),
+            BoundaryCondition::Convective {
+                h: config.heat_transfer,
+                ambient: config.ambient,
+            },
+        );
+
+        stack.add_layers(&mut design, fp.die_width(), fp.die_depth())?;
+        let beol = stack.beol_z();
+        // The SCC's uncore (SIF + memory controllers) takes ~15 % of the
+        // chip power and sits asymmetrically on the periphery — the source
+        // of the paper's inter-ONI gradient under uniform activity.
+        let p_uncore = config.p_chip * 0.15;
+        fp.add_tiles(&mut design, beol.0, beol.1, config.p_chip - p_uncore, &config.activity)?;
+        fp.add_uncore(&mut design, beol.0, beol.1, p_uncore)?;
+
+        let placements =
+            config.placement.oni_positions(config.oni_count, fp.die_width(), fp.die_depth())?;
+        let p_driver = config.p_driver.unwrap_or(config.p_vcsel);
+        let mut onis = Vec::with_capacity(placements.len());
+        let mut arc_positions = Vec::with_capacity(placements.len());
+        for (i, p) in placements.iter().enumerate() {
+            let oni = OniInstance::new(
+                i,
+                p.center_x - OniLayout::width() / 2.0,
+                p.center_y - OniLayout::depth() / 2.0,
+                config.layout,
+            );
+            oni.add_devices(
+                &mut design,
+                stack.beol_z(),
+                stack.bonding_z(),
+                stack.optical_layer_z(),
+                config.p_vcsel,
+                p_driver,
+                config.p_heater,
+            )?;
+            arc_positions.push(p.arc_position);
+            onis.push(oni);
+        }
+
+        let topology = RingTopology::new(config.placement.ring_length(), arc_positions)?;
+        Ok(Self { design, stack, onis, topology, fidelity: config.fidelity })
+    }
+
+    /// The thermal design, ready for [`vcsel_thermal::Simulator`] or
+    /// [`vcsel_thermal::ResponseBasis`].
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The package stack used.
+    pub fn stack(&self) -> &PackageStack {
+        &self.stack
+    }
+
+    /// The placed ONIs.
+    pub fn onis(&self) -> &[OniInstance] {
+        &self.onis
+    }
+
+    /// The ring topology matching the placement.
+    pub fn topology(&self) -> &RingTopology {
+        &self.topology
+    }
+
+    /// The meshing policy for this system's fidelity preset: fine cells
+    /// over every ONI (plus a margin), coarse cells elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from refinement construction.
+    pub fn mesh_spec(&self) -> Result<MeshSpec, ArchError> {
+        let (fine, coarse) = self.fidelity.resolutions();
+        let optical = self.stack.optical_layer_z();
+        let mut spec = MeshSpec::per_axis([
+            Meters::new(coarse),
+            Meters::new(coarse),
+            Meters::new(500e-6),
+        ]);
+        let margin = Meters::from_micrometers(60.0);
+        for oni in &self.onis {
+            let r = oni.region(optical.0, optical.1)?;
+            let padded = BoxRegion::new(
+                [r.min(0) - margin, r.min(1) - margin, Meters::ZERO],
+                [
+                    r.max(0) + margin,
+                    r.max(1) + margin,
+                    self.stack.total_thickness(),
+                ],
+            )?;
+            spec = spec.with_refinement(RefineRegion::per_axis(
+                padded,
+                [Meters::new(fine), Meters::new(fine), Meters::new(500e-6)],
+            )?);
+        }
+        Ok(spec)
+    }
+
+    /// Extracts the per-ONI thermal metrics from a solved map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::BadConfig`] if the map does not cover the ONI
+    /// regions (i.e. it was solved on a different design).
+    pub fn oni_thermals(&self, map: &ThermalMap) -> Result<Vec<OniThermals>, ArchError> {
+        let optical = self.stack.optical_layer_z();
+        let mut out = Vec::with_capacity(self.onis.len());
+        for oni in &self.onis {
+            let mut site_temps: Vec<f64> = Vec::with_capacity(32);
+            let mut vcsel = Vec::with_capacity(16);
+            let mut ring = Vec::with_capacity(16);
+            for r in oni.tx_regions(optical.0, optical.1)? {
+                let t = map.average_in(&r).ok_or_else(|| ArchError::BadConfig {
+                    reason: "thermal map does not cover the ONI regions".into(),
+                })?;
+                site_temps.push(t.value());
+                vcsel.push(t.value());
+            }
+            for r in oni.rx_regions(optical.0, optical.1)? {
+                let t = map.average_in(&r).ok_or_else(|| ArchError::BadConfig {
+                    reason: "thermal map does not cover the ONI regions".into(),
+                })?;
+                site_temps.push(t.value());
+                ring.push(t.value());
+            }
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            let max = site_temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min = site_temps.iter().cloned().fold(f64::INFINITY, f64::min);
+            out.push(OniThermals {
+                average: Celsius::new(mean(&site_temps)),
+                gradient: TemperatureDelta::new(max - min),
+                vcsel_mean: Celsius::new(mean(&vcsel)),
+                ring_mean: Celsius::new(mean(&ring)),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsel_thermal::Simulator;
+
+    #[test]
+    fn tiny_system_builds_and_solves() {
+        let config = SccConfig {
+            p_vcsel: Watts::from_milliwatts(2.0),
+            p_heater: Watts::from_milliwatts(0.6),
+            ..SccConfig::tiny_test()
+        };
+        let system = SccSystem::build(&config).unwrap();
+        assert_eq!(system.onis().len(), 2);
+        assert_eq!(system.topology().oni_count(), 2);
+
+        let groups = system.design().group_names();
+        for g in ["chip", "vcsel", "driver", "heater"] {
+            assert!(groups.contains(&g), "missing group {g}");
+        }
+        // 2 ONIs x 16 VCSELs x 2 mW = 64 mW.
+        assert!((system.design().group_power("vcsel").as_milliwatts() - 64.0).abs() < 1e-9);
+
+        let spec = system.mesh_spec().unwrap();
+        let map = Simulator::new().solve(system.design(), &spec).unwrap();
+        let thermals = system.oni_thermals(&map).unwrap();
+        assert_eq!(thermals.len(), 2);
+        for t in &thermals {
+            // Devices run above ambient, below boiling.
+            assert!(t.average.value() > 40.0, "average {:?}", t.average);
+            assert!(t.average.value() < 100.0);
+            // VCSELs are the hot sites without heaters at parity.
+            assert!(t.vcsel_mean >= t.ring_mean);
+            assert!(t.gradient.value() >= 0.0);
+        }
+        assert!(map.energy_balance_defect() < 1e-6);
+    }
+
+    #[test]
+    fn vcsel_power_raises_gradient() {
+        let solve = |p_mw: f64| {
+            let config = SccConfig {
+                p_vcsel: Watts::from_milliwatts(p_mw),
+                ..SccConfig::tiny_test()
+            };
+            let system = SccSystem::build(&config).unwrap();
+            let spec = system.mesh_spec().unwrap();
+            let map = Simulator::new().solve(system.design(), &spec).unwrap();
+            system.oni_thermals(&map).unwrap()[0]
+        };
+        let low = solve(1.0);
+        let high = solve(6.0);
+        assert!(
+            high.gradient.value() > low.gradient.value(),
+            "gradient must grow with P_VCSEL: {:?} vs {:?}",
+            low.gradient,
+            high.gradient
+        );
+        assert!(high.average > low.average);
+    }
+
+    #[test]
+    fn negative_power_rejected() {
+        let config = SccConfig {
+            p_vcsel: Watts::from_milliwatts(-1.0),
+            ..SccConfig::tiny_test()
+        };
+        assert!(matches!(SccSystem::build(&config), Err(ArchError::BadConfig { .. })));
+    }
+
+    #[test]
+    fn full_scc_builds() {
+        // Build-only check of the full-die system (no solve in debug tests).
+        let system = SccSystem::build(&SccConfig::default()).unwrap();
+        assert_eq!(system.onis().len(), 8);
+        // 10 layers + 24 tiles + 5 uncore blocks + 8 ONIs x 64 device blocks.
+        assert_eq!(system.design().blocks().len(), 10 + 24 + 5 + 8 * 64);
+        assert!((system.topology().length().as_millimeters() - 18.0).abs() < 1e-9);
+        assert!(system.mesh_spec().is_ok());
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation: the paper's chessboard ONI layout vs a clustered layout
+//! (Section III-B's design argument).
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcsel_arch::{OniLayout, SccConfig};
+use vcsel_core::ThermalStudy;
+use vcsel_thermal::Simulator;
+use vcsel_units::Watts;
+
+fn study_for(layout: OniLayout) -> ThermalStudy {
+    ThermalStudy::new(SccConfig { layout, ..SccConfig::tiny_test() }, &Simulator::new())
+        .expect("study builds")
+}
+
+fn studies() -> &'static (ThermalStudy, ThermalStudy) {
+    static STUDIES: OnceLock<(ThermalStudy, ThermalStudy)> = OnceLock::new();
+    STUDIES
+        .get_or_init(|| (study_for(OniLayout::Chessboard), study_for(OniLayout::Clustered)))
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let (chess, clustered) = studies();
+    let p_vcsel = Watts::from_milliwatts(4.0);
+    let chip = Watts::new(2.0);
+
+    let g_chess =
+        chess.evaluate(p_vcsel, Watts::ZERO, chip).expect("chess").worst_gradient();
+    let g_clustered = clustered
+        .evaluate(p_vcsel, Watts::ZERO, chip)
+        .expect("clustered")
+        .worst_gradient();
+    let opt_chess = chess.explore_heater(p_vcsel, chip, 1.0, 5).expect("chess opt");
+    let opt_clustered =
+        clustered.explore_heater(p_vcsel, chip, 1.0, 5).expect("clustered opt");
+    println!(
+        "[ablation/layout] gradient w/o heater: chessboard {:.3} C vs clustered {:.3} C",
+        g_chess.value(),
+        g_clustered.value()
+    );
+    println!(
+        "[ablation/layout] optimal heater: chessboard ratio {:.2} -> {:.3} C, \
+         clustered ratio {:.2} -> {:.3} C",
+        opt_chess.optimal_ratio,
+        opt_chess.optimal_gradient.value(),
+        opt_clustered.optimal_ratio,
+        opt_clustered.optimal_gradient.value()
+    );
+
+    let mut group = c.benchmark_group("layout_ablation");
+    group.bench_function("chessboard_point", |b| {
+        b.iter(|| chess.evaluate(p_vcsel, Watts::ZERO, std::hint::black_box(chip)).unwrap())
+    });
+    group.bench_function("clustered_point", |b| {
+        b.iter(|| clustered.evaluate(p_vcsel, Watts::ZERO, std::hint::black_box(chip)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

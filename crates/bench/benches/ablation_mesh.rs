@@ -1,0 +1,56 @@
+//! Ablation: mesh-resolution sensitivity of the thermal metrics, plus the
+//! cost of meshing and assembly at each fidelity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vcsel_arch::{Fidelity, SccConfig, SccSystem};
+use vcsel_thermal::{Mesh, Simulator};
+use vcsel_units::Watts;
+
+fn bench_mesh(c: &mut Criterion) {
+    // Fixed operating point, varying only the mesh fidelity.
+    let build = |fidelity: Fidelity| {
+        let config = SccConfig {
+            p_vcsel: Watts::from_milliwatts(4.0),
+            p_heater: Watts::from_milliwatts(1.2),
+            fidelity,
+            ..SccConfig::tiny_test()
+        };
+        SccSystem::build(&config).expect("builds")
+    };
+
+    let sim = Simulator::new();
+    for fidelity in [Fidelity::Tiny, Fidelity::Fast] {
+        let system = build(fidelity);
+        let spec = system.mesh_spec().expect("spec");
+        let mesh = Mesh::build(system.design(), &spec).expect("mesh");
+        let map = sim.solve(system.design(), &spec).expect("solves");
+        let thermals = system.oni_thermals(&map).expect("metrics");
+        println!(
+            "[ablation/mesh] {fidelity:?}: {} cells -> ONI0 avg {:.3} C, gradient {:.3} C",
+            mesh.cell_count(),
+            thermals[0].average.value(),
+            thermals[0].gradient.value()
+        );
+    }
+
+    let mut group = c.benchmark_group("mesh_fidelity");
+    group.sample_size(10);
+    for fidelity in [Fidelity::Tiny, Fidelity::Fast] {
+        let system = build(fidelity);
+        let spec = system.mesh_spec().expect("spec");
+        group.bench_with_input(
+            BenchmarkId::new("mesh_build", format!("{fidelity:?}")),
+            &spec,
+            |b, spec| b.iter(|| Mesh::build(system.design(), std::hint::black_box(spec)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_solve", format!("{fidelity:?}")),
+            &spec,
+            |b, spec| b.iter(|| sim.solve(system.design(), std::hint::black_box(spec)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mesh);
+criterion_main!(benches);

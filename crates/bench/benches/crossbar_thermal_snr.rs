@@ -1,0 +1,57 @@
+//! Extension bench: path-level thermal-SNR comparison of the four
+//! crossbar topologies (extends experiment E9 beyond static loss).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcsel_network::baselines::{CrossbarTopology, LossCoefficients};
+use vcsel_network::{all_pairs, CrossbarInstance, WavelengthGrid};
+use vcsel_units::{Celsius, Watts};
+
+fn bench_crossbar_snr(c: &mut Criterion) {
+    let n = 8;
+    let pairs = all_pairs(n);
+    let powers = vec![Watts::from_milliwatts(0.3); pairs.len()];
+    let aligned = vec![Celsius::new(52.0); n];
+    let skewed: Vec<Celsius> = (0..n).map(|i| Celsius::new(52.0 + 0.9 * i as f64)).collect();
+
+    println!("[crossbar-snr] {n}-node all-to-all, worst-case SNR (dB):");
+    for topo in CrossbarTopology::all() {
+        let xbar = CrossbarInstance::new(
+            topo,
+            n,
+            LossCoefficients::standard(),
+            WavelengthGrid::paper_default(),
+        )
+        .expect("valid instance");
+        let a = xbar.analyze(&pairs, &aligned, &powers).expect("aligned");
+        let s = xbar.analyze(&pairs, &skewed, &powers).expect("skewed");
+        println!(
+            "[crossbar-snr]   {:>14}: aligned {:>6.2}, skewed {:>6.2}, degradation {:>5.2}",
+            topo.name(),
+            a.worst_snr_db(),
+            s.worst_snr_db(),
+            a.worst_snr_db() - s.worst_snr_db()
+        );
+    }
+
+    let matrix = CrossbarInstance::new(
+        CrossbarTopology::Matrix,
+        n,
+        LossCoefficients::standard(),
+        WavelengthGrid::paper_default(),
+    )
+    .expect("valid instance");
+    c.bench_function("crossbar_matrix_analyze_8", |bench| {
+        bench.iter(|| {
+            matrix
+                .analyze(
+                    std::hint::black_box(&pairs),
+                    std::hint::black_box(&skewed),
+                    std::hint::black_box(&powers),
+                )
+                .expect("analyzes")
+        })
+    });
+}
+
+criterion_group!(benches, bench_crossbar_snr);
+criterion_main!(benches);

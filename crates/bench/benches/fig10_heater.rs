@@ -1,0 +1,42 @@
+//! Bench + regeneration of Figure 10 (E5): with/without-heater comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcsel_bench::tiny_study;
+use vcsel_core::experiments::figure10;
+use vcsel_units::Watts;
+
+fn bench_fig10(c: &mut Criterion) {
+    let study = tiny_study();
+
+    let f = figure10(study, &[1.0, 6.0], 0.3, Watts::new(2.0)).expect("fig 10");
+    println!(
+        "[fig10] at 6 mW: gradient {:.2} -> {:.2} C (paper 5.8 -> 1.3), avg +{:.2} C (paper +0.8)",
+        f.gradient_without_c[1],
+        f.gradient_with_c[1],
+        f.average_with_c[1] - f.average_without_c[1]
+    );
+
+    c.bench_function("fig10_regeneration", |bench| {
+        bench.iter(|| {
+            figure10(study, std::hint::black_box(&[1.0, 6.0]), 0.3, Watts::new(2.0))
+                .expect("regenerates")
+        })
+    });
+
+    // The heater optimization itself (golden-section over composes).
+    c.bench_function("heater_exploration", |bench| {
+        bench.iter(|| {
+            study
+                .explore_heater(
+                    Watts::from_milliwatts(std::hint::black_box(4.0)),
+                    Watts::new(2.0),
+                    1.0,
+                    5,
+                )
+                .expect("explores")
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

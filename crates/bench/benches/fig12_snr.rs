@@ -1,0 +1,44 @@
+//! Bench + regeneration of Figure 12 (E6/E7): worst-case SNR under the
+//! thermal field (reduced scale; see the `fig12_snr` binary for the full
+//! 3-activity × 3-placement matrix).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcsel_bench::tiny_study_4oni;
+use vcsel_units::Watts;
+
+fn bench_fig12(c: &mut Criterion) {
+    let (flow, study) = tiny_study_4oni();
+    let p_vcsel = Watts::from_milliwatts(3.6);
+    let outcome = study
+        .evaluate(p_vcsel, Watts::from_milliwatts(1.08), Watts::new(2.0))
+        .expect("thermal point");
+
+    let snr = flow.evaluate_snr(study.system(), &outcome, p_vcsel).expect("snr");
+    println!(
+        "[fig12] reduced system: worst SNR {:.1} dB, signal {:.4} mW, crosstalk {:.6} mW, \
+         all detected: {}",
+        snr.worst_snr_db,
+        snr.worst_signal.as_milliwatts(),
+        snr.worst_crosstalk.as_milliwatts(),
+        snr.all_detected
+    );
+
+    c.bench_function("snr_full_interface", |bench| {
+        bench.iter(|| {
+            flow.evaluate_snr(study.system(), std::hint::black_box(&outcome), p_vcsel)
+                .expect("analyzes")
+        })
+    });
+
+    c.bench_function("thermal_plus_snr_point", |bench| {
+        bench.iter(|| {
+            let outcome = study
+                .evaluate(p_vcsel, Watts::from_milliwatts(1.08), Watts::new(2.0))
+                .expect("thermal");
+            flow.evaluate_snr(study.system(), &outcome, p_vcsel).expect("snr")
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

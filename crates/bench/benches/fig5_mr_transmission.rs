@@ -1,0 +1,36 @@
+//! Regenerates Figure 5-b: microring drop/through transmission vs the
+//! signal-resonance misalignment, with the 50 % crossover at ±0.77 nm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcsel_photonics::MicroringResonator;
+use vcsel_units::Nanometers;
+
+fn bench_mr_transmission(c: &mut Criterion) {
+    let mr = MicroringResonator::paper_default(Nanometers::new(1550.0));
+
+    println!("[fig5b] detuning (nm) -> drop %, through %");
+    for milli_nm in (-2000i32..=2000).step_by(250) {
+        let d = Nanometers::new(f64::from(milli_nm) / 1000.0);
+        println!(
+            "[fig5b] {:>6.3} -> {:>5.1} %, {:>5.1} %",
+            d.value(),
+            100.0 * mr.drop_fraction(d),
+            100.0 * mr.through_fraction(d)
+        );
+    }
+    let half = mr.drop_fraction(Nanometers::new(0.775));
+    println!("[fig5b] drop at +-0.775 nm = {:.1} % (paper: 50 % at 0.77 nm / 7.7 °C)", 100.0 * half);
+
+    c.bench_function("mr_drop_fraction", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..1000 {
+                acc += mr.drop_fraction(std::hint::black_box(Nanometers::new(k as f64 * 0.004)));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_mr_transmission);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench + regeneration of Figure 8 (E1/E2): the VCSEL efficiency and
+//! output-power families.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcsel_core::experiments::figure8;
+use vcsel_photonics::Vcsel;
+
+fn bench_figure8(c: &mut Criterion) {
+    let vcsel = Vcsel::paper_default();
+
+    // Regenerate once and print the paper anchors.
+    let fig = figure8(&vcsel).expect("figure 8 regenerates");
+    let t40 = fig.temperatures_c.iter().position(|&t| t == 40.0).unwrap();
+    let t60 = fig.temperatures_c.iter().position(|&t| t == 60.0).unwrap();
+    let peak = |i: usize| fig.efficiency[i].iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "[fig8] peak eta(40C) = {:.1}% (paper ~15%), peak eta(60C) = {:.1}% (paper ~4%)",
+        peak(t40) * 100.0,
+        peak(t60) * 100.0
+    );
+
+    c.bench_function("figure8_regeneration", |b| {
+        b.iter(|| figure8(std::hint::black_box(&vcsel)).expect("regenerates"))
+    });
+}
+
+criterion_group!(benches, bench_figure8);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench + regeneration of Figure 9 (E3/E4): the P_VCSEL / P_chip /
+//! P_heater design-space sweeps (reduced scale; see `fig9_temperature` for
+//! the full-die numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcsel_bench::tiny_study;
+use vcsel_core::experiments::{figure9a, figure9b};
+use vcsel_units::Watts;
+
+fn bench_fig9(c: &mut Criterion) {
+    let study = tiny_study();
+
+    let a = figure9a(study, &[0.0, 2.0, 4.0, 6.0], &[1.0, 2.0, 3.0]).expect("fig 9-a");
+    println!(
+        "[fig9a] slopes: {:.2} C/W chip (paper ~0.53), {:.2} C/mW P_VCSEL (paper ~1.8)",
+        a.chip_power_slope(),
+        a.vcsel_power_slope()
+    );
+    let b = figure9b(study, &[2.0, 6.0], &[0.0, 0.6, 1.2, 1.8, 2.4], Watts::new(2.0))
+        .expect("fig 9-b");
+    println!(
+        "[fig9b] optimal heater ratios: {:?} (paper ~0.3)",
+        b.optimal_ratio.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+
+    // The kernel behind every sweep point: a superposition compose +
+    // metric extraction.
+    c.bench_function("thermal_sweep_point", |bench| {
+        bench.iter(|| {
+            study
+                .evaluate(
+                    Watts::from_milliwatts(std::hint::black_box(3.6)),
+                    Watts::from_milliwatts(1.08),
+                    Watts::new(2.0),
+                )
+                .expect("composes")
+        })
+    });
+
+    // One full figure-9-b row.
+    c.bench_function("fig9b_row", |bench| {
+        bench.iter(|| {
+            figure9b(
+                study,
+                std::hint::black_box(&[4.0]),
+                &[0.0, 0.6, 1.2, 1.8, 2.4],
+                Watts::new(2.0),
+            )
+            .expect("regenerates")
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

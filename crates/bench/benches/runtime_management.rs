@@ -1,0 +1,137 @@
+//! Extension bench: the run-time thermal-management techniques of the
+//! paper's Section II (feedback calibration [12], channel remapping [15],
+//! migration [16], job allocation [14]) — throughput of each inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcsel_control::{
+    allocate_jobs, migrate_workload, remap_channels, AllocationPolicy, CalibrationConfig,
+    CalibrationLoop, InfluenceModel, Job, LumpedPlant, MigrationConfig, RemapConfig,
+};
+use vcsel_network::{assign_channels, traffic, RingTopology, SnrAnalyzer, WavelengthGrid};
+use vcsel_units::{Celsius, Meters, Watts};
+
+fn island() -> LumpedPlant {
+    let mut plant = LumpedPlant::oni_island(4, 4, Celsius::new(50.0)).expect("island");
+    let mut d = vec![Watts::ZERO; 8];
+    for laser in d.iter_mut().skip(4) {
+        *laser = Watts::from_milliwatts(3.6);
+    }
+    plant.set_disturbance(&d).expect("8 nodes");
+    plant
+}
+
+fn strip_model() -> InfluenceModel {
+    let onis = vec![
+        [Meters::ZERO, Meters::ZERO],
+        [Meters::from_millimeters(20.0), Meters::ZERO],
+    ];
+    let tiles: Vec<[Meters; 2]> =
+        (0..6).map(|k| [Meters::from_millimeters(4.0 * k as f64), Meters::ZERO]).collect();
+    InfluenceModel::from_geometry(
+        &onis,
+        &tiles,
+        Celsius::new(45.0),
+        0.4,
+        Meters::from_millimeters(3.0),
+    )
+    .expect("geometry")
+}
+
+fn bench_runtime_management(c: &mut Criterion) {
+    // Headline numbers, printed once.
+    let mut plant = island();
+    let mut cal = CalibrationLoop::new(
+        Celsius::new(53.0),
+        &[0, 1, 2, 3],
+        CalibrationConfig::oni_island_default(),
+    )
+    .expect("config");
+    let outcome = cal.run(&mut plant).expect("runs");
+    println!(
+        "[runtime] feedback calibration: locked={} in {:.2} ms, {:.2} mW total heater",
+        outcome.locked,
+        outcome.settle_time_s.unwrap_or(f64::NAN) * 1e3,
+        outcome.total_heater_power.as_milliwatts()
+    );
+
+    let topo = RingTopology::evenly_spaced(5, Meters::from_millimeters(18.0)).expect("ring");
+    let comms = assign_channels(&topo, &traffic::all_to_all(5)).expect("assigns");
+    let analyzer = SnrAnalyzer::paper_default(WavelengthGrid::paper_default());
+    let temps: Vec<Celsius> = (0..5).map(|i| Celsius::new(50.0 + 1.5 * i as f64)).collect();
+    let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+    let remap = remap_channels(
+        &topo,
+        &comms,
+        &temps,
+        &powers,
+        &analyzer,
+        &RemapConfig { channel_budget: 12, max_moves: 20 },
+    )
+    .expect("remaps");
+    println!(
+        "[runtime] remapping: {:.2} -> {:.2} dB worst-case (+{:.2} dB, {} moves)",
+        remap.initial_worst_db,
+        remap.final_worst_db,
+        remap.gain_db(),
+        remap.moves
+    );
+
+    let model = strip_model();
+    let skew = vec![
+        Watts::new(8.0),
+        Watts::new(8.0),
+        Watts::ZERO,
+        Watts::ZERO,
+        Watts::ZERO,
+        Watts::ZERO,
+    ];
+    let migrated =
+        migrate_workload(&model, &skew, &MigrationConfig::default()).expect("migrates");
+    println!(
+        "[runtime] migration: spread {:.2} -> {:.3} °C in {} moves",
+        migrated.initial_spread.value(),
+        migrated.final_spread.value(),
+        migrated.moves
+    );
+
+    // Criterion timings of the inner loops.
+    c.bench_function("calibration_lock_4rings", |bench| {
+        bench.iter(|| {
+            let mut plant = island();
+            let mut cal = CalibrationLoop::new(
+                Celsius::new(53.0),
+                &[0, 1, 2, 3],
+                CalibrationConfig::oni_island_default(),
+            )
+            .expect("config");
+            cal.run(std::hint::black_box(&mut plant)).expect("locks")
+        })
+    });
+
+    c.bench_function("migration_6tiles", |bench| {
+        bench.iter(|| {
+            migrate_workload(
+                std::hint::black_box(&model),
+                std::hint::black_box(&skew),
+                &MigrationConfig::default(),
+            )
+            .expect("migrates")
+        })
+    });
+
+    let jobs: Vec<Job> = (0..5).map(|id| Job { id, power: Watts::new(3.0) }).collect();
+    c.bench_function("allocation_thermal_aware", |bench| {
+        bench.iter(|| {
+            allocate_jobs(
+                std::hint::black_box(&model),
+                std::hint::black_box(&jobs),
+                Watts::new(10.0),
+                AllocationPolicy::ThermalAware,
+            )
+            .expect("allocates")
+        })
+    });
+}
+
+criterion_group!(benches, bench_runtime_management);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench + regeneration of Table 1 (E8): the technology-parameter bundle
+//! and the device prototypes derived from it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcsel_photonics::{MicroringResonator, Photodetector, TechnologyParams, Waveguide};
+use vcsel_units::Nanometers;
+
+fn bench_table1(c: &mut Criterion) {
+    let t = TechnologyParams::paper();
+    println!("[table1]\n{t}");
+
+    c.bench_function("table1_device_prototypes", |b| {
+        b.iter(|| {
+            let t = TechnologyParams::paper();
+            let ring = MicroringResonator::paper_default(std::hint::black_box(
+                t.center_wavelength,
+            ));
+            let pd = Photodetector::paper_default();
+            let wg = Waveguide::paper_default();
+            (ring.drop_fraction(Nanometers::new(0.775)), pd.sensitivity(), wg.propagation_loss())
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

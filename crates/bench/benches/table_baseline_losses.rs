@@ -1,0 +1,28 @@
+//! Bench + regeneration of the §III-A crossbar loss comparison (E9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcsel_core::experiments::baseline_comparison;
+
+fn bench_baselines(c: &mut Criterion) {
+    let b = baseline_comparison(16).expect("comparison at 4x4");
+    println!(
+        "[baselines] ORNoC reduction at 16 nodes: worst-case {:.1}% (paper 42.5%), \
+         average {:.1}% (paper 38%)",
+        b.worst_case_reduction * 100.0,
+        b.average_reduction * 100.0
+    );
+    for (name, worst, avg) in &b.losses_db {
+        println!("[baselines]   {name:>14}: worst {worst:.2} dB, avg {avg:.2} dB");
+    }
+
+    c.bench_function("baseline_comparison_sweep", |bench| {
+        bench.iter(|| {
+            for n in [4usize, 8, 16, 32, 64, 128] {
+                baseline_comparison(std::hint::black_box(n)).expect("scales");
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

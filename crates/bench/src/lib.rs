@@ -1,0 +1,35 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one of the paper's tables/figures (at
+//! reduced fidelity where a full FVM study would dominate the run) and then
+//! measures the performance of the underlying kernel. The full-fidelity
+//! reproductions live in the `src/bin` report binaries of the root crate.
+
+use std::sync::OnceLock;
+
+use vcsel_arch::SccConfig;
+use vcsel_core::{DesignFlow, ThermalStudy};
+use vcsel_thermal::Simulator;
+
+/// A shared reduced-scale thermal study (2 ONIs, tiny mesh) so bench
+/// targets don't each pay the multi-solve construction.
+pub fn tiny_study() -> &'static ThermalStudy {
+    static STUDY: OnceLock<ThermalStudy> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        ThermalStudy::new(SccConfig::tiny_test(), &Simulator::new()).expect("study builds")
+    })
+}
+
+/// A shared reduced-scale study with 4 ONIs (enough for real crosstalk).
+pub fn tiny_study_4oni() -> &'static (DesignFlow, ThermalStudy) {
+    static STUDY: OnceLock<(DesignFlow, ThermalStudy)> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let flow = DesignFlow::paper();
+        let study = ThermalStudy::new(
+            SccConfig { oni_count: 4, ..SccConfig::tiny_test() },
+            flow.simulator(),
+        )
+        .expect("study builds");
+        (flow, study)
+    })
+}

@@ -1,0 +1,234 @@
+//! Thermally-aware job allocation (paper reference [14]).
+//!
+//! Zhang et al. (DATE 2014) allocate jobs to cores so that the microrings
+//! see minimal temperature gradients. This module reproduces that policy on
+//! the [`InfluenceModel`]: jobs carry a power demand; each is placed on the
+//! tile that minimizes the predicted inter-ONI spread given everything
+//! placed so far. A naive row-major allocator is provided as the baseline
+//! the thermally-aware policy is compared against.
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::{TemperatureDelta, Watts};
+
+use crate::{ControlError, InfluenceModel};
+
+/// A job to place: an opaque id plus its steady power demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Caller-meaningful identifier (job index, task id, …).
+    pub id: usize,
+    /// Steady-state power the job dissipates on its tile.
+    pub power: Watts,
+}
+
+/// Outcome of an allocation pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationResult {
+    /// `assignment[j]` = tile hosting job `j` (input order).
+    pub assignment: Vec<usize>,
+    /// Resulting per-tile powers.
+    pub tile_powers: Vec<Watts>,
+    /// Inter-ONI temperature spread of the final placement.
+    pub spread: TemperatureDelta,
+}
+
+/// Placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// Fill tiles in index order (the baseline schedulers use).
+    RowMajor,
+    /// Greedy thermally-aware placement minimizing the inter-ONI spread
+    /// after each job (the [14] policy).
+    ThermalAware,
+}
+
+/// Allocates `jobs` onto the model's tiles under the chosen policy.
+///
+/// Jobs are processed in descending power order (the classic greedy
+/// bin-packing order) for [`AllocationPolicy::ThermalAware`], and in input
+/// order for [`AllocationPolicy::RowMajor`]. Each tile may host multiple
+/// jobs as long as its total stays below `tile_cap`.
+///
+/// # Errors
+///
+/// * [`ControlError::BadParameter`] for invalid job powers/caps or when a
+///   job fits on no tile.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_control::{allocate_jobs, AllocationPolicy, InfluenceModel, Job};
+/// use vcsel_units::{Celsius, Meters, Watts};
+///
+/// let onis = vec![[Meters::ZERO, Meters::ZERO], [Meters::from_millimeters(12.0), Meters::ZERO]];
+/// let tiles: Vec<[Meters; 2]> = (0..4)
+///     .map(|k| [Meters::from_millimeters(4.0 * k as f64), Meters::ZERO])
+///     .collect();
+/// let m = InfluenceModel::from_geometry(&onis, &tiles, Celsius::new(45.0), 0.5, Meters::from_millimeters(2.0))?;
+/// let jobs: Vec<Job> = (0..4).map(|id| Job { id, power: Watts::new(3.0) }).collect();
+/// let smart = allocate_jobs(&m, &jobs, Watts::new(10.0), AllocationPolicy::ThermalAware)?;
+/// let naive = allocate_jobs(&m, &jobs, Watts::new(10.0), AllocationPolicy::RowMajor)?;
+/// assert!(smart.spread.value() <= naive.spread.value());
+/// # Ok::<(), vcsel_control::ControlError>(())
+/// ```
+pub fn allocate_jobs(
+    model: &InfluenceModel,
+    jobs: &[Job],
+    tile_cap: Watts,
+    policy: AllocationPolicy,
+) -> Result<AllocationResult, ControlError> {
+    if !(tile_cap.value() > 0.0) {
+        return Err(ControlError::BadParameter {
+            reason: format!("tile cap must be positive, got {tile_cap}"),
+        });
+    }
+    for job in jobs {
+        let p = job.power.value();
+        if !(p >= 0.0) || !p.is_finite() {
+            return Err(ControlError::BadParameter {
+                reason: format!("job {} has invalid power", job.id),
+            });
+        }
+        if p > tile_cap.value() {
+            return Err(ControlError::BadParameter {
+                reason: format!("job {} ({}) exceeds the tile cap {tile_cap}", job.id, job.power),
+            });
+        }
+    }
+
+    let tiles = model.tile_count();
+    let mut powers = vec![0.0f64; tiles];
+    let mut assignment = vec![usize::MAX; jobs.len()];
+
+    // Processing order.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    if policy == AllocationPolicy::ThermalAware {
+        order.sort_by(|&a, &b| {
+            jobs[b].power.value().partial_cmp(&jobs[a].power.value()).expect("finite powers")
+        });
+    }
+
+    for &j in &order {
+        let p = jobs[j].power.value();
+        let tile = match policy {
+            AllocationPolicy::RowMajor => (0..tiles)
+                .find(|&t| powers[t] + p <= tile_cap.value() + 1e-12)
+                .ok_or_else(|| ControlError::BadParameter {
+                    reason: format!("job {} fits on no tile under row-major fill", jobs[j].id),
+                })?,
+            AllocationPolicy::ThermalAware => {
+                let mut best: Option<(usize, f64)> = None;
+                for t in 0..tiles {
+                    if powers[t] + p > tile_cap.value() + 1e-12 {
+                        continue;
+                    }
+                    powers[t] += p;
+                    let w: Vec<Watts> = powers.iter().map(|&v| Watts::new(v)).collect();
+                    let spread = model.spread(&w)?.value();
+                    powers[t] -= p;
+                    if best.map_or(true, |(_, b)| spread < b) {
+                        best = Some((t, spread));
+                    }
+                }
+                best.ok_or_else(|| ControlError::BadParameter {
+                    reason: format!("job {} fits on no tile", jobs[j].id),
+                })?
+                .0
+            }
+        };
+        powers[tile] += p;
+        assignment[j] = tile;
+    }
+
+    let tile_powers: Vec<Watts> = powers.into_iter().map(Watts::new).collect();
+    let spread = model.spread(&tile_powers)?;
+    Ok(AllocationResult { assignment, tile_powers, spread })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsel_units::{Celsius, Meters};
+
+    fn strip() -> InfluenceModel {
+        let onis = vec![
+            [Meters::ZERO, Meters::ZERO],
+            [Meters::from_millimeters(12.0), Meters::ZERO],
+        ];
+        let tiles: Vec<[Meters; 2]> =
+            (0..4).map(|k| [Meters::from_millimeters(4.0 * k as f64), Meters::ZERO]).collect();
+        InfluenceModel::from_geometry(
+            &onis,
+            &tiles,
+            Celsius::new(45.0),
+            0.5,
+            Meters::from_millimeters(2.0),
+        )
+        .unwrap()
+    }
+
+    fn jobs(powers: &[f64]) -> Vec<Job> {
+        powers.iter().enumerate().map(|(id, &p)| Job { id, power: Watts::new(p) }).collect()
+    }
+
+    #[test]
+    fn thermal_aware_beats_row_major_on_partial_load() {
+        // Two jobs on four tiles: row-major stacks them at one end (hot
+        // ONI 0), thermal-aware spreads them.
+        let m = strip();
+        let js = jobs(&[5.0, 5.0]);
+        let naive = allocate_jobs(&m, &js, Watts::new(10.0), AllocationPolicy::RowMajor).unwrap();
+        let smart =
+            allocate_jobs(&m, &js, Watts::new(10.0), AllocationPolicy::ThermalAware).unwrap();
+        assert!(
+            smart.spread.value() < 0.5 * naive.spread.value(),
+            "thermal-aware {} vs row-major {}",
+            smart.spread,
+            naive.spread
+        );
+    }
+
+    #[test]
+    fn all_jobs_are_placed_exactly_once() {
+        let m = strip();
+        let js = jobs(&[2.0, 3.0, 1.0, 4.0, 2.5]);
+        let r = allocate_jobs(&m, &js, Watts::new(10.0), AllocationPolicy::ThermalAware).unwrap();
+        assert_eq!(r.assignment.len(), 5);
+        assert!(r.assignment.iter().all(|&t| t < 4));
+        let total: f64 = r.tile_powers.iter().map(|p| p.value()).sum();
+        assert!((total - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_tile_caps() {
+        let m = strip();
+        let js = jobs(&[6.0, 6.0, 6.0, 6.0]);
+        let r = allocate_jobs(&m, &js, Watts::new(7.0), AllocationPolicy::ThermalAware).unwrap();
+        for p in &r.tile_powers {
+            assert!(p.value() <= 7.0 + 1e-9);
+        }
+        // One 6 W job per tile: all four tiles used.
+        let mut tiles: Vec<usize> = r.assignment.clone();
+        tiles.sort_unstable();
+        assert_eq!(tiles, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn overload_is_rejected() {
+        let m = strip();
+        // 5 jobs x 6 W on 4 tiles with 7 W caps: the fifth cannot fit.
+        let js = jobs(&[6.0, 6.0, 6.0, 6.0, 6.0]);
+        assert!(allocate_jobs(&m, &js, Watts::new(7.0), AllocationPolicy::ThermalAware).is_err());
+        // A single job above the cap is rejected outright.
+        assert!(allocate_jobs(&m, &jobs(&[8.0]), Watts::new(7.0), AllocationPolicy::RowMajor)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let m = strip();
+        let r = allocate_jobs(&m, &[], Watts::new(10.0), AllocationPolicy::ThermalAware).unwrap();
+        assert!(r.assignment.is_empty());
+        assert!(r.spread.value().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,342 @@
+//! DVFS and workload-migration policies (paper reference [16]).
+//!
+//! The paper's Section II cites DVFS and workload migration as run-time
+//! counter-measures against thermal drift. Both are implemented here on the
+//! linear [`InfluenceModel`]:
+//!
+//! * [`dvfs_cap`] — scale every tile's power uniformly until the hottest
+//!   ONI meets a temperature limit; reports the frequency (performance)
+//!   cost under the cubic power-frequency law `P ∝ f³`,
+//! * [`migrate_workload`] — move work between tiles, keeping total power
+//!   constant, to shrink the inter-ONI temperature *spread* (the quantity
+//!   that turns into wavelength misalignment and crosstalk).
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::{Celsius, TemperatureDelta, Watts};
+
+use crate::{ControlError, InfluenceModel};
+
+/// Result of a uniform DVFS capping pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsResult {
+    /// Power scale factor applied to every tile, in `(0, 1]`.
+    pub power_scale: f64,
+    /// Equivalent frequency scale under `P ∝ f³`, in `(0, 1]`.
+    pub frequency_scale: f64,
+    /// The capped tile powers.
+    pub tile_powers: Vec<Watts>,
+    /// Hottest ONI temperature after capping.
+    pub peak: Celsius,
+}
+
+impl DvfsResult {
+    /// Fractional performance loss `1 − frequency_scale`.
+    pub fn performance_loss(&self) -> f64 {
+        1.0 - self.frequency_scale
+    }
+}
+
+/// Uniformly scales tile powers down until the hottest ONI is at or below
+/// `limit`. Returns scale 1.0 when the limit already holds; errors when
+/// even zero dynamic power (base temperatures alone) violates the limit.
+///
+/// # Errors
+///
+/// * [`ControlError::BadParameter`] when the limit is unreachable (base
+///   temperature above the limit) or powers are invalid,
+/// * [`ControlError::DimensionMismatch`] for a wrong-length power vector.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_control::{dvfs_cap, InfluenceModel};
+/// use vcsel_units::{Celsius, Meters, Watts};
+///
+/// let onis = vec![[Meters::ZERO, Meters::ZERO]];
+/// let tiles = vec![[Meters::ZERO, Meters::ZERO]];
+/// let m = InfluenceModel::from_geometry(&onis, &tiles, Celsius::new(45.0), 1.0, Meters::from_millimeters(1.0))?;
+/// // 20 W on the tile -> 65 °C; cap at 55 °C -> scale to 10 W.
+/// let r = dvfs_cap(&m, &[Watts::new(20.0)], Celsius::new(55.0))?;
+/// assert!((r.power_scale - 0.5).abs() < 1e-6);
+/// # Ok::<(), vcsel_control::ControlError>(())
+/// ```
+pub fn dvfs_cap(
+    model: &InfluenceModel,
+    tile_powers: &[Watts],
+    limit: Celsius,
+) -> Result<DvfsResult, ControlError> {
+    let base_peak = model.peak(&vec![Watts::ZERO; model.tile_count()])?;
+    if base_peak.value() > limit.value() {
+        return Err(ControlError::BadParameter {
+            reason: format!(
+                "limit {limit} is below the zero-power peak {base_peak}; DVFS cannot reach it"
+            ),
+        });
+    }
+    let peak = model.peak(tile_powers)?;
+    if peak.value() <= limit.value() {
+        return Ok(DvfsResult {
+            power_scale: 1.0,
+            frequency_scale: 1.0,
+            tile_powers: tile_powers.to_vec(),
+            peak,
+        });
+    }
+    // Temperatures are affine in the uniform scale: solve directly.
+    // peak(s) = base_peak_row + s·rise_row per ONI; take the max over ONIs
+    // via bisection (the max of affine functions is convex, monotone in s).
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        let scaled: Vec<Watts> = tile_powers.iter().map(|&p| p * mid).collect();
+        if model.peak(&scaled)?.value() > limit.value() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let s = lo;
+    let scaled: Vec<Watts> = tile_powers.iter().map(|&p| p * s).collect();
+    let peak = model.peak(&scaled)?;
+    Ok(DvfsResult {
+        power_scale: s,
+        frequency_scale: s.cbrt(),
+        tile_powers: scaled,
+        peak,
+    })
+}
+
+/// Parameters of the greedy migration search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// Power quantum moved per step, W.
+    pub quantum: Watts,
+    /// Maximum number of moves.
+    pub max_moves: usize,
+    /// Per-tile power ceiling (thermal design power), W.
+    pub tile_cap: Watts,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        Self { quantum: Watts::new(0.25), max_moves: 10_000, tile_cap: Watts::new(10.0) }
+    }
+}
+
+/// Result of a workload-migration pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationResult {
+    /// Tile powers after migration (total preserved).
+    pub tile_powers: Vec<Watts>,
+    /// Inter-ONI spread before.
+    pub initial_spread: TemperatureDelta,
+    /// Inter-ONI spread after.
+    pub final_spread: TemperatureDelta,
+    /// Moves actually performed.
+    pub moves: usize,
+}
+
+/// Greedily migrates power quanta between tiles to minimize the inter-ONI
+/// temperature spread, preserving total power and respecting per-tile caps.
+///
+/// Each move takes one `quantum` from some source tile to some destination
+/// tile, choosing the pair that yields the largest spread reduction;
+/// terminates when no move improves the spread or `max_moves` is reached.
+///
+/// # Errors
+///
+/// * [`ControlError::DimensionMismatch`] for a wrong-length power vector,
+/// * [`ControlError::BadParameter`] for invalid powers/config or when a
+///   tile already exceeds the cap.
+pub fn migrate_workload(
+    model: &InfluenceModel,
+    tile_powers: &[Watts],
+    config: &MigrationConfig,
+) -> Result<MigrationResult, ControlError> {
+    if tile_powers.len() != model.tile_count() {
+        return Err(ControlError::DimensionMismatch {
+            what: "tile powers",
+            expected: model.tile_count(),
+            got: tile_powers.len(),
+        });
+    }
+    if !(config.quantum.value() > 0.0) || !(config.tile_cap.value() > 0.0) {
+        return Err(ControlError::BadParameter {
+            reason: "migration quantum and tile cap must be positive".into(),
+        });
+    }
+    if tile_powers.iter().any(|p| p.value() > config.tile_cap.value() + 1e-12) {
+        return Err(ControlError::BadParameter {
+            reason: "a tile already exceeds the cap; migration preserves caps, not fixes them"
+                .into(),
+        });
+    }
+
+    let mut powers: Vec<f64> = tile_powers.iter().map(|p| p.value()).collect();
+    let initial_spread = model.spread(tile_powers)?;
+    let mut current = initial_spread.value();
+    let q = config.quantum.value();
+    let cap = config.tile_cap.value();
+    let mut moves = 0usize;
+
+    while moves < config.max_moves {
+        // Evaluate all (src, dst) single-quantum moves; keep the best.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for src in 0..powers.len() {
+            if powers[src] < q - 1e-15 {
+                continue;
+            }
+            for dst in 0..powers.len() {
+                if dst == src || powers[dst] + q > cap + 1e-15 {
+                    continue;
+                }
+                powers[src] -= q;
+                powers[dst] += q;
+                let sp = model
+                    .spread(&powers.iter().map(|&p| Watts::new(p.max(0.0))).collect::<Vec<_>>())?
+                    .value();
+                powers[src] += q;
+                powers[dst] -= q;
+                if sp < current - 1e-12 && best.map_or(true, |(_, _, b)| sp < b) {
+                    best = Some((src, dst, sp));
+                }
+            }
+        }
+        match best {
+            Some((src, dst, sp)) => {
+                powers[src] -= q;
+                powers[dst] += q;
+                current = sp;
+                moves += 1;
+            }
+            None => break,
+        }
+    }
+
+    Ok(MigrationResult {
+        tile_powers: powers.into_iter().map(|p| Watts::new(p.max(0.0))).collect(),
+        initial_spread,
+        final_spread: TemperatureDelta::new(current),
+        moves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsel_units::Meters;
+
+    /// 2 ONIs at the ends of a 4-tile strip — the canonical asymmetric case.
+    fn strip() -> InfluenceModel {
+        let onis = vec![
+            [Meters::ZERO, Meters::ZERO],
+            [Meters::from_millimeters(12.0), Meters::ZERO],
+        ];
+        let tiles: Vec<[Meters; 2]> =
+            (0..4).map(|k| [Meters::from_millimeters(4.0 * k as f64), Meters::ZERO]).collect();
+        InfluenceModel::from_geometry(
+            &onis,
+            &tiles,
+            Celsius::new(45.0),
+            0.5,
+            Meters::from_millimeters(2.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dvfs_cap_hits_the_limit_exactly() {
+        let m = strip();
+        let powers = vec![Watts::new(8.0); 4];
+        let uncapped = m.peak(&powers).unwrap();
+        let limit = Celsius::new(uncapped.value() - 2.0);
+        let r = dvfs_cap(&m, &powers, limit).unwrap();
+        assert!(r.power_scale < 1.0);
+        assert!((r.peak.value() - limit.value()).abs() < 1e-3, "peak {} limit {limit}", r.peak);
+        // Cubic law: frequency loss is milder than power loss.
+        assert!(r.frequency_scale > r.power_scale);
+        assert!(r.performance_loss() > 0.0);
+    }
+
+    #[test]
+    fn dvfs_noop_when_already_cool() {
+        let m = strip();
+        let powers = vec![Watts::new(0.1); 4];
+        let r = dvfs_cap(&m, &powers, Celsius::new(200.0)).unwrap();
+        assert_eq!(r.power_scale, 1.0);
+        assert_eq!(r.frequency_scale, 1.0);
+        assert_eq!(r.performance_loss(), 0.0);
+    }
+
+    #[test]
+    fn dvfs_rejects_unreachable_limit() {
+        let m = strip();
+        assert!(dvfs_cap(&m, &vec![Watts::new(1.0); 4], Celsius::new(10.0)).is_err());
+    }
+
+    #[test]
+    fn migration_balances_a_skewed_load() {
+        let m = strip();
+        // All power near ONI 0: large spread.
+        let powers =
+            vec![Watts::new(8.0), Watts::new(8.0), Watts::ZERO, Watts::ZERO];
+        let r = migrate_workload(&m, &powers, &MigrationConfig::default()).unwrap();
+        assert!(
+            r.final_spread.value() < 0.2 * r.initial_spread.value(),
+            "spread {} -> {} insufficient",
+            r.initial_spread,
+            r.final_spread
+        );
+        // Total power preserved.
+        let total: f64 = r.tile_powers.iter().map(|p| p.value()).sum();
+        assert!((total - 16.0).abs() < 1e-9);
+        assert!(r.moves > 0);
+    }
+
+    #[test]
+    fn migration_respects_tile_caps() {
+        let m = strip();
+        let powers = vec![Watts::new(9.0), Watts::new(9.0), Watts::ZERO, Watts::ZERO];
+        let cfg = MigrationConfig { tile_cap: Watts::new(9.5), ..MigrationConfig::default() };
+        let r = migrate_workload(&m, &powers, &cfg).unwrap();
+        for p in &r.tile_powers {
+            assert!(p.value() <= 9.5 + 1e-9, "tile exceeds cap: {p}");
+        }
+    }
+
+    #[test]
+    fn migration_is_a_noop_on_balanced_load() {
+        let m = strip();
+        let powers = vec![Watts::new(4.0); 4];
+        let r = migrate_workload(&m, &powers, &MigrationConfig::default()).unwrap();
+        // Symmetric load on symmetric geometry: nothing to improve.
+        assert_eq!(r.moves, 0);
+        assert!((r.final_spread.value() - r.initial_spread.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_never_worsens_spread() {
+        let m = strip();
+        for seed in 0..5u64 {
+            // Deterministic pseudo-random loads without rand: hash the seed.
+            let powers: Vec<Watts> = (0..4u64)
+                .map(|k| Watts::new(((seed * 2_654_435_761 + k * 40_503) % 700) as f64 / 100.0))
+                .collect();
+            let r = migrate_workload(&m, &powers, &MigrationConfig::default()).unwrap();
+            assert!(
+                r.final_spread.value() <= r.initial_spread.value() + 1e-12,
+                "seed {seed}: worsened"
+            );
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let m = strip();
+        assert!(migrate_workload(&m, &[Watts::new(1.0)], &MigrationConfig::default()).is_err());
+        let bad = MigrationConfig { quantum: Watts::ZERO, ..MigrationConfig::default() };
+        assert!(migrate_workload(&m, &vec![Watts::new(1.0); 4], &bad).is_err());
+        let over = vec![Watts::new(99.0); 4];
+        assert!(migrate_workload(&m, &over, &MigrationConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Proportional-integral controller with actuator saturation.
+//!
+//! The thermal stabilization loop of Padmaraju et al. [12] locks a
+//! microring to its channel by heating it under feedback. The controller
+//! of record in that work (and in practically every thermal trimmer) is a
+//! PI loop: proportional action for speed, integral action to null the
+//! steady-state misalignment, output clamping because a resistive heater
+//! can only *add* heat, and anti-windup so the integrator does not charge
+//! while the actuator is pinned.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ControlError;
+
+/// A scalar PI controller with output clamping and conditional anti-windup.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_control::PiController;
+///
+/// // Drive a trivial first-order plant to a setpoint of 1.0.
+/// let mut pi = PiController::new(2.0, 8.0, 0.0, 10.0)?;
+/// let mut y = 0.0;
+/// for _ in 0..200 {
+///     let u = pi.update(1.0 - y, 0.01);
+///     y += 0.01 * (u - y); // plant: dy/dt = u − y
+/// }
+/// assert!((y - 1.0).abs() < 0.02);
+/// # Ok::<(), vcsel_control::ControlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiController {
+    /// Proportional gain (output units per error unit).
+    kp: f64,
+    /// Integral gain (output units per error·second).
+    ki: f64,
+    /// Lower output clamp.
+    u_min: f64,
+    /// Upper output clamp.
+    u_max: f64,
+    /// Integrator state.
+    integral: f64,
+}
+
+impl PiController {
+    /// Creates a PI controller with gains `kp`, `ki` and output range
+    /// `[u_min, u_max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::BadParameter`] for non-finite or negative
+    /// gains, or an empty output range.
+    pub fn new(kp: f64, ki: f64, u_min: f64, u_max: f64) -> Result<Self, ControlError> {
+        if !kp.is_finite() || kp < 0.0 || !ki.is_finite() || ki < 0.0 {
+            return Err(ControlError::BadParameter {
+                reason: format!("gains must be finite and non-negative, got kp={kp}, ki={ki}"),
+            });
+        }
+        if kp == 0.0 && ki == 0.0 {
+            return Err(ControlError::BadParameter {
+                reason: "at least one of kp, ki must be positive".into(),
+            });
+        }
+        if !(u_min < u_max) || !u_min.is_finite() || !u_max.is_finite() {
+            return Err(ControlError::BadParameter {
+                reason: format!("need a finite output range, got [{u_min}, {u_max}]"),
+            });
+        }
+        Ok(Self { kp, ki, u_min, u_max, integral: 0.0 })
+    }
+
+    /// Advances the controller by `dt_s` seconds with the given error
+    /// (setpoint − measurement) and returns the clamped actuation.
+    ///
+    /// Anti-windup is conditional integration: the integrator freezes when
+    /// the output is saturated *and* the error pushes further into
+    /// saturation.
+    pub fn update(&mut self, error: f64, dt_s: f64) -> f64 {
+        let dt = dt_s.max(0.0);
+        let unclamped = self.kp * error + self.ki * (self.integral + error * dt);
+        let saturated_high = unclamped > self.u_max && error > 0.0;
+        let saturated_low = unclamped < self.u_min && error < 0.0;
+        if !saturated_high && !saturated_low {
+            self.integral += error * dt;
+        }
+        (self.kp * error + self.ki * self.integral).clamp(self.u_min, self.u_max)
+    }
+
+    /// Resets the integrator.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+    }
+
+    /// Current integrator state (for diagnostics).
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// The output clamp range.
+    pub fn output_range(&self) -> (f64, f64) {
+        (self.u_min, self.u_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates `dy/dt = (u − y)/τ` under the controller for `t_end`
+    /// seconds and returns the final plant output.
+    fn closed_loop(pi: &mut PiController, setpoint: f64, tau: f64, t_end: f64) -> f64 {
+        let dt = tau / 100.0;
+        let mut y = 0.0;
+        let mut t = 0.0;
+        while t < t_end {
+            let u = pi.update(setpoint - y, dt);
+            y += dt / tau * (u - y);
+            t += dt;
+        }
+        y
+    }
+
+    #[test]
+    fn integral_action_nulls_steady_state_error() {
+        let mut pi = PiController::new(1.0, 5.0, 0.0, 100.0).unwrap();
+        let y = closed_loop(&mut pi, 3.0, 0.5, 20.0);
+        assert!((y - 3.0).abs() < 1e-3, "residual error: {}", (y - 3.0).abs());
+    }
+
+    #[test]
+    fn pure_proportional_leaves_offset() {
+        let mut pi = PiController::new(2.0, 0.0, 0.0, 100.0).unwrap();
+        let y = closed_loop(&mut pi, 3.0, 0.5, 20.0);
+        // P-only on a unity plant: y = kp(sp − y) ⇒ y = sp·kp/(1+kp) = 2.
+        assert!((y - 2.0).abs() < 1e-2, "got {y}");
+    }
+
+    #[test]
+    fn output_respects_clamps() {
+        let mut pi = PiController::new(10.0, 50.0, 0.0, 1.0).unwrap();
+        for _ in 0..100 {
+            let u = pi.update(10.0, 0.01);
+            assert!((0.0..=1.0).contains(&u));
+        }
+        // Heater cannot cool: large negative error still gives u >= 0.
+        let u = pi.update(-100.0, 0.01);
+        assert!(u >= 0.0);
+    }
+
+    #[test]
+    fn anti_windup_recovers_quickly() {
+        // Saturate hard, then reverse: with anti-windup the integrator does
+        // not need to "discharge" a huge accumulated value.
+        let mut with_aw = PiController::new(1.0, 10.0, 0.0, 1.0).unwrap();
+        for _ in 0..1_000 {
+            with_aw.update(5.0, 0.01); // pinned at u_max
+        }
+        let integral_at_release = with_aw.integral();
+        // Integrator must not have grown far past what u_max supports.
+        assert!(
+            integral_at_release * 10.0 <= 1.0 + 5.0 + 1e-9,
+            "integrator wound up to {integral_at_release}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pi = PiController::new(1.0, 1.0, -1.0, 1.0).unwrap();
+        pi.update(0.5, 1.0);
+        assert!(pi.integral() != 0.0);
+        pi.reset();
+        assert_eq!(pi.integral(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PiController::new(-1.0, 1.0, 0.0, 1.0).is_err());
+        assert!(PiController::new(1.0, f64::NAN, 0.0, 1.0).is_err());
+        assert!(PiController::new(0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(PiController::new(1.0, 1.0, 1.0, 1.0).is_err());
+        assert!(PiController::new(1.0, 1.0, 0.0, f64::INFINITY).is_err());
+    }
+}

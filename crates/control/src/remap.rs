@@ -1,0 +1,346 @@
+//! ONoC reconfiguration by channel remapping (paper reference [15]).
+//!
+//! Zhang et al. (JOCN 2012) recover SNR lost to thermal drift by remapping
+//! communications onto different wavelength channels at run time. This
+//! module implements that search on top of the ORNoC SNR analyzer: starting
+//! from a feasible channel assignment, a local search swaps/moves channels
+//! between communications — preserving ORNoC's segment-disjointness rule —
+//! and keeps any move that raises the *worst-case* SNR under the current
+//! temperature field.
+//!
+//! The search is deterministic (steepest-ascent over the full swap/move
+//! neighborhood), so results are reproducible.
+
+use serde::{Deserialize, Serialize};
+use vcsel_network::{Communication, RingTopology, SnrAnalyzer};
+use vcsel_units::{Celsius, Watts};
+
+use crate::ControlError;
+
+/// Result of a remapping search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RemapResult {
+    /// The remapped communication set (same order as the input).
+    pub comms: Vec<Communication>,
+    /// Worst-case SNR of the input assignment, dB.
+    pub initial_worst_db: f64,
+    /// Worst-case SNR after remapping, dB.
+    pub final_worst_db: f64,
+    /// Accepted moves.
+    pub moves: usize,
+}
+
+impl RemapResult {
+    /// SNR gained by the remap, dB.
+    pub fn gain_db(&self) -> f64 {
+        self.final_worst_db - self.initial_worst_db
+    }
+}
+
+/// Search limits for [`remap_channels`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemapConfig {
+    /// Channels the search may use, `0..channel_budget` (ORNoC hardware
+    /// provisions a fixed ring bank per ONI; [15] relies on such redundant
+    /// resources).
+    pub channel_budget: usize,
+    /// Maximum accepted moves before the search stops.
+    pub max_moves: usize,
+}
+
+impl Default for RemapConfig {
+    fn default() -> Self {
+        Self { channel_budget: 8, max_moves: 200 }
+    }
+}
+
+/// Hop segments occupied by a communication on the ring.
+fn segments(topology: &RingTopology, c: &Communication) -> Vec<usize> {
+    let n = topology.oni_count();
+    let hops = topology.hops(c.source(), c.destination());
+    (0..hops).map(|k| (c.source().index() + k) % n).collect()
+}
+
+/// Whether assigning `channel` to communication `idx` keeps the set
+/// feasible (no two same-channel communications share a hop segment).
+fn feasible(
+    topology: &RingTopology,
+    comms: &[Communication],
+    idx: usize,
+    channel: usize,
+) -> bool {
+    let mine = segments(topology, &comms[idx]);
+    for (j, other) in comms.iter().enumerate() {
+        if j == idx || other.channel() != channel {
+            continue;
+        }
+        let theirs = segments(topology, other);
+        if mine.iter().any(|s| theirs.contains(s)) {
+            return false;
+        }
+    }
+    true
+}
+
+fn with_channel(
+    topology: &RingTopology,
+    c: &Communication,
+    channel: usize,
+) -> Result<Communication, ControlError> {
+    Ok(Communication::new(topology, c.source(), c.destination(), channel)?)
+}
+
+/// Remaps channels to maximize the worst-case SNR under the given
+/// temperature field.
+///
+/// Steepest-ascent local search over two neighborhoods:
+///
+/// 1. **move** — re-assign one communication to any feasible channel within
+///    the budget,
+/// 2. **swap** — exchange the channels of two communications (when both
+///    stay feasible).
+///
+/// # Errors
+///
+/// * [`ControlError::BadParameter`] when an input communication uses a
+///   channel at or above the budget, or the input set itself is infeasible,
+/// * [`ControlError::DimensionMismatch`] via the analyzer for wrong-length
+///   temperature/power arrays.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_control::{remap_channels, RemapConfig};
+/// use vcsel_network::{assign_channels, traffic, RingTopology, SnrAnalyzer, WavelengthGrid};
+/// use vcsel_units::{Celsius, Meters, Watts};
+///
+/// let topo = RingTopology::evenly_spaced(4, Meters::from_millimeters(18.0))?;
+/// let comms = assign_channels(&topo, &traffic::all_to_all(4))?;
+/// let analyzer = SnrAnalyzer::paper_default(WavelengthGrid::paper_default());
+/// // A skewed thermal field (one hot corner).
+/// let temps: Vec<Celsius> = (0..4).map(|i| Celsius::new(50.0 + 3.0 * i as f64)).collect();
+/// let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+/// let r = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &RemapConfig::default())?;
+/// assert!(r.final_worst_db >= r.initial_worst_db);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn remap_channels(
+    topology: &RingTopology,
+    comms: &[Communication],
+    oni_temperatures: &[Celsius],
+    injected_power: &[Watts],
+    analyzer: &SnrAnalyzer,
+    config: &RemapConfig,
+) -> Result<RemapResult, ControlError> {
+    if comms.is_empty() {
+        return Ok(RemapResult {
+            comms: Vec::new(),
+            initial_worst_db: f64::INFINITY,
+            final_worst_db: f64::INFINITY,
+            moves: 0,
+        });
+    }
+    for c in comms {
+        if c.channel() >= config.channel_budget {
+            return Err(ControlError::BadParameter {
+                reason: format!(
+                    "communication {c} uses channel {} outside the budget {}",
+                    c.channel(),
+                    config.channel_budget
+                ),
+            });
+        }
+    }
+    // Input must itself be feasible (each comm compatible with the others).
+    for idx in 0..comms.len() {
+        if !feasible(topology, comms, idx, comms[idx].channel()) {
+            return Err(ControlError::BadParameter {
+                reason: "input channel assignment violates segment-disjointness".into(),
+            });
+        }
+    }
+
+    let score = |set: &[Communication]| -> Result<f64, ControlError> {
+        Ok(analyzer.analyze(topology, set, oni_temperatures, injected_power)?.worst_snr_db())
+    };
+
+    let mut current: Vec<Communication> = comms.to_vec();
+    let initial_worst_db = score(&current)?;
+    let mut best_score = initial_worst_db;
+    let mut moves = 0usize;
+
+    while moves < config.max_moves {
+        let mut best_candidate: Option<(Vec<Communication>, f64)> = None;
+
+        // Neighborhood 1: single-communication channel moves.
+        for idx in 0..current.len() {
+            for ch in 0..config.channel_budget {
+                if ch == current[idx].channel() || !feasible(topology, &current, idx, ch) {
+                    continue;
+                }
+                let mut cand = current.clone();
+                cand[idx] = with_channel(topology, &current[idx], ch)?;
+                let s = score(&cand)?;
+                if s > best_score + 1e-9
+                    && best_candidate.as_ref().map_or(true, |(_, b)| s > *b)
+                {
+                    best_candidate = Some((cand, s));
+                }
+            }
+        }
+
+        // Neighborhood 2: pairwise channel swaps.
+        for a in 0..current.len() {
+            for b in (a + 1)..current.len() {
+                let (ca, cb) = (current[a].channel(), current[b].channel());
+                if ca == cb {
+                    continue;
+                }
+                let mut cand = current.clone();
+                cand[a] = with_channel(topology, &current[a], cb)?;
+                cand[b] = with_channel(topology, &current[b], ca)?;
+                if !feasible(topology, &cand, a, cb) || !feasible(topology, &cand, b, ca) {
+                    continue;
+                }
+                let s = score(&cand)?;
+                if s > best_score + 1e-9
+                    && best_candidate.as_ref().map_or(true, |(_, b2)| s > *b2)
+                {
+                    best_candidate = Some((cand, s));
+                }
+            }
+        }
+
+        match best_candidate {
+            Some((cand, s)) => {
+                current = cand;
+                best_score = s;
+                moves += 1;
+            }
+            None => break,
+        }
+    }
+
+    Ok(RemapResult { comms: current, initial_worst_db, final_worst_db: best_score, moves })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsel_network::{assign_channels, traffic, WavelengthGrid};
+    use vcsel_units::Meters;
+
+    fn setup(n: usize) -> (RingTopology, Vec<Communication>, SnrAnalyzer) {
+        let topo = RingTopology::evenly_spaced(n, Meters::from_millimeters(18.0)).unwrap();
+        let comms = assign_channels(&topo, &traffic::all_to_all(n)).unwrap();
+        let analyzer = SnrAnalyzer::paper_default(WavelengthGrid::paper_default());
+        (topo, comms, analyzer)
+    }
+
+    fn skewed_temps(n: usize) -> Vec<Celsius> {
+        (0..n).map(|i| Celsius::new(50.0 + 4.0 * (i % 2) as f64 + 1.5 * i as f64)).collect()
+    }
+
+    #[test]
+    fn remap_never_hurts() {
+        let (topo, comms, analyzer) = setup(4);
+        let temps = skewed_temps(4);
+        let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+        let r = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &RemapConfig::default())
+            .unwrap();
+        assert!(r.final_worst_db >= r.initial_worst_db - 1e-12);
+        assert!(r.gain_db() >= -1e-12);
+    }
+
+    #[test]
+    fn remapped_set_stays_feasible_and_complete() {
+        let (topo, comms, analyzer) = setup(5);
+        let temps = skewed_temps(5);
+        let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+        // 5-ONI all-to-all needs 9 channels under first-fit; leave headroom.
+        let config = RemapConfig { channel_budget: 12, max_moves: 50 };
+        let r = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &config).unwrap();
+        assert_eq!(r.comms.len(), comms.len());
+        // Same (source, destination) pairs, order preserved.
+        for (orig, new) in comms.iter().zip(&r.comms) {
+            assert_eq!(orig.source(), new.source());
+            assert_eq!(orig.destination(), new.destination());
+        }
+        // Feasibility of the output.
+        for idx in 0..r.comms.len() {
+            assert!(feasible(&topo, &r.comms, idx, r.comms[idx].channel()));
+        }
+    }
+
+    #[test]
+    fn spectral_headroom_is_exploited() {
+        // Even with zero gradient, the greedy first-fit input packs
+        // channels densely; extra channel budget lets the remap spread them
+        // apart spectrally and reduce adjacent-channel crosstalk.
+        let (topo, comms, analyzer) = setup(4);
+        let temps = vec![Celsius::new(50.0); 4];
+        let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+        let roomy = RemapConfig { channel_budget: 10, max_moves: 100 };
+        let r =
+            remap_channels(&topo, &comms, &temps, &powers, &analyzer, &roomy).unwrap();
+        assert!(r.gain_db() >= 0.0);
+        assert!(r.final_worst_db.is_finite());
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let (topo, comms, analyzer) = setup(4);
+        let temps = skewed_temps(4);
+        let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+        let cfg = RemapConfig::default();
+        let a = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &cfg).unwrap();
+        let b = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &cfg).unwrap();
+        assert_eq!(a.final_worst_db, b.final_worst_db);
+        assert_eq!(a.moves, b.moves);
+        for (x, y) in a.comms.iter().zip(&b.comms) {
+            assert_eq!(x.channel(), y.channel());
+        }
+    }
+
+    #[test]
+    fn budget_violations_are_rejected() {
+        let (topo, comms, analyzer) = setup(4);
+        let temps = vec![Celsius::new(50.0); 4];
+        let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+        let tight = RemapConfig { channel_budget: 1, max_moves: 10 };
+        // all_to_all on 4 ONIs needs ≥ 2 channels: input violates budget.
+        assert!(remap_channels(&topo, &comms, &temps, &powers, &analyzer, &tight).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (topo, _, analyzer) = setup(4);
+        let r = remap_channels(
+            &topo,
+            &[],
+            &vec![Celsius::new(50.0); 4],
+            &[],
+            &analyzer,
+            &RemapConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.moves, 0);
+        assert!(r.comms.is_empty());
+    }
+
+    #[test]
+    fn infeasible_input_is_rejected() {
+        let (topo, _, analyzer) = setup(4);
+        // Two overlapping arcs forced onto the same channel.
+        let bad = vec![
+            Communication::new(&topo, 0.into(), 2.into(), 0).unwrap(),
+            Communication::new(&topo, 1.into(), 3.into(), 0).unwrap(),
+        ];
+        let temps = vec![Celsius::new(50.0); 4];
+        let powers = vec![Watts::from_milliwatts(0.3); 2];
+        assert!(
+            remap_channels(&topo, &bad, &temps, &powers, &analyzer, &RemapConfig::default())
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Run-time calibration cost model (paper Section III-B).
+//!
+//! The alternative to this paper's design-time approach is run-time
+//! calibration: actively re-tuning every microring to track temperature.
+//! The paper quotes the costs from [17]: voltage (blue-shift) tuning at
+//! 130 µW/nm and heat (red-shift) tuning at 190 µW/nm, and notes that for
+//! Corona-scale networks (~1.1 × 10⁶ MRs) calibration exceeds 50 % of the
+//! total network power.
+//!
+//! This module prices the calibration a given thermal field would require,
+//! so the design-time heater solution can be compared against the run-time
+//! alternative it displaces.
+
+use serde::Serialize;
+use vcsel_units::{Celsius, Watts};
+
+use crate::FlowError;
+
+/// Tuning-cost constants from [17] (quoted in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TuningCosts {
+    /// Blue-shift (voltage) tuning cost, W per nm.
+    pub voltage_w_per_nm: f64,
+    /// Red-shift (heat) tuning cost, W per nm.
+    pub heat_w_per_nm: f64,
+    /// Thermo-optic drift, nm/°C.
+    pub drift_nm_per_c: f64,
+}
+
+impl TuningCosts {
+    /// The paper's numbers: 130 µW/nm voltage, 190 µW/nm heat, 0.1 nm/°C.
+    pub fn paper() -> Self {
+        Self { voltage_w_per_nm: 130e-6, heat_w_per_nm: 190e-6, drift_nm_per_c: 0.1 }
+    }
+}
+
+impl Default for TuningCosts {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Price of re-aligning a set of rings to a common reference temperature.
+#[derive(Debug, Clone, Serialize)]
+pub struct CalibrationBudget {
+    /// Number of rings calibrated.
+    pub ring_count: usize,
+    /// Total calibration power, W.
+    pub total_power_w: f64,
+    /// Mean per-ring power, W.
+    pub mean_per_ring_w: f64,
+    /// The worst single-ring power, W.
+    pub worst_per_ring_w: f64,
+}
+
+/// Computes the run-time calibration power needed to align every ring
+/// (at the given temperatures) onto the *hottest* ring's resonance: cooler
+/// rings are red-shifted with heat tuning; the hottest ring needs nothing.
+///
+/// Aligning "up" to the hottest ring uses only heaters (the paper's
+/// hardware); a voltage-tuning variant would align "down" to the coldest.
+///
+/// # Errors
+///
+/// Returns [`FlowError::BadConfig`] for an empty temperature set.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_core::calibration::{heat_calibration_power, TuningCosts};
+/// use vcsel_units::Celsius;
+///
+/// // Two rings 7.7 °C apart: the cold one needs 0.77 nm of red shift at
+/// // 190 µW/nm ≈ 146 µW.
+/// let budget = heat_calibration_power(
+///     &[Celsius::new(50.0), Celsius::new(57.7)],
+///     &TuningCosts::paper(),
+/// )?;
+/// assert!((budget.total_power_w * 1e6 - 146.3).abs() < 1.0);
+/// # Ok::<(), vcsel_core::FlowError>(())
+/// ```
+pub fn heat_calibration_power(
+    ring_temperatures: &[Celsius],
+    costs: &TuningCosts,
+) -> Result<CalibrationBudget, FlowError> {
+    if ring_temperatures.is_empty() {
+        return Err(FlowError::BadConfig { reason: "no rings to calibrate".into() });
+    }
+    let hottest = ring_temperatures
+        .iter()
+        .map(|t| t.value())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut total = 0.0;
+    let mut worst = 0.0f64;
+    for t in ring_temperatures {
+        let shift_nm = costs.drift_nm_per_c * (hottest - t.value());
+        let p = costs.heat_w_per_nm * shift_nm;
+        total += p;
+        worst = worst.max(p);
+    }
+    Ok(CalibrationBudget {
+        ring_count: ring_temperatures.len(),
+        total_power_w: total,
+        mean_per_ring_w: total / ring_temperatures.len() as f64,
+        worst_per_ring_w: worst,
+    })
+}
+
+/// The paper's Corona headline: for `ring_count` rings with an average
+/// thermal misalignment of `mean_misalignment`, the calibration power and
+/// its share of a given network power budget.
+///
+/// With the paper's numbers (≈1.1 × 10⁶ MRs and a few °C of spread), the
+/// share exceeds 50 % — the motivation for design-time gradient reduction.
+///
+/// # Errors
+///
+/// Returns [`FlowError::BadConfig`] for a non-positive network power.
+pub fn calibration_share(
+    ring_count: usize,
+    mean_misalignment: Celsius,
+    network_power: Watts,
+    costs: &TuningCosts,
+) -> Result<f64, FlowError> {
+    if !(network_power.value() > 0.0) {
+        return Err(FlowError::BadConfig {
+            reason: format!("network power must be positive, got {network_power}"),
+        });
+    }
+    let per_ring =
+        costs.heat_w_per_nm * costs.drift_nm_per_c * mean_misalignment.value().max(0.0);
+    let total = per_ring * ring_count as f64;
+    Ok(total / (total + network_power.value()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_rings_cost_nothing() {
+        let budget =
+            heat_calibration_power(&[Celsius::new(50.0); 8], &TuningCosts::paper()).unwrap();
+        assert_eq!(budget.total_power_w, 0.0);
+        assert_eq!(budget.ring_count, 8);
+    }
+
+    #[test]
+    fn cost_scales_with_spread() {
+        let costs = TuningCosts::paper();
+        let narrow = heat_calibration_power(
+            &[Celsius::new(50.0), Celsius::new(51.0)],
+            &costs,
+        )
+        .unwrap();
+        let wide = heat_calibration_power(
+            &[Celsius::new(50.0), Celsius::new(55.0)],
+            &costs,
+        )
+        .unwrap();
+        assert!((wide.total_power_w / narrow.total_power_w - 5.0).abs() < 1e-9);
+        assert_eq!(wide.worst_per_ring_w, wide.total_power_w);
+    }
+
+    #[test]
+    fn corona_headline_exceeds_half() {
+        // ~1.1e6 rings, 3 °C average misalignment, ~60 W of network power
+        // (Corona's optical power scale): calibration share > 50 %.
+        let share = calibration_share(
+            1_100_000,
+            Celsius::new(3.0),
+            Watts::new(60.0),
+            &TuningCosts::paper(),
+        )
+        .unwrap();
+        assert!(share > 0.5, "share {share}");
+    }
+
+    #[test]
+    fn low_gradient_design_pays_little() {
+        // The paper's design-time result: keep ONIs within ~1 °C and the
+        // residual calibration budget becomes negligible.
+        let share = calibration_share(
+            4_096,
+            Celsius::new(0.3),
+            Watts::new(5.0),
+            &TuningCosts::paper(),
+        )
+        .unwrap();
+        assert!(share < 0.01, "share {share}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(heat_calibration_power(&[], &TuningCosts::paper()).is_err());
+        assert!(calibration_share(10, Celsius::new(1.0), Watts::ZERO, &TuningCosts::paper())
+            .is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for the design flow.
+
+use core::fmt;
+
+use vcsel_arch::ArchError;
+use vcsel_network::NetworkError;
+use vcsel_numerics::NumericsError;
+use vcsel_photonics::PhotonicsError;
+use vcsel_thermal::ThermalError;
+
+/// Errors surfaced by the design methodology.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// A flow-level configuration problem.
+    BadConfig {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// Architecture construction failed.
+    Arch(ArchError),
+    /// Thermal simulation failed.
+    Thermal(ThermalError),
+    /// Device-model evaluation failed.
+    Photonics(PhotonicsError),
+    /// Network/SNR analysis failed.
+    Network(NetworkError),
+    /// Numerical optimization failed.
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadConfig { reason } => write!(f, "bad flow configuration: {reason}"),
+            Self::Arch(e) => write!(f, "architecture: {e}"),
+            Self::Thermal(e) => write!(f, "thermal simulation: {e}"),
+            Self::Photonics(e) => write!(f, "device model: {e}"),
+            Self::Network(e) => write!(f, "network analysis: {e}"),
+            Self::Numerics(e) => write!(f, "numerics: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::BadConfig { .. } => None,
+            Self::Arch(e) => Some(e),
+            Self::Thermal(e) => Some(e),
+            Self::Photonics(e) => Some(e),
+            Self::Network(e) => Some(e),
+            Self::Numerics(e) => Some(e),
+        }
+    }
+}
+
+impl From<ArchError> for FlowError {
+    fn from(e: ArchError) -> Self {
+        Self::Arch(e)
+    }
+}
+
+impl From<ThermalError> for FlowError {
+    fn from(e: ThermalError) -> Self {
+        Self::Thermal(e)
+    }
+}
+
+impl From<PhotonicsError> for FlowError {
+    fn from(e: PhotonicsError) -> Self {
+        Self::Photonics(e)
+    }
+}
+
+impl From<NetworkError> for FlowError {
+    fn from(e: NetworkError) -> Self {
+        Self::Network(e)
+    }
+}
+
+impl From<NumericsError> for FlowError {
+    fn from(e: NumericsError) -> Self {
+        Self::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error;
+        let e = FlowError::from(ThermalError::NoHeatPath);
+        assert!(e.to_string().contains("thermal"));
+        assert!(e.source().is_some());
+        let e = FlowError::from(NetworkError::BadTopology { reason: "x".into() });
+        assert!(e.to_string().contains("network"));
+        let e = FlowError::BadConfig { reason: "no waveguides".into() };
+        assert!(e.source().is_none());
+    }
+}

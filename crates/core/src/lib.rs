@@ -1,0 +1,60 @@
+//! The paper's contribution: a thermal-aware design methodology for
+//! VCSEL-based on-chip optical interconnect (Figure 3).
+//!
+//! The flow takes a system specification (packaging, architecture, ONIs,
+//! device powers — [`vcsel_arch::SccConfig`]), runs steady-state thermal
+//! simulation, extracts per-ONI average and gradient temperatures, explores
+//! the MR heater power to flatten intra-ONI gradients, and evaluates the
+//! worst-case SNR of the ORNoC under the resulting temperature field:
+//!
+//! ```text
+//! system spec ──► thermal simulation ──► thermal map
+//!                     ▲      │
+//!     P_heater DSE ───┘      ├──► gradient / average per ONI
+//!     I_VCSEL  DSE ──────────┴──► SNR analysis ──► reliability & power
+//! ```
+//!
+//! Because steady-state conduction is linear, the P_VCSEL × P_heater ×
+//! P_chip design space is swept through a [`vcsel_thermal::ResponseBasis`]
+//! (a handful of FVM solves + vector arithmetic) with results identical to
+//! re-solving at every point.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use vcsel_core::{DesignFlow, ThermalStudy};
+//! use vcsel_arch::SccConfig;
+//! use vcsel_units::Watts;
+//!
+//! let flow = DesignFlow::paper();
+//! let study = ThermalStudy::new(SccConfig::default(), flow.simulator())?;
+//! // Evaluate the paper's chosen operating point.
+//! let outcome = study.evaluate(
+//!     Watts::from_milliwatts(3.6),  // P_VCSEL
+//!     Watts::from_milliwatts(1.08), // P_heater = 0.3 x P_VCSEL
+//!     Watts::new(25.0),             // P_chip
+//! )?;
+//! println!("worst ONI gradient: {}", outcome.worst_gradient());
+//! let snr = flow.evaluate_snr(study.system(), &outcome, Watts::from_milliwatts(3.6))?;
+//! println!("worst-case SNR: {:.1} dB", snr.worst_snr_db);
+//! # Ok::<(), vcsel_core::FlowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout as a NaN-rejecting validity
+// check (`x <= 0.0` would silently accept NaN).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+mod error;
+pub mod experiments;
+mod flow;
+mod power;
+mod snr;
+pub mod spec;
+
+pub use error::FlowError;
+pub use flow::{HeaterExploration, HeaterPoint, ThermalOutcome, ThermalStudy};
+pub use power::{explore_vcsel_power, PowerExploration, PowerPoint};
+pub use snr::{DesignFlow, SnrSummary, WaveguideSnr};

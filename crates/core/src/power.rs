@@ -1,0 +1,214 @@
+//! P_VCSEL / modulation-current design-space exploration.
+//!
+//! Paper Section IV-C: "This crucial information allows the exploration of
+//! the design space and particularly the driver power consumption. Indeed,
+//! P_driver is directly related to the laser modulation current and,
+//! therefore, it impacts the laser efficiency and the optical signal
+//! power." And Section V-C: "in case a lower SNR is acceptable, P_VCSEL and
+//! P_heater can be reduced for energy saving."
+//!
+//! [`explore_vcsel_power`] sweeps P_VCSEL (heater following at the design
+//! ratio), evaluating for each point the thermal field, the worst-case SNR
+//! and the total interconnect power, and reports the cheapest point meeting
+//! the SNR target and receiver sensitivity.
+
+use serde::Serialize;
+use vcsel_units::Watts;
+
+use crate::{DesignFlow, FlowError, ThermalStudy};
+
+/// One sampled operating point of the power exploration.
+#[derive(Debug, Clone, Serialize)]
+pub struct PowerPoint {
+    /// Per-VCSEL dissipated power, mW.
+    pub p_vcsel_mw: f64,
+    /// Per-ring heater power, mW.
+    pub p_heater_mw: f64,
+    /// Total interconnect electrical power (lasers + drivers + heaters), W.
+    pub interconnect_power_w: f64,
+    /// Worst-case SNR, dB.
+    pub worst_snr_db: f64,
+    /// Worst intra-ONI gradient, °C.
+    pub worst_gradient_c: f64,
+    /// Mean injected optical power per communication, mW.
+    pub mean_injected_mw: f64,
+    /// Whether every link meets the receiver sensitivity.
+    pub all_detected: bool,
+}
+
+/// Outcome of the exploration.
+#[derive(Debug, Clone, Serialize)]
+pub struct PowerExploration {
+    /// The SNR target the search was run against, dB.
+    pub snr_target_db: f64,
+    /// All sampled points, in ascending P_VCSEL order.
+    pub points: Vec<PowerPoint>,
+    /// Index of the cheapest point meeting the SNR target, sensitivity and
+    /// the 1 °C gradient constraint, if any.
+    pub best: Option<usize>,
+}
+
+impl PowerExploration {
+    /// The selected operating point, if the target was reachable.
+    pub fn best_point(&self) -> Option<&PowerPoint> {
+        self.best.map(|i| &self.points[i])
+    }
+}
+
+/// Sweeps P_VCSEL over `p_vcsel_mw` (ascending), with the heater at
+/// `heater_ratio × P_VCSEL`, and selects the lowest-power point that meets
+/// `snr_target_db`, the −20 dBm sensitivity and the paper's 1 °C gradient
+/// constraint.
+///
+/// The interconnect power accounts one VCSEL + one driver per transmitter
+/// site (the paper's worst case P_driver = P_VCSEL) and one heater per
+/// receiver site.
+///
+/// # Errors
+///
+/// Returns [`FlowError::BadConfig`] for an empty or non-ascending sweep;
+/// propagates thermal/device/network errors.
+pub fn explore_vcsel_power(
+    flow: &DesignFlow,
+    study: &ThermalStudy,
+    p_chip: Watts,
+    p_vcsel_mw: &[f64],
+    heater_ratio: f64,
+    snr_target_db: f64,
+) -> Result<PowerExploration, FlowError> {
+    if p_vcsel_mw.is_empty() {
+        return Err(FlowError::BadConfig { reason: "empty P_VCSEL sweep".into() });
+    }
+    if p_vcsel_mw.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(FlowError::BadConfig {
+            reason: "P_VCSEL sweep must be strictly ascending".into(),
+        });
+    }
+    if !(0.0..=2.0).contains(&heater_ratio) {
+        return Err(FlowError::BadConfig {
+            reason: format!("heater ratio must lie in [0, 2], got {heater_ratio}"),
+        });
+    }
+
+    let system = study.system();
+    let tx_per_oni = 16.0; // 4 waveguides x 4 lasers (paper Section V-A)
+    let rx_per_oni = 16.0;
+    let oni_count = system.onis().len() as f64;
+
+    let mut points = Vec::with_capacity(p_vcsel_mw.len());
+    let mut best: Option<usize> = None;
+    for (i, &pv_mw) in p_vcsel_mw.iter().enumerate() {
+        let p_vcsel = Watts::from_milliwatts(pv_mw);
+        let p_heater = p_vcsel * heater_ratio;
+        let outcome = study.evaluate(p_vcsel, p_heater, p_chip)?;
+        let snr = flow.evaluate_snr(system, &outcome, p_vcsel)?;
+        // Lasers dissipate P_VCSEL and their drivers the same (worst case).
+        let interconnect_power = oni_count
+            * (tx_per_oni * 2.0 * p_vcsel.value() + rx_per_oni * p_heater.value());
+        let point = PowerPoint {
+            p_vcsel_mw: pv_mw,
+            p_heater_mw: p_heater.as_milliwatts(),
+            interconnect_power_w: interconnect_power,
+            worst_snr_db: snr.worst_snr_db,
+            worst_gradient_c: outcome.worst_gradient().value(),
+            mean_injected_mw: snr.mean_injected.as_milliwatts(),
+            all_detected: snr.all_detected,
+        };
+        let qualifies =
+            point.worst_snr_db >= snr_target_db && point.all_detected && point.worst_gradient_c < 1.0;
+        if best.is_none() && qualifies {
+            best = Some(i);
+        }
+        points.push(point);
+    }
+    Ok(PowerExploration { snr_target_db, points, best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsel_arch::SccConfig;
+
+    fn setup() -> &'static (DesignFlow, ThermalStudy) {
+        static STUDY: std::sync::OnceLock<(DesignFlow, ThermalStudy)> =
+            std::sync::OnceLock::new();
+        STUDY.get_or_init(|| {
+            let flow = DesignFlow::paper();
+            let study = ThermalStudy::new(
+                SccConfig { oni_count: 4, ..SccConfig::tiny_test() },
+                flow.simulator(),
+            )
+            .unwrap();
+            (flow, study)
+        })
+    }
+
+    #[test]
+    fn interconnect_power_grows_with_p_vcsel() {
+        let (flow, study) = setup();
+        let sweep = [0.5, 1.5, 3.0];
+        let e = explore_vcsel_power(flow, study, Watts::new(2.0), &sweep, 0.3, 0.0).unwrap();
+        assert_eq!(e.points.len(), 3);
+        for w in e.points.windows(2) {
+            assert!(w[1].interconnect_power_w > w[0].interconnect_power_w);
+        }
+        // Per point: 4 ONIs x (16 x 2 x P_VCSEL + 16 x 0.3 x P_VCSEL).
+        let expected = 4.0 * 16.0 * (2.0 + 0.3) * 0.5e-3;
+        assert!((e.points[0].interconnect_power_w - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_target_yields_no_best() {
+        let (flow, study) = setup();
+        let e = explore_vcsel_power(
+            flow,
+            study,
+            Watts::new(2.0),
+            &[0.5, 1.0],
+            0.3,
+            500.0, // absurd SNR target
+        )
+        .unwrap();
+        assert!(e.best.is_none());
+        assert!(e.best_point().is_none());
+    }
+
+    #[test]
+    fn modest_target_picks_cheapest_qualifying_point() {
+        let (flow, study) = setup();
+        let e = explore_vcsel_power(
+            flow,
+            study,
+            Watts::new(2.0),
+            &[0.25, 0.5, 1.0, 2.0],
+            0.3,
+            5.0,
+        )
+        .unwrap();
+        if let Some(best) = e.best_point() {
+            assert!(best.worst_snr_db >= 5.0);
+            assert!(best.all_detected);
+            assert!(best.worst_gradient_c < 1.0);
+            // No cheaper point qualifies.
+            for p in &e.points {
+                if p.p_vcsel_mw < best.p_vcsel_mw {
+                    assert!(
+                        p.worst_snr_db < 5.0 || !p.all_detected || p.worst_gradient_c >= 1.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let (flow, study) = setup();
+        assert!(explore_vcsel_power(flow, study, Watts::new(2.0), &[], 0.3, 0.0).is_err());
+        assert!(
+            explore_vcsel_power(flow, study, Watts::new(2.0), &[2.0, 1.0], 0.3, 0.0).is_err()
+        );
+        assert!(
+            explore_vcsel_power(flow, study, Watts::new(2.0), &[1.0, 2.0], 5.0, 0.0).is_err()
+        );
+    }
+}

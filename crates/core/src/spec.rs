@@ -1,0 +1,459 @@
+//! Serializable system specification and the one-shot methodology runner.
+//!
+//! Figure 3's left-hand box is a *system specification*: packaging,
+//! architecture, ONI description, device powers, activity. This module
+//! gives that box a concrete file format (JSON via serde) so the whole
+//! methodology is drivable from a spec file — the `onoc-dse` binary is a
+//! thin wrapper around [`run_spec`].
+//!
+//! ```json
+//! {
+//!   "name": "paper-operating-point",
+//!   "placement": "case1",
+//!   "oni_count": 8,
+//!   "layout": "chessboard",
+//!   "activity": "Uniform",
+//!   "p_chip_w": 25.0,
+//!   "p_vcsel_mw": 3.6,
+//!   "heater": { "explore": { "max_ratio": 1.0, "samples": 9 } },
+//!   "fidelity": "fast",
+//!   "snr_target_db": 15.0
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use vcsel_arch::{Activity, Fidelity, OniLayout, PlacementCase, SccConfig};
+use vcsel_units::Watts;
+
+use crate::{DesignFlow, FlowError, ThermalStudy};
+
+/// ONI placement scenario (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum PlacementSpec {
+    /// 18 mm ring.
+    Case1,
+    /// 32.4 mm ring.
+    Case2,
+    /// 46.8 mm ring.
+    Case3,
+}
+
+impl From<PlacementSpec> for PlacementCase {
+    fn from(p: PlacementSpec) -> Self {
+        match p {
+            PlacementSpec::Case1 => PlacementCase::Case1,
+            PlacementSpec::Case2 => PlacementCase::Case2,
+            PlacementSpec::Case3 => PlacementCase::Case3,
+        }
+    }
+}
+
+/// Device layout inside each ONI (Figure 1-b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum LayoutSpec {
+    /// Alternating transmitters and receivers (the paper's layout).
+    Chessboard,
+    /// All transmitters grouped, then all receivers (the ablation).
+    Clustered,
+}
+
+impl From<LayoutSpec> for OniLayout {
+    fn from(l: LayoutSpec) -> Self {
+        match l {
+            LayoutSpec::Chessboard => OniLayout::Chessboard,
+            LayoutSpec::Clustered => OniLayout::Clustered,
+        }
+    }
+}
+
+/// Mesh-resolution preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum FidelitySpec {
+    /// Unit-test scale.
+    Tiny,
+    /// Release-run scale (default).
+    Fast,
+    /// The paper's 5 µm ONI meshing. Expensive.
+    Paper,
+}
+
+impl From<FidelitySpec> for Fidelity {
+    fn from(f: FidelitySpec) -> Self {
+        match f {
+            FidelitySpec::Tiny => Fidelity::Tiny,
+            FidelitySpec::Fast => Fidelity::Fast,
+            FidelitySpec::Paper => Fidelity::Paper,
+        }
+    }
+}
+
+/// How the MR heater power is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum HeaterSpec {
+    /// Fixed `P_heater = ratio × P_VCSEL`.
+    Fixed {
+        /// Heater-to-VCSEL power ratio.
+        ratio: f64,
+    },
+    /// Design-space exploration over `P_heater ∈ [0, max_ratio × P_VCSEL]`.
+    Explore {
+        /// Upper end of the explored ratio range.
+        max_ratio: f64,
+        /// Sweep samples (the optimum is golden-section refined).
+        samples: usize,
+    },
+}
+
+/// A complete, file-loadable system specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// Human-readable name, echoed in reports.
+    pub name: String,
+    /// ONI placement scenario.
+    pub placement: PlacementSpec,
+    /// Number of ONIs on the ring.
+    pub oni_count: usize,
+    /// Device layout inside each ONI.
+    pub layout: LayoutSpec,
+    /// Chip-activity pattern (uses [`Activity`]'s own serde form).
+    pub activity: Activity,
+    /// Total chip power, watts.
+    pub p_chip_w: f64,
+    /// Dissipated power per VCSEL, milliwatts.
+    pub p_vcsel_mw: f64,
+    /// Heater sizing policy.
+    pub heater: HeaterSpec,
+    /// Mesh preset.
+    pub fidelity: FidelitySpec,
+    /// Optional SNR requirement checked in the report, dB.
+    #[serde(default)]
+    pub snr_target_db: Option<f64>,
+}
+
+impl SystemSpec {
+    /// The paper's Section V-C operating point: case 1, 25 W uniform,
+    /// P_VCSEL = 3.6 mW, P_heater = 0.3 × P_VCSEL.
+    pub fn paper_operating_point() -> Self {
+        Self {
+            name: "paper-operating-point".into(),
+            placement: PlacementSpec::Case1,
+            oni_count: 8,
+            layout: LayoutSpec::Chessboard,
+            activity: Activity::Uniform,
+            p_chip_w: 25.0,
+            p_vcsel_mw: 3.6,
+            heater: HeaterSpec::Fixed { ratio: 0.3 },
+            fidelity: FidelitySpec::Fast,
+            snr_target_db: Some(15.0),
+        }
+    }
+
+    /// Validates ranges and converts to an [`SccConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::BadConfig`] for out-of-range powers or counts.
+    pub fn to_config(&self) -> Result<SccConfig, FlowError> {
+        if !(self.p_chip_w >= 0.0) || !self.p_chip_w.is_finite() {
+            return Err(FlowError::BadConfig {
+                reason: format!("p_chip_w must be non-negative, got {}", self.p_chip_w),
+            });
+        }
+        if !(self.p_vcsel_mw > 0.0) || !self.p_vcsel_mw.is_finite() {
+            return Err(FlowError::BadConfig {
+                reason: format!("p_vcsel_mw must be positive, got {}", self.p_vcsel_mw),
+            });
+        }
+        if self.oni_count < 2 {
+            return Err(FlowError::BadConfig {
+                reason: format!("need at least 2 ONIs, got {}", self.oni_count),
+            });
+        }
+        match self.heater {
+            HeaterSpec::Fixed { ratio } if !(0.0..=10.0).contains(&ratio) => {
+                return Err(FlowError::BadConfig {
+                    reason: format!("heater ratio {ratio} outside [0, 10]"),
+                });
+            }
+            HeaterSpec::Explore { max_ratio, samples } => {
+                if !(max_ratio > 0.0) || samples < 3 {
+                    return Err(FlowError::BadConfig {
+                        reason: "heater exploration needs max_ratio > 0 and >= 3 samples".into(),
+                    });
+                }
+            }
+            _ => {}
+        }
+        Ok(SccConfig {
+            placement: PlacementCase::from(self.placement),
+            oni_count: self.oni_count,
+            layout: OniLayout::from(self.layout),
+            activity: self.activity,
+            p_chip: Watts::new(self.p_chip_w),
+            p_vcsel: Watts::from_milliwatts(self.p_vcsel_mw),
+            fidelity: Fidelity::from(self.fidelity),
+            ..SccConfig::default()
+        })
+    }
+}
+
+/// Per-ONI line of the report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OniReportRow {
+    /// ONI index along the ring.
+    pub oni: usize,
+    /// Average temperature, °C.
+    pub average_c: f64,
+    /// Intra-ONI gradient, °C.
+    pub gradient_c: f64,
+}
+
+/// The full methodology outcome for one spec (serializable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseReport {
+    /// Spec name.
+    pub name: String,
+    /// P_VCSEL used, mW.
+    pub p_vcsel_mw: f64,
+    /// Chosen heater power, mW.
+    pub p_heater_mw: f64,
+    /// Heater / VCSEL power ratio actually applied.
+    pub heater_ratio: f64,
+    /// `Some` when the heater was explored: the ratio found optimal.
+    pub explored_optimal_ratio: Option<f64>,
+    /// Per-ONI thermal metrics.
+    pub onis: Vec<OniReportRow>,
+    /// Worst intra-ONI gradient, °C.
+    pub worst_gradient_c: f64,
+    /// Whether the paper's 1 °C intra-ONI constraint holds.
+    pub meets_gradient_constraint: bool,
+    /// Spread of ONI average temperatures, °C.
+    pub inter_oni_spread_c: f64,
+    /// Worst-case SNR, dB.
+    pub worst_snr_db: f64,
+    /// Mean injected optical power, mW.
+    pub mean_injected_mw: f64,
+    /// Whether every receiver meets its sensitivity.
+    pub all_detected: bool,
+    /// `Some(pass)` when the spec declared an SNR target.
+    pub meets_snr_target: Option<bool>,
+    /// Bit-error rate of the worst link (OOK model on the worst-case SNR).
+    pub worst_ber: f64,
+    /// Effective per-link bandwidth after re-emission, Gb/s (12 GHz line
+    /// rate, 512-bit packets — the Section III-C re-emission penalty).
+    pub effective_bandwidth_gbps: f64,
+}
+
+impl DseReport {
+    /// Renders the report as a markdown document.
+    pub fn to_markdown(&self) -> String {
+        use core::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "# Thermal-aware DSE report: {}\n", self.name);
+        let _ = writeln!(s, "| Quantity | Value |");
+        let _ = writeln!(s, "|---|---|");
+        let _ = writeln!(s, "| P_VCSEL | {:.3} mW |", self.p_vcsel_mw);
+        let _ = writeln!(
+            s,
+            "| P_heater | {:.3} mW ({:.2} x P_VCSEL{}) |",
+            self.p_heater_mw,
+            self.heater_ratio,
+            if self.explored_optimal_ratio.is_some() { ", explored" } else { "" }
+        );
+        let _ = writeln!(s, "| Worst intra-ONI gradient | {:.3} °C |", self.worst_gradient_c);
+        let _ = writeln!(
+            s,
+            "| 1 °C gradient constraint | {} |",
+            if self.meets_gradient_constraint { "PASS" } else { "FAIL" }
+        );
+        let _ = writeln!(s, "| Inter-ONI spread | {:.3} °C |", self.inter_oni_spread_c);
+        let _ = writeln!(s, "| Worst-case SNR | {:.1} dB |", self.worst_snr_db);
+        let _ = writeln!(s, "| Mean injected power | {:.4} mW |", self.mean_injected_mw);
+        let _ = writeln!(
+            s,
+            "| Receiver sensitivity | {} |",
+            if self.all_detected { "all detected" } else { "BELOW SENSITIVITY" }
+        );
+        if let Some(pass) = self.meets_snr_target {
+            let _ = writeln!(s, "| SNR target | {} |", if pass { "PASS" } else { "FAIL" });
+        }
+        let _ = writeln!(s, "| Worst-link BER (OOK) | {:.2e} |", self.worst_ber);
+        let _ = writeln!(
+            s,
+            "| Effective bandwidth | {:.3} Gb/s |",
+            self.effective_bandwidth_gbps
+        );
+        let _ = writeln!(s, "\n## Per-ONI thermal state\n");
+        let _ = writeln!(s, "| ONI | average (°C) | gradient (°C) |");
+        let _ = writeln!(s, "|---|---|---|");
+        for row in &self.onis {
+            let _ =
+                writeln!(s, "| {} | {:.2} | {:.3} |", row.oni, row.average_c, row.gradient_c);
+        }
+        s
+    }
+}
+
+/// Runs the complete Figure 3 flow for a spec: thermal study → heater
+/// sizing (fixed or explored) → SNR analysis → report.
+///
+/// # Errors
+///
+/// Propagates configuration, meshing, solver and analysis errors.
+///
+/// # Example
+///
+/// ```no_run
+/// use vcsel_core::spec::{run_spec, SystemSpec};
+///
+/// let report = run_spec(&SystemSpec::paper_operating_point())?;
+/// println!("{}", report.to_markdown());
+/// # Ok::<(), vcsel_core::FlowError>(())
+/// ```
+pub fn run_spec(spec: &SystemSpec) -> Result<DseReport, FlowError> {
+    let config = spec.to_config()?;
+    let flow = DesignFlow::paper();
+    let study = ThermalStudy::new(config, flow.simulator())?;
+    let p_vcsel = Watts::from_milliwatts(spec.p_vcsel_mw);
+    let p_chip = Watts::new(spec.p_chip_w);
+
+    let (ratio, explored) = match spec.heater {
+        HeaterSpec::Fixed { ratio } => (ratio, None),
+        HeaterSpec::Explore { max_ratio, samples } => {
+            let e = study.explore_heater(p_vcsel, p_chip, max_ratio, samples)?;
+            (e.optimal_ratio, Some(e.optimal_ratio))
+        }
+    };
+    let p_heater = p_vcsel * ratio;
+    let outcome = study.evaluate(p_vcsel, p_heater, p_chip)?;
+    let snr = flow.evaluate_snr(study.system(), &outcome, p_vcsel)?;
+
+    let onis = outcome
+        .oni
+        .iter()
+        .enumerate()
+        .map(|(i, o)| OniReportRow {
+            oni: i,
+            average_c: o.average.value(),
+            gradient_c: o.gradient.value(),
+        })
+        .collect();
+
+    let ber_model = vcsel_photonics::BerModel::ook();
+    let link = vcsel_photonics::LinkReliability::paper_default();
+    let worst_ber = ber_model.ber_from_snr_db(snr.worst_snr_db);
+    let effective_bandwidth_gbps = link.effective_bandwidth_hz(worst_ber) / 1e9;
+
+    Ok(DseReport {
+        name: spec.name.clone(),
+        p_vcsel_mw: spec.p_vcsel_mw,
+        p_heater_mw: p_heater.as_milliwatts(),
+        heater_ratio: ratio,
+        explored_optimal_ratio: explored,
+        onis,
+        worst_gradient_c: outcome.worst_gradient().value(),
+        meets_gradient_constraint: outcome.meets_gradient_constraint(),
+        inter_oni_spread_c: outcome.inter_oni_spread().value(),
+        worst_snr_db: snr.worst_snr_db,
+        mean_injected_mw: snr.mean_injected.as_milliwatts(),
+        all_detected: snr.all_detected,
+        meets_snr_target: spec.snr_target_db.map(|t| snr.worst_snr_db >= t),
+        worst_ber,
+        effective_bandwidth_gbps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A spec that maps onto the tiny test system so unit tests stay fast.
+    fn tiny_spec() -> (SystemSpec, SccConfig) {
+        let spec = SystemSpec {
+            name: "tiny".into(),
+            placement: PlacementSpec::Case1,
+            oni_count: 2,
+            layout: LayoutSpec::Chessboard,
+            activity: Activity::Uniform,
+            p_chip_w: 2.0,
+            p_vcsel_mw: 3.6,
+            heater: HeaterSpec::Fixed { ratio: 0.3 },
+            fidelity: FidelitySpec::Tiny,
+            snr_target_db: None,
+        };
+        (spec, SccConfig::tiny_test())
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let (spec, _) = tiny_spec();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: SystemSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn paper_preset_is_valid() {
+        let spec = SystemSpec::paper_operating_point();
+        let config = spec.to_config().unwrap();
+        assert_eq!(config.oni_count, 8);
+        assert!((config.p_vcsel.as_milliwatts() - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let (mut spec, _) = tiny_spec();
+        spec.p_vcsel_mw = -1.0;
+        assert!(spec.to_config().is_err());
+        let (mut spec, _) = tiny_spec();
+        spec.oni_count = 1;
+        assert!(spec.to_config().is_err());
+        let (mut spec, _) = tiny_spec();
+        spec.heater = HeaterSpec::Explore { max_ratio: 0.0, samples: 9 };
+        assert!(spec.to_config().is_err());
+        let (mut spec, _) = tiny_spec();
+        spec.heater = HeaterSpec::Fixed { ratio: 99.0 };
+        assert!(spec.to_config().is_err());
+    }
+
+    #[test]
+    fn markdown_report_contains_key_rows() {
+        let report = DseReport {
+            name: "x".into(),
+            p_vcsel_mw: 3.6,
+            p_heater_mw: 1.08,
+            heater_ratio: 0.3,
+            explored_optimal_ratio: None,
+            onis: vec![OniReportRow { oni: 0, average_c: 55.0, gradient_c: 0.4 }],
+            worst_gradient_c: 0.4,
+            meets_gradient_constraint: true,
+            inter_oni_spread_c: 1.2,
+            worst_snr_db: 27.5,
+            mean_injected_mw: 0.21,
+            all_detected: true,
+            meets_snr_target: Some(true),
+            worst_ber: 1e-12,
+            effective_bandwidth_gbps: 11.999,
+        };
+        let md = report.to_markdown();
+        for needle in ["P_VCSEL", "3.600", "1.080", "PASS", "27.5", "Per-ONI"] {
+            assert!(md.contains(needle), "missing {needle} in:\n{md}");
+        }
+        let json = serde_json::to_string(&report).unwrap();
+        let back: DseReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn heater_spec_json_forms() {
+        let fixed: HeaterSpec = serde_json::from_str(r#"{"fixed": {"ratio": 0.3}}"#).unwrap();
+        assert_eq!(fixed, HeaterSpec::Fixed { ratio: 0.3 });
+        let explore: HeaterSpec =
+            serde_json::from_str(r#"{"explore": {"max_ratio": 1.0, "samples": 9}}"#).unwrap();
+        assert_eq!(explore, HeaterSpec::Explore { max_ratio: 1.0, samples: 9 });
+    }
+}

@@ -1,0 +1,100 @@
+//! Communications: source→destination flows with an assigned wavelength
+//! channel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NetworkError, OniId, RingTopology};
+
+/// A point-to-point communication `C_sd` on one waveguide, carried on one
+/// wavelength channel (paper Figure 6: transmitter `T_sd` at the source,
+/// receiver `R_sd` at the destination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Communication {
+    source: OniId,
+    destination: OniId,
+    channel: usize,
+}
+
+impl Communication {
+    /// Creates a communication after validating it against `topology`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::BadCommunication`] for self-loops or ONIs
+    /// outside the topology.
+    pub fn new(
+        topology: &RingTopology,
+        source: OniId,
+        destination: OniId,
+        channel: usize,
+    ) -> Result<Self, NetworkError> {
+        if source == destination {
+            return Err(NetworkError::BadCommunication {
+                reason: format!("self-loop at {source}"),
+            });
+        }
+        if !topology.contains(source) || !topology.contains(destination) {
+            return Err(NetworkError::BadCommunication {
+                reason: format!(
+                    "{source} -> {destination} references an ONI outside the {}-ONI ring",
+                    topology.oni_count()
+                ),
+            });
+        }
+        Ok(Self { source, destination, channel })
+    }
+
+    /// Source ONI (hosts the transmitter `T_sd`).
+    pub fn source(&self) -> OniId {
+        self.source
+    }
+
+    /// Destination ONI (hosts the receiver `R_sd`).
+    pub fn destination(&self) -> OniId {
+        self.destination
+    }
+
+    /// Assigned wavelength-channel index.
+    pub fn channel(&self) -> usize {
+        self.channel
+    }
+}
+
+impl core::fmt::Display for Communication {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "C({}->{}, ch{})", self.source, self.destination, self.channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsel_units::Meters;
+
+    fn topo() -> RingTopology {
+        RingTopology::evenly_spaced(4, Meters::from_millimeters(18.0)).unwrap()
+    }
+
+    #[test]
+    fn valid_communication() {
+        let c = Communication::new(&topo(), 0.into(), 2.into(), 1).unwrap();
+        assert_eq!(c.source().index(), 0);
+        assert_eq!(c.destination().index(), 2);
+        assert_eq!(c.channel(), 1);
+        assert_eq!(c.to_string(), "C(ONI0->ONI2, ch1)");
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert!(matches!(
+            Communication::new(&topo(), 1.into(), 1.into(), 0),
+            Err(NetworkError::BadCommunication { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Communication::new(&topo(), 0.into(), 9.into(), 0).is_err());
+        assert!(Communication::new(&topo(), 9.into(), 0.into(), 0).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the interconnect model.
+
+use core::fmt;
+
+/// Errors produced while building or analyzing an optical network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A topology parameter is invalid (zero ONIs, non-increasing
+    /// positions, …).
+    BadTopology {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// A communication references a nonexistent ONI or is a self-loop.
+    BadCommunication {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// Input arrays (temperatures, powers) do not match the topology or
+    /// communication set.
+    DimensionMismatch {
+        /// Which input has the wrong size.
+        what: &'static str,
+        /// Size required.
+        expected: usize,
+        /// Size supplied.
+        got: usize,
+    },
+    /// A device/model parameter is invalid.
+    BadParameter {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadTopology { reason } => write!(f, "bad topology: {reason}"),
+            Self::BadCommunication { reason } => write!(f, "bad communication: {reason}"),
+            Self::DimensionMismatch { what, expected, got } => {
+                write!(f, "dimension mismatch for {what}: expected {expected}, got {got}")
+            }
+            Self::BadParameter { reason } => write!(f, "bad parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = NetworkError::DimensionMismatch { what: "temperatures", expected: 8, got: 4 };
+        assert!(e.to_string().contains("temperatures"));
+        assert!(e.to_string().contains("8"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<NetworkError>();
+    }
+}

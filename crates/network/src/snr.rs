@@ -1,0 +1,442 @@
+//! Worst-case SNR analysis (paper Section IV-C).
+//!
+//! For a communication `C_sd` the received signal is the power `OP_net`
+//! injected by the VCSEL, attenuated by waveguide propagation and by every
+//! receiver microring it crosses, and finally dropped by its own receiver
+//! ring `R_sd`:
+//!
+//! ```text
+//! OP_sd[sd]  = OP_net · Π_k through_k · 10^(−L_prop·l/10) · drop_own
+//! X_ij[sd]   = OP_in,ij[sd] · Δλ_ij[sd]          (power mis-dropped at R_ij)
+//! SNR_sd     = 10·log10( OP_sd[sd] / Σ_ij X_sd[ij] )
+//! ```
+//!
+//! Temperature enters twice: the signal wavelength follows the *source*
+//! ONI's temperature and each ring resonance follows its *host* ONI's
+//! temperature (both at 0.1 nm/°C), so a temperature **difference** between
+//! ONIs misaligns the network — exactly the mechanism the paper's Figure 6
+//! illustrates. The model walks each signal one full loop around the ring
+//! (passive rings never absorb it completely), accumulating the mis-dropped
+//! power at every receiver it passes; what arrives back at the source is
+//! absorbed by the injection structure.
+
+use serde::{Deserialize, Serialize};
+use vcsel_photonics::{MicroringResonator, Photodetector, TechnologyParams, Waveguide};
+use vcsel_units::{Celsius, Nanometers, Watts};
+
+use crate::{Communication, NetworkError, RingTopology, WavelengthGrid};
+
+/// Per-communication outcome of an SNR analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommResult {
+    /// The analyzed communication.
+    pub communication: Communication,
+    /// Signal power arriving on the destination photodetector.
+    pub signal: Watts,
+    /// Total crosstalk power arriving on the same photodetector.
+    pub crosstalk: Watts,
+    /// Signal-to-noise ratio in dB (`f64::INFINITY` when no crosstalk
+    /// reaches the receiver).
+    pub snr_db: f64,
+    /// Whether the signal power meets the photodetector sensitivity.
+    pub detected: bool,
+}
+
+/// Result of analyzing one waveguide's communication set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnrReport {
+    results: Vec<CommResult>,
+}
+
+impl SnrReport {
+    /// Per-communication results, in input order.
+    pub fn results(&self) -> &[CommResult] {
+        &self.results
+    }
+
+    /// The worst (smallest) SNR over all communications — the paper's
+    /// headline metric.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; an empty report returns `f64::INFINITY`.
+    pub fn worst_snr_db(&self) -> f64 {
+        self.results.iter().map(|r| r.snr_db).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The communication achieving the worst SNR.
+    pub fn worst(&self) -> Option<&CommResult> {
+        self.results
+            .iter()
+            .min_by(|a, b| a.snr_db.partial_cmp(&b.snr_db).expect("SNR is never NaN"))
+    }
+
+    /// Whether every communication meets the receiver sensitivity.
+    pub fn all_detected(&self) -> bool {
+        self.results.iter().all(|r| r.detected)
+    }
+
+    /// Mean SNR in dB over all communications (ignoring infinite entries).
+    pub fn mean_snr_db(&self) -> f64 {
+        let finite: Vec<f64> =
+            self.results.iter().map(|r| r.snr_db).filter(|s| s.is_finite()).collect();
+        if finite.is_empty() {
+            return f64::INFINITY;
+        }
+        finite.iter().sum::<f64>() / finite.len() as f64
+    }
+}
+
+/// The Section IV-C analytical model, configured with device prototypes.
+///
+/// One analyzer handles one waveguide; multi-waveguide interfaces run it
+/// once per waveguide (crosstalk does not couple between waveguides).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnrAnalyzer {
+    grid: WavelengthGrid,
+    waveguide: Waveguide,
+    photodetector: Photodetector,
+    /// Ring prototype; per-receiver rings are derived by re-centering it on
+    /// the receiver's channel.
+    ring_bandwidth: Nanometers,
+    drift_nm_per_c: f64,
+}
+
+impl SnrAnalyzer {
+    /// Analyzer with the paper's Table 1 technology parameters.
+    pub fn paper_default(grid: WavelengthGrid) -> Self {
+        let t = TechnologyParams::paper();
+        Self {
+            grid,
+            waveguide: Waveguide::paper_default(),
+            photodetector: Photodetector::paper_default(),
+            ring_bandwidth: t.mr_bandwidth_3db,
+            drift_nm_per_c: t.thermal_sensitivity_nm_per_c,
+        }
+    }
+
+    /// Fully custom analyzer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::BadParameter`] for a non-positive ring
+    /// bandwidth or non-finite drift.
+    pub fn new(
+        grid: WavelengthGrid,
+        waveguide: Waveguide,
+        photodetector: Photodetector,
+        ring_bandwidth: Nanometers,
+        drift_nm_per_c: f64,
+    ) -> Result<Self, NetworkError> {
+        if !(ring_bandwidth.value() > 0.0) {
+            return Err(NetworkError::BadParameter {
+                reason: format!("ring bandwidth must be positive, got {ring_bandwidth}"),
+            });
+        }
+        if !drift_nm_per_c.is_finite() {
+            return Err(NetworkError::BadParameter {
+                reason: format!("drift must be finite, got {drift_nm_per_c}"),
+            });
+        }
+        Ok(Self { grid, waveguide, photodetector, ring_bandwidth, drift_nm_per_c })
+    }
+
+    /// The wavelength grid in use.
+    pub fn grid(&self) -> &WavelengthGrid {
+        &self.grid
+    }
+
+    fn ring_for(&self, channel: usize) -> MicroringResonator {
+        MicroringResonator::new(
+            self.grid.wavelength(channel),
+            self.grid.reference_temperature(),
+            self.ring_bandwidth,
+            self.drift_nm_per_c,
+            vcsel_units::Decibels::ZERO,
+        )
+        .expect("validated at analyzer construction")
+    }
+
+    /// Signal wavelength of a communication: the channel wavelength shifted
+    /// by the *source* ONI temperature.
+    fn signal_wavelength(&self, comm: &Communication, temps: &[Celsius]) -> Nanometers {
+        let t_src = temps[comm.source().index()];
+        Nanometers::new(
+            self.grid.wavelength(comm.channel()).value()
+                + self.drift_nm_per_c
+                    * (t_src.value() - self.grid.reference_temperature().value()),
+        )
+    }
+
+    /// Runs the full analysis.
+    ///
+    /// `oni_temperatures[i]` is the (average) temperature of ONI `i`;
+    /// `injected_power[c]` is `OP_net` for communication `c` (VCSEL output
+    /// after the taper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::DimensionMismatch`] if the array lengths do
+    /// not match the topology/communication set, and
+    /// [`NetworkError::BadCommunication`] if a communication references an
+    /// ONI outside the topology.
+    pub fn analyze(
+        &self,
+        topology: &RingTopology,
+        comms: &[Communication],
+        oni_temperatures: &[Celsius],
+        injected_power: &[Watts],
+    ) -> Result<SnrReport, NetworkError> {
+        let n = topology.oni_count();
+        if oni_temperatures.len() != n {
+            return Err(NetworkError::DimensionMismatch {
+                what: "ONI temperatures",
+                expected: n,
+                got: oni_temperatures.len(),
+            });
+        }
+        if injected_power.len() != comms.len() {
+            return Err(NetworkError::DimensionMismatch {
+                what: "injected powers",
+                expected: comms.len(),
+                got: injected_power.len(),
+            });
+        }
+        for c in comms {
+            if !topology.contains(c.source()) || !topology.contains(c.destination()) {
+                return Err(NetworkError::BadCommunication {
+                    reason: format!("{c} references an ONI outside the topology"),
+                });
+            }
+        }
+
+        // Receivers hosted at each ONI: (comm index, ring at host temp).
+        let mut receivers_at: Vec<Vec<(usize, MicroringResonator)>> = vec![Vec::new(); n];
+        for (ci, c) in comms.iter().enumerate() {
+            receivers_at[c.destination().index()].push((ci, self.ring_for(c.channel())));
+        }
+
+        let mut signal = vec![0.0f64; comms.len()];
+        let mut noise = vec![0.0f64; comms.len()];
+
+        for (ci, c) in comms.iter().enumerate() {
+            let lambda = self.signal_wavelength(c, oni_temperatures);
+            let mut power = injected_power[ci].value();
+            if power < 0.0 || !power.is_finite() {
+                return Err(NetworkError::BadParameter {
+                    reason: format!("injected power for {c} must be non-negative and finite"),
+                });
+            }
+
+            // Walk one full loop: source -> ... -> back to source.
+            let mut prev = c.source();
+            for m in topology.walk_from(c.source()) {
+                // Propagation loss over the segment prev -> m.
+                power *= self.waveguide.transmission_over(topology.distance(prev, m));
+                prev = m;
+
+                let t_host = oni_temperatures[m.index()];
+                for &(ri, ref ring) in &receivers_at[m.index()] {
+                    let drop = ring.drop_fraction_at(lambda, t_host);
+                    let dropped = power * drop;
+                    if ri == ci {
+                        // Our own receiver: the dropped power *is* the signal.
+                        signal[ci] += dropped;
+                    } else {
+                        // Mis-dropped power lands on another photodetector.
+                        noise[ri] += dropped;
+                    }
+                    power -= dropped;
+                }
+                if power <= 0.0 {
+                    break;
+                }
+            }
+            // Power returning to the source is absorbed by the injector.
+        }
+
+        let results = comms
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| {
+                let s = Watts::new(signal[ci]);
+                let x = Watts::new(noise[ci]);
+                let snr_db = if noise[ci] > 0.0 {
+                    10.0 * (signal[ci] / noise[ci]).log10()
+                } else if signal[ci] > 0.0 {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                };
+                CommResult {
+                    communication: *c,
+                    signal: s,
+                    crosstalk: x,
+                    snr_db,
+                    detected: self.photodetector.detects(s),
+                }
+            })
+            .collect();
+        Ok(SnrReport { results })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assign_channels, traffic};
+    use vcsel_units::Meters;
+
+    fn setup(
+        n: usize,
+        length_mm: f64,
+    ) -> (RingTopology, Vec<Communication>, SnrAnalyzer) {
+        let topo =
+            RingTopology::evenly_spaced(n, Meters::from_millimeters(length_mm)).unwrap();
+        let comms = assign_channels(&topo, &traffic::all_to_all(n)).unwrap();
+        let analyzer = SnrAnalyzer::paper_default(WavelengthGrid::paper_default());
+        (topo, comms, analyzer)
+    }
+
+    fn uniform_temps(n: usize, t: f64) -> Vec<Celsius> {
+        vec![Celsius::new(t); n]
+    }
+
+    fn powers(n: usize, mw: f64) -> Vec<Watts> {
+        vec![Watts::from_milliwatts(mw); n]
+    }
+
+    #[test]
+    fn aligned_network_has_high_snr() {
+        let (topo, comms, analyzer) = setup(4, 18.0);
+        let report = analyzer
+            .analyze(&topo, &comms, &uniform_temps(4, 45.0), &powers(comms.len(), 0.3))
+            .unwrap();
+        assert!(report.worst_snr_db() > 15.0, "got {}", report.worst_snr_db());
+        assert!(report.all_detected());
+    }
+
+    #[test]
+    fn temperature_gradient_degrades_snr() {
+        let (topo, comms, analyzer) = setup(4, 18.0);
+        let aligned = analyzer
+            .analyze(&topo, &comms, &uniform_temps(4, 45.0), &powers(comms.len(), 0.3))
+            .unwrap();
+        let temps: Vec<Celsius> =
+            (0..4).map(|i| Celsius::new(45.0 + 2.0 * i as f64)).collect();
+        let skewed = analyzer
+            .analyze(&topo, &comms, &temps, &powers(comms.len(), 0.3))
+            .unwrap();
+        assert!(
+            skewed.worst_snr_db() < aligned.worst_snr_db(),
+            "gradient must reduce SNR: {} vs {}",
+            skewed.worst_snr_db(),
+            aligned.worst_snr_db()
+        );
+    }
+
+    #[test]
+    fn common_mode_shift_is_harmless() {
+        // Shifting ALL ONIs by the same amount leaves relative alignment
+        // intact: SNR must be (almost) unchanged.
+        let (topo, comms, analyzer) = setup(4, 18.0);
+        let a = analyzer
+            .analyze(&topo, &comms, &uniform_temps(4, 45.0), &powers(comms.len(), 0.3))
+            .unwrap();
+        let b = analyzer
+            .analyze(&topo, &comms, &uniform_temps(4, 60.0), &powers(comms.len(), 0.3))
+            .unwrap();
+        assert!((a.worst_snr_db() - b.worst_snr_db()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn longer_ring_lower_signal() {
+        let (t1, c1, analyzer) = setup(4, 18.0);
+        let (t3, c3, _) = setup(4, 46.8);
+        let r1 = analyzer
+            .analyze(&t1, &c1, &uniform_temps(4, 45.0), &powers(c1.len(), 0.3))
+            .unwrap();
+        let r3 = analyzer
+            .analyze(&t3, &c3, &uniform_temps(4, 45.0), &powers(c3.len(), 0.3))
+            .unwrap();
+        let s1 = r1.worst().unwrap().signal;
+        let s3 = r3.worst().unwrap().signal;
+        assert!(s3 < s1, "longer ring must deliver less signal: {s3} vs {s1}");
+    }
+
+    #[test]
+    fn snr_scales_with_injected_power_uniformly() {
+        // Doubling every injected power doubles both signal and crosstalk:
+        // SNR is invariant, received power is not.
+        let (topo, comms, analyzer) = setup(4, 18.0);
+        let temps: Vec<Celsius> =
+            (0..4).map(|i| Celsius::new(45.0 + 1.5 * i as f64)).collect();
+        let a =
+            analyzer.analyze(&topo, &comms, &temps, &powers(comms.len(), 0.2)).unwrap();
+        let b =
+            analyzer.analyze(&topo, &comms, &temps, &powers(comms.len(), 0.4)).unwrap();
+        for (ra, rb) in a.results().iter().zip(b.results()) {
+            assert!((ra.snr_db - rb.snr_db).abs() < 1e-9);
+            assert!((rb.signal.value() - 2.0 * ra.signal.value()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn energy_is_conserved_per_signal() {
+        // Signal + all crosstalk contributions + residual <= injected.
+        let (topo, comms, analyzer) = setup(3, 18.0);
+        let report = analyzer
+            .analyze(&topo, &comms, &uniform_temps(3, 45.0), &powers(comms.len(), 0.3))
+            .unwrap();
+        let total_received: f64 = report
+            .results()
+            .iter()
+            .map(|r| r.signal.value() + r.crosstalk.value())
+            .sum();
+        let total_injected = 0.3e-3 * comms.len() as f64;
+        assert!(
+            total_received <= total_injected * (1.0 + 1e-9),
+            "received {total_received} exceeds injected {total_injected}"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatches_rejected() {
+        let (topo, comms, analyzer) = setup(4, 18.0);
+        assert!(matches!(
+            analyzer.analyze(&topo, &comms, &uniform_temps(3, 45.0), &powers(comms.len(), 0.3)),
+            Err(NetworkError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            analyzer.analyze(&topo, &comms, &uniform_temps(4, 45.0), &powers(1, 0.3)),
+            Err(NetworkError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn undetectable_when_power_too_low() {
+        let (topo, comms, analyzer) = setup(4, 18.0);
+        let report = analyzer
+            .analyze(
+                &topo,
+                &comms,
+                &uniform_temps(4, 45.0),
+                &powers(comms.len(), 1e-6), // 1 nW injected
+            )
+            .unwrap();
+        assert!(!report.all_detected());
+    }
+
+    #[test]
+    fn report_worst_matches_min() {
+        let (topo, comms, analyzer) = setup(4, 32.4);
+        let temps: Vec<Celsius> =
+            (0..4).map(|i| Celsius::new(44.0 + 3.0 * (i % 2) as f64)).collect();
+        let report =
+            analyzer.analyze(&topo, &comms, &temps, &powers(comms.len(), 0.3)).unwrap();
+        let min = report.results().iter().map(|r| r.snr_db).fold(f64::INFINITY, f64::min);
+        assert_eq!(report.worst_snr_db(), min);
+        assert_eq!(report.worst().unwrap().snr_db, min);
+        assert!(report.mean_snr_db() >= min);
+    }
+}

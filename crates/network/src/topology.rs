@@ -1,0 +1,255 @@
+//! Ring topology: ONI positions along a unidirectional ring waveguide.
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::Meters;
+
+use crate::NetworkError;
+
+/// Identifier of an Optical Network Interface on a ring.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_network::OniId;
+///
+/// let oni = OniId::new(3);
+/// assert_eq!(oni.index(), 3);
+/// assert_eq!(oni.to_string(), "ONI3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OniId(usize);
+
+impl OniId {
+    /// Creates an ONI id from its index on the ring.
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The ring index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl core::fmt::Display for OniId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ONI{}", self.0)
+    }
+}
+
+impl From<usize> for OniId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// ONIs placed along a unidirectional ring waveguide.
+///
+/// Positions are arc lengths from an arbitrary origin, in ring direction
+/// (the direction optical signals propagate). The paper's case study uses
+/// rings of 18 mm, 32.4 mm and 46.8 mm (Figure 11).
+///
+/// # Example
+///
+/// ```
+/// use vcsel_network::RingTopology;
+/// use vcsel_units::Meters;
+///
+/// let topo = RingTopology::evenly_spaced(8, Meters::from_millimeters(32.4))?;
+/// assert_eq!(topo.oni_count(), 8);
+/// // Forward arc from ONI 6 to ONI 1 wraps around the origin.
+/// let d = topo.distance(6.into(), 1.into());
+/// assert!((d.as_millimeters() - 3.0 * 32.4 / 8.0).abs() < 1e-9);
+/// # Ok::<(), vcsel_network::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingTopology {
+    /// Ring circumference in meters.
+    length: f64,
+    /// Sorted arc-length positions, one per ONI.
+    positions: Vec<f64>,
+}
+
+impl RingTopology {
+    /// Places `n` ONIs at explicit arc-length positions on a ring of
+    /// circumference `length`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::BadTopology`] if fewer than two ONIs are
+    /// given, positions are not strictly increasing, or any position falls
+    /// outside `[0, length)`.
+    pub fn new(length: Meters, positions: Vec<Meters>) -> Result<Self, NetworkError> {
+        let l = length.value();
+        if !(l > 0.0) || !l.is_finite() {
+            return Err(NetworkError::BadTopology {
+                reason: format!("ring length must be positive, got {length}"),
+            });
+        }
+        if positions.len() < 2 {
+            return Err(NetworkError::BadTopology {
+                reason: format!("need at least 2 ONIs, got {}", positions.len()),
+            });
+        }
+        let raw: Vec<f64> = positions.iter().map(|p| p.value()).collect();
+        if raw.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(NetworkError::BadTopology {
+                reason: "ONI positions must be strictly increasing".into(),
+            });
+        }
+        if raw.iter().any(|&p| p < 0.0 || p >= l) {
+            return Err(NetworkError::BadTopology {
+                reason: "ONI positions must lie in [0, ring length)".into(),
+            });
+        }
+        Ok(Self { length: l, positions: raw })
+    }
+
+    /// Places `n` ONIs evenly around a ring of circumference `length`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RingTopology::new`].
+    pub fn evenly_spaced(n: usize, length: Meters) -> Result<Self, NetworkError> {
+        if n < 2 {
+            return Err(NetworkError::BadTopology {
+                reason: format!("need at least 2 ONIs, got {n}"),
+            });
+        }
+        let positions =
+            (0..n).map(|i| Meters::new(length.value() * i as f64 / n as f64)).collect();
+        Self::new(length, positions)
+    }
+
+    /// Number of ONIs on the ring.
+    pub fn oni_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Ring circumference.
+    pub fn length(&self) -> Meters {
+        Meters::new(self.length)
+    }
+
+    /// Arc position of an ONI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oni` is out of range.
+    pub fn position(&self, oni: OniId) -> Meters {
+        Meters::new(self.positions[oni.index()])
+    }
+
+    /// Whether `oni` exists on this ring.
+    pub fn contains(&self, oni: OniId) -> bool {
+        oni.index() < self.positions.len()
+    }
+
+    /// Forward (propagation-direction) arc length from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either ONI is out of range.
+    pub fn distance(&self, from: OniId, to: OniId) -> Meters {
+        let a = self.positions[from.index()];
+        let b = self.positions[to.index()];
+        let d = b - a;
+        Meters::new(if d > 0.0 { d } else { d + self.length })
+    }
+
+    /// The ONIs encountered travelling forward from `from`, excluding
+    /// `from` itself, for one full loop (ends just before returning to
+    /// `from`). The first `hops_to(to)` entries are the intermediate +
+    /// destination ONIs of a forward path.
+    pub fn walk_from(&self, from: OniId) -> impl Iterator<Item = OniId> + '_ {
+        let n = self.positions.len();
+        let start = from.index();
+        (1..n).map(move |k| OniId::new((start + k) % n))
+    }
+
+    /// Number of hops (ONI-to-ONI segments) on the forward path
+    /// `from → to`.
+    pub fn hops(&self, from: OniId, to: OniId) -> usize {
+        let n = self.positions.len();
+        (to.index() + n - from.index()) % n
+    }
+
+    /// Arc length of the segment from ONI `from` to the next ONI forward.
+    pub fn segment_length(&self, from: OniId) -> Meters {
+        let n = self.positions.len();
+        let i = from.index();
+        let next = (i + 1) % n;
+        self.distance(OniId::new(i), OniId::new(next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm(v: f64) -> Meters {
+        Meters::from_millimeters(v)
+    }
+
+    #[test]
+    fn evenly_spaced_positions() {
+        let t = RingTopology::evenly_spaced(4, mm(18.0)).unwrap();
+        assert_eq!(t.oni_count(), 4);
+        assert!((t.position(OniId::new(2)).as_millimeters() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_wraps() {
+        let t = RingTopology::evenly_spaced(4, mm(18.0)).unwrap();
+        assert!((t.distance(0.into(), 1.into()).as_millimeters() - 4.5).abs() < 1e-12);
+        assert!((t.distance(3.into(), 0.into()).as_millimeters() - 4.5).abs() < 1e-12);
+        assert!((t.distance(1.into(), 0.into()).as_millimeters() - 13.5).abs() < 1e-12);
+        // Self-distance: a full loop would be 0 by the formula; we define it
+        // as the full circumference (d = 0 -> wrap).
+        assert!((t.distance(2.into(), 2.into()).as_millimeters() - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walk_visits_all_others_in_order() {
+        let t = RingTopology::evenly_spaced(5, mm(10.0)).unwrap();
+        let walked: Vec<usize> = t.walk_from(3.into()).map(OniId::index).collect();
+        assert_eq!(walked, vec![4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn hops() {
+        let t = RingTopology::evenly_spaced(6, mm(12.0)).unwrap();
+        assert_eq!(t.hops(0.into(), 1.into()), 1);
+        assert_eq!(t.hops(4.into(), 1.into()), 3);
+        assert_eq!(t.hops(2.into(), 2.into()), 0);
+    }
+
+    #[test]
+    fn segment_lengths_sum_to_circumference() {
+        let t = RingTopology::new(
+            mm(20.0),
+            vec![mm(0.0), mm(3.0), mm(9.5), mm(14.0)],
+        )
+        .unwrap();
+        let total: f64 =
+            (0..4).map(|i| t.segment_length(OniId::new(i)).as_millimeters()).sum();
+        assert!((total - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RingTopology::evenly_spaced(1, mm(10.0)).is_err());
+        assert!(RingTopology::new(mm(0.0), vec![mm(0.0), mm(1.0)]).is_err());
+        assert!(RingTopology::new(mm(10.0), vec![mm(1.0), mm(1.0)]).is_err());
+        assert!(RingTopology::new(mm(10.0), vec![mm(0.0), mm(10.0)]).is_err());
+        assert!(RingTopology::new(mm(10.0), vec![mm(5.0)]).is_err());
+    }
+
+    #[test]
+    fn display_oni() {
+        assert_eq!(OniId::new(7).to_string(), "ONI7");
+        assert_eq!(OniId::from(2).index(), 2);
+    }
+}

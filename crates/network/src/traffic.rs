@@ -1,0 +1,88 @@
+//! Standard communication patterns for evaluation.
+
+use crate::OniId;
+
+/// Neighbor (ring) traffic: every ONI sends to its forward neighbor —
+/// the lightest pattern a ring supports, fully channel-reusable.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_network::traffic;
+///
+/// let p = traffic::ring_neighbors(4);
+/// assert_eq!(p.len(), 4);
+/// assert_eq!(p[3].1.index(), 0); // wraps around
+/// ```
+pub fn ring_neighbors(n: usize) -> Vec<(OniId, OniId)> {
+    (0..n).map(|i| (OniId::new(i), OniId::new((i + 1) % n))).collect()
+}
+
+/// All-to-all traffic: every ordered pair communicates (the worst case for
+/// wavelength demand).
+pub fn all_to_all(n: usize) -> Vec<(OniId, OniId)> {
+    let mut out = Vec::with_capacity(n.saturating_sub(1) * n);
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                out.push((OniId::new(s), OniId::new(d)));
+            }
+        }
+    }
+    out
+}
+
+/// Shift-by-`k` permutation traffic: ONI `i` sends to ONI `(i + k) mod n`.
+/// `k = 1` reduces to [`ring_neighbors`]; `k = n/2` is the "diameter"
+/// pattern with the longest arcs.
+pub fn shift(n: usize, k: usize) -> Vec<(OniId, OniId)> {
+    (0..n)
+        .filter(|&i| (i + k) % n != i)
+        .map(|i| (OniId::new(i), OniId::new((i + k) % n)))
+        .collect()
+}
+
+/// Hotspot traffic: every other ONI sends to `hot` (memory-controller-style
+/// convergecast).
+pub fn hotspot(n: usize, hot: OniId) -> Vec<(OniId, OniId)> {
+    (0..n)
+        .filter(|&i| i != hot.index())
+        .map(|i| (OniId::new(i), hot))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_count_and_wrap() {
+        let p = ring_neighbors(5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[4], (OniId::new(4), OniId::new(0)));
+    }
+
+    #[test]
+    fn all_to_all_count() {
+        assert_eq!(all_to_all(4).len(), 12);
+        assert!(all_to_all(4).iter().all(|(s, d)| s != d));
+    }
+
+    #[test]
+    fn shift_pattern() {
+        let p = shift(6, 3);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p[0], (OniId::new(0), OniId::new(3)));
+        // shift by 0 or by n produces no valid pairs
+        assert!(shift(4, 0).is_empty());
+        assert!(shift(4, 4).is_empty());
+    }
+
+    #[test]
+    fn hotspot_pattern() {
+        let p = hotspot(4, OniId::new(2));
+        assert_eq!(p.len(), 3);
+        assert!(p.iter().all(|(_, d)| d.index() == 2));
+        assert!(p.iter().all(|(s, _)| s.index() != 2));
+    }
+}

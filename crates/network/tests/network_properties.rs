@@ -1,0 +1,127 @@
+//! Property tests on the interconnect model.
+
+use proptest::prelude::*;
+use vcsel_network::baselines::{CrossbarTopology, LossCoefficients};
+use vcsel_network::{
+    assign_channels, traffic, OniId, RingTopology, SnrAnalyzer, WavelengthGrid,
+};
+use vcsel_units::{Celsius, Meters, Watts};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ORNoC channel assignment never double-books a (channel, segment)
+    /// pair — the core correctness property of wavelength reuse.
+    #[test]
+    fn assignment_has_no_conflicts(
+        n in 3usize..10,
+        pair_seed in proptest::collection::vec((0usize..10, 0usize..10), 1..30),
+    ) {
+        let topo = RingTopology::evenly_spaced(n, Meters::from_millimeters(30.0)).unwrap();
+        let pairs: Vec<(OniId, OniId)> = pair_seed
+            .into_iter()
+            .map(|(s, d)| (OniId::new(s % n), OniId::new(d % n)))
+            .filter(|(s, d)| s != d)
+            .collect();
+        prop_assume!(!pairs.is_empty());
+        let comms = assign_channels(&topo, &pairs).unwrap();
+
+        let mut used = std::collections::HashSet::new();
+        for c in &comms {
+            let hops = topo.hops(c.source(), c.destination());
+            for k in 0..hops {
+                let segment = (c.source().index() + k) % n;
+                prop_assert!(
+                    used.insert((c.channel(), segment)),
+                    "channel {} segment {segment} double-booked",
+                    c.channel()
+                );
+            }
+        }
+    }
+
+    /// Neighbor traffic always fits in one channel; all-to-all needs at
+    /// least ceil(total-hops / n) channels (a load lower bound).
+    #[test]
+    fn channel_counts_bounded(n in 3usize..10) {
+        let topo = RingTopology::evenly_spaced(n, Meters::from_millimeters(30.0)).unwrap();
+        let neighbor = assign_channels(&topo, &traffic::ring_neighbors(n)).unwrap();
+        prop_assert!(neighbor.iter().all(|c| c.channel() == 0));
+
+        let a2a = assign_channels(&topo, &traffic::all_to_all(n)).unwrap();
+        let channels = a2a.iter().map(|c| c.channel() + 1).max().unwrap();
+        // Total hop load of all-to-all on an n-ring: n * (1 + ... + n-1).
+        let load = n * (n - 1) * n / 2;
+        let lower = load.div_ceil(n);
+        prop_assert!(channels >= lower, "{channels} < load bound {lower}");
+        prop_assert!(channels <= n * (n - 1), "greedy must not exceed one channel per pair");
+    }
+
+    /// SNR analysis conserves energy and produces finite, ordered reports
+    /// for arbitrary temperature fields.
+    #[test]
+    fn snr_report_is_sane(
+        n in 3usize..8,
+        temps_seed in proptest::collection::vec(40.0f64..70.0, 8),
+        ring_mm in 10.0f64..60.0,
+    ) {
+        let topo = RingTopology::evenly_spaced(n, Meters::from_millimeters(ring_mm)).unwrap();
+        let comms = assign_channels(&topo, &traffic::all_to_all(n)).unwrap();
+        let analyzer = SnrAnalyzer::paper_default(WavelengthGrid::paper_default());
+        let temps: Vec<Celsius> =
+            temps_seed.iter().take(n).map(|&t| Celsius::new(t)).collect();
+        let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+        let report = analyzer.analyze(&topo, &comms, &temps, &powers).unwrap();
+
+        let mut received = 0.0;
+        for r in report.results() {
+            prop_assert!(r.signal.value() >= 0.0);
+            prop_assert!(r.crosstalk.value() >= 0.0);
+            prop_assert!(!r.snr_db.is_nan());
+            received += r.signal.value() + r.crosstalk.value();
+        }
+        let injected = 0.3e-3 * comms.len() as f64;
+        prop_assert!(received <= injected * (1.0 + 1e-9));
+        prop_assert!(report.worst_snr_db() <= report.mean_snr_db() + 1e-9);
+    }
+
+    /// Widening the temperature spread (same mean) never improves the
+    /// worst-case SNR.
+    #[test]
+    fn spread_monotonicity(n in 4usize..8, base_spread in 0.0f64..3.0) {
+        let topo = RingTopology::evenly_spaced(n, Meters::from_millimeters(40.0)).unwrap();
+        let comms = assign_channels(&topo, &traffic::all_to_all(n)).unwrap();
+        let analyzer = SnrAnalyzer::paper_default(WavelengthGrid::paper_default());
+        let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+        let field = |spread: f64| -> Vec<Celsius> {
+            (0..n)
+                .map(|i| Celsius::new(50.0 + spread * (i as f64 - (n - 1) as f64 / 2.0)))
+                .collect()
+        };
+        let narrow = analyzer
+            .analyze(&topo, &comms, &field(base_spread), &powers)
+            .unwrap();
+        let wide = analyzer
+            .analyze(&topo, &comms, &field(base_spread + 2.0), &powers)
+            .unwrap();
+        prop_assert!(
+            wide.worst_snr_db() <= narrow.worst_snr_db() + 1e-6,
+            "wider spread improved SNR: {} -> {}",
+            narrow.worst_snr_db(),
+            wide.worst_snr_db()
+        );
+    }
+
+    /// Baseline loss models: ORNoC wins at every scale; all losses are
+    /// positive and grow with n.
+    #[test]
+    fn baseline_losses_ordered(n in 2usize..100) {
+        let k = LossCoefficients::standard();
+        let ornoc = CrossbarTopology::Ornoc.worst_case_loss(n, &k).unwrap();
+        prop_assert!(ornoc.value() > 0.0);
+        for b in [CrossbarTopology::Matrix, CrossbarTopology::LambdaRouter, CrossbarTopology::Snake] {
+            prop_assert!(b.worst_case_loss(n, &k).unwrap() > ornoc);
+            prop_assert!(b.average_loss(n, &k).unwrap() < b.worst_case_loss(n, &k).unwrap());
+        }
+    }
+}

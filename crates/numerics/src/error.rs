@@ -1,0 +1,75 @@
+//! Error type for numerical routines.
+
+use core::fmt;
+
+/// Errors produced by the numerical kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// A matrix/vector dimension did not match (`expected`, `got`).
+    DimensionMismatch {
+        /// Description of the operand whose size is wrong.
+        what: &'static str,
+        /// Size required by the operation.
+        expected: usize,
+        /// Size actually supplied.
+        got: usize,
+    },
+    /// An iterative solver hit its iteration cap before converging.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Relative residual norm when the solver gave up.
+        residual: f64,
+        /// Relative residual norm requested.
+        tolerance: f64,
+    },
+    /// The system matrix is unusable (zero/negative diagonal, NaN entry, …).
+    BadMatrix {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// An input table or argument is empty or malformed.
+    BadInput {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { what, expected, got } => {
+                write!(f, "dimension mismatch for {what}: expected {expected}, got {got}")
+            }
+            Self::NoConvergence { iterations, residual, tolerance } => write!(
+                f,
+                "solver failed to converge after {iterations} iterations \
+                 (relative residual {residual:.3e}, tolerance {tolerance:.3e})"
+            ),
+            Self::BadMatrix { reason } => write!(f, "bad matrix: {reason}"),
+            Self::BadInput { reason } => write!(f, "bad input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = NumericsError::NoConvergence { iterations: 100, residual: 1e-3, tolerance: 1e-9 };
+        let msg = err.to_string();
+        assert!(msg.contains("100"));
+        assert!(msg.contains("1.000e-3"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<NumericsError>();
+    }
+}

@@ -1,0 +1,52 @@
+//! Numerical kernels for the vcsel-onoc toolchain.
+//!
+//! The thermal simulator in `vcsel-thermal` discretizes the steady-state
+//! heat equation with the Finite Volume Method, producing large sparse
+//! symmetric-positive-definite systems. This crate provides everything that
+//! solver needs — and the small interpolation/optimization helpers the device
+//! models and design-space exploration use — without pulling in a heavyweight
+//! linear-algebra dependency:
+//!
+//! * [`CsrMatrix`]: compressed-sparse-row matrices with a triplet builder,
+//! * [`solver`]: Jacobi-preconditioned conjugate gradient, SOR/Gauss-Seidel
+//!   and BiCGSTAB iterative solvers,
+//! * [`Interp1d`] / [`Interp2d`]: piecewise-linear lookup tables (the paper's
+//!   "VCSEL model library" is consumed in this form),
+//! * [`golden_section_min`] / [`grid_argmin`]: 1-D minimizers used by the
+//!   heater-power design-space exploration,
+//! * [`Summary`]: descriptive statistics for thermal maps.
+//!
+//! # Example
+//!
+//! ```
+//! use vcsel_numerics::{CsrMatrix, TripletBuilder, solver};
+//!
+//! // Solve the 1-D Poisson system  [2 -1; -1 2] x = [1, 1]  (x = [1, 1]).
+//! let mut b = TripletBuilder::new(2, 2);
+//! b.add(0, 0, 2.0); b.add(0, 1, -1.0);
+//! b.add(1, 0, -1.0); b.add(1, 1, 2.0);
+//! let a = b.build();
+//! let x = solver::conjugate_gradient(&a, &[1.0, 1.0], &solver::SolveOptions::default())?;
+//! assert!((x.solution[0] - 1.0).abs() < 1e-8);
+//! # Ok::<(), vcsel_numerics::NumericsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout as a NaN-rejecting validity
+// check (`x <= 0.0` would silently accept NaN).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+mod error;
+mod interp;
+mod optimize;
+pub mod solver;
+mod sparse;
+pub mod special;
+mod stats;
+
+pub use error::NumericsError;
+pub use interp::{Interp1d, Interp2d};
+pub use optimize::{golden_section_min, grid_argmin, Minimum};
+pub use sparse::{CsrMatrix, TripletBuilder};
+pub use stats::Summary;

@@ -1,0 +1,456 @@
+//! Iterative solvers for the sparse SPD systems produced by FVM assembly.
+//!
+//! Three methods are provided, mirroring the trade-offs an IcTherm-class
+//! simulator makes internally:
+//!
+//! * [`conjugate_gradient`] — Jacobi-preconditioned CG; the workhorse for the
+//!   symmetric positive-definite conduction matrices,
+//! * [`sor`] — successive over-relaxation (ω = 1 gives Gauss-Seidel); slower
+//!   but simple, used as a cross-check and in ablation benchmarks,
+//! * [`bicgstab`] — for mildly non-symmetric systems (e.g. upwinded
+//!   convection terms if a user extends the solver).
+
+use crate::{CsrMatrix, NumericsError};
+
+/// Convergence controls for the iterative solvers.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_numerics::solver::SolveOptions;
+///
+/// let opts = SolveOptions { tolerance: 1e-10, max_iterations: 20_000, ..Default::default() };
+/// assert!(opts.tolerance < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Relative residual tolerance ‖b − Ax‖₂ / ‖b‖₂ at which to stop.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Over-relaxation factor for [`sor`] (ignored by the Krylov methods).
+    /// Must lie in `(0, 2)`.
+    pub relaxation: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self { tolerance: 1e-9, max_iterations: 10_000, relaxation: 1.6 }
+    }
+}
+
+/// Outcome of a successful iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The computed solution vector.
+    pub solution: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final relative residual norm.
+    pub residual: f64,
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+fn validate_system(a: &CsrMatrix, b: &[f64]) -> Result<(), NumericsError> {
+    if a.rows() != a.cols() {
+        return Err(NumericsError::BadMatrix {
+            reason: format!("matrix must be square, got {}x{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != a.rows() {
+        return Err(NumericsError::DimensionMismatch {
+            what: "right-hand side",
+            expected: a.rows(),
+            got: b.len(),
+        });
+    }
+    if b.iter().any(|v| !v.is_finite()) {
+        return Err(NumericsError::BadInput { reason: "right-hand side contains non-finite values".into() });
+    }
+    Ok(())
+}
+
+/// Solves `A x = b` with Jacobi-preconditioned conjugate gradient.
+///
+/// `A` must be symmetric positive definite — which the FVM conduction matrix
+/// always is (harmonic-mean conductances plus a positive Robin boundary
+/// term). Convergence is declared on the *relative* residual.
+///
+/// # Errors
+///
+/// * [`NumericsError::BadMatrix`] if `A` is not square or has a
+///   non-positive diagonal entry,
+/// * [`NumericsError::DimensionMismatch`] if `b` has the wrong length,
+/// * [`NumericsError::NoConvergence`] if the iteration cap is reached.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_numerics::{TripletBuilder, solver};
+///
+/// let mut b = TripletBuilder::new(2, 2);
+/// b.add(0, 0, 4.0); b.add(1, 1, 9.0);
+/// let a = b.build();
+/// let s = solver::conjugate_gradient(&a, &[8.0, 27.0], &Default::default())?;
+/// assert!((s.solution[0] - 2.0).abs() < 1e-9);
+/// assert!((s.solution[1] - 3.0).abs() < 1e-9);
+/// # Ok::<(), vcsel_numerics::NumericsError>(())
+/// ```
+pub fn conjugate_gradient(
+    a: &CsrMatrix,
+    b: &[f64],
+    opts: &SolveOptions,
+) -> Result<Solution, NumericsError> {
+    validate_system(a, b)?;
+    let n = a.rows();
+
+    // Jacobi preconditioner: M⁻¹ = diag(A)⁻¹.
+    let diag = a.diagonal();
+    if let Some(i) = diag.iter().position(|&d| d <= 0.0 || !d.is_finite()) {
+        return Err(NumericsError::BadMatrix {
+            reason: format!("non-positive or non-finite diagonal entry {} at row {i}", diag[i]),
+        });
+    }
+    let inv_diag: Vec<f64> = diag.iter().map(|&d| 1.0 / d).collect();
+
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(Solution { solution: vec![0.0; n], iterations: 0, residual: 0.0 });
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b - A*0
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for iteration in 0..opts.max_iterations {
+        let res = norm2(&r) / b_norm;
+        if res <= opts.tolerance {
+            return Ok(Solution { solution: x, iterations: iteration, residual: res });
+        }
+
+        a.mul_vec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            return Err(NumericsError::BadMatrix {
+                reason: format!("matrix is not positive definite (pᵀAp = {pap:.3e})"),
+            });
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_next = dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+
+    let res = norm2(&r) / b_norm;
+    if res <= opts.tolerance {
+        return Ok(Solution { solution: x, iterations: opts.max_iterations, residual: res });
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: opts.max_iterations,
+        residual: res,
+        tolerance: opts.tolerance,
+    })
+}
+
+/// Solves `A x = b` with successive over-relaxation.
+///
+/// With `opts.relaxation == 1.0` this is plain Gauss-Seidel. Used as a
+/// slower cross-check of the CG solver and in the solver-ablation bench.
+///
+/// # Errors
+///
+/// Same contract as [`conjugate_gradient`]; additionally rejects a
+/// relaxation factor outside `(0, 2)`.
+pub fn sor(a: &CsrMatrix, b: &[f64], opts: &SolveOptions) -> Result<Solution, NumericsError> {
+    validate_system(a, b)?;
+    if !(opts.relaxation > 0.0 && opts.relaxation < 2.0) {
+        return Err(NumericsError::BadInput {
+            reason: format!("SOR relaxation factor must be in (0,2), got {}", opts.relaxation),
+        });
+    }
+    let n = a.rows();
+    let diag = a.diagonal();
+    if let Some(i) = diag.iter().position(|&d| d == 0.0 || !d.is_finite()) {
+        return Err(NumericsError::BadMatrix {
+            reason: format!("zero or non-finite diagonal entry at row {i}"),
+        });
+    }
+
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(Solution { solution: vec![0.0; n], iterations: 0, residual: 0.0 });
+    }
+
+    let mut x = vec![0.0; n];
+    let mut residual_buf = vec![0.0; n];
+    for iteration in 0..opts.max_iterations {
+        for i in 0..n {
+            let mut sigma = 0.0;
+            for (c, v) in a.row(i) {
+                if c != i {
+                    sigma += v * x[c];
+                }
+            }
+            let gs = (b[i] - sigma) / diag[i];
+            x[i] += opts.relaxation * (gs - x[i]);
+        }
+        // Check convergence every few sweeps to amortize the extra matvec.
+        if iteration % 4 == 3 || iteration + 1 == opts.max_iterations {
+            a.mul_vec_into(&x, &mut residual_buf);
+            for i in 0..n {
+                residual_buf[i] = b[i] - residual_buf[i];
+            }
+            let res = norm2(&residual_buf) / b_norm;
+            if res <= opts.tolerance {
+                return Ok(Solution { solution: x, iterations: iteration + 1, residual: res });
+            }
+        }
+    }
+    a.mul_vec_into(&x, &mut residual_buf);
+    for i in 0..n {
+        residual_buf[i] = b[i] - residual_buf[i];
+    }
+    let res = norm2(&residual_buf) / b_norm;
+    Err(NumericsError::NoConvergence {
+        iterations: opts.max_iterations,
+        residual: res,
+        tolerance: opts.tolerance,
+    })
+}
+
+/// Solves `A x = b` with BiCGSTAB (Jacobi-preconditioned).
+///
+/// Handles non-symmetric systems; provided for extensions (e.g. adding
+/// convective transport terms) and as an independent cross-check.
+///
+/// # Errors
+///
+/// Same contract as [`conjugate_gradient`], plus breakdown detection
+/// (`rho == 0`) which reports as [`NumericsError::BadMatrix`].
+pub fn bicgstab(a: &CsrMatrix, b: &[f64], opts: &SolveOptions) -> Result<Solution, NumericsError> {
+    validate_system(a, b)?;
+    let n = a.rows();
+    let diag = a.diagonal();
+    if let Some(i) = diag.iter().position(|&d| d == 0.0 || !d.is_finite()) {
+        return Err(NumericsError::BadMatrix {
+            reason: format!("zero or non-finite diagonal entry at row {i}"),
+        });
+    }
+    let inv_diag: Vec<f64> = diag.iter().map(|&d| 1.0 / d).collect();
+
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(Solution { solution: vec![0.0; n], iterations: 0, residual: 0.0 });
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let r_hat = r.clone();
+    let mut rho = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut t = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    let mut z = vec![0.0; n];
+
+    for iteration in 0..opts.max_iterations {
+        let res = norm2(&r) / b_norm;
+        if res <= opts.tolerance {
+            return Ok(Solution { solution: x, iterations: iteration, residual: res });
+        }
+        let rho_next = dot(&r_hat, &r);
+        if rho_next == 0.0 {
+            return Err(NumericsError::BadMatrix { reason: "BiCGSTAB breakdown (rho = 0)".into() });
+        }
+        let beta = (rho_next / rho) * (alpha / omega);
+        rho = rho_next;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        for i in 0..n {
+            y[i] = p[i] * inv_diag[i];
+        }
+        a.mul_vec_into(&y, &mut v);
+        alpha = rho / dot(&r_hat, &v);
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        for i in 0..n {
+            z[i] = s[i] * inv_diag[i];
+        }
+        a.mul_vec_into(&z, &mut t);
+        let tt = dot(&t, &t);
+        omega = if tt == 0.0 { 0.0 } else { dot(&t, &s) / tt };
+        for i in 0..n {
+            x[i] += alpha * y[i] + omega * z[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        if omega == 0.0 {
+            break;
+        }
+    }
+
+    let res = norm2(&r) / b_norm;
+    if res <= opts.tolerance {
+        return Ok(Solution { solution: x, iterations: opts.max_iterations, residual: res });
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: opts.max_iterations,
+        residual: res,
+        tolerance: opts.tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletBuilder;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    fn check_residual(a: &CsrMatrix, b: &[f64], x: &[f64], tol: f64) {
+        let ax = a.mul_vec(x).unwrap();
+        let res: f64 = ax.iter().zip(b).map(|(l, r)| (l - r) * (l - r)).sum::<f64>().sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(res / bn <= tol * 10.0, "residual {res} too large vs {bn}");
+    }
+
+    #[test]
+    fn cg_solves_laplacian() {
+        let n = 50;
+        let a = laplacian_1d(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let s = conjugate_gradient(&a, &b, &SolveOptions::default()).unwrap();
+        check_residual(&a, &b, &s.solution, 1e-9);
+        assert!(s.iterations <= n + 1, "CG must converge in at most n iterations");
+    }
+
+    #[test]
+    fn sor_matches_cg() {
+        let n = 30;
+        let a = laplacian_1d(n);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let opts = SolveOptions { tolerance: 1e-10, max_iterations: 100_000, relaxation: 1.8 };
+        let cg = conjugate_gradient(&a, &b, &opts).unwrap();
+        let gs = sor(&a, &b, &opts).unwrap();
+        for (x, y) in cg.solution.iter().zip(&gs.solution) {
+            assert!((x - y).abs() < 1e-6, "solver mismatch: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn bicgstab_solves_nonsymmetric() {
+        // Upper-triangular-ish non-symmetric but well-conditioned system.
+        let mut b = TripletBuilder::new(3, 3);
+        b.add(0, 0, 4.0);
+        b.add(0, 1, 1.0);
+        b.add(1, 1, 5.0);
+        b.add(1, 2, 2.0);
+        b.add(2, 0, 0.5);
+        b.add(2, 2, 6.0);
+        let a = b.build();
+        let rhs = [5.0, 7.0, 6.5];
+        let s = bicgstab(&a, &rhs, &SolveOptions::default()).unwrap();
+        check_residual(&a, &rhs, &s.solution, 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = laplacian_1d(5);
+        let s = conjugate_gradient(&a, &[0.0; 5], &SolveOptions::default()).unwrap();
+        assert_eq!(s.solution, vec![0.0; 5]);
+        assert_eq!(s.iterations, 0);
+    }
+
+    #[test]
+    fn cg_rejects_indefinite_matrix() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        b.add(0, 1, 3.0);
+        b.add(1, 0, 3.0);
+        b.add(1, 1, 1.0); // eigenvalues 4, -2 -> indefinite
+        let a = b.build();
+        // [1, -1] has negative curvature for this matrix, so the first CG
+        // step must detect p^T A p < 0.
+        let err = conjugate_gradient(&a, &[1.0, -1.0], &SolveOptions::default()).unwrap_err();
+        assert!(matches!(err, NumericsError::BadMatrix { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn cg_rejects_nonpositive_diagonal() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, -1.0);
+        b.add(1, 1, 1.0);
+        let a = b.build();
+        assert!(conjugate_gradient(&a, &[1.0, 1.0], &SolveOptions::default()).is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = laplacian_1d(4);
+        let err = conjugate_gradient(&a, &[1.0; 3], &SolveOptions::default()).unwrap_err();
+        assert!(matches!(err, NumericsError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn nonfinite_rhs_rejected() {
+        let a = laplacian_1d(2);
+        assert!(conjugate_gradient(&a, &[f64::NAN, 0.0], &SolveOptions::default()).is_err());
+    }
+
+    #[test]
+    fn no_convergence_reports_residual() {
+        let a = laplacian_1d(40);
+        let b = vec![1.0; 40];
+        let opts = SolveOptions { tolerance: 1e-14, max_iterations: 2, ..Default::default() };
+        match conjugate_gradient(&a, &b, &opts) {
+            Err(NumericsError::NoConvergence { iterations, residual, .. }) => {
+                assert_eq!(iterations, 2);
+                assert!(residual > 0.0);
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sor_validates_relaxation() {
+        let a = laplacian_1d(3);
+        let opts = SolveOptions { relaxation: 2.5, ..Default::default() };
+        assert!(sor(&a, &[1.0; 3], &opts).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Compressed-sparse-row matrices sized for finite-volume thermal systems.
+//!
+//! A full-chip mesh produces systems with 10⁵–10⁶ unknowns and seven-point
+//! stencils, i.e. ~7 non-zeros per row. CSR with a triplet-based builder is
+//! the standard representation; duplicate triplets are summed, which matches
+//! how FVM assembly naturally emits one contribution per face.
+
+use crate::NumericsError;
+
+/// Accumulates `(row, col, value)` triplets and compacts them into a
+/// [`CsrMatrix`]. Duplicate coordinates are summed.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_numerics::TripletBuilder;
+///
+/// let mut b = TripletBuilder::new(2, 2);
+/// b.add(0, 0, 1.0);
+/// b.add(0, 0, 1.5); // summed with the previous entry
+/// b.add(1, 1, 2.0);
+/// let m = b.build();
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.get(0, 0), 2.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TripletBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl TripletBuilder {
+    /// Creates a builder for an `rows x cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or exceeds `u32::MAX`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "matrix dimensions exceed u32 indexing"
+        );
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Creates a builder and pre-allocates room for `cap` triplets.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        let mut b = Self::new(rows, cols);
+        b.entries.reserve(cap);
+        b
+    }
+
+    /// Records a contribution `value` at `(row, col)`. Contributions to the
+    /// same coordinate accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        assert!(col < self.cols, "col {col} out of bounds ({})", self.cols);
+        if value != 0.0 {
+            self.entries.push((row as u32, col as u32, value));
+        }
+    }
+
+    /// Number of raw (pre-compaction) triplets recorded so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplets have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compacts the triplets into a CSR matrix, summing duplicates.
+    pub fn build(mut self) -> CsrMatrix {
+        // Sort by (row, col), merge duplicates, then count rows.
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
+        let mut row_ptr = vec![0usize; self.rows + 1];
+
+        let mut entry = 0usize;
+        while entry < self.entries.len() {
+            let (r, c, mut v) = self.entries[entry];
+            entry += 1;
+            while entry < self.entries.len()
+                && self.entries[entry].0 == r
+                && self.entries[entry].1 == c
+            {
+                v += self.entries[entry].2;
+                entry += 1;
+            }
+            row_ptr[r as usize + 1] += 1;
+            col_idx.push(c);
+            values.push(v);
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+
+        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
+}
+
+/// A sparse matrix in compressed-sparse-row format.
+///
+/// Construct via [`TripletBuilder`]. Rows are stored in ascending column
+/// order with no duplicate coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 1.0);
+        }
+        b.build()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the entry at `(row, col)` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        match self.col_idx[lo..hi].binary_search(&(col as u32)) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over the stored `(col, value)` pairs of one row.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Dense main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Computes `y = A * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if x.len() != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                what: "matrix-vector product operand",
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        Ok(y)
+    }
+
+    /// Computes `y = A * x` into a caller-provided buffer (no allocation;
+    /// used in solver inner loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer sizes are wrong.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            *yr = acc;
+        }
+    }
+
+    /// Checks structural + numerical symmetry to a relative tolerance.
+    ///
+    /// The FVM discretization of pure conduction must produce a symmetric
+    /// matrix; this check is used by the thermal solver's debug assertions
+    /// and tests.
+    pub fn is_symmetric(&self, rel_tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                let vt = self.get(c, r);
+                let scale = v.abs().max(vt.abs()).max(1e-300);
+                if (v - vt).abs() / scale > rel_tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if every diagonal entry is strictly positive and every
+    /// row is (weakly) diagonally dominant — a sufficient condition for the
+    /// FVM conduction matrix to be SPD.
+    pub fn is_diagonally_dominant(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (c, v) in self.row(r) {
+                if c == r {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            if diag <= 0.0 || diag + 1e-12 * diag < off {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let m = laplacian_1d(4);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.nnz(), 10);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert_eq!(m.get(0, 3), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = TripletBuilder::new(3, 3);
+        for _ in 0..5 {
+            b.add(1, 1, 0.5);
+        }
+        b.add(1, 2, 1.0);
+        b.add(1, 2, -1.0); // cancels but stays stored
+        let m = b.build();
+        assert_eq!(m.get(1, 1), 2.5);
+        assert_eq!(m.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn zero_contributions_are_skipped() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 0.0);
+        b.add(1, 1, 3.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = laplacian_1d(5);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = m.mul_vec(&x).unwrap();
+        // Dense check: y_i = -x_{i-1} + 2 x_i - x_{i+1}
+        assert_eq!(y, vec![0.0, 0.0, 0.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn matvec_dimension_mismatch() {
+        let m = laplacian_1d(3);
+        let err = m.mul_vec(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, NumericsError::DimensionMismatch { expected: 3, got: 2, .. }));
+    }
+
+    #[test]
+    fn symmetry_and_dominance() {
+        let m = laplacian_1d(6);
+        assert!(m.is_symmetric(1e-14));
+        assert!(m.is_diagonally_dominant());
+
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 1.0);
+        b.add(0, 1, 5.0);
+        b.add(1, 1, 1.0);
+        let m = b.build();
+        assert!(!m.is_symmetric(1e-14));
+        assert!(!m.is_diagonally_dominant());
+    }
+
+    #[test]
+    fn identity() {
+        let i3 = CsrMatrix::identity(3);
+        let x = [4.0, -1.0, 0.5];
+        assert_eq!(i3.mul_vec(&x).unwrap(), x.to_vec());
+        assert_eq!(i3.diagonal(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn row_iterator_is_sorted() {
+        let m = laplacian_1d(4);
+        for r in 0..4 {
+            let cols: Vec<usize> = m.row(r).map(|(c, _)| c).collect();
+            let mut sorted = cols.clone();
+            sorted.sort_unstable();
+            assert_eq!(cols, sorted);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_out_of_bounds_panics() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(2, 0, 1.0);
+    }
+}

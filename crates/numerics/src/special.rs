@@ -1,0 +1,340 @@
+//! Special functions needed by the link-quality models.
+//!
+//! The bit-error-rate of an on-off-keyed optical link with Gaussian noise is
+//! `BER = ½·erfc(Q/√2)`, so the photonics crate needs the complementary
+//! error function. `std` does not provide one; this module implements
+//! `erf`/`erfc` with the rational Chebyshev approximation of W. J. Cody
+//! ("Rational Chebyshev approximation for the error function", *Math. Comp.*
+//! 23, 1969) — the same algorithm used by most libm implementations —
+//! accurate to better than 1e-15 relative error over the whole real line,
+//! plus the Gaussian tail helpers built on top of it.
+
+/// The error function `erf(x) = 2/√π ∫₀ˣ e^(−t²) dt`.
+///
+/// Odd, monotonically increasing, `erf(±∞) = ±1`.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_numerics::special::erf;
+///
+/// assert!(erf(0.0).abs() < 1e-15);
+/// assert!((erf(1.0) - 0.8427007929497149).abs() < 1e-14);
+/// assert!((erf(-1.0) + 0.8427007929497149).abs() < 1e-14);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let ax = x.abs();
+    if ax < 0.5 {
+        // erf via rational approximation on |x| < 0.5.
+        erf_small(x)
+    } else {
+        let e = erfc_positive(ax);
+        if x > 0.0 {
+            1.0 - e
+        } else {
+            e - 1.0
+        }
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Computed directly (not as `1 − erf`) so that the deep Gaussian tail keeps
+/// full relative precision: `erfc(10) ≈ 2.09e-45` is representable and this
+/// routine returns it accurately, which matters for BER floors.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_numerics::special::erfc;
+///
+/// assert!((erfc(0.0) - 1.0).abs() < 1e-15);
+/// // Deep tail keeps relative accuracy (no catastrophic cancellation).
+/// let tail = erfc(6.0);
+/// assert!(tail > 2.1e-17 && tail < 2.2e-17);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x >= 0.0 {
+        if x < 0.5 {
+            1.0 - erf_small(x)
+        } else {
+            erfc_positive(x)
+        }
+    } else if x > -0.5 {
+        1.0 - erf_small(x)
+    } else {
+        2.0 - erfc_positive(-x)
+    }
+}
+
+/// The Gaussian tail probability `Q(x) = ½·erfc(x/√2)` — the probability
+/// that a standard normal variable exceeds `x`.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_numerics::special::q_function;
+///
+/// assert!((q_function(0.0) - 0.5).abs() < 1e-15);
+/// // The classic Q(6) ≈ 1e-9 BER threshold of optical links.
+/// let q6 = q_function(6.0);
+/// assert!(q6 > 0.9e-9 && q6 < 1.1e-9);
+/// ```
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / core::f64::consts::SQRT_2)
+}
+
+/// Inverse of [`q_function`] on (0, 0.5]: the Q-factor needed to reach a
+/// given tail probability. Bisection on the monotone `q_function`, accurate
+/// to ~1e-12 in `x`.
+///
+/// Returns `None` when `p` is outside (0, 0.5] (a Q-factor ≤ 0 would be
+/// needed, or the probability is not a probability).
+///
+/// # Example
+///
+/// ```
+/// use vcsel_numerics::special::{q_function, q_inverse};
+///
+/// let q = q_inverse(1e-9).unwrap();
+/// assert!((q - 5.9978).abs() < 1e-3); // the "Q = 6 for BER 1e-9" rule
+/// assert!((q_function(q) - 1e-9).abs() < 1e-12);
+/// ```
+pub fn q_inverse(p: f64) -> Option<f64> {
+    if !(p > 0.0) || p > 0.5 || p.is_nan() {
+        return None;
+    }
+    // q_function is strictly decreasing; bracket [0, hi].
+    let mut lo = 0.0;
+    let mut hi = 1.0;
+    while q_function(hi) > p {
+        hi *= 2.0;
+        if hi > 1e3 {
+            // p is denormal-small; the Q factor is astronomically large but
+            // finite — clamp the bracket (q_function(40) ~ 1e-350 underflows
+            // to 0, so the loop terminates well before this).
+            break;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if q_function(mid) > p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-13 * (1.0 + hi) {
+            break;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Cody's rational approximation for `erf(x)` on `|x| < 0.5`.
+fn erf_small(x: f64) -> f64 {
+    // Coefficients from Cody (1969), region 1.
+    const P: [f64; 5] = [
+        3.209377589138469472562e3,
+        3.774852376853020208137e2,
+        1.138641541510501556495e2,
+        3.161123743870565596947e0,
+        1.857777061846031526730e-1,
+    ];
+    const Q: [f64; 5] = [
+        2.844236833439170622273e3,
+        1.282616526077372275645e3,
+        2.440246379344441733056e2,
+        2.360129095234412093499e1,
+        1.0,
+    ];
+    let z = x * x;
+    let mut num = P[4] * z;
+    let mut den = Q[4] * z;
+    for i in (1..4).rev() {
+        num = (num + P[i]) * z;
+        den = (den + Q[i]) * z;
+    }
+    x * (num + P[0]) / (den + Q[0])
+}
+
+/// Cody's approximation for `erfc(x)` with `x ≥ 0.5`.
+fn erfc_positive(x: f64) -> f64 {
+    debug_assert!(x >= 0.5);
+    if x > 26.5 {
+        return 0.0; // underflows f64
+    }
+    let z = x * x;
+    let e = (-z).exp();
+    if x < 4.0 {
+        // Region 2 coefficients.
+        const P: [f64; 9] = [
+            1.23033935479799725272e3,
+            2.05107837782607146532e3,
+            1.71204761263407058314e3,
+            8.81952221241769090411e2,
+            2.98635138197400131132e2,
+            6.61191906371416294775e1,
+            8.88314979438837594118e0,
+            5.64188496988670089180e-1,
+            2.15311535474403846343e-8,
+        ];
+        const Q: [f64; 9] = [
+            1.23033935480374942043e3,
+            3.43936767414372163696e3,
+            4.36261909014324715820e3,
+            3.29079923573345962678e3,
+            1.62138957456669018874e3,
+            5.37181101862009857509e2,
+            1.17693950891312499305e2,
+            1.57449261107098347253e1,
+            1.0,
+        ];
+        let mut num = P[8] * x;
+        let mut den = Q[8] * x;
+        for i in (1..8).rev() {
+            num = (num + P[i]) * x;
+            den = (den + Q[i]) * x;
+        }
+        e * (num + P[0]) / (den + Q[0])
+    } else {
+        // Region 3: asymptotic-style rational in 1/x².
+        const P: [f64; 6] = [
+            -6.58749161529837803157e-4,
+            -1.60837851487422766278e-2,
+            -1.25781726111229246204e-1,
+            -3.60344899949804439429e-1,
+            -3.05326634961232344035e-1,
+            -1.63153871373020978498e-2,
+        ];
+        const Q: [f64; 6] = [
+            2.33520497626869185443e-3,
+            6.05183413124413191178e-2,
+            5.27905102951428412248e-1,
+            1.87295284992346047209e0,
+            2.56852019228982242072e0,
+            1.0,
+        ];
+        let r = 1.0 / z;
+        let mut num = P[5] * r;
+        let mut den = Q[5] * r;
+        for i in (1..5).rev() {
+            num = (num + P[i]) * r;
+            den = (den + Q[i]) * r;
+        }
+        let poly = r * (num + P[0]) / (den + Q[0]);
+        let inv_sqrt_pi = 0.5 * core::f64::consts::FRAC_2_SQRT_PI; // 1/√π
+        e * (inv_sqrt_pi + poly) / x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values computed with mpmath at 50 digits.
+    const REFS: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.1, 0.1124629160182848922033),
+        (0.25, 0.2763263901682369017001),
+        (0.5, 0.5204998778130465376827),
+        (1.0, 0.8427007929497148693412),
+        (1.5, 0.9661051464753107270670),
+        (2.0, 0.9953222650189527341621),
+        (3.0, 0.9999779095030014145586),
+        (4.0, 0.9999999845827420997200),
+    ];
+
+    #[test]
+    fn erf_matches_reference_values() {
+        for &(x, want) in REFS {
+            let got = erf(x);
+            assert!((got - want).abs() < 1e-14, "erf({x}) = {got}, want {want}");
+            // Odd symmetry.
+            assert!((erf(-x) + want).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for x in [-3.0, -1.0, -0.3, 0.0, 0.3, 1.0, 2.0, 3.9, 4.1, 8.0] {
+            let sum = erf(x) + erfc(x);
+            assert!((sum - 1.0).abs() < 1e-14, "erf+erfc at {x}: {sum}");
+        }
+    }
+
+    #[test]
+    fn erfc_deep_tail_relative_accuracy() {
+        // erfc(5) = 1.5374597944280348501883e-12 (mpmath).
+        let got = erfc(5.0);
+        let want = 1.5374597944280348501883e-12;
+        assert!(((got - want) / want).abs() < 1e-12, "erfc(5) = {got:e}");
+        // erfc(10) = 2.0884875837625447570007e-45.
+        let got = erfc(10.0);
+        let want = 2.0884875837625447570007e-45;
+        assert!(((got - want) / want).abs() < 1e-10, "erfc(10) = {got:e}");
+    }
+
+    #[test]
+    fn erfc_reflection() {
+        for x in [0.6, 1.7, 3.3, 5.5] {
+            let sum = erfc(x) + erfc(-x);
+            assert!((sum - 2.0).abs() < 1e-13, "erfc reflection at {x}: {sum}");
+        }
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(erf(f64::NAN).is_nan());
+        assert!(erfc(f64::NAN).is_nan());
+        assert!(q_function(f64::NAN).is_nan());
+        assert!(q_inverse(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn infinities_saturate() {
+        assert_eq!(erf(f64::INFINITY), 1.0);
+        assert_eq!(erf(f64::NEG_INFINITY), -1.0);
+        assert_eq!(erfc(f64::INFINITY), 0.0);
+        assert_eq!(erfc(f64::NEG_INFINITY), 2.0);
+    }
+
+    #[test]
+    fn q_function_anchors() {
+        // Standard normal: Q(1.96) ≈ 0.025 (the 95 % two-sided quantile).
+        assert!((q_function(1.959963984540054) - 0.025).abs() < 1e-12);
+        assert!((q_function(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn q_inverse_round_trips() {
+        for p in [0.4, 0.1, 1e-3, 1e-6, 1e-9, 1e-12, 1e-15] {
+            let q = q_inverse(p).unwrap();
+            let back = q_function(q);
+            assert!(
+                ((back - p) / p).abs() < 1e-6,
+                "round trip at p={p}: q={q}, back={back:e}"
+            );
+        }
+        assert!(q_inverse(0.6).is_none());
+        assert!(q_inverse(0.0).is_none());
+        assert!(q_inverse(-1.0).is_none());
+    }
+
+    #[test]
+    fn erf_is_monotone() {
+        let mut prev = erf(-6.0);
+        let mut x = -6.0;
+        while x < 6.0 {
+            x += 0.01;
+            let v = erf(x);
+            assert!(v >= prev, "erf not monotone at {x}");
+            prev = v;
+        }
+    }
+}

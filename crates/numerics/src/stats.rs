@@ -1,0 +1,100 @@
+//! Descriptive statistics for thermal maps and sweep results.
+
+/// Summary statistics (min / max / mean / standard deviation / range) of a
+/// sample set.
+///
+/// The paper's two key thermal metrics map directly onto this type: the ONI
+/// *average temperature* is [`Summary::mean`] and the ONI *gradient
+/// temperature* is [`Summary::range`] (max − min over the devices of the
+/// interface).
+///
+/// # Example
+///
+/// ```
+/// use vcsel_numerics::Summary;
+///
+/// let s = Summary::from_iter([54.6, 55.92, 55.0]).expect("non-empty");
+/// assert!((s.range() - 1.32).abs() < 1e-9);
+/// assert!(s.min >= 54.0 && s.max <= 56.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Number of samples aggregated.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Aggregates an iterator of samples; returns `None` if it is empty or
+    /// contains a non-finite value.
+    ///
+    /// (Named like — but deliberately distinct from — `FromIterator`: this
+    /// aggregation is fallible, so the trait cannot express it.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = f64>>(samples: I) -> Option<Self> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut count = 0usize;
+        for s in samples {
+            if !s.is_finite() {
+                return None;
+            }
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+            sum_sq += s * s;
+            count += 1;
+        }
+        if count == 0 {
+            return None;
+        }
+        let mean = sum / count as f64;
+        let variance = (sum_sq / count as f64 - mean * mean).max(0.0);
+        Some(Self { min, max, mean, std_dev: variance.sqrt(), count })
+    }
+
+    /// `max - min`: the "gradient" metric of the paper.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constants() {
+        let s = Summary::from_iter([5.0; 10]).unwrap();
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.range(), 0.0);
+        assert_eq!(s.count, 10);
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_iter([1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.range(), 3.0);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert!(Summary::from_iter(std::iter::empty()).is_none());
+        assert!(Summary::from_iter([1.0, f64::NAN]).is_none());
+        assert!(Summary::from_iter([1.0, f64::INFINITY]).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests on the numerical kernels: solver correctness on random
+//! SPD systems, interpolation bounds, optimizer guarantees.
+
+use proptest::prelude::*;
+use vcsel_numerics::solver::{bicgstab, conjugate_gradient, sor, SolveOptions};
+use vcsel_numerics::{golden_section_min, grid_argmin, CsrMatrix, Interp1d, TripletBuilder};
+
+/// Random symmetric diagonally dominant (hence SPD) matrix.
+fn random_spd(n: usize, seed: &[f64]) -> CsrMatrix {
+    let mut b = TripletBuilder::new(n, n);
+    let mut off_diag_sums = vec![0.0; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // Sparse-ish coupling pattern driven by the seed values.
+            let v = seed[(i * 7 + j * 13) % seed.len()];
+            if v.abs() > 0.5 {
+                let w = -v.abs();
+                b.add(i, j, w);
+                b.add(j, i, w);
+                off_diag_sums[i] += w.abs();
+                off_diag_sums[j] += w.abs();
+            }
+        }
+    }
+    for (i, s) in off_diag_sums.iter().enumerate() {
+        b.add(i, i, s + 1.0 + seed[i % seed.len()].abs());
+    }
+    b.build()
+}
+
+fn residual(a: &CsrMatrix, x: &[f64], rhs: &[f64]) -> f64 {
+    let ax = a.mul_vec(x).unwrap();
+    let num: f64 = ax.iter().zip(rhs).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+    let den: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+    num / den
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cg_solves_random_spd(
+        n in 3usize..40,
+        seed in proptest::collection::vec(-2.0f64..2.0, 40),
+        rhs_seed in proptest::collection::vec(-5.0f64..5.0, 40),
+    ) {
+        let a = random_spd(n, &seed);
+        let rhs: Vec<f64> = rhs_seed.iter().take(n).cloned().collect();
+        let opts = SolveOptions { tolerance: 1e-10, max_iterations: 10_000, relaxation: 1.5 };
+        let sol = conjugate_gradient(&a, &rhs, &opts).unwrap();
+        prop_assert!(residual(&a, &sol.solution, &rhs) < 1e-8);
+    }
+
+    #[test]
+    fn all_solvers_agree(
+        n in 3usize..20,
+        seed in proptest::collection::vec(-2.0f64..2.0, 20),
+        rhs_seed in proptest::collection::vec(-5.0f64..5.0, 20),
+    ) {
+        let a = random_spd(n, &seed);
+        let rhs: Vec<f64> = rhs_seed.iter().take(n).cloned().collect();
+        let opts = SolveOptions { tolerance: 1e-11, max_iterations: 200_000, relaxation: 1.2 };
+        let cg = conjugate_gradient(&a, &rhs, &opts).unwrap().solution;
+        let gs = sor(&a, &rhs, &opts).unwrap().solution;
+        let bi = bicgstab(&a, &rhs, &opts).unwrap().solution;
+        let scale = cg.iter().map(|v| v.abs()).fold(1e-12, f64::max);
+        for i in 0..n {
+            prop_assert!((cg[i] - gs[i]).abs() < 1e-6 * scale, "CG vs SOR at {i}");
+            prop_assert!((cg[i] - bi[i]).abs() < 1e-6 * scale, "CG vs BiCGSTAB at {i}");
+        }
+    }
+
+    #[test]
+    fn matvec_is_linear(
+        n in 2usize..30,
+        seed in proptest::collection::vec(-2.0f64..2.0, 30),
+        x_seed in proptest::collection::vec(-3.0f64..3.0, 30),
+        alpha in -4.0f64..4.0,
+    ) {
+        let a = random_spd(n, &seed);
+        let x: Vec<f64> = x_seed.iter().take(n).cloned().collect();
+        let ax = a.mul_vec(&x).unwrap();
+        let scaled: Vec<f64> = x.iter().map(|v| alpha * v).collect();
+        let a_scaled = a.mul_vec(&scaled).unwrap();
+        for i in 0..n {
+            prop_assert!((a_scaled[i] - alpha * ax[i]).abs() < 1e-9 * ax[i].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn interp_stays_within_knot_range(
+        ys in proptest::collection::vec(-10.0f64..10.0, 2..12),
+        x in -20.0f64..20.0,
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let t = Interp1d::new(xs, ys.clone()).unwrap();
+        let v = t.eval(x);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn golden_section_beats_endpoints(center in -3.0f64..3.0, scale in 0.1f64..10.0) {
+        let f = |x: f64| scale * (x - center).powi(2);
+        let m = golden_section_min(-5.0, 5.0, 1e-9, f).unwrap();
+        prop_assert!(m.value <= f(-5.0) + 1e-9);
+        prop_assert!(m.value <= f(5.0) + 1e-9);
+        prop_assert!((m.argmin - center).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grid_argmin_is_true_sample_min(
+        ys in proptest::collection::vec(-10.0f64..10.0, 2..20),
+    ) {
+        let n = ys.len();
+        let ys2 = ys.clone();
+        let m = grid_argmin(0.0, (n - 1) as f64, n, move |x| {
+            ys2[x.round() as usize]
+        }).unwrap();
+        let true_min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(m.value, true_min);
+    }
+}

@@ -1,0 +1,277 @@
+//! Bit-error-rate and effective-bandwidth models.
+//!
+//! The paper's Section III-C observes that as chip activity heats the
+//! lasers, "either the optical interconnect bandwidth will decrease assuming
+//! a same modulation current (the SNR being lower, data will be re-emitted)
+//! or the optical interconnect power consumption will increase". This module
+//! quantifies the first branch:
+//!
+//! * [`BerModel`] converts a worst-case SNR (the output of the SNR analysis)
+//!   into a bit-error rate for on-off-keyed signalling with Gaussian noise,
+//!   `BER = Q(√SNR)` with `Q` the Gaussian tail function,
+//! * [`LinkReliability`] turns the BER into a packet-error rate and the
+//!   *effective bandwidth* after re-emission of corrupted packets — the
+//!   quantity the paper says will drop under higher activity.
+
+use serde::{Deserialize, Serialize};
+use vcsel_numerics::special::{q_function, q_inverse};
+
+use crate::PhotonicsError;
+
+/// On-off-keying bit-error-rate model.
+///
+/// For OOK with additive Gaussian noise and an optimal threshold, the
+/// bit-error rate is `BER = Q(Q_factor)` where `Q(·)` is the Gaussian tail
+/// probability and the Q-factor relates to the electrical signal-to-noise
+/// ratio as `Q_factor = √SNR`. The crosstalk computed by the SNR analysis is
+/// treated as Gaussian-equivalent noise — the standard worst-case assumption
+/// in ONoC link-budget papers (e.g. Ye et al. [13]).
+///
+/// # Example
+///
+/// ```
+/// use vcsel_photonics::BerModel;
+///
+/// let model = BerModel::ook();
+/// // The classic rule of thumb: ~15.6 dB SNR gives BER 1e-9.
+/// let ber = model.ber_from_snr_db(15.56);
+/// assert!(ber > 1e-10 && ber < 1e-8);
+/// // 38 dB (the paper's best case) is essentially error-free.
+/// assert!(model.ber_from_snr_db(38.0) < 1e-300);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BerModel {
+    _private: (),
+}
+
+impl BerModel {
+    /// The on-off-keying model used throughout the crate.
+    pub fn ook() -> Self {
+        Self { _private: () }
+    }
+
+    /// Q-factor for a *linear* signal-to-noise power ratio.
+    pub fn q_factor(&self, snr_linear: f64) -> f64 {
+        snr_linear.max(0.0).sqrt()
+    }
+
+    /// Bit-error rate for a linear SNR.
+    pub fn ber_from_snr(&self, snr_linear: f64) -> f64 {
+        q_function(self.q_factor(snr_linear))
+    }
+
+    /// Bit-error rate for an SNR in dB.
+    pub fn ber_from_snr_db(&self, snr_db: f64) -> f64 {
+        self.ber_from_snr(10f64.powf(snr_db / 10.0))
+    }
+
+    /// The SNR (in dB) required to reach a target BER.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::BadParameter`] if `target_ber` is outside
+    /// `(0, 0.5]` — lower than any achievable error floor or not a
+    /// probability.
+    pub fn required_snr_db(&self, target_ber: f64) -> Result<f64, PhotonicsError> {
+        let q = q_inverse(target_ber).ok_or_else(|| PhotonicsError::BadParameter {
+            reason: format!("target BER must be in (0, 0.5], got {target_ber}"),
+        })?;
+        Ok(20.0 * q.log10())
+    }
+}
+
+impl Default for BerModel {
+    fn default() -> Self {
+        Self::ook()
+    }
+}
+
+/// Packet-level reliability and effective bandwidth of a link.
+///
+/// Corrupted packets are detected and re-emitted (the paper's "data will be
+/// re-emitted"), so a raw line rate `B` delivers an effective bandwidth
+/// `B · (1 − PER)` with `PER = 1 − (1 − BER)^bits`.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_photonics::{BerModel, LinkReliability};
+///
+/// // 12 GHz modulation (Section V-A), 512-bit packets.
+/// let link = LinkReliability::new(12e9, 512)?;
+/// let good = link.effective_bandwidth_hz(BerModel::ook().ber_from_snr_db(38.0));
+/// let poor = link.effective_bandwidth_hz(BerModel::ook().ber_from_snr_db(10.0));
+/// assert!(good > 0.999 * 12e9);
+/// assert!(poor < good);
+/// # Ok::<(), vcsel_photonics::PhotonicsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkReliability {
+    /// Raw line rate, Hz (bit/s for OOK).
+    raw_bandwidth_hz: f64,
+    /// Packet size in bits.
+    packet_bits: u32,
+}
+
+impl LinkReliability {
+    /// A link with the given raw line rate (Hz = bit/s for OOK) and packet
+    /// size (bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::BadParameter`] for a non-positive bandwidth
+    /// or zero-size packets.
+    pub fn new(raw_bandwidth_hz: f64, packet_bits: u32) -> Result<Self, PhotonicsError> {
+        if !(raw_bandwidth_hz > 0.0) || !raw_bandwidth_hz.is_finite() {
+            return Err(PhotonicsError::BadParameter {
+                reason: format!("raw bandwidth must be positive, got {raw_bandwidth_hz}"),
+            });
+        }
+        if packet_bits == 0 {
+            return Err(PhotonicsError::BadParameter {
+                reason: "packet size must be at least one bit".into(),
+            });
+        }
+        Ok(Self { raw_bandwidth_hz, packet_bits })
+    }
+
+    /// The paper's link: 12 GHz direct modulation, 512-bit packets.
+    pub fn paper_default() -> Self {
+        Self::new(12e9, 512).expect("paper defaults are valid")
+    }
+
+    /// Raw line rate, Hz.
+    pub fn raw_bandwidth_hz(&self) -> f64 {
+        self.raw_bandwidth_hz
+    }
+
+    /// Packet size, bits.
+    pub fn packet_bits(&self) -> u32 {
+        self.packet_bits
+    }
+
+    /// Probability that a whole packet arrives intact:
+    /// `(1 − BER)^bits = exp(bits·ln1p(−BER))`, computed in log space so
+    /// both the ≈1 and the ≈0 regime keep full relative precision.
+    pub fn packet_success_rate(&self, ber: f64) -> f64 {
+        let ber = ber.clamp(0.0, 1.0);
+        if ber >= 1.0 {
+            return 0.0;
+        }
+        (f64::from(self.packet_bits) * f64::ln_1p(-ber)).exp()
+    }
+
+    /// Packet-error rate `PER = 1 − (1 − BER)^bits`, via `exp_m1` to stay
+    /// accurate for tiny BERs.
+    pub fn packet_error_rate(&self, ber: f64) -> f64 {
+        let ber = ber.clamp(0.0, 1.0);
+        if ber >= 1.0 {
+            return 1.0;
+        }
+        -f64::exp_m1(f64::from(self.packet_bits) * f64::ln_1p(-ber))
+    }
+
+    /// Expected number of (re-)emissions until a packet lands intact:
+    /// `1 / P(success)`. Returns `f64::INFINITY` when every packet is
+    /// corrupt.
+    pub fn expected_emissions(&self, ber: f64) -> f64 {
+        let success = self.packet_success_rate(ber);
+        if success <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / success
+        }
+    }
+
+    /// Effective (goodput) bandwidth after re-emission, Hz.
+    pub fn effective_bandwidth_hz(&self, ber: f64) -> f64 {
+        self.raw_bandwidth_hz * self.packet_success_rate(ber)
+    }
+
+    /// Fraction of the raw bandwidth that survives re-emission, in `[0, 1]`.
+    pub fn bandwidth_efficiency(&self, ber: f64) -> f64 {
+        self.packet_success_rate(ber)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_decreases_with_snr() {
+        let m = BerModel::ook();
+        let mut prev = 1.0;
+        for snr_db in [0.0, 5.0, 10.0, 15.0, 20.0, 25.0] {
+            let ber = m.ber_from_snr_db(snr_db);
+            assert!(ber < prev, "BER must fall with SNR at {snr_db} dB");
+            prev = ber;
+        }
+    }
+
+    #[test]
+    fn required_snr_round_trips() {
+        let m = BerModel::ook();
+        for target in [1e-3, 1e-9, 1e-12] {
+            let snr = m.required_snr_db(target).unwrap();
+            let back = m.ber_from_snr_db(snr);
+            assert!(((back - target) / target).abs() < 1e-5, "round trip at {target}");
+        }
+        assert!(m.required_snr_db(0.0).is_err());
+        assert!(m.required_snr_db(0.7).is_err());
+    }
+
+    #[test]
+    fn ber_1e9_at_textbook_snr() {
+        // Q = 6 -> BER ~ 1e-9; SNR = Q² = 36 -> 15.56 dB.
+        let m = BerModel::ook();
+        let snr = m.required_snr_db(1e-9).unwrap();
+        assert!((snr - 15.56).abs() < 0.05, "got {snr} dB");
+    }
+
+    #[test]
+    fn per_scales_with_packet_size_at_small_ber() {
+        let short = LinkReliability::new(12e9, 64).unwrap();
+        let long = LinkReliability::new(12e9, 4096).unwrap();
+        let ber = 1e-9;
+        let ratio = long.packet_error_rate(ber) / short.packet_error_rate(ber);
+        // For BER·bits << 1, PER ≈ bits·BER.
+        assert!((ratio - 64.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn per_is_accurate_for_tiny_ber() {
+        let link = LinkReliability::paper_default();
+        // Naive 1-(1-BER)^n would round to 0 here; ln1p keeps precision.
+        let per = link.packet_error_rate(1e-17);
+        let expect = 512.0 * 1e-17;
+        assert!(((per - expect) / expect).abs() < 1e-6, "per {per:e}");
+    }
+
+    #[test]
+    fn effective_bandwidth_degrades_gracefully() {
+        let link = LinkReliability::paper_default();
+        assert!((link.effective_bandwidth_hz(0.0) - 12e9).abs() < 1.0);
+        assert_eq!(link.effective_bandwidth_hz(1.0), 0.0);
+        assert_eq!(link.expected_emissions(1.0), f64::INFINITY);
+        let mid = link.effective_bandwidth_hz(1e-3);
+        assert!(mid > 0.0 && mid < 12e9);
+    }
+
+    #[test]
+    fn emissions_and_efficiency_are_consistent() {
+        let link = LinkReliability::paper_default();
+        for ber in [1e-9, 1e-6, 1e-4, 1e-3] {
+            let n = link.expected_emissions(ber);
+            let eff = link.bandwidth_efficiency(ber);
+            assert!((n * eff - 1.0).abs() < 1e-12, "n·eff != 1 at {ber}");
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LinkReliability::new(0.0, 512).is_err());
+        assert!(LinkReliability::new(f64::NAN, 512).is_err());
+        assert!(LinkReliability::new(12e9, 0).is_err());
+    }
+}

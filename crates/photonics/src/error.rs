@@ -1,0 +1,48 @@
+//! Error type for the device models.
+
+use core::fmt;
+
+/// Errors produced by photonic device models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PhotonicsError {
+    /// A device parameter is outside its physical range.
+    BadParameter {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// An operating point could not be found (e.g. a requested dissipated
+    /// power is unreachable at the given temperature).
+    NoOperatingPoint {
+        /// Explanation of why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PhotonicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadParameter { reason } => write!(f, "bad parameter: {reason}"),
+            Self::NoOperatingPoint { reason } => write!(f, "no operating point: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PhotonicsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = PhotonicsError::BadParameter { reason: "negative current".into() };
+        assert!(e.to_string().contains("negative current"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<PhotonicsError>();
+    }
+}

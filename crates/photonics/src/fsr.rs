@@ -1,0 +1,306 @@
+//! Free-spectral-range model for microring resonators.
+//!
+//! A ring resonates at every wavelength for which an integer number of
+//! guided wavelengths fits its circumference, so its comb of resonances
+//! repeats with the free spectral range
+//!
+//! ```text
+//! FSR = λ² / (n_g · L),      L = 2πR
+//! ```
+//!
+//! The base [`MicroringResonator`](crate::MicroringResonator) model treats a
+//! single resonance; that is exact as long as all channels live well inside
+//! one FSR. The paper's ONI packs 16 channels around 1550 nm, and the
+//! related job-allocation work it cites ([14], Zhang et al., DATE 2014)
+//! reasons explicitly about the FSR — so this module provides:
+//!
+//! * [`RingGeometry`] — FSR, resonance order and comb positions from the
+//!   physical ring (the paper's Ø10 µm ring gives FSR ≈ 17.6 nm),
+//! * [`PeriodicRing`] — a microring whose response is the superposition of
+//!   all comb orders: a signal one full FSR away is dropped *again*, which
+//!   bounds how many wavelength channels one waveguide can carry.
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::{Celsius, Meters, Nanometers};
+
+use crate::{MicroringResonator, PhotonicsError};
+
+/// Physical ring geometry, from which the free spectral range follows.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_photonics::RingGeometry;
+/// use vcsel_units::{Meters, Nanometers};
+///
+/// // The paper's Ø10 µm microring, Si group index ≈ 4.3.
+/// let g = RingGeometry::new(Meters::from_micrometers(5.0), 4.3)?;
+/// let fsr = g.fsr(Nanometers::new(1550.0));
+/// assert!(fsr.value() > 17.0 && fsr.value() < 18.5);
+/// # Ok::<(), vcsel_photonics::PhotonicsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingGeometry {
+    /// Ring radius, m.
+    radius_m: f64,
+    /// Group index of the guided mode.
+    group_index: f64,
+}
+
+impl RingGeometry {
+    /// The paper's Figure 1-b ring: 10 µm diameter, silicon-wire group
+    /// index 4.3 (typical 450 × 220 nm Si wire at 1550 nm).
+    pub fn paper_default() -> Self {
+        Self::new(Meters::from_micrometers(5.0), 4.3).expect("paper defaults are valid")
+    }
+
+    /// Creates a ring geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::BadParameter`] for a non-positive radius or
+    /// group index.
+    pub fn new(radius: Meters, group_index: f64) -> Result<Self, PhotonicsError> {
+        if !(radius.value() > 0.0) {
+            return Err(PhotonicsError::BadParameter {
+                reason: format!("ring radius must be positive, got {radius}"),
+            });
+        }
+        if !(group_index > 0.0) || !group_index.is_finite() {
+            return Err(PhotonicsError::BadParameter {
+                reason: format!("group index must be positive, got {group_index}"),
+            });
+        }
+        Ok(Self { radius_m: radius.value(), group_index })
+    }
+
+    /// Ring radius.
+    pub fn radius(&self) -> Meters {
+        Meters::new(self.radius_m)
+    }
+
+    /// Group index of the guided mode.
+    pub fn group_index(&self) -> f64 {
+        self.group_index
+    }
+
+    /// Ring circumference `L = 2πR`.
+    pub fn circumference(&self) -> Meters {
+        Meters::new(core::f64::consts::TAU * self.radius_m)
+    }
+
+    /// Free spectral range at wavelength `lambda`: `FSR = λ²/(n_g·L)`.
+    pub fn fsr(&self, lambda: Nanometers) -> Nanometers {
+        let l_nm = self.circumference().value() * 1e9;
+        Nanometers::new(lambda.value() * lambda.value() / (self.group_index * l_nm))
+    }
+
+    /// Azimuthal resonance order nearest to `lambda` (the integer `m` in
+    /// `m·λ = n_g·L`).
+    pub fn resonance_order(&self, lambda: Nanometers) -> u32 {
+        let l_nm = self.circumference().value() * 1e9;
+        (self.group_index * l_nm / lambda.value()).round().max(1.0) as u32
+    }
+
+    /// How many channels of the given spacing fit inside one FSR — the
+    /// hard upper bound on wavelength-division channels a passive ring
+    /// filter bank can separate.
+    pub fn max_channels(&self, lambda: Nanometers, spacing: Nanometers) -> usize {
+        if !(spacing.value() > 0.0) {
+            return 0;
+        }
+        (self.fsr(lambda).value() / spacing.value()).floor() as usize
+    }
+}
+
+/// A microring whose drop response repeats every free spectral range.
+///
+/// Wraps a [`MicroringResonator`] (one Lorentzian line) and folds any
+/// detuning into the principal interval `[−FSR/2, +FSR/2]`, so a signal one
+/// full FSR away from the design resonance is dropped as if it were exactly
+/// on resonance. This is what limits ORNoC channel counts: channel
+/// wavelengths must all fall within one FSR of each other.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_photonics::{MicroringResonator, PeriodicRing, RingGeometry};
+/// use vcsel_units::Nanometers;
+///
+/// let ring = PeriodicRing::new(
+///     MicroringResonator::paper_default(Nanometers::new(1550.0)),
+///     RingGeometry::paper_default(),
+/// );
+/// let fsr = ring.fsr();
+/// // One whole FSR away: dropped again (aliasing), unlike the single-line model.
+/// assert!(ring.drop_fraction(fsr) > 0.99);
+/// // Half an FSR away: the most isolated a channel can be.
+/// assert!(ring.drop_fraction(Nanometers::new(fsr.value() / 2.0)) < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicRing {
+    line: MicroringResonator,
+    geometry: RingGeometry,
+    fsr_nm: f64,
+}
+
+impl PeriodicRing {
+    /// Combines a single-line ring model with its physical geometry.
+    /// The FSR is evaluated at the line's design resonance.
+    pub fn new(line: MicroringResonator, geometry: RingGeometry) -> Self {
+        let fsr_nm = geometry.fsr(line.design_resonance()).value();
+        Self { line, geometry, fsr_nm }
+    }
+
+    /// The underlying single-line model.
+    pub fn line(&self) -> &MicroringResonator {
+        &self.line
+    }
+
+    /// The ring geometry.
+    pub fn geometry(&self) -> &RingGeometry {
+        &self.geometry
+    }
+
+    /// Free spectral range at the design resonance.
+    pub fn fsr(&self) -> Nanometers {
+        Nanometers::new(self.fsr_nm)
+    }
+
+    /// Folds a detuning into the principal interval `[−FSR/2, +FSR/2]`.
+    fn fold(&self, delta: Nanometers) -> Nanometers {
+        let d = delta.value();
+        let folded = d - self.fsr_nm * (d / self.fsr_nm).round();
+        Nanometers::new(folded)
+    }
+
+    /// Drop fraction for a detuning from the *design* resonance, aliased
+    /// over all comb orders.
+    pub fn drop_fraction(&self, delta: Nanometers) -> f64 {
+        self.line.drop_fraction(self.fold(delta))
+    }
+
+    /// Through fraction, aliased over all comb orders.
+    pub fn through_fraction(&self, delta: Nanometers) -> f64 {
+        self.line.through_fraction(self.fold(delta))
+    }
+
+    /// Drop fraction for a signal at `signal` wavelength with the ring at
+    /// temperature `t` (thermal drift applied to every comb order alike).
+    pub fn drop_fraction_at(&self, signal: Nanometers, t: Celsius) -> f64 {
+        self.drop_fraction(signal - self.line.resonance_at(t))
+    }
+
+    /// Worst-case *adjacent-order* crosstalk for a channel plan spanning
+    /// `span` of spectrum: the drop fraction seen by the channel closest to
+    /// the next comb order, `FSR − span` away from this ring's resonance.
+    ///
+    /// Returns 1.0 when the plan is wider than the FSR (aliasing is
+    /// unavoidable).
+    pub fn adjacent_order_crosstalk(&self, span: Nanometers) -> f64 {
+        if span.value() >= self.fsr_nm {
+            return 1.0;
+        }
+        self.line.drop_fraction(Nanometers::new(self.fsr_nm - span.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> PeriodicRing {
+        PeriodicRing::new(
+            MicroringResonator::paper_default(Nanometers::new(1550.0)),
+            RingGeometry::paper_default(),
+        )
+    }
+
+    #[test]
+    fn paper_ring_fsr_matches_hand_calculation() {
+        // FSR = λ²/(n_g·2πR) = 1550²/(4.3·2π·5000) nm ≈ 17.78 nm.
+        let g = RingGeometry::paper_default();
+        let fsr = g.fsr(Nanometers::new(1550.0));
+        let by_hand = 1550.0f64.powi(2) / (4.3 * core::f64::consts::TAU * 5000.0);
+        assert!((fsr.value() - by_hand).abs() < 1e-9, "fsr {fsr}");
+        assert!(fsr.value() > 17.7 && fsr.value() < 17.9);
+    }
+
+    #[test]
+    fn resonance_order_is_physical() {
+        let g = RingGeometry::paper_default();
+        let m = g.resonance_order(Nanometers::new(1550.0));
+        // m = n_g·L/λ = 4.3·31416/1550 ≈ 87.
+        assert_eq!(m, 87);
+    }
+
+    #[test]
+    fn max_channels_counts_spacings() {
+        let g = RingGeometry::paper_default();
+        // 17.78 nm FSR / 1.0 nm spacing -> 17 channels.
+        assert_eq!(g.max_channels(Nanometers::new(1550.0), Nanometers::new(1.0)), 17);
+        assert_eq!(g.max_channels(Nanometers::new(1550.0), Nanometers::ZERO), 0);
+    }
+
+    #[test]
+    fn folding_aliases_whole_fsr_to_resonance() {
+        let r = ring();
+        let fsr = r.fsr();
+        for k in [-2.0, -1.0, 1.0, 2.0] {
+            let d = Nanometers::new(k * fsr.value());
+            assert!(r.drop_fraction(d) > 0.999, "order {k} should alias onto resonance");
+        }
+    }
+
+    #[test]
+    fn inside_principal_interval_matches_single_line() {
+        let r = ring();
+        for d in [0.0, 0.2, 0.775, 2.0, 5.0] {
+            let delta = Nanometers::new(d);
+            assert!(
+                (r.drop_fraction(delta) - r.line().drop_fraction(delta)).abs() < 1e-12,
+                "mismatch at {d} nm"
+            );
+        }
+    }
+
+    #[test]
+    fn folding_is_symmetric_and_periodic() {
+        let r = ring();
+        let fsr = r.fsr().value();
+        for d in [0.3, 1.1, 4.0, 8.0] {
+            let a = r.drop_fraction(Nanometers::new(d));
+            let b = r.drop_fraction(Nanometers::new(d + fsr));
+            let c = r.drop_fraction(Nanometers::new(-d));
+            assert!((a - b).abs() < 1e-9, "periodicity at {d}");
+            assert!((a - c).abs() < 1e-12, "symmetry at {d}");
+        }
+    }
+
+    #[test]
+    fn adjacent_order_crosstalk_grows_with_span() {
+        let r = ring();
+        let narrow = r.adjacent_order_crosstalk(Nanometers::new(4.0));
+        let wide = r.adjacent_order_crosstalk(Nanometers::new(15.0));
+        assert!(narrow < wide, "wider plans sit closer to the next order");
+        assert_eq!(r.adjacent_order_crosstalk(Nanometers::new(20.0)), 1.0);
+    }
+
+    #[test]
+    fn thermal_drift_moves_the_whole_comb() {
+        let r = ring();
+        // Hot ring: resonance (and every order) red-shifts; a signal at the
+        // design wavelength is no longer fully dropped.
+        let cold = r.drop_fraction_at(Nanometers::new(1550.0), Celsius::new(25.0));
+        let hot = r.drop_fraction_at(Nanometers::new(1550.0), Celsius::new(35.0));
+        assert!(cold > 0.999);
+        assert!(hot < cold);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RingGeometry::new(Meters::ZERO, 4.3).is_err());
+        assert!(RingGeometry::new(Meters::from_micrometers(5.0), 0.0).is_err());
+        assert!(RingGeometry::new(Meters::from_micrometers(5.0), f64::NAN).is_err());
+    }
+}

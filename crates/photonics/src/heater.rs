@@ -1,0 +1,132 @@
+//! Microring trimming heater.
+//!
+//! The paper places "a resistance on top of each MR" to heat the rings and
+//! flatten the intra-ONI temperature gradient. The heater's electrical power
+//! (P_heater) is the key design-space knob of Figure 9-b; at the device
+//! level it also supports active wavelength trimming, whose cost the paper
+//! quotes as 190 µW/nm for heat tuning (red shift) and 130 µW/nm for
+//! voltage tuning (blue shift) [17].
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::{Nanometers, Watts};
+
+use crate::PhotonicsError;
+
+/// A resistive heater sitting on top of a microring.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_photonics::MrHeater;
+/// use vcsel_units::Nanometers;
+///
+/// let heater = MrHeater::paper_default();
+/// // Red-shifting a ring by 1 nm costs 190 µW (paper Section III-B).
+/// let p = heater.power_for_shift(Nanometers::new(1.0))?;
+/// assert!((p.as_microwatts() - 190.0).abs() < 1e-9);
+/// # Ok::<(), vcsel_photonics::PhotonicsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MrHeater {
+    /// Heat-tuning cost, W/nm of red shift.
+    tuning_w_per_nm: f64,
+    /// Maximum electrical power the heater may dissipate, W.
+    max_power: f64,
+}
+
+impl MrHeater {
+    /// The paper's heat-tuning figure: 190 µW/nm, with a generous 10 mW cap.
+    pub fn paper_default() -> Self {
+        Self::new(190e-6, Watts::from_milliwatts(10.0)).expect("paper defaults are valid")
+    }
+
+    /// Creates a heater with the given tuning cost (W per nm of red shift)
+    /// and power cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::BadParameter`] for non-positive arguments.
+    pub fn new(tuning_w_per_nm: f64, max_power: Watts) -> Result<Self, PhotonicsError> {
+        if !(tuning_w_per_nm > 0.0) || !tuning_w_per_nm.is_finite() {
+            return Err(PhotonicsError::BadParameter {
+                reason: format!("tuning cost must be positive, got {tuning_w_per_nm}"),
+            });
+        }
+        if !(max_power.value() > 0.0) {
+            return Err(PhotonicsError::BadParameter {
+                reason: format!("max power must be positive, got {max_power}"),
+            });
+        }
+        Ok(Self { tuning_w_per_nm, max_power: max_power.value() })
+    }
+
+    /// Maximum rated heater power.
+    pub fn max_power(&self) -> Watts {
+        Watts::new(self.max_power)
+    }
+
+    /// Electrical power needed to red-shift the ring by `shift`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::BadParameter`] for a negative shift
+    /// (heaters cannot blue-shift) and [`PhotonicsError::NoOperatingPoint`]
+    /// if the required power exceeds the rated maximum.
+    pub fn power_for_shift(&self, shift: Nanometers) -> Result<Watts, PhotonicsError> {
+        if shift.value() < 0.0 || !shift.value().is_finite() {
+            return Err(PhotonicsError::BadParameter {
+                reason: format!("heaters only red-shift; got {shift}"),
+            });
+        }
+        let p = self.tuning_w_per_nm * shift.value();
+        if p > self.max_power {
+            return Err(PhotonicsError::NoOperatingPoint {
+                reason: format!(
+                    "shift {shift} needs {} W, above the {} W rating",
+                    p, self.max_power
+                ),
+            });
+        }
+        Ok(Watts::new(p))
+    }
+
+    /// Red shift produced by dissipating `power` (clamped at the rating).
+    pub fn shift_for_power(&self, power: Watts) -> Nanometers {
+        let p = power.value().clamp(0.0, self.max_power);
+        Nanometers::new(p / self.tuning_w_per_nm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_shift_round_trip() {
+        let h = MrHeater::paper_default();
+        let p = h.power_for_shift(Nanometers::new(0.77)).unwrap();
+        let s = h.shift_for_power(p);
+        assert!((s.value() - 0.77).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blue_shift_rejected() {
+        let h = MrHeater::paper_default();
+        assert!(h.power_for_shift(Nanometers::new(-0.1)).is_err());
+    }
+
+    #[test]
+    fn power_cap_enforced() {
+        let h = MrHeater::new(190e-6, Watts::from_microwatts(100.0)).unwrap();
+        assert!(h.power_for_shift(Nanometers::new(1.0)).is_err());
+        // shift_for_power clamps instead of erroring.
+        let s = h.shift_for_power(Watts::new(1.0));
+        assert!((s.value() - 100e-6 / 190e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MrHeater::new(0.0, Watts::new(1.0)).is_err());
+        assert!(MrHeater::new(190e-6, Watts::ZERO).is_err());
+    }
+}

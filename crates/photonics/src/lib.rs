@@ -1,0 +1,67 @@
+//! Device models for VCSEL-based silicon-photonic interconnect.
+//!
+//! Everything the paper's SNR analysis needs at the device level:
+//!
+//! * [`Vcsel`] — CMOS-compatible VCSEL with temperature-dependent efficiency
+//!   (paper Figure 8-b), L-I output characteristics and thermal wavelength
+//!   drift; reproduces the "15 % at 40 °C → 4 % at 60 °C" collapse,
+//! * [`MicroringResonator`] — passive microring with a Lorentzian drop
+//!   response (Figure 5-b: 50 % mis-drop at 0.77 nm misalignment), 1.55 nm
+//!   3-dB bandwidth and 0.1 nm/°C thermo-optic drift,
+//! * [`Photodetector`] — sensitivity-limited receiver (−20 dBm, Table 1),
+//! * [`Waveguide`] — distributed propagation loss (0.5 dB/cm, Table 1),
+//! * [`MrHeater`] — the per-ring trimming heater whose power (P_heater) the
+//!   methodology explores,
+//! * [`TechnologyParams`] — the Table 1 parameter bundle.
+//!
+//! Beyond the paper's figures, the crate also models the surrounding design
+//! space the text discusses:
+//!
+//! * [`RingGeometry`] / [`PeriodicRing`] — free-spectral-range comb of a
+//!   physical ring (Ø10 µm ⇒ FSR ≈ 17.8 nm), which bounds the number of
+//!   wavelength channels and adds adjacent-order crosstalk,
+//! * [`BerModel`] / [`LinkReliability`] — SNR → bit-error rate → effective
+//!   bandwidth after re-emission (Section III-C's "data will be re-emitted"),
+//! * [`MicrodiskLaser`] + the [`Laser`] trait — the microdisk alternative
+//!   of reference [19], for the VCSEL-vs-microdisk comparison.
+//!
+//! # Example: the paper's misalignment anchor point
+//!
+//! ```
+//! use vcsel_photonics::MicroringResonator;
+//! use vcsel_units::{Celsius, Nanometers};
+//!
+//! let mr = MicroringResonator::paper_default(Nanometers::new(1550.0));
+//! // A ~7.7 °C temperature difference shifts the ring by ~0.77 nm, at which
+//! // point about half of the signal is (wrongly) dropped from the waveguide.
+//! let drop = mr.drop_fraction(Nanometers::new(0.775));
+//! assert!((drop - 0.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout as a NaN-rejecting validity
+// check (`x <= 0.0` would silently accept NaN).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+mod ber;
+mod error;
+mod fsr;
+mod heater;
+mod microdisk;
+mod mr;
+mod params;
+mod photodetector;
+mod vcsel;
+mod waveguide;
+
+pub use ber::{BerModel, LinkReliability};
+pub use error::PhotonicsError;
+pub use fsr::{PeriodicRing, RingGeometry};
+pub use heater::MrHeater;
+pub use microdisk::{Laser, MicrodiskLaser};
+pub use mr::MicroringResonator;
+pub use params::TechnologyParams;
+pub use photodetector::Photodetector;
+pub use vcsel::{Vcsel, VcselOperatingPoint};
+pub use waveguide::Waveguide;

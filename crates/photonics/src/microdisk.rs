@@ -1,0 +1,387 @@
+//! Microdisk laser comparison model (paper reference [19]).
+//!
+//! Section III-C positions the CMOS-compatible VCSEL against electrically
+//! pumped InP **microdisk lasers** (Van Campenhout et al., Optics Express
+//! 2007): microdisk fabrication is more mature, but VCSELs offer higher
+//! achievable output power and a narrower linewidth (0.1 nm vs ≳0.5 nm),
+//! hence denser wavelength channels. This module provides a microdisk model
+//! with the same L-I-T structure as [`Vcsel`](crate::Vcsel) so the two
+//! laser families can be swapped inside the methodology and compared.
+//!
+//! Anchor values from [19]: Ø7.5 µm disk, ~0.5 mA threshold at room
+//! temperature, ~30 µW/mA slope into the waveguide, output saturating around
+//! 100–120 µW — an order of magnitude below the VCSEL.
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::{Amperes, Celsius, Nanometers, Volts, Watts};
+
+use crate::{PhotonicsError, Vcsel, VcselOperatingPoint};
+
+/// Common interface of the on-chip laser families the paper discusses.
+///
+/// Implemented by [`Vcsel`] (the paper's laser) and [`MicrodiskLaser`]
+/// (the comparison from [19]), so architecture studies can be generic over
+/// the source type.
+pub trait Laser {
+    /// Threshold current at temperature `t`.
+    fn threshold_current(&self, t: Celsius) -> Amperes;
+
+    /// Emitted optical power at drive current `i` and temperature `t`.
+    fn optical_power(&self, i: Amperes, t: Celsius) -> Watts;
+
+    /// Emission wavelength at temperature `t`.
+    fn wavelength(&self, t: Celsius) -> Nanometers;
+
+    /// Full-width 3-dB linewidth of the emitted line.
+    fn linewidth_3db(&self) -> Nanometers;
+
+    /// Maximum rated drive current.
+    fn max_current(&self) -> Amperes;
+}
+
+impl Laser for Vcsel {
+    fn threshold_current(&self, t: Celsius) -> Amperes {
+        Vcsel::threshold_current(self, t)
+    }
+
+    fn optical_power(&self, i: Amperes, t: Celsius) -> Watts {
+        Vcsel::optical_power(self, i, t)
+    }
+
+    fn wavelength(&self, t: Celsius) -> Nanometers {
+        Vcsel::wavelength(self, t)
+    }
+
+    fn linewidth_3db(&self) -> Nanometers {
+        Nanometers::new(0.1) // Section III-C: "3dB bandwidth is about 0.1nm"
+    }
+
+    fn max_current(&self) -> Amperes {
+        Vcsel::max_current(self)
+    }
+}
+
+/// Electrically pumped InP microdisk laser (paper reference [19]).
+///
+/// # Example
+///
+/// ```
+/// use vcsel_photonics::{Laser, MicrodiskLaser, Vcsel};
+/// use vcsel_units::{Amperes, Celsius};
+///
+/// let disk = MicrodiskLaser::van_campenhout();
+/// let vcsel = Vcsel::paper_default();
+/// let i = Amperes::from_milliamperes(3.0);
+/// let t = Celsius::new(40.0);
+/// // The VCSEL's headline advantage: an order of magnitude more power.
+/// assert!(vcsel.optical_power(i, t).value() > 5.0 * disk.optical_power(i, t).value());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicrodiskLaser {
+    /// Diode turn-on voltage, V.
+    v0: f64,
+    /// Series resistance, Ω.
+    series_resistance: f64,
+    /// Threshold current at `t_ref`, A.
+    i_th0: f64,
+    /// Characteristic temperature T₀ of the exponential threshold rise, °C.
+    t0_characteristic: f64,
+    /// Slope efficiency into the waveguide at `t_ref`, W/A.
+    slope_w_per_a: f64,
+    /// Linear thermal decay of the slope efficiency, 1/°C.
+    slope_decay_per_c: f64,
+    /// Output saturation level, W.
+    saturation_w: f64,
+    /// Emission wavelength at `t_ref`, nm.
+    lambda_ref_nm: f64,
+    /// Reference temperature, °C.
+    t_ref: f64,
+    /// Thermo-optic drift, nm/°C.
+    drift_nm_per_c: f64,
+    /// 3-dB linewidth, nm.
+    linewidth_nm: f64,
+    /// Rated maximum current, A.
+    max_current: f64,
+}
+
+impl MicrodiskLaser {
+    /// The [19] device: 0.5 mA threshold at 25 °C, T₀ = 45 °C exponential
+    /// threshold rise, 30 µW/mA waveguide-coupled slope decaying 1.5 %/°C,
+    /// ~120 µW saturation, 1550 nm emission, 0.1 nm/°C drift, 0.5 nm
+    /// linewidth, 10 mA rated maximum.
+    pub fn van_campenhout() -> Self {
+        Self::new(
+            Volts::new(1.0),
+            120.0,
+            Amperes::from_milliamperes(0.5),
+            45.0,
+            0.030,
+            0.015,
+            Watts::from_milliwatts(0.12),
+            Nanometers::new(1550.0),
+            Celsius::new(25.0),
+            0.1,
+            Nanometers::new(0.5),
+            Amperes::from_milliamperes(10.0),
+        )
+        .expect("reference defaults are valid")
+    }
+
+    /// Creates a custom microdisk model.
+    ///
+    /// `series_resistance` in Ω, `t0_characteristic` in °C,
+    /// `slope_w_per_a` in W/A, `slope_decay_per_c` per °C,
+    /// `drift_nm_per_c` in nm/°C.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::BadParameter`] when any physical parameter
+    /// is non-positive (or the decay/drift is not finite).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        v0: Volts,
+        series_resistance: f64,
+        i_th0: Amperes,
+        t0_characteristic: f64,
+        slope_w_per_a: f64,
+        slope_decay_per_c: f64,
+        saturation: Watts,
+        lambda_ref: Nanometers,
+        t_ref: Celsius,
+        drift_nm_per_c: f64,
+        linewidth: Nanometers,
+        max_current: Amperes,
+    ) -> Result<Self, PhotonicsError> {
+        let bad = |reason: String| Err(PhotonicsError::BadParameter { reason });
+        if !(v0.value() > 0.0) {
+            return bad(format!("turn-on voltage must be positive, got {v0}"));
+        }
+        if !(series_resistance > 0.0) || !series_resistance.is_finite() {
+            return bad(format!("series resistance must be positive, got {series_resistance}"));
+        }
+        if !(i_th0.value() > 0.0) {
+            return bad(format!("threshold current must be positive, got {i_th0}"));
+        }
+        if !(t0_characteristic > 0.0) || !t0_characteristic.is_finite() {
+            return bad(format!("characteristic T0 must be positive, got {t0_characteristic}"));
+        }
+        if !(slope_w_per_a > 0.0) || !slope_w_per_a.is_finite() {
+            return bad(format!("slope efficiency must be positive, got {slope_w_per_a}"));
+        }
+        if !slope_decay_per_c.is_finite() || slope_decay_per_c < 0.0 {
+            return bad(format!("slope decay must be non-negative, got {slope_decay_per_c}"));
+        }
+        if !(saturation.value() > 0.0) {
+            return bad(format!("saturation power must be positive, got {saturation}"));
+        }
+        if !(lambda_ref.value() > 0.0) {
+            return bad(format!("wavelength must be positive, got {lambda_ref}"));
+        }
+        if !(linewidth.value() > 0.0) {
+            return bad(format!("linewidth must be positive, got {linewidth}"));
+        }
+        if !(max_current.value() > i_th0.value()) {
+            return bad("max current must exceed the threshold current".into());
+        }
+        if !drift_nm_per_c.is_finite() {
+            return bad(format!("wavelength drift must be finite, got {drift_nm_per_c}"));
+        }
+        Ok(Self {
+            v0: v0.value(),
+            series_resistance,
+            i_th0: i_th0.value(),
+            t0_characteristic,
+            slope_w_per_a,
+            slope_decay_per_c,
+            saturation_w: saturation.value(),
+            lambda_ref_nm: lambda_ref.value(),
+            t_ref: t_ref.value(),
+            drift_nm_per_c,
+            linewidth_nm: linewidth.value(),
+            max_current: max_current.value(),
+        })
+    }
+
+    /// Junction + series voltage at current `i`.
+    pub fn voltage(&self, i: Amperes) -> Volts {
+        Volts::new(self.v0 + self.series_resistance * i.value())
+    }
+
+    /// Full electro-optical operating point (same shape as the VCSEL's).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::BadParameter`] if `i` is negative, not
+    /// finite, or exceeds the rated maximum.
+    pub fn operating_point(
+        &self,
+        i: Amperes,
+        t: Celsius,
+    ) -> Result<VcselOperatingPoint, PhotonicsError> {
+        let iv = i.value();
+        if !iv.is_finite() || iv < 0.0 {
+            return Err(PhotonicsError::BadParameter {
+                reason: format!("drive current must be non-negative, got {i}"),
+            });
+        }
+        if iv > self.max_current {
+            return Err(PhotonicsError::BadParameter {
+                reason: format!(
+                    "drive current {i} exceeds rated maximum {}",
+                    Amperes::new(self.max_current)
+                ),
+            });
+        }
+        let voltage = self.voltage(i);
+        let electrical = i.power(voltage);
+        let optical = Laser::optical_power(self, i, t);
+        let dissipated = Watts::new((electrical.value() - optical.value()).max(0.0));
+        let efficiency =
+            if electrical.value() > 0.0 { optical.value() / electrical.value() } else { 0.0 };
+        Ok(VcselOperatingPoint {
+            current: i,
+            voltage,
+            electrical_power: electrical,
+            optical_power: optical,
+            dissipated_power: dissipated,
+            efficiency,
+        })
+    }
+}
+
+impl Laser for MicrodiskLaser {
+    fn threshold_current(&self, t: Celsius) -> Amperes {
+        // Exponential threshold rise I_th(T) = I_th0·exp((T − T_ref)/T₀),
+        // the usual empirical law for InP membrane devices.
+        let dt = t.value() - self.t_ref;
+        Amperes::new(self.i_th0 * (dt / self.t0_characteristic).exp())
+    }
+
+    fn optical_power(&self, i: Amperes, t: Celsius) -> Watts {
+        let i_th = Laser::threshold_current(self, t).value();
+        let above = (i.value() - i_th).max(0.0);
+        let slope =
+            self.slope_w_per_a * (1.0 - self.slope_decay_per_c * (t.value() - self.t_ref)).max(0.0);
+        let linear = slope * above;
+        // Soft saturation: P = P_sat·(1 − exp(−linear/P_sat)).
+        Watts::new(self.saturation_w * (1.0 - (-linear / self.saturation_w).exp()))
+    }
+
+    fn wavelength(&self, t: Celsius) -> Nanometers {
+        Nanometers::new(self.lambda_ref_nm + self.drift_nm_per_c * (t.value() - self.t_ref))
+    }
+
+    fn linewidth_3db(&self) -> Nanometers {
+        Nanometers::new(self.linewidth_nm)
+    }
+
+    fn max_current(&self) -> Amperes {
+        Amperes::new(self.max_current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> MicrodiskLaser {
+        MicrodiskLaser::van_campenhout()
+    }
+
+    #[test]
+    fn threshold_rises_exponentially() {
+        let d = disk();
+        let i25 = Laser::threshold_current(&d, Celsius::new(25.0)).as_milliamperes();
+        let i70 = Laser::threshold_current(&d, Celsius::new(70.0)).as_milliamperes();
+        assert!((i25 - 0.5).abs() < 1e-12);
+        // exp(45/45) = e ≈ 2.718.
+        assert!((i70 / i25 - core::f64::consts::E).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_saturates_near_reference_level() {
+        let d = disk();
+        let p = Laser::optical_power(&d, Amperes::from_milliamperes(10.0), Celsius::new(25.0));
+        assert!(p.as_milliwatts() < 0.12);
+        assert!(p.as_milliwatts() > 0.10, "should approach saturation, got {p}");
+    }
+
+    #[test]
+    fn output_below_threshold_is_zero() {
+        let d = disk();
+        let p = Laser::optical_power(&d, Amperes::from_milliamperes(0.2), Celsius::new(25.0));
+        assert_eq!(p.value(), 0.0);
+    }
+
+    #[test]
+    fn vcsel_beats_disk_on_power_scalability() {
+        // The paper's Section III-C claim: VCSELs offer "higher laser output
+        // power" — check at a mid-range drive.
+        let d = disk();
+        let v = Vcsel::paper_default();
+        let i = Amperes::from_milliamperes(6.0);
+        let t = Celsius::new(40.0);
+        let p_disk = Laser::optical_power(&d, i, t);
+        let p_vcsel = Laser::optical_power(&v, i, t);
+        assert!(
+            p_vcsel.value() > 8.0 * p_disk.value(),
+            "vcsel {p_vcsel} vs disk {p_disk}"
+        );
+    }
+
+    #[test]
+    fn vcsel_beats_disk_on_linewidth() {
+        // "spectral density due to their small 3dB bandwidth (typically 0.1nm)".
+        let d = disk();
+        let v = Vcsel::paper_default();
+        assert!(Laser::linewidth_3db(&v).value() < Laser::linewidth_3db(&d).value());
+    }
+
+    #[test]
+    fn hot_disk_loses_slope() {
+        let d = disk();
+        let i = Amperes::from_milliamperes(3.0);
+        let cold = Laser::optical_power(&d, i, Celsius::new(25.0));
+        let hot = Laser::optical_power(&d, i, Celsius::new(60.0));
+        assert!(hot.value() < cold.value());
+    }
+
+    #[test]
+    fn operating_point_balances_energy() {
+        let d = disk();
+        let op = d.operating_point(Amperes::from_milliamperes(4.0), Celsius::new(30.0)).unwrap();
+        let balance = op.electrical_power.value() - op.optical_power.value()
+            - op.dissipated_power.value();
+        assert!(balance.abs() < 1e-15);
+        assert!(op.efficiency > 0.0 && op.efficiency < 0.05, "disks are inefficient");
+    }
+
+    #[test]
+    fn rejects_out_of_range_drive() {
+        let d = disk();
+        assert!(d.operating_point(Amperes::from_milliamperes(-1.0), Celsius::new(25.0)).is_err());
+        assert!(d.operating_point(Amperes::from_milliamperes(11.0), Celsius::new(25.0)).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        let mk = |sat: f64| {
+            MicrodiskLaser::new(
+                Volts::new(1.0),
+                120.0,
+                Amperes::from_milliamperes(0.5),
+                45.0,
+                0.030,
+                0.015,
+                Watts::from_milliwatts(sat),
+                Nanometers::new(1550.0),
+                Celsius::new(25.0),
+                0.1,
+                Nanometers::new(0.5),
+                Amperes::from_milliamperes(10.0),
+            )
+        };
+        assert!(mk(0.12).is_ok());
+        assert!(mk(0.0).is_err());
+    }
+}

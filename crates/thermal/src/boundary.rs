@@ -1,0 +1,179 @@
+//! Boundary conditions on the six faces of the simulation domain.
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::{Celsius, WattsPerSquareMeterKelvin};
+
+/// Identifies one face of the rectangular simulation domain.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_thermal::Boundary;
+///
+/// assert_eq!(Boundary::top().axis(), 2);
+/// assert!(Boundary::top().is_max_side());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Boundary {
+    /// x = min face.
+    XMin,
+    /// x = max face.
+    XMax,
+    /// y = min face.
+    YMin,
+    /// y = max face.
+    YMax,
+    /// z = min face (conventionally the board side).
+    ZMin,
+    /// z = max face (conventionally the heat-sink side).
+    ZMax,
+}
+
+impl Boundary {
+    /// The z = max face — where the heat sink sits in the paper's package.
+    pub fn top() -> Self {
+        Boundary::ZMax
+    }
+
+    /// The z = min face — the board/back-plate side.
+    pub fn bottom() -> Self {
+        Boundary::ZMin
+    }
+
+    /// All six faces.
+    pub fn all() -> [Boundary; 6] {
+        [
+            Boundary::XMin,
+            Boundary::XMax,
+            Boundary::YMin,
+            Boundary::YMax,
+            Boundary::ZMin,
+            Boundary::ZMax,
+        ]
+    }
+
+    /// Axis normal to the face (0 = x, 1 = y, 2 = z).
+    pub fn axis(&self) -> usize {
+        match self {
+            Boundary::XMin | Boundary::XMax => 0,
+            Boundary::YMin | Boundary::YMax => 1,
+            Boundary::ZMin | Boundary::ZMax => 2,
+        }
+    }
+
+    /// Whether the face sits at the axis maximum.
+    pub fn is_max_side(&self) -> bool {
+        matches!(self, Boundary::XMax | Boundary::YMax | Boundary::ZMax)
+    }
+}
+
+/// The thermal condition applied to a boundary face.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BoundaryCondition {
+    /// No heat flux through the face (symmetry plane or perfect insulator).
+    Adiabatic,
+    /// Convective (Robin) exchange with an ambient: q = h·(T − T_amb).
+    ///
+    /// The paper's heat sink + fan is modelled as an effective `h` on the
+    /// copper-lid face.
+    Convective {
+        /// Effective heat-transfer coefficient.
+        h: WattsPerSquareMeterKelvin,
+        /// Ambient (coolant inlet) temperature.
+        ambient: Celsius,
+    },
+    /// Fixed-temperature (Dirichlet) face; mostly useful for validation
+    /// against analytic solutions.
+    Isothermal {
+        /// Imposed face temperature.
+        temperature: Celsius,
+    },
+}
+
+impl BoundaryCondition {
+    /// Whether this condition lets heat escape the domain.
+    pub fn is_heat_path(&self) -> bool {
+        !matches!(self, BoundaryCondition::Adiabatic)
+    }
+}
+
+/// Conditions for all six faces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundarySet {
+    faces: [BoundaryCondition; 6],
+}
+
+impl BoundarySet {
+    /// All faces adiabatic (a valid *starting point*, but unsolvable until
+    /// at least one face becomes a heat path).
+    pub fn adiabatic() -> Self {
+        Self { faces: [BoundaryCondition::Adiabatic; 6] }
+    }
+
+    /// Returns the condition on `face`.
+    pub fn get(&self, face: Boundary) -> BoundaryCondition {
+        self.faces[Self::index(face)]
+    }
+
+    /// Sets the condition on `face`.
+    pub fn set(&mut self, face: Boundary, condition: BoundaryCondition) {
+        self.faces[Self::index(face)] = condition;
+    }
+
+    /// Whether at least one face lets heat escape.
+    pub fn has_heat_path(&self) -> bool {
+        self.faces.iter().any(BoundaryCondition::is_heat_path)
+    }
+
+    fn index(face: Boundary) -> usize {
+        match face {
+            Boundary::XMin => 0,
+            Boundary::XMax => 1,
+            Boundary::YMin => 2,
+            Boundary::YMax => 3,
+            Boundary::ZMin => 4,
+            Boundary::ZMax => 5,
+        }
+    }
+}
+
+impl Default for BoundarySet {
+    fn default() -> Self {
+        Self::adiabatic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn face_axis_mapping() {
+        assert_eq!(Boundary::XMin.axis(), 0);
+        assert_eq!(Boundary::YMax.axis(), 1);
+        assert_eq!(Boundary::ZMax.axis(), 2);
+        assert!(!Boundary::XMin.is_max_side());
+        assert!(Boundary::YMax.is_max_side());
+        assert_eq!(Boundary::all().len(), 6);
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut set = BoundarySet::adiabatic();
+        assert!(!set.has_heat_path());
+        let bc = BoundaryCondition::Convective {
+            h: WattsPerSquareMeterKelvin::new(500.0),
+            ambient: Celsius::new(25.0),
+        };
+        set.set(Boundary::top(), bc);
+        assert_eq!(set.get(Boundary::top()), bc);
+        assert_eq!(set.get(Boundary::bottom()), BoundaryCondition::Adiabatic);
+        assert!(set.has_heat_path());
+    }
+
+    #[test]
+    fn isothermal_is_heat_path() {
+        assert!(BoundaryCondition::Isothermal { temperature: Celsius::new(20.0) }.is_heat_path());
+        assert!(!BoundaryCondition::Adiabatic.is_heat_path());
+    }
+}

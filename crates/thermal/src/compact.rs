@@ -1,0 +1,226 @@
+//! One-dimensional compact (resistance-network) thermal model.
+//!
+//! For early design-space scoping — before committing to a full FVM solve —
+//! a package stack can be collapsed into series thermal resistances:
+//! `R_layer = t / (k·A)` plus a convective term `1/(h·A)`. The paper uses
+//! full simulations for its results; this model is the quick sanity check an
+//! engineer runs first, and our tests use it to cross-validate the FVM
+//! solver in the 1-D limit.
+
+use vcsel_units::{
+    Celsius, KelvinPerWatt, Meters, SquareMeters, Watts, WattsPerSquareMeterKelvin,
+};
+
+use crate::{Material, ThermalError};
+
+/// One layer of a 1-D stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackLayer {
+    name: String,
+    thickness: Meters,
+    material: Material,
+}
+
+impl StackLayer {
+    /// Creates a layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadParameter`] for a non-positive thickness.
+    pub fn new(
+        name: impl Into<String>,
+        thickness: Meters,
+        material: Material,
+    ) -> Result<Self, ThermalError> {
+        if !(thickness.value() > 0.0) || !thickness.value().is_finite() {
+            return Err(ThermalError::BadParameter {
+                reason: format!("layer thickness must be positive, got {thickness}"),
+            });
+        }
+        Ok(Self { name: name.into(), thickness, material })
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Layer thickness.
+    pub fn thickness(&self) -> Meters {
+        self.thickness
+    }
+
+    /// Layer material.
+    pub fn material(&self) -> &Material {
+        &self.material
+    }
+}
+
+/// A 1-D series resistance stack: heat enters at the bottom layer and
+/// leaves through a convective interface above the top layer.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_thermal::{Material, ResistanceStack, StackLayer};
+/// use vcsel_units::{Celsius, Meters, SquareMeters, Watts, WattsPerSquareMeterKelvin};
+///
+/// let stack = ResistanceStack::new(
+///     SquareMeters::new(567e-6), // ~SCC die area
+///     vec![
+///         StackLayer::new("silicon", Meters::from_micrometers(50.0), Material::SILICON)?,
+///         StackLayer::new("TIM", Meters::from_micrometers(75.0), Material::TIM)?,
+///         StackLayer::new("lid", Meters::from_millimeters(2.0), Material::COPPER)?,
+///     ],
+///     WattsPerSquareMeterKelvin::new(750.0),
+///     Celsius::new(40.0),
+/// )?;
+/// let junction = stack.source_temperature(Watts::new(25.0));
+/// assert!(junction > Celsius::new(40.0));
+/// # Ok::<(), vcsel_thermal::ThermalError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResistanceStack {
+    area: SquareMeters,
+    layers: Vec<StackLayer>,
+    h: WattsPerSquareMeterKelvin,
+    ambient: Celsius,
+}
+
+impl ResistanceStack {
+    /// Creates a stack with cross-section `area`, cooled by convection
+    /// coefficient `h` into `ambient`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadParameter`] for non-positive area or `h`.
+    pub fn new(
+        area: SquareMeters,
+        layers: Vec<StackLayer>,
+        h: WattsPerSquareMeterKelvin,
+        ambient: Celsius,
+    ) -> Result<Self, ThermalError> {
+        if !(area.value() > 0.0) || !area.value().is_finite() {
+            return Err(ThermalError::BadParameter {
+                reason: format!("area must be positive, got {area}"),
+            });
+        }
+        if !(h.value() > 0.0) || !h.value().is_finite() {
+            return Err(ThermalError::BadParameter {
+                reason: format!("heat-transfer coefficient must be positive, got {h}"),
+            });
+        }
+        Ok(Self { area, layers, h, ambient })
+    }
+
+    /// The layers, bottom (heat source side) to top (sink side).
+    pub fn layers(&self) -> &[StackLayer] {
+        &self.layers
+    }
+
+    /// Total conductive + convective resistance.
+    pub fn total_resistance(&self) -> KelvinPerWatt {
+        let conductive: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.thickness.value() / (l.material.conductivity().value() * self.area.value()))
+            .sum();
+        let convective = 1.0 / (self.h.value() * self.area.value());
+        KelvinPerWatt::new(conductive + convective)
+    }
+
+    /// Temperature at the heat-source plane for the given power.
+    pub fn source_temperature(&self, power: Watts) -> Celsius {
+        self.ambient + vcsel_units::TemperatureDelta::new(
+            power.value() * self.total_resistance().value(),
+        )
+    }
+
+    /// Temperature at the interface above layer `index` (0 = just above the
+    /// bottom layer); `None` if `index` is out of range.
+    pub fn interface_temperature(&self, power: Watts, index: usize) -> Option<Celsius> {
+        if index >= self.layers.len() {
+            return None;
+        }
+        // Resistance from the interface up to the ambient.
+        let above: f64 = self.layers[index + 1..]
+            .iter()
+            .map(|l| l.thickness.value() / (l.material.conductivity().value() * self.area.value()))
+            .sum::<f64>()
+            + 1.0 / (self.h.value() * self.area.value());
+        Some(self.ambient + vcsel_units::TemperatureDelta::new(power.value() * above))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_stack() -> ResistanceStack {
+        ResistanceStack::new(
+            SquareMeters::new(1e-4), // 1 cm²
+            vec![
+                StackLayer::new("si", Meters::from_micrometers(500.0), Material::SILICON).unwrap(),
+                StackLayer::new("tim", Meters::from_micrometers(100.0), Material::TIM).unwrap(),
+            ],
+            WattsPerSquareMeterKelvin::new(1_000.0),
+            Celsius::new(25.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn resistance_is_sum_of_series_terms() {
+        let s = simple_stack();
+        let expected = 500e-6 / (148.0 * 1e-4) + 100e-6 / (4.0 * 1e-4) + 1.0 / (1_000.0 * 1e-4);
+        assert!((s.total_resistance().value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_temperature_is_linear_in_power() {
+        let s = simple_stack();
+        let t1 = s.source_temperature(Watts::new(1.0));
+        let t2 = s.source_temperature(Watts::new(2.0));
+        let rise1 = t1.value() - 25.0;
+        let rise2 = t2.value() - 25.0;
+        assert!((rise2 - 2.0 * rise1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interface_temperatures_decrease_towards_sink() {
+        let s = simple_stack();
+        let p = Watts::new(5.0);
+        let t_src = s.source_temperature(p);
+        let t_mid = s.interface_temperature(p, 0).unwrap();
+        let t_top = s.interface_temperature(p, 1).unwrap();
+        assert!(t_src > t_mid);
+        assert!(t_mid > t_top);
+        assert!(t_top > Celsius::new(25.0));
+        assert!(s.interface_temperature(p, 2).is_none());
+    }
+
+    #[test]
+    fn zero_power_is_ambient() {
+        let s = simple_stack();
+        assert!((s.source_temperature(Watts::ZERO).value() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(StackLayer::new("bad", Meters::ZERO, Material::SILICON).is_err());
+        assert!(ResistanceStack::new(
+            SquareMeters::ZERO,
+            vec![],
+            WattsPerSquareMeterKelvin::new(1.0),
+            Celsius::new(25.0)
+        )
+        .is_err());
+        assert!(ResistanceStack::new(
+            SquareMeters::new(1.0),
+            vec![],
+            WattsPerSquareMeterKelvin::ZERO,
+            Celsius::new(25.0)
+        )
+        .is_err());
+    }
+}

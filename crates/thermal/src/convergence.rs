@@ -1,0 +1,271 @@
+//! Mesh-convergence verification (Richardson extrapolation, GCI).
+//!
+//! The paper validates IcTherm against COMSOL (<1 % error). Our substitute
+//! for that cross-validation is *solution verification*: solve the same
+//! design on a sequence of refined meshes, fit the observed convergence
+//! order, extrapolate the zero-spacing limit (Richardson), and bound the
+//! finest-grid error with Roache's Grid Convergence Index — the standard
+//! procedure when no reference solver is available.
+
+use vcsel_units::Meters;
+
+use crate::{Design, MeshSpec, Simulator, ThermalError};
+
+/// One refinement level of a convergence study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceLevel {
+    /// Representative cell size `h`, m.
+    pub h: f64,
+    /// The scalar observable at this resolution (e.g. a probe temperature).
+    pub value: f64,
+    /// Cells in the mesh at this level.
+    pub cells: usize,
+}
+
+/// Result of a grid-refinement study on one scalar observable.
+///
+/// Levels are ordered coarse → fine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceStudy {
+    levels: Vec<ConvergenceLevel>,
+}
+
+impl ConvergenceStudy {
+    /// Builds a study from externally computed levels (coarse → fine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadParameter`] for fewer than two levels or
+    /// non-decreasing cell sizes.
+    pub fn from_levels(levels: Vec<ConvergenceLevel>) -> Result<Self, ThermalError> {
+        if levels.len() < 2 {
+            return Err(ThermalError::BadParameter {
+                reason: "a convergence study needs at least two levels".into(),
+            });
+        }
+        for w in levels.windows(2) {
+            if !(w[1].h < w[0].h) {
+                return Err(ThermalError::BadParameter {
+                    reason: "levels must be ordered coarse to fine (strictly decreasing h)".into(),
+                });
+            }
+        }
+        Ok(Self { levels })
+    }
+
+    /// Runs the study directly: solves `design` at each cell size in
+    /// `cell_sizes` (coarse → fine) and records `observe(map)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates meshing/solver errors; level-ordering errors as in
+    /// [`ConvergenceStudy::from_levels`].
+    pub fn run(
+        simulator: &Simulator,
+        design: &Design,
+        cell_sizes: &[Meters],
+        mut observe: impl FnMut(&crate::ThermalMap) -> f64,
+    ) -> Result<Self, ThermalError> {
+        let mut levels = Vec::with_capacity(cell_sizes.len());
+        for &h in cell_sizes {
+            let map = simulator.solve(design, &MeshSpec::uniform(h))?;
+            levels.push(ConvergenceLevel {
+                h: h.value(),
+                value: observe(&map),
+                cells: map.mesh().cell_count(),
+            });
+        }
+        Self::from_levels(levels)
+    }
+
+    /// The recorded levels, coarse → fine.
+    pub fn levels(&self) -> &[ConvergenceLevel] {
+        &self.levels
+    }
+
+    /// The finest-level value.
+    pub fn finest(&self) -> f64 {
+        self.levels.last().expect("at least two levels").value
+    }
+
+    /// Observed convergence order from the last three levels:
+    /// `p = ln((f1 − f2)/(f2 − f3)) / ln(r)` for a constant refinement
+    /// ratio `r` (generalized to non-constant ratios by a log fit).
+    ///
+    /// Returns `None` with fewer than three levels or when the differences
+    /// change sign / vanish (non-monotone convergence).
+    pub fn observed_order(&self) -> Option<f64> {
+        if self.levels.len() < 3 {
+            return None;
+        }
+        let n = self.levels.len();
+        let (l1, l2, l3) = (&self.levels[n - 3], &self.levels[n - 2], &self.levels[n - 1]);
+        let d12 = l1.value - l2.value;
+        let d23 = l2.value - l3.value;
+        if d12 == 0.0 || d23 == 0.0 || (d12 / d23) <= 0.0 {
+            return None;
+        }
+        let r12 = l1.h / l2.h;
+        let r23 = l2.h / l3.h;
+        // For constant ratio this reduces to the textbook formula; otherwise
+        // solve d12/d23 = (r12^p (r23^p - 1) + ...) approximately by using
+        // the mean ratio (adequate for mild ratio variation).
+        let r = (r12 * r23).sqrt();
+        if r <= 1.0 {
+            return None;
+        }
+        Some((d12 / d23).ln() / r.ln())
+    }
+
+    /// Richardson extrapolation of the zero-spacing limit from the last two
+    /// levels at order `p` (use [`ConvergenceStudy::observed_order`] or the
+    /// scheme's formal order, 2 for this FVM).
+    ///
+    /// Returns `None` when the refinement ratio is not > 1 or `p` is not
+    /// positive.
+    pub fn richardson(&self, p: f64) -> Option<f64> {
+        if !(p > 0.0) {
+            return None;
+        }
+        let n = self.levels.len();
+        let (lc, lf) = (&self.levels[n - 2], &self.levels[n - 1]);
+        let r = lc.h / lf.h;
+        if !(r > 1.0) {
+            return None;
+        }
+        let rp = r.powf(p);
+        Some(lf.value + (lf.value - lc.value) / (rp - 1.0))
+    }
+
+    /// Roache's Grid Convergence Index on the finest level, as a *fraction*
+    /// of the finest value: `GCI = Fs·|ε|/(r^p − 1)`, `ε` the relative
+    /// change between the two finest levels, with safety factor `Fs`
+    /// (1.25 for studies with an observed order, 3.0 for two-level checks).
+    pub fn gci(&self, p: f64, safety: f64) -> Option<f64> {
+        if !(p > 0.0) || !(safety > 0.0) {
+            return None;
+        }
+        let n = self.levels.len();
+        let (lc, lf) = (&self.levels[n - 2], &self.levels[n - 1]);
+        let r = lc.h / lf.h;
+        if !(r > 1.0) || lf.value == 0.0 {
+            return None;
+        }
+        let eps = ((lf.value - lc.value) / lf.value).abs();
+        Some(safety * eps / (r.powf(p) - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Block, Boundary, BoundaryCondition, BoxRegion, Material};
+    use vcsel_units::{Celsius, Watts, WattsPerSquareMeterKelvin};
+
+    fn mm(v: f64) -> Meters {
+        Meters::from_millimeters(v)
+    }
+
+    fn mk(levels: &[(f64, f64)]) -> ConvergenceStudy {
+        ConvergenceStudy::from_levels(
+            levels
+                .iter()
+                .map(|&(h, value)| ConvergenceLevel { h, value, cells: 0 })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_second_order_sequence_is_recovered() {
+        // f(h) = 10 + 3 h²: order 2, limit 10.
+        let study = mk(&[(0.4, 10.48), (0.2, 10.12), (0.1, 10.03)]);
+        let p = study.observed_order().unwrap();
+        assert!((p - 2.0).abs() < 1e-9, "order {p}");
+        let limit = study.richardson(p).unwrap();
+        assert!((limit - 10.0).abs() < 1e-9, "limit {limit}");
+    }
+
+    #[test]
+    fn first_order_sequence_is_distinguished() {
+        // f(h) = 5 − 2 h.
+        let study = mk(&[(0.4, 4.2), (0.2, 4.6), (0.1, 4.8)]);
+        let p = study.observed_order().unwrap();
+        assert!((p - 1.0).abs() < 1e-9);
+        let limit = study.richardson(p).unwrap();
+        assert!((limit - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_monotone_sequences_return_none() {
+        let study = mk(&[(0.4, 10.0), (0.2, 10.5), (0.1, 10.2)]);
+        assert!(study.observed_order().is_none());
+        // Richardson still well-defined per two levels.
+        assert!(study.richardson(2.0).is_some());
+    }
+
+    #[test]
+    fn gci_bounds_the_known_error() {
+        // For the exact h² sequence the GCI at p=2 must bound the true
+        // finest-grid error (0.03 of ~10 => 0.3 %).
+        let study = mk(&[(0.4, 10.48), (0.2, 10.12), (0.1, 10.03)]);
+        let gci = study.gci(2.0, 1.25).unwrap();
+        let true_err = (10.03 - 10.0) / 10.0;
+        assert!(gci >= true_err, "GCI {gci} must bound {true_err}");
+        assert!(gci < 0.05, "GCI {gci} implausibly large");
+    }
+
+    #[test]
+    fn fvm_probe_converges_on_refinement() {
+        // A real solve: the hotspot temperature of a heated slab must
+        // converge with a positive observed order and a small GCI.
+        let domain = BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(4.0), mm(1.0)]).unwrap();
+        let mut d = Design::new(domain, Material::SILICON).unwrap();
+        d.set_boundary(
+            Boundary::top(),
+            BoundaryCondition::Convective {
+                h: WattsPerSquareMeterKelvin::new(2_000.0),
+                ambient: Celsius::new(40.0),
+            },
+        );
+        let src =
+            BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(3.0), mm(3.0), mm(0.25)])
+                .unwrap();
+        d.add_block(Block::heat_source("s", src, Material::COPPER, Watts::new(0.5)));
+
+        let study = ConvergenceStudy::run(
+            &Simulator::new(),
+            &d,
+            &[mm(0.5), mm(0.25), mm(0.125)],
+            |map| map.average().value(),
+        )
+        .unwrap();
+        // Refinement multiplies the cell count eightfold per level.
+        assert!(study.levels()[1].cells > 4 * study.levels()[0].cells);
+        let gci = study.gci(2.0, 3.0).unwrap();
+        assert!(gci < 0.01, "average temperature GCI {gci} too large");
+        // The extrapolated limit is close to the finest level.
+        let limit = study.richardson(2.0).unwrap();
+        assert!((limit - study.finest()).abs() / study.finest() < 0.01);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ConvergenceStudy::from_levels(vec![]).is_err());
+        assert!(ConvergenceStudy::from_levels(vec![ConvergenceLevel {
+            h: 0.1,
+            value: 1.0,
+            cells: 1
+        }])
+        .is_err());
+        // Wrong order (fine -> coarse).
+        assert!(ConvergenceStudy::from_levels(vec![
+            ConvergenceLevel { h: 0.1, value: 1.0, cells: 1 },
+            ConvergenceLevel { h: 0.2, value: 1.0, cells: 1 },
+        ])
+        .is_err());
+        let study = mk(&[(0.4, 10.48), (0.2, 10.12), (0.1, 10.03)]);
+        assert!(study.richardson(0.0).is_none());
+        assert!(study.gci(2.0, 0.0).is_none());
+    }
+}

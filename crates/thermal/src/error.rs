@@ -1,0 +1,102 @@
+//! Error type for the thermal simulator.
+
+use core::fmt;
+use vcsel_numerics::NumericsError;
+
+/// Errors produced while building or solving a thermal model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A geometric region is degenerate (zero/negative extent) or
+    /// non-finite.
+    BadRegion {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// A block lies (partly) outside the design's domain.
+    BlockOutsideDomain {
+        /// Name of the offending block.
+        block: String,
+    },
+    /// Every boundary face is adiabatic, so the steady-state problem has no
+    /// heat-escape path and is singular.
+    NoHeatPath,
+    /// A physical parameter is invalid (non-positive conductivity, negative
+    /// heater power, …).
+    BadParameter {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// The mesh specification would produce more cells than `limit`.
+    MeshTooLarge {
+        /// Number of cells the specification asks for.
+        cells: usize,
+        /// The configured cell-count limit.
+        limit: usize,
+    },
+    /// The linear solver failed.
+    Solver(NumericsError),
+    /// A superposition query referenced an unknown power group.
+    UnknownGroup {
+        /// Name of the missing group.
+        group: String,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadRegion { reason } => write!(f, "bad region: {reason}"),
+            Self::BlockOutsideDomain { block } => {
+                write!(f, "block '{block}' lies outside the design domain")
+            }
+            Self::NoHeatPath => write!(
+                f,
+                "all boundaries are adiabatic; steady state requires at least \
+                 one convective or isothermal face"
+            ),
+            Self::BadParameter { reason } => write!(f, "bad parameter: {reason}"),
+            Self::MeshTooLarge { cells, limit } => {
+                write!(f, "mesh would contain {cells} cells, exceeding the limit of {limit}")
+            }
+            Self::Solver(e) => write!(f, "linear solver failed: {e}"),
+            Self::UnknownGroup { group } => write!(f, "unknown power group '{group}'"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for ThermalError {
+    fn from(e: NumericsError) -> Self {
+        Self::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ThermalError::NoHeatPath.to_string().contains("adiabatic"));
+        let e = ThermalError::MeshTooLarge { cells: 100, limit: 10 };
+        assert!(e.to_string().contains("100"));
+        let e = ThermalError::UnknownGroup { group: "vcsel".into() };
+        assert!(e.to_string().contains("vcsel"));
+    }
+
+    #[test]
+    fn solver_error_chains() {
+        use std::error::Error;
+        let e = ThermalError::from(NumericsError::BadInput { reason: "x".into() });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,208 @@
+//! Thermal-map export: CSV / JSON slices and ASCII heat rendering.
+//!
+//! The paper's Figure 4 shows IcTherm's output as a colored 3D temperature
+//! map. This module provides the equivalent inspection surface for
+//! [`ThermalMap`]: extract a horizontal slice at a given height, dump it as
+//! CSV or JSON for plotting, or render it directly in the terminal as an
+//! ASCII heat map (useful in examples and for debugging mesh/placement
+//! issues without leaving the console).
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::Meters;
+
+use crate::{ThermalError, ThermalMap};
+
+/// A horizontal (constant-z) slice of a thermal map.
+///
+/// Produced by [`ThermalMap::slice_at`]; cell-centered values on the mesh's
+/// x/y grid at the z-layer containing the requested height.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapSlice {
+    /// Height the slice was taken at, m.
+    pub z: f64,
+    /// x cell-center coordinates, m.
+    pub xs: Vec<f64>,
+    /// y cell-center coordinates, m.
+    pub ys: Vec<f64>,
+    /// Temperatures in °C, row-major: `values[j][i]` at `(xs[i], ys[j])`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl MapSlice {
+    /// Minimum temperature on the slice.
+    pub fn min(&self) -> f64 {
+        self.values.iter().flatten().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum temperature on the slice.
+    pub fn max(&self) -> f64 {
+        self.values.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Serializes the slice as CSV: a header row of x coordinates (meters),
+    /// then one row per y with the y coordinate in the first column.
+    pub fn to_csv(&self) -> String {
+        use core::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "y\\x");
+        for x in &self.xs {
+            let _ = write!(s, ",{x:.6e}");
+        }
+        let _ = writeln!(s);
+        for (j, y) in self.ys.iter().enumerate() {
+            let _ = write!(s, "{y:.6e}");
+            for v in &self.values[j] {
+                let _ = write!(s, ",{v:.4}");
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
+    /// Renders the slice as an ASCII heat map, at most `max_cols` characters
+    /// wide (the grid is decimated, never interpolated). The ramp runs
+    /// ` .:-=+*#%@` from the slice minimum to the slice maximum.
+    pub fn to_ascii(&self, max_cols: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let (lo, hi) = (self.min(), self.max());
+        let span = (hi - lo).max(1e-12);
+        let nx = self.xs.len();
+        let ny = self.ys.len();
+        let step_x = nx.div_ceil(max_cols.max(1));
+        // Terminal cells are ~2x taller than wide; decimate y twice as hard.
+        let step_y = (2 * step_x).max(1);
+        let mut s = String::new();
+        s.push_str(&format!("{lo:.2} °C (' ') … {hi:.2} °C ('@')\n"));
+        // Row 0 is the bottom of the die: print top-down.
+        for j in (0..ny).step_by(step_y).collect::<Vec<_>>().into_iter().rev() {
+            for i in (0..nx).step_by(step_x) {
+                let t = self.values[j][i];
+                let idx = (((t - lo) / span) * (RAMP.len() - 1) as f64).round() as usize;
+                s.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl ThermalMap {
+    /// Extracts the constant-z slice through the cell layer containing
+    /// height `z`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadParameter`] when `z` lies outside the
+    /// domain.
+    pub fn slice_at(&self, z: Meters) -> Result<MapSlice, ThermalError> {
+        let mesh = self.mesh();
+        let k = mesh.z().locate(z.value()).ok_or_else(|| ThermalError::BadParameter {
+            reason: format!("slice height {z} outside the meshed domain"),
+        })?;
+        let (nx, ny, _) = mesh.shape();
+        let xs: Vec<f64> = (0..nx).map(|i| mesh.x().center(i)).collect();
+        let ys: Vec<f64> = (0..ny).map(|j| mesh.y().center(j)).collect();
+        let temps = self.temperatures();
+        let values: Vec<Vec<f64>> = (0..ny)
+            .map(|j| (0..nx).map(|i| temps[mesh.index(i, j, k)]).collect())
+            .collect();
+        Ok(MapSlice { z: mesh.z().center(k), xs, ys, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        Block, Boundary, BoundaryCondition, BoxRegion, Design, Material, MeshSpec, Simulator,
+    };
+    use vcsel_units::{Celsius, Watts, WattsPerSquareMeterKelvin};
+
+    fn mm(v: f64) -> Meters {
+        Meters::from_millimeters(v)
+    }
+
+    fn solved_map() -> ThermalMap {
+        let domain = BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(4.0), mm(1.0)]).unwrap();
+        let mut d = Design::new(domain, Material::SILICON).unwrap();
+        d.set_boundary(
+            Boundary::top(),
+            BoundaryCondition::Convective {
+                h: WattsPerSquareMeterKelvin::new(2_000.0),
+                ambient: Celsius::new(40.0),
+            },
+        );
+        // Off-center heat source so the slice is asymmetric.
+        let src =
+            BoxRegion::new([mm(0.5), mm(0.5), Meters::ZERO], [mm(1.5), mm(1.5), mm(0.2)]).unwrap();
+        d.add_block(Block::heat_source("s", src, Material::COPPER, Watts::new(0.5)));
+        Simulator::new().solve(&d, &MeshSpec::uniform(mm(0.25))).unwrap()
+    }
+
+    #[test]
+    fn slice_has_grid_shape_and_physical_values() {
+        let map = solved_map();
+        let slice = map.slice_at(mm(0.1)).unwrap();
+        assert_eq!(slice.xs.len(), 16);
+        assert_eq!(slice.ys.len(), 16);
+        assert_eq!(slice.values.len(), 16);
+        assert!(slice.values.iter().all(|row| row.len() == 16));
+        assert!(slice.min() >= 40.0, "nothing below ambient: {}", slice.min());
+        assert!(slice.max() > slice.min());
+    }
+
+    #[test]
+    fn hot_spot_is_where_the_source_is() {
+        let map = solved_map();
+        let slice = map.slice_at(mm(0.1)).unwrap();
+        // Source is centered on (1, 1) mm -> grid index ~4 of 16.
+        let mut best = (0usize, 0usize, f64::NEG_INFINITY);
+        for (j, row) in slice.values.iter().enumerate() {
+            for (i, &v) in row.iter().enumerate() {
+                if v > best.2 {
+                    best = (i, j, v);
+                }
+            }
+        }
+        assert!(best.0 < 8 && best.1 < 8, "hottest cell at ({}, {})", best.0, best.1);
+    }
+
+    #[test]
+    fn csv_round_trips_dimensions() {
+        let map = solved_map();
+        let slice = map.slice_at(mm(0.5)).unwrap();
+        let csv = slice.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 16);
+        assert_eq!(lines[0].split(',').count(), 1 + 16);
+        // JSON round trip too (serde_json's default float parsing is 1-ulp
+        // lossy, so compare with a tolerance rather than bitwise).
+        let json = serde_json::to_string(&slice).unwrap();
+        let back: MapSlice = serde_json::from_str(&json).unwrap();
+        assert_eq!(slice.values.len(), back.values.len());
+        for (a, b) in slice.values.iter().flatten().zip(back.values.iter().flatten()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ascii_rendering_is_bounded_and_ramped() {
+        let map = solved_map();
+        let slice = map.slice_at(mm(0.1)).unwrap();
+        let art = slice.to_ascii(8);
+        let body: Vec<&str> = art.lines().skip(1).collect();
+        assert!(!body.is_empty());
+        assert!(body.iter().all(|l| l.len() <= 8), "rows wider than requested");
+        // The render must use more than one ramp level (there IS a hotspot).
+        let distinct: std::collections::HashSet<char> =
+            body.iter().flat_map(|l| l.chars()).collect();
+        assert!(distinct.len() > 1, "flat rendering: {art}");
+    }
+
+    #[test]
+    fn out_of_domain_slice_rejected() {
+        let map = solved_map();
+        assert!(map.slice_at(mm(5.0)).is_err());
+        assert!(map.slice_at(mm(-0.1)).is_err());
+    }
+}

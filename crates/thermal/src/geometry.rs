@@ -1,0 +1,429 @@
+//! Rectangular-block geometry: the system-specification layer of the
+//! methodology (paper Section IV-B).
+//!
+//! "The different components of the system (i.e. package, die, heat sources,
+//! and optical devices) are represented as rectangular blocks, defined by
+//! their dimension, their position, and a constitutive material. The blocks
+//! can be assigned to power values, which allow modeling the heat sources."
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::{Meters, Watts};
+
+use crate::{Material, ThermalError};
+use crate::boundary::{BoundaryCondition, BoundarySet};
+
+/// An axis-aligned box `[min, max)` in meters.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_thermal::BoxRegion;
+/// use vcsel_units::Meters;
+///
+/// let r = BoxRegion::new(
+///     [Meters::ZERO; 3],
+///     [Meters::from_micrometers(15.0), Meters::from_micrometers(30.0),
+///      Meters::from_micrometers(4.0)],
+/// )?;
+/// assert!((r.size(0).as_micrometers() - 15.0).abs() < 1e-9);
+/// # Ok::<(), vcsel_thermal::ThermalError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxRegion {
+    min: [f64; 3],
+    max: [f64; 3],
+}
+
+impl BoxRegion {
+    /// Creates a box from its minimum corner and maximum corner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadRegion`] if any extent is non-positive or
+    /// non-finite.
+    pub fn new(min: [Meters; 3], max: [Meters; 3]) -> Result<Self, ThermalError> {
+        let min = [min[0].value(), min[1].value(), min[2].value()];
+        let max = [max[0].value(), max[1].value(), max[2].value()];
+        for a in 0..3 {
+            if !min[a].is_finite() || !max[a].is_finite() {
+                return Err(ThermalError::BadRegion { reason: "non-finite coordinate".into() });
+            }
+            if max[a] <= min[a] {
+                return Err(ThermalError::BadRegion {
+                    reason: format!(
+                        "axis {a}: max ({}) must exceed min ({})",
+                        max[a], min[a]
+                    ),
+                });
+            }
+        }
+        Ok(Self { min, max })
+    }
+
+    /// Creates a box from its minimum corner and size.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BoxRegion::new`].
+    pub fn with_size(origin: [Meters; 3], size: [Meters; 3]) -> Result<Self, ThermalError> {
+        Self::new(origin, [origin[0] + size[0], origin[1] + size[1], origin[2] + size[2]])
+    }
+
+    /// Minimum corner coordinate on `axis` (0 = x, 1 = y, 2 = z).
+    pub fn min(&self, axis: usize) -> Meters {
+        Meters::new(self.min[axis])
+    }
+
+    /// Maximum corner coordinate on `axis`.
+    pub fn max(&self, axis: usize) -> Meters {
+        Meters::new(self.max[axis])
+    }
+
+    /// Extent along `axis`.
+    pub fn size(&self, axis: usize) -> Meters {
+        Meters::new(self.max[axis] - self.min[axis])
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> [Meters; 3] {
+        [
+            Meters::new(0.5 * (self.min[0] + self.max[0])),
+            Meters::new(0.5 * (self.min[1] + self.max[1])),
+            Meters::new(0.5 * (self.min[2] + self.max[2])),
+        ]
+    }
+
+    /// Volume of the box.
+    pub fn volume(&self) -> vcsel_units::CubicMeters {
+        vcsel_units::CubicMeters::new(
+            (self.max[0] - self.min[0])
+                * (self.max[1] - self.min[1])
+                * (self.max[2] - self.min[2]),
+        )
+    }
+
+    /// Whether the point (in raw meters) lies inside `[min, max)`.
+    pub(crate) fn contains_raw(&self, p: [f64; 3]) -> bool {
+        (0..3).all(|a| p[a] >= self.min[a] && p[a] < self.max[a])
+    }
+
+    /// Whether `point` lies inside `[min, max)`.
+    pub fn contains(&self, point: [Meters; 3]) -> bool {
+        self.contains_raw([point[0].value(), point[1].value(), point[2].value()])
+    }
+
+    /// Whether `other` lies entirely within `self` (touching faces allowed).
+    pub fn encloses(&self, other: &BoxRegion) -> bool {
+        (0..3).all(|a| other.min[a] >= self.min[a] - 1e-12 && other.max[a] <= self.max[a] + 1e-12)
+    }
+
+    /// Returns a copy translated by the given offsets.
+    pub fn translated(&self, dx: Meters, dy: Meters, dz: Meters) -> BoxRegion {
+        let d = [dx.value(), dy.value(), dz.value()];
+        BoxRegion {
+            min: [self.min[0] + d[0], self.min[1] + d[1], self.min[2] + d[2]],
+            max: [self.max[0] + d[0], self.max[1] + d[1], self.max[2] + d[2]],
+        }
+    }
+}
+
+/// A named rectangular block with a material and (optionally) a dissipated
+/// power.
+///
+/// Blocks later in the design's list take precedence where they overlap
+/// earlier ones, which is how small devices (TSVs, VCSELs) are embedded in
+/// larger layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    name: String,
+    region: BoxRegion,
+    material: Material,
+    power: Watts,
+    group: Option<String>,
+}
+
+impl Block {
+    /// Creates a passive (non-dissipating) block.
+    pub fn passive(name: impl Into<String>, region: BoxRegion, material: Material) -> Self {
+        Self { name: name.into(), region, material, power: Watts::ZERO, group: None }
+    }
+
+    /// Creates a block dissipating `power`, spread uniformly over its volume.
+    pub fn heat_source(
+        name: impl Into<String>,
+        region: BoxRegion,
+        material: Material,
+        power: Watts,
+    ) -> Self {
+        Self { name: name.into(), region, material, power, group: None }
+    }
+
+    /// Tags the block with a named power *group* for superposition-based
+    /// sweeps (see [`crate::ResponseBasis`]). Returns `self` builder-style.
+    pub fn with_group(mut self, group: impl Into<String>) -> Self {
+        self.group = Some(group.into());
+        self
+    }
+
+    /// Block name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Occupied region.
+    pub fn region(&self) -> &BoxRegion {
+        &self.region
+    }
+
+    /// Constitutive material.
+    pub fn material(&self) -> &Material {
+        &self.material
+    }
+
+    /// Dissipated power.
+    pub fn power(&self) -> Watts {
+        self.power
+    }
+
+    /// Sets the dissipated power (used by sweeps).
+    pub fn set_power(&mut self, power: Watts) {
+        self.power = power;
+    }
+
+    /// Power-group tag, if any.
+    pub fn group(&self) -> Option<&str> {
+        self.group.as_deref()
+    }
+}
+
+/// A complete thermal design: domain, background material, blocks and
+/// boundary conditions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Design {
+    domain: BoxRegion,
+    background: Material,
+    blocks: Vec<Block>,
+    boundaries: BoundarySet,
+}
+
+impl Design {
+    /// Creates an empty design over `domain` filled with `background`
+    /// material and fully adiabatic boundaries (add at least one convective
+    /// or isothermal face before solving).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible but returns `Result` for future validation
+    /// (e.g. domain size limits); returns the design on success.
+    pub fn new(domain: BoxRegion, background: Material) -> Result<Self, ThermalError> {
+        Ok(Self { domain, background, blocks: Vec::new(), boundaries: BoundarySet::adiabatic() })
+    }
+
+    /// The simulation domain.
+    pub fn domain(&self) -> &BoxRegion {
+        &self.domain
+    }
+
+    /// Background (fill) material.
+    pub fn background(&self) -> &Material {
+        &self.background
+    }
+
+    /// All blocks, in insertion (= precedence) order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Mutable access to the blocks (for power sweeps).
+    pub fn blocks_mut(&mut self) -> &mut [Block] {
+        &mut self.blocks
+    }
+
+    /// Boundary conditions.
+    pub fn boundaries(&self) -> &BoundarySet {
+        &self.boundaries
+    }
+
+    /// Sets the condition on one boundary face.
+    pub fn set_boundary(&mut self, face: crate::Boundary, condition: BoundaryCondition) {
+        self.boundaries.set(face, condition);
+    }
+
+    /// Adds a block. Later blocks take material precedence where they
+    /// overlap earlier ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not fully inside the domain; use
+    /// [`Design::try_add_block`] for a fallible version.
+    pub fn add_block(&mut self, block: Block) {
+        self.try_add_block(block).expect("block must lie inside the design domain");
+    }
+
+    /// Adds a block, failing if it lies (partly) outside the domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BlockOutsideDomain`].
+    pub fn try_add_block(&mut self, block: Block) -> Result<(), ThermalError> {
+        if !self.domain.encloses(block.region()) {
+            return Err(ThermalError::BlockOutsideDomain { block: block.name().to_string() });
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Total dissipated power over all blocks.
+    pub fn total_power(&self) -> Watts {
+        self.blocks.iter().map(Block::power).sum()
+    }
+
+    /// Names of all distinct power groups, in first-appearance order.
+    pub fn group_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for b in &self.blocks {
+            if let Some(g) = b.group() {
+                if !names.contains(&g) {
+                    names.push(g);
+                }
+            }
+        }
+        names
+    }
+
+    /// Sum of reference powers of the blocks in `group`.
+    pub fn group_power(&self, group: &str) -> Watts {
+        self.blocks
+            .iter()
+            .filter(|b| b.group() == Some(group))
+            .map(Block::power)
+            .sum()
+    }
+
+    /// Multiplies the power of every block in `group` by `scale`.
+    pub fn scale_group_power(&mut self, group: &str, scale: f64) {
+        for b in &mut self.blocks {
+            if b.group() == Some(group) {
+                let p = b.power();
+                b.set_power(p * scale);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsel_units::{Celsius, WattsPerSquareMeterKelvin};
+
+    fn mm(v: f64) -> Meters {
+        Meters::from_millimeters(v)
+    }
+
+    fn unit_domain() -> BoxRegion {
+        BoxRegion::new([Meters::ZERO; 3], [mm(10.0), mm(10.0), mm(1.0)]).unwrap()
+    }
+
+    #[test]
+    fn region_accessors() {
+        let r = unit_domain();
+        assert_eq!(r.min(0).value(), 0.0);
+        assert!((r.size(2).as_millimeters() - 1.0).abs() < 1e-12);
+        assert!((r.center()[0].as_millimeters() - 5.0).abs() < 1e-12);
+        assert!((r.volume().value() - 1e-7).abs() < 1e-19);
+    }
+
+    #[test]
+    fn region_rejects_degenerate() {
+        assert!(BoxRegion::new([Meters::ZERO; 3], [Meters::ZERO, mm(1.0), mm(1.0)]).is_err());
+        assert!(BoxRegion::new([mm(2.0), Meters::ZERO, Meters::ZERO], [mm(1.0), mm(1.0), mm(1.0)])
+            .is_err());
+        assert!(BoxRegion::new(
+            [Meters::new(f64::NAN), Meters::ZERO, Meters::ZERO],
+            [mm(1.0), mm(1.0), mm(1.0)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn contains_and_encloses() {
+        let r = unit_domain();
+        assert!(r.contains([mm(5.0), mm(5.0), mm(0.5)]));
+        assert!(!r.contains([mm(11.0), mm(5.0), mm(0.5)]));
+        // max edge is exclusive
+        assert!(!r.contains([mm(10.0), mm(5.0), mm(0.5)]));
+        let inner =
+            BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(2.0), mm(2.0), mm(1.0)]).unwrap();
+        assert!(r.encloses(&inner));
+        assert!(!inner.encloses(&r));
+    }
+
+    #[test]
+    fn translation() {
+        let r = BoxRegion::with_size([Meters::ZERO; 3], [mm(1.0), mm(1.0), mm(1.0)]).unwrap();
+        let t = r.translated(mm(3.0), mm(4.0), Meters::ZERO);
+        assert!((t.min(0).as_millimeters() - 3.0).abs() < 1e-12);
+        assert!((t.max(1).as_millimeters() - 5.0).abs() < 1e-12);
+        assert!((t.size(2).as_millimeters() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_rejects_out_of_domain_block() {
+        let mut d = Design::new(unit_domain(), Material::SILICON).unwrap();
+        let outside =
+            BoxRegion::new([mm(9.0), mm(9.0), Meters::ZERO], [mm(12.0), mm(10.0), mm(1.0)])
+                .unwrap();
+        let err = d
+            .try_add_block(Block::passive("oops", outside, Material::COPPER))
+            .unwrap_err();
+        assert!(matches!(err, ThermalError::BlockOutsideDomain { .. }));
+    }
+
+    #[test]
+    fn power_groups() {
+        let mut d = Design::new(unit_domain(), Material::SILICON).unwrap();
+        let r =
+            BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(2.0), mm(2.0), mm(0.1)]).unwrap();
+        d.add_block(
+            Block::heat_source("v0", r, Material::III_V, Watts::from_milliwatts(2.0))
+                .with_group("vcsel"),
+        );
+        d.add_block(
+            Block::heat_source(
+                "v1",
+                r.translated(mm(3.0), Meters::ZERO, Meters::ZERO),
+                Material::III_V,
+                Watts::from_milliwatts(2.0),
+            )
+            .with_group("vcsel"),
+        );
+        d.add_block(
+            Block::heat_source(
+                "h0",
+                r.translated(Meters::ZERO, mm(3.0), Meters::ZERO),
+                Material::SILICON,
+                Watts::from_milliwatts(1.0),
+            )
+            .with_group("heater"),
+        );
+        assert_eq!(d.group_names(), vec!["vcsel", "heater"]);
+        assert!((d.group_power("vcsel").as_milliwatts() - 4.0).abs() < 1e-12);
+        assert!((d.total_power().as_milliwatts() - 5.0).abs() < 1e-12);
+        d.scale_group_power("vcsel", 0.5);
+        assert!((d.group_power("vcsel").as_milliwatts() - 2.0).abs() < 1e-12);
+        assert!((d.group_power("heater").as_milliwatts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_setting() {
+        let mut d = Design::new(unit_domain(), Material::SILICON).unwrap();
+        d.set_boundary(
+            crate::Boundary::top(),
+            BoundaryCondition::Convective {
+                h: WattsPerSquareMeterKelvin::new(1e4),
+                ambient: Celsius::new(40.0),
+            },
+        );
+        assert!(d.boundaries().has_heat_path());
+    }
+}

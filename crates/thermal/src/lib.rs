@@ -1,0 +1,92 @@
+//! 3D steady-state finite-volume thermal simulator for stacked
+//! MPSoC + photonic-layer designs.
+//!
+//! This crate is the reproduction of **IcTherm** — the (closed-source)
+//! simulator the paper uses for its thermal maps. Like IcTherm it:
+//!
+//! * represents the system as rectangular [`Block`]s (package, dies, BEOL,
+//!   TSVs, VCSELs, microrings, drivers…), each with a constitutive
+//!   [`Material`] and an optional dissipated power,
+//! * discretizes the steady-state heat equation ∇·(k∇T) + q = 0 with the
+//!   **Finite Volume Method** on a non-uniform rectilinear mesh
+//!   ([`Mesh`], [`MeshSpec`]) whose resolution follows the structure:
+//!   ~5 µm cells over the optical network interfaces, ~100 µm over the die,
+//!   ~500 µm over the package,
+//! * solves the resulting sparse SPD system with preconditioned conjugate
+//!   gradient and returns a full-chip [`ThermalMap`] from which gradient and
+//!   average temperatures of any region can be extracted (paper Figure 4).
+//!
+//! Because steady-state conduction with temperature-independent
+//! conductivities is *linear* in the injected powers, the crate also offers
+//! [`ResponseBasis`]: solve once per power *group* and recombine scalar
+//! multiples, which turns the paper's P_VCSEL × P_heater × P_chip design
+//! sweeps into trivial vector arithmetic with *identical* results.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vcsel_thermal::{
+//!     Block, BoxRegion, Boundary, Design, Material, MeshSpec, Simulator,
+//! };
+//! use vcsel_units::{Celsius, Meters, Watts, WattsPerSquareMeterKelvin};
+//!
+//! // A 10 x 10 x 1 mm silicon slab dissipating 1 W, cooled from the top.
+//! let region = BoxRegion::new(
+//!     [Meters::ZERO, Meters::ZERO, Meters::ZERO],
+//!     [Meters::from_millimeters(10.0), Meters::from_millimeters(10.0),
+//!      Meters::from_millimeters(1.0)],
+//! )?;
+//! let mut design = Design::new(region, Material::SILICON)?;
+//! design.set_boundary(
+//!     Boundary::top(),
+//!     vcsel_thermal::BoundaryCondition::Convective {
+//!         h: WattsPerSquareMeterKelvin::new(1000.0),
+//!         ambient: Celsius::new(40.0),
+//!     },
+//! );
+//! let heater = BoxRegion::new(
+//!     [Meters::from_millimeters(4.0), Meters::from_millimeters(4.0), Meters::ZERO],
+//!     [Meters::from_millimeters(6.0), Meters::from_millimeters(6.0),
+//!      Meters::from_millimeters(0.2)],
+//! )?;
+//! design.add_block(Block::heat_source("core", heater, Material::SILICON, Watts::new(1.0)));
+//!
+//! let map = Simulator::new().solve(&design, &MeshSpec::uniform(Meters::from_millimeters(0.5)))?;
+//! assert!(map.hottest().1.value() > 40.0);
+//! # Ok::<(), vcsel_thermal::ThermalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout as a NaN-rejecting validity
+// check (`x <= 0.0` would silently accept NaN).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+mod assembly;
+mod boundary;
+mod compact;
+mod convergence;
+mod error;
+mod export;
+mod geometry;
+mod map;
+mod material;
+mod mesh;
+mod simulator;
+mod stepper;
+mod superposition;
+mod transient;
+
+pub use boundary::{Boundary, BoundaryCondition, BoundarySet};
+pub use compact::{ResistanceStack, StackLayer};
+pub use convergence::{ConvergenceLevel, ConvergenceStudy};
+pub use error::ThermalError;
+pub use export::MapSlice;
+pub use geometry::{Block, BoxRegion, Design};
+pub use map::ThermalMap;
+pub use material::Material;
+pub use mesh::{Axis, Mesh, MeshSpec, RefineRegion};
+pub use simulator::Simulator;
+pub use stepper::TransientStepper;
+pub use superposition::ResponseBasis;
+pub use transient::{TransientSimulator, TransientTrace};

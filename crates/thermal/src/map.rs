@@ -1,0 +1,163 @@
+//! The solved temperature field and its query API.
+//!
+//! "IcTherm computes the heat transfers between the cells and outputs the
+//! temperature value of each cell. This thermal map allows computing the
+//! gradient temperature between any points of the system" (paper Figure 4).
+
+use vcsel_numerics::Summary;
+use vcsel_units::{Celsius, Meters, TemperatureDelta, Watts};
+
+use crate::assembly::BoundaryFace;
+use crate::{BoxRegion, Mesh};
+
+/// A cell-centered steady-state temperature field.
+///
+/// Produced by [`crate::Simulator::solve`] (or composed from a
+/// [`crate::ResponseBasis`]). All queries are in the design's coordinate
+/// frame.
+#[derive(Debug, Clone)]
+pub struct ThermalMap {
+    mesh: Mesh,
+    temperatures: Vec<f64>,
+    boundary_faces: Vec<BoundaryFace>,
+    injected_power: f64,
+}
+
+impl ThermalMap {
+    pub(crate) fn new(
+        mesh: Mesh,
+        temperatures: Vec<f64>,
+        boundary_faces: Vec<BoundaryFace>,
+        injected_power: f64,
+    ) -> Self {
+        debug_assert_eq!(mesh.cell_count(), temperatures.len());
+        Self { mesh, temperatures, boundary_faces, injected_power }
+    }
+
+    /// The mesh the field lives on.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Raw per-cell temperatures in °C, indexed by [`Mesh::index`].
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temperatures
+    }
+
+    /// Temperature of the cell containing `point`, or `None` outside the
+    /// domain.
+    pub fn temperature_at(&self, point: [Meters; 3]) -> Option<Celsius> {
+        self.mesh.locate(point).map(|i| Celsius::new(self.temperatures[i]))
+    }
+
+    /// Statistics (min / max / mean / σ) over the cells whose centers lie in
+    /// `region`; `None` if the region covers no cell.
+    ///
+    /// The paper's two headline metrics map onto this:
+    /// *average temperature* = `summary.mean`, *gradient temperature* =
+    /// `summary.range()`.
+    pub fn summary_in(&self, region: &BoxRegion) -> Option<Summary> {
+        let cells = self.mesh.cells_in(region);
+        Summary::from_iter(cells.into_iter().map(|c| self.temperatures[c]))
+    }
+
+    /// Average temperature over `region` (volume-weighted).
+    pub fn average_in(&self, region: &BoxRegion) -> Option<Celsius> {
+        let cells = self.mesh.cells_in(region);
+        if cells.is_empty() {
+            return None;
+        }
+        let mut sum = 0.0;
+        let mut vol = 0.0;
+        for c in cells {
+            let v = self.mesh.cell_volume(c);
+            sum += self.temperatures[c] * v;
+            vol += v;
+        }
+        Some(Celsius::new(sum / vol))
+    }
+
+    /// Max − min temperature over `region` — the paper's "gradient
+    /// temperature".
+    pub fn gradient_in(&self, region: &BoxRegion) -> Option<TemperatureDelta> {
+        self.summary_in(region).map(|s| TemperatureDelta::new(s.range()))
+    }
+
+    /// Temperature difference between the cells containing two points.
+    pub fn gradient_between(
+        &self,
+        a: [Meters; 3],
+        b: [Meters; 3],
+    ) -> Option<TemperatureDelta> {
+        let ta = self.temperature_at(a)?;
+        let tb = self.temperature_at(b)?;
+        Some(ta.delta_from(tb))
+    }
+
+    /// Location and temperature of the hottest cell.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a map always contains at least one cell.
+    pub fn hottest(&self) -> ([Meters; 3], Celsius) {
+        let (idx, &t) = self
+            .temperatures
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite temperatures"))
+            .expect("non-empty map");
+        (self.mesh.cell_center(idx), Celsius::new(t))
+    }
+
+    /// Location and temperature of the coldest cell.
+    pub fn coldest(&self) -> ([Meters; 3], Celsius) {
+        let (idx, &t) = self
+            .temperatures
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite temperatures"))
+            .expect("non-empty map");
+        (self.mesh.cell_center(idx), Celsius::new(t))
+    }
+
+    /// Volume-weighted average over the whole domain.
+    pub fn average(&self) -> Celsius {
+        let mut sum = 0.0;
+        let mut vol = 0.0;
+        for c in 0..self.mesh.cell_count() {
+            let v = self.mesh.cell_volume(c);
+            sum += self.temperatures[c] * v;
+            vol += v;
+        }
+        Celsius::new(sum / vol)
+    }
+
+    /// Total heat flowing out through the non-adiabatic boundary faces
+    /// (positive = leaving the domain). At steady state this equals the
+    /// injected power; the difference is the discretization's energy-balance
+    /// defect, exercised by the property tests.
+    pub fn boundary_outflow(&self) -> Watts {
+        let sum: f64 = self
+            .boundary_faces
+            .iter()
+            .map(|f| f.conductance * (self.temperatures[f.cell] - f.reference))
+            .sum();
+        Watts::new(sum)
+    }
+
+    /// Total power injected into the solve that produced this map.
+    pub fn injected_power(&self) -> Watts {
+        Watts::new(self.injected_power)
+    }
+
+    /// Relative energy-balance defect `|out - in| / max(in, ε)`.
+    pub fn energy_balance_defect(&self) -> f64 {
+        let inflow = self.injected_power;
+        let outflow = self.boundary_outflow().value();
+        (outflow - inflow).abs() / inflow.abs().max(1e-12)
+    }
+
+    pub(crate) fn parts(&self) -> (&Mesh, &[f64], &[BoundaryFace], f64) {
+        (&self.mesh, &self.temperatures, &self.boundary_faces, self.injected_power)
+    }
+}

@@ -1,0 +1,180 @@
+//! Constitutive materials for the thermal model.
+//!
+//! A [`Material`] carries the thermal conductivity (all the steady solver
+//! needs) and the volumetric heat capacity (consumed by the transient
+//! solver, mirroring IcTherm's transient mode).
+
+use std::borrow::Cow;
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::WattsPerMeterKelvin;
+
+/// A homogeneous, isotropic material.
+///
+/// The built-in constants cover every layer of the paper's Figure 7 package
+/// stack. Conductivities are standard room-temperature values.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_thermal::Material;
+///
+/// assert!(Material::COPPER.conductivity() > Material::SILICON.conductivity());
+/// let custom = Material::new("graphite", 150.0);
+/// assert_eq!(custom.name(), "graphite");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    name: Cow<'static, str>,
+    /// Thermal conductivity in W/(m·K).
+    conductivity_w_per_m_k: f64,
+    /// Volumetric heat capacity ρ·c_p in J/(m³·K) (used by the transient
+    /// solver; irrelevant at steady state).
+    #[serde(default = "default_heat_capacity")]
+    volumetric_heat_capacity_j_per_m3_k: f64,
+}
+
+fn default_heat_capacity() -> f64 {
+    1.6e6
+}
+
+impl Material {
+    /// Bulk silicon (die, interposer, waveguide layer).
+    pub const SILICON: Material = Material::const_new("silicon", 148.0, 1.63e6);
+    /// Silicon dioxide (buried oxide, cladding).
+    pub const SILICON_DIOXIDE: Material = Material::const_new("silicon dioxide", 1.4, 1.63e6);
+    /// Copper (lid, heat-sink base).
+    pub const COPPER: Material = Material::const_new("copper", 400.0, 3.45e6);
+    /// Thermal interface material between die and lid.
+    pub const TIM: Material = Material::const_new("thermal interface material", 4.0, 2.0e6);
+    /// Effective back-end-of-line stack (metal + dielectric; the paper
+    /// models the BEOL as a thin 10–15 µm layer holding the heat sources).
+    pub const BEOL: Material = Material::const_new("BEOL effective", 2.25, 2.2e6);
+    /// Organic package substrate (build-up laminate).
+    pub const SUBSTRATE: Material = Material::const_new("package substrate", 0.35, 1.8e6);
+    /// Underfill / die-attach epoxy.
+    pub const EPOXY: Material = Material::const_new("epoxy", 0.9, 1.7e6);
+    /// III-V VCSEL stack (InP / InGaAsP effective).
+    pub const III_V: Material = Material::const_new("III-V (InP effective)", 68.0, 1.5e6);
+    /// Oxide-clad optical layer effective medium (Si devices in SiO2).
+    pub const OPTICAL_LAYER: Material = Material::const_new("optical layer effective", 10.0, 1.65e6);
+    /// Bonding layer between the optical die and the logic die.
+    pub const BONDING: Material = Material::const_new("bonding layer", 0.5, 1.7e6);
+    /// Copper-tungsten TSV effective fill.
+    pub const TSV_FILL: Material = Material::const_new("TSV fill", 230.0, 3.0e6);
+    /// Still air (gaps).
+    pub const AIR: Material = Material::const_new("air", 0.026, 1.2e3);
+
+    const fn const_new(name: &'static str, k: f64, c: f64) -> Material {
+        Material {
+            name: Cow::Borrowed(name),
+            conductivity_w_per_m_k: k,
+            volumetric_heat_capacity_j_per_m3_k: c,
+        }
+    }
+
+    /// Creates a material with the given name and conductivity in W/(m·K),
+    /// using a generic solid heat capacity (1.6 MJ/(m³·K)); override it
+    /// with [`Material::with_heat_capacity`] for transient work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conductivity` is not strictly positive and finite.
+    pub fn new(name: impl Into<String>, conductivity: f64) -> Self {
+        assert!(
+            conductivity.is_finite() && conductivity > 0.0,
+            "thermal conductivity must be positive and finite, got {conductivity}"
+        );
+        Self {
+            name: Cow::Owned(name.into()),
+            conductivity_w_per_m_k: conductivity,
+            volumetric_heat_capacity_j_per_m3_k: default_heat_capacity(),
+        }
+    }
+
+    /// Replaces the volumetric heat capacity (J/(m³·K)), builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_heat_capacity(mut self, capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "heat capacity must be positive and finite, got {capacity}"
+        );
+        self.volumetric_heat_capacity_j_per_m3_k = capacity;
+        self
+    }
+
+    /// Volumetric heat capacity ρ·c_p in J/(m³·K).
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.volumetric_heat_capacity_j_per_m3_k
+    }
+
+    /// Human-readable material name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Thermal conductivity.
+    pub fn conductivity(&self) -> WattsPerMeterKelvin {
+        WattsPerMeterKelvin::new(self.conductivity_w_per_m_k)
+    }
+}
+
+impl core::fmt::Display for Material {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} (k = {} W/(m·K))", self.name, self.conductivity_w_per_m_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_constants_are_physical() {
+        for m in [
+            Material::SILICON,
+            Material::SILICON_DIOXIDE,
+            Material::COPPER,
+            Material::TIM,
+            Material::BEOL,
+            Material::SUBSTRATE,
+            Material::EPOXY,
+            Material::III_V,
+            Material::OPTICAL_LAYER,
+            Material::BONDING,
+            Material::TSV_FILL,
+            Material::AIR,
+        ] {
+            assert!(m.conductivity().value() > 0.0, "{m}");
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn conductivity_ordering_sanity() {
+        // Copper > TSV fill > silicon > III-V > oxide > air.
+        assert!(Material::COPPER.conductivity() > Material::TSV_FILL.conductivity());
+        assert!(Material::TSV_FILL.conductivity() > Material::SILICON.conductivity());
+        assert!(Material::SILICON.conductivity() > Material::III_V.conductivity());
+        assert!(Material::III_V.conductivity() > Material::SILICON_DIOXIDE.conductivity());
+        assert!(Material::SILICON_DIOXIDE.conductivity() > Material::AIR.conductivity());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_conductivity_rejected() {
+        let _ = Material::new("void", 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Material::new("graphite", 150.0);
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: Material = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, m);
+    }
+}

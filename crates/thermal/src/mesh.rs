@@ -1,0 +1,524 @@
+//! Non-uniform rectilinear meshing.
+//!
+//! "The structure of the system is discretized into small cubic cells that
+//! match the distribution of the materials and the heat sources. […] we use
+//! a fine-grain resolution with a cell size of 5 µm × 5 µm for meshing the
+//! region containing the interfaces. For the rest of the system, we use a
+//! coarser resolution" (paper Section IV-B / Figure 4).
+//!
+//! We realize this with a *tensor-product* mesh: each axis has its own
+//! strictly-increasing tick vector. Block boundaries always become ticks, so
+//! material interfaces coincide with cell faces; [`RefineRegion`]s impose a
+//! smaller maximum cell size over the axis intervals they span.
+
+use serde::{Deserialize, Serialize};
+use vcsel_units::Meters;
+
+use crate::{BoxRegion, Design, ThermalError};
+
+/// One axis of the tensor-product mesh: a strictly increasing tick vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    ticks: Vec<f64>,
+}
+
+impl Axis {
+    fn from_ticks(ticks: Vec<f64>) -> Result<Self, ThermalError> {
+        if ticks.len() < 2 {
+            return Err(ThermalError::BadRegion {
+                reason: "axis needs at least two ticks".into(),
+            });
+        }
+        if ticks.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(ThermalError::BadRegion {
+                reason: "axis ticks must be strictly increasing".into(),
+            });
+        }
+        Ok(Self { ticks })
+    }
+
+    /// Number of cells (= ticks − 1).
+    pub fn cell_count(&self) -> usize {
+        self.ticks.len() - 1
+    }
+
+    /// The tick positions in meters.
+    pub fn ticks(&self) -> &[f64] {
+        &self.ticks
+    }
+
+    /// Center coordinate of cell `i` in meters.
+    #[inline]
+    pub fn center(&self, i: usize) -> f64 {
+        0.5 * (self.ticks[i] + self.ticks[i + 1])
+    }
+
+    /// Width of cell `i` in meters.
+    #[inline]
+    pub fn width(&self, i: usize) -> f64 {
+        self.ticks[i + 1] - self.ticks[i]
+    }
+
+    /// Index of the cell containing coordinate `x` (meters); the last cell
+    /// is closed on both sides so the domain max maps to the last cell.
+    pub fn locate(&self, x: f64) -> Option<usize> {
+        let n = self.cell_count();
+        if x < self.ticks[0] || x > self.ticks[n] {
+            return None;
+        }
+        if x >= self.ticks[n] {
+            return Some(n - 1);
+        }
+        // partition_point: first tick > x, so the containing cell is one less.
+        let hi = self.ticks.partition_point(|&t| t <= x);
+        Some(hi.saturating_sub(1).min(n - 1))
+    }
+
+    /// Index range `[lo, hi)` of cells whose extent overlaps `[a, b]`
+    /// (meters), snapping to ticks with a small tolerance.
+    pub(crate) fn cell_range(&self, a: f64, b: f64) -> (usize, usize) {
+        let eps = 1e-9 * (self.ticks[self.ticks.len() - 1] - self.ticks[0]).max(1e-12);
+        let lo = self.ticks.partition_point(|&t| t < a - eps).min(self.cell_count());
+        let hi = self.ticks.partition_point(|&t| t < b - eps).min(self.cell_count());
+        (lo, hi)
+    }
+}
+
+/// A box inside which the mesh must use cells no larger than `max_cell`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefineRegion {
+    region: BoxRegion,
+    max_cell: [f64; 3],
+}
+
+impl RefineRegion {
+    /// Creates a refinement that caps the cell size at `max_cell` (same cap
+    /// on all three axes) inside `region`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadParameter`] if `max_cell` is not strictly
+    /// positive and finite.
+    pub fn new(region: BoxRegion, max_cell: Meters) -> Result<Self, ThermalError> {
+        Self::per_axis(region, [max_cell; 3])
+    }
+
+    /// Creates a refinement with a per-axis cell-size cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadParameter`] if any cap is not strictly
+    /// positive and finite.
+    pub fn per_axis(region: BoxRegion, max_cell: [Meters; 3]) -> Result<Self, ThermalError> {
+        let raw = [max_cell[0].value(), max_cell[1].value(), max_cell[2].value()];
+        if raw.iter().any(|&v| !(v > 0.0) || !v.is_finite()) {
+            return Err(ThermalError::BadParameter {
+                reason: format!("refinement cell size must be positive, got {raw:?}"),
+            });
+        }
+        Ok(Self { region, max_cell: raw })
+    }
+
+    /// The refined region.
+    pub fn region(&self) -> &BoxRegion {
+        &self.region
+    }
+
+    /// The per-axis cell-size cap in meters.
+    pub fn max_cell(&self) -> [Meters; 3] {
+        [
+            Meters::new(self.max_cell[0]),
+            Meters::new(self.max_cell[1]),
+            Meters::new(self.max_cell[2]),
+        ]
+    }
+}
+
+/// Meshing policy: global maximum cell size plus local refinements.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_thermal::{BoxRegion, MeshSpec, RefineRegion};
+/// use vcsel_units::Meters;
+///
+/// // 500 µm everywhere, 5 µm over one interface (the paper's resolutions).
+/// let oni = BoxRegion::with_size(
+///     [Meters::from_millimeters(1.0); 3],
+///     [Meters::from_micrometers(200.0); 3],
+/// )?;
+/// let spec = MeshSpec::uniform(Meters::from_micrometers(500.0))
+///     .with_refinement(RefineRegion::new(oni, Meters::from_micrometers(5.0))?);
+/// assert_eq!(spec.refinements().len(), 1);
+/// # Ok::<(), vcsel_thermal::ThermalError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeshSpec {
+    max_cell: [f64; 3],
+    refinements: Vec<RefineRegion>,
+    cell_limit: usize,
+}
+
+impl MeshSpec {
+    /// Default cap on the total number of cells (guards against accidental
+    /// billion-cell meshes).
+    pub const DEFAULT_CELL_LIMIT: usize = 20_000_000;
+
+    /// Same maximum cell size on all three axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cell` is not strictly positive and finite.
+    pub fn uniform(max_cell: Meters) -> Self {
+        Self::per_axis([max_cell; 3])
+    }
+
+    /// Per-axis maximum cell size (e.g. coarse in x/y, fine in z to resolve
+    /// thin layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is not strictly positive and finite.
+    pub fn per_axis(max_cell: [Meters; 3]) -> Self {
+        let raw = [max_cell[0].value(), max_cell[1].value(), max_cell[2].value()];
+        assert!(
+            raw.iter().all(|&v| v > 0.0 && v.is_finite()),
+            "cell sizes must be positive and finite, got {raw:?}"
+        );
+        Self { max_cell: raw, refinements: Vec::new(), cell_limit: Self::DEFAULT_CELL_LIMIT }
+    }
+
+    /// Adds a refinement region (builder style).
+    #[must_use]
+    pub fn with_refinement(mut self, refinement: RefineRegion) -> Self {
+        self.refinements.push(refinement);
+        self
+    }
+
+    /// Replaces the cell-count limit (builder style).
+    #[must_use]
+    pub fn with_cell_limit(mut self, limit: usize) -> Self {
+        self.cell_limit = limit.max(8);
+        self
+    }
+
+    /// The registered refinements.
+    pub fn refinements(&self) -> &[RefineRegion] {
+        &self.refinements
+    }
+
+    /// The cell-count limit.
+    pub fn cell_limit(&self) -> usize {
+        self.cell_limit
+    }
+
+    /// Global per-axis maximum cell size in meters.
+    pub fn max_cell(&self) -> [Meters; 3] {
+        [
+            Meters::new(self.max_cell[0]),
+            Meters::new(self.max_cell[1]),
+            Meters::new(self.max_cell[2]),
+        ]
+    }
+}
+
+/// The tensor-product mesh of a design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mesh {
+    x: Axis,
+    y: Axis,
+    z: Axis,
+}
+
+impl Mesh {
+    /// Builds the mesh for `design` under the `spec` policy.
+    ///
+    /// Block and refinement boundaries become ticks, then every interval is
+    /// subdivided to satisfy the applicable maximum cell size.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::MeshTooLarge`] if the resulting cell count exceeds
+    ///   the spec's limit.
+    pub fn build(design: &Design, spec: &MeshSpec) -> Result<Self, ThermalError> {
+        let axes: Vec<Axis> = (0..3)
+            .map(|a| Self::build_axis(design, spec, a))
+            .collect::<Result<_, _>>()?;
+        let mut it = axes.into_iter();
+        let (x, y, z) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
+        let cells = x.cell_count() * y.cell_count() * z.cell_count();
+        if cells > spec.cell_limit {
+            return Err(ThermalError::MeshTooLarge { cells, limit: spec.cell_limit });
+        }
+        Ok(Self { x, y, z })
+    }
+
+    fn build_axis(design: &Design, spec: &MeshSpec, axis: usize) -> Result<Axis, ThermalError> {
+        let lo = design.domain().min(axis).value();
+        let hi = design.domain().max(axis).value();
+        let extent = hi - lo;
+        let eps = 1e-9 * extent.max(1e-12);
+
+        // 1. Collect breakpoints: domain + block + refinement boundaries.
+        let mut breaks = vec![lo, hi];
+        for b in design.blocks() {
+            breaks.push(b.region().min(axis).value());
+            breaks.push(b.region().max(axis).value());
+        }
+        for r in &spec.refinements {
+            breaks.push(r.region().min(axis).value().clamp(lo, hi));
+            breaks.push(r.region().max(axis).value().clamp(lo, hi));
+        }
+        breaks.retain(|v| *v >= lo - eps && *v <= hi + eps);
+        breaks.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        breaks.dedup_by(|a, b| (*a - *b).abs() <= eps);
+
+        // 2. Subdivide each interval to meet the finest applicable cap.
+        let mut ticks = Vec::with_capacity(breaks.len() * 2);
+        for w in breaks.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let mid = 0.5 * (a + b);
+            let mut cap = spec.max_cell[axis];
+            for r in &spec.refinements {
+                let rmin = r.region().min(axis).value();
+                let rmax = r.region().max(axis).value();
+                if mid > rmin && mid < rmax {
+                    cap = cap.min(r.max_cell[axis]);
+                }
+            }
+            let n = ((b - a) / cap).ceil().max(1.0) as usize;
+            for i in 0..n {
+                ticks.push(a + (b - a) * i as f64 / n as f64);
+            }
+        }
+        ticks.push(hi);
+        Axis::from_ticks(ticks)
+    }
+
+    /// The x axis.
+    pub fn x(&self) -> &Axis {
+        &self.x
+    }
+
+    /// The y axis.
+    pub fn y(&self) -> &Axis {
+        &self.y
+    }
+
+    /// The z axis.
+    pub fn z(&self) -> &Axis {
+        &self.z
+    }
+
+    /// Axis by index (0 = x, 1 = y, 2 = z).
+    pub fn axis(&self, a: usize) -> &Axis {
+        match a {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis index must be 0..3, got {a}"),
+        }
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.x.cell_count() * self.y.cell_count() * self.z.cell_count()
+    }
+
+    /// Per-axis cell counts `(nx, ny, nz)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.x.cell_count(), self.y.cell_count(), self.z.cell_count())
+    }
+
+    /// Linear index of cell `(i, j, k)`.
+    #[inline]
+    pub fn index(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.x.cell_count());
+        debug_assert!(j < self.y.cell_count());
+        debug_assert!(k < self.z.cell_count());
+        (k * self.y.cell_count() + j) * self.x.cell_count() + i
+    }
+
+    /// Inverse of [`Mesh::index`].
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let nx = self.x.cell_count();
+        let ny = self.y.cell_count();
+        let i = idx % nx;
+        let j = (idx / nx) % ny;
+        let k = idx / (nx * ny);
+        (i, j, k)
+    }
+
+    /// Center of cell `idx` in raw meters.
+    pub(crate) fn cell_center_raw(&self, idx: usize) -> [f64; 3] {
+        let (i, j, k) = self.coords(idx);
+        [self.x.center(i), self.y.center(j), self.z.center(k)]
+    }
+
+    /// Center of cell `idx`.
+    pub fn cell_center(&self, idx: usize) -> [Meters; 3] {
+        let c = self.cell_center_raw(idx);
+        [Meters::new(c[0]), Meters::new(c[1]), Meters::new(c[2])]
+    }
+
+    /// Volume of cell `idx` in cubic meters.
+    pub fn cell_volume(&self, idx: usize) -> f64 {
+        let (i, j, k) = self.coords(idx);
+        self.x.width(i) * self.y.width(j) * self.z.width(k)
+    }
+
+    /// Linear index of the cell containing `point`, if inside the domain.
+    pub fn locate(&self, point: [Meters; 3]) -> Option<usize> {
+        let i = self.x.locate(point[0].value())?;
+        let j = self.y.locate(point[1].value())?;
+        let k = self.z.locate(point[2].value())?;
+        Some(self.index(i, j, k))
+    }
+
+    /// Iterates over the linear indices of all cells whose centers lie in
+    /// `region`.
+    pub fn cells_in(&self, region: &BoxRegion) -> Vec<usize> {
+        let (x0, x1) = self.x.cell_range(region.min(0).value(), region.max(0).value());
+        let (y0, y1) = self.y.cell_range(region.min(1).value(), region.max(1).value());
+        let (z0, z1) = self.z.cell_range(region.min(2).value(), region.max(2).value());
+        let mut out = Vec::with_capacity((x1 - x0) * (y1 - y0) * (z1 - z0));
+        for k in z0..z1 {
+            for j in y0..y1 {
+                for i in x0..x1 {
+                    out.push(self.index(i, j, k));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Material;
+
+    fn mm(v: f64) -> Meters {
+        Meters::from_millimeters(v)
+    }
+
+    fn slab_design() -> Design {
+        let domain = BoxRegion::new([Meters::ZERO; 3], [mm(10.0), mm(8.0), mm(1.0)]).unwrap();
+        Design::new(domain, Material::SILICON).unwrap()
+    }
+
+    #[test]
+    fn uniform_mesh_counts() {
+        let d = slab_design();
+        let m = Mesh::build(&d, &MeshSpec::uniform(mm(1.0))).unwrap();
+        assert_eq!(m.shape(), (10, 8, 1));
+        assert_eq!(m.cell_count(), 80);
+    }
+
+    #[test]
+    fn volume_is_conserved() {
+        let d = slab_design();
+        let spec = MeshSpec::per_axis([mm(0.7), mm(1.0), mm(0.3)]);
+        let m = Mesh::build(&d, &spec).unwrap();
+        let total: f64 = (0..m.cell_count()).map(|i| m.cell_volume(i)).sum();
+        assert!((total - d.domain().volume().value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn block_boundaries_become_ticks() {
+        let mut d = slab_design();
+        let block = BoxRegion::new(
+            [mm(2.35), mm(1.2), Meters::ZERO],
+            [mm(3.11), mm(2.2), mm(0.4)],
+        )
+        .unwrap();
+        d.add_block(crate::Block::passive("b", block, Material::COPPER));
+        let m = Mesh::build(&d, &MeshSpec::uniform(mm(5.0))).unwrap();
+        let has = |axis: &Axis, v: f64| axis.ticks().iter().any(|t| (t - v).abs() < 1e-12);
+        assert!(has(m.x(), 2.35e-3));
+        assert!(has(m.x(), 3.11e-3));
+        assert!(has(m.y(), 1.2e-3));
+        assert!(has(m.z(), 0.4e-3));
+    }
+
+    #[test]
+    fn refinement_caps_cell_size() {
+        let d = slab_design();
+        let fine = BoxRegion::new([mm(4.0), mm(4.0), Meters::ZERO], [mm(5.0), mm(5.0), mm(1.0)])
+            .unwrap();
+        let spec = MeshSpec::uniform(mm(1.0))
+            .with_refinement(RefineRegion::new(fine, Meters::from_micrometers(100.0)).unwrap());
+        let m = Mesh::build(&d, &spec).unwrap();
+        // Inside the refined x-range, every cell must be <= 100 µm wide.
+        for i in 0..m.x().cell_count() {
+            let c = m.x().center(i);
+            if c > 4.0e-3 && c < 5.0e-3 {
+                assert!(m.x().width(i) <= 100.1e-6, "cell {i} too wide: {}", m.x().width(i));
+            }
+        }
+        // Outside, at least one cell should be near the coarse size.
+        let coarse_exists = (0..m.x().cell_count()).any(|i| m.x().width(i) > 0.5e-3);
+        assert!(coarse_exists);
+    }
+
+    #[test]
+    fn cell_limit_enforced() {
+        let d = slab_design();
+        let spec = MeshSpec::uniform(Meters::from_micrometers(10.0)).with_cell_limit(1000);
+        match Mesh::build(&d, &spec) {
+            Err(ThermalError::MeshTooLarge { cells, limit }) => {
+                assert!(cells > limit);
+            }
+            other => panic!("expected MeshTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn locate_and_index_round_trip() {
+        let d = slab_design();
+        let m = Mesh::build(&d, &MeshSpec::uniform(mm(1.0))).unwrap();
+        for idx in [0, 7, 35, m.cell_count() - 1] {
+            let c = m.cell_center(idx);
+            assert_eq!(m.locate(c), Some(idx));
+            let (i, j, k) = m.coords(idx);
+            assert_eq!(m.index(i, j, k), idx);
+        }
+        // Outside the domain.
+        assert_eq!(m.locate([mm(-1.0), mm(1.0), mm(0.5)]), None);
+        assert_eq!(m.locate([mm(11.0), mm(1.0), mm(0.5)]), None);
+    }
+
+    #[test]
+    fn domain_max_maps_to_last_cell() {
+        let d = slab_design();
+        let m = Mesh::build(&d, &MeshSpec::uniform(mm(1.0))).unwrap();
+        let idx = m.locate([mm(10.0), mm(8.0), mm(1.0)]).expect("max corner is inside");
+        assert_eq!(idx, m.cell_count() - 1);
+    }
+
+    #[test]
+    fn cells_in_region() {
+        let d = slab_design();
+        let m = Mesh::build(&d, &MeshSpec::uniform(mm(1.0))).unwrap();
+        let region =
+            BoxRegion::new([mm(0.0), mm(0.0), Meters::ZERO], [mm(3.0), mm(2.0), mm(1.0)]).unwrap();
+        let cells = m.cells_in(&region);
+        assert_eq!(cells.len(), 6);
+        for idx in cells {
+            let c = m.cell_center(idx);
+            assert!(region.contains(c));
+        }
+    }
+
+    #[test]
+    fn axis_locate_edges() {
+        let d = slab_design();
+        let m = Mesh::build(&d, &MeshSpec::uniform(mm(1.0))).unwrap();
+        assert_eq!(m.x().locate(0.0), Some(0));
+        assert_eq!(m.x().locate(0.5e-3), Some(0));
+        assert_eq!(m.x().locate(1.0e-3), Some(1)); // tick belongs to upper cell
+        assert_eq!(m.x().locate(10.0e-3), Some(9));
+        assert_eq!(m.x().locate(10.1e-3), None);
+    }
+}

@@ -1,0 +1,366 @@
+//! Stateful transient stepping with time-varying group powers.
+//!
+//! [`TransientSimulator`](crate::TransientSimulator) integrates a *fixed*
+//! power map from a uniform initial condition — enough for step responses,
+//! but closed-loop studies (feedback heater control, activity migration)
+//! need to change the injected powers **between steps** while carrying the
+//! temperature field forward. [`TransientStepper`] factors the backward-
+//! Euler scheme accordingly: the conduction matrix, capacity and boundary
+//! terms are assembled once; each [`TransientStepper::step`] takes a set of
+//! power-group scale factors (relative to the design's reference powers,
+//! exactly like [`ResponseBasis::compose`](crate::ResponseBasis::compose))
+//! and advances the field by one Δt.
+
+use std::collections::BTreeMap;
+
+use vcsel_numerics::solver::{self, SolveOptions};
+use vcsel_numerics::{CsrMatrix, TripletBuilder};
+use vcsel_units::{Celsius, Meters};
+
+use crate::assembly::{self, BoundaryFace};
+use crate::{Design, Mesh, MeshSpec, ThermalError, ThermalMap};
+
+/// A backward-Euler integrator whose group powers can change every step.
+///
+/// # Example
+///
+/// ```no_run
+/// use vcsel_thermal::{Design, MeshSpec, TransientStepper};
+/// use vcsel_units::Celsius;
+/// # fn get(_: ()) -> (Design, MeshSpec) { unimplemented!() }
+/// # let (design, spec) = get(());
+/// let mut stepper = TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-3)?;
+/// // Heater off for 10 ms, then on at 2x its reference power.
+/// for _ in 0..10 { stepper.step(&[("heater", 0.0)])?; }
+/// for _ in 0..10 { stepper.step(&[("heater", 2.0)])?; }
+/// println!("field after 20 ms: {}", stepper.snapshot().hottest().1);
+/// # Ok::<(), vcsel_thermal::ThermalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransientStepper {
+    mesh: Mesh,
+    /// `A + C/Δt` (SPD).
+    system: CsrMatrix,
+    /// Boundary-condition contribution to the RHS (no sources).
+    boundary_rhs: Vec<f64>,
+    /// Power of blocks without a group, applied at scale 1 every step.
+    static_power: Vec<f64>,
+    /// Per-group per-cell power at the design's reference block powers.
+    group_power: BTreeMap<String, Vec<f64>>,
+    /// Per-cell heat capacity over Δt, J/(K·s) · s⁻¹ = W/K.
+    capacity_over_dt: Vec<f64>,
+    boundary_faces: Vec<BoundaryFace>,
+    temps: Vec<f64>,
+    dt_s: f64,
+    steps: usize,
+    options: SolveOptions,
+}
+
+impl TransientStepper {
+    /// Assembles the stepper for `design` on the mesh given by `spec`,
+    /// starting from a uniform `initial` field with step size `dt_s`.
+    ///
+    /// Blocks carrying a [`group`](crate::Block::with_group) become
+    /// per-step controllable; ungrouped powered blocks dissipate their
+    /// design power on every step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadParameter`] for a non-positive step, and
+    /// propagates meshing/assembly errors.
+    pub fn new(
+        design: &Design,
+        spec: &MeshSpec,
+        initial: Celsius,
+        dt_s: f64,
+    ) -> Result<Self, ThermalError> {
+        if !(dt_s > 0.0) || !dt_s.is_finite() {
+            return Err(ThermalError::BadParameter {
+                reason: format!("time step must be positive, got {dt_s}"),
+            });
+        }
+        let mesh = Mesh::build(design, spec)?;
+
+        // Zero-power clone: assembling it yields the conduction matrix and
+        // the pure boundary RHS.
+        let mut hollow = design.clone();
+        for b in hollow.blocks_mut() {
+            b.set_power(vcsel_units::Watts::ZERO);
+        }
+        let disc = assembly::assemble(&hollow, &mesh)?;
+
+        // Per-group power vectors at reference block powers.
+        let mut groups: Vec<String> = design
+            .blocks()
+            .iter()
+            .filter_map(|b| b.group().map(str::to_owned))
+            .collect();
+        groups.sort();
+        groups.dedup();
+        let mut group_power = BTreeMap::new();
+        for g in &groups {
+            let mut only = design.clone();
+            for b in only.blocks_mut() {
+                if b.group() != Some(g.as_str()) {
+                    b.set_power(vcsel_units::Watts::ZERO);
+                }
+            }
+            group_power.insert(g.clone(), assembly::paint_power(&only, &mesh)?);
+        }
+        // Static (ungrouped) sources.
+        let mut ungrouped = design.clone();
+        for b in ungrouped.blocks_mut() {
+            if b.group().is_some() {
+                b.set_power(vcsel_units::Watts::ZERO);
+            }
+        }
+        let static_power = assembly::paint_power(&ungrouped, &mesh)?;
+
+        let capacity = crate::transient::paint_capacity(design, &mesh);
+        let n = mesh.cell_count();
+        let mut builder = TripletBuilder::with_capacity(n, n, disc.matrix.nnz() + n);
+        let mut capacity_over_dt = Vec::with_capacity(n);
+        for (row, cap) in capacity.iter().enumerate() {
+            for (col, v) in disc.matrix.row(row) {
+                builder.add(row, col, v);
+            }
+            let c_dt = cap / dt_s;
+            builder.add(row, row, c_dt);
+            capacity_over_dt.push(c_dt);
+        }
+
+        Ok(Self {
+            system: builder.build(),
+            boundary_rhs: disc.rhs,
+            static_power,
+            group_power,
+            capacity_over_dt,
+            boundary_faces: disc.boundary_faces,
+            temps: vec![initial.value(); n],
+            mesh,
+            dt_s,
+            steps: 0,
+            options: SolveOptions { tolerance: 1e-9, max_iterations: 50_000, relaxation: 1.6 },
+        })
+    }
+
+    /// Overrides the per-step linear-solver options (builder style).
+    #[must_use]
+    pub fn with_options(mut self, options: SolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The controllable group names, sorted.
+    pub fn groups(&self) -> Vec<&str> {
+        self.group_power.keys().map(String::as_str).collect()
+    }
+
+    /// Elapsed simulated time, seconds.
+    pub fn time(&self) -> f64 {
+        self.steps as f64 * self.dt_s
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Advances one Δt with each named group at `scale ×` its reference
+    /// power. Groups not mentioned dissipate **zero** this step; ungrouped
+    /// blocks always dissipate their design power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadParameter`] for unknown groups or
+    /// negative/non-finite scales; propagates solver failures.
+    pub fn step(&mut self, scales: &[(&str, f64)]) -> Result<(), ThermalError> {
+        for &(name, s) in scales {
+            if !self.group_power.contains_key(name) {
+                return Err(ThermalError::BadParameter {
+                    reason: format!("unknown power group '{name}'"),
+                });
+            }
+            if !s.is_finite() || s < 0.0 {
+                return Err(ThermalError::BadParameter {
+                    reason: format!("scale for group '{name}' must be non-negative, got {s}"),
+                });
+            }
+        }
+        let n = self.temps.len();
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            rhs[i] = self.boundary_rhs[i]
+                + self.static_power[i]
+                + self.capacity_over_dt[i] * self.temps[i];
+        }
+        for &(name, s) in scales {
+            if s == 0.0 {
+                continue;
+            }
+            let q = &self.group_power[name];
+            for i in 0..n {
+                rhs[i] += s * q[i];
+            }
+        }
+        let solution = solver::conjugate_gradient(&self.system, &rhs, &self.options)?;
+        self.temps = solution.solution;
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// Temperature of the cell containing `point`, or `None` outside the
+    /// domain.
+    pub fn temperature_at(&self, point: [Meters; 3]) -> Option<Celsius> {
+        self.mesh.locate(point).map(|i| Celsius::new(self.temps[i]))
+    }
+
+    /// A [`ThermalMap`] snapshot of the current field (clones the mesh and
+    /// field; injected power is reported as 0 since it varies per step).
+    pub fn snapshot(&self) -> ThermalMap {
+        ThermalMap::new(self.mesh.clone(), self.temps.clone(), self.boundary_faces.clone(), 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Block, Boundary, BoundaryCondition, BoxRegion, Material, Simulator, TransientSimulator};
+    use vcsel_units::{Watts, WattsPerSquareMeterKelvin};
+
+    fn mm(v: f64) -> Meters {
+        Meters::from_millimeters(v)
+    }
+
+    fn grouped_slab() -> (Design, MeshSpec) {
+        let domain = BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(4.0), mm(1.0)]).unwrap();
+        let mut d = Design::new(domain, Material::SILICON).unwrap();
+        d.set_boundary(
+            Boundary::top(),
+            BoundaryCondition::Convective {
+                h: WattsPerSquareMeterKelvin::new(2_000.0),
+                ambient: Celsius::new(40.0),
+            },
+        );
+        let src =
+            BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(3.0), mm(3.0), mm(0.2)]).unwrap();
+        d.add_block(
+            Block::heat_source("s", src, Material::COPPER, Watts::new(0.5)).with_group("src"),
+        );
+        (d, MeshSpec::uniform(mm(0.5)))
+    }
+
+    #[test]
+    fn constant_scales_match_the_batch_transient() {
+        // Stepping with a constant scale of 1 must reproduce
+        // TransientSimulator::simulate on the same design.
+        let (design, spec) = grouped_slab();
+        let probe = [mm(2.0), mm(2.0), mm(0.1)];
+        let dt = 5e-3;
+        let steps = 100;
+
+        let batch = TransientSimulator::new(Celsius::new(40.0))
+            .simulate(&design, &spec, dt, steps, &[probe])
+            .unwrap();
+
+        let mut stepper =
+            TransientStepper::new(&design, &spec, Celsius::new(40.0), dt).unwrap();
+        for _ in 0..steps {
+            stepper.step(&[("src", 1.0)]).unwrap();
+        }
+        let got = stepper.temperature_at(probe).unwrap().value();
+        let want = batch.final_probe(0).value();
+        assert!((got - want).abs() < 1e-6, "stepper {got} vs batch {want}");
+        assert_eq!(stepper.steps(), steps);
+        assert!((stepper.time() - dt * steps as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_run_converges_to_the_steady_solver() {
+        let (design, spec) = grouped_slab();
+        let probe = [mm(2.0), mm(2.0), mm(0.1)];
+        let steady = Simulator::new().solve(&design, &spec).unwrap();
+        let mut stepper =
+            TransientStepper::new(&design, &spec, Celsius::new(40.0), 0.05).unwrap();
+        for _ in 0..1_000 {
+            stepper.step(&[("src", 1.0)]).unwrap();
+        }
+        let t_steady = steady.temperature_at(probe).unwrap().value();
+        let t = stepper.temperature_at(probe).unwrap().value();
+        assert!((t - t_steady).abs() < 0.02 * (t_steady - 40.0), "{t} vs {t_steady}");
+    }
+
+    #[test]
+    fn power_toggling_heats_and_cools() {
+        let (design, spec) = grouped_slab();
+        let probe = [mm(2.0), mm(2.0), mm(0.1)];
+        let mut stepper =
+            TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
+        for _ in 0..50 {
+            stepper.step(&[("src", 2.0)]).unwrap();
+        }
+        let hot = stepper.temperature_at(probe).unwrap();
+        for _ in 0..50 {
+            stepper.step(&[("src", 0.0)]).unwrap();
+        }
+        let cooled = stepper.temperature_at(probe).unwrap();
+        assert!(hot.value() > 41.0, "must heat: {hot}");
+        assert!(cooled < hot, "must cool once the source stops: {cooled} vs {hot}");
+        assert!(cooled.value() >= 40.0 - 1e-9, "never below ambient");
+    }
+
+    #[test]
+    fn omitted_group_means_off() {
+        let (design, spec) = grouped_slab();
+        let probe = [mm(2.0), mm(2.0), mm(0.1)];
+        let mut a = TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
+        let mut b = TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
+        for _ in 0..20 {
+            a.step(&[]).unwrap();
+            b.step(&[("src", 0.0)]).unwrap();
+        }
+        let ta = a.temperature_at(probe).unwrap().value();
+        let tb = b.temperature_at(probe).unwrap().value();
+        assert!((ta - tb).abs() < 1e-12);
+        assert!((ta - 40.0).abs() < 1e-9, "no sources: stays at ambient");
+    }
+
+    #[test]
+    fn ungrouped_blocks_stay_on() {
+        let (mut design, spec) = grouped_slab();
+        // Add an ungrouped source in the opposite corner.
+        let extra = BoxRegion::new([mm(3.0), mm(3.0), Meters::ZERO], [mm(4.0), mm(4.0), mm(0.2)])
+            .unwrap();
+        design.add_block(Block::heat_source("bg", extra, Material::COPPER, Watts::new(0.2)));
+        let mut stepper =
+            TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
+        for _ in 0..50 {
+            stepper.step(&[]).unwrap(); // grouped source off
+        }
+        let t = stepper.temperature_at([mm(3.5), mm(3.5), mm(0.1)]).unwrap();
+        assert!(t.value() > 40.5, "static source must keep heating: {t}");
+    }
+
+    #[test]
+    fn snapshot_is_a_queryable_map() {
+        let (design, spec) = grouped_slab();
+        let mut stepper =
+            TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
+        stepper.step(&[("src", 1.0)]).unwrap();
+        let map = stepper.snapshot();
+        assert!(map.hottest().1.value() > 40.0);
+        assert_eq!(map.mesh().cell_count(), stepper.snapshot().mesh().cell_count());
+    }
+
+    #[test]
+    fn validation() {
+        let (design, spec) = grouped_slab();
+        assert!(TransientStepper::new(&design, &spec, Celsius::new(40.0), 0.0).is_err());
+        let mut stepper =
+            TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
+        assert!(stepper.step(&[("nope", 1.0)]).is_err());
+        assert!(stepper.step(&[("src", -1.0)]).is_err());
+        assert!(stepper.step(&[("src", f64::NAN)]).is_err());
+        assert_eq!(stepper.groups(), vec!["src"]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Superposition-based sweep acceleration.
+//!
+//! Steady-state conduction with temperature-independent conductivities is a
+//! linear PDE, so the temperature field responds linearly to every injected
+//! power: `T = T_bc + Σ_g s_g · ΔT_g`, where `T_bc` is the field produced by
+//! the boundary conditions plus any *ungrouped* block powers, and `ΔT_g` is
+//! the rise produced by power group `g` at its reference power.
+//!
+//! The paper's design-space exploration sweeps P_VCSEL ∈ [0, 6] mW,
+//! P_heater ∈ [0, 4] mW and P_chip ∈ {12.5 … 31.25} W. Tagging those block
+//! sets as groups turns the entire sweep into a handful of solves plus
+//! vector arithmetic — with results identical to re-solving, which the
+//! tests verify.
+
+use crate::{Design, Mesh, MeshSpec, Simulator, ThermalError, ThermalMap};
+
+/// Pre-solved unit responses for the power groups of a design.
+///
+/// # Example
+///
+/// ```no_run
+/// use vcsel_thermal::{Design, MeshSpec, ResponseBasis, Simulator};
+/// # fn get_design() -> Design { unimplemented!() }
+/// # fn main() -> Result<(), vcsel_thermal::ThermalError> {
+/// let design: Design = get_design(); // blocks tagged "chip", "vcsel", "heater"
+/// let spec = MeshSpec::uniform(vcsel_units::Meters::from_micrometers(500.0));
+/// let basis = ResponseBasis::build(&Simulator::new(), &design, &spec)?;
+/// // P_vcsel x 3, heater at 30 % of that, chip activity unchanged:
+/// let map = basis.compose(&[("chip", 1.0), ("vcsel", 3.0), ("heater", 0.9)])?;
+/// # let _ = map; Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResponseBasis {
+    /// Field from boundary conditions + ungrouped powers (scale-independent).
+    baseline: ThermalMap,
+    /// Per-group temperature *rise* fields at reference group power,
+    /// together with that reference power in watts.
+    responses: Vec<(String, f64, Vec<f64>)>,
+}
+
+impl ResponseBasis {
+    /// Solves the baseline plus one unit response per power group of
+    /// `design`.
+    ///
+    /// Costs `2 + #groups` solves when the design has ungrouped powers, or
+    /// `1 + #groups` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any meshing/solving error; additionally rejects designs
+    /// without any power group ([`ThermalError::BadParameter`]) since the
+    /// basis would be pointless.
+    pub fn build(
+        sim: &Simulator,
+        design: &Design,
+        spec: &MeshSpec,
+    ) -> Result<Self, ThermalError> {
+        let groups: Vec<String> =
+            design.group_names().into_iter().map(str::to_string).collect();
+        if groups.is_empty() {
+            return Err(ThermalError::BadParameter {
+                reason: "design has no power groups; tag blocks with `with_group`".into(),
+            });
+        }
+
+        let mesh = Mesh::build(design, spec)?;
+
+        // Baseline: all groups at zero, ungrouped powers untouched.
+        let mut base_design = design.clone();
+        for g in &groups {
+            base_design.scale_group_power(g, 0.0);
+        }
+        let baseline = sim.solve_on(&base_design, mesh.clone())?;
+
+        // Pure-BC field (needed to isolate each group's rise). If the
+        // baseline already contains no power, it *is* the BC field.
+        let bc_field: Vec<f64> = if base_design.total_power().value() == 0.0 {
+            baseline.temperatures().to_vec()
+        } else {
+            let mut bc_design = base_design.clone();
+            for b in bc_design.blocks_mut() {
+                b.set_power(vcsel_units::Watts::ZERO);
+            }
+            sim.solve_on(&bc_design, mesh.clone())?.temperatures().to_vec()
+        };
+
+        let mut responses = Vec::with_capacity(groups.len());
+        for g in &groups {
+            let mut only_g = design.clone();
+            for b in only_g.blocks_mut() {
+                if b.group() != Some(g.as_str()) {
+                    b.set_power(vcsel_units::Watts::ZERO);
+                }
+            }
+            let solved = sim.solve_on(&only_g, mesh.clone())?;
+            let rise: Vec<f64> = solved
+                .temperatures()
+                .iter()
+                .zip(&bc_field)
+                .map(|(t, t0)| t - t0)
+                .collect();
+            responses.push((g.clone(), design.group_power(g).value(), rise));
+        }
+
+        Ok(Self { baseline, responses })
+    }
+
+    /// Names of the groups the basis can scale.
+    pub fn groups(&self) -> Vec<&str> {
+        self.responses.iter().map(|(g, _, _)| g.as_str()).collect()
+    }
+
+    /// The zero-scale baseline field.
+    pub fn baseline(&self) -> &ThermalMap {
+        &self.baseline
+    }
+
+    /// Composes a thermal map with each group's reference power multiplied
+    /// by the given scale. Groups omitted from `scales` default to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownGroup`] for a scale entry whose group
+    /// does not exist.
+    pub fn compose(&self, scales: &[(&str, f64)]) -> Result<ThermalMap, ThermalError> {
+        for (g, _) in scales {
+            if !self.responses.iter().any(|(name, _, _)| name == g) {
+                return Err(ThermalError::UnknownGroup { group: (*g).to_string() });
+            }
+        }
+        let (mesh, base_temps, faces, base_power) = self.baseline.parts();
+        let mut temps = base_temps.to_vec();
+        let mut power = base_power;
+        for (g, reference_power, rise) in &self.responses {
+            let scale = scales
+                .iter()
+                .find(|(name, _)| name == g)
+                .map(|(_, s)| *s)
+                .unwrap_or(0.0);
+            if scale != 0.0 {
+                for (t, r) in temps.iter_mut().zip(rise) {
+                    *t += scale * r;
+                }
+                power += scale * reference_power;
+            }
+        }
+        Ok(ThermalMap::new(mesh.clone(), temps, faces.to_vec(), power))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Block, Boundary, BoundaryCondition, BoxRegion, Material};
+    use vcsel_units::{Celsius, Meters, Watts, WattsPerSquareMeterKelvin};
+
+    fn mm(v: f64) -> Meters {
+        Meters::from_millimeters(v)
+    }
+
+    fn grouped_design() -> Design {
+        let domain = BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(4.0), mm(1.0)]).unwrap();
+        let mut d = Design::new(domain, Material::SILICON).unwrap();
+        d.set_boundary(
+            Boundary::top(),
+            BoundaryCondition::Convective {
+                h: WattsPerSquareMeterKelvin::new(2_000.0),
+                ambient: Celsius::new(40.0),
+            },
+        );
+        let chip = BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(4.0), mm(0.1)]).unwrap();
+        d.add_block(
+            Block::heat_source("chip", chip, Material::SILICON, Watts::new(1.0))
+                .with_group("chip"),
+        );
+        let vcsel =
+            BoxRegion::new([mm(1.0), mm(1.0), mm(0.5)], [mm(1.2), mm(1.2), mm(0.6)]).unwrap();
+        d.add_block(
+            Block::heat_source("vcsel", vcsel, Material::III_V, Watts::from_milliwatts(2.0))
+                .with_group("vcsel"),
+        );
+        d
+    }
+
+    #[test]
+    fn compose_matches_direct_solve() {
+        let design = grouped_design();
+        let spec = MeshSpec::uniform(mm(0.2));
+        let sim = Simulator::new();
+        let basis = ResponseBasis::build(&sim, &design, &spec).unwrap();
+
+        // Direct solve at chip x 1.5, vcsel x 2.5.
+        let mut scaled = design.clone();
+        scaled.scale_group_power("chip", 1.5);
+        scaled.scale_group_power("vcsel", 2.5);
+        let direct = sim.solve(&scaled, &spec).unwrap();
+
+        let composed = basis.compose(&[("chip", 1.5), ("vcsel", 2.5)]).unwrap();
+        for (a, b) in direct.temperatures().iter().zip(composed.temperatures()) {
+            assert!((a - b).abs() < 1e-5, "direct {a} vs composed {b}");
+        }
+    }
+
+    #[test]
+    fn omitted_group_defaults_to_zero() {
+        let design = grouped_design();
+        let spec = MeshSpec::uniform(mm(0.4));
+        let sim = Simulator::new();
+        let basis = ResponseBasis::build(&sim, &design, &spec).unwrap();
+        let composed = basis.compose(&[("chip", 1.0)]).unwrap();
+
+        let mut no_vcsel = design.clone();
+        no_vcsel.scale_group_power("vcsel", 0.0);
+        let direct = sim.solve(&no_vcsel, &spec).unwrap();
+        for (a, b) in direct.temperatures().iter().zip(composed.temperatures()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn unknown_group_rejected() {
+        let design = grouped_design();
+        let spec = MeshSpec::uniform(mm(0.4));
+        let basis = ResponseBasis::build(&Simulator::new(), &design, &spec).unwrap();
+        assert!(matches!(
+            basis.compose(&[("nonexistent", 1.0)]),
+            Err(ThermalError::UnknownGroup { .. })
+        ));
+    }
+
+    #[test]
+    fn ungrouped_design_rejected() {
+        let domain = BoxRegion::new([Meters::ZERO; 3], [mm(1.0), mm(1.0), mm(1.0)]).unwrap();
+        let mut d = Design::new(domain, Material::SILICON).unwrap();
+        d.set_boundary(
+            Boundary::top(),
+            BoundaryCondition::Convective {
+                h: WattsPerSquareMeterKelvin::new(100.0),
+                ambient: Celsius::new(25.0),
+            },
+        );
+        let spec = MeshSpec::uniform(mm(0.5));
+        assert!(matches!(
+            ResponseBasis::build(&Simulator::new(), &d, &spec),
+            Err(ThermalError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn groups_listed() {
+        let design = grouped_design();
+        let spec = MeshSpec::uniform(mm(0.4));
+        let basis = ResponseBasis::build(&Simulator::new(), &design, &spec).unwrap();
+        assert_eq!(basis.groups(), vec!["chip", "vcsel"]);
+    }
+}

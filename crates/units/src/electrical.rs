@@ -1,0 +1,64 @@
+//! Electrical quantities for the VCSEL drive circuit.
+
+quantity!(
+    /// Electric current in amperes.
+    ///
+    /// VCSEL modulation currents in the paper range over 0–15 mA
+    /// (Figure 8-b), so a milliampere constructor is provided.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vcsel_units::Amperes;
+    ///
+    /// let bias = Amperes::from_milliamperes(5.0);
+    /// assert!((bias.as_milliamperes() - 5.0).abs() < 1e-12);
+    /// ```
+    Amperes,
+    "A"
+);
+
+quantity!(
+    /// Electric potential in volts (VCSEL junction + series voltage).
+    Volts,
+    "V"
+);
+
+impl Amperes {
+    /// Creates a current from milliamperes.
+    #[inline]
+    pub const fn from_milliamperes(ma: f64) -> Self {
+        Self::new(ma * 1e-3)
+    }
+
+    /// Current expressed in milliamperes.
+    #[inline]
+    pub fn as_milliamperes(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Electrical power `V * I`.
+    #[inline]
+    pub fn power(self, voltage: Volts) -> crate::Watts {
+        crate::Watts::new(self.value() * voltage.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn milliampere_round_trip() {
+        let i = Amperes::from_milliamperes(12.0);
+        assert!((i.value() - 12e-3).abs() < 1e-15);
+        assert!((i.as_milliamperes() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn electrical_power() {
+        // 2 V * 3 mA = 6 mW
+        let p = Amperes::from_milliamperes(3.0).power(Volts::new(2.0));
+        assert!((p.as_milliwatts() - 6.0).abs() < 1e-12);
+    }
+}

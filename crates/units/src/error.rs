@@ -1,0 +1,124 @@
+//! Validation error types shared across the toolchain.
+
+use core::fmt;
+
+/// Error returned when a scalar argument falls outside its documented range.
+///
+/// Model constructors throughout the toolchain validate their arguments
+/// (C-VALIDATE) and report violations with this type so that callers get a
+/// uniform, descriptive message.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_units::OutOfRangeError;
+///
+/// let err = OutOfRangeError::new("heater power", -1.0, 0.0, f64::INFINITY);
+/// assert!(err.to_string().contains("heater power"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutOfRangeError {
+    what: &'static str,
+    got: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OutOfRangeError {
+    /// Creates a new range-violation error for the parameter `what`.
+    pub fn new(what: &'static str, got: f64, min: f64, max: f64) -> Self {
+        Self { what, got, min, max }
+    }
+
+    /// Name of the offending parameter.
+    pub fn what(&self) -> &'static str {
+        self.what
+    }
+
+    /// The rejected value.
+    pub fn got(&self) -> f64 {
+        self.got
+    }
+
+    /// Inclusive lower bound of the accepted range.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Inclusive upper bound of the accepted range.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl fmt::Display for OutOfRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} out of range: got {}, expected within [{}, {}]",
+            self.what, self.got, self.min, self.max
+        )
+    }
+}
+
+impl std::error::Error for OutOfRangeError {}
+
+/// Error returned when a scalar argument is NaN or infinite.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_units::NonFiniteError;
+///
+/// let err = NonFiniteError::new("thermal conductivity");
+/// assert_eq!(err.to_string(), "thermal conductivity must be finite");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonFiniteError {
+    what: &'static str,
+}
+
+impl NonFiniteError {
+    /// Creates a new non-finite-value error for the parameter `what`.
+    pub fn new(what: &'static str) -> Self {
+        Self { what }
+    }
+
+    /// Name of the offending parameter.
+    pub fn what(&self) -> &'static str {
+        self.what
+    }
+}
+
+impl fmt::Display for NonFiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} must be finite", self.what)
+    }
+}
+
+impl std::error::Error for NonFiniteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_display_mentions_all_parts() {
+        let err = OutOfRangeError::new("current", 20.0, 0.0, 15.0);
+        let msg = err.to_string();
+        assert!(msg.contains("current"));
+        assert!(msg.contains("20"));
+        assert!(msg.contains("15"));
+        assert_eq!(err.what(), "current");
+        assert_eq!(err.got(), 20.0);
+        assert_eq!(err.min(), 0.0);
+        assert_eq!(err.max(), 15.0);
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<OutOfRangeError>();
+        assert_error::<NonFiniteError>();
+    }
+}

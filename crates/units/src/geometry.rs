@@ -1,0 +1,149 @@
+//! Length, area and volume quantities.
+
+quantity!(
+    /// Length in meters.
+    ///
+    /// Chip geometry spans six orders of magnitude in this toolchain — from
+    /// 5 µm TSVs to 2 mm copper lids — so all APIs take [`Meters`] and expose
+    /// named constructors for the sub-units actually used by the paper.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vcsel_units::Meters;
+    ///
+    /// let tsv = Meters::from_micrometers(5.0);
+    /// let lid = Meters::from_millimeters(2.0);
+    /// assert!(tsv < lid);
+    /// assert!((lid.as_millimeters() - 2.0).abs() < 1e-12);
+    /// ```
+    Meters,
+    "m"
+);
+
+quantity!(
+    /// Area in square meters.
+    SquareMeters,
+    "m^2"
+);
+
+quantity!(
+    /// Volume in cubic meters.
+    CubicMeters,
+    "m^3"
+);
+
+impl Meters {
+    /// Creates a length from millimeters.
+    #[inline]
+    pub const fn from_millimeters(mm: f64) -> Self {
+        Self::new(mm * 1e-3)
+    }
+
+    /// Creates a length from micrometers.
+    #[inline]
+    pub const fn from_micrometers(um: f64) -> Self {
+        Self::new(um * 1e-6)
+    }
+
+    /// Creates a length from nanometers.
+    #[inline]
+    pub const fn from_nanometers(nm: f64) -> Self {
+        Self::new(nm * 1e-9)
+    }
+
+    /// Creates a length from centimeters.
+    #[inline]
+    pub const fn from_centimeters(cm: f64) -> Self {
+        Self::new(cm * 1e-2)
+    }
+
+    /// Length expressed in millimeters.
+    #[inline]
+    pub fn as_millimeters(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Length expressed in micrometers.
+    #[inline]
+    pub fn as_micrometers(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// Length expressed in centimeters.
+    #[inline]
+    pub fn as_centimeters(self) -> f64 {
+        self.value() * 1e2
+    }
+
+    /// Multiplies two lengths into an area.
+    #[inline]
+    pub fn area(self, other: Meters) -> SquareMeters {
+        SquareMeters::new(self.value() * other.value())
+    }
+}
+
+impl SquareMeters {
+    /// Area expressed in square micrometers.
+    #[inline]
+    pub fn as_square_micrometers(self) -> f64 {
+        self.value() * 1e12
+    }
+
+    /// Multiplies an area by a length into a volume.
+    #[inline]
+    pub fn volume(self, depth: Meters) -> CubicMeters {
+        CubicMeters::new(self.value() * depth.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_are_consistent() {
+        assert!((Meters::from_millimeters(1.0).value() - 1e-3).abs() < 1e-18);
+        assert!((Meters::from_micrometers(1.0).value() - 1e-6).abs() < 1e-18);
+        assert!((Meters::from_nanometers(1.0).value() - 1e-9).abs() < 1e-21);
+        assert!((Meters::from_centimeters(1.0).value() - 1e-2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn round_trips() {
+        let l = Meters::from_micrometers(15.0);
+        assert!((l.as_micrometers() - 15.0).abs() < 1e-9);
+        let l = Meters::from_millimeters(26.5);
+        assert!((l.as_millimeters() - 26.5).abs() < 1e-9);
+        assert!((Meters::from_centimeters(4.68).as_centimeters() - 4.68).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_and_volume_compose() {
+        // VCSEL footprint from the paper: 15 µm x 30 µm.
+        let a = Meters::from_micrometers(15.0).area(Meters::from_micrometers(30.0));
+        assert!((a.as_square_micrometers() - 450.0).abs() < 1e-6);
+        let v = a.volume(Meters::from_micrometers(4.0));
+        assert!((v.value() - 450.0e-12 * 4.0e-6).abs() < 1e-24);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Meters::new(2.0);
+        let b = Meters::new(0.5);
+        assert_eq!((a + b).value(), 2.5);
+        assert_eq!((a - b).value(), 1.5);
+        assert_eq!((a * 2.0).value(), 4.0);
+        assert_eq!((a / 2.0).value(), 1.0);
+        assert_eq!(a / b, 4.0);
+        assert_eq!((-a).value(), -2.0);
+        let total: Meters = [a, b, b].into_iter().sum();
+        assert_eq!(total.value(), 3.0);
+    }
+
+    #[test]
+    fn display_has_unit_suffix() {
+        assert_eq!(Meters::new(1.5).to_string(), "1.5 m");
+        assert_eq!(SquareMeters::new(2.0).to_string(), "2 m^2");
+    }
+}

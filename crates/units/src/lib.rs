@@ -1,0 +1,76 @@
+//! Physical-quantity newtypes shared by every crate of the `vcsel-onoc` toolchain.
+//!
+//! Thermal/optical co-simulation mixes many scalar quantities that are all `f64`
+//! underneath: temperatures, powers, currents, wavelengths, lengths, losses.
+//! Mixing them up (e.g. passing a power in milliwatts where watts are expected,
+//! or a wavelength where a temperature is expected) is the classic source of
+//! silent modelling bugs. Following the newtype guideline (C-NEWTYPE), this
+//! crate wraps each quantity in a dedicated type with explicit, named unit
+//! conversions.
+//!
+//! # Example
+//!
+//! ```
+//! use vcsel_units::{Celsius, TemperatureDelta, Watts, Nanometers};
+//!
+//! let ambient = Celsius::new(40.0);
+//! let rise = TemperatureDelta::new(11.0);
+//! let hot = ambient + rise;
+//! assert!((hot.value() - 51.0).abs() < 1e-12);
+//!
+//! let p = Watts::from_milliwatts(3.6);
+//! assert!((p.as_milliwatts() - 3.6).abs() < 1e-12);
+//!
+//! // Silicon photonics thermo-optic drift: 0.1 nm/°C.
+//! let drift = Nanometers::new(0.1) * rise.value();
+//! assert!((drift.value() - 1.1).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)` is used deliberately throughout as a NaN-rejecting validity
+// check (`x <= 0.0` would silently accept NaN).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod electrical;
+mod error;
+mod geometry;
+mod optics;
+mod power;
+mod temperature;
+
+pub use electrical::{Amperes, Volts};
+pub use error::{NonFiniteError, OutOfRangeError};
+pub use geometry::{CubicMeters, Meters, SquareMeters};
+pub use optics::{Decibels, DecibelsPerMeter, Nanometers};
+pub use power::{Dbm, Watts, WattsPerCubicMeter, WattsPerSquareMeterKelvin};
+pub use temperature::{Celsius, KelvinPerWatt, TemperatureDelta, WattsPerMeterKelvin};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantities_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Celsius>();
+        assert_send_sync::<Watts>();
+        assert_send_sync::<Meters>();
+        assert_send_sync::<Nanometers>();
+        assert_send_sync::<Decibels>();
+        assert_send_sync::<Amperes>();
+    }
+
+    #[test]
+    fn cross_quantity_round_trip() {
+        // dBm <-> W round trip at a value used by the paper (photodetector
+        // sensitivity of -20 dBm = 0.01 mW, Table 1).
+        let sensitivity = Dbm::new(-20.0);
+        let w = sensitivity.to_watts();
+        assert!((w.as_milliwatts() - 0.01).abs() < 1e-12);
+        assert!((w.to_dbm().value() - -20.0).abs() < 1e-9);
+    }
+}

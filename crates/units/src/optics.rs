@@ -1,0 +1,117 @@
+//! Optical quantities: wavelength, logarithmic loss and loss density.
+
+quantity!(
+    /// Wavelength (or wavelength difference) in nanometers.
+    ///
+    /// The toolchain operates around 1550 nm; microring 3-dB bandwidth is
+    /// 1.55 nm and the thermo-optic drift is 0.1 nm/°C, so sub-picometer
+    /// precision of `f64` is ample.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vcsel_units::Nanometers;
+    ///
+    /// let channel = Nanometers::new(1550.0);
+    /// let drift = Nanometers::new(0.1) * 7.7; // 7.7 °C of heating
+    /// assert!(((channel + drift).value() - 1550.77).abs() < 1e-9);
+    /// ```
+    Nanometers,
+    "nm"
+);
+
+quantity!(
+    /// Loss or gain ratio on the decibel scale.
+    Decibels,
+    "dB"
+);
+
+quantity!(
+    /// Distributed loss in dB per meter (the paper quotes 0.5 dB/cm
+    /// waveguide propagation loss).
+    DecibelsPerMeter,
+    "dB/m"
+);
+
+impl Decibels {
+    /// Builds a decibel value from a linear power ratio.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vcsel_units::Decibels;
+    ///
+    /// let db = Decibels::from_linear(0.5);
+    /// assert!((db.value() + 3.0103).abs() < 1e-3);
+    /// ```
+    #[inline]
+    pub fn from_linear(ratio: f64) -> Self {
+        Self::new(10.0 * ratio.log10())
+    }
+
+    /// Converts to a linear power ratio.
+    #[inline]
+    pub fn to_linear(self) -> f64 {
+        10f64.powf(self.value() / 10.0)
+    }
+}
+
+impl DecibelsPerMeter {
+    /// Creates a distributed loss from a dB/cm figure (the unit used in the
+    /// photonics literature and in the paper's Table 1).
+    #[inline]
+    pub const fn from_db_per_cm(db_per_cm: f64) -> Self {
+        Self::new(db_per_cm * 100.0)
+    }
+
+    /// Distributed loss expressed in dB/cm.
+    #[inline]
+    pub fn as_db_per_cm(self) -> f64 {
+        self.value() / 100.0
+    }
+
+    /// Total loss accumulated over a path of the given length.
+    #[inline]
+    pub fn over(self, length: crate::Meters) -> Decibels {
+        Decibels::new(self.value() * length.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Meters;
+
+    #[test]
+    fn linear_round_trip() {
+        for ratio in [1.0, 0.5, 0.1, 2.0] {
+            let db = Decibels::from_linear(ratio);
+            assert!((db.to_linear() - ratio).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn db_per_cm_conversion() {
+        let loss = DecibelsPerMeter::from_db_per_cm(0.5);
+        assert!((loss.value() - 50.0).abs() < 1e-12);
+        assert!((loss.as_db_per_cm() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_waveguide_lengths() {
+        // Table 1: 0.5 dB/cm. The three case-study rings are 18 / 32.4 /
+        // 46.8 mm long.
+        let loss = DecibelsPerMeter::from_db_per_cm(0.5);
+        let l1 = loss.over(Meters::from_millimeters(18.0));
+        let l3 = loss.over(Meters::from_millimeters(46.8));
+        assert!((l1.value() - 0.9).abs() < 1e-12);
+        assert!((l3.value() - 2.34).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wavelength_arithmetic() {
+        let base = Nanometers::new(1550.0);
+        let shifted = base + Nanometers::new(0.77);
+        assert!(((shifted - base).value() - 0.77).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Power quantities: absolute watts, logarithmic dBm, and the volumetric /
+//! convective densities used by the thermal solver.
+
+use crate::optics::Decibels;
+
+quantity!(
+    /// Power in watts.
+    ///
+    /// Used for electrical dissipation (chip activity 12.5–31.25 W, VCSEL
+    /// dissipation 0–6 mW, heater power) and for optical signal power.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vcsel_units::Watts;
+    ///
+    /// let p_vcsel = Watts::from_milliwatts(3.6);
+    /// let p_heater = p_vcsel * 0.3; // the paper's optimal heater ratio
+    /// assert!((p_heater.as_milliwatts() - 1.08).abs() < 1e-12);
+    /// ```
+    Watts,
+    "W"
+);
+
+quantity!(
+    /// Optical or electrical power on the logarithmic dBm scale
+    /// (0 dBm = 1 mW).
+    Dbm,
+    "dBm"
+);
+
+quantity!(
+    /// Volumetric heat generation density in W/m³ (what the finite-volume
+    /// discretization consumes for each heat-source cell).
+    WattsPerCubicMeter,
+    "W/m^3"
+);
+
+quantity!(
+    /// Convective heat-transfer coefficient in W/(m²·K), used for the
+    /// heat-sink boundary condition.
+    WattsPerSquareMeterKelvin,
+    "W/(m^2·K)"
+);
+
+impl Watts {
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub const fn from_milliwatts(mw: f64) -> Self {
+        Self::new(mw * 1e-3)
+    }
+
+    /// Creates a power from microwatts.
+    #[inline]
+    pub const fn from_microwatts(uw: f64) -> Self {
+        Self::new(uw * 1e-6)
+    }
+
+    /// Power expressed in milliwatts.
+    #[inline]
+    pub fn as_milliwatts(self) -> f64 {
+        self.value() * 1e3
+    }
+
+    /// Power expressed in microwatts.
+    #[inline]
+    pub fn as_microwatts(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// Converts to the logarithmic dBm scale.
+    ///
+    /// Returns negative infinity (as a `Dbm`) for zero power; callers that
+    /// need a finite floor should clamp first.
+    #[inline]
+    pub fn to_dbm(self) -> Dbm {
+        Dbm::new(10.0 * (self.as_milliwatts()).log10())
+    }
+
+    /// Attenuates this power by a (positive) loss in decibels.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vcsel_units::{Watts, Decibels};
+    ///
+    /// // 0.5 dB/cm over 2 cm = 1 dB of propagation loss.
+    /// let out = Watts::from_milliwatts(1.0).attenuate(Decibels::new(1.0));
+    /// assert!((out.as_milliwatts() - 0.794_328_2).abs() < 1e-6);
+    /// ```
+    #[inline]
+    pub fn attenuate(self, loss: Decibels) -> Watts {
+        Watts::new(self.value() * 10f64.powf(-loss.value() / 10.0))
+    }
+}
+
+impl Dbm {
+    /// Converts to linear watts.
+    #[inline]
+    pub fn to_watts(self) -> Watts {
+        Watts::from_milliwatts(10f64.powf(self.value() / 10.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn milliwatt_round_trip() {
+        let p = Watts::from_milliwatts(6.0);
+        assert!((p.value() - 6e-3).abs() < 1e-15);
+        assert!((p.as_milliwatts() - 6.0).abs() < 1e-12);
+        assert!((Watts::from_microwatts(190.0).as_microwatts() - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_anchors() {
+        // 1 mW = 0 dBm, 0.01 mW = -20 dBm (paper's receiver sensitivity).
+        assert!((Watts::from_milliwatts(1.0).to_dbm().value()).abs() < 1e-12);
+        assert!((Watts::from_milliwatts(0.01).to_dbm().value() + 20.0).abs() < 1e-9);
+        assert!((Dbm::new(0.0).to_watts().as_milliwatts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attenuation_is_multiplicative() {
+        let p = Watts::from_milliwatts(2.0);
+        let half = p.attenuate(Decibels::new(3.010_299_956_639_812));
+        assert!((half.as_milliwatts() - 1.0).abs() < 1e-9);
+        // attenuating twice by x == attenuating once by 2x
+        let a = p.attenuate(Decibels::new(0.7)).attenuate(Decibels::new(0.7));
+        let b = p.attenuate(Decibels::new(1.4));
+        assert!((a.value() - b.value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_power_to_dbm_is_neg_infinity() {
+        assert_eq!(Watts::ZERO.to_dbm().value(), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,114 @@
+//! Temperature, temperature-difference and thermal-transport quantities.
+
+quantity!(
+    /// Absolute temperature in degrees Celsius.
+    ///
+    /// The paper's operating window is roughly 40–70 °C; VCSEL efficiency
+    /// drops from 15 % at 40 °C to 4 % at 60 °C, so a fraction of a degree
+    /// matters. Differences of two [`Celsius`] values produce a
+    /// [`TemperatureDelta`], which is the quantity the microring drift model
+    /// consumes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vcsel_units::{Celsius, TemperatureDelta};
+    ///
+    /// let vcsel = Celsius::new(58.3);
+    /// let mr = Celsius::new(52.5);
+    /// let gradient: TemperatureDelta = vcsel.delta_from(mr);
+    /// assert!((gradient.value() - 5.8).abs() < 1e-12);
+    /// ```
+    Celsius,
+    "°C"
+);
+
+quantity!(
+    /// A temperature *difference* in kelvin (equivalently °C of difference).
+    ///
+    /// Kept distinct from [`Celsius`] so that "58 °C" and "a 5.8 °C gradient"
+    /// cannot be confused.
+    TemperatureDelta,
+    "K"
+);
+
+quantity!(
+    /// Thermal conductivity in W/(m·K).
+    WattsPerMeterKelvin,
+    "W/(m·K)"
+);
+
+quantity!(
+    /// Thermal resistance in K/W.
+    KelvinPerWatt,
+    "K/W"
+);
+
+impl Celsius {
+    /// Difference `self - other` as a [`TemperatureDelta`].
+    #[inline]
+    pub fn delta_from(self, other: Celsius) -> TemperatureDelta {
+        TemperatureDelta::new(self.value() - other.value())
+    }
+
+    /// Converts to kelvin (absolute scale).
+    #[inline]
+    pub fn as_kelvin(self) -> f64 {
+        self.value() + 273.15
+    }
+
+    /// Creates a Celsius temperature from a kelvin reading.
+    #[inline]
+    pub fn from_kelvin(k: f64) -> Self {
+        Self::new(k - 273.15)
+    }
+}
+
+impl core::ops::Add<TemperatureDelta> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn add(self, rhs: TemperatureDelta) -> Celsius {
+        Celsius::new(self.value() + rhs.value())
+    }
+}
+
+impl core::ops::Sub<TemperatureDelta> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn sub(self, rhs: TemperatureDelta) -> Celsius {
+        Celsius::new(self.value() - rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelvin_round_trip() {
+        let t = Celsius::new(40.0);
+        assert!((t.as_kelvin() - 313.15).abs() < 1e-12);
+        assert!((Celsius::from_kelvin(t.as_kelvin()).value() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let base = Celsius::new(40.0);
+        let hot = base + TemperatureDelta::new(20.0);
+        assert_eq!(hot.value(), 60.0);
+        assert_eq!(hot.delta_from(base).value(), 20.0);
+        assert_eq!((hot - TemperatureDelta::new(5.0)).value(), 55.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Celsius::new(40.0) < Celsius::new(60.0));
+        assert!(TemperatureDelta::new(0.3) < TemperatureDelta::new(1.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Celsius::new(40.0).to_string(), "40 °C");
+        assert_eq!(WattsPerMeterKelvin::new(148.0).to_string(), "148 W/(m·K)");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests on the quantity newtypes: the arithmetic must behave
+//! exactly like the underlying f64 (no surprises hidden in the wrappers).
+
+use proptest::prelude::*;
+use vcsel_units::{Celsius, Decibels, Meters, TemperatureDelta, Watts};
+
+proptest! {
+    #[test]
+    fn addition_is_commutative(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let x = Meters::new(a);
+        let y = Meters::new(b);
+        prop_assert_eq!((x + y).value(), (y + x).value());
+    }
+
+    #[test]
+    fn add_sub_round_trip(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let x = Watts::new(a);
+        let y = Watts::new(b);
+        prop_assert!(((x + y - y).value() - a).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0));
+    }
+
+    #[test]
+    fn scalar_mul_distributes(a in -1e3f64..1e3, b in -1e3f64..1e3, s in -1e3f64..1e3) {
+        let x = Watts::new(a);
+        let y = Watts::new(b);
+        let lhs = (x + y) * s;
+        let rhs = x * s + y * s;
+        prop_assert!((lhs.value() - rhs.value()).abs() <= 1e-6 * lhs.value().abs().max(1.0));
+    }
+
+    #[test]
+    fn ordering_matches_f64(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        prop_assert_eq!(Celsius::new(a) < Celsius::new(b), a < b);
+        prop_assert_eq!(Celsius::new(a).max(Celsius::new(b)).value(), a.max(b));
+        prop_assert_eq!(Celsius::new(a).min(Celsius::new(b)).value(), a.min(b));
+    }
+
+    #[test]
+    fn temperature_delta_round_trip(base in -50.0f64..150.0, d in -100.0f64..100.0) {
+        let t = Celsius::new(base);
+        let dt = TemperatureDelta::new(d);
+        let back = (t + dt).delta_from(t);
+        prop_assert!((back.value() - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attenuation_never_amplifies(p_mw in 0.0f64..100.0, loss_db in 0.0f64..60.0) {
+        let p = Watts::from_milliwatts(p_mw);
+        let out = p.attenuate(Decibels::new(loss_db));
+        prop_assert!(out.value() <= p.value() * (1.0 + 1e-12));
+        prop_assert!(out.value() >= 0.0);
+    }
+
+    #[test]
+    fn attenuation_composes(p_mw in 0.01f64..100.0, a in 0.0f64..30.0, b in 0.0f64..30.0) {
+        let p = Watts::from_milliwatts(p_mw);
+        let seq = p.attenuate(Decibels::new(a)).attenuate(Decibels::new(b));
+        let once = p.attenuate(Decibels::new(a + b));
+        prop_assert!((seq.value() - once.value()).abs() <= 1e-12 * once.value().max(1e-30));
+    }
+
+    #[test]
+    fn dbm_round_trip(p_mw in 1e-6f64..1e3) {
+        let p = Watts::from_milliwatts(p_mw);
+        let back = p.to_dbm().to_watts();
+        prop_assert!((back.value() - p.value()).abs() <= 1e-9 * p.value());
+    }
+
+    #[test]
+    fn kelvin_round_trip(t in -273.0f64..1000.0) {
+        let c = Celsius::new(t);
+        prop_assert!((Celsius::from_kelvin(c.as_kelvin()).value() - t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_conversions_round_trip(v in 1e-9f64..1e3) {
+        prop_assert!((Meters::from_millimeters(v).as_millimeters() - v).abs() <= 1e-12 * v);
+        prop_assert!((Meters::from_micrometers(v).as_micrometers() - v).abs() <= 1e-12 * v);
+        prop_assert!((Watts::from_milliwatts(v).as_milliwatts() - v).abs() <= 1e-12 * v);
+        prop_assert!((Watts::from_microwatts(v).as_microwatts() - v).abs() <= 1e-12 * v);
+    }
+}

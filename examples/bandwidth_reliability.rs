@@ -1,0 +1,46 @@
+//! SNR → BER → effective bandwidth: the re-emission penalty.
+//!
+//! Section III-C of the paper: with rising chip activity "either the
+//! optical interconnect bandwidth will decrease assuming a same modulation
+//! current (the SNR being lower, data will be re-emitted) or the optical
+//! interconnect power consumption will increase". This example traces that
+//! trade-off quantitatively using the paper's Figure 12 SNR levels.
+//!
+//! Run with `cargo run --release --example bandwidth_reliability`.
+
+use vcsel_onoc::photonics::{BerModel, LinkReliability};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ber_model = BerModel::ook();
+    let link = LinkReliability::paper_default(); // 12 GHz, 512-bit packets
+
+    // The paper's Figure 12 worst-case SNRs (dB) per activity and ring length.
+    let scenarios: [(&str, [f64; 3]); 3] = [
+        ("uniform", [38.0, 25.0, 13.0]),
+        ("diagonal", [19.0, 13.0, 10.0]),
+        ("random", [20.0, 17.0, 12.0]),
+    ];
+
+    println!(
+        "{:>9} {:>8} {:>10} {:>12} {:>14} {:>16}",
+        "activity", "ring", "SNR (dB)", "BER", "re-emissions", "goodput (Gb/s)"
+    );
+    for (activity, snrs) in &scenarios {
+        for (len_mm, snr_db) in [18.0, 32.4, 46.8].iter().zip(snrs) {
+            let ber = ber_model.ber_from_snr_db(*snr_db);
+            let emissions = link.expected_emissions(ber);
+            let goodput = link.effective_bandwidth_hz(ber) / 1e9;
+            println!(
+                "{:>9} {:>6.1}mm {:>10.1} {:>12.2e} {:>14.4} {:>16.3}",
+                activity, len_mm, snr_db, ber, emissions, goodput
+            );
+        }
+    }
+
+    println!();
+    let required = ber_model.required_snr_db(1e-9)?;
+    println!("SNR required for the classic 1e-9 BER target: {required:.2} dB");
+    println!("-> every Figure 12 point except diagonal/46.8mm and random/46.8mm clears it");
+    println!("   with margin; the 10-13 dB points pay a visible re-emission penalty.");
+    Ok(())
+}

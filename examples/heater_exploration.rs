@@ -1,0 +1,44 @@
+//! Heater design-space exploration (the paper's Figure 9-b methodology):
+//! sweep the MR heater power at several P_VCSEL values and find the ratio
+//! minimizing the intra-ONI temperature gradient.
+//!
+//! Run with `cargo run --release --example heater_exploration`.
+
+use vcsel_onoc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = DesignFlow::paper();
+    let study = ThermalStudy::new(SccConfig::tiny_test(), flow.simulator())?;
+    let p_chip = Watts::new(2.0);
+
+    println!("{:>13} {:>18} {:>20} {:>16}", "P_VCSEL (mW)", "optimal ratio", "gradient @opt (°C)", "w/o heater (°C)");
+    for pv_mw in [1.0, 2.0, 4.0, 6.0] {
+        let p_vcsel = Watts::from_milliwatts(pv_mw);
+        let exploration = study.explore_heater(p_vcsel, p_chip, 1.0, 9)?;
+        let without = study.evaluate(p_vcsel, Watts::ZERO, p_chip)?;
+        println!(
+            "{:>13.1} {:>18.2} {:>20.3} {:>16.3}",
+            pv_mw,
+            exploration.optimal_ratio,
+            exploration.optimal_gradient.value(),
+            without.worst_gradient().value()
+        );
+    }
+    println!();
+    println!("paper: \"the smallest gradient is obtained for P_heater = 0.3 x P_VCSEL\"");
+
+    // Show the full curve for one P_VCSEL, like one series of Figure 9-b.
+    let p_vcsel = Watts::from_milliwatts(4.0);
+    let exploration = study.explore_heater(p_vcsel, p_chip, 1.0, 9)?;
+    println!();
+    println!("gradient vs P_heater at P_VCSEL = 4 mW:");
+    for point in &exploration.curve {
+        println!(
+            "  P_heater = {:>5.2} mW -> gradient {:>6.3} °C (mean ONI {:.2} °C)",
+            point.p_heater.as_milliwatts(),
+            point.worst_gradient.value(),
+            point.mean_average.value()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Energy-saving design-space exploration (paper Sections IV-C / V-C):
+//! sweep P_VCSEL with the heater following at the 0.3 ratio, find the
+//! cheapest operating point meeting an SNR target, and price the run-time
+//! calibration that the design-time solution displaces.
+//!
+//! Run with `cargo run --release --example power_exploration`.
+
+use vcsel_onoc::core::calibration::{heat_calibration_power, TuningCosts};
+use vcsel_onoc::core::explore_vcsel_power;
+use vcsel_onoc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = DesignFlow::paper();
+    let study = ThermalStudy::new(
+        SccConfig { oni_count: 4, ..SccConfig::tiny_test() },
+        flow.simulator(),
+    )?;
+    let p_chip = Watts::new(2.0);
+
+    let sweep = [0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 3.6, 4.5, 6.0];
+    let target_db = 15.0;
+    let exploration = explore_vcsel_power(&flow, &study, p_chip, &sweep, 0.3, target_db)?;
+
+    println!("SNR target: {target_db} dB (+ sensitivity + 1 °C gradient constraint)");
+    println!(
+        "{:>13} {:>13} {:>11} {:>13} {:>11} {:>9}",
+        "P_VCSEL (mW)", "intercon (mW)", "SNR (dB)", "gradient (°C)", "OP_net (µW)", "ok"
+    );
+    for p in &exploration.points {
+        let qualifies = p.worst_snr_db >= target_db && p.all_detected && p.worst_gradient_c < 1.0;
+        println!(
+            "{:>13.2} {:>13.1} {:>11.1} {:>13.3} {:>11.1} {:>9}",
+            p.p_vcsel_mw,
+            p.interconnect_power_w * 1e3,
+            p.worst_snr_db,
+            p.worst_gradient_c,
+            p.mean_injected_mw * 1e3,
+            if qualifies { "yes" } else { "-" }
+        );
+    }
+    match exploration.best_point() {
+        Some(best) => println!(
+            "\ncheapest qualifying point: P_VCSEL = {} mW ({} mW of interconnect power)",
+            best.p_vcsel_mw,
+            best.interconnect_power_w * 1e3
+        ),
+        None => println!("\nno sampled point meets the target"),
+    }
+
+    // Price the run-time alternative: align all rings of the thermal field
+    // produced at the paper's operating point.
+    let outcome = study.evaluate(
+        Watts::from_milliwatts(3.6),
+        Watts::from_milliwatts(1.08),
+        p_chip,
+    )?;
+    let ring_temps: Vec<Celsius> = outcome.oni.iter().map(|o| o.ring_mean).collect();
+    let budget = heat_calibration_power(&ring_temps, &TuningCosts::paper())?;
+    println!(
+        "\nrun-time calibration of {} ONI ring groups would cost {:.1} µW total \
+         ({:.2} µW worst ring) — the design-time heater keeps this residual small",
+        budget.ring_count,
+        budget.total_power_w * 1e6,
+        budget.worst_per_ring_w * 1e6
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a (reduced) SCC system, run the thermal-aware flow at
+//! one operating point, and print the paper's two headline metrics plus the
+//! resulting worst-case SNR.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use vcsel_onoc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A reduced 4-ONI system so the example runs in seconds; swap in
+    // `SccConfig::default()` for the full 24-tile / 8-ONI case study.
+    let config = SccConfig { oni_count: 4, ..SccConfig::tiny_test() };
+
+    let flow = DesignFlow::paper();
+    println!("solving the FVM response basis (a few steady-state solves) ...");
+    let study = ThermalStudy::new(config, flow.simulator())?;
+
+    // The paper's chosen operating point: P_VCSEL = 3.6 mW with the heater
+    // at 30 % of it.
+    let p_vcsel = Watts::from_milliwatts(3.6);
+    let p_heater = Watts::from_milliwatts(1.08);
+    let p_chip = Watts::new(2.0);
+
+    let outcome = study.evaluate(p_vcsel, p_heater, p_chip)?;
+    println!();
+    println!("per-ONI thermals:");
+    for (i, oni) in outcome.oni.iter().enumerate() {
+        println!(
+            "  ONI{i}: average {:.2} °C, gradient {:.3} °C (VCSELs {:.2} °C, rings {:.2} °C)",
+            oni.average.value(),
+            oni.gradient.value(),
+            oni.vcsel_mean.value(),
+            oni.ring_mean.value()
+        );
+    }
+    println!(
+        "worst intra-ONI gradient: {:.3} °C (constraint: < 1 °C, met: {})",
+        outcome.worst_gradient().value(),
+        outcome.meets_gradient_constraint()
+    );
+
+    let snr = flow.evaluate_snr(study.system(), &outcome, p_vcsel)?;
+    println!();
+    println!("worst-case SNR : {:.1} dB", snr.worst_snr_db);
+    println!(
+        "worst link     : signal {:.4} mW, crosstalk {:.6} mW",
+        snr.worst_signal.as_milliwatts(),
+        snr.worst_crosstalk.as_milliwatts()
+    );
+    println!("all links meet the -20 dBm sensitivity: {}", snr.all_detected);
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Run-time feedback calibration vs the paper's design-time heater.
+//!
+//! The paper (Section III-B) argues that run-time calibration "comes with
+//! performances overhead due to algorithm execution and heating latency",
+//! and instead sizes a constant heater at design time. This example puts
+//! numbers on both sides: a PI feedback loop (reference [12]) locks an ONI
+//! island's rings onto a target, and its settle time and steady heater
+//! power are compared with the design-time constant-heater solution.
+//!
+//! Run with `cargo run --release --example runtime_calibration`.
+
+use vcsel_onoc::control::{CalibrationConfig, CalibrationLoop, LumpedPlant};
+use vcsel_onoc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Figure 1-b island: 4 rings + 4 VCSELs, ambient 50 °C.
+    let rings = [0usize, 1, 2, 3];
+    println!("{:>13} {:>14} {:>18} {:>22}", "P_VCSEL (mW)", "settle (ms)", "heater total (mW)", "residual error (°C)");
+
+    for pv_mw in [1.0, 2.0, 3.6, 6.0] {
+        let mut plant = LumpedPlant::oni_island(4, 4, Celsius::new(50.0))?;
+        let mut disturbance = vec![Watts::ZERO; 8];
+        for laser in disturbance.iter_mut().skip(4) {
+            *laser = Watts::from_milliwatts(pv_mw);
+        }
+        plant.set_disturbance(&disturbance)?;
+
+        // Aim half a degree above the hottest passive device.
+        let target = CalibrationLoop::auto_target(
+            &plant,
+            &[Watts::ZERO; 8],
+            &rings,
+            TemperatureDelta::new(0.5),
+        )?;
+        let mut cal =
+            CalibrationLoop::new(target, &rings, CalibrationConfig::oni_island_default())?;
+        let outcome = cal.run(&mut plant)?;
+
+        println!(
+            "{:>13.1} {:>14.2} {:>18.3} {:>22.4}",
+            pv_mw,
+            outcome.settle_time_s.map_or(f64::NAN, |s| s * 1e3),
+            outcome.total_heater_power.as_milliwatts(),
+            outcome.residual_error_c,
+        );
+    }
+
+    println!();
+    println!("design-time comparison: the paper's constant heater is P_heater = 0.3 x P_VCSEL");
+    println!("per ring; the feedback loop above finds the equivalent power automatically but");
+    println!("pays the lock latency on every thermal transient (the paper's 'heating latency').");
+    println!();
+    println!("note the 6 mW row: the loop saturates its 2 mW/ring heater ceiling and never");
+    println!("locks (settle = NaN) — the same scaling Figure 10 shows, where higher P_VCSEL");
+    println!("demands proportionally more heater power to close the laser-ring gap.");
+    Ok(())
+}

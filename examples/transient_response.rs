@@ -1,0 +1,84 @@
+//! Transient thermal response to an activity change.
+//!
+//! The paper's methodology is steady-state, but its §III-B argument about
+//! run-time calibration hinges on *how fast* the thermal field moves when
+//! the chip activity changes. This example uses the stateful transient
+//! stepper: a heater-equipped silicon island sits next to a "processing"
+//! block whose power steps up mid-run, and the ring-site temperature is
+//! traced through the transition — the latency window a run-time
+//! calibration loop has to ride out.
+//!
+//! Run with `cargo run --release --example transient_response`.
+
+use vcsel_onoc::prelude::*;
+use vcsel_onoc::thermal::TransientStepper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mm = Meters::from_millimeters;
+    let domain = BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(2.0), mm(0.5)])?;
+    let mut design = Design::new(domain, Material::SILICON)?;
+    design.set_boundary(
+        Boundary::top(),
+        BoundaryCondition::Convective {
+            h: vcsel_onoc::units::WattsPerSquareMeterKelvin::new(5_000.0),
+            ambient: Celsius::new(45.0),
+        },
+    );
+    // The "chip" block (activity we will step) and a ring site with heater.
+    let chip = BoxRegion::new([mm(0.5), mm(0.5), Meters::ZERO], [mm(2.0), mm(1.5), mm(0.1)])?;
+    design.add_block(
+        vcsel_onoc::thermal::Block::heat_source("chip", chip, Material::SILICON, Watts::new(0.5))
+            .with_group("chip"),
+    );
+    let heater = BoxRegion::new([mm(3.0), mm(0.8), Meters::ZERO], [mm(3.4), mm(1.2), mm(0.1)])?;
+    design.add_block(
+        vcsel_onoc::thermal::Block::heat_source(
+            "heater",
+            heater,
+            Material::COPPER,
+            Watts::from_milliwatts(1.0),
+        )
+        .with_group("heater"),
+    );
+
+    let dt = 0.02; // 20 ms steps
+    let mut stepper =
+        TransientStepper::new(&design, &MeshSpec::uniform(mm(0.25)), Celsius::new(45.0), dt)?;
+    let ring_probe = [mm(3.2), mm(1.0), mm(0.05)];
+
+    println!("{:>8} {:>12} {:>14}", "t (s)", "activity", "ring T (°C)");
+    let print_at = |stepper: &TransientStepper, label: &str| {
+        let t = stepper.temperature_at(ring_probe).expect("probe inside");
+        println!("{:>8.2} {:>12} {:>14.3}", stepper.time(), label, t.value());
+    };
+
+    // Phase 1: low activity (0.5x), heater steady at 1 mW.
+    for k in 0..100 {
+        stepper.step(&[("chip", 0.5), ("heater", 1.0)])?;
+        if k % 25 == 24 {
+            print_at(&stepper, "low");
+        }
+    }
+    // Phase 2: activity doubles (the paper's "increasing activity of the
+    // processing layer").
+    for k in 0..150 {
+        stepper.step(&[("chip", 2.0), ("heater", 1.0)])?;
+        if k % 25 == 24 {
+            print_at(&stepper, "HIGH");
+        }
+    }
+
+    // How far did the ring drift, in wavelength terms?
+    let t_final = stepper.temperature_at(ring_probe).expect("probe inside");
+    println!();
+    println!(
+        "activity step moved the ring site to {:.2} °C; at 0.1 nm/°C that is a",
+        t_final.value()
+    );
+    println!("resonance drift a run-time loop must chase — or a design-time heater");
+    println!("budget (paper §IV-A) must absorb. An ASCII view of the final field:");
+    println!();
+    let slice = stepper.snapshot().slice_at(mm(0.05))?;
+    print!("{}", slice.to_ascii(64));
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Regenerates paper Figure 10: average and gradient temperature with and
+//! without the MR heater (P_heater = 0.3 × P_VCSEL), swept over P_VCSEL.
+//!
+//! Run with `cargo run --release --bin fig10_heater`.
+
+use vcsel_arch::SccConfig;
+use vcsel_core::experiments::figure10;
+use vcsel_core::ThermalStudy;
+use vcsel_thermal::Simulator;
+use vcsel_units::Watts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("building thermal study (FVM response basis) ...");
+    let study = ThermalStudy::new(SccConfig::default(), &Simulator::new())?;
+
+    let p_vcsel_mw = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+    let f = figure10(&study, &p_vcsel_mw, 0.3, Watts::new(12.5))?;
+
+    println!("=== Figure 10: w/ and w/o MR heater (P_heater = 0.3 x P_VCSEL) ===");
+    println!(
+        "{:>13} {:>12} {:>12} {:>13} {:>13}",
+        "P_VCSEL (mW)", "avg w/o (°C)", "avg w/ (°C)", "grad w/o (°C)", "grad w/ (°C)"
+    );
+    for (i, &pv) in f.p_vcsel_mw.iter().enumerate() {
+        println!(
+            "{:>13.1} {:>12.2} {:>12.2} {:>13.3} {:>13.3}",
+            pv,
+            f.average_without_c[i],
+            f.average_with_c[i],
+            f.gradient_without_c[i],
+            f.gradient_with_c[i]
+        );
+    }
+    let last = f.p_vcsel_mw.len() - 1;
+    println!();
+    println!(
+        "at P_VCSEL = {} mW: gradient {:.2} -> {:.2} °C (paper: 5.8 -> 1.3), \
+         average +{:.2} °C (paper: +0.8)",
+        f.p_vcsel_mw[last],
+        f.gradient_without_c[last],
+        f.gradient_with_c[last],
+        f.average_with_c[last] - f.average_without_c[last]
+    );
+
+    std::fs::create_dir_all("reports")?;
+    std::fs::write("reports/figure10.json", serde_json::to_string_pretty(&f)?)?;
+    println!("wrote reports/figure10.json");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Regenerates paper Figure 9-a (ONI average temperature vs P_VCSEL for
+//! four chip powers) and Figure 9-b (intra-ONI gradient vs P_heater for
+//! four P_VCSEL values) on the SCC case study.
+//!
+//! Run with `cargo run --release --bin fig9_temperature`.
+
+use vcsel_arch::SccConfig;
+use vcsel_core::experiments::{figure9a, figure9b};
+use vcsel_core::ThermalStudy;
+use vcsel_thermal::Simulator;
+use vcsel_units::Watts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("building thermal study (FVM response basis) ...");
+    let simulator = Simulator::new();
+    let study = ThermalStudy::new(SccConfig::default(), &simulator)?;
+
+    // --- Figure 9-a -----------------------------------------------------
+    let p_vcsel_mw = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+    let p_chip_w = [12.5, 18.75, 25.0, 31.25];
+    let a = figure9a(&study, &p_vcsel_mw, &p_chip_w)?;
+
+    println!("=== Figure 9-a: ONI average temperature (°C) vs P_VCSEL ===");
+    print!("{:>14}", "P_VCSEL (mW)");
+    for chip in &p_chip_w {
+        print!("{:>12}", format!("{chip} W"));
+    }
+    println!();
+    for (i, &pv) in p_vcsel_mw.iter().enumerate() {
+        print!("{pv:>14.1}");
+        for row in &a.average_c {
+            print!("{:>12.2}", row[i]);
+        }
+        println!();
+    }
+    println!(
+        "slopes: {:.2} °C/W of chip power (paper ~0.53), {:.2} °C/mW of P_VCSEL (paper ~1.8)",
+        a.chip_power_slope(),
+        a.vcsel_power_slope()
+    );
+
+    // --- Figure 9-b -----------------------------------------------------
+    let pv_family = [1.0, 2.0, 4.0, 6.0];
+    let ph_axis = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0];
+    let b = figure9b(&study, &pv_family, &ph_axis, Watts::new(12.5))?;
+
+    println!();
+    println!("=== Figure 9-b: intra-ONI gradient (°C) vs P_heater ===");
+    print!("{:>15}", "P_heater (mW)");
+    for pv in &pv_family {
+        print!("{:>14}", format!("Pv={pv} mW"));
+    }
+    println!();
+    for (j, &ph) in ph_axis.iter().enumerate() {
+        print!("{ph:>15.2}");
+        for row in &b.gradient_c {
+            print!("{:>14.3}", row[j]);
+        }
+        println!();
+    }
+    print!("optimal P_heater/P_VCSEL ratio: ");
+    for r in &b.optimal_ratio {
+        print!("{r:.2}  ");
+    }
+    println!("(paper: ~0.3)");
+
+    std::fs::create_dir_all("reports")?;
+    std::fs::write("reports/figure9a.json", serde_json::to_string_pretty(&a)?)?;
+    std::fs::write("reports/figure9b.json", serde_json::to_string_pretty(&b)?)?;
+    println!("wrote reports/figure9a.json, reports/figure9b.json");
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! `onoc-dse` — run the thermal-aware design methodology from a JSON spec.
+//!
+//! ```text
+//! Usage: onoc_dse [SPEC.json] [--json] [--out FILE]
+//!
+//!   SPEC.json   system specification (see specs/ for samples);
+//!               omitted = the paper's Section V-C operating point
+//!   --json      emit the report as JSON instead of markdown
+//!   --out FILE  write the report to FILE instead of stdout
+//! ```
+//!
+//! Exit code 0 when the run succeeds and all declared constraints pass,
+//! 1 on constraint failure, 2 on usage/IO/analysis errors.
+
+use std::fs;
+use std::process::ExitCode;
+
+use vcsel_core::spec::{run_spec, DseReport, SystemSpec};
+
+struct Args {
+    spec_path: Option<String>,
+    json: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut spec_path = None;
+    let mut json = false;
+    let mut out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--out" => {
+                out = Some(it.next().ok_or("--out needs a file argument")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: onoc_dse [SPEC.json] [--json] [--out FILE]".into());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            other => {
+                if spec_path.replace(other.to_string()).is_some() {
+                    return Err("at most one spec file".into());
+                }
+            }
+        }
+    }
+    Ok(Args { spec_path, json, out })
+}
+
+fn load_spec(path: Option<&str>) -> Result<SystemSpec, String> {
+    match path {
+        None => Ok(SystemSpec::paper_operating_point()),
+        Some(p) => {
+            let text = fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("cannot parse {p}: {e}"))
+        }
+    }
+}
+
+fn render(report: &DseReport, json: bool) -> String {
+    if json {
+        serde_json::to_string_pretty(report).expect("report serializes")
+    } else {
+        report.to_markdown()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match load_spec(args.spec_path.as_deref()) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("running spec '{}' ...", spec.name);
+    let report = match run_spec(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = render(&report, args.json);
+    match &args.out {
+        None => println!("{text}"),
+        Some(path) => {
+            if let Err(e) = fs::write(path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("report written to {path}");
+        }
+    }
+    let constraints_ok =
+        report.meets_gradient_constraint && report.meets_snr_target.unwrap_or(true);
+    if constraints_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("one or more declared constraints FAILED");
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,11 @@
+//! Prints the paper's Table 1 (technological parameters) as consumed by
+//! the toolchain.
+//!
+//! Run with `cargo run --bin table1_params`.
+
+use vcsel_photonics::TechnologyParams;
+
+fn main() {
+    println!("=== Table 1: technological parameters ===");
+    println!("{}", TechnologyParams::paper());
+}

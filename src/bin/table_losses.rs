@@ -1,0 +1,27 @@
+//! Regenerates the §III-A crossbar insertion-loss comparison (experiment
+//! E9): ORNoC vs Matrix, λ-router and Snake at 4×4 (16-node) scale.
+//!
+//! Run with `cargo run --bin table_losses`.
+
+use vcsel_core::experiments::baseline_comparison;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for nodes in [8, 16, 32, 64] {
+        let b = baseline_comparison(nodes)?;
+        println!("=== Crossbar insertion losses at {nodes} nodes ===");
+        println!("{:>14} {:>16} {:>14}", "topology", "worst-case (dB)", "average (dB)");
+        for (name, worst, avg) in &b.losses_db {
+            println!("{name:>14} {worst:>16.2} {avg:>14.2}");
+        }
+        println!(
+            "ORNoC reduction vs baseline mean: worst-case {:.1} %, average {:.1} %",
+            b.worst_case_reduction * 100.0,
+            b.average_reduction * 100.0
+        );
+        if nodes == 16 {
+            println!("(paper quotes 42.5 % / 38 % at 4x4 scale)");
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Regression checks on the experiment drivers (reduced-fidelity versions
+//! of the E1–E10 regenerations; the full-fidelity numbers live in
+//! EXPERIMENTS.md and the report binaries).
+
+use std::sync::OnceLock;
+
+use vcsel_onoc::core::experiments::{
+    baseline_comparison, figure10, figure8, figure9a, figure9b,
+};
+use vcsel_onoc::core::ThermalStudy;
+use vcsel_onoc::prelude::*;
+
+fn tiny_study() -> &'static ThermalStudy {
+    static STUDY: OnceLock<ThermalStudy> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        ThermalStudy::new(SccConfig::tiny_test(), &Simulator::new()).expect("study builds")
+    })
+}
+
+#[test]
+fn e1_e2_vcsel_curves_hit_paper_anchors() {
+    let fig = figure8(&Vcsel::paper_default()).unwrap();
+    // η(40 °C) peaks near 15 %, η(60 °C) near 4 % (Figure 8-b).
+    let peak = |t_idx: usize| {
+        fig.efficiency[t_idx].iter().cloned().fold(0.0f64, f64::max)
+    };
+    let t40 = fig.temperatures_c.iter().position(|&t| t == 40.0).unwrap();
+    let t60 = fig.temperatures_c.iter().position(|&t| t == 60.0).unwrap();
+    assert!((peak(t40) - 0.15).abs() < 0.02, "η(40) = {}", peak(t40));
+    assert!((peak(t60) - 0.04).abs() < 0.015, "η(60) = {}", peak(t60));
+    // Figure 8-c: the 20 °C curve reaches ~3-4 mW of output at 20 mW
+    // dissipated.
+    let curve20 = &fig.output_vs_dissipated[1];
+    let op_at_20mw = curve20
+        .iter()
+        .min_by(|a, b| (a.0 - 20.0).abs().partial_cmp(&(b.0 - 20.0).abs()).unwrap())
+        .unwrap()
+        .1;
+    assert!((2.5..=4.5).contains(&op_at_20mw), "OP at 20 mW = {op_at_20mw}");
+}
+
+#[test]
+fn e3_average_temperature_slopes() {
+    // Figure 9-a: average temperature rises with both chip power and
+    // P_VCSEL, and P_VCSEL dominates per-milliwatt.
+    let f = figure9a(tiny_study(), &[0.0, 2.0, 4.0, 6.0], &[1.0, 2.0, 3.0]).unwrap();
+    assert!(f.chip_power_slope() > 0.0);
+    // Per *watt*, local VCSEL power heats the ONI orders of magnitude more
+    // than chip power spread over the whole die (paper: 11 °C / 6 mW vs
+    // 3.3 °C / 6.25 W, a ~2000x ratio; the reduced die shrinks the chip
+    // spreading area, so only demand two orders of magnitude here).
+    let vcsel_per_watt = f.vcsel_power_slope() * 1000.0;
+    let chip_per_watt = f.chip_power_slope();
+    assert!(
+        vcsel_per_watt > 100.0 * chip_per_watt,
+        "VCSEL heating must dominate per watt: {vcsel_per_watt} vs {chip_per_watt}"
+    );
+}
+
+#[test]
+fn e4_heater_minimum_is_interior() {
+    let f = figure9b(
+        tiny_study(),
+        &[2.0, 6.0],
+        &[0.0, 0.3, 0.6, 0.9, 1.2, 1.8, 2.4],
+        Watts::new(2.0),
+    )
+    .unwrap();
+    for (row, ratio) in f.gradient_c.iter().zip(&f.optimal_ratio) {
+        let min = row.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min < row[0], "heater must improve on no-heater: {row:?}");
+        assert!(min < *row.last().unwrap(), "over-heating must hurt: {row:?}");
+        assert!((0.1..=0.7).contains(ratio), "optimal ratio {ratio}");
+    }
+}
+
+#[test]
+fn e5_heater_tradeoff() {
+    let f = figure10(tiny_study(), &[1.0, 3.0, 6.0], 0.3, Watts::new(2.0)).unwrap();
+    for i in 0..3 {
+        assert!(f.gradient_with_c[i] < f.gradient_without_c[i]);
+        assert!(f.average_with_c[i] > f.average_without_c[i]);
+    }
+    // The benefit grows with P_VCSEL (paper: "significant improvement ...
+    // for higher P_VCSEL values").
+    let gain = |i: usize| f.gradient_without_c[i] - f.gradient_with_c[i];
+    assert!(gain(2) > gain(0));
+}
+
+#[test]
+fn e9_baseline_losses() {
+    let b = baseline_comparison(16).unwrap();
+    assert!((b.worst_case_reduction - 0.425).abs() < 0.08);
+    assert!((b.average_reduction - 0.38).abs() < 0.08);
+    // ORNoC must be the cheapest topology on both metrics.
+    let ornoc = &b.losses_db[0];
+    assert_eq!(ornoc.0, "ORNoC");
+    for other in &b.losses_db[1..] {
+        assert!(ornoc.1 < other.1, "{} beats ORNoC on worst case", other.0);
+        assert!(ornoc.2 < other.2, "{} beats ORNoC on average", other.0);
+    }
+}
+
+#[test]
+fn table1_parameters_are_wired_through() {
+    let t = TechnologyParams::paper();
+    // The analyzer and device prototypes must agree with Table 1.
+    let ring = MicroringResonator::paper_default(t.center_wavelength);
+    assert_eq!(ring.bandwidth_3db(), t.mr_bandwidth_3db);
+    let pd = Photodetector::paper_default();
+    assert_eq!(pd.sensitivity().value(), t.photodetector_sensitivity.value());
+    let v = Vcsel::paper_default();
+    // VCSEL drift equals the Table 1 thermal sensitivity.
+    let w1 = v.wavelength(Celsius::new(40.0));
+    let w2 = v.wavelength(Celsius::new(41.0));
+    assert!(((w2 - w1).value() - t.thermal_sensitivity_nm_per_c).abs() < 1e-12);
+}

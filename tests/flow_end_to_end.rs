@@ -1,0 +1,155 @@
+//! End-to-end methodology tests: the paper's qualitative claims checked on
+//! the reduced case-study system (experiment E10 and the headline claims of
+//! Sections V-B / V-C).
+
+use std::sync::OnceLock;
+
+use vcsel_onoc::prelude::*;
+
+/// One shared study for the whole file (construction costs several FVM
+/// solves in debug mode).
+fn shared_study() -> &'static (DesignFlow, ThermalStudy) {
+    static STUDY: OnceLock<(DesignFlow, ThermalStudy)> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let flow = DesignFlow::paper();
+        let study = ThermalStudy::new(
+            SccConfig { oni_count: 4, ..SccConfig::tiny_test() },
+            flow.simulator(),
+        )
+        .expect("study builds");
+        (flow, study)
+    })
+}
+
+#[test]
+fn heater_optimum_is_near_paper_ratio() {
+    // Paper Section V-B: "the smallest gradient is obtained for
+    // P_heater = 0.3 x P_VCSEL".
+    let (_, study) = shared_study();
+    for pv in [2.0, 4.0, 6.0] {
+        let exploration = study
+            .explore_heater(Watts::from_milliwatts(pv), Watts::new(2.0), 1.0, 5)
+            .unwrap();
+        assert!(
+            (0.15..=0.55).contains(&exploration.optimal_ratio),
+            "P_VCSEL = {pv} mW: optimal ratio {} outside the paper's ~0.3 zone",
+            exploration.optimal_ratio
+        );
+    }
+}
+
+#[test]
+fn gradient_scales_roughly_linearly_with_vcsel_power() {
+    // Paper: "significant impact of P_VCSEL on the gradient temperature
+    // between lasers and MRs (1.7 °C/mW)" — i.e. near-proportional growth.
+    let (_, study) = shared_study();
+    let chip = Watts::new(2.0);
+    let g = |pv: f64| {
+        study
+            .evaluate(Watts::from_milliwatts(pv), Watts::ZERO, chip)
+            .unwrap()
+            .worst_gradient()
+            .value()
+    };
+    let g2 = g(2.0);
+    let g4 = g(4.0);
+    let g6 = g(6.0);
+    // Proportionality within 25 % (the offset from chip heating is small).
+    assert!((g4 / g2 - 2.0).abs() < 0.5, "g4/g2 = {}", g4 / g2);
+    assert!((g6 / g2 - 3.0).abs() < 0.75, "g6/g2 = {}", g6 / g2);
+}
+
+#[test]
+fn heater_shrinks_gradient_at_modest_average_cost() {
+    // Paper Figure 10: heater at 0.3 x P_VCSEL cuts the gradient several
+    // times over while the average rises by well under the gradient gain.
+    let (_, study) = shared_study();
+    let pv = Watts::from_milliwatts(6.0);
+    let chip = Watts::new(2.0);
+    let without = study.evaluate(pv, Watts::ZERO, chip).unwrap();
+    let with = study.evaluate(pv, pv * 0.3, chip).unwrap();
+    let gradient_gain = without.worst_gradient().value() - with.worst_gradient().value();
+    let average_cost = with.mean_average().value() - without.mean_average().value();
+    assert!(gradient_gain > 0.5, "gain {gradient_gain}");
+    assert!(average_cost < gradient_gain, "cost {average_cost} vs gain {gradient_gain}");
+}
+
+#[test]
+fn snr_orders_activities_like_the_paper() {
+    // Paper Figure 12: diagonal activity (large inter-ONI gradients)
+    // yields lower SNR than uniform activity at the same placement.
+    let flow = DesignFlow::paper();
+    let p_vcsel = Watts::from_milliwatts(3.6);
+    let run = |activity: Activity| {
+        let config = SccConfig {
+            oni_count: 4,
+            activity,
+            ..SccConfig::tiny_test()
+        };
+        let study = ThermalStudy::new(config, flow.simulator()).unwrap();
+        let outcome = study.evaluate(p_vcsel, p_vcsel * 0.3, Watts::new(4.0)).unwrap();
+        let snr = flow.evaluate_snr(study.system(), &outcome, p_vcsel).unwrap();
+        (outcome.inter_oni_spread().value(), snr.worst_snr_db)
+    };
+    let (spread_uniform, snr_uniform) = run(Activity::Uniform);
+    let (spread_diag, snr_diag) = run(Activity::Diagonal);
+    assert!(
+        spread_diag > spread_uniform,
+        "diagonal must spread ONI temperatures more: {spread_diag} vs {spread_uniform}"
+    );
+    assert!(
+        snr_diag <= snr_uniform + 1e-9,
+        "diagonal SNR {snr_diag} must not beat uniform {snr_uniform}"
+    );
+}
+
+#[test]
+fn hotter_chip_reduces_laser_output() {
+    // Paper Section III-C: at fixed P_VCSEL, chip activity heats the laser
+    // and reduces the emitted optical power.
+    let (flow, study) = shared_study();
+    let p_vcsel = Watts::from_milliwatts(3.6);
+    let cool = study.evaluate(p_vcsel, Watts::ZERO, Watts::new(1.0)).unwrap();
+    let hot = study.evaluate(p_vcsel, Watts::ZERO, Watts::new(6.0)).unwrap();
+    let snr_cool = flow.evaluate_snr(study.system(), &cool, p_vcsel).unwrap();
+    let snr_hot = flow.evaluate_snr(study.system(), &hot, p_vcsel).unwrap();
+    assert!(snr_hot.mean_injected < snr_cool.mean_injected);
+}
+
+#[test]
+fn links_meet_receiver_sensitivity_at_operating_point() {
+    // Paper Section V-C: "This analysis validates that the ONoC matches
+    // with the receiver sensitivity and SNR requirements."
+    let (flow, study) = shared_study();
+    let p_vcsel = Watts::from_milliwatts(3.6);
+    let outcome = study.evaluate(p_vcsel, p_vcsel * 0.3, Watts::new(2.0)).unwrap();
+    let snr = flow.evaluate_snr(study.system(), &outcome, p_vcsel).unwrap();
+    assert!(snr.all_detected, "links must meet the -20 dBm sensitivity");
+    assert!(snr.worst_snr_db > 10.0, "worst SNR {} unusable", snr.worst_snr_db);
+}
+
+#[test]
+fn chessboard_beats_clustered_layout() {
+    // Paper Section III-B: alternating VCSELs and MRs "contributes to
+    // reduce MRs heating power through a better initial distribution of
+    // the heat generated by VCSELs".
+    let flow = DesignFlow::paper();
+    let gradient_for = |layout: OniLayout| {
+        let study = ThermalStudy::new(
+            SccConfig { layout, ..SccConfig::tiny_test() },
+            flow.simulator(),
+        )
+        .unwrap();
+        study
+            .evaluate(Watts::from_milliwatts(4.0), Watts::ZERO, Watts::new(2.0))
+            .unwrap()
+            .worst_gradient()
+            .value()
+    };
+    let chessboard = gradient_for(OniLayout::Chessboard);
+    let clustered = gradient_for(OniLayout::Clustered);
+    assert!(
+        chessboard < clustered,
+        "chessboard ({chessboard} °C) must beat clustered ({clustered} °C)"
+    );
+}

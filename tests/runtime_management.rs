@@ -1,0 +1,155 @@
+//! Cross-crate integration: the run-time management policies of
+//! `vcsel-control` running on an influence model calibrated against the
+//! *real* FVM thermal simulator (not the synthetic geometry kernel).
+//!
+//! This closes the loop the crate-level unit tests leave open: the linear
+//! [`InfluenceModel`] the policies plan on is exact for the FVM because
+//! steady-state conduction is linear — so a model calibrated with one
+//! solve per tile must *predict* full FVM solves to solver tolerance, and
+//! policy improvements measured on the model must be real improvements on
+//! the simulator.
+
+use vcsel_control::{
+    allocate_jobs, migrate_workload, AllocationPolicy, InfluenceModel, Job, MigrationConfig,
+};
+use vcsel_thermal::{
+    Block, Boundary, BoundaryCondition, BoxRegion, Design, Material, MeshSpec, ResponseBasis,
+    Simulator,
+};
+use vcsel_units::{Celsius, Meters, Watts, WattsPerSquareMeterKelvin};
+
+fn mm(v: f64) -> Meters {
+    Meters::from_millimeters(v)
+}
+
+/// A 16 x 4 x 1 mm silicon strip with 4 tile heat sources and two ONI
+/// observation windows at the ends, each tile in its own power group.
+struct Testbed {
+    basis: ResponseBasis,
+    onis: [BoxRegion; 2],
+}
+
+impl Testbed {
+    fn build() -> Self {
+        let domain = BoxRegion::new([Meters::ZERO; 3], [mm(16.0), mm(4.0), mm(1.0)]).unwrap();
+        let mut design = Design::new(domain, Material::SILICON).unwrap();
+        design.set_boundary(
+            Boundary::top(),
+            BoundaryCondition::Convective {
+                h: WattsPerSquareMeterKelvin::new(3_000.0),
+                ambient: Celsius::new(45.0),
+            },
+        );
+        for t in 0..4usize {
+            let x0 = 0.5 + 4.0 * t as f64;
+            let region =
+                BoxRegion::new([mm(x0), mm(0.5), Meters::ZERO], [mm(x0 + 3.0), mm(3.5), mm(0.2)])
+                    .unwrap();
+            design.add_block(
+                Block::heat_source(format!("tile{t}"), region, Material::SILICON, Watts::new(1.0))
+                    .with_group(format!("tile{t}")),
+            );
+        }
+        let spec = MeshSpec::uniform(mm(0.5));
+        let basis = ResponseBasis::build(&Simulator::new(), &design, &spec).unwrap();
+        let onis = [
+            BoxRegion::new([mm(0.0), mm(1.0), mm(0.5)], [mm(2.0), mm(3.0), mm(1.0)]).unwrap(),
+            BoxRegion::new([mm(14.0), mm(1.0), mm(0.5)], [mm(16.0), mm(3.0), mm(1.0)]).unwrap(),
+        ];
+        Self { basis, onis }
+    }
+
+    /// ONI temperatures under per-tile powers, via one superposition
+    /// composition (identical to a direct FVM solve by linearity).
+    fn oni_temps(&self, tile_powers: &[Watts]) -> Result<Vec<Celsius>, vcsel_thermal::ThermalError> {
+        let scales: Vec<(String, f64)> =
+            tile_powers.iter().enumerate().map(|(t, p)| (format!("tile{t}"), p.value())).collect();
+        let scale_refs: Vec<(&str, f64)> =
+            scales.iter().map(|(name, s)| (name.as_str(), *s)).collect();
+        let map = self.basis.compose(&scale_refs)?;
+        Ok(self.onis.iter().map(|r| map.average_in(r).expect("ONI meshed")).collect())
+    }
+}
+
+#[test]
+fn influence_model_predicts_the_fvm() {
+    let bed = Testbed::build();
+    let model = InfluenceModel::calibrate(4, Watts::new(1.0), |p: &[Watts]| {
+        bed.oni_temps(p).map_err(|e| vcsel_control::ControlError::BadParameter {
+            reason: e.to_string(),
+        })
+    })
+    .unwrap();
+
+    // An arbitrary operating point never used during calibration.
+    let powers =
+        vec![Watts::new(2.5), Watts::new(0.3), Watts::new(1.7), Watts::new(4.1)];
+    let predicted = model.temperatures(&powers).unwrap();
+    let actual = bed.oni_temps(&powers).unwrap();
+    for (p, a) in predicted.iter().zip(&actual) {
+        assert!(
+            (p.value() - a.value()).abs() < 1e-5,
+            "linearity must make the model exact: predicted {p}, FVM {a}"
+        );
+    }
+}
+
+#[test]
+fn migration_improvement_is_real_on_the_fvm() {
+    let bed = Testbed::build();
+    let model = InfluenceModel::calibrate(4, Watts::new(1.0), |p: &[Watts]| {
+        bed.oni_temps(p).map_err(|e| vcsel_control::ControlError::BadParameter {
+            reason: e.to_string(),
+        })
+    })
+    .unwrap();
+
+    // All power piled next to ONI 0.
+    let skew = vec![Watts::new(4.0), Watts::new(4.0), Watts::ZERO, Watts::ZERO];
+    let result = migrate_workload(
+        &model,
+        &skew,
+        &MigrationConfig { tile_cap: Watts::new(5.0), ..MigrationConfig::default() },
+    )
+    .unwrap();
+
+    // Verify on the simulator, not the model.
+    let spread = |temps: &[Celsius]| {
+        let hi = temps.iter().map(|t| t.value()).fold(f64::NEG_INFINITY, f64::max);
+        let lo = temps.iter().map(|t| t.value()).fold(f64::INFINITY, f64::min);
+        hi - lo
+    };
+    let before = spread(&bed.oni_temps(&skew).unwrap());
+    let after = spread(&bed.oni_temps(&result.tile_powers).unwrap());
+    assert!(
+        after < 0.3 * before,
+        "FVM-verified spread must shrink substantially: {before:.3} -> {after:.3} °C"
+    );
+}
+
+#[test]
+fn thermal_aware_allocation_beats_row_major_on_the_fvm() {
+    let bed = Testbed::build();
+    let model = InfluenceModel::calibrate(4, Watts::new(1.0), |p: &[Watts]| {
+        bed.oni_temps(p).map_err(|e| vcsel_control::ControlError::BadParameter {
+            reason: e.to_string(),
+        })
+    })
+    .unwrap();
+
+    let jobs: Vec<Job> = (0..2).map(|id| Job { id, power: Watts::new(3.0) }).collect();
+    let naive = allocate_jobs(&model, &jobs, Watts::new(6.0), AllocationPolicy::RowMajor).unwrap();
+    let smart =
+        allocate_jobs(&model, &jobs, Watts::new(6.0), AllocationPolicy::ThermalAware).unwrap();
+
+    let spread = |powers: &[Watts]| {
+        let temps = bed.oni_temps(powers).unwrap();
+        let hi = temps.iter().map(|t| t.value()).fold(f64::NEG_INFINITY, f64::max);
+        let lo = temps.iter().map(|t| t.value()).fold(f64::INFINITY, f64::min);
+        hi - lo
+    };
+    assert!(
+        spread(&smart.tile_powers) < spread(&naive.tile_powers),
+        "thermal-aware placement must beat row-major on the simulator"
+    );
+}
