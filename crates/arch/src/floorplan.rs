@@ -111,13 +111,8 @@ impl SccFloorplan {
                 let region = BoxRegion::new([x0, y0, z_min], [x1, y1, z_max])?;
                 let power = p_chip * weights[row * self.cols + col];
                 design.try_add_block(
-                    Block::heat_source(
-                        format!("tile({row},{col})"),
-                        region,
-                        Material::BEOL,
-                        power,
-                    )
-                    .with_group("chip"),
+                    Block::heat_source(format!("tile({row},{col})"), region, Material::BEOL, power)
+                        .with_group("chip"),
                 )?;
             }
         }
@@ -173,8 +168,7 @@ impl SccFloorplan {
                 [Meters::new(x + mc_w), Meters::new(y + mc_d), z_max],
             )?;
             design.try_add_block(
-                Block::heat_source(name, region, Material::BEOL, p_uncore * 0.1)
-                    .with_group("chip"),
+                Block::heat_source(name, region, Material::BEOL, p_uncore * 0.1).with_group("chip"),
             )?;
         }
         Ok(())

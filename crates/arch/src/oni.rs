@@ -142,10 +142,7 @@ impl OniInstance {
         z1: Meters,
     ) -> Result<BoxRegion, ThermalError> {
         let (x, y) = self.site_origin(row, col);
-        BoxRegion::new(
-            [x, y, z0],
-            [x + OniLayout::site_size(), y + OniLayout::site_size(), z1],
-        )
+        BoxRegion::new([x, y, z0], [x + OniLayout::site_size(), y + OniLayout::site_size(), z1])
     }
 
     /// The VCSEL device footprint centered in a transmitter site: the
@@ -180,11 +177,7 @@ impl OniInstance {
         let d = (OniLayout::site_size() - Meters::from_micrometers(10.0)) / 2.0;
         BoxRegion::new(
             [x + d, y + d, z0],
-            [
-                x + d + Meters::from_micrometers(10.0),
-                y + d + Meters::from_micrometers(10.0),
-                z1,
-            ],
+            [x + d + Meters::from_micrometers(10.0), y + d + Meters::from_micrometers(10.0), z1],
         )
     }
 
@@ -338,11 +331,7 @@ mod tests {
         let stack = crate::PackageStack::scc();
         let domain = BoxRegion::new(
             [Meters::ZERO; 3],
-            [
-                Meters::from_millimeters(2.0),
-                Meters::from_millimeters(2.0),
-                stack.total_thickness(),
-            ],
+            [Meters::from_millimeters(2.0), Meters::from_millimeters(2.0), stack.total_thickness()],
         )
         .unwrap();
         let mut d = Design::new(domain, Material::SILICON).unwrap();
@@ -393,9 +382,7 @@ mod tests {
             Meters::from_millimeters(2.0),
             OniLayout::Chessboard,
         );
-        let region = oni
-            .region(Meters::ZERO, Meters::from_micrometers(4.0))
-            .unwrap();
+        let region = oni.region(Meters::ZERO, Meters::from_micrometers(4.0)).unwrap();
         let c = oni.center();
         assert!(region.contains([c[0], c[1], Meters::from_micrometers(2.0)]));
     }

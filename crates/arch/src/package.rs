@@ -57,16 +57,40 @@ impl PackageStack {
         let um = Meters::from_micrometers;
         Self {
             layers: vec![
-                PackageLayer { name: "substrate", thickness: um(1000.0), material: Material::SUBSTRATE },
-                PackageLayer { name: "interposer", thickness: um(200.0), material: Material::SILICON },
-                PackageLayer { name: "logic silicon", thickness: um(50.0), material: Material::SILICON },
+                PackageLayer {
+                    name: "substrate",
+                    thickness: um(1000.0),
+                    material: Material::SUBSTRATE,
+                },
+                PackageLayer {
+                    name: "interposer",
+                    thickness: um(200.0),
+                    material: Material::SILICON,
+                },
+                PackageLayer {
+                    name: "logic silicon",
+                    thickness: um(50.0),
+                    material: Material::SILICON,
+                },
                 PackageLayer { name: "BEOL", thickness: um(15.0), material: Material::BEOL },
                 PackageLayer { name: "bonding", thickness: um(20.0), material: Material::BONDING },
-                PackageLayer { name: "optical layer", thickness: um(4.0), material: Material::OPTICAL_LAYER },
-                PackageLayer { name: "cap silicon", thickness: um(50.0), material: Material::SILICON },
+                PackageLayer {
+                    name: "optical layer",
+                    thickness: um(4.0),
+                    material: Material::OPTICAL_LAYER,
+                },
+                PackageLayer {
+                    name: "cap silicon",
+                    thickness: um(50.0),
+                    material: Material::SILICON,
+                },
                 PackageLayer { name: "epoxy", thickness: um(80.0), material: Material::EPOXY },
                 PackageLayer { name: "TIM", thickness: um(75.0), material: Material::TIM },
-                PackageLayer { name: "copper lid", thickness: um(2000.0), material: Material::COPPER },
+                PackageLayer {
+                    name: "copper lid",
+                    thickness: um(2000.0),
+                    material: Material::COPPER,
+                },
             ],
         }
     }

@@ -157,10 +157,7 @@ impl SccSystem {
         let mut design = Design::new(domain, Material::SILICON)?;
         design.set_boundary(
             Boundary::top(),
-            BoundaryCondition::Convective {
-                h: config.heat_transfer,
-                ambient: config.ambient,
-            },
+            BoundaryCondition::Convective { h: config.heat_transfer, ambient: config.ambient },
         );
 
         stack.add_layers(&mut design, fp.die_width(), fp.die_depth())?;
@@ -231,21 +228,14 @@ impl SccSystem {
     pub fn mesh_spec(&self) -> Result<MeshSpec, ArchError> {
         let (fine, coarse) = self.fidelity.resolutions();
         let optical = self.stack.optical_layer_z();
-        let mut spec = MeshSpec::per_axis([
-            Meters::new(coarse),
-            Meters::new(coarse),
-            Meters::new(500e-6),
-        ]);
+        let mut spec =
+            MeshSpec::per_axis([Meters::new(coarse), Meters::new(coarse), Meters::new(500e-6)]);
         let margin = Meters::from_micrometers(60.0);
         for oni in &self.onis {
             let r = oni.region(optical.0, optical.1)?;
             let padded = BoxRegion::new(
                 [r.min(0) - margin, r.min(1) - margin, Meters::ZERO],
-                [
-                    r.max(0) + margin,
-                    r.max(1) + margin,
-                    self.stack.total_thickness(),
-                ],
+                [r.max(0) + margin, r.max(1) + margin, self.stack.total_thickness()],
             )?;
             spec = spec.with_refinement(RefineRegion::per_axis(
                 padded,
@@ -337,10 +327,8 @@ mod tests {
     #[test]
     fn vcsel_power_raises_gradient() {
         let solve = |p_mw: f64| {
-            let config = SccConfig {
-                p_vcsel: Watts::from_milliwatts(p_mw),
-                ..SccConfig::tiny_test()
-            };
+            let config =
+                SccConfig { p_vcsel: Watts::from_milliwatts(p_mw), ..SccConfig::tiny_test() };
             let system = SccSystem::build(&config).unwrap();
             let spec = system.mesh_spec().unwrap();
             let map = Simulator::new().solve(system.design(), &spec).unwrap();
@@ -359,10 +347,7 @@ mod tests {
 
     #[test]
     fn negative_power_rejected() {
-        let config = SccConfig {
-            p_vcsel: Watts::from_milliwatts(-1.0),
-            ..SccConfig::tiny_test()
-        };
+        let config = SccConfig { p_vcsel: Watts::from_milliwatts(-1.0), ..SccConfig::tiny_test() };
         assert!(matches!(SccSystem::build(&config), Err(ArchError::BadConfig { .. })));
     }
 

@@ -16,8 +16,7 @@ fn study_for(layout: OniLayout) -> ThermalStudy {
 
 fn studies() -> &'static (ThermalStudy, ThermalStudy) {
     static STUDIES: OnceLock<(ThermalStudy, ThermalStudy)> = OnceLock::new();
-    STUDIES
-        .get_or_init(|| (study_for(OniLayout::Chessboard), study_for(OniLayout::Clustered)))
+    STUDIES.get_or_init(|| (study_for(OniLayout::Chessboard), study_for(OniLayout::Clustered)))
 }
 
 fn bench_layouts(c: &mut Criterion) {
@@ -25,15 +24,11 @@ fn bench_layouts(c: &mut Criterion) {
     let p_vcsel = Watts::from_milliwatts(4.0);
     let chip = Watts::new(2.0);
 
-    let g_chess =
-        chess.evaluate(p_vcsel, Watts::ZERO, chip).expect("chess").worst_gradient();
-    let g_clustered = clustered
-        .evaluate(p_vcsel, Watts::ZERO, chip)
-        .expect("clustered")
-        .worst_gradient();
+    let g_chess = chess.evaluate(p_vcsel, Watts::ZERO, chip).expect("chess").worst_gradient();
+    let g_clustered =
+        clustered.evaluate(p_vcsel, Watts::ZERO, chip).expect("clustered").worst_gradient();
     let opt_chess = chess.explore_heater(p_vcsel, chip, 1.0, 5).expect("chess opt");
-    let opt_clustered =
-        clustered.explore_heater(p_vcsel, chip, 1.0, 5).expect("clustered opt");
+    let opt_clustered = clustered.explore_heater(p_vcsel, chip, 1.0, 5).expect("clustered opt");
     println!(
         "[ablation/layout] gradient w/o heater: chessboard {:.3} C vs clustered {:.3} C",
         g_chess.value(),

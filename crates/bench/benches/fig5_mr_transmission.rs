@@ -19,7 +19,10 @@ fn bench_mr_transmission(c: &mut Criterion) {
         );
     }
     let half = mr.drop_fraction(Nanometers::new(0.775));
-    println!("[fig5b] drop at +-0.775 nm = {:.1} % (paper: 50 % at 0.77 nm / 7.7 °C)", 100.0 * half);
+    println!(
+        "[fig5b] drop at +-0.775 nm = {:.1} % (paper: 50 % at 0.77 nm / 7.7 °C)",
+        100.0 * half
+    );
 
     c.bench_function("mr_drop_fraction", |bench| {
         bench.iter(|| {

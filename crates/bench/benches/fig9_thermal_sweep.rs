@@ -16,8 +16,8 @@ fn bench_fig9(c: &mut Criterion) {
         a.chip_power_slope(),
         a.vcsel_power_slope()
     );
-    let b = figure9b(study, &[2.0, 6.0], &[0.0, 0.6, 1.2, 1.8, 2.4], Watts::new(2.0))
-        .expect("fig 9-b");
+    let b =
+        figure9b(study, &[2.0, 6.0], &[0.0, 0.6, 1.2, 1.8, 2.4], Watts::new(2.0)).expect("fig 9-b");
     println!(
         "[fig9b] optimal heater ratios: {:?} (paper ~0.3)",
         b.optimal_ratio.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()

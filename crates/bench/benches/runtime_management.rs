@@ -21,10 +21,7 @@ fn island() -> LumpedPlant {
 }
 
 fn strip_model() -> InfluenceModel {
-    let onis = vec![
-        [Meters::ZERO, Meters::ZERO],
-        [Meters::from_millimeters(20.0), Meters::ZERO],
-    ];
+    let onis = vec![[Meters::ZERO, Meters::ZERO], [Meters::from_millimeters(20.0), Meters::ZERO]];
     let tiles: Vec<[Meters; 2]> =
         (0..6).map(|k| [Meters::from_millimeters(4.0 * k as f64), Meters::ZERO]).collect();
     InfluenceModel::from_geometry(
@@ -77,16 +74,9 @@ fn bench_runtime_management(c: &mut Criterion) {
     );
 
     let model = strip_model();
-    let skew = vec![
-        Watts::new(8.0),
-        Watts::new(8.0),
-        Watts::ZERO,
-        Watts::ZERO,
-        Watts::ZERO,
-        Watts::ZERO,
-    ];
-    let migrated =
-        migrate_workload(&model, &skew, &MigrationConfig::default()).expect("migrates");
+    let skew =
+        vec![Watts::new(8.0), Watts::new(8.0), Watts::ZERO, Watts::ZERO, Watts::ZERO, Watts::ZERO];
+    let migrated = migrate_workload(&model, &skew, &MigrationConfig::default()).expect("migrates");
     println!(
         "[runtime] migration: spread {:.2} -> {:.3} °C in {} moves",
         migrated.initial_spread.value(),

@@ -8,10 +8,7 @@ use vcsel_thermal::{Mesh, Simulator};
 use vcsel_units::Watts;
 
 fn bench_solvers(c: &mut Criterion) {
-    let config = SccConfig {
-        p_vcsel: Watts::from_milliwatts(4.0),
-        ..SccConfig::tiny_test()
-    };
+    let config = SccConfig { p_vcsel: Watts::from_milliwatts(4.0), ..SccConfig::tiny_test() };
     let system = SccSystem::build(&config).expect("builds");
     let spec = system.mesh_spec().expect("spec");
     let mesh = Mesh::build(system.design(), &spec).expect("mesh");
@@ -58,9 +55,8 @@ fn bench_solvers(c: &mut Criterion) {
     let cg = solver::conjugate_gradient(&a, &rhs, &opts).expect("CG");
     let gs = solver::sor(&a, &rhs, &opts).expect("SOR");
     let bi = solver::bicgstab(&a, &rhs, &opts).expect("BiCGSTAB");
-    let diff = |x: &[f64], y: &[f64]| {
-        x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
-    };
+    let diff =
+        |x: &[f64], y: &[f64]| x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!(
         "[solvers] 1-D Laplacian (n = {n}): CG {} iters, SOR {} iters, BiCGSTAB {} iters; \
          max disagreement CG-SOR {:.2e}, CG-BiCGSTAB {:.2e}",

@@ -12,9 +12,7 @@ fn bench_table1(c: &mut Criterion) {
     c.bench_function("table1_device_prototypes", |b| {
         b.iter(|| {
             let t = TechnologyParams::paper();
-            let ring = MicroringResonator::paper_default(std::hint::black_box(
-                t.center_wavelength,
-            ));
+            let ring = MicroringResonator::paper_default(std::hint::black_box(t.center_wavelength));
             let pd = Photodetector::paper_default();
             let wg = Waveguide::paper_default();
             (ring.drop_fraction(Nanometers::new(0.775)), pd.sensitivity(), wg.propagation_loss())

@@ -126,7 +126,7 @@ pub fn allocate_jobs(
                     let w: Vec<Watts> = powers.iter().map(|&v| Watts::new(v)).collect();
                     let spread = model.spread(&w)?.value();
                     powers[t] -= p;
-                    if best.map_or(true, |(_, b)| spread < b) {
+                    if best.is_none_or(|(_, b)| spread < b) {
                         best = Some((t, spread));
                     }
                 }
@@ -151,10 +151,8 @@ mod tests {
     use vcsel_units::{Celsius, Meters};
 
     fn strip() -> InfluenceModel {
-        let onis = vec![
-            [Meters::ZERO, Meters::ZERO],
-            [Meters::from_millimeters(12.0), Meters::ZERO],
-        ];
+        let onis =
+            vec![[Meters::ZERO, Meters::ZERO], [Meters::from_millimeters(12.0), Meters::ZERO]];
         let tiles: Vec<[Meters; 2]> =
             (0..4).map(|k| [Meters::from_millimeters(4.0 * k as f64), Meters::ZERO]).collect();
         InfluenceModel::from_geometry(
@@ -220,8 +218,9 @@ mod tests {
         let js = jobs(&[6.0, 6.0, 6.0, 6.0, 6.0]);
         assert!(allocate_jobs(&m, &js, Watts::new(7.0), AllocationPolicy::ThermalAware).is_err());
         // A single job above the cap is rejected outright.
-        assert!(allocate_jobs(&m, &jobs(&[8.0]), Watts::new(7.0), AllocationPolicy::RowMajor)
-            .is_err());
+        assert!(
+            allocate_jobs(&m, &jobs(&[8.0]), Watts::new(7.0), AllocationPolicy::RowMajor).is_err()
+        );
     }
 
     #[test]

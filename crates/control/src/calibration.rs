@@ -233,7 +233,10 @@ impl CalibrationLoop {
     ///
     /// Returns [`ControlError::DimensionMismatch`] if a controlled index is
     /// outside the plant, plus any plant stepping error.
-    pub fn run<P: ThermalPlant>(&mut self, plant: &mut P) -> Result<CalibrationOutcome, ControlError> {
+    pub fn run<P: ThermalPlant>(
+        &mut self,
+        plant: &mut P,
+    ) -> Result<CalibrationOutcome, ControlError> {
         let n = plant.node_count();
         if let Some(&bad) = self.controlled.iter().find(|&&i| i >= n) {
             return Err(ControlError::DimensionMismatch {

@@ -98,12 +98,7 @@ pub fn dvfs_cap(
     let s = lo;
     let scaled: Vec<Watts> = tile_powers.iter().map(|&p| p * s).collect();
     let peak = model.peak(&scaled)?;
-    Ok(DvfsResult {
-        power_scale: s,
-        frequency_scale: s.cbrt(),
-        tile_powers: scaled,
-        peak,
-    })
+    Ok(DvfsResult { power_scale: s, frequency_scale: s.cbrt(), tile_powers: scaled, peak })
 }
 
 /// Parameters of the greedy migration search.
@@ -197,7 +192,7 @@ pub fn migrate_workload(
                     .value();
                 powers[src] += q;
                 powers[dst] -= q;
-                if sp < current - 1e-12 && best.map_or(true, |(_, _, b)| sp < b) {
+                if sp < current - 1e-12 && best.is_none_or(|(_, _, b)| sp < b) {
                     best = Some((src, dst, sp));
                 }
             }
@@ -228,10 +223,8 @@ mod tests {
 
     /// 2 ONIs at the ends of a 4-tile strip — the canonical asymmetric case.
     fn strip() -> InfluenceModel {
-        let onis = vec![
-            [Meters::ZERO, Meters::ZERO],
-            [Meters::from_millimeters(12.0), Meters::ZERO],
-        ];
+        let onis =
+            vec![[Meters::ZERO, Meters::ZERO], [Meters::from_millimeters(12.0), Meters::ZERO]];
         let tiles: Vec<[Meters; 2]> =
             (0..4).map(|k| [Meters::from_millimeters(4.0 * k as f64), Meters::ZERO]).collect();
         InfluenceModel::from_geometry(
@@ -271,15 +264,14 @@ mod tests {
     #[test]
     fn dvfs_rejects_unreachable_limit() {
         let m = strip();
-        assert!(dvfs_cap(&m, &vec![Watts::new(1.0); 4], Celsius::new(10.0)).is_err());
+        assert!(dvfs_cap(&m, &[Watts::new(1.0); 4], Celsius::new(10.0)).is_err());
     }
 
     #[test]
     fn migration_balances_a_skewed_load() {
         let m = strip();
         // All power near ONI 0: large spread.
-        let powers =
-            vec![Watts::new(8.0), Watts::new(8.0), Watts::ZERO, Watts::ZERO];
+        let powers = vec![Watts::new(8.0), Watts::new(8.0), Watts::ZERO, Watts::ZERO];
         let r = migrate_workload(&m, &powers, &MigrationConfig::default()).unwrap();
         assert!(
             r.final_spread.value() < 0.2 * r.initial_spread.value(),
@@ -335,7 +327,7 @@ mod tests {
         let m = strip();
         assert!(migrate_workload(&m, &[Watts::new(1.0)], &MigrationConfig::default()).is_err());
         let bad = MigrationConfig { quantum: Watts::ZERO, ..MigrationConfig::default() };
-        assert!(migrate_workload(&m, &vec![Watts::new(1.0); 4], &bad).is_err());
+        assert!(migrate_workload(&m, &[Watts::new(1.0); 4], &bad).is_err());
         let over = vec![Watts::new(99.0); 4];
         assert!(migrate_workload(&m, &over, &MigrationConfig::default()).is_err());
     }

@@ -71,7 +71,10 @@ impl InfluenceModel {
         for (o, row) in matrix.iter().enumerate() {
             if row.len() != tiles {
                 return Err(ControlError::BadParameter {
-                    reason: format!("ragged matrix: row {o} has {} entries, expected {tiles}", row.len()),
+                    reason: format!(
+                        "ragged matrix: row {o} has {} entries, expected {tiles}",
+                        row.len()
+                    ),
                 });
             }
             if row.iter().any(|v| !v.is_finite() || *v < 0.0) {
@@ -261,10 +264,8 @@ mod tests {
     use super::*;
 
     fn strip_model() -> InfluenceModel {
-        let onis = vec![
-            [Meters::ZERO, Meters::ZERO],
-            [Meters::from_millimeters(12.0), Meters::ZERO],
-        ];
+        let onis =
+            vec![[Meters::ZERO, Meters::ZERO], [Meters::from_millimeters(12.0), Meters::ZERO]];
         let tiles: Vec<[Meters; 2]> =
             (0..4).map(|k| [Meters::from_millimeters(4.0 * k as f64), Meters::ZERO]).collect();
         InfluenceModel::from_geometry(
@@ -295,7 +296,7 @@ mod tests {
         let m = strip_model();
         let p1 = vec![Watts::new(2.0); 4];
         let p2 = vec![Watts::new(4.0); 4];
-        let t0 = m.temperatures(&vec![Watts::ZERO; 4]).unwrap();
+        let t0 = m.temperatures(&[Watts::ZERO; 4]).unwrap();
         let t1 = m.temperatures(&p1).unwrap();
         let t2 = m.temperatures(&p2).unwrap();
         for o in 0..2 {
@@ -323,7 +324,7 @@ mod tests {
             Meters::from_millimeters(2.0),
         )
         .unwrap();
-        let spread = m.spread(&vec![Watts::new(3.0); 4]).unwrap();
+        let spread = m.spread(&[Watts::new(3.0); 4]).unwrap();
         assert!(spread.value().abs() < 1e-12, "spread {spread}");
     }
 
@@ -331,10 +332,8 @@ mod tests {
     fn calibrate_recovers_a_linear_oracle() {
         // Oracle = a known affine map; calibration must reproduce it.
         let truth = strip_model();
-        let m = InfluenceModel::calibrate(4, Watts::new(1.0), |p: &[Watts]| {
-            truth.temperatures(p)
-        })
-        .unwrap();
+        let m = InfluenceModel::calibrate(4, Watts::new(1.0), |p: &[Watts]| truth.temperatures(p))
+            .unwrap();
         for o in 0..2 {
             for t in 0..4 {
                 assert!(
@@ -349,14 +348,10 @@ mod tests {
     fn validation() {
         assert!(InfluenceModel::new(vec![], vec![]).is_err());
         assert!(InfluenceModel::new(vec![Celsius::new(40.0)], vec![vec![]]).is_err());
-        assert!(InfluenceModel::new(
-            vec![Celsius::new(40.0)],
-            vec![vec![1.0], vec![1.0]]
-        )
-        .is_err());
+        assert!(InfluenceModel::new(vec![Celsius::new(40.0)], vec![vec![1.0], vec![1.0]]).is_err());
         assert!(InfluenceModel::new(vec![Celsius::new(40.0)], vec![vec![-1.0]]).is_err());
         let m = strip_model();
         assert!(m.temperatures(&[Watts::new(1.0)]).is_err());
-        assert!(m.temperatures(&vec![Watts::new(-1.0); 4]).is_err());
+        assert!(m.temperatures(&[Watts::new(-1.0); 4]).is_err());
     }
 }

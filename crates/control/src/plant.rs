@@ -132,7 +132,9 @@ impl LumpedPlantBuilder {
     pub fn build(self) -> Result<LumpedPlant, ControlError> {
         let n = self.capacity.len();
         if n == 0 {
-            return Err(ControlError::BadParameter { reason: "plant needs at least one node".into() });
+            return Err(ControlError::BadParameter {
+                reason: "plant needs at least one node".into(),
+            });
         }
         if !self.ambient.is_finite() {
             return Err(ControlError::BadParameter {
@@ -431,11 +433,8 @@ mod tests {
         let plant = two_node();
         let p = [Watts::from_milliwatts(2.0), Watts::from_milliwatts(1.0)];
         let t = plant.steady_state(&p).unwrap();
-        let out: f64 = t
-            .iter()
-            .enumerate()
-            .map(|(i, ti)| plant.g_ambient[i] * (ti.value() - 40.0))
-            .sum();
+        let out: f64 =
+            t.iter().enumerate().map(|(i, ti)| plant.g_ambient[i] * (ti.value() - 40.0)).sum();
         assert!((out - 3e-3).abs() < 1e-9, "out {out}");
     }
 

@@ -141,8 +141,7 @@ impl ThermalPlant for FvmPlant {
             .zip(powers)
             .map(|(node, p)| (node.group.clone(), p.value() / node.reference.value()))
             .collect();
-        let scale_refs: Vec<(&str, f64)> =
-            scales.iter().map(|(g, s)| (g.as_str(), *s)).collect();
+        let scale_refs: Vec<(&str, f64)> = scales.iter().map(|(g, s)| (g.as_str(), *s)).collect();
         self.stepper
             .step(&scale_refs)
             .map_err(|e| ControlError::BadParameter { reason: e.to_string() })?;
@@ -243,9 +242,8 @@ mod tests {
             plant.step(&[Watts::ZERO, Watts::ZERO], 5e-2).unwrap();
         }
         let passive = plant.temperatures();
-        let target = Celsius::new(
-            passive.iter().map(|t| t.value()).fold(f64::NEG_INFINITY, f64::max) + 1.0,
-        );
+        let target =
+            Celsius::new(passive.iter().map(|t| t.value()).fold(f64::NEG_INFINITY, f64::max) + 1.0);
 
         let config = CalibrationConfig {
             kp_w_per_c: 2e-3,

@@ -63,12 +63,7 @@ fn segments(topology: &RingTopology, c: &Communication) -> Vec<usize> {
 
 /// Whether assigning `channel` to communication `idx` keeps the set
 /// feasible (no two same-channel communications share a hop segment).
-fn feasible(
-    topology: &RingTopology,
-    comms: &[Communication],
-    idx: usize,
-    channel: usize,
-) -> bool {
+fn feasible(topology: &RingTopology, comms: &[Communication], idx: usize, channel: usize) -> bool {
     let mine = segments(topology, &comms[idx]);
     for (j, other) in comms.iter().enumerate() {
         if j == idx || other.channel() != channel {
@@ -181,9 +176,7 @@ pub fn remap_channels(
                 let mut cand = current.clone();
                 cand[idx] = with_channel(topology, &current[idx], ch)?;
                 let s = score(&cand)?;
-                if s > best_score + 1e-9
-                    && best_candidate.as_ref().map_or(true, |(_, b)| s > *b)
-                {
+                if s > best_score + 1e-9 && best_candidate.as_ref().is_none_or(|(_, b)| s > *b) {
                     best_candidate = Some((cand, s));
                 }
             }
@@ -203,9 +196,7 @@ pub fn remap_channels(
                     continue;
                 }
                 let s = score(&cand)?;
-                if s > best_score + 1e-9
-                    && best_candidate.as_ref().map_or(true, |(_, b2)| s > *b2)
-                {
+                if s > best_score + 1e-9 && best_candidate.as_ref().is_none_or(|(_, b2)| s > *b2) {
                     best_candidate = Some((cand, s));
                 }
             }
@@ -281,8 +272,7 @@ mod tests {
         let temps = vec![Celsius::new(50.0); 4];
         let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
         let roomy = RemapConfig { channel_budget: 10, max_moves: 100 };
-        let r =
-            remap_channels(&topo, &comms, &temps, &powers, &analyzer, &roomy).unwrap();
+        let r = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &roomy).unwrap();
         assert!(r.gain_db() >= 0.0);
         assert!(r.final_worst_db.is_finite());
     }
@@ -318,7 +308,7 @@ mod tests {
         let r = remap_channels(
             &topo,
             &[],
-            &vec![Celsius::new(50.0); 4],
+            &[Celsius::new(50.0); 4],
             &[],
             &analyzer,
             &RemapConfig::default(),
@@ -338,9 +328,7 @@ mod tests {
         ];
         let temps = vec![Celsius::new(50.0); 4];
         let powers = vec![Watts::from_milliwatts(0.3); 2];
-        assert!(
-            remap_channels(&topo, &bad, &temps, &powers, &analyzer, &RemapConfig::default())
-                .is_err()
-        );
+        assert!(remap_channels(&topo, &bad, &temps, &powers, &analyzer, &RemapConfig::default())
+            .is_err());
     }
 }

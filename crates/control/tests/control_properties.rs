@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use vcsel_control::{
-    allocate_jobs, dvfs_cap, migrate_workload, AllocationPolicy, InfluenceModel, Job,
-    LumpedPlant, MigrationConfig, PiController, ThermalPlant,
+    allocate_jobs, dvfs_cap, migrate_workload, AllocationPolicy, InfluenceModel, Job, LumpedPlant,
+    MigrationConfig, PiController, ThermalPlant,
 };
 use vcsel_units::{Celsius, Meters, Watts};
 

@@ -86,10 +86,7 @@ pub fn heat_calibration_power(
     if ring_temperatures.is_empty() {
         return Err(FlowError::BadConfig { reason: "no rings to calibrate".into() });
     }
-    let hottest = ring_temperatures
-        .iter()
-        .map(|t| t.value())
-        .fold(f64::NEG_INFINITY, f64::max);
+    let hottest = ring_temperatures.iter().map(|t| t.value()).fold(f64::NEG_INFINITY, f64::max);
     let mut total = 0.0;
     let mut worst = 0.0f64;
     for t in ring_temperatures {
@@ -127,8 +124,7 @@ pub fn calibration_share(
             reason: format!("network power must be positive, got {network_power}"),
         });
     }
-    let per_ring =
-        costs.heat_w_per_nm * costs.drift_nm_per_c * mean_misalignment.value().max(0.0);
+    let per_ring = costs.heat_w_per_nm * costs.drift_nm_per_c * mean_misalignment.value().max(0.0);
     let total = per_ring * ring_count as f64;
     Ok(total / (total + network_power.value()))
 }
@@ -148,16 +144,10 @@ mod tests {
     #[test]
     fn cost_scales_with_spread() {
         let costs = TuningCosts::paper();
-        let narrow = heat_calibration_power(
-            &[Celsius::new(50.0), Celsius::new(51.0)],
-            &costs,
-        )
-        .unwrap();
-        let wide = heat_calibration_power(
-            &[Celsius::new(50.0), Celsius::new(55.0)],
-            &costs,
-        )
-        .unwrap();
+        let narrow =
+            heat_calibration_power(&[Celsius::new(50.0), Celsius::new(51.0)], &costs).unwrap();
+        let wide =
+            heat_calibration_power(&[Celsius::new(50.0), Celsius::new(55.0)], &costs).unwrap();
         assert!((wide.total_power_w / narrow.total_power_w - 5.0).abs() < 1e-9);
         assert_eq!(wide.worst_per_ring_w, wide.total_power_w);
     }
@@ -180,20 +170,17 @@ mod tests {
     fn low_gradient_design_pays_little() {
         // The paper's design-time result: keep ONIs within ~1 °C and the
         // residual calibration budget becomes negligible.
-        let share = calibration_share(
-            4_096,
-            Celsius::new(0.3),
-            Watts::new(5.0),
-            &TuningCosts::paper(),
-        )
-        .unwrap();
+        let share =
+            calibration_share(4_096, Celsius::new(0.3), Watts::new(5.0), &TuningCosts::paper())
+                .unwrap();
         assert!(share < 0.01, "share {share}");
     }
 
     #[test]
     fn validation() {
         assert!(heat_calibration_power(&[], &TuningCosts::paper()).is_err());
-        assert!(calibration_share(10, Celsius::new(1.0), Watts::ZERO, &TuningCosts::paper())
-            .is_err());
+        assert!(
+            calibration_share(10, Celsius::new(1.0), Watts::ZERO, &TuningCosts::paper()).is_err()
+        );
     }
 }

@@ -95,20 +95,13 @@ pub fn figure9a(
     for &chip in p_chip_w {
         let mut row = Vec::with_capacity(p_vcsel_mw.len());
         for &pv in p_vcsel_mw {
-            let outcome = study.evaluate(
-                Watts::from_milliwatts(pv),
-                Watts::ZERO,
-                Watts::new(chip),
-            )?;
+            let outcome =
+                study.evaluate(Watts::from_milliwatts(pv), Watts::ZERO, Watts::new(chip))?;
             row.push(outcome.mean_average().value());
         }
         average_c.push(row);
     }
-    Ok(Figure9a {
-        p_vcsel_mw: p_vcsel_mw.to_vec(),
-        p_chip_w: p_chip_w.to_vec(),
-        average_c,
-    })
+    Ok(Figure9a { p_vcsel_mw: p_vcsel_mw.to_vec(), p_chip_w: p_chip_w.to_vec(), average_c })
 }
 
 /// Figure 9-b: intra-ONI gradient vs P_heater for several P_VCSEL.
@@ -310,9 +303,7 @@ mod tests {
 
     fn tiny_study() -> &'static ThermalStudy {
         static STUDY: std::sync::OnceLock<ThermalStudy> = std::sync::OnceLock::new();
-        STUDY.get_or_init(|| {
-            ThermalStudy::new(SccConfig::tiny_test(), &Simulator::new()).unwrap()
-        })
+        STUDY.get_or_init(|| ThermalStudy::new(SccConfig::tiny_test(), &Simulator::new()).unwrap())
     }
 
     #[test]
@@ -320,11 +311,8 @@ mod tests {
         let f = figure8(&Vcsel::paper_default()).unwrap();
         assert_eq!(f.efficiency.len(), 7);
         // Peak efficiency falls monotonically with temperature.
-        let peaks: Vec<f64> = f
-            .efficiency
-            .iter()
-            .map(|row| row.iter().cloned().fold(0.0, f64::max))
-            .collect();
+        let peaks: Vec<f64> =
+            f.efficiency.iter().map(|row| row.iter().cloned().fold(0.0, f64::max)).collect();
         for w in peaks.windows(2) {
             assert!(w[1] < w[0] + 1e-12, "peaks must fall with temperature: {peaks:?}");
         }
@@ -344,13 +332,8 @@ mod tests {
     #[test]
     fn figure9b_has_interior_minimum() {
         let study = tiny_study();
-        let f = figure9b(
-            study,
-            &[4.0],
-            &[0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0],
-            Watts::new(2.0),
-        )
-        .unwrap();
+        let f =
+            figure9b(study, &[4.0], &[0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0], Watts::new(2.0)).unwrap();
         let row = &f.gradient_c[0];
         let min = row.iter().cloned().fold(f64::INFINITY, f64::min);
         // The best sampled gradient beats the no-heater end point.

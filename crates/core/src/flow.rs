@@ -177,9 +177,7 @@ impl ThermalOutcome {
     /// The largest intra-ONI gradient — the quantity the paper constrains
     /// below 1 °C.
     pub fn worst_gradient(&self) -> TemperatureDelta {
-        TemperatureDelta::new(
-            self.oni.iter().map(|o| o.gradient.value()).fold(0.0, f64::max),
-        )
+        TemperatureDelta::new(self.oni.iter().map(|o| o.gradient.value()).fold(0.0, f64::max))
     }
 
     /// Mean of the ONI average temperatures.
@@ -215,9 +213,7 @@ mod tests {
 
     fn tiny_study() -> &'static ThermalStudy {
         static STUDY: std::sync::OnceLock<ThermalStudy> = std::sync::OnceLock::new();
-        STUDY.get_or_init(|| {
-            ThermalStudy::new(SccConfig::tiny_test(), &Simulator::new()).unwrap()
-        })
+        STUDY.get_or_init(|| ThermalStudy::new(SccConfig::tiny_test(), &Simulator::new()).unwrap())
     }
 
     #[test]

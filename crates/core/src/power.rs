@@ -103,8 +103,8 @@ pub fn explore_vcsel_power(
         let outcome = study.evaluate(p_vcsel, p_heater, p_chip)?;
         let snr = flow.evaluate_snr(system, &outcome, p_vcsel)?;
         // Lasers dissipate P_VCSEL and their drivers the same (worst case).
-        let interconnect_power = oni_count
-            * (tx_per_oni * 2.0 * p_vcsel.value() + rx_per_oni * p_heater.value());
+        let interconnect_power =
+            oni_count * (tx_per_oni * 2.0 * p_vcsel.value() + rx_per_oni * p_heater.value());
         let point = PowerPoint {
             p_vcsel_mw: pv_mw,
             p_heater_mw: p_heater.as_milliwatts(),
@@ -114,8 +114,9 @@ pub fn explore_vcsel_power(
             mean_injected_mw: snr.mean_injected.as_milliwatts(),
             all_detected: snr.all_detected,
         };
-        let qualifies =
-            point.worst_snr_db >= snr_target_db && point.all_detected && point.worst_gradient_c < 1.0;
+        let qualifies = point.worst_snr_db >= snr_target_db
+            && point.all_detected
+            && point.worst_gradient_c < 1.0;
         if best.is_none() && qualifies {
             best = Some(i);
         }
@@ -130,8 +131,7 @@ mod tests {
     use vcsel_arch::SccConfig;
 
     fn setup() -> &'static (DesignFlow, ThermalStudy) {
-        static STUDY: std::sync::OnceLock<(DesignFlow, ThermalStudy)> =
-            std::sync::OnceLock::new();
+        static STUDY: std::sync::OnceLock<(DesignFlow, ThermalStudy)> = std::sync::OnceLock::new();
         STUDY.get_or_init(|| {
             let flow = DesignFlow::paper();
             let study = ThermalStudy::new(
@@ -176,15 +176,8 @@ mod tests {
     #[test]
     fn modest_target_picks_cheapest_qualifying_point() {
         let (flow, study) = setup();
-        let e = explore_vcsel_power(
-            flow,
-            study,
-            Watts::new(2.0),
-            &[0.25, 0.5, 1.0, 2.0],
-            0.3,
-            5.0,
-        )
-        .unwrap();
+        let e = explore_vcsel_power(flow, study, Watts::new(2.0), &[0.25, 0.5, 1.0, 2.0], 0.3, 5.0)
+            .unwrap();
         if let Some(best) = e.best_point() {
             assert!(best.worst_snr_db >= 5.0);
             assert!(best.all_detected);
@@ -192,9 +185,7 @@ mod tests {
             // No cheaper point qualifies.
             for p in &e.points {
                 if p.p_vcsel_mw < best.p_vcsel_mw {
-                    assert!(
-                        p.worst_snr_db < 5.0 || !p.all_detected || p.worst_gradient_c >= 1.0
-                    );
+                    assert!(p.worst_snr_db < 5.0 || !p.all_detected || p.worst_gradient_c >= 1.0);
                 }
             }
         }
@@ -204,11 +195,7 @@ mod tests {
     fn validation() {
         let (flow, study) = setup();
         assert!(explore_vcsel_power(flow, study, Watts::new(2.0), &[], 0.3, 0.0).is_err());
-        assert!(
-            explore_vcsel_power(flow, study, Watts::new(2.0), &[2.0, 1.0], 0.3, 0.0).is_err()
-        );
-        assert!(
-            explore_vcsel_power(flow, study, Watts::new(2.0), &[1.0, 2.0], 5.0, 0.0).is_err()
-        );
+        assert!(explore_vcsel_power(flow, study, Watts::new(2.0), &[2.0, 1.0], 0.3, 0.0).is_err());
+        assert!(explore_vcsel_power(flow, study, Watts::new(2.0), &[1.0, 2.0], 5.0, 0.0).is_err());
     }
 }

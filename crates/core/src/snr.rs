@@ -168,8 +168,7 @@ impl DesignFlow {
                 continue;
             }
             let comms = assign_channels(topology, &pairs)?;
-            let powers: Vec<Watts> =
-                comms.iter().map(|c| op_net[c.source().index()]).collect();
+            let powers: Vec<Watts> = comms.iter().map(|c| op_net[c.source().index()]).collect();
             injected_sum += powers.iter().map(|p| p.value()).sum::<f64>();
             injected_count += powers.len();
             let report = analyzer.analyze(topology, &comms, &temps, &powers)?;
@@ -210,8 +209,7 @@ mod tests {
     use vcsel_arch::SccConfig;
 
     fn study() -> &'static (DesignFlow, ThermalStudy) {
-        static STUDY: std::sync::OnceLock<(DesignFlow, ThermalStudy)> =
-            std::sync::OnceLock::new();
+        static STUDY: std::sync::OnceLock<(DesignFlow, ThermalStudy)> = std::sync::OnceLock::new();
         STUDY.get_or_init(|| {
             let flow = DesignFlow::paper();
             let study = ThermalStudy::new(SccConfig::tiny_test(), flow.simulator()).unwrap();
@@ -223,9 +221,8 @@ mod tests {
     fn end_to_end_snr() {
         let (flow, study) = study();
         let p_vcsel = Watts::from_milliwatts(3.6);
-        let outcome = study
-            .evaluate(p_vcsel, Watts::from_milliwatts(1.08), Watts::new(2.0))
-            .unwrap();
+        let outcome =
+            study.evaluate(p_vcsel, Watts::from_milliwatts(1.08), Watts::new(2.0)).unwrap();
         let snr = flow.evaluate_snr(study.system(), &outcome, p_vcsel).unwrap();
         assert!(snr.worst_snr_db.is_finite() || snr.worst_snr_db == f64::INFINITY);
         assert!(snr.mean_injected.value() > 0.0);

@@ -179,12 +179,10 @@ impl SystemSpec {
                     reason: format!("heater ratio {ratio} outside [0, 10]"),
                 });
             }
-            HeaterSpec::Explore { max_ratio, samples } => {
-                if !(max_ratio > 0.0) || samples < 3 {
-                    return Err(FlowError::BadConfig {
-                        reason: "heater exploration needs max_ratio > 0 and >= 3 samples".into(),
-                    });
-                }
+            HeaterSpec::Explore { max_ratio, samples } if !(max_ratio > 0.0) || samples < 3 => {
+                return Err(FlowError::BadConfig {
+                    reason: "heater exploration needs max_ratio > 0 and >= 3 samples".into(),
+                });
             }
             _ => {}
         }
@@ -282,17 +280,12 @@ impl DseReport {
             let _ = writeln!(s, "| SNR target | {} |", if pass { "PASS" } else { "FAIL" });
         }
         let _ = writeln!(s, "| Worst-link BER (OOK) | {:.2e} |", self.worst_ber);
-        let _ = writeln!(
-            s,
-            "| Effective bandwidth | {:.3} Gb/s |",
-            self.effective_bandwidth_gbps
-        );
+        let _ = writeln!(s, "| Effective bandwidth | {:.3} Gb/s |", self.effective_bandwidth_gbps);
         let _ = writeln!(s, "\n## Per-ONI thermal state\n");
         let _ = writeln!(s, "| ONI | average (°C) | gradient (°C) |");
         let _ = writeln!(s, "|---|---|---|");
         for row in &self.onis {
-            let _ =
-                writeln!(s, "| {} | {:.2} | {:.3} |", row.oni, row.average_c, row.gradient_c);
+            let _ = writeln!(s, "| {} | {:.2} | {:.3} |", row.oni, row.average_c, row.gradient_c);
         }
         s
     }

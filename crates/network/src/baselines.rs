@@ -193,15 +193,9 @@ impl CrossbarTopology {
 /// assert!((avg - 0.38).abs() < 0.08, "average reduction {avg}");
 /// # Ok::<(), vcsel_network::NetworkError>(())
 /// ```
-pub fn ornoc_loss_reduction(
-    n: usize,
-    k: &LossCoefficients,
-) -> Result<(f64, f64), NetworkError> {
-    let baselines = [
-        CrossbarTopology::Matrix,
-        CrossbarTopology::LambdaRouter,
-        CrossbarTopology::Snake,
-    ];
+pub fn ornoc_loss_reduction(n: usize, k: &LossCoefficients) -> Result<(f64, f64), NetworkError> {
+    let baselines =
+        [CrossbarTopology::Matrix, CrossbarTopology::LambdaRouter, CrossbarTopology::Snake];
     let mean = |f: &dyn Fn(&CrossbarTopology) -> Result<Decibels, NetworkError>| {
         let mut sum = 0.0;
         for b in &baselines {
@@ -224,11 +218,8 @@ mod tests {
     fn ornoc_beats_all_baselines_at_4x4() {
         let k = LossCoefficients::standard();
         let ornoc = CrossbarTopology::Ornoc.worst_case_loss(16, &k).unwrap();
-        for b in [
-            CrossbarTopology::Matrix,
-            CrossbarTopology::LambdaRouter,
-            CrossbarTopology::Snake,
-        ] {
+        for b in [CrossbarTopology::Matrix, CrossbarTopology::LambdaRouter, CrossbarTopology::Snake]
+        {
             let loss = b.worst_case_loss(16, &k).unwrap();
             assert!(ornoc < loss, "ORNoC {ornoc} should beat {} {loss}", b.name());
         }

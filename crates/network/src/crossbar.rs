@@ -227,7 +227,8 @@ impl CrossbarInstance {
                 } else {
                     s.abs_diff(d)
                 };
-                let dir: isize = if self.topology == CrossbarTopology::Ornoc || s < d { 1 } else { -1 };
+                let dir: isize =
+                    if self.topology == CrossbarTopology::Ornoc || s < d { 1 } else { -1 };
                 (1..hops)
                     .map(|k| {
                         let m = (s as isize + dir * k as isize).rem_euclid(n as isize) as usize;
@@ -288,8 +289,7 @@ impl CrossbarInstance {
     fn signal_wavelength(&self, channel: usize, t_src: Celsius) -> Nanometers {
         Nanometers::new(
             self.grid.wavelength(channel).value()
-                + self.drift_nm_per_c
-                    * (t_src.value() - self.grid.reference_temperature().value()),
+                + self.drift_nm_per_c * (t_src.value() - self.grid.reference_temperature().value()),
         )
     }
 
@@ -346,8 +346,8 @@ impl CrossbarInstance {
             // Static structural losses, spread evenly across the walk.
             let crossings = self.crossings(s, d) as f64;
             let length_cm = self.path_length(s, d).as_centimeters();
-            let static_db = crossings * self.k.crossing_db
-                + length_cm * self.k.propagation_db_per_cm;
+            let static_db =
+                crossings * self.k.crossing_db + length_cm * self.k.propagation_db_per_cm;
 
             let encounters = self.encounters(s, d)?;
             let steps = (encounters.len() + 1) as f64;
@@ -458,7 +458,7 @@ mod tests {
         let x = instance(CrossbarTopology::Matrix, 8);
         // Each source sees every channel at most once, likewise each dest.
         for s in 0..8 {
-            let mut seen = vec![false; 8];
+            let mut seen = [false; 8];
             for d in 0..8 {
                 if d == s {
                     continue;
@@ -564,8 +564,6 @@ mod tests {
         let pairs = vec![(0usize, 1usize)];
         assert!(x.analyze(&pairs, &uniform(3, 50.0), &[Watts::ZERO]).is_err());
         assert!(x.analyze(&pairs, &uniform(4, 50.0), &[]).is_err());
-        assert!(x
-            .analyze(&[(0, 4)], &uniform(4, 50.0), &[Watts::ZERO])
-            .is_err());
+        assert!(x.analyze(&[(0, 4)], &uniform(4, 50.0), &[Watts::ZERO]).is_err());
     }
 }

@@ -60,9 +60,7 @@ pub mod traffic;
 mod wavelength;
 
 pub use comm::Communication;
-pub use crossbar::{
-    all_pairs, CrossbarCommResult, CrossbarInstance, CrossbarPath, CrossbarReport,
-};
+pub use crossbar::{all_pairs, CrossbarCommResult, CrossbarInstance, CrossbarPath, CrossbarReport};
 pub use error::NetworkError;
 pub use snr::{CommResult, SnrAnalyzer, SnrReport};
 pub use topology::{OniId, RingTopology};

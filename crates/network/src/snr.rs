@@ -163,8 +163,7 @@ impl SnrAnalyzer {
         let t_src = temps[comm.source().index()];
         Nanometers::new(
             self.grid.wavelength(comm.channel()).value()
-                + self.drift_nm_per_c
-                    * (t_src.value() - self.grid.reference_temperature().value()),
+                + self.drift_nm_per_c * (t_src.value() - self.grid.reference_temperature().value()),
         )
     }
 
@@ -287,12 +286,8 @@ mod tests {
     use crate::{assign_channels, traffic};
     use vcsel_units::Meters;
 
-    fn setup(
-        n: usize,
-        length_mm: f64,
-    ) -> (RingTopology, Vec<Communication>, SnrAnalyzer) {
-        let topo =
-            RingTopology::evenly_spaced(n, Meters::from_millimeters(length_mm)).unwrap();
+    fn setup(n: usize, length_mm: f64) -> (RingTopology, Vec<Communication>, SnrAnalyzer) {
+        let topo = RingTopology::evenly_spaced(n, Meters::from_millimeters(length_mm)).unwrap();
         let comms = assign_channels(&topo, &traffic::all_to_all(n)).unwrap();
         let analyzer = SnrAnalyzer::paper_default(WavelengthGrid::paper_default());
         (topo, comms, analyzer)
@@ -322,11 +317,8 @@ mod tests {
         let aligned = analyzer
             .analyze(&topo, &comms, &uniform_temps(4, 45.0), &powers(comms.len(), 0.3))
             .unwrap();
-        let temps: Vec<Celsius> =
-            (0..4).map(|i| Celsius::new(45.0 + 2.0 * i as f64)).collect();
-        let skewed = analyzer
-            .analyze(&topo, &comms, &temps, &powers(comms.len(), 0.3))
-            .unwrap();
+        let temps: Vec<Celsius> = (0..4).map(|i| Celsius::new(45.0 + 2.0 * i as f64)).collect();
+        let skewed = analyzer.analyze(&topo, &comms, &temps, &powers(comms.len(), 0.3)).unwrap();
         assert!(
             skewed.worst_snr_db() < aligned.worst_snr_db(),
             "gradient must reduce SNR: {} vs {}",
@@ -353,12 +345,10 @@ mod tests {
     fn longer_ring_lower_signal() {
         let (t1, c1, analyzer) = setup(4, 18.0);
         let (t3, c3, _) = setup(4, 46.8);
-        let r1 = analyzer
-            .analyze(&t1, &c1, &uniform_temps(4, 45.0), &powers(c1.len(), 0.3))
-            .unwrap();
-        let r3 = analyzer
-            .analyze(&t3, &c3, &uniform_temps(4, 45.0), &powers(c3.len(), 0.3))
-            .unwrap();
+        let r1 =
+            analyzer.analyze(&t1, &c1, &uniform_temps(4, 45.0), &powers(c1.len(), 0.3)).unwrap();
+        let r3 =
+            analyzer.analyze(&t3, &c3, &uniform_temps(4, 45.0), &powers(c3.len(), 0.3)).unwrap();
         let s1 = r1.worst().unwrap().signal;
         let s3 = r3.worst().unwrap().signal;
         assert!(s3 < s1, "longer ring must deliver less signal: {s3} vs {s1}");
@@ -369,12 +359,9 @@ mod tests {
         // Doubling every injected power doubles both signal and crosstalk:
         // SNR is invariant, received power is not.
         let (topo, comms, analyzer) = setup(4, 18.0);
-        let temps: Vec<Celsius> =
-            (0..4).map(|i| Celsius::new(45.0 + 1.5 * i as f64)).collect();
-        let a =
-            analyzer.analyze(&topo, &comms, &temps, &powers(comms.len(), 0.2)).unwrap();
-        let b =
-            analyzer.analyze(&topo, &comms, &temps, &powers(comms.len(), 0.4)).unwrap();
+        let temps: Vec<Celsius> = (0..4).map(|i| Celsius::new(45.0 + 1.5 * i as f64)).collect();
+        let a = analyzer.analyze(&topo, &comms, &temps, &powers(comms.len(), 0.2)).unwrap();
+        let b = analyzer.analyze(&topo, &comms, &temps, &powers(comms.len(), 0.4)).unwrap();
         for (ra, rb) in a.results().iter().zip(b.results()) {
             assert!((ra.snr_db - rb.snr_db).abs() < 1e-9);
             assert!((rb.signal.value() - 2.0 * ra.signal.value()).abs() < 1e-15);
@@ -388,11 +375,8 @@ mod tests {
         let report = analyzer
             .analyze(&topo, &comms, &uniform_temps(3, 45.0), &powers(comms.len(), 0.3))
             .unwrap();
-        let total_received: f64 = report
-            .results()
-            .iter()
-            .map(|r| r.signal.value() + r.crosstalk.value())
-            .sum();
+        let total_received: f64 =
+            report.results().iter().map(|r| r.signal.value() + r.crosstalk.value()).sum();
         let total_injected = 0.3e-3 * comms.len() as f64;
         assert!(
             total_received <= total_injected * (1.0 + 1e-9),
@@ -432,8 +416,7 @@ mod tests {
         let (topo, comms, analyzer) = setup(4, 32.4);
         let temps: Vec<Celsius> =
             (0..4).map(|i| Celsius::new(44.0 + 3.0 * (i % 2) as f64)).collect();
-        let report =
-            analyzer.analyze(&topo, &comms, &temps, &powers(comms.len(), 0.3)).unwrap();
+        let report = analyzer.analyze(&topo, &comms, &temps, &powers(comms.len(), 0.3)).unwrap();
         let min = report.results().iter().map(|r| r.snr_db).fold(f64::INFINITY, f64::min);
         assert_eq!(report.worst_snr_db(), min);
         assert_eq!(report.worst().unwrap().snr_db, min);

@@ -118,8 +118,7 @@ impl RingTopology {
                 reason: format!("need at least 2 ONIs, got {n}"),
             });
         }
-        let positions =
-            (0..n).map(|i| Meters::new(length.value() * i as f64 / n as f64)).collect();
+        let positions = (0..n).map(|i| Meters::new(length.value() * i as f64 / n as f64)).collect();
         Self::new(length, positions)
     }
 
@@ -228,13 +227,8 @@ mod tests {
 
     #[test]
     fn segment_lengths_sum_to_circumference() {
-        let t = RingTopology::new(
-            mm(20.0),
-            vec![mm(0.0), mm(3.0), mm(9.5), mm(14.0)],
-        )
-        .unwrap();
-        let total: f64 =
-            (0..4).map(|i| t.segment_length(OniId::new(i)).as_millimeters()).sum();
+        let t = RingTopology::new(mm(20.0), vec![mm(0.0), mm(3.0), mm(9.5), mm(14.0)]).unwrap();
+        let total: f64 = (0..4).map(|i| t.segment_length(OniId::new(i)).as_millimeters()).sum();
         assert!((total - 20.0).abs() < 1e-9);
     }
 

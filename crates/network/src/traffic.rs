@@ -36,19 +36,13 @@ pub fn all_to_all(n: usize) -> Vec<(OniId, OniId)> {
 /// `k = 1` reduces to [`ring_neighbors`]; `k = n/2` is the "diameter"
 /// pattern with the longest arcs.
 pub fn shift(n: usize, k: usize) -> Vec<(OniId, OniId)> {
-    (0..n)
-        .filter(|&i| (i + k) % n != i)
-        .map(|i| (OniId::new(i), OniId::new((i + k) % n)))
-        .collect()
+    (0..n).filter(|&i| (i + k) % n != i).map(|i| (OniId::new(i), OniId::new((i + k) % n))).collect()
 }
 
 /// Hotspot traffic: every other ONI sends to `hot` (memory-controller-style
 /// convergecast).
 pub fn hotspot(n: usize, hot: OniId) -> Vec<(OniId, OniId)> {
-    (0..n)
-        .filter(|&i| i != hot.index())
-        .map(|i| (OniId::new(i), hot))
-        .collect()
+    (0..n).filter(|&i| i != hot.index()).map(|i| (OniId::new(i), hot)).collect()
 }
 
 #[cfg(test)]

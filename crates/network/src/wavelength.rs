@@ -240,18 +240,10 @@ mod tests {
 
     #[test]
     fn grid_validation() {
-        assert!(WavelengthGrid::new(
-            Nanometers::ZERO,
-            Nanometers::new(1.0),
-            Celsius::new(45.0)
-        )
-        .is_err());
-        assert!(WavelengthGrid::new(
-            Nanometers::new(1530.0),
-            Nanometers::ZERO,
-            Celsius::new(45.0)
-        )
-        .is_err());
+        assert!(WavelengthGrid::new(Nanometers::ZERO, Nanometers::new(1.0), Celsius::new(45.0))
+            .is_err());
+        assert!(WavelengthGrid::new(Nanometers::new(1530.0), Nanometers::ZERO, Celsius::new(45.0))
+            .is_err());
     }
 
     #[test]

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use vcsel_network::baselines::{CrossbarTopology, LossCoefficients};
-use vcsel_network::{
-    assign_channels, traffic, OniId, RingTopology, SnrAnalyzer, WavelengthGrid,
-};
+use vcsel_network::{assign_channels, traffic, OniId, RingTopology, SnrAnalyzer, WavelengthGrid};
 use vcsel_units::{Celsius, Meters, Watts};
 
 proptest! {

@@ -154,20 +154,10 @@ impl Interp2d {
         }
         if zs.len() != xs.len() || zs.iter().any(|row| row.len() != ys.len()) {
             return Err(NumericsError::BadInput {
-                reason: format!(
-                    "z grid must be {}x{}, got {} rows",
-                    xs.len(),
-                    ys.len(),
-                    zs.len()
-                ),
+                reason: format!("z grid must be {}x{}, got {} rows", xs.len(), ys.len(), zs.len()),
             });
         }
-        if xs
-            .iter()
-            .chain(ys.iter())
-            .chain(zs.iter().flatten())
-            .any(|v| !v.is_finite())
-        {
+        if xs.iter().chain(ys.iter()).chain(zs.iter().flatten()).any(|v| !v.is_finite()) {
             return Err(NumericsError::BadInput { reason: "non-finite table value".into() });
         }
         Ok(Self { xs, ys, zs })
@@ -244,10 +234,7 @@ mod tests {
         let f = |x: f64, y: f64| 1.0 + 2.0 * x + 3.0 * y + x * y;
         let xs = vec![0.0, 2.0];
         let ys = vec![0.0, 4.0];
-        let zs = vec![
-            vec![f(0.0, 0.0), f(0.0, 4.0)],
-            vec![f(2.0, 0.0), f(2.0, 4.0)],
-        ];
+        let zs = vec![vec![f(0.0, 0.0), f(0.0, 4.0)], vec![f(2.0, 0.0), f(2.0, 4.0)]];
         let t = Interp2d::new(xs, ys, zs).unwrap();
         for &(x, y) in &[(0.5, 1.0), (1.0, 2.0), (1.7, 3.3)] {
             assert!((t.eval(x, y) - f(x, y)).abs() < 1e-12);
@@ -256,12 +243,8 @@ mod tests {
 
     #[test]
     fn interp2d_clamps_corners() {
-        let t = Interp2d::new(
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
-        )
-        .unwrap();
+        let t = Interp2d::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![vec![1.0, 2.0], vec![3.0, 4.0]])
+            .unwrap();
         assert_eq!(t.eval(-5.0, -5.0), 1.0);
         assert_eq!(t.eval(5.0, 5.0), 4.0);
     }
@@ -270,9 +253,11 @@ mod tests {
     fn interp2d_validates_shape() {
         assert!(Interp2d::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![vec![1.0, 2.0]]).is_err());
         assert!(Interp2d::new(vec![0.0], vec![0.0, 1.0], vec![vec![1.0, 2.0]]).is_err());
-        assert!(
-            Interp2d::new(vec![1.0, 0.0], vec![0.0, 1.0], vec![vec![1.0, 2.0], vec![3.0, 4.0]])
-                .is_err()
-        );
+        assert!(Interp2d::new(
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]]
+        )
+        .is_err());
     }
 }

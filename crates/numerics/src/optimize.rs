@@ -42,9 +42,7 @@ pub fn golden_section_min(
     mut f: impl FnMut(f64) -> f64,
 ) -> Result<Minimum, NumericsError> {
     if !(a < b) || !a.is_finite() || !b.is_finite() {
-        return Err(NumericsError::BadInput {
-            reason: format!("invalid interval [{a}, {b}]"),
-        });
+        return Err(NumericsError::BadInput { reason: format!("invalid interval [{a}, {b}]") });
     }
     if !(tol > 0.0) {
         return Err(NumericsError::BadInput {
@@ -61,7 +59,9 @@ pub fn golden_section_min(
     let mut f2 = f(x2);
     let mut evals = 2;
     if !f1.is_finite() || !f2.is_finite() {
-        return Err(NumericsError::BadInput { reason: "objective returned non-finite value".into() });
+        return Err(NumericsError::BadInput {
+            reason: "objective returned non-finite value".into(),
+        });
     }
 
     while hi - lo > tol {
@@ -111,7 +111,9 @@ pub fn grid_argmin(
     mut f: impl FnMut(f64) -> f64,
 ) -> Result<Minimum, NumericsError> {
     if n < 2 {
-        return Err(NumericsError::BadInput { reason: format!("need at least 2 samples, got {n}") });
+        return Err(NumericsError::BadInput {
+            reason: format!("need at least 2 samples, got {n}"),
+        });
     }
     if !(a <= b) || !a.is_finite() || !b.is_finite() {
         return Err(NumericsError::BadInput { reason: format!("invalid interval [{a}, {b}]") });

@@ -72,7 +72,9 @@ fn validate_system(a: &CsrMatrix, b: &[f64]) -> Result<(), NumericsError> {
         });
     }
     if b.iter().any(|v| !v.is_finite()) {
-        return Err(NumericsError::BadInput { reason: "right-hand side contains non-finite values".into() });
+        return Err(NumericsError::BadInput {
+            reason: "right-hand side contains non-finite values".into(),
+        });
     }
     Ok(())
 }

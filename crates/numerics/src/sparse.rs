@@ -164,10 +164,7 @@ impl CsrMatrix {
     /// Iterates over the stored `(col, value)` pairs of one row.
     pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
-        self.col_idx[lo..hi]
-            .iter()
-            .zip(&self.values[lo..hi])
-            .map(|(&c, &v)| (c as usize, v))
+        self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&c, &v)| (c as usize, v))
     }
 
     /// Dense main diagonal.

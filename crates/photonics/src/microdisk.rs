@@ -323,10 +323,7 @@ mod tests {
         let t = Celsius::new(40.0);
         let p_disk = Laser::optical_power(&d, i, t);
         let p_vcsel = Laser::optical_power(&v, i, t);
-        assert!(
-            p_vcsel.value() > 8.0 * p_disk.value(),
-            "vcsel {p_vcsel} vs disk {p_disk}"
-        );
+        assert!(p_vcsel.value() > 8.0 * p_disk.value(), "vcsel {p_vcsel} vs disk {p_disk}");
     }
 
     #[test]
@@ -350,8 +347,8 @@ mod tests {
     fn operating_point_balances_energy() {
         let d = disk();
         let op = d.operating_point(Amperes::from_milliamperes(4.0), Celsius::new(30.0)).unwrap();
-        let balance = op.electrical_power.value() - op.optical_power.value()
-            - op.dissipated_power.value();
+        let balance =
+            op.electrical_power.value() - op.optical_power.value() - op.dissipated_power.value();
         assert!(balance.abs() < 1e-15);
         assert!(op.efficiency > 0.0 && op.efficiency < 0.05, "disks are inefficient");
     }

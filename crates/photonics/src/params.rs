@@ -71,11 +71,7 @@ impl core::fmt::Display for TechnologyParams {
         writeln!(f, "BW3-dB                  : {}", self.mr_bandwidth_3db)?;
         writeln!(f, "Photodetector sensitivity: {}", self.photodetector_sensitivity)?;
         writeln!(f, "Thermal sensitivity     : {} nm/°C", self.thermal_sensitivity_nm_per_c)?;
-        writeln!(
-            f,
-            "Lpropagation            : {} dB/cm",
-            self.propagation_loss.as_db_per_cm()
-        )?;
+        writeln!(f, "Lpropagation            : {} dB/cm", self.propagation_loss.as_db_per_cm())?;
         writeln!(f, "Taper coupling          : {} %", self.taper_coupling * 100.0)?;
         write!(f, "VCSEL linewidth (3 dB)  : {}", self.vcsel_linewidth_3db)
     }

@@ -315,9 +315,8 @@ impl Vcsel {
         (0..n)
             .map(|k| {
                 let i = self.max_current * k as f64 / (n - 1) as f64;
-                let op = self
-                    .operating_point(Amperes::new(i), t)
-                    .expect("currents within rated range");
+                let op =
+                    self.operating_point(Amperes::new(i), t).expect("currents within rated range");
                 (op.dissipated_power, op.optical_power)
             })
             .collect()
@@ -406,9 +405,7 @@ mod tests {
         let v = Vcsel::paper_default();
         let t = Celsius::new(55.0);
         // The paper's case-study dissipation: 3.6 mW.
-        let op = v
-            .operating_point_for_dissipated(Watts::from_milliwatts(3.6), t)
-            .unwrap();
+        let op = v.operating_point_for_dissipated(Watts::from_milliwatts(3.6), t).unwrap();
         assert!((op.dissipated_power.as_milliwatts() - 3.6).abs() < 1e-6);
         // Re-evaluating at the found current reproduces the point.
         let op2 = v.operating_point(op.current, t).unwrap();
@@ -418,9 +415,8 @@ mod tests {
     #[test]
     fn dissipated_inversion_rejects_unreachable() {
         let v = Vcsel::paper_default();
-        let err = v
-            .operating_point_for_dissipated(Watts::new(10.0), Celsius::new(40.0))
-            .unwrap_err();
+        let err =
+            v.operating_point_for_dissipated(Watts::new(10.0), Celsius::new(40.0)).unwrap_err();
         assert!(matches!(err, PhotonicsError::NoOperatingPoint { .. }));
     }
 

@@ -73,7 +73,7 @@ proptest! {
         let ber = 10f64.powf(-ber_exp);
         let link = LinkReliability::new(12e9, bits).unwrap();
         let eff = link.effective_bandwidth_hz(ber);
-        prop_assert!(eff >= 0.0 && eff <= 12e9);
+        prop_assert!((0.0..=12e9).contains(&eff));
         let n = link.expected_emissions(ber);
         prop_assert!(n >= 1.0);
         prop_assert!((n * link.bandwidth_efficiency(ber) - 1.0).abs() < 1e-9);

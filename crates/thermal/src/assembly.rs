@@ -108,13 +108,8 @@ pub(crate) fn assemble(design: &Design, mesh: &Mesh) -> Result<Discretization, T
         for jy in 0..ny {
             for ix in 0..nx {
                 let idx = mesh.index(ix, jy, kz);
-                let widths =
-                    [mesh.x().width(ix), mesh.y().width(jy), mesh.z().width(kz)];
-                let faces = [
-                    widths[1] * widths[2],
-                    widths[0] * widths[2],
-                    widths[0] * widths[1],
-                ];
+                let widths = [mesh.x().width(ix), mesh.y().width(jy), mesh.z().width(kz)];
+                let faces = [widths[1] * widths[2], widths[0] * widths[2], widths[0] * widths[1]];
 
                 // Interior couplings: only the +axis neighbor per axis so
                 // each face is assembled exactly once (symmetrically).
@@ -177,7 +172,11 @@ pub(crate) fn assemble(design: &Design, mesh: &Mesh) -> Result<Discretization, T
                     };
                     builder.add(idx, idx, g);
                     rhs[idx] += g * t_ref;
-                    boundary_faces.push(BoundaryFace { cell: idx, conductance: g, reference: t_ref });
+                    boundary_faces.push(BoundaryFace {
+                        cell: idx,
+                        conductance: g,
+                        reference: t_ref,
+                    });
                 }
             }
         }
@@ -186,13 +185,7 @@ pub(crate) fn assemble(design: &Design, mesh: &Mesh) -> Result<Discretization, T
     Ok(Discretization { matrix: builder.build(), rhs, cell_power: q, boundary_faces })
 }
 
-fn mesh_index_checked(
-    mesh: &Mesh,
-    i: usize,
-    j: usize,
-    k: usize,
-    _axis: usize,
-) -> Option<usize> {
+fn mesh_index_checked(mesh: &Mesh, i: usize, j: usize, k: usize, _axis: usize) -> Option<usize> {
     let (nx, ny, nz) = mesh.shape();
     if i < nx && j < ny && k < nz {
         Some(mesh.index(i, j, k))
@@ -235,8 +228,8 @@ mod tests {
     #[test]
     fn matrix_is_symmetric_and_dominant() {
         let mut d = cooled_slab();
-        let src = BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(2.0), mm(2.0), mm(0.2)])
-            .unwrap();
+        let src =
+            BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(2.0), mm(2.0), mm(0.2)]).unwrap();
         d.add_block(Block::heat_source("s", src, Material::COPPER, Watts::new(1.0)));
         let mesh = Mesh::build(&d, &MeshSpec::uniform(mm(0.5))).unwrap();
         let disc = assemble(&d, &mesh).unwrap();
@@ -247,11 +240,8 @@ mod tests {
     #[test]
     fn power_is_conserved_in_painting() {
         let mut d = cooled_slab();
-        let src = BoxRegion::new(
-            [mm(0.3), mm(0.3), Meters::ZERO],
-            [mm(3.7), mm(2.9), mm(0.35)],
-        )
-        .unwrap();
+        let src =
+            BoxRegion::new([mm(0.3), mm(0.3), Meters::ZERO], [mm(3.7), mm(2.9), mm(0.35)]).unwrap();
         d.add_block(Block::heat_source("s", src, Material::COPPER, Watts::new(2.5)));
         let mesh = Mesh::build(&d, &MeshSpec::uniform(mm(0.4))).unwrap();
         let q = paint_power(&d, &mesh).unwrap();

@@ -7,9 +7,7 @@
 //! engineer runs first, and our tests use it to cross-validate the FVM
 //! solver in the 1-D limit.
 
-use vcsel_units::{
-    Celsius, KelvinPerWatt, Meters, SquareMeters, Watts, WattsPerSquareMeterKelvin,
-};
+use vcsel_units::{Celsius, KelvinPerWatt, Meters, SquareMeters, Watts, WattsPerSquareMeterKelvin};
 
 use crate::{Material, ThermalError};
 
@@ -131,9 +129,8 @@ impl ResistanceStack {
 
     /// Temperature at the heat-source plane for the given power.
     pub fn source_temperature(&self, power: Watts) -> Celsius {
-        self.ambient + vcsel_units::TemperatureDelta::new(
-            power.value() * self.total_resistance().value(),
-        )
+        self.ambient
+            + vcsel_units::TemperatureDelta::new(power.value() * self.total_resistance().value())
     }
 
     /// Temperature at the interface above layer `index` (0 = just above the

@@ -168,10 +168,7 @@ mod tests {
 
     fn mk(levels: &[(f64, f64)]) -> ConvergenceStudy {
         ConvergenceStudy::from_levels(
-            levels
-                .iter()
-                .map(|&(h, value)| ConvergenceLevel { h, value, cells: 0 })
-                .collect(),
+            levels.iter().map(|&(h, value)| ConvergenceLevel { h, value, cells: 0 }).collect(),
         )
         .unwrap()
     }
@@ -229,17 +226,14 @@ mod tests {
             },
         );
         let src =
-            BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(3.0), mm(3.0), mm(0.25)])
-                .unwrap();
+            BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(3.0), mm(3.0), mm(0.25)]).unwrap();
         d.add_block(Block::heat_source("s", src, Material::COPPER, Watts::new(0.5)));
 
-        let study = ConvergenceStudy::run(
-            &Simulator::new(),
-            &d,
-            &[mm(0.5), mm(0.25), mm(0.125)],
-            |map| map.average().value(),
-        )
-        .unwrap();
+        let study =
+            ConvergenceStudy::run(&Simulator::new(), &d, &[mm(0.5), mm(0.25), mm(0.125)], |map| {
+                map.average().value()
+            })
+            .unwrap();
         // Refinement multiplies the cell count eightfold per level.
         assert!(study.levels()[1].cells > 4 * study.levels()[0].cells);
         let gci = study.gci(2.0, 3.0).unwrap();

@@ -103,9 +103,8 @@ impl ThermalMap {
         let xs: Vec<f64> = (0..nx).map(|i| mesh.x().center(i)).collect();
         let ys: Vec<f64> = (0..ny).map(|j| mesh.y().center(j)).collect();
         let temps = self.temperatures();
-        let values: Vec<Vec<f64>> = (0..ny)
-            .map(|j| (0..nx).map(|i| temps[mesh.index(i, j, k)]).collect())
-            .collect();
+        let values: Vec<Vec<f64>> =
+            (0..ny).map(|j| (0..nx).map(|i| temps[mesh.index(i, j, k)]).collect()).collect();
         Ok(MapSlice { z: mesh.z().center(k), xs, ys, values })
     }
 }

@@ -9,8 +9,8 @@
 use serde::{Deserialize, Serialize};
 use vcsel_units::{Meters, Watts};
 
-use crate::{Material, ThermalError};
 use crate::boundary::{BoundaryCondition, BoundarySet};
+use crate::{Material, ThermalError};
 
 /// An axis-aligned box `[min, max)` in meters.
 ///
@@ -50,10 +50,7 @@ impl BoxRegion {
             }
             if max[a] <= min[a] {
                 return Err(ThermalError::BadRegion {
-                    reason: format!(
-                        "axis {a}: max ({}) must exceed min ({})",
-                        max[a], min[a]
-                    ),
+                    reason: format!("axis {a}: max ({}) must exceed min ({})", max[a], min[a]),
                 });
             }
         }
@@ -96,9 +93,7 @@ impl BoxRegion {
     /// Volume of the box.
     pub fn volume(&self) -> vcsel_units::CubicMeters {
         vcsel_units::CubicMeters::new(
-            (self.max[0] - self.min[0])
-                * (self.max[1] - self.min[1])
-                * (self.max[2] - self.min[2]),
+            (self.max[0] - self.min[0]) * (self.max[1] - self.min[1]) * (self.max[2] - self.min[2]),
         )
     }
 
@@ -293,11 +288,7 @@ impl Design {
 
     /// Sum of reference powers of the blocks in `group`.
     pub fn group_power(&self, group: &str) -> Watts {
-        self.blocks
-            .iter()
-            .filter(|b| b.group() == Some(group))
-            .map(Block::power)
-            .sum()
+        self.blocks.iter().filter(|b| b.group() == Some(group)).map(Block::power).sum()
     }
 
     /// Multiplies the power of every block in `group` by `scale`.
@@ -373,9 +364,7 @@ mod tests {
         let outside =
             BoxRegion::new([mm(9.0), mm(9.0), Meters::ZERO], [mm(12.0), mm(10.0), mm(1.0)])
                 .unwrap();
-        let err = d
-            .try_add_block(Block::passive("oops", outside, Material::COPPER))
-            .unwrap_err();
+        let err = d.try_add_block(Block::passive("oops", outside, Material::COPPER)).unwrap_err();
         assert!(matches!(err, ThermalError::BlockOutsideDomain { .. }));
     }
 

@@ -84,11 +84,7 @@ impl ThermalMap {
     }
 
     /// Temperature difference between the cells containing two points.
-    pub fn gradient_between(
-        &self,
-        a: [Meters; 3],
-        b: [Meters; 3],
-    ) -> Option<TemperatureDelta> {
+    pub fn gradient_between(&self, a: [Meters; 3], b: [Meters; 3]) -> Option<TemperatureDelta> {
         let ta = self.temperature_at(a)?;
         let tb = self.temperature_at(b)?;
         Some(ta.delta_from(tb))

@@ -57,7 +57,8 @@ impl Material {
     /// III-V VCSEL stack (InP / InGaAsP effective).
     pub const III_V: Material = Material::const_new("III-V (InP effective)", 68.0, 1.5e6);
     /// Oxide-clad optical layer effective medium (Si devices in SiO2).
-    pub const OPTICAL_LAYER: Material = Material::const_new("optical layer effective", 10.0, 1.65e6);
+    pub const OPTICAL_LAYER: Material =
+        Material::const_new("optical layer effective", 10.0, 1.65e6);
     /// Bonding layer between the optical die and the logic die.
     pub const BONDING: Material = Material::const_new("bonding layer", 0.5, 1.7e6);
     /// Copper-tungsten TSV effective fill.

@@ -25,9 +25,7 @@ pub struct Axis {
 impl Axis {
     fn from_ticks(ticks: Vec<f64>) -> Result<Self, ThermalError> {
         if ticks.len() < 2 {
-            return Err(ThermalError::BadRegion {
-                reason: "axis needs at least two ticks".into(),
-            });
+            return Err(ThermalError::BadRegion { reason: "axis needs at least two ticks".into() });
         }
         if ticks.windows(2).any(|w| w[0] >= w[1]) {
             return Err(ThermalError::BadRegion {
@@ -241,9 +239,8 @@ impl Mesh {
     /// * [`ThermalError::MeshTooLarge`] if the resulting cell count exceeds
     ///   the spec's limit.
     pub fn build(design: &Design, spec: &MeshSpec) -> Result<Self, ThermalError> {
-        let axes: Vec<Axis> = (0..3)
-            .map(|a| Self::build_axis(design, spec, a))
-            .collect::<Result<_, _>>()?;
+        let axes: Vec<Axis> =
+            (0..3).map(|a| Self::build_axis(design, spec, a)).collect::<Result<_, _>>()?;
         let mut it = axes.into_iter();
         let (x, y, z) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
         let cells = x.cell_count() * y.cell_count() * z.cell_count();
@@ -428,11 +425,8 @@ mod tests {
     #[test]
     fn block_boundaries_become_ticks() {
         let mut d = slab_design();
-        let block = BoxRegion::new(
-            [mm(2.35), mm(1.2), Meters::ZERO],
-            [mm(3.11), mm(2.2), mm(0.4)],
-        )
-        .unwrap();
+        let block = BoxRegion::new([mm(2.35), mm(1.2), Meters::ZERO], [mm(3.11), mm(2.2), mm(0.4)])
+            .unwrap();
         d.add_block(crate::Block::passive("b", block, Material::COPPER));
         let m = Mesh::build(&d, &MeshSpec::uniform(mm(5.0))).unwrap();
         let has = |axis: &Axis, v: f64| axis.ticks().iter().any(|t| (t - v).abs() < 1e-12);
@@ -445,8 +439,8 @@ mod tests {
     #[test]
     fn refinement_caps_cell_size() {
         let d = slab_design();
-        let fine = BoxRegion::new([mm(4.0), mm(4.0), Meters::ZERO], [mm(5.0), mm(5.0), mm(1.0)])
-            .unwrap();
+        let fine =
+            BoxRegion::new([mm(4.0), mm(4.0), Meters::ZERO], [mm(5.0), mm(5.0), mm(1.0)]).unwrap();
         let spec = MeshSpec::uniform(mm(1.0))
             .with_refinement(RefineRegion::new(fine, Meters::from_micrometers(100.0)).unwrap());
         let m = Mesh::build(&d, &spec).unwrap();

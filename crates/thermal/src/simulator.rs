@@ -185,11 +185,11 @@ mod tests {
     fn isothermal_boundary_pins_temperature() {
         let domain = BoxRegion::new([Meters::ZERO; 3], [mm(2.0), mm(2.0), mm(2.0)]).unwrap();
         let mut d = Design::new(domain, Material::SILICON).unwrap();
-        d.set_boundary(Boundary::bottom(), BoundaryCondition::Isothermal {
-            temperature: Celsius::new(20.0),
-        });
-        let src =
-            BoxRegion::new([mm(0.5), mm(0.5), mm(1.5)], [mm(1.5), mm(1.5), mm(2.0)]).unwrap();
+        d.set_boundary(
+            Boundary::bottom(),
+            BoundaryCondition::Isothermal { temperature: Celsius::new(20.0) },
+        );
+        let src = BoxRegion::new([mm(0.5), mm(0.5), mm(1.5)], [mm(1.5), mm(1.5), mm(2.0)]).unwrap();
         d.add_block(Block::heat_source("s", src, Material::SILICON, Watts::new(0.1)));
         let map = Simulator::new().solve(&d, &MeshSpec::uniform(mm(0.25))).unwrap();
         // Bottom cells sit within a fraction of a degree of the plate.
@@ -255,10 +255,7 @@ mod tests {
         let map = Simulator::new().solve(&d, &MeshSpec::uniform(mm(0.25))).unwrap();
         let left = map.temperature_at([mm(0.625), mm(1.0), mm(0.5)]).unwrap();
         let right = map.temperature_at([mm(3.375), mm(1.0), mm(0.5)]).unwrap();
-        assert!(
-            (left.value() - right.value()).abs() < 1e-6,
-            "asymmetry: {left} vs {right}"
-        );
+        assert!((left.value() - right.value()).abs() < 1e-6, "asymmetry: {left} vs {right}");
     }
 
     /// Heat spreads better through copper than oxide: the hot spot over a
@@ -275,8 +272,7 @@ mod tests {
                     ambient: Celsius::new(25.0),
                 },
             );
-            let layer =
-                BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(4.0), mm(0.5)]).unwrap();
+            let layer = BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(4.0), mm(0.5)]).unwrap();
             d.add_block(Block::passive("layer", layer, material));
             let src = BoxRegion::new([mm(1.8), mm(1.8), Meters::ZERO], [mm(2.2), mm(2.2), mm(0.1)])
                 .unwrap();

@@ -90,11 +90,8 @@ impl TransientStepper {
         let disc = assembly::assemble(&hollow, &mesh)?;
 
         // Per-group power vectors at reference block powers.
-        let mut groups: Vec<String> = design
-            .blocks()
-            .iter()
-            .filter_map(|b| b.group().map(str::to_owned))
-            .collect();
+        let mut groups: Vec<String> =
+            design.blocks().iter().filter_map(|b| b.group().map(str::to_owned)).collect();
         groups.sort();
         groups.dedup();
         let mut group_power = BTreeMap::new();
@@ -189,8 +186,8 @@ impl TransientStepper {
         }
         let n = self.temps.len();
         let mut rhs = vec![0.0; n];
-        for i in 0..n {
-            rhs[i] = self.boundary_rhs[i]
+        for (i, r) in rhs.iter_mut().enumerate() {
+            *r = self.boundary_rhs[i]
                 + self.static_power[i]
                 + self.capacity_over_dt[i] * self.temps[i];
         }
@@ -225,7 +222,9 @@ impl TransientStepper {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Block, Boundary, BoundaryCondition, BoxRegion, Material, Simulator, TransientSimulator};
+    use crate::{
+        Block, Boundary, BoundaryCondition, BoxRegion, Material, Simulator, TransientSimulator,
+    };
     use vcsel_units::{Watts, WattsPerSquareMeterKelvin};
 
     fn mm(v: f64) -> Meters {
@@ -263,8 +262,7 @@ mod tests {
             .simulate(&design, &spec, dt, steps, &[probe])
             .unwrap();
 
-        let mut stepper =
-            TransientStepper::new(&design, &spec, Celsius::new(40.0), dt).unwrap();
+        let mut stepper = TransientStepper::new(&design, &spec, Celsius::new(40.0), dt).unwrap();
         for _ in 0..steps {
             stepper.step(&[("src", 1.0)]).unwrap();
         }
@@ -280,8 +278,7 @@ mod tests {
         let (design, spec) = grouped_slab();
         let probe = [mm(2.0), mm(2.0), mm(0.1)];
         let steady = Simulator::new().solve(&design, &spec).unwrap();
-        let mut stepper =
-            TransientStepper::new(&design, &spec, Celsius::new(40.0), 0.05).unwrap();
+        let mut stepper = TransientStepper::new(&design, &spec, Celsius::new(40.0), 0.05).unwrap();
         for _ in 0..1_000 {
             stepper.step(&[("src", 1.0)]).unwrap();
         }
@@ -294,8 +291,7 @@ mod tests {
     fn power_toggling_heats_and_cools() {
         let (design, spec) = grouped_slab();
         let probe = [mm(2.0), mm(2.0), mm(0.1)];
-        let mut stepper =
-            TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
+        let mut stepper = TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
         for _ in 0..50 {
             stepper.step(&[("src", 2.0)]).unwrap();
         }
@@ -329,11 +325,10 @@ mod tests {
     fn ungrouped_blocks_stay_on() {
         let (mut design, spec) = grouped_slab();
         // Add an ungrouped source in the opposite corner.
-        let extra = BoxRegion::new([mm(3.0), mm(3.0), Meters::ZERO], [mm(4.0), mm(4.0), mm(0.2)])
-            .unwrap();
+        let extra =
+            BoxRegion::new([mm(3.0), mm(3.0), Meters::ZERO], [mm(4.0), mm(4.0), mm(0.2)]).unwrap();
         design.add_block(Block::heat_source("bg", extra, Material::COPPER, Watts::new(0.2)));
-        let mut stepper =
-            TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
+        let mut stepper = TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
         for _ in 0..50 {
             stepper.step(&[]).unwrap(); // grouped source off
         }
@@ -344,8 +339,7 @@ mod tests {
     #[test]
     fn snapshot_is_a_queryable_map() {
         let (design, spec) = grouped_slab();
-        let mut stepper =
-            TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
+        let mut stepper = TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
         stepper.step(&[("src", 1.0)]).unwrap();
         let map = stepper.snapshot();
         assert!(map.hottest().1.value() > 40.0);
@@ -356,8 +350,7 @@ mod tests {
     fn validation() {
         let (design, spec) = grouped_slab();
         assert!(TransientStepper::new(&design, &spec, Celsius::new(40.0), 0.0).is_err());
-        let mut stepper =
-            TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
+        let mut stepper = TransientStepper::new(&design, &spec, Celsius::new(40.0), 1e-2).unwrap();
         assert!(stepper.step(&[("nope", 1.0)]).is_err());
         assert!(stepper.step(&[("src", -1.0)]).is_err());
         assert!(stepper.step(&[("src", f64::NAN)]).is_err());

@@ -51,13 +51,8 @@ impl ResponseBasis {
     /// Propagates any meshing/solving error; additionally rejects designs
     /// without any power group ([`ThermalError::BadParameter`]) since the
     /// basis would be pointless.
-    pub fn build(
-        sim: &Simulator,
-        design: &Design,
-        spec: &MeshSpec,
-    ) -> Result<Self, ThermalError> {
-        let groups: Vec<String> =
-            design.group_names().into_iter().map(str::to_string).collect();
+    pub fn build(sim: &Simulator, design: &Design, spec: &MeshSpec) -> Result<Self, ThermalError> {
+        let groups: Vec<String> = design.group_names().into_iter().map(str::to_string).collect();
         if groups.is_empty() {
             return Err(ThermalError::BadParameter {
                 reason: "design has no power groups; tag blocks with `with_group`".into(),
@@ -94,12 +89,8 @@ impl ResponseBasis {
                 }
             }
             let solved = sim.solve_on(&only_g, mesh.clone())?;
-            let rise: Vec<f64> = solved
-                .temperatures()
-                .iter()
-                .zip(&bc_field)
-                .map(|(t, t0)| t - t0)
-                .collect();
+            let rise: Vec<f64> =
+                solved.temperatures().iter().zip(&bc_field).map(|(t, t0)| t - t0).collect();
             responses.push((g.clone(), design.group_power(g).value(), rise));
         }
 
@@ -133,11 +124,7 @@ impl ResponseBasis {
         let mut temps = base_temps.to_vec();
         let mut power = base_power;
         for (g, reference_power, rise) in &self.responses {
-            let scale = scales
-                .iter()
-                .find(|(name, _)| name == g)
-                .map(|(_, s)| *s)
-                .unwrap_or(0.0);
+            let scale = scales.iter().find(|(name, _)| name == g).map(|(_, s)| *s).unwrap_or(0.0);
             if scale != 0.0 {
                 for (t, r) in temps.iter_mut().zip(rise) {
                     *t += scale * r;
@@ -171,8 +158,7 @@ mod tests {
         );
         let chip = BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(4.0), mm(0.1)]).unwrap();
         d.add_block(
-            Block::heat_source("chip", chip, Material::SILICON, Watts::new(1.0))
-                .with_group("chip"),
+            Block::heat_source("chip", chip, Material::SILICON, Watts::new(1.0)).with_group("chip"),
         );
         let vcsel =
             BoxRegion::new([mm(1.0), mm(1.0), mm(0.5)], [mm(1.2), mm(1.2), mm(0.6)]).unwrap();

@@ -273,8 +273,6 @@ mod tests {
         let sim = TransientSimulator::new(Celsius::new(40.0));
         assert!(sim.simulate(&design, &spec, 0.0, 10, &[]).is_err());
         assert!(sim.simulate(&design, &spec, 1e-3, 0, &[]).is_err());
-        assert!(sim
-            .simulate(&design, &spec, 1e-3, 1, &[[mm(99.0), mm(0.0), mm(0.0)]])
-            .is_err());
+        assert!(sim.simulate(&design, &spec, 1e-3, 1, &[[mm(99.0), mm(0.0), mm(0.0)]]).is_err());
     }
 }

@@ -18,8 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pairs = all_pairs(n);
     let powers = vec![Watts::from_milliwatts(0.3); pairs.len()];
     let aligned: Vec<Celsius> = vec![Celsius::new(52.0); n];
-    let skewed: Vec<Celsius> =
-        (0..n).map(|i| Celsius::new(52.0 + 0.9 * i as f64)).collect();
+    let skewed: Vec<Celsius> = (0..n).map(|i| Celsius::new(52.0 + 0.9 * i as f64)).collect();
 
     println!("{n}-node crossbars, all-to-all traffic, worst-case SNR (dB):\n");
     println!("{:>14} {:>10} {:>10} {:>12}", "topology", "aligned", "skewed", "degradation");

@@ -40,22 +40,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 10 W background load plus a 2 W, 1 mm² hotspot in the BEOL.
     let beol_z0 = mm(0.8);
     let beol_z1 = beol_z0 + um(20.0);
-    let background = BoxRegion::new([Meters::ZERO, Meters::ZERO, beol_z0], [mm(10.0), mm(10.0), beol_z1])?;
-    design.add_block(Block::heat_source("background load", background, Material::BEOL, Watts::new(10.0)));
+    let background =
+        BoxRegion::new([Meters::ZERO, Meters::ZERO, beol_z0], [mm(10.0), mm(10.0), beol_z1])?;
+    design.add_block(Block::heat_source(
+        "background load",
+        background,
+        Material::BEOL,
+        Watts::new(10.0),
+    ));
     let hotspot = BoxRegion::new([mm(4.5), mm(4.5), beol_z0], [mm(5.5), mm(5.5), beol_z1])?;
     design.add_block(Block::heat_source("hotspot", hotspot, Material::BEOL, Watts::new(2.0)));
 
     // Coarse mesh everywhere, 100 µm cells over the hotspot.
     let fine = BoxRegion::new([mm(4.0), mm(4.0), Meters::ZERO], [mm(6.0), mm(6.0), mm(1.82)])?;
-    let spec = MeshSpec::uniform(um(500.0))
-        .with_refinement(RefineRegion::new(fine, um(100.0))?);
+    let spec = MeshSpec::uniform(um(500.0)).with_refinement(RefineRegion::new(fine, um(100.0))?);
 
     println!("solving ...");
     let map = Simulator::new().solve(&design, &spec)?;
 
     let (hot_loc, hot_t) = map.hottest();
-    println!("hottest cell : {:.2} °C at ({:.2}, {:.2}) mm",
-        hot_t.value(), hot_loc[0].as_millimeters(), hot_loc[1].as_millimeters());
+    println!(
+        "hottest cell : {:.2} °C at ({:.2}, {:.2}) mm",
+        hot_t.value(),
+        hot_loc[0].as_millimeters(),
+        hot_loc[1].as_millimeters()
+    );
     println!("die average  : {:.2} °C", map.average().value());
     println!(
         "hotspot rise over background: {:.2} °C",

@@ -11,7 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let study = ThermalStudy::new(SccConfig::tiny_test(), flow.simulator())?;
     let p_chip = Watts::new(2.0);
 
-    println!("{:>13} {:>18} {:>20} {:>16}", "P_VCSEL (mW)", "optimal ratio", "gradient @opt (°C)", "w/o heater (°C)");
+    println!(
+        "{:>13} {:>18} {:>20} {:>16}",
+        "P_VCSEL (mW)", "optimal ratio", "gradient @opt (°C)", "w/o heater (°C)"
+    );
     for pv_mw in [1.0, 2.0, 4.0, 6.0] {
         let p_vcsel = Watts::from_milliwatts(pv_mw);
         let exploration = study.explore_heater(p_vcsel, p_chip, 1.0, 9)?;

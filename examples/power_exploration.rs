@@ -11,10 +11,8 @@ use vcsel_onoc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flow = DesignFlow::paper();
-    let study = ThermalStudy::new(
-        SccConfig { oni_count: 4, ..SccConfig::tiny_test() },
-        flow.simulator(),
-    )?;
+    let study =
+        ThermalStudy::new(SccConfig { oni_count: 4, ..SccConfig::tiny_test() }, flow.simulator())?;
     let p_chip = Watts::new(2.0);
 
     let sweep = [0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 3.6, 4.5, 6.0];
@@ -49,11 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Price the run-time alternative: align all rings of the thermal field
     // produced at the paper's operating point.
-    let outcome = study.evaluate(
-        Watts::from_milliwatts(3.6),
-        Watts::from_milliwatts(1.08),
-        p_chip,
-    )?;
+    let outcome =
+        study.evaluate(Watts::from_milliwatts(3.6), Watts::from_milliwatts(1.08), p_chip)?;
     let ring_temps: Vec<Celsius> = outcome.oni.iter().map(|o| o.ring_mean).collect();
     let budget = heat_calibration_power(&ring_temps, &TuningCosts::paper())?;
     println!(

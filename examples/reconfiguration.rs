@@ -10,7 +10,7 @@
 //! Run with `cargo run --release --example reconfiguration`.
 
 use vcsel_onoc::control::{remap_channels, RemapConfig};
-use vcsel_onoc::network::{assign_channels, traffic, channels_needed};
+use vcsel_onoc::network::{assign_channels, channels_needed, traffic};
 use vcsel_onoc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

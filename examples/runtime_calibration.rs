@@ -15,7 +15,10 @@ use vcsel_onoc::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Figure 1-b island: 4 rings + 4 VCSELs, ambient 50 °C.
     let rings = [0usize, 1, 2, 3];
-    println!("{:>13} {:>14} {:>18} {:>22}", "P_VCSEL (mW)", "settle (ms)", "heater total (mW)", "residual error (°C)");
+    println!(
+        "{:>13} {:>14} {:>18} {:>22}",
+        "P_VCSEL (mW)", "settle (ms)", "heater total (mW)", "residual error (°C)"
+    );
 
     for pv_mw in [1.0, 2.0, 3.6, 6.0] {
         let mut plant = LumpedPlant::oni_island(4, 4, Celsius::new(50.0))?;

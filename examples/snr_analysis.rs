@@ -15,16 +15,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // All-to-all traffic on one waveguide (the paper's interface spreads
     // this over 4; one waveguide shows the physics more clearly).
     let comms = assign_channels(&topology, &traffic::all_to_all(8))?;
-    println!("{} communications, {} wavelength channels (ORNoC reuse)",
+    println!(
+        "{} communications, {} wavelength channels (ORNoC reuse)",
         comms.len(),
-        comms.iter().map(|c| c.channel() + 1).max().unwrap_or(0));
+        comms.iter().map(|c| c.channel() + 1).max().unwrap_or(0)
+    );
 
     // Each ONI injects the paper's operating-point optical power.
     let vcsel = Vcsel::paper_default();
     let params = TechnologyParams::paper();
 
     println!();
-    println!("{:>14} {:>12} {:>14} {:>16}", "skew (°C)", "SNR (dB)", "signal (mW)", "crosstalk (µW)");
+    println!(
+        "{:>14} {:>12} {:>14} {:>16}",
+        "skew (°C)", "SNR (dB)", "signal (mW)", "crosstalk (µW)"
+    );
     for skew in [0.0, 1.0, 2.0, 3.0, 5.0, 7.7, 10.0] {
         // Linear temperature ramp across the ring: ONI i at 50 + skew*i/7.
         let temps: Vec<Celsius> =

@@ -20,10 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tiles: Vec<[Meters; 2]> = (0..24)
         .map(|k| {
             let (r, c) = (k / 6, k % 6);
-            [
-                Meters::from_millimeters(pitch * c as f64),
-                Meters::from_millimeters(pitch * r as f64),
-            ]
+            [Meters::from_millimeters(pitch * c as f64), Meters::from_millimeters(pitch * r as f64)]
         })
         .collect();
     let onis: Vec<[Meters; 2]> = [(0.0, 0.0), (20.0, 0.0), (0.0, 12.0), (20.0, 12.0)]

@@ -27,7 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Figure 12: worst-case SNR under activities x placements ===");
     println!(
         "{:>9} {:>11} {:>10} {:>13} {:>15} {:>11} {:>9}",
-        "activity", "ring (mm)", "SNR (dB)", "signal (mW)", "crosstalk (mW)", "ΔT ONI (°C)", "detected"
+        "activity",
+        "ring (mm)",
+        "SNR (dB)",
+        "signal (mW)",
+        "crosstalk (mW)",
+        "ΔT ONI (°C)",
+        "detected"
     );
     for r in &rows {
         println!(

@@ -4,9 +4,7 @@
 
 use std::sync::OnceLock;
 
-use vcsel_onoc::core::experiments::{
-    baseline_comparison, figure10, figure8, figure9a, figure9b,
-};
+use vcsel_onoc::core::experiments::{baseline_comparison, figure10, figure8, figure9a, figure9b};
 use vcsel_onoc::core::ThermalStudy;
 use vcsel_onoc::prelude::*;
 
@@ -21,9 +19,7 @@ fn tiny_study() -> &'static ThermalStudy {
 fn e1_e2_vcsel_curves_hit_paper_anchors() {
     let fig = figure8(&Vcsel::paper_default()).unwrap();
     // η(40 °C) peaks near 15 %, η(60 °C) near 4 % (Figure 8-b).
-    let peak = |t_idx: usize| {
-        fig.efficiency[t_idx].iter().cloned().fold(0.0f64, f64::max)
-    };
+    let peak = |t_idx: usize| fig.efficiency[t_idx].iter().cloned().fold(0.0f64, f64::max);
     let t40 = fig.temperatures_c.iter().position(|&t| t == 40.0).unwrap();
     let t60 = fig.temperatures_c.iter().position(|&t| t == 60.0).unwrap();
     assert!((peak(t40) - 0.15).abs() < 0.02, "η(40) = {}", peak(t40));
@@ -59,13 +55,9 @@ fn e3_average_temperature_slopes() {
 
 #[test]
 fn e4_heater_minimum_is_interior() {
-    let f = figure9b(
-        tiny_study(),
-        &[2.0, 6.0],
-        &[0.0, 0.3, 0.6, 0.9, 1.2, 1.8, 2.4],
-        Watts::new(2.0),
-    )
-    .unwrap();
+    let f =
+        figure9b(tiny_study(), &[2.0, 6.0], &[0.0, 0.3, 0.6, 0.9, 1.2, 1.8, 2.4], Watts::new(2.0))
+            .unwrap();
     for (row, ratio) in f.gradient_c.iter().zip(&f.optimal_ratio) {
         let min = row.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(min < row[0], "heater must improve on no-heater: {row:?}");

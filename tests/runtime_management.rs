@@ -61,7 +61,10 @@ impl Testbed {
 
     /// ONI temperatures under per-tile powers, via one superposition
     /// composition (identical to a direct FVM solve by linearity).
-    fn oni_temps(&self, tile_powers: &[Watts]) -> Result<Vec<Celsius>, vcsel_thermal::ThermalError> {
+    fn oni_temps(
+        &self,
+        tile_powers: &[Watts],
+    ) -> Result<Vec<Celsius>, vcsel_thermal::ThermalError> {
         let scales: Vec<(String, f64)> =
             tile_powers.iter().enumerate().map(|(t, p)| (format!("tile{t}"), p.value())).collect();
         let scale_refs: Vec<(&str, f64)> =
@@ -75,15 +78,13 @@ impl Testbed {
 fn influence_model_predicts_the_fvm() {
     let bed = Testbed::build();
     let model = InfluenceModel::calibrate(4, Watts::new(1.0), |p: &[Watts]| {
-        bed.oni_temps(p).map_err(|e| vcsel_control::ControlError::BadParameter {
-            reason: e.to_string(),
-        })
+        bed.oni_temps(p)
+            .map_err(|e| vcsel_control::ControlError::BadParameter { reason: e.to_string() })
     })
     .unwrap();
 
     // An arbitrary operating point never used during calibration.
-    let powers =
-        vec![Watts::new(2.5), Watts::new(0.3), Watts::new(1.7), Watts::new(4.1)];
+    let powers = vec![Watts::new(2.5), Watts::new(0.3), Watts::new(1.7), Watts::new(4.1)];
     let predicted = model.temperatures(&powers).unwrap();
     let actual = bed.oni_temps(&powers).unwrap();
     for (p, a) in predicted.iter().zip(&actual) {
@@ -98,9 +99,8 @@ fn influence_model_predicts_the_fvm() {
 fn migration_improvement_is_real_on_the_fvm() {
     let bed = Testbed::build();
     let model = InfluenceModel::calibrate(4, Watts::new(1.0), |p: &[Watts]| {
-        bed.oni_temps(p).map_err(|e| vcsel_control::ControlError::BadParameter {
-            reason: e.to_string(),
-        })
+        bed.oni_temps(p)
+            .map_err(|e| vcsel_control::ControlError::BadParameter { reason: e.to_string() })
     })
     .unwrap();
 
@@ -131,9 +131,8 @@ fn migration_improvement_is_real_on_the_fvm() {
 fn thermal_aware_allocation_beats_row_major_on_the_fvm() {
     let bed = Testbed::build();
     let model = InfluenceModel::calibrate(4, Watts::new(1.0), |p: &[Watts]| {
-        bed.oni_temps(p).map_err(|e| vcsel_control::ControlError::BadParameter {
-            reason: e.to_string(),
-        })
+        bed.oni_temps(p)
+            .map_err(|e| vcsel_control::ControlError::BadParameter { reason: e.to_string() })
     })
     .unwrap();
 

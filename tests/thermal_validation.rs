@@ -58,8 +58,13 @@ fn composite_wall_matches_series_resistance() {
     let k_ox = Material::SILICON_DIOXIDE.conductivity().value();
 
     // Analytic 1-D solution (heater treated as a plane source at z = 0).
-    let t_top = ambient + flux / h;
-    let t_mid = t_top + flux * t_ox / k_ox;
+    // `temperature_at` reports the containing CELL's value, i.e. the field
+    // at the cell center, so each expectation is evaluated at the probed
+    // cell's center rather than at the material interface: for the top
+    // probe the half-cell (t_ox/10) offset through low-k oxide is ~0.9 °C,
+    // far beyond the 1 % tolerance if compared against the surface value.
+    let t_top = ambient + flux / h + flux * (t_ox / 10.0) / k_ox;
+    let t_mid = ambient + flux / h + flux * t_ox / k_ox;
     let t_bot = t_mid + flux * (t_si - t_si / 50.0) / k_si;
 
     let center = mm(2.0);
@@ -100,11 +105,17 @@ fn volumetric_heating_parabola() {
     let q = power / (a * a * l); // W/m³
     let k = Material::SILICON.conductivity().value();
     let center = mm(1.0);
+    // Probe at cell centers: `temperature_at` reports the containing
+    // cell's value, and every l·frac below is tick-aligned for the l/40
+    // grid, which would make the containing cell ambiguous (and near the
+    // isothermal face the half-cell offset exceeds the 5 % tolerance).
+    let dz = l / 40.0;
     for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
-        let z = l * frac;
-        let expected = 20.0 + q / (2.0 * k) * (l * l - (l - z) * (l - z));
-        // z measured from the top (isothermal) face in the formula above:
-        // our z=0 is the adiabatic bottom, so distance from top is l - z.
+        let z = l * frac + dz / 2.0;
+        // With the adiabatic face at z = 0 (T'(0) = 0) and the isothermal
+        // face at z = l (T(l) = 20), integrating T'' = -q/k gives
+        // T(z) = 20 + q/(2k)·(l² − z²) directly in our coordinate.
+        let expected = 20.0 + q / (2.0 * k) * (l * l - z * z);
         let got = map.temperature_at([center, center, Meters::new(z)]).unwrap().value();
         let rise = expected - 20.0;
         assert!(
@@ -125,11 +136,7 @@ fn scc_system_energy_balance() {
     let system = SccSystem::build(&config).unwrap();
     let spec = system.mesh_spec().unwrap();
     let map = Simulator::new().solve(system.design(), &spec).unwrap();
-    assert!(
-        map.energy_balance_defect() < 1e-6,
-        "defect {}",
-        map.energy_balance_defect()
-    );
+    assert!(map.energy_balance_defect() < 1e-6, "defect {}", map.energy_balance_defect());
     // Total injected = chip + 32 x (vcsel + driver) + 32 x heater... for the
     // tiny 2-ONI system: 2 W + 2*16*(3+3) mW + 2*16*1 mW.
     let expected = 2.0 + 32.0 * 6.0e-3 + 32.0 * 1.0e-3;
@@ -190,11 +197,9 @@ fn mesh_refinement_converges() {
     let h = 3_000.0;
     let ambient = 25.0;
     let build = || {
-        let domain = BoxRegion::new(
-            [Meters::ZERO; 3],
-            [Meters::new(a), Meters::new(a), Meters::new(l)],
-        )
-        .unwrap();
+        let domain =
+            BoxRegion::new([Meters::ZERO; 3], [Meters::new(a), Meters::new(a), Meters::new(l)])
+                .unwrap();
         let mut d = Design::new(domain, Material::SILICON).unwrap();
         d.set_boundary(
             Boundary::top(),
@@ -203,11 +208,9 @@ fn mesh_refinement_converges() {
                 ambient: Celsius::new(ambient),
             },
         );
-        let whole = BoxRegion::new(
-            [Meters::ZERO; 3],
-            [Meters::new(a), Meters::new(a), Meters::new(l)],
-        )
-        .unwrap();
+        let whole =
+            BoxRegion::new([Meters::ZERO; 3], [Meters::new(a), Meters::new(a), Meters::new(l)])
+                .unwrap();
         d.add_block(Block::heat_source("bulk", whole, Material::SILICON, Watts::new(power)));
         d
     };
@@ -221,10 +224,8 @@ fn mesh_refinement_converges() {
     let error_at = |nz: f64| {
         let spec = MeshSpec::per_axis([mm(1.0), mm(1.0), Meters::new(l / nz)]);
         let map = Simulator::new().solve(&build(), &spec).unwrap();
-        let got = map
-            .temperature_at([mm(1.0), mm(1.0), Meters::new(l / (nz * 2.0))])
-            .unwrap()
-            .value();
+        let got =
+            map.temperature_at([mm(1.0), mm(1.0), Meters::new(l / (nz * 2.0))]).unwrap().value();
         // Compare against the analytic value at the first cell center.
         let z_center = l / (nz * 2.0);
         let exact = exact_bottom - q * z_center * z_center / (2.0 * k);
@@ -245,10 +246,7 @@ fn mesh_refinement_converges() {
 fn transient_reaches_steady_on_scc() {
     use vcsel_onoc::thermal::TransientSimulator;
 
-    let config = SccConfig {
-        p_vcsel: Watts::from_milliwatts(2.0),
-        ..SccConfig::tiny_test()
-    };
+    let config = SccConfig { p_vcsel: Watts::from_milliwatts(2.0), ..SccConfig::tiny_test() };
     let system = SccSystem::build(&config).unwrap();
     let spec = system.mesh_spec().unwrap();
     let steady = Simulator::new().solve(system.design(), &spec).unwrap();
@@ -257,9 +255,13 @@ fn transient_reaches_steady_on_scc() {
     let oni_center = system.onis()[0].center();
     let probe = [oni_center[0], oni_center[1], optical.0 + Meters::from_micrometers(2.0)];
 
-    // 50 ms steps for 4 s of simulated time (the package settles in ~1 s).
+    // 150 ms steps for 12 s of simulated time: the package time constant
+    // is ~1.5 s (measured: 4 s of simulation still leaves a 6.5 % residual,
+    // outside the 5 % tolerance below). Implicit Euler's fixed point is the
+    // steady solution regardless of step size, so a larger step buys
+    // settling time without extra solves.
     let trace = TransientSimulator::new(Celsius::new(40.0))
-        .simulate(system.design(), &spec, 50e-3, 80, &[probe])
+        .simulate(system.design(), &spec, 150e-3, 80, &[probe])
         .unwrap();
     let t_steady = steady.temperature_at(probe).unwrap().value();
     let t_final = trace.final_probe(0).value();

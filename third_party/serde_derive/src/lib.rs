@@ -1,0 +1,675 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the value-based traits of the sibling `serde` shim, without `syn`/`quote`
+//! (unavailable in the offline build container). The supported grammar is
+//! exactly what this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field ones serialize transparently, matching
+//!   real serde's newtype behaviour),
+//! * enums with unit / named-field / tuple variants, externally tagged,
+//! * container attrs `rename_all = "lowercase" | "snake_case"` and
+//!   `transparent`,
+//! * field attrs `default`, `default = "path"` and `rename = "name"`.
+//!
+//! Generics are rejected with a compile error rather than silently
+//! mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    rename_all: Option<String>,
+    transparent: bool,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    /// `Some(None)` = `#[serde(default)]`, `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+    rename: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});").parse().unwrap()
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match try_expand(input, mode) {
+        Ok(ts) => ts,
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn try_expand(input: TokenStream, mode: Mode) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let container = parse_attrs(&tokens, &mut pos)?.0;
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_any_ident(&tokens, &mut pos)?;
+    let name = expect_any_ident(&tokens, &mut pos)?;
+    if matches!(peek(&tokens, pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim derive does not support generic type `{name}`"));
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => expand_struct(&tokens, &mut pos, &name, &container, mode)?,
+        "enum" => expand_enum(&tokens, &mut pos, &name, &container, mode)?,
+        other => return Err(format!("cannot derive serde traits for `{other}` items")),
+    };
+    body.parse().map_err(|e| format!("serde shim derive generated invalid code: {e:?}"))
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------------
+
+fn peek(tokens: &[TokenTree], pos: usize) -> Option<&TokenTree> {
+    tokens.get(pos)
+}
+
+fn expect_any_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+/// Consumes leading `#[...]` attributes, returning parsed serde container
+/// and field attrs (both are collected; callers use whichever applies).
+fn parse_attrs(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+) -> Result<(ContainerAttrs, FieldAttrs), String> {
+    let mut container = ContainerAttrs::default();
+    let mut field = FieldAttrs::default();
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let group = match tokens.get(*pos + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                    other => return Err(format!("malformed attribute: {other:?}")),
+                };
+                parse_one_attr(group.stream(), &mut container, &mut field)?;
+                *pos += 2;
+            }
+            _ => return Ok((container, field)),
+        }
+    }
+}
+
+/// Parses the inside of one `#[...]`; non-serde attributes are ignored.
+fn parse_one_attr(
+    stream: TokenStream,
+    container: &mut ContainerAttrs,
+    field: &mut FieldAttrs,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()),
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Ok(()),
+    };
+    let args: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = match &args[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => return Err(format!("unsupported serde attribute token: {other:?}")),
+        };
+        let mut value = None;
+        if matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            match args.get(i + 2) {
+                Some(TokenTree::Literal(lit)) => {
+                    value = Some(unquote(&lit.to_string())?);
+                    i += 2;
+                }
+                other => return Err(format!("expected string literal, found {other:?}")),
+            }
+        }
+        match (key.as_str(), value) {
+            ("rename_all", Some(v)) => container.rename_all = Some(v),
+            ("transparent", None) => container.transparent = true,
+            ("default", v) => field.default = Some(v),
+            ("rename", Some(v)) => field.rename = Some(v),
+            ("deny_unknown_fields", None) => {} // shim always tolerates unknown fields
+            (other, _) => return Err(format!("serde shim does not support attribute `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+fn unquote(lit: &str) -> Result<String, String> {
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected plain string literal, found {lit}"))?;
+    if inner.contains('\\') {
+        return Err(format!("escapes not supported in serde attribute: {lit}"));
+    }
+    Ok(inner.to_string())
+}
+
+/// Skips a type expression up to a top-level `,` (tracking `<...>` depth).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut pos)?.1;
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_any_ident(&tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+        pos += 1; // the comma (or one past the end)
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for (i, tt) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if i + 1 == tokens.len() {
+                        trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        parse_attrs(&tokens, &mut pos)?; // e.g. `#[default]`, doc comments
+        let name = expect_any_ident(&tokens, &mut pos)?;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Name transforms
+// ---------------------------------------------------------------------------
+
+fn apply_rename(name: &str, rename_all: Option<&str>) -> Result<String, String> {
+    Ok(match rename_all {
+        None => name.to_string(),
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("snake_case") => camel_to_snake(name),
+        Some("SCREAMING_SNAKE_CASE") => camel_to_snake(name).to_uppercase(),
+        Some("kebab-case") => camel_to_snake(name).replace('_', "-"),
+        Some(other) => return Err(format!("unsupported rename_all rule `{other}`")),
+    })
+}
+
+fn camel_to_snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn missing_field_expr(field: &Field) -> String {
+    match &field.attrs.default {
+        None => format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field({:?}))",
+            field.name
+        ),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    }
+}
+
+fn field_key(field: &Field, rename_all: Option<&str>) -> Result<String, String> {
+    match &field.attrs.rename {
+        Some(explicit) => Ok(explicit.clone()),
+        None => apply_rename(&field.name, rename_all),
+    }
+}
+
+/// `{ f1: <read f1>, f2: <read f2> }` — the struct-literal body that rebuilds
+/// named fields from the object expression `src`.
+fn named_fields_reader(
+    fields: &[Field],
+    rename_all: Option<&str>,
+    src: &str,
+) -> Result<String, String> {
+    let mut out = String::from("{");
+    for f in fields {
+        let key = field_key(f, rename_all)?;
+        out.push_str(&format!(
+            "{name}: match {src}.get({key:?}) {{ \
+                ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, \
+                ::std::option::Option::None => {missing}, \
+            }},",
+            name = f.name,
+            missing = missing_field_expr(f),
+        ));
+    }
+    out.push('}');
+    Ok(out)
+}
+
+/// Pushes `(key, value)` pairs for named fields into a `Vec` called `fields`,
+/// reading each field through the expression produced by `access`.
+fn named_fields_writer(
+    fields: &[Field],
+    rename_all: Option<&str>,
+    access: impl Fn(&str) -> String,
+) -> Result<String, String> {
+    let mut out = String::from(
+        "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();",
+    );
+    for f in fields {
+        let key = field_key(f, rename_all)?;
+        out.push_str(&format!(
+            "fields.push((::std::string::String::from({key:?}), \
+             ::serde::Serialize::to_value({})));",
+            access(&f.name)
+        ));
+    }
+    Ok(out)
+}
+
+fn expand_struct(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    name: &str,
+    container: &ContainerAttrs,
+    mode: Mode,
+) -> Result<String, String> {
+    let rename_all = container.rename_all.as_deref();
+    match tokens.get(*pos) {
+        // Named-field struct.
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream())?;
+            if container.transparent {
+                if fields.len() != 1 {
+                    return Err("#[serde(transparent)] requires exactly one field".into());
+                }
+                let f = &fields[0].name;
+                return Ok(match mode {
+                    Mode::Serialize => format!(
+                        "impl ::serde::Serialize for {name} {{ \
+                           fn to_value(&self) -> ::serde::Value {{ \
+                             ::serde::Serialize::to_value(&self.{f}) }} }}"
+                    ),
+                    Mode::Deserialize => format!(
+                        "impl ::serde::Deserialize for {name} {{ \
+                           fn from_value(value: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::Error> {{ \
+                             ::std::result::Result::Ok({name} {{ \
+                               {f}: ::serde::Deserialize::from_value(value)? }}) }} }}"
+                    ),
+                });
+            }
+            Ok(match mode {
+                Mode::Serialize => {
+                    let writer =
+                        named_fields_writer(&fields, rename_all, |f| format!("&self.{f}"))?;
+                    format!(
+                        "impl ::serde::Serialize for {name} {{ \
+                           fn to_value(&self) -> ::serde::Value {{ \
+                             {writer} ::serde::Value::Object(fields) }} }}"
+                    )
+                }
+                Mode::Deserialize => {
+                    let reader = named_fields_reader(&fields, rename_all, "value")?;
+                    format!(
+                        "impl ::serde::Deserialize for {name} {{ \
+                           fn from_value(value: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::Error> {{ \
+                             if value.as_object().is_none() {{ \
+                               return ::std::result::Result::Err(\
+                                 ::serde::Error::invalid_type(\"object\", value)); }} \
+                             ::std::result::Result::Ok({name} {reader}) }} }}"
+                    )
+                }
+            })
+        }
+        // Tuple struct.
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = count_tuple_fields(g.stream());
+            if n == 0 {
+                return Err("serde shim does not support empty tuple structs".into());
+            }
+            // Single-field tuple structs serialize as their inner value,
+            // matching real serde's newtype-struct behaviour (and making
+            // `#[serde(transparent)]` a no-op on them).
+            if n == 1 || container.transparent {
+                return Ok(match mode {
+                    Mode::Serialize => format!(
+                        "impl ::serde::Serialize for {name} {{ \
+                           fn to_value(&self) -> ::serde::Value {{ \
+                             ::serde::Serialize::to_value(&self.0) }} }}"
+                    ),
+                    Mode::Deserialize => format!(
+                        "impl ::serde::Deserialize for {name} {{ \
+                           fn from_value(value: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::Error> {{ \
+                             ::std::result::Result::Ok(\
+                               {name}(::serde::Deserialize::from_value(value)?)) }} }}"
+                    ),
+                });
+            }
+            Ok(match mode {
+                Mode::Serialize => {
+                    let items = (0..n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "impl ::serde::Serialize for {name} {{ \
+                           fn to_value(&self) -> ::serde::Value {{ \
+                             ::serde::Value::Array(vec![{items}]) }} }}"
+                    )
+                }
+                Mode::Deserialize => {
+                    let items = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "impl ::serde::Deserialize for {name} {{ \
+                           fn from_value(value: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::Error> {{ \
+                             let items = value.as_array().ok_or_else(|| \
+                               ::serde::Error::invalid_type(\"array\", value))?; \
+                             if items.len() != {n} {{ \
+                               return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong tuple length\")); }} \
+                             ::std::result::Result::Ok({name}({items})) }} }}"
+                    )
+                }
+            })
+        }
+        // Unit struct.
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(match mode {
+            Mode::Serialize => format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }} }}"
+            ),
+            Mode::Deserialize => format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(_value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{ \
+                     ::std::result::Result::Ok({name}) }} }}"
+            ),
+        }),
+        other => Err(format!("unexpected token in struct `{name}`: {other:?}")),
+    }
+}
+
+fn expand_enum(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    name: &str,
+    container: &ContainerAttrs,
+    mode: Mode,
+) -> Result<String, String> {
+    let rename_all = container.rename_all.as_deref();
+    let group = match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => return Err(format!("expected enum body, found {other:?}")),
+    };
+    let variants = parse_variants(group.stream())?;
+    if variants.is_empty() {
+        return Err(format!("cannot derive serde traits for empty enum `{name}`"));
+    }
+
+    match mode {
+        Mode::Serialize => {
+            let mut arms = String::new();
+            for v in &variants {
+                let tag = apply_rename(&v.name, rename_all)?;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\
+                           ::std::string::String::from({tag:?})),",
+                        v = v.name
+                    )),
+                    VariantKind::Named(fields) => {
+                        let bindings =
+                            fields.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(", ");
+                        // Enum-level rename_all renames variant TAGS only;
+                        // real serde never applies it to the fields inside a
+                        // struct variant (that would be rename_all_fields).
+                        let writer = named_fields_writer(fields, None, |f| f.to_string())?;
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {bindings} }} => {{ {writer} \
+                               ::serde::Value::Object(vec![(\
+                                 ::std::string::String::from({tag:?}), \
+                                 ::serde::Value::Object(fields))]) }},",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let bindings =
+                            (0..*n).map(|i| format!("x{i}")).collect::<Vec<_>>().join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::Value::Array(vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({bindings}) => ::serde::Value::Object(vec![(\
+                               ::std::string::String::from({tag:?}), {inner})]),",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            Ok(format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}"
+            ))
+        }
+        Mode::Deserialize => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let tag = apply_rename(&v.name, rename_all)?;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{tag:?} => ::std::result::Result::Ok({name}::{v}),",
+                            v = v.name
+                        ));
+                        tagged_arms.push_str(&format!(
+                            "{tag:?} => ::std::result::Result::Ok({name}::{v}),",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        // As in Serialize: enum rename_all does not touch
+                        // struct-variant field keys.
+                        let reader = named_fields_reader(fields, None, "inner")?;
+                        tagged_arms.push_str(&format!(
+                            "{tag:?} => {{ \
+                               if inner.as_object().is_none() {{ \
+                                 return ::std::result::Result::Err(\
+                                   ::serde::Error::invalid_type(\"object\", inner)); }} \
+                               ::std::result::Result::Ok({name}::{v} {reader}) }},",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            tagged_arms.push_str(&format!(
+                                "{tag:?} => ::std::result::Result::Ok({name}::{v}(\
+                                   ::serde::Deserialize::from_value(inner)?)),",
+                                v = v.name
+                            ));
+                        } else {
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            tagged_arms.push_str(&format!(
+                                "{tag:?} => {{ \
+                                   let items = inner.as_array().ok_or_else(|| \
+                                     ::serde::Error::invalid_type(\"array\", inner))?; \
+                                   if items.len() != {n} {{ \
+                                     return ::std::result::Result::Err(\
+                                       ::serde::Error::custom(\"wrong tuple length\")); }} \
+                                   ::std::result::Result::Ok({name}::{v}({items})) }},",
+                                v = v.name
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{ \
+                     match value {{ \
+                       ::serde::Value::Str(s) => match s.as_str() {{ \
+                         {unit_arms} \
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                           format!(\"unknown {name} variant `{{other}}`\"))), \
+                       }}, \
+                       ::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+                         let (tag, inner) = &entries[0]; \
+                         let _ = inner; \
+                         match tag.as_str() {{ \
+                           {tagged_arms} \
+                           other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown {name} variant `{{other}}`\"))), \
+                         }} \
+                       }}, \
+                       _ => ::std::result::Result::Err(\
+                         ::serde::Error::invalid_type(\"string or single-key object\", value)), \
+                     }} }} }}"
+            ))
+        }
+    }
+}
