@@ -1,0 +1,222 @@
+//! Records the solve-engine benchmarks in reduced form and emits
+//! `BENCH_solvers.json` — the machine-readable bench trajectory the
+//! ROADMAP's "as fast as the hardware allows" north star is tracked
+//! against.
+//!
+//! Two workloads, both on the tiny-fidelity SCC case-study system:
+//!
+//! 1. **Steady solves** — one cold and one warm solve per preconditioner
+//!    (Jacobi / IC(0) / SSOR), recording wall time and CG iterations.
+//! 2. **200-step transient** — the paper's runtime-management shape — run
+//!    once on the seed-era path (cold-start Jacobi-CG every step) and once
+//!    on the engine path (IC(0) factored once + warm starts), recording
+//!    steps/second and the wall-clock speedup.
+//!
+//! Usage: `cargo run --release -p vcsel_bench --bin perf_record [out.json]`
+//! (default output `BENCH_solvers.json` in the working directory). Runs in
+//! seconds; wired into CI as a smoke job so the trajectory stays fresh.
+
+use std::time::Instant;
+
+use vcsel_arch::{SccConfig, SccSystem};
+use vcsel_thermal::{PreconditionerKind, SolveContext, TransientStepper};
+use vcsel_units::{Celsius, Watts};
+
+const TRANSIENT_DT_S: f64 = 1e-2;
+const STEADY_REPS: usize = 5;
+
+/// Transient step count: 200 by default (the acceptance workload); CI's
+/// smoke job shrinks it via `PERF_RECORD_STEPS` to stay within its budget.
+fn transient_steps() -> usize {
+    std::env::var("PERF_RECORD_STEPS").ok().and_then(|v| v.parse().ok()).unwrap_or(200)
+}
+
+struct SteadyRecord {
+    name: &'static str,
+    cold_ms: f64,
+    cold_iterations: usize,
+    warm_ms: f64,
+    warm_iterations: usize,
+}
+
+struct TransientRecord {
+    label: &'static str,
+    wall_s: f64,
+    steps_per_s: f64,
+    total_iterations: usize,
+    final_hottest_c: f64,
+}
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+fn run_transient(
+    stepper: &mut TransientStepper,
+    scales: &[(&str, f64)],
+    steps: usize,
+) -> (f64, usize, f64) {
+    let t = Instant::now();
+    for _ in 0..steps {
+        stepper.step(scales).expect("step solves");
+    }
+    let wall = t.elapsed().as_secs_f64();
+    let hottest = stepper.snapshot().hottest().1.value();
+    (wall, stepper.total_iterations(), hottest)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_solvers.json".to_string());
+
+    let config = SccConfig { p_vcsel: Watts::from_milliwatts(4.0), ..SccConfig::tiny_test() };
+    let system = SccSystem::build(&config).expect("tiny SCC builds");
+    let spec = system.mesh_spec().expect("mesh spec");
+    let design = system.design();
+
+    // ---- Steady solves per preconditioner ------------------------------
+    let kinds = [
+        ("jacobi", PreconditionerKind::Jacobi),
+        ("ic0", PreconditionerKind::IncompleteCholesky),
+        ("ssor", PreconditionerKind::Ssor { omega: 1.2 }),
+    ];
+    let mut unknowns = 0;
+    let mut steady = Vec::new();
+    for (name, kind) in kinds {
+        let mut ctx = SolveContext::new(design, &spec)
+            .expect("context builds")
+            .with_preconditioner(kind)
+            .expect("preconditioner factors");
+        unknowns = ctx.unknowns();
+        let (cold_ms, _) = time_best(STEADY_REPS, || {
+            ctx.reset_guess();
+            ctx.solve().expect("steady solve")
+        });
+        let cold_iterations = ctx.last_iterations();
+        // Warm variant: hop between two nearby VCSEL operating points from
+        // an already-converged field — the design-sweep / calibration
+        // access pattern. Alternating keeps every rep doing real work
+        // instead of re-solving an identical RHS for free.
+        let mut flip = false;
+        let (warm_ms, _) = time_best(STEADY_REPS, || {
+            flip = !flip;
+            let s = if flip { 1.02 } else { 1.01 };
+            ctx.solve_scaled(&[("chip", 1.0), ("vcsel", s), ("driver", 1.0)]).expect("warm solve")
+        });
+        let warm_iterations = ctx.last_iterations();
+        println!(
+            "[steady] {name:>6}: cold {:>7.2} ms / {cold_iterations:>4} iters, \
+             warm {:>7.2} ms / {warm_iterations:>4} iters",
+            cold_ms * 1e3,
+            warm_ms * 1e3,
+        );
+        steady.push(SteadyRecord {
+            name,
+            cold_ms: cold_ms * 1e3,
+            cold_iterations,
+            warm_ms: warm_ms * 1e3,
+            warm_iterations,
+        });
+    }
+
+    // ---- 200-step transient: seed path vs engine path ------------------
+    let group_names: Vec<String> = design.group_names().iter().map(|g| g.to_string()).collect();
+    let scales: Vec<(&str, f64)> = group_names.iter().map(|g| (g.as_str(), 1.0)).collect();
+    let initial = Celsius::new(40.0);
+
+    let mut seed_stepper = TransientStepper::new(design, &spec, initial, TRANSIENT_DT_S)
+        .expect("stepper builds")
+        .with_preconditioner(PreconditionerKind::Jacobi)
+        .expect("jacobi factors")
+        .with_warm_start(false);
+    let steps = transient_steps();
+    let (seed_wall, seed_iters, seed_hot) = run_transient(&mut seed_stepper, &scales, steps);
+
+    let mut engine_stepper =
+        TransientStepper::new(design, &spec, initial, TRANSIENT_DT_S).expect("stepper builds");
+    let (engine_wall, engine_iters, engine_hot) =
+        run_transient(&mut engine_stepper, &scales, steps);
+
+    assert!(
+        (seed_hot - engine_hot).abs() < 1e-6,
+        "paths disagree: seed {seed_hot} vs engine {engine_hot}"
+    );
+    let speedup = seed_wall / engine_wall;
+    let transient = [
+        TransientRecord {
+            label: "seed_jacobi_cold",
+            wall_s: seed_wall,
+            steps_per_s: steps as f64 / seed_wall,
+            total_iterations: seed_iters,
+            final_hottest_c: seed_hot,
+        },
+        TransientRecord {
+            label: "engine_ic0_warm",
+            wall_s: engine_wall,
+            steps_per_s: steps as f64 / engine_wall,
+            total_iterations: engine_iters,
+            final_hottest_c: engine_hot,
+        },
+    ];
+    for t in &transient {
+        println!(
+            "[transient] {:>17}: {:>6.2} s ({:>7.1} steps/s, {} CG iterations)",
+            t.label, t.wall_s, t.steps_per_s, t.total_iterations
+        );
+    }
+    println!("[transient] wall-clock speedup engine vs seed: {speedup:.2}x");
+
+    // ---- Emit JSON -----------------------------------------------------
+    let steady_json: Vec<String> = steady
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{ \"preconditioner\": \"{}\", \"cold_ms\": {:.3}, \
+                 \"cold_iterations\": {}, \"warm_ms\": {:.3}, \"warm_iterations\": {} }}",
+                s.name, s.cold_ms, s.cold_iterations, s.warm_ms, s.warm_iterations
+            )
+        })
+        .collect();
+    let transient_json: Vec<String> = transient
+        .iter()
+        .map(|t| {
+            format!(
+                "      {{ \"path\": \"{}\", \"wall_s\": {:.4}, \"steps_per_s\": {:.2}, \
+                 \"total_cg_iterations\": {}, \"final_hottest_c\": {:.4} }}",
+                t.label, t.wall_s, t.steps_per_s, t.total_iterations, t.final_hottest_c
+            )
+        })
+        .collect();
+    let ic0 = steady.iter().find(|s| s.name == "ic0").expect("ic0 present");
+    let jacobi = steady.iter().find(|s| s.name == "jacobi").expect("jacobi present");
+    let json = format!(
+        "{{\n  \"schema\": \"bench_solvers_v1\",\n  \"generated_by\": \"perf_record\",\n  \
+         \"workload\": \"SccConfig::tiny_test, p_vcsel = 4 mW\",\n  \"unknowns\": {unknowns},\n  \
+         \"steady\": [\n{}\n  ],\n  \"transient\": {{\n    \"steps\": {steps},\n    \
+         \"dt_s\": {TRANSIENT_DT_S},\n    \"paths\": [\n{}\n    ],\n    \
+         \"speedup_engine_vs_seed\": {speedup:.3}\n  }},\n  \
+         \"ic0_vs_jacobi_cold_iteration_ratio\": {:.4}\n}}\n",
+        steady_json.join(",\n"),
+        transient_json.join(",\n"),
+        ic0.cold_iterations as f64 / jacobi.cold_iterations.max(1) as f64,
+    );
+    std::fs::write(&out_path, &json).expect("write bench record");
+    println!("[perf_record] wrote {out_path}");
+
+    // The acceptance bar for this bench: the engine must at least halve the
+    // transient wall clock and the IC(0) iteration count vs Jacobi.
+    assert!(speedup >= 2.0, "transient speedup {speedup:.2}x < 2x");
+    assert!(
+        2 * ic0.cold_iterations <= jacobi.cold_iterations,
+        "IC(0) iterations {} vs Jacobi {} — expected at most half",
+        ic0.cold_iterations,
+        jacobi.cold_iterations
+    );
+}

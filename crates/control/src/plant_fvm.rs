@@ -135,15 +135,16 @@ impl ThermalPlant for FvmPlant {
                 ),
             });
         }
-        let scales: Vec<(String, f64)> = self
+        // Borrow the group names in place: every control step used to clone
+        // one String per node, which adds up over thousand-step runs.
+        let scales: Vec<(&str, f64)> = self
             .nodes
             .iter()
             .zip(powers)
-            .map(|(node, p)| (node.group.clone(), p.value() / node.reference.value()))
+            .map(|(node, p)| (node.group.as_str(), p.value() / node.reference.value()))
             .collect();
-        let scale_refs: Vec<(&str, f64)> = scales.iter().map(|(g, s)| (g.as_str(), *s)).collect();
         self.stepper
-            .step(&scale_refs)
+            .step(&scales)
             .map_err(|e| ControlError::BadParameter { reason: e.to_string() })?;
         Ok(self.temperatures())
     }

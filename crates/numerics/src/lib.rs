@@ -7,9 +7,13 @@
 //! models and design-space exploration use — without pulling in a heavyweight
 //! linear-algebra dependency:
 //!
-//! * [`CsrMatrix`]: compressed-sparse-row matrices with a triplet builder,
-//! * [`solver`]: Jacobi-preconditioned conjugate gradient, SOR/Gauss-Seidel
-//!   and BiCGSTAB iterative solvers,
+//! * [`CsrMatrix`]: compressed-sparse-row matrices with a triplet builder
+//!   and a row-partitioned threaded SpMV for large systems,
+//! * [`solver`]: preconditioned conjugate gradient with warm starts and
+//!   caller-owned scratch buffers, plus SOR/Gauss-Seidel and BiCGSTAB
+//!   cross-check solvers,
+//! * [`precond`]: Jacobi, SSOR and IC(0) incomplete-Cholesky
+//!   preconditioners behind the [`Preconditioner`] trait,
 //! * [`Interp1d`] / [`Interp2d`]: piecewise-linear lookup tables (the paper's
 //!   "VCSEL model library" is consumed in this form),
 //! * [`golden_section_min`] / [`grid_argmin`]: 1-D minimizers used by the
@@ -40,6 +44,7 @@
 mod error;
 mod interp;
 mod optimize;
+pub mod precond;
 pub mod solver;
 mod sparse;
 pub mod special;
@@ -48,5 +53,8 @@ mod stats;
 pub use error::NumericsError;
 pub use interp::{Interp1d, Interp2d};
 pub use optimize::{golden_section_min, grid_argmin, Minimum};
+pub use precond::{
+    AnyPreconditioner, IncompleteCholesky, Jacobi, Preconditioner, PreconditionerKind, Ssor,
+};
 pub use sparse::{CsrMatrix, TripletBuilder};
 pub use stats::Summary;

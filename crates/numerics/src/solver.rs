@@ -1,15 +1,19 @@
 //! Iterative solvers for the sparse SPD systems produced by FVM assembly.
 //!
-//! Three methods are provided, mirroring the trade-offs an IcTherm-class
-//! simulator makes internally:
+//! The workhorse is [`preconditioned_cg`]: conjugate gradient with a
+//! pluggable [`Preconditioner`](crate::Preconditioner), a warm-start initial
+//! guess, and caller-owned scratch buffers ([`CgWorkspace`]) so the
+//! iteration loop performs **zero allocations** — the shape repeated
+//! transient stepping and multi-right-hand-side calibration need. Around it:
 //!
-//! * [`conjugate_gradient`] — Jacobi-preconditioned CG; the workhorse for the
-//!   symmetric positive-definite conduction matrices,
+//! * [`conjugate_gradient`] — the legacy cold-start Jacobi-CG entry point,
+//!   now a thin wrapper over [`preconditioned_cg`],
 //! * [`sor`] — successive over-relaxation (ω = 1 gives Gauss-Seidel); slower
 //!   but simple, used as a cross-check and in ablation benchmarks,
 //! * [`bicgstab`] — for mildly non-symmetric systems (e.g. upwinded
 //!   convection terms if a user extends the solver).
 
+use crate::precond::{Jacobi, Preconditioner};
 use crate::{CsrMatrix, NumericsError};
 
 /// Convergence controls for the iterative solvers.
@@ -79,11 +83,179 @@ fn validate_system(a: &CsrMatrix, b: &[f64]) -> Result<(), NumericsError> {
     Ok(())
 }
 
-/// Solves `A x = b` with Jacobi-preconditioned conjugate gradient.
+/// Caller-owned scratch vectors for [`preconditioned_cg`].
+///
+/// Holding one workspace per solve engine keeps the CG iteration loop free
+/// of allocations across repeated solves: the four direction/residual
+/// vectors are resized once on first use and reused afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct CgWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// An empty workspace; buffers are sized lazily by the solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes every buffer for systems of `n` unknowns.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { r: vec![0.0; n], z: vec![0.0; n], p: vec![0.0; n], ap: vec![0.0; n] }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.r.len() != n {
+            self.r.resize(n, 0.0);
+            self.z.resize(n, 0.0);
+            self.p.resize(n, 0.0);
+            self.ap.resize(n, 0.0);
+        }
+    }
+}
+
+/// Iteration statistics of a [`preconditioned_cg`] solve (the solution
+/// itself lands in the caller's `x`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgSummary {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final relative residual norm ‖b − Ax‖₂ / ‖b‖₂.
+    pub residual: f64,
+}
+
+/// Solves `A x = b` with preconditioned conjugate gradient, warm-starting
+/// from the incoming contents of `x`.
+///
+/// `x` is **in/out**: on entry it is the initial guess (pass zeros for a
+/// cold start; the previous time step or the previous right-hand side's
+/// solution for a warm start), on successful return it holds the solution.
+/// Scratch vectors come from `ws`, so the iteration loop allocates nothing;
+/// one workspace can serve many solves of the same (or different) sizes.
 ///
 /// `A` must be symmetric positive definite — which the FVM conduction matrix
 /// always is (harmonic-mean conductances plus a positive Robin boundary
-/// term). Convergence is declared on the *relative* residual.
+/// term). Convergence is declared on the *relative* residual, so a warm
+/// start that already satisfies the tolerance returns after zero iterations.
+///
+/// # Errors
+///
+/// * [`NumericsError::BadMatrix`] if `A` is not square or indefiniteness is
+///   detected (`pᵀAp ≤ 0`),
+/// * [`NumericsError::DimensionMismatch`] if `b` or `x` have the wrong
+///   length,
+/// * [`NumericsError::BadInput`] for non-finite entries in `b` or `x`,
+/// * [`NumericsError::NoConvergence`] if the iteration cap is reached.
+///
+/// # Example
+///
+/// ```
+/// use vcsel_numerics::solver::{preconditioned_cg, CgWorkspace, SolveOptions};
+/// use vcsel_numerics::{IncompleteCholesky, TripletBuilder};
+///
+/// let mut b = TripletBuilder::new(2, 2);
+/// b.add(0, 0, 4.0); b.add(1, 1, 9.0);
+/// let a = b.build();
+/// let m = IncompleteCholesky::new(&a)?;
+/// let mut ws = CgWorkspace::new();
+/// let mut x = vec![0.0; 2];
+/// let stats = preconditioned_cg(&a, &[8.0, 27.0], &mut x, &m, &Default::default(), &mut ws)?;
+/// assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 3.0).abs() < 1e-9);
+/// // Warm restart from the solution: converged before the first iteration.
+/// let again = preconditioned_cg(&a, &[8.0, 27.0], &mut x, &m, &Default::default(), &mut ws)?;
+/// assert_eq!(again.iterations, 0);
+/// # Ok::<(), vcsel_numerics::NumericsError>(())
+/// ```
+pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    m: &P,
+    opts: &SolveOptions,
+    ws: &mut CgWorkspace,
+) -> Result<CgSummary, NumericsError> {
+    validate_system(a, b)?;
+    let n = a.rows();
+    if x.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            what: "initial guess",
+            expected: n,
+            got: x.len(),
+        });
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(NumericsError::BadInput {
+            reason: "initial guess contains non-finite values".into(),
+        });
+    }
+
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        x.fill(0.0);
+        return Ok(CgSummary { iterations: 0, residual: 0.0 });
+    }
+
+    ws.ensure(n);
+    // r = b − A·x (skip the matvec for an all-zero guess).
+    if x.iter().all(|&v| v == 0.0) {
+        ws.r.copy_from_slice(b);
+    } else {
+        a.multiply_into(x, &mut ws.ap);
+        for (ri, (bi, ai)) in ws.r.iter_mut().zip(b.iter().zip(&ws.ap)) {
+            *ri = bi - ai;
+        }
+    }
+    m.apply(&ws.r, &mut ws.z);
+    ws.p.copy_from_slice(&ws.z);
+    let mut rz = dot(&ws.r, &ws.z);
+
+    for iteration in 0..opts.max_iterations {
+        let res = norm2(&ws.r) / b_norm;
+        if res <= opts.tolerance {
+            return Ok(CgSummary { iterations: iteration, residual: res });
+        }
+
+        a.multiply_into(&ws.p, &mut ws.ap);
+        let pap = dot(&ws.p, &ws.ap);
+        if pap <= 0.0 {
+            return Err(NumericsError::BadMatrix {
+                reason: format!("matrix is not positive definite (pᵀAp = {pap:.3e})"),
+            });
+        }
+        let alpha = rz / pap;
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi += alpha * ws.p[i];
+            ws.r[i] -= alpha * ws.ap[i];
+        }
+        m.apply(&ws.r, &mut ws.z);
+        let rz_next = dot(&ws.r, &ws.z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        for i in 0..n {
+            ws.p[i] = ws.z[i] + beta * ws.p[i];
+        }
+    }
+
+    let res = norm2(&ws.r) / b_norm;
+    if res <= opts.tolerance {
+        return Ok(CgSummary { iterations: opts.max_iterations, residual: res });
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: opts.max_iterations,
+        residual: res,
+        tolerance: opts.tolerance,
+    })
+}
+
+/// Solves `A x = b` with Jacobi-preconditioned conjugate gradient from a
+/// zero initial guess.
+///
+/// This is the legacy one-shot entry point; engines that solve the same
+/// system repeatedly should hold a [`Preconditioner`](crate::Preconditioner)
+/// and a [`CgWorkspace`] and call [`preconditioned_cg`] directly.
 ///
 /// # Errors
 ///
@@ -111,67 +283,11 @@ pub fn conjugate_gradient(
     opts: &SolveOptions,
 ) -> Result<Solution, NumericsError> {
     validate_system(a, b)?;
-    let n = a.rows();
-
-    // Jacobi preconditioner: M⁻¹ = diag(A)⁻¹.
-    let diag = a.diagonal();
-    if let Some(i) = diag.iter().position(|&d| d <= 0.0 || !d.is_finite()) {
-        return Err(NumericsError::BadMatrix {
-            reason: format!("non-positive or non-finite diagonal entry {} at row {i}", diag[i]),
-        });
-    }
-    let inv_diag: Vec<f64> = diag.iter().map(|&d| 1.0 / d).collect();
-
-    let b_norm = norm2(b);
-    if b_norm == 0.0 {
-        return Ok(Solution { solution: vec![0.0; n], iterations: 0, residual: 0.0 });
-    }
-
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec(); // r = b - A*0
-    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut ap = vec![0.0; n];
-
-    for iteration in 0..opts.max_iterations {
-        let res = norm2(&r) / b_norm;
-        if res <= opts.tolerance {
-            return Ok(Solution { solution: x, iterations: iteration, residual: res });
-        }
-
-        a.mul_vec_into(&p, &mut ap);
-        let pap = dot(&p, &ap);
-        if pap <= 0.0 {
-            return Err(NumericsError::BadMatrix {
-                reason: format!("matrix is not positive definite (pᵀAp = {pap:.3e})"),
-            });
-        }
-        let alpha = rz / pap;
-        for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-        }
-        for i in 0..n {
-            z[i] = r[i] * inv_diag[i];
-        }
-        let rz_next = dot(&r, &z);
-        let beta = rz_next / rz;
-        rz = rz_next;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
-    }
-
-    let res = norm2(&r) / b_norm;
-    if res <= opts.tolerance {
-        return Ok(Solution { solution: x, iterations: opts.max_iterations, residual: res });
-    }
-    Err(NumericsError::NoConvergence {
-        iterations: opts.max_iterations,
-        residual: res,
-        tolerance: opts.tolerance,
-    })
+    let m = Jacobi::new(a)?;
+    let mut x = vec![0.0; a.rows()];
+    let mut ws = CgWorkspace::new();
+    let stats = preconditioned_cg(a, b, &mut x, &m, opts, &mut ws)?;
+    Ok(Solution { solution: x, iterations: stats.iterations, residual: stats.residual })
 }
 
 /// Solves `A x = b` with successive over-relaxation.
@@ -454,5 +570,161 @@ mod tests {
         let a = laplacian_1d(3);
         let opts = SolveOptions { relaxation: 2.5, ..Default::default() };
         assert!(sor(&a, &[1.0; 3], &opts).is_err());
+    }
+
+    #[test]
+    fn warm_start_from_solution_converges_immediately() {
+        let n = 60;
+        let a = laplacian_1d(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+        let m = crate::Jacobi::new(&a).unwrap();
+        let mut ws = CgWorkspace::new();
+        let mut x = vec![0.0; n];
+        let cold = preconditioned_cg(&a, &b, &mut x, &m, &SolveOptions::default(), &mut ws)
+            .expect("cold solve");
+        assert!(cold.iterations > 0);
+        let warm = preconditioned_cg(&a, &b, &mut x, &m, &SolveOptions::default(), &mut ws)
+            .expect("warm solve");
+        assert_eq!(warm.iterations, 0, "solution-as-guess must converge before iterating");
+    }
+
+    #[test]
+    fn warm_start_near_solution_needs_fewer_iterations() {
+        // A diagonally shifted Laplacian — the `A + C/Δt` shape backward
+        // Euler produces — where CG converges by residual contraction
+        // rather than by exhausting the Krylov space, so a good initial
+        // guess genuinely saves iterations.
+        let n = 80;
+        let mut tb = TripletBuilder::with_capacity(n, n, 3 * n);
+        for i in 0..n {
+            tb.add(i, i, 3.0);
+            if i > 0 {
+                tb.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                tb.add(i, i + 1, -1.0);
+            }
+        }
+        let a = tb.build();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let m = crate::Jacobi::new(&a).unwrap();
+        let mut ws = CgWorkspace::new();
+        let mut cold_x = vec![0.0; n];
+        let cold = preconditioned_cg(&a, &b, &mut cold_x, &m, &SolveOptions::default(), &mut ws)
+            .expect("cold");
+        // Perturb the converged solution slightly: the warm solve must beat
+        // the cold iteration count by a wide margin.
+        let mut warm_x: Vec<f64> = cold_x.iter().map(|v| v * 1.000_001).collect();
+        let warm = preconditioned_cg(&a, &b, &mut warm_x, &m, &SolveOptions::default(), &mut ws)
+            .expect("warm");
+        assert!(
+            warm.iterations * 2 < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        check_residual(&a, &b, &warm_x, 1e-9);
+    }
+
+    #[test]
+    fn ic0_cg_beats_jacobi_cg_on_anisotropic_stencil() {
+        // A 2-D 5-point stencil with a 100:1 conductance anisotropy — the
+        // shape high-aspect-ratio FVM cells produce. IC(0) must agree with
+        // Jacobi and take at most half the iterations.
+        let (nx, ny) = (24, 24);
+        let n = nx * ny;
+        let mut tb = TripletBuilder::with_capacity(n, n, 5 * n);
+        let (gx, gy) = (100.0, 1.0);
+        for j in 0..ny {
+            for i in 0..nx {
+                let c = j * nx + i;
+                let mut diag = 1e-3;
+                if i + 1 < nx {
+                    tb.add(c, c + 1, -gx);
+                    tb.add(c + 1, c, -gx);
+                    diag += gx;
+                }
+                if i > 0 {
+                    diag += gx;
+                }
+                if j + 1 < ny {
+                    tb.add(c, c + nx, -gy);
+                    tb.add(c + nx, c, -gy);
+                    diag += gy;
+                }
+                if j > 0 {
+                    diag += gy;
+                }
+                tb.add(c, c, diag);
+            }
+        }
+        let a = tb.build();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin() + 1.5).collect();
+        let opts = SolveOptions { tolerance: 1e-10, max_iterations: 100_000, relaxation: 1.6 };
+
+        let jac = crate::Jacobi::new(&a).unwrap();
+        let ic = crate::IncompleteCholesky::new(&a).unwrap();
+        let mut ws = CgWorkspace::new();
+        let mut xj = vec![0.0; n];
+        let sj = preconditioned_cg(&a, &b, &mut xj, &jac, &opts, &mut ws).unwrap();
+        let mut xi = vec![0.0; n];
+        let si = preconditioned_cg(&a, &b, &mut xi, &ic, &opts, &mut ws).unwrap();
+
+        for (p, q) in xj.iter().zip(&xi) {
+            assert!((p - q).abs() < 1e-5 * p.abs().max(1.0), "{p} vs {q}");
+        }
+        assert!(
+            2 * si.iterations <= sj.iterations,
+            "IC(0) took {} iterations vs Jacobi {}",
+            si.iterations,
+            sj.iterations
+        );
+    }
+
+    #[test]
+    fn pcg_validates_guess() {
+        let a = laplacian_1d(4);
+        let m = crate::Jacobi::new(&a).unwrap();
+        let mut ws = CgWorkspace::new();
+        let mut short = vec![0.0; 3];
+        assert!(matches!(
+            preconditioned_cg(&a, &[1.0; 4], &mut short, &m, &Default::default(), &mut ws),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+        let mut bad = vec![f64::NAN; 4];
+        assert!(matches!(
+            preconditioned_cg(&a, &[1.0; 4], &mut bad, &m, &Default::default(), &mut ws),
+            Err(NumericsError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn pcg_zero_rhs_zeroes_the_guess() {
+        let a = laplacian_1d(4);
+        let m = crate::Jacobi::new(&a).unwrap();
+        let mut ws = CgWorkspace::new();
+        let mut x = vec![7.0; 4];
+        let s = preconditioned_cg(&a, &[0.0; 4], &mut x, &m, &Default::default(), &mut ws).unwrap();
+        assert_eq!(x, vec![0.0; 4]);
+        assert_eq!(s.iterations, 0);
+    }
+
+    #[test]
+    fn ssor_cg_agrees_with_jacobi_cg() {
+        let n = 50;
+        let a = laplacian_1d(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let opts = SolveOptions { tolerance: 1e-11, max_iterations: 10_000, relaxation: 1.6 };
+        let jac = crate::Jacobi::new(&a).unwrap();
+        let ss = crate::Ssor::new(&a, 1.4).unwrap();
+        let mut ws = CgWorkspace::new();
+        let mut xj = vec![0.0; n];
+        preconditioned_cg(&a, &b, &mut xj, &jac, &opts, &mut ws).unwrap();
+        let mut xs = vec![0.0; n];
+        let stats = preconditioned_cg(&a, &b, &mut xs, &ss, &opts, &mut ws).unwrap();
+        for (p, q) in xj.iter().zip(&xs) {
+            assert!((p - q).abs() < 1e-6, "{p} vs {q}");
+        }
+        assert!(stats.residual <= opts.tolerance);
     }
 }

@@ -2,8 +2,46 @@
 //! SPD systems, interpolation bounds, optimizer guarantees.
 
 use proptest::prelude::*;
-use vcsel_numerics::solver::{bicgstab, conjugate_gradient, sor, SolveOptions};
-use vcsel_numerics::{golden_section_min, grid_argmin, CsrMatrix, Interp1d, TripletBuilder};
+use vcsel_numerics::solver::{
+    bicgstab, conjugate_gradient, preconditioned_cg, sor, CgWorkspace, SolveOptions,
+};
+use vcsel_numerics::{
+    golden_section_min, grid_argmin, CsrMatrix, Interp1d, PreconditionerKind, TripletBuilder,
+};
+
+/// Random SPD stencil matrix: a 2-D 5-point grid Laplacian with per-edge
+/// conductances and diagonal shifts drawn from the seed values — the shape
+/// (and conditioning spread) of FVM conduction systems.
+fn random_spd_stencil(nx: usize, ny: usize, seed: &[f64]) -> CsrMatrix {
+    let n = nx * ny;
+    let mut b = TripletBuilder::with_capacity(n, n, 5 * n);
+    let draw = |k: usize| 0.05 + seed[k % seed.len()].abs();
+    let mut diag = vec![0.0; n];
+    for j in 0..ny {
+        for i in 0..nx {
+            let c = j * nx + i;
+            if i + 1 < nx {
+                let g = draw(c * 3 + 1);
+                b.add(c, c + 1, -g);
+                b.add(c + 1, c, -g);
+                diag[c] += g;
+                diag[c + 1] += g;
+            }
+            if j + 1 < ny {
+                let g = draw(c * 5 + 2);
+                b.add(c, c + nx, -g);
+                b.add(c + nx, c, -g);
+                diag[c] += g;
+                diag[c + nx] += g;
+            }
+        }
+    }
+    for (c, d) in diag.iter().enumerate() {
+        // Small positive shift keeps the matrix SPD (Robin-boundary-like).
+        b.add(c, c, d + 0.01 + 0.1 * seed[(c * 7 + 3) % seed.len()].abs());
+    }
+    b.build()
+}
 
 /// Random symmetric diagonally dominant (hence SPD) matrix.
 fn random_spd(n: usize, seed: &[f64]) -> CsrMatrix {
@@ -68,6 +106,66 @@ proptest! {
             prop_assert!((cg[i] - gs[i]).abs() < 1e-6 * scale, "CG vs SOR at {i}");
             prop_assert!((cg[i] - bi[i]).abs() < 1e-6 * scale, "CG vs BiCGSTAB at {i}");
         }
+    }
+
+    #[test]
+    fn preconditioned_cg_variants_agree_on_random_stencils(
+        nx in 3usize..9,
+        ny in 3usize..9,
+        seed in proptest::collection::vec(-2.0f64..2.0, 48),
+        rhs_seed in proptest::collection::vec(-5.0f64..5.0, 81),
+        omega in 0.4f64..1.8,
+    ) {
+        // IC(0)-CG, SSOR-CG and Jacobi-CG must land on the same solution of
+        // a random SPD stencil system, whatever the conditioning draw.
+        let a = random_spd_stencil(nx, ny, &seed);
+        let n = nx * ny;
+        let rhs: Vec<f64> = rhs_seed.iter().take(n).cloned().collect();
+        let opts = SolveOptions { tolerance: 1e-11, max_iterations: 50_000, relaxation: 1.5 };
+        let kinds = [
+            PreconditionerKind::Jacobi,
+            PreconditionerKind::IncompleteCholesky,
+            PreconditionerKind::Ssor { omega },
+        ];
+        let mut solutions = Vec::new();
+        let mut ws = CgWorkspace::new();
+        for kind in kinds {
+            let m = kind.build(&a).expect("SPD stencil factors");
+            let mut x = vec![0.0; n];
+            let stats = preconditioned_cg(&a, &rhs, &mut x, &m, &opts, &mut ws).expect("converges");
+            prop_assert!(stats.residual <= opts.tolerance);
+            prop_assert!(residual(&a, &x, &rhs) < 1e-8);
+            solutions.push(x);
+        }
+        let scale = solutions[0].iter().map(|v| v.abs()).fold(1e-12, f64::max);
+        for other in &solutions[1..] {
+            for (p, q) in solutions[0].iter().zip(other) {
+                prop_assert!((p - q).abs() < 1e-6 * scale, "preconditioner mismatch: {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_never_loses_to_cold_on_random_stencils(
+        nx in 3usize..8,
+        ny in 3usize..8,
+        seed in proptest::collection::vec(-2.0f64..2.0, 32),
+        rhs_seed in proptest::collection::vec(-5.0f64..5.0, 64),
+    ) {
+        // Restarting CG from its own solution must converge immediately,
+        // and the answer must stay put.
+        let a = random_spd_stencil(nx, ny, &seed);
+        let n = nx * ny;
+        let rhs: Vec<f64> = rhs_seed.iter().take(n).cloned().collect();
+        let opts = SolveOptions { tolerance: 1e-10, max_iterations: 50_000, relaxation: 1.5 };
+        let m = PreconditionerKind::IncompleteCholesky.build(&a).expect("factors");
+        let mut ws = CgWorkspace::new();
+        let mut x = vec![0.0; n];
+        preconditioned_cg(&a, &rhs, &mut x, &m, &opts, &mut ws).expect("cold");
+        let before = x.clone();
+        let warm = preconditioned_cg(&a, &rhs, &mut x, &m, &opts, &mut ws).expect("warm");
+        prop_assert_eq!(warm.iterations, 0);
+        prop_assert_eq!(before, x);
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! The reusable steady-state solve engine.
+//!
+//! Everything the run-time management loop does — design-space sweeps,
+//! influence-matrix calibration (one solve per tile), mesh-convergence
+//! studies, superposition bases — funnels into the same pattern: *many
+//! solves of one FVM system whose matrix never changes*, because the
+//! conduction operator depends only on geometry, materials and boundary
+//! conditions, while the injected powers only move the right-hand side.
+//!
+//! [`SolveContext`] exploits that: it assembles the system **once**, paints
+//! one power vector per controllable group, factors an IC(0) preconditioner
+//! **once**, and then serves any number of right-hand sides with
+//! warm-started, allocation-free conjugate gradient — each solve reuses the
+//! previous solution as its initial guess and the same scratch buffers.
+
+use vcsel_numerics::solver::{self, CgWorkspace, SolveOptions};
+use vcsel_numerics::{AnyPreconditioner, CsrMatrix, NumericsError, PreconditionerKind};
+use vcsel_units::{Celsius, Meters};
+
+use crate::assembly::{self, BoundaryFace};
+use crate::{Design, Mesh, MeshSpec, ThermalError, ThermalMap};
+
+/// Factors the preferred preconditioner for an SPD FVM system, falling back
+/// to Jacobi if the requested factorization breaks down (IC(0) cannot fail
+/// on the M-matrices our assembly produces, but a fallback keeps the engine
+/// total for exotic user matrices).
+pub(crate) fn factor_preconditioner(
+    a: &CsrMatrix,
+    kind: PreconditionerKind,
+) -> Result<AnyPreconditioner, NumericsError> {
+    match kind.build(a) {
+        Ok(p) => Ok(p),
+        Err(_) if kind != PreconditionerKind::Jacobi => PreconditionerKind::Jacobi.build(a),
+        Err(e) => Err(e),
+    }
+}
+
+/// A cached, reusable solve engine for one `(design, mesh)` pair.
+///
+/// Construction performs the expensive, power-independent work — meshing
+/// (unless a prebuilt [`Mesh`] is supplied), FVM assembly, power painting
+/// per group, preconditioner factorization. Every subsequent
+/// [`solve`](SolveContext::solve) /
+/// [`solve_scaled`](SolveContext::solve_scaled) /
+/// [`solve_probes`](SolveContext::solve_probes) only rebuilds the
+/// right-hand side in a held buffer and runs warm-started CG.
+///
+/// # Example
+///
+/// ```no_run
+/// use vcsel_thermal::{Design, MeshSpec, SolveContext};
+/// # fn get(_: ()) -> (Design, MeshSpec) { unimplemented!() }
+/// # let (design, spec) = get(());
+/// let mut ctx = SolveContext::new(&design, &spec)?;
+/// let reference = ctx.solve()?;                    // all groups at 1x
+/// let heater_off = ctx.solve_scaled(&[("chip", 1.0)])?; // heater omitted -> 0
+/// println!("{} vs {}", reference.hottest().1, heater_off.hottest().1);
+/// # Ok::<(), vcsel_thermal::ThermalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolveContext {
+    mesh: Mesh,
+    matrix: CsrMatrix,
+    /// Boundary-condition contribution to the RHS (no sources).
+    boundary_rhs: Vec<f64>,
+    boundary_faces: Vec<BoundaryFace>,
+    /// Power of blocks without a group, applied at scale 1 on every solve.
+    static_power: Vec<f64>,
+    /// `(group, per-cell power at the design's reference block powers)`,
+    /// sorted by group name.
+    group_power: Vec<(String, Vec<f64>)>,
+    precond: AnyPreconditioner,
+    options: SolveOptions,
+    /// Last solution; doubles as the next solve's warm-start guess.
+    temps: Vec<f64>,
+    rhs: Vec<f64>,
+    ws: CgWorkspace,
+    last_iterations: usize,
+    total_iterations: usize,
+}
+
+impl SolveContext {
+    /// Meshes `design` per `spec` and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates meshing and assembly failures ([`ThermalError::NoHeatPath`],
+    /// [`ThermalError::MeshTooLarge`], [`ThermalError::BadParameter`]).
+    pub fn new(design: &Design, spec: &MeshSpec) -> Result<Self, ThermalError> {
+        let mesh = Mesh::build(design, spec)?;
+        Self::on_mesh(design, mesh)
+    }
+
+    /// Builds the engine on an already-built mesh (lets sweeps share one).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SolveContext::new`], minus the meshing errors.
+    pub fn on_mesh(design: &Design, mesh: Mesh) -> Result<Self, ThermalError> {
+        // Assembling a zero-power clone yields the conduction matrix and the
+        // pure boundary RHS; power only ever moves the right-hand side.
+        let mut hollow = design.clone();
+        for b in hollow.blocks_mut() {
+            b.set_power(vcsel_units::Watts::ZERO);
+        }
+        let disc = assembly::assemble(&hollow, &mesh)?;
+
+        let mut groups: Vec<String> =
+            design.blocks().iter().filter_map(|b| b.group().map(str::to_owned)).collect();
+        groups.sort();
+        groups.dedup();
+        let mut group_power = Vec::with_capacity(groups.len());
+        for g in &groups {
+            let mut only = design.clone();
+            for b in only.blocks_mut() {
+                if b.group() != Some(g.as_str()) {
+                    b.set_power(vcsel_units::Watts::ZERO);
+                }
+            }
+            group_power.push((g.clone(), assembly::paint_power(&only, &mesh)?));
+        }
+        let mut ungrouped = design.clone();
+        for b in ungrouped.blocks_mut() {
+            if b.group().is_some() {
+                b.set_power(vcsel_units::Watts::ZERO);
+            }
+        }
+        let static_power = assembly::paint_power(&ungrouped, &mesh)?;
+
+        let precond = factor_preconditioner(&disc.matrix, PreconditionerKind::IncompleteCholesky)?;
+        let n = mesh.cell_count();
+        Ok(Self {
+            mesh,
+            matrix: disc.matrix,
+            boundary_rhs: disc.rhs,
+            boundary_faces: disc.boundary_faces,
+            static_power,
+            group_power,
+            precond,
+            options: SolveOptions { tolerance: 1e-9, max_iterations: 50_000, relaxation: 1.6 },
+            temps: vec![0.0; n],
+            rhs: vec![0.0; n],
+            ws: CgWorkspace::with_capacity(n),
+            last_iterations: 0,
+            total_iterations: 0,
+        })
+    }
+
+    /// Overrides the linear-solver options (builder style).
+    #[must_use]
+    pub fn with_options(mut self, options: SolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Re-factors with a different preconditioner (builder style; benches
+    /// use this to ablate Jacobi vs SSOR vs IC(0) on identical systems).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization failures for the requested kind.
+    pub fn with_preconditioner(mut self, kind: PreconditionerKind) -> Result<Self, ThermalError> {
+        self.precond = kind.build(&self.matrix).map_err(ThermalError::from)?;
+        Ok(self)
+    }
+
+    /// The mesh the engine solves on.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Number of unknowns (mesh cells).
+    pub fn unknowns(&self) -> usize {
+        self.mesh.cell_count()
+    }
+
+    /// The controllable group names, sorted.
+    pub fn groups(&self) -> Vec<&str> {
+        self.group_power.iter().map(|(g, _)| g.as_str()).collect()
+    }
+
+    /// CG iterations of the most recent solve.
+    pub fn last_iterations(&self) -> usize {
+        self.last_iterations
+    }
+
+    /// CG iterations summed over every solve this context has served.
+    pub fn total_iterations(&self) -> usize {
+        self.total_iterations
+    }
+
+    /// Name of the active preconditioner (`"ic0"`, `"jacobi"`, `"ssor"`).
+    pub fn preconditioner_name(&self) -> &'static str {
+        use vcsel_numerics::Preconditioner;
+        self.precond.name()
+    }
+
+    /// Discards the warm-start state so the next solve starts from zero
+    /// (used by benches to measure cold-start behaviour).
+    pub fn reset_guess(&mut self) {
+        self.temps.fill(0.0);
+    }
+
+    /// Solves with every group at its reference power — the design exactly
+    /// as constructed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures ([`ThermalError::Solver`]).
+    pub fn solve(&mut self) -> Result<ThermalMap, ThermalError> {
+        let injected = self.solve_field_with_default(&[], 1.0)?;
+        Ok(self.snapshot(injected))
+    }
+
+    /// Solves with each named group at `scale ×` its reference power.
+    /// Groups not mentioned contribute **zero** power; ungrouped blocks
+    /// always dissipate their design power (mirroring
+    /// [`TransientStepper::step`](crate::TransientStepper::step)).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::UnknownGroup`] for an unknown name,
+    /// [`ThermalError::BadParameter`] for negative or non-finite scales,
+    /// plus solver failures.
+    pub fn solve_scaled(&mut self, scales: &[(&str, f64)]) -> Result<ThermalMap, ThermalError> {
+        let injected = self.solve_field(scales)?;
+        Ok(self.snapshot(injected))
+    }
+
+    /// Solves like [`SolveContext::solve_scaled`] but returns only the
+    /// temperatures at `probes` — the multi-right-hand-side shape influence
+    /// calibration needs, without cloning the mesh into a full
+    /// [`ThermalMap`] per solve.
+    ///
+    /// # Errors
+    ///
+    /// Additionally returns [`ThermalError::BadParameter`] for a probe
+    /// outside the domain.
+    pub fn solve_probes(
+        &mut self,
+        scales: &[(&str, f64)],
+        probes: &[[Meters; 3]],
+    ) -> Result<Vec<Celsius>, ThermalError> {
+        let cells: Vec<usize> = probes
+            .iter()
+            .map(|&p| {
+                self.mesh.locate(p).ok_or_else(|| ThermalError::BadParameter {
+                    reason: "probe lies outside the design domain".into(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        self.solve_field(scales)?;
+        Ok(cells.into_iter().map(|c| Celsius::new(self.temps[c])).collect())
+    }
+
+    /// Builds the RHS for `scales` into the held buffer and runs one
+    /// warm-started CG solve; returns the injected power in watts.
+    fn solve_field(&mut self, scales: &[(&str, f64)]) -> Result<f64, ThermalError> {
+        self.solve_field_with_default(scales, 0.0)
+    }
+
+    /// Like [`Self::solve_field`] but groups omitted from `scales` run at
+    /// `default_scale` (1.0 reproduces the design as constructed).
+    fn solve_field_with_default(
+        &mut self,
+        scales: &[(&str, f64)],
+        default_scale: f64,
+    ) -> Result<f64, ThermalError> {
+        for &(name, s) in scales {
+            if !self.group_power.iter().any(|(g, _)| g == name) {
+                return Err(ThermalError::UnknownGroup { group: name.to_string() });
+            }
+            if !s.is_finite() || s < 0.0 {
+                return Err(ThermalError::BadParameter {
+                    reason: format!("scale for group '{name}' must be non-negative, got {s}"),
+                });
+            }
+        }
+        let n = self.temps.len();
+        let mut injected = 0.0;
+        for i in 0..n {
+            self.rhs[i] = self.boundary_rhs[i] + self.static_power[i];
+        }
+        injected += self.static_power.iter().sum::<f64>();
+        for (g, q) in &self.group_power {
+            let scale =
+                scales.iter().find(|(name, _)| name == g).map(|&(_, s)| s).unwrap_or(default_scale);
+            if scale == 0.0 {
+                continue;
+            }
+            for (ri, qi) in self.rhs.iter_mut().zip(q) {
+                *ri += scale * qi;
+            }
+            injected += scale * q.iter().sum::<f64>();
+        }
+        let stats = solver::preconditioned_cg(
+            &self.matrix,
+            &self.rhs,
+            &mut self.temps,
+            &self.precond,
+            &self.options,
+            &mut self.ws,
+        )?;
+        self.last_iterations = stats.iterations;
+        self.total_iterations += stats.iterations;
+        Ok(injected)
+    }
+
+    fn snapshot(&self, injected: f64) -> ThermalMap {
+        ThermalMap::new(
+            self.mesh.clone(),
+            self.temps.clone(),
+            self.boundary_faces.clone(),
+            injected,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Block, Boundary, BoundaryCondition, BoxRegion, Material, Simulator};
+    use vcsel_units::{Watts, WattsPerSquareMeterKelvin};
+
+    fn mm(v: f64) -> Meters {
+        Meters::from_millimeters(v)
+    }
+
+    fn grouped_slab() -> (Design, MeshSpec) {
+        let domain = BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(4.0), mm(1.0)]).unwrap();
+        let mut d = Design::new(domain, Material::SILICON).unwrap();
+        d.set_boundary(
+            Boundary::top(),
+            BoundaryCondition::Convective {
+                h: WattsPerSquareMeterKelvin::new(2_000.0),
+                ambient: Celsius::new(40.0),
+            },
+        );
+        let src =
+            BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(3.0), mm(3.0), mm(0.2)]).unwrap();
+        d.add_block(
+            Block::heat_source("s", src, Material::COPPER, Watts::new(0.5)).with_group("src"),
+        );
+        let bg =
+            BoxRegion::new([mm(3.0), mm(3.0), Meters::ZERO], [mm(4.0), mm(4.0), mm(0.2)]).unwrap();
+        d.add_block(Block::heat_source("bg", bg, Material::COPPER, Watts::new(0.1)));
+        (d, MeshSpec::uniform(mm(0.5)))
+    }
+
+    #[test]
+    fn matches_the_one_shot_simulator() {
+        let (design, spec) = grouped_slab();
+        let direct = Simulator::new().solve(&design, &spec).unwrap();
+        let mut ctx = SolveContext::new(&design, &spec).unwrap();
+        let cached = ctx.solve().unwrap();
+        for (a, b) in direct.temperatures().iter().zip(cached.temperatures()) {
+            assert!((a - b).abs() < 1e-6, "direct {a} vs context {b}");
+        }
+        assert!((direct.injected_power().value() - cached.injected_power().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_solve_matches_scaled_design() {
+        let (design, spec) = grouped_slab();
+        let mut scaled = design.clone();
+        scaled.scale_group_power("src", 2.5);
+        let direct = Simulator::new().solve(&scaled, &spec).unwrap();
+        let mut ctx = SolveContext::new(&design, &spec).unwrap();
+        let cached = ctx.solve_scaled(&[("src", 2.5)]).unwrap();
+        for (a, b) in direct.temperatures().iter().zip(cached.temperatures()) {
+            assert!((a - b).abs() < 1e-6, "direct {a} vs context {b}");
+        }
+    }
+
+    #[test]
+    fn warm_start_cuts_iterations_on_repeat_solves() {
+        let (design, spec) = grouped_slab();
+        let mut ctx = SolveContext::new(&design, &spec).unwrap();
+        ctx.solve().unwrap();
+        let cold = ctx.last_iterations();
+        assert!(cold > 0);
+        // Identical RHS again: the warm start must converge instantly.
+        ctx.solve().unwrap();
+        assert_eq!(ctx.last_iterations(), 0, "identical re-solve must be free");
+        // A nearby RHS: strictly cheaper than the cold solve.
+        ctx.solve_scaled(&[("src", 1.01)]).unwrap();
+        assert!(ctx.last_iterations() < cold, "warm {} vs cold {cold}", ctx.last_iterations());
+        assert!(ctx.total_iterations() >= cold);
+    }
+
+    #[test]
+    fn probes_match_the_full_map() {
+        let (design, spec) = grouped_slab();
+        let probe = [mm(2.0), mm(2.0), mm(0.1)];
+        let mut ctx = SolveContext::new(&design, &spec).unwrap();
+        let map = ctx.solve_scaled(&[("src", 1.0)]).unwrap();
+        let probed = ctx.solve_probes(&[("src", 1.0)], &[probe]).unwrap();
+        assert!((map.temperature_at(probe).unwrap().value() - probed[0].value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn omitted_groups_are_off_but_static_power_stays() {
+        let (design, spec) = grouped_slab();
+        let mut ctx = SolveContext::new(&design, &spec).unwrap();
+        let off = ctx.solve_scaled(&[]).unwrap();
+        // Static "bg" block keeps its corner warm even with "src" off.
+        let bg_probe = [mm(3.5), mm(3.5), mm(0.1)];
+        assert!(off.temperature_at(bg_probe).unwrap().value() > 40.05);
+        // And the hottest spot moved off the (disabled) main source.
+        let src_probe = [mm(1.5), mm(1.5), mm(0.1)];
+        assert!(
+            off.temperature_at(bg_probe).unwrap() > off.temperature_at(src_probe).unwrap(),
+            "src must be off"
+        );
+    }
+
+    #[test]
+    fn preconditioner_choice_changes_iterations_not_answers() {
+        let (design, spec) = grouped_slab();
+        let mut ic = SolveContext::new(&design, &spec).unwrap();
+        let mut jac = SolveContext::new(&design, &spec)
+            .unwrap()
+            .with_preconditioner(PreconditionerKind::Jacobi)
+            .unwrap();
+        assert_eq!(ic.preconditioner_name(), "ic0");
+        assert_eq!(jac.preconditioner_name(), "jacobi");
+        let a = ic.solve().unwrap();
+        let b = jac.solve().unwrap();
+        for (x, y) in a.temperatures().iter().zip(b.temperatures()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(ic.last_iterations() < jac.last_iterations());
+    }
+
+    #[test]
+    fn validation() {
+        let (design, spec) = grouped_slab();
+        let mut ctx = SolveContext::new(&design, &spec).unwrap();
+        assert!(matches!(
+            ctx.solve_scaled(&[("nope", 1.0)]),
+            Err(ThermalError::UnknownGroup { .. })
+        ));
+        assert!(ctx.solve_scaled(&[("src", -1.0)]).is_err());
+        assert!(ctx.solve_scaled(&[("src", f64::NAN)]).is_err());
+        assert!(ctx.solve_probes(&[], &[[mm(99.0), mm(0.0), mm(0.0)]]).is_err());
+        assert_eq!(ctx.groups(), vec!["src"]);
+        assert!(ctx.unknowns() > 0);
+        assert_eq!(ctx.mesh().cell_count(), ctx.unknowns());
+    }
+}

@@ -9,7 +9,7 @@
 
 use vcsel_units::Meters;
 
-use crate::{Design, MeshSpec, Simulator, ThermalError};
+use crate::{Design, MeshSpec, Simulator, SolveContext, ThermalError};
 
 /// One refinement level of a convergence study.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +56,10 @@ impl ConvergenceStudy {
     /// Runs the study directly: solves `design` at each cell size in
     /// `cell_sizes` (coarse → fine) and records `observe(map)`.
     ///
+    /// Each level builds its own [`SolveContext`] (the meshes differ, so
+    /// the matrices cannot be shared), keeping the study on the same
+    /// IC(0)-preconditioned engine as every other solve path.
+    ///
     /// # Errors
     ///
     /// Propagates meshing/solver errors; level-ordering errors as in
@@ -68,7 +72,9 @@ impl ConvergenceStudy {
     ) -> Result<Self, ThermalError> {
         let mut levels = Vec::with_capacity(cell_sizes.len());
         for &h in cell_sizes {
-            let map = simulator.solve(design, &MeshSpec::uniform(h))?;
+            let mut ctx = SolveContext::new(design, &MeshSpec::uniform(h))?
+                .with_options(*simulator.options());
+            let map = ctx.solve()?;
             levels.push(ConvergenceLevel {
                 h: h.value(),
                 value: observe(&map),

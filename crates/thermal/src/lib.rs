@@ -65,6 +65,7 @@
 mod assembly;
 mod boundary;
 mod compact;
+mod context;
 mod convergence;
 mod error;
 mod export;
@@ -79,6 +80,7 @@ mod transient;
 
 pub use boundary::{Boundary, BoundaryCondition, BoundarySet};
 pub use compact::{ResistanceStack, StackLayer};
+pub use context::SolveContext;
 pub use convergence::{ConvergenceLevel, ConvergenceStudy};
 pub use error::ThermalError;
 pub use export::MapSlice;
@@ -90,3 +92,6 @@ pub use simulator::Simulator;
 pub use stepper::TransientStepper;
 pub use superposition::ResponseBasis;
 pub use transient::{TransientSimulator, TransientTrace};
+/// Re-exported so downstream crates can pick a solve-engine preconditioner
+/// without depending on `vcsel_numerics` directly.
+pub use vcsel_numerics::PreconditionerKind;

@@ -1,9 +1,8 @@
 //! The steady-state solve driver.
 
-use vcsel_numerics::solver::{self, SolveOptions};
+use vcsel_numerics::solver::SolveOptions;
 
-use crate::assembly;
-use crate::{Design, Mesh, MeshSpec, ThermalError, ThermalMap};
+use crate::{Design, Mesh, MeshSpec, SolveContext, ThermalError, ThermalMap};
 
 /// Steady-state thermal simulator (the IcTherm-equivalent entry point).
 ///
@@ -81,14 +80,17 @@ impl Simulator {
 
     /// Solves on an already-built mesh (lets sweeps reuse the mesh).
     ///
+    /// One-shot solves route through the same [`SolveContext`] engine the
+    /// cached paths use, so every caller gets IC(0) preconditioning; code
+    /// that solves the same design repeatedly should hold a
+    /// [`SolveContext`] directly and keep its warm starts.
+    ///
     /// # Errors
     ///
     /// Same contract as [`Simulator::solve`].
     pub fn solve_on(&self, design: &Design, mesh: Mesh) -> Result<ThermalMap, ThermalError> {
-        let disc = assembly::assemble(design, &mesh)?;
-        let solution = solver::conjugate_gradient(&disc.matrix, &disc.rhs, &self.options)?;
-        let injected: f64 = disc.cell_power.iter().sum();
-        Ok(ThermalMap::new(mesh, solution.solution, disc.boundary_faces, injected))
+        let mut ctx = SolveContext::on_mesh(design, mesh)?.with_options(self.options);
+        ctx.solve()
     }
 }
 

@@ -10,14 +10,20 @@
 //! power-group scale factors (relative to the design's reference powers,
 //! exactly like [`ResponseBasis::compose`](crate::ResponseBasis::compose))
 //! and advances the field by one Δt.
+//!
+//! The `A + C/Δt` system is SPD and constant, so [`TransientStepper::new`]
+//! factors its IC(0) preconditioner exactly once; every step reuses that
+//! factorization, a held right-hand-side buffer and CG workspace (zero
+//! per-step allocations) and warm-starts from the current field.
 
 use std::collections::BTreeMap;
 
-use vcsel_numerics::solver::{self, SolveOptions};
-use vcsel_numerics::{CsrMatrix, TripletBuilder};
+use vcsel_numerics::solver::{self, CgWorkspace, SolveOptions};
+use vcsel_numerics::{AnyPreconditioner, CsrMatrix, PreconditionerKind, TripletBuilder};
 use vcsel_units::{Celsius, Meters};
 
 use crate::assembly::{self, BoundaryFace};
+use crate::context::factor_preconditioner;
 use crate::{Design, Mesh, MeshSpec, ThermalError, ThermalMap};
 
 /// A backward-Euler integrator whose group powers can change every step.
@@ -54,6 +60,15 @@ pub struct TransientStepper {
     dt_s: f64,
     steps: usize,
     options: SolveOptions,
+    /// Factored once in [`TransientStepper::new`]; the `A + C/Δt` matrix
+    /// never changes, so it serves every step.
+    precond: AnyPreconditioner,
+    /// Reusable right-hand-side buffer (no per-step allocation).
+    rhs: Vec<f64>,
+    ws: CgWorkspace,
+    warm_start: bool,
+    last_iterations: usize,
+    total_iterations: usize,
 }
 
 impl TransientStepper {
@@ -126,8 +141,10 @@ impl TransientStepper {
             capacity_over_dt.push(c_dt);
         }
 
+        let system = builder.build();
+        let precond = factor_preconditioner(&system, PreconditionerKind::IncompleteCholesky)?;
         Ok(Self {
-            system: builder.build(),
+            system,
             boundary_rhs: disc.rhs,
             static_power,
             group_power,
@@ -138,6 +155,12 @@ impl TransientStepper {
             dt_s,
             steps: 0,
             options: SolveOptions { tolerance: 1e-9, max_iterations: 50_000, relaxation: 1.6 },
+            precond,
+            rhs: vec![0.0; n],
+            ws: CgWorkspace::with_capacity(n),
+            warm_start: true,
+            last_iterations: 0,
+            total_iterations: 0,
         })
     }
 
@@ -145,6 +168,27 @@ impl TransientStepper {
     #[must_use]
     pub fn with_options(mut self, options: SolveOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Re-factors the per-step preconditioner (builder style). The default
+    /// is IC(0); benches use this to reproduce the seed-era Jacobi path on
+    /// an otherwise identical stepper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization failures for the requested kind.
+    pub fn with_preconditioner(mut self, kind: PreconditionerKind) -> Result<Self, ThermalError> {
+        self.precond = kind.build(&self.system).map_err(ThermalError::from)?;
+        Ok(self)
+    }
+
+    /// Enables/disables warm-starting each step's CG from the current
+    /// field (builder style). On by default; disabling reproduces the
+    /// seed-era cold-start behaviour for ablation benches.
+    #[must_use]
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
         self
     }
 
@@ -161,6 +205,16 @@ impl TransientStepper {
     /// Steps taken so far.
     pub fn steps(&self) -> usize {
         self.steps
+    }
+
+    /// CG iterations of the most recent step.
+    pub fn last_iterations(&self) -> usize {
+        self.last_iterations
+    }
+
+    /// CG iterations summed over every step so far.
+    pub fn total_iterations(&self) -> usize {
+        self.total_iterations
     }
 
     /// Advances one Δt with each named group at `scale ×` its reference
@@ -184,9 +238,7 @@ impl TransientStepper {
                 });
             }
         }
-        let n = self.temps.len();
-        let mut rhs = vec![0.0; n];
-        for (i, r) in rhs.iter_mut().enumerate() {
+        for (i, r) in self.rhs.iter_mut().enumerate() {
             *r = self.boundary_rhs[i]
                 + self.static_power[i]
                 + self.capacity_over_dt[i] * self.temps[i];
@@ -196,12 +248,26 @@ impl TransientStepper {
                 continue;
             }
             let q = &self.group_power[name];
-            for i in 0..n {
-                rhs[i] += s * q[i];
+            for (ri, qi) in self.rhs.iter_mut().zip(q) {
+                *ri += s * qi;
             }
         }
-        let solution = solver::conjugate_gradient(&self.system, &rhs, &self.options)?;
-        self.temps = solution.solution;
+        // The RHS above already consumed T_n, so the field buffer is free
+        // to become the solver's in/out vector: left as-is it warm-starts
+        // from T_n, zeroed it reproduces the cold-start seed behaviour.
+        if !self.warm_start {
+            self.temps.fill(0.0);
+        }
+        let stats = solver::preconditioned_cg(
+            &self.system,
+            &self.rhs,
+            &mut self.temps,
+            &self.precond,
+            &self.options,
+            &mut self.ws,
+        )?;
+        self.last_iterations = stats.iterations;
+        self.total_iterations += stats.iterations;
         self.steps += 1;
         Ok(())
     }
@@ -344,6 +410,35 @@ mod tests {
         let map = stepper.snapshot();
         assert!(map.hottest().1.value() > 40.0);
         assert_eq!(map.mesh().cell_count(), stepper.snapshot().mesh().cell_count());
+    }
+
+    #[test]
+    fn warm_ic0_engine_beats_cold_jacobi_and_agrees() {
+        // The seed-era path (cold-start Jacobi-CG every step) and the new
+        // engine (IC(0) factored once + warm starts) must produce the same
+        // trajectory while the engine spends far fewer iterations.
+        let (design, spec) = grouped_slab();
+        let probe = [mm(2.0), mm(2.0), mm(0.1)];
+        let mut seed = TransientStepper::new(&design, &spec, Celsius::new(40.0), 5e-3)
+            .unwrap()
+            .with_preconditioner(PreconditionerKind::Jacobi)
+            .unwrap()
+            .with_warm_start(false);
+        let mut engine = TransientStepper::new(&design, &spec, Celsius::new(40.0), 5e-3).unwrap();
+        for _ in 0..25 {
+            seed.step(&[("src", 1.0)]).unwrap();
+            engine.step(&[("src", 1.0)]).unwrap();
+        }
+        let a = seed.temperature_at(probe).unwrap().value();
+        let b = engine.temperature_at(probe).unwrap().value();
+        assert!((a - b).abs() < 1e-6, "seed {a} vs engine {b}");
+        assert!(
+            2 * engine.total_iterations() <= seed.total_iterations(),
+            "engine {} vs seed {} iterations",
+            engine.total_iterations(),
+            seed.total_iterations()
+        );
+        assert!(engine.last_iterations() <= engine.total_iterations());
     }
 
     #[test]

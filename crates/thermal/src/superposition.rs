@@ -12,7 +12,7 @@
 //! vector arithmetic — with results identical to re-solving, which the
 //! tests verify.
 
-use crate::{Design, Mesh, MeshSpec, Simulator, ThermalError, ThermalMap};
+use crate::{Design, MeshSpec, Simulator, SolveContext, ThermalError, ThermalMap};
 
 /// Pre-solved unit responses for the power groups of a design.
 ///
@@ -43,8 +43,10 @@ impl ResponseBasis {
     /// Solves the baseline plus one unit response per power group of
     /// `design`.
     ///
-    /// Costs `2 + #groups` solves when the design has ungrouped powers, or
-    /// `1 + #groups` otherwise.
+    /// Costs `1 + #groups` solves, all served by **one** [`SolveContext`]:
+    /// the system is assembled and IC(0)-factored once, every per-group
+    /// right-hand side reuses the factorization and warm-starts from the
+    /// previous field.
     ///
     /// # Errors
     ///
@@ -59,38 +61,23 @@ impl ResponseBasis {
             });
         }
 
-        let mesh = Mesh::build(design, spec)?;
+        let mut ctx = SolveContext::new(design, spec)?.with_options(*sim.options());
 
         // Baseline: all groups at zero, ungrouped powers untouched.
-        let mut base_design = design.clone();
-        for g in &groups {
-            base_design.scale_group_power(g, 0.0);
-        }
-        let baseline = sim.solve_on(&base_design, mesh.clone())?;
+        let baseline = ctx.solve_scaled(&[])?;
 
-        // Pure-BC field (needed to isolate each group's rise). If the
-        // baseline already contains no power, it *is* the BC field.
-        let bc_field: Vec<f64> = if base_design.total_power().value() == 0.0 {
-            baseline.temperatures().to_vec()
-        } else {
-            let mut bc_design = base_design.clone();
-            for b in bc_design.blocks_mut() {
-                b.set_power(vcsel_units::Watts::ZERO);
-            }
-            sim.solve_on(&bc_design, mesh.clone())?.temperatures().to_vec()
-        };
-
+        // Each group's rise is its solo field minus the baseline — the
+        // static-power contribution cancels in the subtraction, so no
+        // separate pure-BC solve is needed.
         let mut responses = Vec::with_capacity(groups.len());
         for g in &groups {
-            let mut only_g = design.clone();
-            for b in only_g.blocks_mut() {
-                if b.group() != Some(g.as_str()) {
-                    b.set_power(vcsel_units::Watts::ZERO);
-                }
-            }
-            let solved = sim.solve_on(&only_g, mesh.clone())?;
-            let rise: Vec<f64> =
-                solved.temperatures().iter().zip(&bc_field).map(|(t, t0)| t - t0).collect();
+            let solved = ctx.solve_scaled(&[(g.as_str(), 1.0)])?;
+            let rise: Vec<f64> = solved
+                .temperatures()
+                .iter()
+                .zip(baseline.temperatures())
+                .map(|(t, t0)| t - t0)
+                .collect();
             responses.push((g.clone(), design.group_power(g).value(), rise));
         }
 

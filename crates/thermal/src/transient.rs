@@ -15,15 +15,18 @@
 //! (C/Δt + A) · T_{n+1} = (C/Δt) · T_n + b
 //! ```
 //!
-//! Each step is one Jacobi-CG solve of an SPD system (better conditioned
-//! than the steady one thanks to the added diagonal).
+//! The `A + C/Δt` matrix is SPD and *constant across the whole
+//! trajectory*, so the integrator factors its IC(0) preconditioner exactly
+//! once, keeps one scratch workspace, and warm-starts every step's CG from
+//! the previous field — each step is then a handful of iterations instead
+//! of a full cold solve.
 
-use vcsel_numerics::solver::{self, SolveOptions};
-use vcsel_numerics::TripletBuilder;
+use vcsel_numerics::solver::{self, CgWorkspace, SolveOptions};
+use vcsel_numerics::{PreconditionerKind, TripletBuilder};
 use vcsel_units::{Celsius, Meters};
 
-use crate::assembly;
-use crate::{Design, Mesh, MeshSpec, ThermalError, ThermalMap};
+use crate::context::factor_preconditioner;
+use crate::{assembly, Design, Mesh, MeshSpec, ThermalError, ThermalMap};
 
 /// A probed transient trace.
 #[derive(Debug, Clone)]
@@ -157,6 +160,10 @@ impl TransientSimulator {
             builder.add(row, row, cap / dt_s);
         }
         let system = builder.build();
+        // The matrix never changes: one IC(0) factorization serves every
+        // step, and each step warm-starts from the previous field.
+        let precond = factor_preconditioner(&system, PreconditionerKind::IncompleteCholesky)?;
+        let mut ws = CgWorkspace::with_capacity(n);
 
         let mut temps = vec![self.initial.value(); n];
         let mut rhs = vec![0.0; n];
@@ -167,8 +174,7 @@ impl TransientSimulator {
             for i in 0..n {
                 rhs[i] = disc.rhs[i] + capacity[i] / dt_s * temps[i];
             }
-            let solution = solver::conjugate_gradient(&system, &rhs, &self.options)?;
-            temps = solution.solution;
+            solver::preconditioned_cg(&system, &rhs, &mut temps, &precond, &self.options, &mut ws)?;
             times_s.push(dt_s * (step + 1) as f64);
             for (series, &cell) in probe_series.iter_mut().zip(&probe_cells) {
                 series.push(temps[cell]);
