@@ -3,23 +3,39 @@
 //! ROADMAP's "as fast as the hardware allows" north star is tracked
 //! against.
 //!
-//! Two workloads, both on the tiny-fidelity SCC case-study system:
+//! Three workloads on the SCC case-study system:
 //!
-//! 1. **Steady solves** — one cold and one warm solve per preconditioner
-//!    (Jacobi / IC(0) / SSOR), recording wall time and CG iterations.
-//! 2. **200-step transient** — the paper's runtime-management shape — run
+//! 1. **Tiny steady solves** — one cold and one warm solve per
+//!    preconditioner (Jacobi / IC(0) / SSOR / multigrid) on the
+//!    tiny-fidelity mesh, recording setup and solve wall time plus CG
+//!    iterations.
+//! 2. **Fast steady solves** — the full-die `Fidelity::Fast` system
+//!    (~400 k unknowns), IC(0) vs the smoothed-aggregation multigrid
+//!    hierarchy. This is the acceptance workload for the multigrid
+//!    subsystem: its cold-solve iteration count must be at most **half**
+//!    of IC(0)'s. Control with `PERF_RECORD_FAST=all|mg|off` (CI's smoke
+//!    job runs `mg` to exercise hierarchy construction on every push).
+//! 3. **200-step transient** — the paper's runtime-management shape — run
 //!    once on the seed-era path (cold-start Jacobi-CG every step) and once
 //!    on the engine path (IC(0) factored once + warm starts), recording
 //!    steps/second and the wall-clock speedup.
 //!
+//! Setting `PERF_RECORD_PAPER=1` additionally runs one full-die
+//! `Fidelity::Paper` steady solve (~2.6 M unknowns) through the multigrid
+//! engine — the workload that is intractable with one-level
+//! preconditioners — and records it in the output.
+//!
 //! Usage: `cargo run --release -p vcsel_bench --bin perf_record [out.json]`
-//! (default output `BENCH_solvers.json` in the working directory). Runs in
-//! seconds; wired into CI as a smoke job so the trajectory stays fresh.
+//! (default output `BENCH_solvers.json` in the working directory). The
+//! default sections run in minutes; CI shrinks the transient via
+//! `PERF_RECORD_STEPS`.
 
 use std::time::Instant;
 
-use vcsel_arch::{SccConfig, SccSystem};
-use vcsel_thermal::{PreconditionerKind, SolveContext, TransientStepper};
+use vcsel_arch::{Fidelity, SccConfig, SccSystem};
+use vcsel_thermal::{
+    Design, MeshSpec, MultigridConfig, PreconditionerKind, SolveContext, TransientStepper,
+};
 use vcsel_units::{Celsius, Watts};
 
 const TRANSIENT_DT_S: f64 = 1e-2;
@@ -31,8 +47,18 @@ fn transient_steps() -> usize {
     std::env::var("PERF_RECORD_STEPS").ok().and_then(|v| v.parse().ok()).unwrap_or(200)
 }
 
+/// Fast-fidelity section selector: `all` (default), `mg`, or `off`.
+fn fast_mode() -> String {
+    std::env::var("PERF_RECORD_FAST").unwrap_or_else(|_| "all".to_string())
+}
+
+fn paper_enabled() -> bool {
+    matches!(std::env::var("PERF_RECORD_PAPER").as_deref(), Ok("1") | Ok("true"))
+}
+
 struct SteadyRecord {
     name: &'static str,
+    setup_ms: f64,
     cold_ms: f64,
     cold_iterations: usize,
     warm_ms: f64,
@@ -47,6 +73,14 @@ struct TransientRecord {
     final_hottest_c: f64,
 }
 
+struct PaperRecord {
+    unknowns: usize,
+    setup_s: f64,
+    solve_s: f64,
+    iterations: usize,
+    hottest_c: f64,
+}
+
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut last = None;
@@ -57,6 +91,57 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
         last = Some(r);
     }
     (best, last.expect("at least one rep"))
+}
+
+/// Runs the cold/warm steady workload for each preconditioner on one
+/// system; returns the unknown count and the per-preconditioner records.
+fn steady_section(
+    label: &str,
+    design: &Design,
+    spec: &MeshSpec,
+    kinds: &[(&'static str, PreconditionerKind)],
+    reps: usize,
+) -> (usize, Vec<SteadyRecord>) {
+    let mut unknowns = 0;
+    let mut records = Vec::new();
+    for &(name, kind) in kinds {
+        let setup = Instant::now();
+        let mut ctx = SolveContext::new_preconditioned(design, spec, kind).expect("context builds");
+        let setup_ms = setup.elapsed().as_secs_f64() * 1e3;
+        unknowns = ctx.unknowns();
+        let (cold_ms, _) = time_best(reps, || {
+            ctx.reset_guess();
+            ctx.solve().expect("steady solve")
+        });
+        let cold_iterations = ctx.last_iterations();
+        // Warm variant: hop between two nearby VCSEL operating points from
+        // an already-converged field — the design-sweep / calibration
+        // access pattern. Alternating keeps every rep doing real work
+        // instead of re-solving an identical RHS for free.
+        let mut flip = false;
+        let (warm_ms, _) = time_best(reps, || {
+            flip = !flip;
+            let s = if flip { 1.02 } else { 1.01 };
+            ctx.solve_scaled(&[("chip", 1.0), ("vcsel", s), ("driver", 1.0)]).expect("warm solve")
+        });
+        let warm_iterations = ctx.last_iterations();
+        println!(
+            "[steady/{label}] {name:>9}: setup {setup_ms:>8.1} ms, \
+             cold {:>8.1} ms / {cold_iterations:>4} iters, \
+             warm {:>8.1} ms / {warm_iterations:>4} iters",
+            cold_ms * 1e3,
+            warm_ms * 1e3,
+        );
+        records.push(SteadyRecord {
+            name,
+            setup_ms,
+            cold_ms: cold_ms * 1e3,
+            cold_iterations,
+            warm_ms: warm_ms * 1e3,
+            warm_iterations,
+        });
+    }
+    (unknowns, records)
 }
 
 fn run_transient(
@@ -73,58 +158,90 @@ fn run_transient(
     (wall, stepper.total_iterations(), hottest)
 }
 
+fn steady_json(records: &[SteadyRecord], indent: &str) -> String {
+    let rows: Vec<String> = records
+        .iter()
+        .map(|s| {
+            format!(
+                "{indent}{{ \"preconditioner\": \"{}\", \"setup_ms\": {:.3}, \"cold_ms\": {:.3}, \
+                 \"cold_iterations\": {}, \"warm_ms\": {:.3}, \"warm_iterations\": {} }}",
+                s.name, s.setup_ms, s.cold_ms, s.cold_iterations, s.warm_ms, s.warm_iterations
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_solvers.json".to_string());
+    let multigrid = PreconditionerKind::Multigrid { config: MultigridConfig::default() };
 
+    // ---- Tiny steady solves per preconditioner -------------------------
     let config = SccConfig { p_vcsel: Watts::from_milliwatts(4.0), ..SccConfig::tiny_test() };
     let system = SccSystem::build(&config).expect("tiny SCC builds");
     let spec = system.mesh_spec().expect("mesh spec");
     let design = system.design();
-
-    // ---- Steady solves per preconditioner ------------------------------
     let kinds = [
         ("jacobi", PreconditionerKind::Jacobi),
         ("ic0", PreconditionerKind::IncompleteCholesky),
         ("ssor", PreconditionerKind::Ssor { omega: 1.2 }),
+        ("multigrid", multigrid),
     ];
-    let mut unknowns = 0;
-    let mut steady = Vec::new();
-    for (name, kind) in kinds {
-        let mut ctx = SolveContext::new(design, &spec)
-            .expect("context builds")
-            .with_preconditioner(kind)
-            .expect("preconditioner factors");
-        unknowns = ctx.unknowns();
-        let (cold_ms, _) = time_best(STEADY_REPS, || {
-            ctx.reset_guess();
-            ctx.solve().expect("steady solve")
-        });
-        let cold_iterations = ctx.last_iterations();
-        // Warm variant: hop between two nearby VCSEL operating points from
-        // an already-converged field — the design-sweep / calibration
-        // access pattern. Alternating keeps every rep doing real work
-        // instead of re-solving an identical RHS for free.
-        let mut flip = false;
-        let (warm_ms, _) = time_best(STEADY_REPS, || {
-            flip = !flip;
-            let s = if flip { 1.02 } else { 1.01 };
-            ctx.solve_scaled(&[("chip", 1.0), ("vcsel", s), ("driver", 1.0)]).expect("warm solve")
-        });
-        let warm_iterations = ctx.last_iterations();
+    let (unknowns, steady) = steady_section("tiny", design, &spec, &kinds, STEADY_REPS);
+
+    // ---- Fast steady solves: IC(0) vs multigrid at full-die scale ------
+    let fast = fast_mode();
+    let fast_kinds: &[(&'static str, PreconditionerKind)] = match fast.as_str() {
+        "off" => &[],
+        "mg" => &[("multigrid", multigrid)],
+        "all" => &[("ic0", PreconditionerKind::IncompleteCholesky), ("multigrid", multigrid)],
+        other => panic!("PERF_RECORD_FAST must be all|mg|off, got '{other}'"),
+    };
+    let (fast_unknowns, fast_steady) = if fast_kinds.is_empty() {
+        (0, Vec::new())
+    } else {
+        let config = SccConfig {
+            p_vcsel: Watts::from_milliwatts(4.0),
+            fidelity: Fidelity::Fast,
+            ..SccConfig::default()
+        };
+        let system = SccSystem::build(&config).expect("fast SCC builds");
+        let spec = system.mesh_spec().expect("mesh spec");
+        steady_section("fast", system.design(), &spec, fast_kinds, 1)
+    };
+
+    // ---- Optional full-paper-fidelity multigrid solve ------------------
+    let paper = if paper_enabled() {
+        let config = SccConfig {
+            p_vcsel: Watts::from_milliwatts(4.0),
+            fidelity: Fidelity::Paper,
+            ..SccConfig::default()
+        };
+        let system = SccSystem::build(&config).expect("paper SCC builds");
+        let spec = system.mesh_spec().expect("mesh spec");
+        let setup = Instant::now();
+        let mut ctx =
+            SolveContext::new(system.design(), &spec).expect("paper-scale context builds");
+        let setup_s = setup.elapsed().as_secs_f64();
+        assert_eq!(ctx.preconditioner_name(), "multigrid", "paper scale must default to multigrid");
+        let solve = Instant::now();
+        let map = ctx.solve().expect("paper-scale steady solve");
+        let record = PaperRecord {
+            unknowns: ctx.unknowns(),
+            setup_s,
+            solve_s: solve.elapsed().as_secs_f64(),
+            iterations: ctx.last_iterations(),
+            hottest_c: map.hottest().1.value(),
+        };
         println!(
-            "[steady] {name:>6}: cold {:>7.2} ms / {cold_iterations:>4} iters, \
-             warm {:>7.2} ms / {warm_iterations:>4} iters",
-            cold_ms * 1e3,
-            warm_ms * 1e3,
+            "[paper] multigrid: {} unknowns, setup {:.1} s, cold solve {:.1} s / {} iters, \
+             hottest {:.2} C",
+            record.unknowns, record.setup_s, record.solve_s, record.iterations, record.hottest_c
         );
-        steady.push(SteadyRecord {
-            name,
-            cold_ms: cold_ms * 1e3,
-            cold_iterations,
-            warm_ms: warm_ms * 1e3,
-            warm_iterations,
-        });
-    }
+        Some(record)
+    } else {
+        None
+    };
 
     // ---- 200-step transient: seed path vs engine path ------------------
     let group_names: Vec<String> = design.group_names().iter().map(|g| g.to_string()).collect();
@@ -174,16 +291,6 @@ fn main() {
     println!("[transient] wall-clock speedup engine vs seed: {speedup:.2}x");
 
     // ---- Emit JSON -----------------------------------------------------
-    let steady_json: Vec<String> = steady
-        .iter()
-        .map(|s| {
-            format!(
-                "    {{ \"preconditioner\": \"{}\", \"cold_ms\": {:.3}, \
-                 \"cold_iterations\": {}, \"warm_ms\": {:.3}, \"warm_iterations\": {} }}",
-                s.name, s.cold_ms, s.cold_iterations, s.warm_ms, s.warm_iterations
-            )
-        })
-        .collect();
     let transient_json: Vec<String> = transient
         .iter()
         .map(|t| {
@@ -196,22 +303,54 @@ fn main() {
         .collect();
     let ic0 = steady.iter().find(|s| s.name == "ic0").expect("ic0 present");
     let jacobi = steady.iter().find(|s| s.name == "jacobi").expect("jacobi present");
+    let fast_json = if fast_steady.is_empty() {
+        String::new()
+    } else {
+        format!(
+            ",\n  \"steady_fast\": {{\n    \"unknowns\": {fast_unknowns},\n    \
+             \"rows\": [\n{}\n    ]\n  }}",
+            steady_json(&fast_steady, "      ")
+        )
+    };
+    let fast_ratio = {
+        let mg = fast_steady.iter().find(|s| s.name == "multigrid");
+        let ic = fast_steady.iter().find(|s| s.name == "ic0");
+        match (mg, ic) {
+            (Some(mg), Some(ic)) => format!(
+                ",\n  \"multigrid_vs_ic0_fast_cold_iteration_ratio\": {:.4}",
+                mg.cold_iterations as f64 / ic.cold_iterations.max(1) as f64
+            ),
+            _ => String::new(),
+        }
+    };
+    let paper_json = paper
+        .as_ref()
+        .map(|p| {
+            format!(
+                ",\n  \"paper\": {{ \"unknowns\": {}, \"setup_s\": {:.2}, \"solve_s\": {:.2}, \
+                 \"iterations\": {}, \"hottest_c\": {:.4} }}",
+                p.unknowns, p.setup_s, p.solve_s, p.iterations, p.hottest_c
+            )
+        })
+        .unwrap_or_default();
     let json = format!(
-        "{{\n  \"schema\": \"bench_solvers_v1\",\n  \"generated_by\": \"perf_record\",\n  \
-         \"workload\": \"SccConfig::tiny_test, p_vcsel = 4 mW\",\n  \"unknowns\": {unknowns},\n  \
-         \"steady\": [\n{}\n  ],\n  \"transient\": {{\n    \"steps\": {steps},\n    \
-         \"dt_s\": {TRANSIENT_DT_S},\n    \"paths\": [\n{}\n    ],\n    \
+        "{{\n  \"schema\": \"bench_solvers_v2\",\n  \"generated_by\": \"perf_record\",\n  \
+         \"workload\": \"SccConfig tiny_test + full-die Fast, p_vcsel = 4 mW\",\n  \
+         \"unknowns\": {unknowns},\n  \
+         \"steady\": [\n{}\n  ]{fast_json}{fast_ratio}{paper_json},\n  \"transient\": {{\n    \
+         \"steps\": {steps},\n    \"dt_s\": {TRANSIENT_DT_S},\n    \"paths\": [\n{}\n    ],\n    \
          \"speedup_engine_vs_seed\": {speedup:.3}\n  }},\n  \
          \"ic0_vs_jacobi_cold_iteration_ratio\": {:.4}\n}}\n",
-        steady_json.join(",\n"),
+        steady_json(&steady, "    "),
         transient_json.join(",\n"),
         ic0.cold_iterations as f64 / jacobi.cold_iterations.max(1) as f64,
     );
     std::fs::write(&out_path, &json).expect("write bench record");
     println!("[perf_record] wrote {out_path}");
 
-    // The acceptance bar for this bench: the engine must at least halve the
-    // transient wall clock and the IC(0) iteration count vs Jacobi.
+    // The acceptance bars: the engine must at least halve the transient
+    // wall clock and the IC(0) iteration count vs Jacobi, and at fast
+    // fidelity multigrid must need at most half the IC(0) iterations.
     assert!(speedup >= 2.0, "transient speedup {speedup:.2}x < 2x");
     assert!(
         2 * ic0.cold_iterations <= jacobi.cold_iterations,
@@ -219,4 +358,22 @@ fn main() {
         ic0.cold_iterations,
         jacobi.cold_iterations
     );
+    let mg_tiny = steady.iter().find(|s| s.name == "multigrid").expect("multigrid present");
+    assert!(
+        2 * mg_tiny.cold_iterations <= ic0.cold_iterations,
+        "multigrid iterations {} vs IC(0) {} at tiny fidelity — expected at most half",
+        mg_tiny.cold_iterations,
+        ic0.cold_iterations
+    );
+    if let (Some(mg), Some(ic)) = (
+        fast_steady.iter().find(|s| s.name == "multigrid"),
+        fast_steady.iter().find(|s| s.name == "ic0"),
+    ) {
+        assert!(
+            2 * mg.cold_iterations <= ic.cold_iterations,
+            "multigrid iterations {} vs IC(0) {} at fast fidelity — expected at most half",
+            mg.cold_iterations,
+            ic.cold_iterations
+        );
+    }
 }

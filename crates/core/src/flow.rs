@@ -2,7 +2,7 @@
 
 use vcsel_arch::{OniThermals, SccConfig, SccSystem};
 use vcsel_numerics::golden_section_min;
-use vcsel_thermal::{ResponseBasis, Simulator, ThermalMap};
+use vcsel_thermal::{Mesh, ResponseBasis, Simulator, SolveContext, ThermalMap};
 use vcsel_units::{Celsius, TemperatureDelta, Watts};
 
 use crate::FlowError;
@@ -17,9 +17,16 @@ const REF_DEVICE_POWER: Watts = Watts::from_milliwatts(1.0);
 /// every subsequent [`ThermalStudy::evaluate`] is vector arithmetic. The
 /// chip-activity *pattern* and all geometry are fixed at construction;
 /// P_VCSEL, P_heater and P_chip vary freely.
+///
+/// The study keeps its [`SolveContext`] — one assembled, factored engine
+/// per mesh. [`ThermalStudy::reconfigured`] re-targets that engine at a new
+/// configuration, so sweeps that only change the activity pattern (the
+/// Figure 12 matrix) re-solve their basis without paying meshing, assembly
+/// or preconditioner setup again.
 #[derive(Debug)]
 pub struct ThermalStudy {
     system: SccSystem,
+    ctx: SolveContext,
     basis: ResponseBasis,
     ref_chip_power: Watts,
 }
@@ -30,7 +37,55 @@ impl ThermalStudy {
     /// # Errors
     ///
     /// Propagates architecture and solver errors.
-    pub fn new(mut config: SccConfig, simulator: &Simulator) -> Result<Self, FlowError> {
+    pub fn new(config: SccConfig, simulator: &Simulator) -> Result<Self, FlowError> {
+        let (system, ref_chip_power) = Self::reference_system(config)?;
+        Self::new_from_built(system, ref_chip_power, simulator)
+    }
+
+    /// Rebuilds the study for `config`, reusing the held solve engine
+    /// whenever the new system lives on the same mesh (same floorplan,
+    /// placement and fidelity — e.g. only the activity pattern changed).
+    /// In that case assembly and preconditioner setup are skipped and the
+    /// basis re-solves warm-start from the previous fields; otherwise this
+    /// falls back to a full rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture and solver errors.
+    pub fn reconfigured(mut self, config: SccConfig, sim: &Simulator) -> Result<Self, FlowError> {
+        let (system, ref_chip_power) = Self::reference_system(config)?;
+        let spec = system.mesh_spec()?;
+        // Meshing is cheap next to assembly; build it once and either
+        // compare-and-adopt or hand it straight to the fresh engine.
+        let mesh = Mesh::build(system.design(), &spec)?;
+        if mesh == *self.ctx.mesh() && self.ctx.adopt_design(system.design()).is_ok() {
+            // The reuse path must honour the caller's solver options
+            // exactly like the rebuild path does.
+            self.ctx.set_options(*sim.options());
+            self.basis = ResponseBasis::build_on(&mut self.ctx)?;
+            self.system = system;
+            self.ref_chip_power = ref_chip_power;
+            return Ok(self);
+        }
+        let mut ctx = SolveContext::on_mesh(system.design(), mesh)?.with_options(*sim.options());
+        let basis = ResponseBasis::build_on(&mut ctx)?;
+        Ok(Self { system, ctx, basis, ref_chip_power })
+    }
+
+    fn new_from_built(
+        system: SccSystem,
+        ref_chip_power: Watts,
+        sim: &Simulator,
+    ) -> Result<Self, FlowError> {
+        let spec = system.mesh_spec()?;
+        let mut ctx = SolveContext::new(system.design(), &spec)?.with_options(*sim.options());
+        let basis = ResponseBasis::build_on(&mut ctx)?;
+        Ok(Self { system, ctx, basis, ref_chip_power })
+    }
+
+    /// Builds the [`SccSystem`] with every group at its basis reference
+    /// power.
+    fn reference_system(mut config: SccConfig) -> Result<(SccSystem, Watts), FlowError> {
         // The basis needs non-zero reference powers for every group.
         config.p_vcsel = REF_DEVICE_POWER;
         config.p_driver = Some(REF_DEVICE_POWER);
@@ -40,14 +95,18 @@ impl ThermalStudy {
         }
         let ref_chip_power = config.p_chip;
         let system = SccSystem::build(&config)?;
-        let spec = system.mesh_spec()?;
-        let basis = ResponseBasis::build(simulator, system.design(), &spec)?;
-        Ok(Self { system, basis, ref_chip_power })
+        Ok((system, ref_chip_power))
     }
 
     /// The built system (geometry, topology, ONIs).
     pub fn system(&self) -> &SccSystem {
         &self.system
+    }
+
+    /// CG iterations accumulated by the study's solve engine — sweeps use
+    /// this to verify that reconfiguration reused cached work.
+    pub fn solver_iterations(&self) -> usize {
+        self.ctx.total_iterations()
     }
 
     /// Composes the thermal field for an operating point.
@@ -273,6 +332,40 @@ mod tests {
         );
         assert!(expl.optimal_ratio > 0.0 && expl.optimal_ratio < 1.0);
         assert_eq!(expl.curve.len(), 6);
+    }
+
+    #[test]
+    fn reconfigured_activity_reuses_the_engine_and_matches_fresh() {
+        use vcsel_arch::Activity;
+        let sim = Simulator::new();
+        let base = SccConfig::tiny_test();
+        let study = ThermalStudy::new(base.clone(), &sim).unwrap();
+        let cold_iterations = study.solver_iterations();
+        assert!(cold_iterations > 0);
+
+        // Same floorplan/placement, different activity: the engine must be
+        // adopted, not rebuilt, and the result must match a fresh study.
+        let diagonal = SccConfig { activity: Activity::Diagonal, ..base };
+        let reused = study.reconfigured(diagonal.clone(), &sim).unwrap();
+        let warm_iterations = reused.solver_iterations() - cold_iterations;
+        let fresh = ThermalStudy::new(diagonal, &sim).unwrap();
+
+        let p_vcsel = Watts::from_milliwatts(3.0);
+        let a = reused.evaluate(p_vcsel, Watts::ZERO, Watts::new(2.0)).unwrap();
+        let b = fresh.evaluate(p_vcsel, Watts::ZERO, Watts::new(2.0)).unwrap();
+        for (x, y) in a.oni.iter().zip(&b.oni) {
+            assert!(
+                (x.average.value() - y.average.value()).abs() < 1e-5,
+                "reused {:?} vs fresh {:?}",
+                x.average,
+                y.average
+            );
+        }
+        assert!(
+            warm_iterations < fresh.solver_iterations(),
+            "adopted engine must warm-start: {warm_iterations} vs fresh {}",
+            fresh.solver_iterations()
+        );
     }
 
     #[test]

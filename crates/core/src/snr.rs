@@ -104,6 +104,20 @@ impl DesignFlow {
         &self.simulator
     }
 
+    /// Builds a [`ThermalStudy`] on this flow's shared simulator — the one
+    /// entry point sweep drivers should use, so every study inherits the
+    /// flow's solver options instead of constructing private `Simulator`s.
+    /// Re-target an existing study with
+    /// [`ThermalStudy::reconfigured`](crate::ThermalStudy::reconfigured)
+    /// where only powers or activity change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture and solver errors.
+    pub fn study(&self, config: vcsel_arch::SccConfig) -> Result<crate::ThermalStudy, FlowError> {
+        crate::ThermalStudy::new(config, &self.simulator)
+    }
+
     /// The VCSEL library model.
     pub fn vcsel(&self) -> &Vcsel {
         &self.vcsel

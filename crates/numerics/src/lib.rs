@@ -14,6 +14,9 @@
 //!   cross-check solvers,
 //! * [`precond`]: Jacobi, SSOR and IC(0) incomplete-Cholesky
 //!   preconditioners behind the [`Preconditioner`] trait,
+//! * [`multigrid`]: a smoothed-aggregation algebraic multigrid hierarchy
+//!   (V-/F-cycles, Galerkin coarse operators, dense coarsest solve) usable
+//!   standalone or as a mesh-independent CG preconditioner,
 //! * [`Interp1d`] / [`Interp2d`]: piecewise-linear lookup tables (the paper's
 //!   "VCSEL model library" is consumed in this form),
 //! * [`golden_section_min`] / [`grid_argmin`]: 1-D minimizers used by the
@@ -43,6 +46,7 @@
 
 mod error;
 mod interp;
+pub mod multigrid;
 mod optimize;
 pub mod precond;
 pub mod solver;
@@ -52,6 +56,9 @@ mod stats;
 
 pub use error::NumericsError;
 pub use interp::{Interp1d, Interp2d};
+pub use multigrid::{
+    CycleKind, MgWorkspace, Multigrid, MultigridConfig, MultigridHierarchy, SmootherKind,
+};
 pub use optimize::{golden_section_min, grid_argmin, Minimum};
 pub use precond::{
     AnyPreconditioner, IncompleteCholesky, Jacobi, Preconditioner, PreconditionerKind, Ssor,

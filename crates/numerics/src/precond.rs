@@ -10,25 +10,33 @@
 //! * [`Jacobi`] — `M = diag(A)`; free to build, the seed behaviour,
 //! * [`Ssor`] — symmetric SOR splitting; no factorization, uses `A` itself,
 //! * [`IncompleteCholesky`] — IC(0), a zero-fill `L·Lᵀ ≈ A` factorization;
-//!   the strongest of the three and the default for cached solve engines,
-//!   because one factorization amortizes over many right-hand sides.
+//!   the strongest *one-level* option and the default for cached transient
+//!   engines, because one factorization amortizes over many right-hand
+//!   sides,
+//! * [`Multigrid`](crate::Multigrid) — a smoothed-aggregation algebraic
+//!   multigrid V-cycle (see [`crate::multigrid`]); the only option whose
+//!   iteration counts stay (nearly) mesh-independent, and the default for
+//!   large steady solves.
 //!
 //! All applications are allocation-free so they can sit inside the CG
 //! iteration loop.
 
+use crate::multigrid::{Multigrid, MultigridConfig};
 use crate::{CsrMatrix, NumericsError};
 
 /// Applies `z = M⁻¹ r` for some SPD approximation `M ≈ A`.
 ///
 /// Implementations must be allocation-free in [`Preconditioner::apply`] so
-/// the solver's inner loop stays allocation-free.
+/// the solver's inner loop stays allocation-free; `&mut self` exists for
+/// implementations that cycle internal workspaces (multigrid), not for
+/// changing the operator.
 pub trait Preconditioner {
     /// Computes `z = M⁻¹ r`.
     ///
     /// # Panics
     ///
     /// Panics if `r` or `z` have the wrong length.
-    fn apply(&self, r: &[f64], z: &mut [f64]);
+    fn apply(&mut self, r: &[f64], z: &mut [f64]);
 
     /// Short identifier for benches and logs (`"jacobi"`, `"ic0"`, …).
     fn name(&self) -> &'static str;
@@ -68,7 +76,7 @@ impl Jacobi {
 }
 
 impl Preconditioner for Jacobi {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
+    fn apply(&mut self, r: &[f64], z: &mut [f64]) {
         assert_eq!(r.len(), self.inv_diag.len());
         assert_eq!(z.len(), self.inv_diag.len());
         for i in 0..r.len() {
@@ -178,7 +186,7 @@ impl IncompleteCholesky {
 }
 
 impl Preconditioner for IncompleteCholesky {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
+    fn apply(&mut self, r: &[f64], z: &mut [f64]) {
         let n = self.row_ptr.len() - 1;
         assert_eq!(r.len(), n);
         assert_eq!(z.len(), n);
@@ -247,7 +255,7 @@ impl Ssor {
 }
 
 impl Preconditioner for Ssor {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
+    fn apply(&mut self, r: &[f64], z: &mut [f64]) {
         let n = self.diag.len();
         assert_eq!(r.len(), n);
         assert_eq!(z.len(), n);
@@ -298,6 +306,13 @@ pub enum PreconditionerKind {
         /// Over-relaxation factor ω.
         omega: f64,
     },
+    /// Smoothed-aggregation algebraic multigrid (one V-cycle per
+    /// application) — mesh-independent iteration counts at `O(n)` setup,
+    /// the default for large steady solves. See [`crate::multigrid`].
+    Multigrid {
+        /// Hierarchy construction and cycling parameters.
+        config: MultigridConfig,
+    },
 }
 
 /// An owned preconditioner of any supported kind (so caches can hold one
@@ -310,6 +325,9 @@ pub enum AnyPreconditioner {
     IncompleteCholesky(IncompleteCholesky),
     /// SSOR splitting.
     Ssor(Ssor),
+    /// Smoothed-aggregation multigrid V-cycle (boxed — the hierarchy is
+    /// far larger than the one-level variants).
+    Multigrid(Box<Multigrid>),
 }
 
 impl PreconditionerKind {
@@ -326,16 +344,20 @@ impl PreconditionerKind {
                 AnyPreconditioner::IncompleteCholesky(IncompleteCholesky::new(a)?)
             }
             PreconditionerKind::Ssor { omega } => AnyPreconditioner::Ssor(Ssor::new(a, omega)?),
+            PreconditionerKind::Multigrid { config } => {
+                AnyPreconditioner::Multigrid(Box::new(Multigrid::new(a, &config)?))
+            }
         })
     }
 }
 
 impl Preconditioner for AnyPreconditioner {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
+    fn apply(&mut self, r: &[f64], z: &mut [f64]) {
         match self {
             AnyPreconditioner::Jacobi(p) => p.apply(r, z),
             AnyPreconditioner::IncompleteCholesky(p) => p.apply(r, z),
             AnyPreconditioner::Ssor(p) => p.apply(r, z),
+            AnyPreconditioner::Multigrid(p) => p.apply(r, z),
         }
     }
 
@@ -344,6 +366,7 @@ impl Preconditioner for AnyPreconditioner {
             AnyPreconditioner::Jacobi(p) => p.name(),
             AnyPreconditioner::IncompleteCholesky(p) => p.name(),
             AnyPreconditioner::Ssor(p) => p.name(),
+            AnyPreconditioner::Multigrid(p) => p.name(),
         }
     }
 }
@@ -369,7 +392,7 @@ mod tests {
 
     /// Applies M (not M⁻¹) by solving: checks apply ∘ M = identity through
     /// the residual of A-ish test vectors.
-    fn apply_inverse(p: &dyn Preconditioner, r: &[f64]) -> Vec<f64> {
+    fn apply_inverse(p: &mut dyn Preconditioner, r: &[f64]) -> Vec<f64> {
         let mut z = vec![0.0; r.len()];
         p.apply(r, &mut z);
         z
@@ -382,8 +405,8 @@ mod tests {
         b.add(1, 1, 4.0);
         b.add(2, 2, 8.0);
         let a = b.build();
-        let p = Jacobi::new(&a).unwrap();
-        let z = apply_inverse(&p, &[2.0, 4.0, 8.0]);
+        let mut p = Jacobi::new(&a).unwrap();
+        let z = apply_inverse(&mut p, &[2.0, 4.0, 8.0]);
         assert_eq!(z, vec![1.0, 1.0, 1.0]);
         assert_eq!(p.name(), "jacobi");
     }
@@ -395,10 +418,10 @@ mod tests {
         // the system outright.
         let n = 20;
         let a = laplacian_1d(n);
-        let p = IncompleteCholesky::new(&a).unwrap();
+        let mut p = IncompleteCholesky::new(&a).unwrap();
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).cos()).collect();
         let b = a.mul_vec(&x_true).unwrap();
-        let z = apply_inverse(&p, &b);
+        let z = apply_inverse(&mut p, &b);
         for (zi, xi) in z.iter().zip(&x_true) {
             assert!((zi - xi).abs() < 1e-12, "IC(0) must be exact here: {zi} vs {xi}");
         }
@@ -431,11 +454,11 @@ mod tests {
         // M⁻¹ of an SPD splitting must itself be SPD: check xᵀM⁻¹x > 0 on a
         // few vectors and symmetry ⟨M⁻¹u, v⟩ = ⟨u, M⁻¹v⟩.
         let a = laplacian_1d(12);
-        let p = Ssor::new(&a, 1.3).unwrap();
+        let mut p = Ssor::new(&a, 1.3).unwrap();
         let u: Vec<f64> = (0..12).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
         let v: Vec<f64> = (0..12).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
-        let mu = apply_inverse(&p, &u);
-        let mv = apply_inverse(&p, &v);
+        let mu = apply_inverse(&mut p, &u);
+        let mv = apply_inverse(&mut p, &v);
         let dot = |x: &[f64], y: &[f64]| x.iter().zip(y).map(|(a, b)| a * b).sum::<f64>();
         assert!(dot(&u, &mu) > 0.0);
         assert!((dot(&mu, &v) - dot(&u, &mv)).abs() < 1e-9, "M⁻¹ must stay symmetric");
@@ -457,13 +480,17 @@ mod tests {
             (PreconditionerKind::Jacobi, "jacobi"),
             (PreconditionerKind::IncompleteCholesky, "ic0"),
             (PreconditionerKind::Ssor { omega: 1.5 }, "ssor"),
+            (
+                PreconditionerKind::Multigrid { config: crate::MultigridConfig::default() },
+                "multigrid",
+            ),
         ] {
-            let p = kind.build(&a).unwrap();
+            let mut p = kind.build(&a).unwrap();
             assert_eq!(p.name(), name);
             // All must act as approximate inverses: z ≈ A⁻¹r at least in
             // direction (positive alignment with the true solution).
             let r = vec![1.0; 5];
-            let z = apply_inverse(&p, &r);
+            let z = apply_inverse(&mut p, &r);
             assert!(z.iter().all(|v| v.is_finite()));
             assert!(z.iter().sum::<f64>() > 0.0);
         }

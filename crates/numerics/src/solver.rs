@@ -88,7 +88,7 @@ fn validate_system(a: &CsrMatrix, b: &[f64]) -> Result<(), NumericsError> {
 /// Holding one workspace per solve engine keeps the CG iteration loop free
 /// of allocations across repeated solves: the four direction/residual
 /// vectors are resized once on first use and reused afterwards.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CgWorkspace {
     r: Vec<f64>,
     z: Vec<f64>,
@@ -159,13 +159,13 @@ pub struct CgSummary {
 /// let mut b = TripletBuilder::new(2, 2);
 /// b.add(0, 0, 4.0); b.add(1, 1, 9.0);
 /// let a = b.build();
-/// let m = IncompleteCholesky::new(&a)?;
+/// let mut m = IncompleteCholesky::new(&a)?;
 /// let mut ws = CgWorkspace::new();
 /// let mut x = vec![0.0; 2];
-/// let stats = preconditioned_cg(&a, &[8.0, 27.0], &mut x, &m, &Default::default(), &mut ws)?;
+/// let stats = preconditioned_cg(&a, &[8.0, 27.0], &mut x, &mut m, &Default::default(), &mut ws)?;
 /// assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 3.0).abs() < 1e-9);
 /// // Warm restart from the solution: converged before the first iteration.
-/// let again = preconditioned_cg(&a, &[8.0, 27.0], &mut x, &m, &Default::default(), &mut ws)?;
+/// let again = preconditioned_cg(&a, &[8.0, 27.0], &mut x, &mut m, &Default::default(), &mut ws)?;
 /// assert_eq!(again.iterations, 0);
 /// # Ok::<(), vcsel_numerics::NumericsError>(())
 /// ```
@@ -173,7 +173,7 @@ pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
     a: &CsrMatrix,
     b: &[f64],
     x: &mut [f64],
-    m: &P,
+    m: &mut P,
     opts: &SolveOptions,
     ws: &mut CgWorkspace,
 ) -> Result<CgSummary, NumericsError> {
@@ -283,10 +283,10 @@ pub fn conjugate_gradient(
     opts: &SolveOptions,
 ) -> Result<Solution, NumericsError> {
     validate_system(a, b)?;
-    let m = Jacobi::new(a)?;
+    let mut m = Jacobi::new(a)?;
     let mut x = vec![0.0; a.rows()];
     let mut ws = CgWorkspace::new();
-    let stats = preconditioned_cg(a, b, &mut x, &m, opts, &mut ws)?;
+    let stats = preconditioned_cg(a, b, &mut x, &mut m, opts, &mut ws)?;
     Ok(Solution { solution: x, iterations: stats.iterations, residual: stats.residual })
 }
 
@@ -577,13 +577,13 @@ mod tests {
         let n = 60;
         let a = laplacian_1d(n);
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
-        let m = crate::Jacobi::new(&a).unwrap();
+        let mut m = crate::Jacobi::new(&a).unwrap();
         let mut ws = CgWorkspace::new();
         let mut x = vec![0.0; n];
-        let cold = preconditioned_cg(&a, &b, &mut x, &m, &SolveOptions::default(), &mut ws)
+        let cold = preconditioned_cg(&a, &b, &mut x, &mut m, &SolveOptions::default(), &mut ws)
             .expect("cold solve");
         assert!(cold.iterations > 0);
-        let warm = preconditioned_cg(&a, &b, &mut x, &m, &SolveOptions::default(), &mut ws)
+        let warm = preconditioned_cg(&a, &b, &mut x, &mut m, &SolveOptions::default(), &mut ws)
             .expect("warm solve");
         assert_eq!(warm.iterations, 0, "solution-as-guess must converge before iterating");
     }
@@ -607,16 +607,18 @@ mod tests {
         }
         let a = tb.build();
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
-        let m = crate::Jacobi::new(&a).unwrap();
+        let mut m = crate::Jacobi::new(&a).unwrap();
         let mut ws = CgWorkspace::new();
         let mut cold_x = vec![0.0; n];
-        let cold = preconditioned_cg(&a, &b, &mut cold_x, &m, &SolveOptions::default(), &mut ws)
-            .expect("cold");
+        let cold =
+            preconditioned_cg(&a, &b, &mut cold_x, &mut m, &SolveOptions::default(), &mut ws)
+                .expect("cold");
         // Perturb the converged solution slightly: the warm solve must beat
         // the cold iteration count by a wide margin.
         let mut warm_x: Vec<f64> = cold_x.iter().map(|v| v * 1.000_001).collect();
-        let warm = preconditioned_cg(&a, &b, &mut warm_x, &m, &SolveOptions::default(), &mut ws)
-            .expect("warm");
+        let warm =
+            preconditioned_cg(&a, &b, &mut warm_x, &mut m, &SolveOptions::default(), &mut ws)
+                .expect("warm");
         assert!(
             warm.iterations * 2 < cold.iterations,
             "warm {} vs cold {}",
@@ -662,13 +664,13 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin() + 1.5).collect();
         let opts = SolveOptions { tolerance: 1e-10, max_iterations: 100_000, relaxation: 1.6 };
 
-        let jac = crate::Jacobi::new(&a).unwrap();
-        let ic = crate::IncompleteCholesky::new(&a).unwrap();
+        let mut jac = crate::Jacobi::new(&a).unwrap();
+        let mut ic = crate::IncompleteCholesky::new(&a).unwrap();
         let mut ws = CgWorkspace::new();
         let mut xj = vec![0.0; n];
-        let sj = preconditioned_cg(&a, &b, &mut xj, &jac, &opts, &mut ws).unwrap();
+        let sj = preconditioned_cg(&a, &b, &mut xj, &mut jac, &opts, &mut ws).unwrap();
         let mut xi = vec![0.0; n];
-        let si = preconditioned_cg(&a, &b, &mut xi, &ic, &opts, &mut ws).unwrap();
+        let si = preconditioned_cg(&a, &b, &mut xi, &mut ic, &opts, &mut ws).unwrap();
 
         for (p, q) in xj.iter().zip(&xi) {
             assert!((p - q).abs() < 1e-5 * p.abs().max(1.0), "{p} vs {q}");
@@ -684,16 +686,16 @@ mod tests {
     #[test]
     fn pcg_validates_guess() {
         let a = laplacian_1d(4);
-        let m = crate::Jacobi::new(&a).unwrap();
+        let mut m = crate::Jacobi::new(&a).unwrap();
         let mut ws = CgWorkspace::new();
         let mut short = vec![0.0; 3];
         assert!(matches!(
-            preconditioned_cg(&a, &[1.0; 4], &mut short, &m, &Default::default(), &mut ws),
+            preconditioned_cg(&a, &[1.0; 4], &mut short, &mut m, &Default::default(), &mut ws),
             Err(NumericsError::DimensionMismatch { .. })
         ));
         let mut bad = vec![f64::NAN; 4];
         assert!(matches!(
-            preconditioned_cg(&a, &[1.0; 4], &mut bad, &m, &Default::default(), &mut ws),
+            preconditioned_cg(&a, &[1.0; 4], &mut bad, &mut m, &Default::default(), &mut ws),
             Err(NumericsError::BadInput { .. })
         ));
     }
@@ -701,10 +703,11 @@ mod tests {
     #[test]
     fn pcg_zero_rhs_zeroes_the_guess() {
         let a = laplacian_1d(4);
-        let m = crate::Jacobi::new(&a).unwrap();
+        let mut m = crate::Jacobi::new(&a).unwrap();
         let mut ws = CgWorkspace::new();
         let mut x = vec![7.0; 4];
-        let s = preconditioned_cg(&a, &[0.0; 4], &mut x, &m, &Default::default(), &mut ws).unwrap();
+        let s =
+            preconditioned_cg(&a, &[0.0; 4], &mut x, &mut m, &Default::default(), &mut ws).unwrap();
         assert_eq!(x, vec![0.0; 4]);
         assert_eq!(s.iterations, 0);
     }
@@ -715,13 +718,13 @@ mod tests {
         let a = laplacian_1d(n);
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
         let opts = SolveOptions { tolerance: 1e-11, max_iterations: 10_000, relaxation: 1.6 };
-        let jac = crate::Jacobi::new(&a).unwrap();
-        let ss = crate::Ssor::new(&a, 1.4).unwrap();
+        let mut jac = crate::Jacobi::new(&a).unwrap();
+        let mut ss = crate::Ssor::new(&a, 1.4).unwrap();
         let mut ws = CgWorkspace::new();
         let mut xj = vec![0.0; n];
-        preconditioned_cg(&a, &b, &mut xj, &jac, &opts, &mut ws).unwrap();
+        preconditioned_cg(&a, &b, &mut xj, &mut jac, &opts, &mut ws).unwrap();
         let mut xs = vec![0.0; n];
-        let stats = preconditioned_cg(&a, &b, &mut xs, &ss, &opts, &mut ws).unwrap();
+        let stats = preconditioned_cg(&a, &b, &mut xs, &mut ss, &opts, &mut ws).unwrap();
         for (p, q) in xj.iter().zip(&xs) {
             assert!((p - q).abs() < 1e-6, "{p} vs {q}");
         }

@@ -133,6 +133,28 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
+    /// Assembles a matrix from already-sorted CSR arrays (each row's
+    /// columns strictly ascending, no duplicates). Used by crate-internal
+    /// kernels (multigrid transfer construction) that produce CSR directly
+    /// and would waste an `O(nnz log nnz)` sort going through
+    /// [`TripletBuilder`].
+    pub(crate) fn from_sorted_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), rows + 1);
+        debug_assert_eq!(col_idx.len(), values.len());
+        debug_assert_eq!(*row_ptr.last().expect("non-empty row_ptr"), col_idx.len());
+        debug_assert!(row_ptr
+            .windows(2)
+            .all(|w| col_idx[w[0]..w[1]].windows(2).all(|c| c[0] < c[1])
+                && col_idx[w[0]..w[1]].iter().all(|&c| (c as usize) < cols)));
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
     /// Identity matrix of size `n`.
     pub fn identity(n: usize) -> Self {
         let mut b = TripletBuilder::new(n, n);
@@ -300,6 +322,139 @@ impl CsrMatrix {
                 });
             }
         });
+    }
+
+    /// Returns the transpose `Aᵀ` (counting sort over columns, `O(nnz)`).
+    ///
+    /// Used by the multigrid hierarchy to turn a prolongation `P` into its
+    /// restriction `R = Pᵀ` once, so both directions run as row-major SpMV.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = row_ptr.clone();
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k] as usize;
+                let pos = next[c];
+                next[c] += 1;
+                col_idx[pos] = r as u32;
+                values[pos] = self.values[k];
+            }
+        }
+        // Source rows are visited in ascending order, so each transposed
+        // row's columns come out ascending — the CSR invariant holds.
+        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+    }
+
+    /// Computes the sparse product `A · B` (Gustavson's algorithm with a
+    /// dense accumulator, `O(Σ_i Σ_{j ∈ row i} nnz(B_j))`).
+    ///
+    /// This is the kernel behind the Galerkin coarse operators
+    /// `A_c = Pᵀ (A P)` of the multigrid hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if the inner dimensions
+    /// disagree.
+    pub fn multiply_matrix(&self, other: &CsrMatrix) -> Result<CsrMatrix, NumericsError> {
+        if self.cols != other.rows {
+            return Err(NumericsError::DimensionMismatch {
+                what: "matrix-matrix product operand",
+                expected: self.cols,
+                got: other.rows,
+            });
+        }
+        let n = other.cols;
+        let mut acc = vec![0.0; n];
+        let mut marker = vec![usize::MAX; n];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        row_ptr.push(0);
+        for i in 0..self.rows {
+            touched.clear();
+            for (j, v) in self.row(i) {
+                for (c, w) in other.row(j) {
+                    if marker[c] != i {
+                        marker[c] = i;
+                        touched.push(c as u32);
+                        acc[c] = v * w;
+                    } else {
+                        acc[c] += v * w;
+                    }
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                col_idx.push(c);
+                values.push(acc[c as usize]);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix { rows: self.rows, cols: n, row_ptr, col_idx, values })
+    }
+
+    /// Computes `A + alpha · B` for same-shape matrices (two-pointer row
+    /// merge; the union sparsity pattern is kept even where entries cancel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if the shapes disagree.
+    pub fn add_scaled(&self, other: &CsrMatrix, alpha: f64) -> Result<CsrMatrix, NumericsError> {
+        if self.rows != other.rows {
+            return Err(NumericsError::DimensionMismatch {
+                what: "matrix sum operand rows",
+                expected: self.rows,
+                got: other.rows,
+            });
+        }
+        if self.cols != other.cols {
+            return Err(NumericsError::DimensionMismatch {
+                what: "matrix sum operand columns",
+                expected: self.cols,
+                got: other.cols,
+            });
+        }
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.nnz().max(other.nnz()));
+        let mut values: Vec<f64> = Vec::with_capacity(self.nnz().max(other.nnz()));
+        row_ptr.push(0);
+        for r in 0..self.rows {
+            let (mut p, p_end) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let (mut q, q_end) = (other.row_ptr[r], other.row_ptr[r + 1]);
+            while p < p_end || q < q_end {
+                let cp = if p < p_end { self.col_idx[p] } else { u32::MAX };
+                let cq = if q < q_end { other.col_idx[q] } else { u32::MAX };
+                match cp.cmp(&cq) {
+                    std::cmp::Ordering::Less => {
+                        col_idx.push(cp);
+                        values.push(self.values[p]);
+                        p += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        col_idx.push(cq);
+                        values.push(alpha * other.values[q]);
+                        q += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        col_idx.push(cp);
+                        values.push(self.values[p] + alpha * other.values[q]);
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values })
     }
 
     /// Checks structural + numerical symmetry to a relative tolerance.
@@ -482,6 +637,85 @@ mod tests {
         let mut auto = vec![0.0; n];
         m.multiply_into(&x, &mut auto);
         assert_eq!(auto, serial);
+    }
+
+    #[test]
+    fn transpose_round_trips_and_swaps_indices() {
+        let mut b = TripletBuilder::new(3, 4);
+        b.add(0, 1, 2.0);
+        b.add(0, 3, -1.0);
+        b.add(1, 0, 4.0);
+        b.add(2, 2, 5.0);
+        let m = b.build();
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (4, 3));
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(m.get(r, c), t.get(c, r), "mismatch at ({r},{c})");
+            }
+        }
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_matches_dense_reference() {
+        let mut a = TripletBuilder::new(3, 3);
+        a.add(0, 0, 1.0);
+        a.add(0, 2, 2.0);
+        a.add(1, 1, 3.0);
+        a.add(2, 0, -1.0);
+        a.add(2, 2, 1.0);
+        let a = a.build();
+        let mut b = TripletBuilder::new(3, 2);
+        b.add(0, 0, 1.0);
+        b.add(1, 0, 2.0);
+        b.add(1, 1, -1.0);
+        b.add(2, 1, 4.0);
+        let b = b.build();
+        let c = a.multiply_matrix(&b).unwrap();
+        assert_eq!((c.rows(), c.cols()), (3, 2));
+        // Dense reference: c[r][k] = Σ_j a[r][j]·b[j][k].
+        for r in 0..3 {
+            for k in 0..2 {
+                let want: f64 = (0..3).map(|j| a.get(r, j) * b.get(j, k)).sum();
+                assert!((c.get(r, k) - want).abs() < 1e-14, "({r},{k}): {}", c.get(r, k));
+            }
+        }
+        assert!(b.multiply_matrix(&a).is_err(), "inner dimension mismatch must fail");
+    }
+
+    #[test]
+    fn matmul_rap_of_identity_prolongation_is_identity_galerkin() {
+        // R·A·P with P = I must return A itself — the degenerate Galerkin
+        // product the multigrid hierarchy relies on.
+        let a = laplacian_1d(6);
+        let p = CsrMatrix::identity(6);
+        let rap = p.transpose().multiply_matrix(&a.multiply_matrix(&p).unwrap()).unwrap();
+        for r in 0..6 {
+            for c in 0..6 {
+                assert!((rap.get(r, c) - a.get(r, c)).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_merges_patterns() {
+        let mut x = TripletBuilder::new(2, 3);
+        x.add(0, 0, 1.0);
+        x.add(1, 2, 2.0);
+        let x = x.build();
+        let mut y = TripletBuilder::new(2, 3);
+        y.add(0, 1, 4.0);
+        y.add(1, 2, 1.0);
+        let y = y.build();
+        let s = x.add_scaled(&y, -0.5).unwrap();
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(0, 1), -2.0);
+        assert_eq!(s.get(1, 2), 1.5);
+        let mut z = TripletBuilder::new(3, 3);
+        z.add(0, 0, 1.0);
+        let z = z.build();
+        assert!(x.add_scaled(&z, 1.0).is_err());
     }
 
     #[test]

@@ -6,7 +6,8 @@ use vcsel_numerics::solver::{
     bicgstab, conjugate_gradient, preconditioned_cg, sor, CgWorkspace, SolveOptions,
 };
 use vcsel_numerics::{
-    golden_section_min, grid_argmin, CsrMatrix, Interp1d, PreconditionerKind, TripletBuilder,
+    golden_section_min, grid_argmin, CsrMatrix, Interp1d, MultigridConfig, PreconditionerKind,
+    TripletBuilder,
 };
 
 /// Random SPD stencil matrix: a 2-D 5-point grid Laplacian with per-edge
@@ -39,6 +40,44 @@ fn random_spd_stencil(nx: usize, ny: usize, seed: &[f64]) -> CsrMatrix {
     for (c, d) in diag.iter().enumerate() {
         // Small positive shift keeps the matrix SPD (Robin-boundary-like).
         b.add(c, c, d + 0.01 + 0.1 * seed[(c * 7 + 3) % seed.len()].abs());
+    }
+    b.build()
+}
+
+/// Random SPD 7-point stencil: a 3-D grid Laplacian with per-edge
+/// conductances drawn from the seed values — the exact shape of the FVM
+/// conduction systems, including their anisotropy spread.
+fn random_spd_stencil_3d(nx: usize, ny: usize, nz: usize, seed: &[f64]) -> CsrMatrix {
+    let n = nx * ny * nz;
+    let mut b = TripletBuilder::with_capacity(n, n, 7 * n);
+    let draw = |k: usize| 0.02 + seed[k % seed.len()].abs();
+    let mut diag = vec![0.0; n];
+    let idx = |i: usize, j: usize, k: usize| (k * ny + j) * nx + i;
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let c = idx(i, j, k);
+                let mut couple = |d: usize, g: f64| {
+                    b.add(c, d, -g);
+                    b.add(d, c, -g);
+                    diag[c] += g;
+                    diag[d] += g;
+                };
+                if i + 1 < nx {
+                    couple(idx(i + 1, j, k), draw(c * 3 + 1));
+                }
+                if j + 1 < ny {
+                    couple(idx(i, j + 1, k), draw(c * 5 + 2));
+                }
+                if k + 1 < nz {
+                    couple(idx(i, j, k + 1), draw(c * 7 + 3));
+                }
+            }
+        }
+    }
+    for (c, d) in diag.iter().enumerate() {
+        // Small positive shift keeps the matrix SPD (Robin-boundary-like).
+        b.add(c, c, d + 0.01 + 0.1 * seed[(c * 11 + 5) % seed.len()].abs());
     }
     b.build()
 }
@@ -130,9 +169,10 @@ proptest! {
         let mut solutions = Vec::new();
         let mut ws = CgWorkspace::new();
         for kind in kinds {
-            let m = kind.build(&a).expect("SPD stencil factors");
+            let mut m = kind.build(&a).expect("SPD stencil factors");
             let mut x = vec![0.0; n];
-            let stats = preconditioned_cg(&a, &rhs, &mut x, &m, &opts, &mut ws).expect("converges");
+            let stats =
+                preconditioned_cg(&a, &rhs, &mut x, &mut m, &opts, &mut ws).expect("converges");
             prop_assert!(stats.residual <= opts.tolerance);
             prop_assert!(residual(&a, &x, &rhs) < 1e-8);
             solutions.push(x);
@@ -142,6 +182,42 @@ proptest! {
             for (p, q) in solutions[0].iter().zip(other) {
                 prop_assert!((p - q).abs() < 1e-6 * scale, "preconditioner mismatch: {p} vs {q}");
             }
+        }
+    }
+
+    #[test]
+    fn multigrid_cg_matches_ic0_cg_on_random_stencils(
+        nx in 3usize..7,
+        ny in 3usize..7,
+        nz in 2usize..5,
+        seed in proptest::collection::vec(-2.0f64..2.0, 56),
+        rhs_seed in proptest::collection::vec(-5.0f64..5.0, 216),
+    ) {
+        // The multigrid V-cycle preconditioner must land CG on the same
+        // field as IC(0), whatever the random conductance draw. Shrink
+        // direct_cells so even the small proptest systems build a real
+        // multi-level hierarchy instead of degenerating to a dense solve.
+        let a = random_spd_stencil_3d(nx, ny, nz, &seed);
+        let n = nx * ny * nz;
+        let rhs: Vec<f64> = rhs_seed.iter().take(n).cloned().collect();
+        let opts = SolveOptions { tolerance: 1e-11, max_iterations: 50_000, relaxation: 1.5 };
+        let mut ws = CgWorkspace::new();
+
+        let mut ic0 = PreconditionerKind::IncompleteCholesky.build(&a).expect("factors");
+        let mut x_ic = vec![0.0; n];
+        preconditioned_cg(&a, &rhs, &mut x_ic, &mut ic0, &opts, &mut ws).expect("ic0 converges");
+
+        let config = MultigridConfig { direct_cells: 8, ..MultigridConfig::default() };
+        let mut mg = PreconditionerKind::Multigrid { config }.build(&a).expect("hierarchy builds");
+        let mut x_mg = vec![0.0; n];
+        let stats =
+            preconditioned_cg(&a, &rhs, &mut x_mg, &mut mg, &opts, &mut ws).expect("mg converges");
+        prop_assert!(stats.residual <= opts.tolerance);
+        prop_assert!(residual(&a, &x_mg, &rhs) < 1e-8);
+
+        let scale = x_ic.iter().map(|v| v.abs()).fold(1e-12, f64::max);
+        for (p, q) in x_ic.iter().zip(&x_mg) {
+            prop_assert!((p - q).abs() / scale < 1e-8, "multigrid vs ic0 field: {p} vs {q}");
         }
     }
 
@@ -158,12 +234,12 @@ proptest! {
         let n = nx * ny;
         let rhs: Vec<f64> = rhs_seed.iter().take(n).cloned().collect();
         let opts = SolveOptions { tolerance: 1e-10, max_iterations: 50_000, relaxation: 1.5 };
-        let m = PreconditionerKind::IncompleteCholesky.build(&a).expect("factors");
+        let mut m = PreconditionerKind::IncompleteCholesky.build(&a).expect("factors");
         let mut ws = CgWorkspace::new();
         let mut x = vec![0.0; n];
-        preconditioned_cg(&a, &rhs, &mut x, &m, &opts, &mut ws).expect("cold");
+        preconditioned_cg(&a, &rhs, &mut x, &mut m, &opts, &mut ws).expect("cold");
         let before = x.clone();
-        let warm = preconditioned_cg(&a, &rhs, &mut x, &m, &opts, &mut ws).expect("warm");
+        let warm = preconditioned_cg(&a, &rhs, &mut x, &mut m, &opts, &mut ws).expect("warm");
         prop_assert_eq!(warm.iterations, 0);
         prop_assert_eq!(before, x);
     }

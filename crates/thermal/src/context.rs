@@ -8,13 +8,26 @@
 //! conditions, while the injected powers only move the right-hand side.
 //!
 //! [`SolveContext`] exploits that: it assembles the system **once**, paints
-//! one power vector per controllable group, factors an IC(0) preconditioner
+//! one power vector per controllable group, factors a preconditioner
 //! **once**, and then serves any number of right-hand sides with
 //! warm-started, allocation-free conjugate gradient — each solve reuses the
 //! previous solution as its initial guess and the same scratch buffers.
+//!
+//! The default preconditioner scales with the system: small meshes get the
+//! IC(0) factorization, while systems at or above
+//! [`SolveContext::MULTIGRID_CELL_THRESHOLD`] unknowns get the
+//! smoothed-aggregation multigrid hierarchy
+//! ([`PreconditionerKind::Multigrid`]), whose CG iteration counts stay
+//! nearly mesh-independent — the property that makes paper-fidelity steady
+//! solves tractable. Sweeps whose designs share a mesh (e.g. the same
+//! floorplan under different activity patterns) can keep the assembled
+//! matrix and factorization and only re-paint powers via
+//! [`SolveContext::adopt_design`].
 
 use vcsel_numerics::solver::{self, CgWorkspace, SolveOptions};
-use vcsel_numerics::{AnyPreconditioner, CsrMatrix, NumericsError, PreconditionerKind};
+use vcsel_numerics::{
+    AnyPreconditioner, CsrMatrix, MultigridConfig, NumericsError, PreconditionerKind,
+};
 use vcsel_units::{Celsius, Meters};
 
 use crate::assembly::{self, BoundaryFace};
@@ -33,6 +46,37 @@ pub(crate) fn factor_preconditioner(
         Err(_) if kind != PreconditionerKind::Jacobi => PreconditionerKind::Jacobi.build(a),
         Err(e) => Err(e),
     }
+}
+
+/// `(static power, sorted per-group power vectors)` as painted by
+/// [`paint_design`].
+type PaintedPowers = (Vec<f64>, Vec<(String, Vec<f64>)>);
+
+/// Paints the static (ungrouped) power vector and one per-group power
+/// vector at the design's reference block powers.
+fn paint_design(design: &Design, mesh: &Mesh) -> Result<PaintedPowers, ThermalError> {
+    let mut groups: Vec<String> =
+        design.blocks().iter().filter_map(|b| b.group().map(str::to_owned)).collect();
+    groups.sort();
+    groups.dedup();
+    let mut group_power = Vec::with_capacity(groups.len());
+    for g in &groups {
+        let mut only = design.clone();
+        for b in only.blocks_mut() {
+            if b.group() != Some(g.as_str()) {
+                b.set_power(vcsel_units::Watts::ZERO);
+            }
+        }
+        group_power.push((g.clone(), assembly::paint_power(&only, mesh)?));
+    }
+    let mut ungrouped = design.clone();
+    for b in ungrouped.blocks_mut() {
+        if b.group().is_some() {
+            b.set_power(vcsel_units::Watts::ZERO);
+        }
+    }
+    let static_power = assembly::paint_power(&ungrouped, mesh)?;
+    Ok((static_power, group_power))
 }
 
 /// A cached, reusable solve engine for one `(design, mesh)` pair.
@@ -69,6 +113,12 @@ pub struct SolveContext {
     /// `(group, per-cell power at the design's reference block powers)`,
     /// sorted by group name.
     group_power: Vec<(String, Vec<f64>)>,
+    /// Painted per-cell conductivity — the geometry/material fingerprint
+    /// [`SolveContext::adopt_design`] validates against, since the matrix
+    /// is exactly a function of it (plus the fixed mesh and boundaries).
+    conductivity: Vec<f64>,
+    /// Boundary conditions at construction, also validated on adoption.
+    boundaries: crate::BoundarySet,
     precond: AnyPreconditioner,
     options: SolveOptions,
     /// Last solution; doubles as the next solve's warm-start guess.
@@ -91,12 +141,59 @@ impl SolveContext {
         Self::on_mesh(design, mesh)
     }
 
+    /// Like [`SolveContext::new`] but with an explicit preconditioner
+    /// choice, skipping the size-based default entirely (benches and
+    /// ablations use this to avoid paying for a factorization they are
+    /// about to replace).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SolveContext::new`], plus factorization failures
+    /// of the requested kind.
+    pub fn new_preconditioned(
+        design: &Design,
+        spec: &MeshSpec,
+        kind: PreconditionerKind,
+    ) -> Result<Self, ThermalError> {
+        let mesh = Mesh::build(design, spec)?;
+        Self::on_mesh_with(design, mesh, kind)
+    }
+
     /// Builds the engine on an already-built mesh (lets sweeps share one).
     ///
     /// # Errors
     ///
     /// Same contract as [`SolveContext::new`], minus the meshing errors.
     pub fn on_mesh(design: &Design, mesh: Mesh) -> Result<Self, ThermalError> {
+        let kind = Self::default_steady_kind(mesh.cell_count());
+        Self::assemble_engine(design, mesh, kind, true)
+    }
+
+    /// [`SolveContext::on_mesh`] with an explicit preconditioner choice.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SolveContext::new_preconditioned`], minus the
+    /// meshing errors.
+    pub fn on_mesh_with(
+        design: &Design,
+        mesh: Mesh,
+        kind: PreconditionerKind,
+    ) -> Result<Self, ThermalError> {
+        Self::assemble_engine(design, mesh, kind, false)
+    }
+
+    /// Shared constructor body. `fallback` enables the defensive
+    /// downgrade-to-Jacobi path used by the *default* engines (where any
+    /// working preconditioner beats an error); explicit choices propagate
+    /// their factorization failures instead, matching
+    /// [`SolveContext::with_preconditioner`].
+    fn assemble_engine(
+        design: &Design,
+        mesh: Mesh,
+        kind: PreconditionerKind,
+        fallback: bool,
+    ) -> Result<Self, ThermalError> {
         // Assembling a zero-power clone yields the conduction matrix and the
         // pure boundary RHS; power only ever moves the right-hand side.
         let mut hollow = design.clone();
@@ -104,31 +201,16 @@ impl SolveContext {
             b.set_power(vcsel_units::Watts::ZERO);
         }
         let disc = assembly::assemble(&hollow, &mesh)?;
+        let conductivity = assembly::paint_conductivity(design, &mesh);
+        let boundaries = *design.boundaries();
+        let (static_power, group_power) = paint_design(design, &mesh)?;
 
-        let mut groups: Vec<String> =
-            design.blocks().iter().filter_map(|b| b.group().map(str::to_owned)).collect();
-        groups.sort();
-        groups.dedup();
-        let mut group_power = Vec::with_capacity(groups.len());
-        for g in &groups {
-            let mut only = design.clone();
-            for b in only.blocks_mut() {
-                if b.group() != Some(g.as_str()) {
-                    b.set_power(vcsel_units::Watts::ZERO);
-                }
-            }
-            group_power.push((g.clone(), assembly::paint_power(&only, &mesh)?));
-        }
-        let mut ungrouped = design.clone();
-        for b in ungrouped.blocks_mut() {
-            if b.group().is_some() {
-                b.set_power(vcsel_units::Watts::ZERO);
-            }
-        }
-        let static_power = assembly::paint_power(&ungrouped, &mesh)?;
-
-        let precond = factor_preconditioner(&disc.matrix, PreconditionerKind::IncompleteCholesky)?;
         let n = mesh.cell_count();
+        let precond = if fallback {
+            factor_preconditioner(&disc.matrix, kind)?
+        } else {
+            kind.build(&disc.matrix).map_err(ThermalError::from)?
+        };
         Ok(Self {
             mesh,
             matrix: disc.matrix,
@@ -136,6 +218,8 @@ impl SolveContext {
             boundary_faces: disc.boundary_faces,
             static_power,
             group_power,
+            conductivity,
+            boundaries,
             precond,
             options: SolveOptions { tolerance: 1e-9, max_iterations: 50_000, relaxation: 1.6 },
             temps: vec![0.0; n],
@@ -146,11 +230,78 @@ impl SolveContext {
         })
     }
 
+    /// Unknown count at which steady engines switch their default
+    /// preconditioner from IC(0) to the smoothed-aggregation multigrid
+    /// hierarchy.
+    ///
+    /// Below the threshold (the test-scale meshes) IC(0)'s cheap setup and
+    /// ~1-SpMV application win on wall clock; above it, one-level
+    /// preconditioners pay iteration counts that grow with resolution while
+    /// the multigrid V-cycle stays flat — at `Fidelity::Paper` scale
+    /// (~2.6 M unknowns) that difference is what makes cold steady solves
+    /// tractable at all.
+    pub const MULTIGRID_CELL_THRESHOLD: usize = 150_000;
+
+    /// The preconditioner a steady engine picks for `n` unknowns: IC(0)
+    /// below [`SolveContext::MULTIGRID_CELL_THRESHOLD`], multigrid at or
+    /// above it.
+    pub fn default_steady_kind(n: usize) -> PreconditionerKind {
+        if n >= Self::MULTIGRID_CELL_THRESHOLD {
+            PreconditionerKind::Multigrid { config: MultigridConfig::default() }
+        } else {
+            PreconditionerKind::IncompleteCholesky
+        }
+    }
+
+    /// Re-points the engine at `new_design` **without** re-assembling or
+    /// re-factoring: only the painted power vectors are rebuilt. The warm-
+    /// start field carries over, so sweep hops stay cheap.
+    ///
+    /// The new design must produce the *same operator* — identical
+    /// geometry, materials and boundary conditions on the same mesh; only
+    /// block powers (and group tags) may differ. This is the activity-
+    /// pattern sweep shape: tile powers change, silicon does not. The
+    /// painted conductivity field is validated cell-for-cell to enforce the
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::BadParameter`] if the conductivity paint
+    /// differs anywhere (the design is *not* operator-compatible), and
+    /// propagates power-painting failures.
+    pub fn adopt_design(&mut self, new_design: &Design) -> Result<(), ThermalError> {
+        if *new_design.boundaries() != self.boundaries {
+            return Err(ThermalError::BadParameter {
+                reason: "adopt_design requires identical boundary conditions — \
+                         build a new SolveContext"
+                    .into(),
+            });
+        }
+        let conductivity = assembly::paint_conductivity(new_design, &self.mesh);
+        if conductivity != self.conductivity {
+            return Err(ThermalError::BadParameter {
+                reason: "adopt_design requires identical geometry and materials; \
+                         the painted conductivity differs — build a new SolveContext"
+                    .into(),
+            });
+        }
+        let (static_power, group_power) = paint_design(new_design, &self.mesh)?;
+        self.static_power = static_power;
+        self.group_power = group_power;
+        Ok(())
+    }
+
     /// Overrides the linear-solver options (builder style).
     #[must_use]
     pub fn with_options(mut self, options: SolveOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Overrides the linear-solver options in place (for engines already
+    /// embedded in a larger cache, e.g. a re-targeted study).
+    pub fn set_options(&mut self, options: SolveOptions) {
+        self.options = options;
     }
 
     /// Re-factors with a different preconditioner (builder style; benches
@@ -177,6 +328,12 @@ impl SolveContext {
     /// The controllable group names, sorted.
     pub fn groups(&self) -> Vec<&str> {
         self.group_power.iter().map(|(g, _)| g.as_str()).collect()
+    }
+
+    /// Total reference power of a group in watts (the sum of its painted
+    /// per-cell sources at scale 1), or `None` for an unknown group.
+    pub fn group_reference_power(&self, group: &str) -> Option<f64> {
+        self.group_power.iter().find(|(g, _)| g == group).map(|(_, q)| q.iter().sum::<f64>())
     }
 
     /// CG iterations of the most recent solve.
@@ -297,7 +454,7 @@ impl SolveContext {
             &self.matrix,
             &self.rhs,
             &mut self.temps,
-            &self.precond,
+            &mut self.precond,
             &self.options,
             &mut self.ws,
         )?;
@@ -430,6 +587,107 @@ mod tests {
             assert!((x - y).abs() < 1e-6);
         }
         assert!(ic.last_iterations() < jac.last_iterations());
+    }
+
+    #[test]
+    fn default_kind_scales_with_system_size() {
+        assert_eq!(
+            SolveContext::default_steady_kind(SolveContext::MULTIGRID_CELL_THRESHOLD - 1),
+            PreconditionerKind::IncompleteCholesky
+        );
+        assert!(matches!(
+            SolveContext::default_steady_kind(SolveContext::MULTIGRID_CELL_THRESHOLD),
+            PreconditionerKind::Multigrid { .. }
+        ));
+        // The tiny test meshes stay on IC(0).
+        let (design, spec) = grouped_slab();
+        let ctx = SolveContext::new(&design, &spec).unwrap();
+        assert_eq!(ctx.preconditioner_name(), "ic0");
+    }
+
+    #[test]
+    fn explicit_preconditioner_choice_propagates_factorization_failures() {
+        // The defensive Jacobi downgrade belongs to the *default* engines
+        // only: an explicitly requested kind that cannot build must error
+        // (same contract as with_preconditioner), never silently run a
+        // different preconditioner under the requested label.
+        let (design, spec) = grouped_slab();
+        let bad = PreconditionerKind::Multigrid {
+            config: vcsel_numerics::MultigridConfig {
+                strength_threshold: -1.0,
+                ..Default::default()
+            },
+        };
+        assert!(SolveContext::new_preconditioned(&design, &spec, bad).is_err());
+        assert!(SolveContext::new_preconditioned(
+            &design,
+            &spec,
+            PreconditionerKind::IncompleteCholesky
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn adopted_design_repaints_powers_without_reassembly() {
+        let (design, spec) = grouped_slab();
+        let mut ctx = SolveContext::new(&design, &spec).unwrap();
+        let direct = ctx.solve_scaled(&[("src", 2.0)]).unwrap();
+
+        // Same geometry, doubled source power: adopting must make scale 1.0
+        // reproduce the old scale 2.0 field exactly.
+        let mut doubled = design.clone();
+        doubled.scale_group_power("src", 2.0);
+        ctx.adopt_design(&doubled).unwrap();
+        let adopted = ctx.solve_scaled(&[("src", 1.0)]).unwrap();
+        for (a, b) in direct.temperatures().iter().zip(adopted.temperatures()) {
+            assert!((a - b).abs() < 1e-9, "direct {a} vs adopted {b}");
+        }
+        assert!(
+            (ctx.group_reference_power("src").unwrap() - 1.0).abs() < 1e-9,
+            "reference power must track the adopted design"
+        );
+    }
+
+    #[test]
+    fn adopt_rejects_operator_changes() {
+        let (design, spec) = grouped_slab();
+        let mut ctx = SolveContext::new(&design, &spec).unwrap();
+
+        // A new block changes the painted conductivity.
+        let mut regrown = design.clone();
+        let extra =
+            BoxRegion::new([mm(0.0), mm(0.0), mm(0.5)], [mm(1.0), mm(1.0), mm(1.0)]).unwrap();
+        regrown.add_block(Block::passive("slug", extra, Material::COPPER));
+        assert!(matches!(ctx.adopt_design(&regrown), Err(ThermalError::BadParameter { .. })));
+
+        // Changed boundary conditions are rejected, too.
+        let mut rechilled = design.clone();
+        rechilled.set_boundary(
+            Boundary::top(),
+            BoundaryCondition::Convective {
+                h: WattsPerSquareMeterKelvin::new(9_999.0),
+                ambient: Celsius::new(40.0),
+            },
+        );
+        assert!(matches!(ctx.adopt_design(&rechilled), Err(ThermalError::BadParameter { .. })));
+    }
+
+    #[test]
+    fn multigrid_engine_agrees_with_ic0_on_the_slab() {
+        let (design, spec) = grouped_slab();
+        let mut ic0 = SolveContext::new(&design, &spec).unwrap();
+        let mut mg = SolveContext::new(&design, &spec)
+            .unwrap()
+            .with_preconditioner(PreconditionerKind::Multigrid {
+                config: vcsel_numerics::MultigridConfig::default(),
+            })
+            .unwrap();
+        assert_eq!(mg.preconditioner_name(), "multigrid");
+        let a = ic0.solve().unwrap();
+        let b = mg.solve().unwrap();
+        for (x, y) in a.temperatures().iter().zip(b.temperatures()) {
+            assert!((x - y).abs() < 1e-6, "ic0 {x} vs multigrid {y}");
+        }
     }
 
     #[test]

@@ -93,5 +93,6 @@ pub use stepper::TransientStepper;
 pub use superposition::ResponseBasis;
 pub use transient::{TransientSimulator, TransientTrace};
 /// Re-exported so downstream crates can pick a solve-engine preconditioner
-/// without depending on `vcsel_numerics` directly.
-pub use vcsel_numerics::PreconditionerKind;
+/// (including the multigrid hierarchy and its tuning knobs) without
+/// depending on `vcsel_numerics` directly.
+pub use vcsel_numerics::{CycleKind, MultigridConfig, PreconditionerKind, SmootherKind};

@@ -81,9 +81,13 @@ impl Simulator {
     /// Solves on an already-built mesh (lets sweeps reuse the mesh).
     ///
     /// One-shot solves route through the same [`SolveContext`] engine the
-    /// cached paths use, so every caller gets IC(0) preconditioning; code
-    /// that solves the same design repeatedly should hold a
-    /// [`SolveContext`] directly and keep its warm starts.
+    /// cached paths use, so every caller gets the size-matched default
+    /// preconditioner — IC(0) on small meshes, the smoothed-aggregation
+    /// multigrid hierarchy at or above
+    /// [`SolveContext::MULTIGRID_CELL_THRESHOLD`] unknowns (which is what
+    /// makes `Fidelity::Paper` steady maps tractable). Code that solves
+    /// the same design repeatedly should hold a [`SolveContext`] directly
+    /// and keep its warm starts.
     ///
     /// # Errors
     ///

@@ -262,7 +262,7 @@ impl TransientStepper {
             &self.system,
             &self.rhs,
             &mut self.temps,
-            &self.precond,
+            &mut self.precond,
             &self.options,
             &mut self.ws,
         )?;

@@ -54,14 +54,27 @@ impl ResponseBasis {
     /// without any power group ([`ThermalError::BadParameter`]) since the
     /// basis would be pointless.
     pub fn build(sim: &Simulator, design: &Design, spec: &MeshSpec) -> Result<Self, ThermalError> {
-        let groups: Vec<String> = design.group_names().into_iter().map(str::to_string).collect();
+        let mut ctx = SolveContext::new(design, spec)?.with_options(*sim.options());
+        Self::build_on(&mut ctx)
+    }
+
+    /// Like [`ResponseBasis::build`], but on an **existing** engine —
+    /// sweeps that already hold a [`SolveContext`] (or re-target one with
+    /// [`SolveContext::adopt_design`]) rebuild their basis without paying
+    /// assembly or factorization again, and each solve warm-starts from
+    /// the context's current field.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ResponseBasis::build`], minus the construction
+    /// errors.
+    pub fn build_on(ctx: &mut SolveContext) -> Result<Self, ThermalError> {
+        let groups: Vec<String> = ctx.groups().into_iter().map(str::to_string).collect();
         if groups.is_empty() {
             return Err(ThermalError::BadParameter {
                 reason: "design has no power groups; tag blocks with `with_group`".into(),
             });
         }
-
-        let mut ctx = SolveContext::new(design, spec)?.with_options(*sim.options());
 
         // Baseline: all groups at zero, ungrouped powers untouched.
         let baseline = ctx.solve_scaled(&[])?;
@@ -78,7 +91,8 @@ impl ResponseBasis {
                 .zip(baseline.temperatures())
                 .map(|(t, t0)| t - t0)
                 .collect();
-            responses.push((g.clone(), design.group_power(g).value(), rise));
+            let reference = ctx.group_reference_power(g).unwrap_or(0.0);
+            responses.push((g.clone(), reference, rise));
         }
 
         Ok(Self { baseline, responses })

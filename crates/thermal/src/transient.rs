@@ -162,7 +162,7 @@ impl TransientSimulator {
         let system = builder.build();
         // The matrix never changes: one IC(0) factorization serves every
         // step, and each step warm-starts from the previous field.
-        let precond = factor_preconditioner(&system, PreconditionerKind::IncompleteCholesky)?;
+        let mut precond = factor_preconditioner(&system, PreconditionerKind::IncompleteCholesky)?;
         let mut ws = CgWorkspace::with_capacity(n);
 
         let mut temps = vec![self.initial.value(); n];
@@ -174,7 +174,14 @@ impl TransientSimulator {
             for i in 0..n {
                 rhs[i] = disc.rhs[i] + capacity[i] / dt_s * temps[i];
             }
-            solver::preconditioned_cg(&system, &rhs, &mut temps, &precond, &self.options, &mut ws)?;
+            solver::preconditioned_cg(
+                &system,
+                &rhs,
+                &mut temps,
+                &mut precond,
+                &self.options,
+                &mut ws,
+            )?;
             times_s.push(dt_s * (step + 1) as f64);
             for (series, &cell) in probe_series.iter_mut().zip(&probe_cells) {
                 series.push(temps[cell]);
