@@ -15,7 +15,12 @@
 //!    subsystem: its cold-solve iteration count must be at most **half**
 //!    of IC(0)'s. Control with `PERF_RECORD_FAST=all|mg|off` (CI's smoke
 //!    job runs `mg` to exercise hierarchy construction on every push).
-//! 3. **200-step transient** — the paper's runtime-management shape — run
+//! 3. **V-cycle threading A/B** — on the fast-fidelity operator, one
+//!    multigrid V-cycle with `parallel_sweeps` off (serial smoothers and
+//!    transfers) vs on (banded block-SSOR + threaded SpMV), recording the
+//!    wall-clock per cycle and the speedup. On machines with at least two
+//!    hardware threads the parallel cycle must be ≥ 1.3× faster.
+//! 4. **200-step transient** — the paper's runtime-management shape — run
 //!    once on the seed-era path (cold-start Jacobi-CG every step) and once
 //!    on the engine path (IC(0) factored once + warm starts), recording
 //!    steps/second and the wall-clock speedup.
@@ -23,18 +28,23 @@
 //! Setting `PERF_RECORD_PAPER=1` additionally runs one full-die
 //! `Fidelity::Paper` steady solve (~2.6 M unknowns) through the multigrid
 //! engine — the workload that is intractable with one-level
-//! preconditioners — and records it in the output.
+//! preconditioners — and records it in the output, together with the
+//! memory story of the shared-operator engine: the fine operator's size,
+//! a pointer-identity check that the hierarchy aliases (rather than
+//! clones) it, and the process peak RSS.
 //!
 //! Usage: `cargo run --release -p vcsel_bench --bin perf_record [out.json]`
 //! (default output `BENCH_solvers.json` in the working directory). The
 //! default sections run in minutes; CI shrinks the transient via
 //! `PERF_RECORD_STEPS`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use vcsel_arch::{Fidelity, SccConfig, SccSystem};
+use vcsel_numerics::{CycleKind, MgWorkspace, MultigridHierarchy};
 use vcsel_thermal::{
-    Design, MeshSpec, MultigridConfig, PreconditionerKind, SolveContext, TransientStepper,
+    Design, Mesh, MeshSpec, MultigridConfig, PreconditionerKind, SolveContext, TransientStepper,
 };
 use vcsel_units::{Celsius, Watts};
 
@@ -79,6 +89,65 @@ struct PaperRecord {
     solve_s: f64,
     iterations: usize,
     hottest_c: f64,
+    /// One copy of the fine conduction operator, in MB — the allocation
+    /// the engine and the multigrid hierarchy now *share* (pre-sharing,
+    /// it was held three times: context, fine level, SSOR smoother).
+    fine_operator_mb: f64,
+    /// Process peak RSS (VmHWM) after the solve, when the OS exposes it.
+    peak_rss_mb: Option<f64>,
+}
+
+struct VcycleRecord {
+    unknowns: usize,
+    threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+}
+
+/// Peak resident set size of this process in MB (Linux `/proc` only).
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Times one multigrid V-cycle on the assembled operator with the serial
+/// and the threaded sweep configuration (same hierarchy parameters
+/// otherwise, both sharing the same operator allocation).
+fn vcycle_section(design: &Design, mesh: Mesh) -> VcycleRecord {
+    // A throwaway Jacobi engine is the cheapest way to assemble once and
+    // share the operator with both hierarchies.
+    let ctx = SolveContext::on_mesh_with(design, mesh, PreconditionerKind::Jacobi)
+        .expect("fast context assembles");
+    let op = Arc::clone(ctx.shared_operator());
+    let n = op.rows();
+    let b = vec![1.0; n];
+    let mut times = [0.0f64; 2];
+    for (slot, parallel_sweeps) in [(0, false), (1, true)] {
+        let config = MultigridConfig { parallel_sweeps, ..Default::default() };
+        let mut h =
+            MultigridHierarchy::build_shared(Arc::clone(&op), &config).expect("hierarchy builds");
+        let mut ws = MgWorkspace::for_hierarchy(&h);
+        let mut x = vec![0.0; n];
+        h.cycle(CycleKind::V, &b, &mut x, &mut ws); // warm-up (page in buffers)
+        let (best, _) = time_best(5, || h.cycle(CycleKind::V, &b, &mut x, &mut ws));
+        times[slot] = best * 1e3;
+    }
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let record = VcycleRecord {
+        unknowns: n,
+        threads,
+        serial_ms: times[0],
+        parallel_ms: times[1],
+        speedup: times[0] / times[1],
+    };
+    println!(
+        "[vcycle/fast] {} unknowns, {} threads: serial {:.1} ms, parallel {:.1} ms ({:.2}x)",
+        record.unknowns, record.threads, record.serial_ms, record.parallel_ms, record.speedup
+    );
+    record
 }
 
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -197,8 +266,8 @@ fn main() {
         "all" => &[("ic0", PreconditionerKind::IncompleteCholesky), ("multigrid", multigrid)],
         other => panic!("PERF_RECORD_FAST must be all|mg|off, got '{other}'"),
     };
-    let (fast_unknowns, fast_steady) = if fast_kinds.is_empty() {
-        (0, Vec::new())
+    let (fast_unknowns, fast_steady, vcycle) = if fast_kinds.is_empty() {
+        (0, Vec::new(), None)
     } else {
         let config = SccConfig {
             p_vcsel: Watts::from_milliwatts(4.0),
@@ -207,7 +276,11 @@ fn main() {
         };
         let system = SccSystem::build(&config).expect("fast SCC builds");
         let spec = system.mesh_spec().expect("mesh spec");
-        steady_section("fast", system.design(), &spec, fast_kinds, 1)
+        let (unknowns, records) = steady_section("fast", system.design(), &spec, fast_kinds, 1);
+        // ---- V-cycle threading A/B on the same operator ----------------
+        let mesh = Mesh::build(system.design(), &spec).expect("fast mesh builds");
+        let vcycle = vcycle_section(system.design(), mesh);
+        (unknowns, records, Some(vcycle))
     };
 
     // ---- Optional full-paper-fidelity multigrid solve ------------------
@@ -224,6 +297,15 @@ fn main() {
             SolveContext::new(system.design(), &spec).expect("paper-scale context builds");
         let setup_s = setup.elapsed().as_secs_f64();
         assert_eq!(ctx.preconditioner_name(), "multigrid", "paper scale must default to multigrid");
+        // The shared-operator contract at the scale where it matters: the
+        // hierarchy's finest level must alias the engine's ~215 MB
+        // operator, not hold a second copy of it.
+        let mg = ctx.preconditioner().as_multigrid().expect("multigrid engine");
+        assert!(
+            Arc::ptr_eq(ctx.shared_operator(), mg.hierarchy().fine_operator()),
+            "paper-scale hierarchy must share the fine operator"
+        );
+        let fine_operator_mb = ctx.shared_operator().storage_bytes() as f64 / 1e6;
         let solve = Instant::now();
         let map = ctx.solve().expect("paper-scale steady solve");
         let record = PaperRecord {
@@ -232,11 +314,19 @@ fn main() {
             solve_s: solve.elapsed().as_secs_f64(),
             iterations: ctx.last_iterations(),
             hottest_c: map.hottest().1.value(),
+            fine_operator_mb,
+            peak_rss_mb: peak_rss_mb(),
         };
         println!(
             "[paper] multigrid: {} unknowns, setup {:.1} s, cold solve {:.1} s / {} iters, \
-             hottest {:.2} C",
-            record.unknowns, record.setup_s, record.solve_s, record.iterations, record.hottest_c
+             hottest {:.2} C, operator {:.0} MB shared (1 copy), peak RSS {}",
+            record.unknowns,
+            record.setup_s,
+            record.solve_s,
+            record.iterations,
+            record.hottest_c,
+            record.fine_operator_mb,
+            record.peak_rss_mb.map_or_else(|| "n/a".to_string(), |mb| format!("{mb:.0} MB")),
         );
         Some(record)
     } else {
@@ -323,21 +413,44 @@ fn main() {
             _ => String::new(),
         }
     };
+    let vcycle_json = vcycle
+        .as_ref()
+        .map(|v| {
+            format!(
+                ",\n  \"vcycle_fast\": {{ \"unknowns\": {}, \"threads\": {}, \
+                 \"serial_ms_per_cycle\": {:.3}, \"parallel_ms_per_cycle\": {:.3}, \
+                 \"speedup\": {:.3} }}",
+                v.unknowns, v.threads, v.serial_ms, v.parallel_ms, v.speedup
+            )
+        })
+        .unwrap_or_default();
     let paper_json = paper
         .as_ref()
         .map(|p| {
             format!(
                 ",\n  \"paper\": {{ \"unknowns\": {}, \"setup_s\": {:.2}, \"solve_s\": {:.2}, \
-                 \"iterations\": {}, \"hottest_c\": {:.4} }}",
-                p.unknowns, p.setup_s, p.solve_s, p.iterations, p.hottest_c
+                 \"iterations\": {}, \"hottest_c\": {:.4}, \"fine_operator_mb\": {:.1}, \
+                 \"fine_operator_copies\": 1, \"shared_operator_savings_mb\": {:.1}, \
+                 \"peak_rss_mb\": {} }}",
+                p.unknowns,
+                p.setup_s,
+                p.solve_s,
+                p.iterations,
+                p.hottest_c,
+                p.fine_operator_mb,
+                // Pre-sharing, the operator was held three times (context
+                // + fine level + fine-level SSOR): two copies saved.
+                2.0 * p.fine_operator_mb,
+                p.peak_rss_mb.map_or_else(|| "null".to_string(), |mb| format!("{mb:.1}")),
             )
         })
         .unwrap_or_default();
     let json = format!(
-        "{{\n  \"schema\": \"bench_solvers_v2\",\n  \"generated_by\": \"perf_record\",\n  \
+        "{{\n  \"schema\": \"bench_solvers_v3\",\n  \"generated_by\": \"perf_record\",\n  \
          \"workload\": \"SccConfig tiny_test + full-die Fast, p_vcsel = 4 mW\",\n  \
          \"unknowns\": {unknowns},\n  \
-         \"steady\": [\n{}\n  ]{fast_json}{fast_ratio}{paper_json},\n  \"transient\": {{\n    \
+         \"steady\": [\n{}\n  ]{fast_json}{fast_ratio}{vcycle_json}{paper_json},\n  \
+         \"transient\": {{\n    \
          \"steps\": {steps},\n    \"dt_s\": {TRANSIENT_DT_S},\n    \"paths\": [\n{}\n    ],\n    \
          \"speedup_engine_vs_seed\": {speedup:.3}\n  }},\n  \
          \"ic0_vs_jacobi_cold_iteration_ratio\": {:.4}\n}}\n",
@@ -375,5 +488,23 @@ fn main() {
             mg.cold_iterations,
             ic.cold_iterations
         );
+    }
+    // The V-cycle threading bar only binds where threads exist to win
+    // with (a single-core machine records ~1.0x and that is correct) and
+    // only on dedicated full record runs: the iteration-count bars above
+    // are deterministic, but a wall-clock ratio measured on a contended
+    // shared CI runner is not, so the reduced smoke run (identified by
+    // its PERF_RECORD_STEPS override) records the ratio without gating
+    // the push on it.
+    let full_run = std::env::var_os("PERF_RECORD_STEPS").is_none();
+    if let Some(v) = &vcycle {
+        if v.threads >= 2 && full_run {
+            assert!(
+                v.speedup >= 1.3,
+                "parallel V-cycle speedup {:.2}x < 1.3x on {} threads",
+                v.speedup,
+                v.threads
+            );
+        }
     }
 }

@@ -1,9 +1,25 @@
-//! Shared helpers for the benchmark harness.
+//! Shared helpers for the benchmark harness — the perf layer of the
+//! workspace (see `ARCHITECTURE.md` for where it sits in the crate graph).
 //!
-//! Each bench target regenerates one of the paper's tables/figures (at
-//! reduced fidelity where a full FVM study would dominate the run) and then
-//! measures the performance of the underlying kernel. The full-fidelity
-//! reproductions live in the `src/bin` report binaries of the root crate.
+//! Two kinds of targets live in this crate:
+//!
+//! * **Criterion benches** (`benches/*`): each regenerates one of the
+//!   paper's tables/figures (at reduced fidelity where a full FVM study
+//!   would dominate the run) and then measures the underlying kernel —
+//!   solver ablations, mesh/layout sweeps, SNR evaluation. The
+//!   full-fidelity reproductions live in the `src/bin` report binaries of
+//!   the root crate.
+//! * **The `perf_record` binary** (`src/bin/perf_record.rs`): emits
+//!   `BENCH_solvers.json` (schema `bench_solvers_v3`), the committed
+//!   machine-readable record of the solve-engine trajectory — steady
+//!   cold/warm solves per preconditioner, IC(0)-vs-multigrid at full-die
+//!   fast fidelity, the V-cycle threading A/B, the 200-step transient,
+//!   and (env-gated) the paper-fidelity solve with its shared-operator
+//!   memory story. CI runs it in reduced form on every push and its
+//!   assertions are the perf regression gate.
+//!
+//! The helpers below share one reduced-scale [`ThermalStudy`] across bench
+//! targets so each doesn't pay the multi-solve construction.
 
 use std::sync::OnceLock;
 

@@ -1,4 +1,4 @@
-//! Thermally-aware job allocation (paper reference [14]).
+//! Thermally-aware job allocation (paper reference \[14\]).
 //!
 //! Zhang et al. (DATE 2014) allocate jobs to cores so that the microrings
 //! see minimal temperature gradients. This module reproduces that policy on
@@ -38,7 +38,7 @@ pub enum AllocationPolicy {
     /// Fill tiles in index order (the baseline schedulers use).
     RowMajor,
     /// Greedy thermally-aware placement minimizing the inter-ONI spread
-    /// after each job (the [14] policy).
+    /// after each job (the \[14\] policy).
     ThermalAware,
 }
 

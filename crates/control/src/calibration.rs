@@ -1,8 +1,8 @@
-//! Closed-loop microring calibration (paper reference [12]).
+//! Closed-loop microring calibration (paper reference \[12\]).
 //!
 //! The design-time methodology of the paper sizes a *constant* MR heater
 //! power (`P_heater ≈ 0.3 × P_VCSEL`). The run-time alternative it cites —
-//! Padmaraju et al.'s feedback stabilization [12] — measures each ring's
+//! Padmaraju et al.'s feedback stabilization \[12\] — measures each ring's
 //! misalignment and drives its heater with a PI loop instead. This module
 //! implements that loop on a [`ThermalPlant`], so the two approaches can be
 //! compared on settle time, steady-state heater power and residual
@@ -116,7 +116,7 @@ impl CalibrationOutcome {
     }
 }
 
-/// The per-ring PI calibration loop of [12].
+/// The per-ring PI calibration loop of \[12\].
 ///
 /// # Example
 ///

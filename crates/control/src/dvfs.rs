@@ -1,4 +1,4 @@
-//! DVFS and workload-migration policies (paper reference [16]).
+//! DVFS and workload-migration policies (paper reference \[16\]).
 //!
 //! The paper's Section II cites DVFS and workload migration as run-time
 //! counter-measures against thermal drift. Both are implemented here on the

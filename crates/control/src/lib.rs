@@ -8,10 +8,10 @@
 //!
 //! | Technique | Paper ref | Module |
 //! |---|---|---|
-//! | Feedback ring stabilization | [12] Padmaraju et al. | [`CalibrationLoop`] |
-//! | ONoC channel remapping | [15] Zhang et al. | [`remap_channels`] |
-//! | DVFS + workload migration | [16] Li et al. | [`dvfs_cap`], [`migrate_workload`] |
-//! | Thermally-aware job allocation | [14] Zhang et al. | [`allocate_jobs`] |
+//! | Feedback ring stabilization | \[12\] Padmaraju et al. | [`CalibrationLoop`] |
+//! | ONoC channel remapping | \[15\] Zhang et al. | [`remap_channels`] |
+//! | DVFS + workload migration | \[16\] Li et al. | [`dvfs_cap`], [`migrate_workload`] |
+//! | Thermally-aware job allocation | \[14\] Zhang et al. | [`allocate_jobs`] |
 //!
 //! The control loops run on a [`ThermalPlant`] abstraction with a built-in
 //! lumped RC implementation ([`LumpedPlant`]) whose coefficients are sized

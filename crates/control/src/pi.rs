@@ -1,6 +1,6 @@
 //! Proportional-integral controller with actuator saturation.
 //!
-//! The thermal stabilization loop of Padmaraju et al. [12] locks a
+//! The thermal stabilization loop of Padmaraju et al. \[12\] locks a
 //! microring to its channel by heating it under feedback. The controller
 //! of record in that work (and in practically every thermal trimmer) is a
 //! PI loop: proportional action for speed, integral action to null the

@@ -1,7 +1,7 @@
 //! Lumped thermal plant for run-time control studies.
 //!
-//! Closed-loop studies (the feedback calibration of [12], migration
-//! policies of [16]) need to *step* the thermal state thousands of times —
+//! Closed-loop studies (the feedback calibration of \[12\], migration
+//! policies of \[16\]) need to *step* the thermal state thousands of times —
 //! far too often for a full FVM solve per step. The standard practice is a
 //! lumped RC compact model: each controlled site (a microring, an ONI, a
 //! tile) becomes one thermal node with a heat capacity, a conductance to

@@ -1,4 +1,4 @@
-//! ONoC reconfiguration by channel remapping (paper reference [15]).
+//! ONoC reconfiguration by channel remapping (paper reference \[15\]).
 //!
 //! Zhang et al. (JOCN 2012) recover SNR lost to thermal drift by remapping
 //! communications onto different wavelength channels at run time. This
@@ -41,7 +41,7 @@ impl RemapResult {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RemapConfig {
     /// Channels the search may use, `0..channel_budget` (ORNoC hardware
-    /// provisions a fixed ring bank per ONI; [15] relies on such redundant
+    /// provisions a fixed ring bank per ONI; \[15\] relies on such redundant
     /// resources).
     pub channel_budget: usize,
     /// Maximum accepted moves before the search stops.

@@ -2,7 +2,7 @@
 //!
 //! The alternative to this paper's design-time approach is run-time
 //! calibration: actively re-tuning every microring to track temperature.
-//! The paper quotes the costs from [17]: voltage (blue-shift) tuning at
+//! The paper quotes the costs from \[17\]: voltage (blue-shift) tuning at
 //! 130 µW/nm and heat (red-shift) tuning at 190 µW/nm, and notes that for
 //! Corona-scale networks (~1.1 × 10⁶ MRs) calibration exceeds 50 % of the
 //! total network power.
@@ -16,7 +16,7 @@ use vcsel_units::{Celsius, Watts};
 
 use crate::FlowError;
 
-/// Tuning-cost constants from [17] (quoted in the paper).
+/// Tuning-cost constants from \[17\] (quoted in the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct TuningCosts {
     /// Blue-shift (voltage) tuning cost, W per nm.

@@ -27,6 +27,13 @@ pub enum FlowError {
     Network(NetworkError),
     /// Numerical optimization failed.
     Numerics(NumericsError),
+    /// Reading or writing a report/checkpoint file failed.
+    Report {
+        /// The file or directory involved.
+        path: String,
+        /// The underlying I/O or serialization error.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -38,6 +45,7 @@ impl fmt::Display for FlowError {
             Self::Photonics(e) => write!(f, "device model: {e}"),
             Self::Network(e) => write!(f, "network analysis: {e}"),
             Self::Numerics(e) => write!(f, "numerics: {e}"),
+            Self::Report { path, reason } => write!(f, "report file {path}: {reason}"),
         }
     }
 }
@@ -45,7 +53,7 @@ impl fmt::Display for FlowError {
 impl std::error::Error for FlowError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Self::BadConfig { .. } => None,
+            Self::BadConfig { .. } | Self::Report { .. } => None,
             Self::Arch(e) => Some(e),
             Self::Thermal(e) => Some(e),
             Self::Photonics(e) => Some(e),

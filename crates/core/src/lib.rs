@@ -51,10 +51,12 @@ mod error;
 pub mod experiments;
 mod flow;
 mod power;
+pub mod report;
 mod snr;
 pub mod spec;
 
 pub use error::FlowError;
 pub use flow::{HeaterExploration, HeaterPoint, ThermalOutcome, ThermalStudy};
 pub use power::{explore_vcsel_power, PowerExploration, PowerPoint};
+pub use report::{fidelity_label, parse_fidelity, CheckpointStore, FigureCli};
 pub use snr::{DesignFlow, SnrSummary, WaveguideSnr};

@@ -104,7 +104,7 @@ impl DesignFlow {
         &self.simulator
     }
 
-    /// Builds a [`ThermalStudy`] on this flow's shared simulator — the one
+    /// Builds a [`ThermalStudy`](crate::ThermalStudy) on this flow's shared simulator — the one
     /// entry point sweep drivers should use, so every study inherits the
     /// flow's solver options instead of constructing private `Simulator`s.
     /// Re-target an existing study with

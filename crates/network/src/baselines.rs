@@ -1,9 +1,9 @@
 //! Baseline optical-crossbar insertion-loss models.
 //!
-//! Paper Section III-A motivates ORNoC by the loss comparison of [20]:
+//! Paper Section III-A motivates ORNoC by the loss comparison of \[20\]:
 //! "ORNoC demonstrates reduced worst-case and average insertion losses
-//! compared with related optical crossbars including Matrix [18], λ-router
-//! [1] and Snake [4] (e.g., on average, 42.5 % reduction for worst-case and
+//! compared with related optical crossbars including Matrix \[18\], λ-router
+//! \[1\] and Snake \[4\] (e.g., on average, 42.5 % reduction for worst-case and
 //! 38 % for average in 4×4 scale)".
 //!
 //! We reproduce that comparison with structural loss models: each topology
@@ -11,7 +11,7 @@
 //! traversals and ring *drop* operations the worst/average path incurs, and
 //! by its worst-case on-chip path length. The per-element coefficients
 //! ([`LossCoefficients`]) are the usual physical-layer analysis values used
-//! in the wavelength-routed-ONoC literature [4][20].
+//! in the wavelength-routed-ONoC literature \[4\]\[20\].
 
 use serde::{Deserialize, Serialize};
 use vcsel_units::{Decibels, Meters};
@@ -54,16 +54,16 @@ impl Default for LossCoefficients {
     }
 }
 
-/// The crossbar topologies compared in [20] / paper Section III-A.
+/// The crossbar topologies compared in \[20\] / paper Section III-A.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CrossbarTopology {
-    /// ORNoC: serpentine ring, no waveguide crossings, passive rings [2].
+    /// ORNoC: serpentine ring, no waveguide crossings, passive rings \[2\].
     Ornoc,
-    /// Matrix crossbar: N×N ring matrix with a crossing-rich layout [18].
+    /// Matrix crossbar: N×N ring matrix with a crossing-rich layout \[18\].
     Matrix,
-    /// λ-router: log-structured multistage interconnect [1].
+    /// λ-router: log-structured multistage interconnect \[1\].
     LambdaRouter,
-    /// Snake: serpentine crossbar with per-hop ring traversals [4].
+    /// Snake: serpentine crossbar with per-hop ring traversals \[4\].
     Snake,
 }
 
@@ -86,7 +86,7 @@ impl CrossbarTopology {
     /// Structural element counts of the **worst-case** path for an `n`-node
     /// crossbar: `(crossings, through rings, path length in node pitches)`.
     ///
-    /// Counts follow the physical-layer analyses of [4][18][20]:
+    /// Counts follow the physical-layer analyses of \[4\][18]\[20\]:
     ///
     /// * *ORNoC* — the worst path traverses the whole serpentine ring
     ///   (`n` pitches) and passes the receive rings of every intermediate

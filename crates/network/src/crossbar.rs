@@ -1,10 +1,10 @@
 //! Path-level SNR model for the baseline optical crossbars.
 //!
 //! The [`baselines`](crate::baselines) module reproduces the closed-form
-//! worst/average *insertion-loss* comparison the paper quotes from [20].
+//! worst/average *insertion-loss* comparison the paper quotes from \[20\].
 //! This module goes one level deeper: it instantiates an actual
-//! wavelength-routed crossbar — Matrix [18], λ-router [1], Snake [4], or
-//! the ORNoC ring [2] — enumerates the structural path of every
+//! wavelength-routed crossbar — Matrix \[18\], λ-router \[1\], Snake \[4\], or
+//! the ORNoC ring \[2\] — enumerates the structural path of every
 //! communication (ring encounters, waveguide crossings, path length), and
 //! runs the same misalignment-crosstalk analysis as
 //! [`SnrAnalyzer`](crate::SnrAnalyzer) under an arbitrary per-node

@@ -1,7 +1,7 @@
 //! ORNoC ring-interconnect model and SNR analysis (paper Sections III-A and
 //! IV-C), plus the baseline optical crossbars the paper compares against.
 //!
-//! The paper's interconnect is **ORNoC** [2]: a ring-based network where a
+//! The paper's interconnect is **ORNoC** \[2\]: a ring-based network where a
 //! communication between a source interface `ONI_S` and a destination
 //! interface `ONI_D` occupies one wavelength on one waveguide along the arc
 //! from S to D; passive microrings drop the signal at the destination, and
@@ -21,7 +21,7 @@
 //! * [`baselines`] — worst-case/average insertion-loss models for the
 //!   Matrix, λ-router and Snake crossbars, reproducing the "ORNoC reduces
 //!   worst-case losses by ~42.5 % and average by ~38 % at 4×4" comparison
-//!   quoted from [20],
+//!   quoted from \[20\],
 //! * [`CrossbarInstance`] — path-level instantiations of all four fabrics
 //!   (ring encounters, crossings, lengths per communication) so the same
 //!   misalignment-crosstalk analysis can compare them under an arbitrary

@@ -4,7 +4,7 @@
 //! communications may share a wavelength on the same waveguide if their
 //! source→destination arcs do not overlap. Assignment is a greedy first-fit
 //! over channel indices — the strategy described in the ORNoC layout paper
-//! [2].
+//! \[2\].
 
 use serde::{Deserialize, Serialize};
 use vcsel_units::{Celsius, Nanometers};

@@ -8,15 +8,19 @@
 //! linear-algebra dependency:
 //!
 //! * [`CsrMatrix`]: compressed-sparse-row matrices with a triplet builder
-//!   and a row-partitioned threaded SpMV for large systems,
+//!   and a row-partitioned, nnz-balanced threaded SpMV for large systems,
 //! * [`solver`]: preconditioned conjugate gradient with warm starts and
 //!   caller-owned scratch buffers, plus SOR/Gauss-Seidel and BiCGSTAB
 //!   cross-check solvers,
 //! * [`precond`]: Jacobi, SSOR and IC(0) incomplete-Cholesky
-//!   preconditioners behind the [`Preconditioner`] trait,
+//!   preconditioners behind the [`Preconditioner`] trait. Engines that
+//!   own their matrix behind an [`std::sync::Arc`] build through
+//!   [`PreconditionerKind::build_shared`], so the operator-holding
+//!   preconditioners alias the caller's allocation instead of cloning it,
 //! * [`multigrid`]: a smoothed-aggregation algebraic multigrid hierarchy
-//!   (V-/F-cycles, Galerkin coarse operators, dense coarsest solve) usable
-//!   standalone or as a mesh-independent CG preconditioner,
+//!   (V-/F-cycles, Galerkin coarse operators, dense coarsest solve,
+//!   size-gated threaded smoothers and transfers) usable standalone or as
+//!   a mesh-independent CG preconditioner,
 //! * [`Interp1d`] / [`Interp2d`]: piecewise-linear lookup tables (the paper's
 //!   "VCSEL model library" is consumed in this form),
 //! * [`golden_section_min`] / [`grid_argmin`]: 1-D minimizers used by the

@@ -40,7 +40,7 @@
 //! Smoothing on every level reuses the [`Preconditioner`] trait from the
 //! solve engine: a sweep is one preconditioned Richardson step
 //! `x ← x + s·M⁻¹(b − A x)` with `M` a damped [`Jacobi`] or
-//! [`Ssor`](crate::Ssor) application. Both are symmetric, and the V-cycle
+//! [`Ssor`] application. Both are symmetric, and the V-cycle
 //! runs equal pre-/post-sweeps over a Galerkin hierarchy, so the cycle is
 //! itself a symmetric positive-definite operator — a legal CG
 //! preconditioner.
@@ -54,10 +54,12 @@
 //! application behind the [`Preconditioner`] trait, selected via
 //! [`PreconditionerKind::Multigrid`](crate::PreconditionerKind::Multigrid)
 //! so it drops into
-//! [`preconditioned_cg`](crate::solver::preconditioned_cg) and every
+//! [`preconditioned_cg`] and every
 //! cached solve engine unchanged.
 
-use crate::precond::{AnyPreconditioner, Jacobi, Preconditioner, PreconditionerKind};
+use std::sync::Arc;
+
+use crate::precond::{AnyPreconditioner, Jacobi, Preconditioner, Ssor};
 use crate::solver::{preconditioned_cg, CgWorkspace, SolveOptions};
 use crate::{CsrMatrix, NumericsError};
 
@@ -99,7 +101,7 @@ pub enum CycleKind {
 /// Construction and cycling parameters of a [`MultigridHierarchy`].
 ///
 /// The defaults are tuned for the workspace's FVM conduction systems and
-/// are what [`PreconditionerKind::Multigrid`] with
+/// are what [`PreconditionerKind::Multigrid`](crate::PreconditionerKind::Multigrid) with
 /// [`MultigridConfig::default`] selects.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MultigridConfig {
@@ -128,6 +130,16 @@ pub struct MultigridConfig {
     /// V-cycles: an F-cycle is not symmetric, and CG requires an SPD
     /// preconditioner.
     pub cycle: CycleKind,
+    /// Thread the cycle hot paths on levels large enough to amortize
+    /// spawn cost (above [`CsrMatrix::PARALLEL_NNZ_THRESHOLD`] stored
+    /// non-zeros): residual and transfer SpMVs row-partition across
+    /// workers, and SSOR smoothers switch to the band-parallel additive
+    /// block variant ([`Ssor::shared_banded`]). Levels below the threshold
+    /// always run the bitwise-deterministic serial path regardless of this
+    /// flag, so test-scale meshes are unaffected. Set `false` to force the
+    /// serial path everywhere — the A/B baseline `perf_record` measures
+    /// the V-cycle threading win against.
+    pub parallel_sweeps: bool,
 }
 
 impl Default for MultigridConfig {
@@ -141,6 +153,7 @@ impl Default for MultigridConfig {
             max_levels: 16,
             direct_cells: 500,
             cycle: CycleKind::V,
+            parallel_sweeps: true,
         }
     }
 }
@@ -148,7 +161,11 @@ impl Default for MultigridConfig {
 /// One non-coarsest level: its operator, smoother and grid transfers.
 #[derive(Debug, Clone, PartialEq)]
 struct MgLevel {
-    a: CsrMatrix,
+    /// The level operator, shared rather than owned: on the finest level
+    /// this aliases the caller's matrix (see
+    /// [`MultigridHierarchy::build_shared`]), and on every level the SSOR
+    /// smoother references the same allocation instead of cloning it.
+    a: Arc<CsrMatrix>,
     /// Relaxation operator `M` of the Richardson sweep, reused from the
     /// solve engine's preconditioner implementations.
     smoother: AnyPreconditioner,
@@ -297,27 +314,80 @@ impl MgWorkspace {
 /// [`cycle`](MultigridHierarchy::cycle) /
 /// [`solve`](MultigridHierarchy::solve) against a caller-owned
 /// [`MgWorkspace`]. For use inside CG, wrap it in [`Multigrid`] (or select
-/// [`PreconditionerKind::Multigrid`]).
+/// [`PreconditionerKind::Multigrid`](crate::PreconditionerKind::Multigrid)).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultigridHierarchy {
+    /// The finest operator — always the same [`Arc`] as `levels[0].a`
+    /// (or as `coarse_a` when the hierarchy is degenerate), stored
+    /// explicitly so residual checks against "the operator being solved"
+    /// need no positional reasoning about which level holds it.
+    fine: Arc<CsrMatrix>,
     /// Fine-to-coarse chain of smoothed levels (possibly empty when the
     /// operator is already small enough to factor directly).
     levels: Vec<MgLevel>,
     /// The coarsest operator (kept for residuals and the CG fallback).
-    coarse_a: CsrMatrix,
+    coarse_a: Arc<CsrMatrix>,
     coarse: CoarseSolver,
     config: MultigridConfig,
 }
 
 impl MultigridHierarchy {
-    /// Builds the hierarchy for SPD `a`.
+    /// Builds the hierarchy for SPD `a`, cloning it for the finest level.
+    ///
+    /// Callers that already hold the operator behind an [`Arc`] — every
+    /// cached solve engine does — should use
+    /// [`MultigridHierarchy::build_shared`] instead, which aliases the
+    /// caller's matrix (at paper scale the fine operator is ~215 MB, and
+    /// this clone used to be duplicated a third time inside the fine-level
+    /// SSOR smoother).
     ///
     /// # Errors
     ///
     /// Returns [`NumericsError::BadMatrix`] for a non-square matrix or a
     /// non-positive diagonal, and [`NumericsError::BadInput`] for
     /// out-of-range configuration values.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vcsel_numerics::solver::SolveOptions;
+    /// use vcsel_numerics::{MgWorkspace, MultigridConfig, MultigridHierarchy, TripletBuilder};
+    ///
+    /// // 1-D Poisson chain with a Robin-like shift: SPD and coarsenable.
+    /// let n = 1200;
+    /// let mut b = TripletBuilder::new(n, n);
+    /// for i in 0..n {
+    ///     b.add(i, i, 2.001);
+    ///     if i > 0 { b.add(i, i - 1, -1.0); }
+    ///     if i + 1 < n { b.add(i, i + 1, -1.0); }
+    /// }
+    /// let a = b.build();
+    /// let mut h = MultigridHierarchy::build(&a, &MultigridConfig::default())?;
+    /// assert!(h.level_count() >= 2, "1200 unknowns must coarsen");
+    ///
+    /// let rhs = vec![1.0; n];
+    /// let mut x = vec![0.0; n];
+    /// let mut ws = MgWorkspace::for_hierarchy(&h);
+    /// let stats = h.solve(&rhs, &mut x, &SolveOptions::default(), &mut ws)?;
+    /// assert!(stats.residual <= 1e-9);
+    /// # Ok::<(), vcsel_numerics::NumericsError>(())
+    /// ```
     pub fn build(a: &CsrMatrix, config: &MultigridConfig) -> Result<Self, NumericsError> {
+        Self::build_shared(Arc::new(a.clone()), config)
+    }
+
+    /// Builds the hierarchy for SPD `a` without copying it: the finest
+    /// level (and its SSOR smoother) keep references to the caller's
+    /// allocation, which [`MultigridHierarchy::fine_operator`] exposes for
+    /// identity checks.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MultigridHierarchy::build`].
+    pub fn build_shared(
+        a: Arc<CsrMatrix>,
+        config: &MultigridConfig,
+    ) -> Result<Self, NumericsError> {
         if a.rows() != a.cols() {
             return Err(NumericsError::BadMatrix {
                 reason: format!("matrix must be square, got {}x{}", a.rows(), a.cols()),
@@ -355,8 +425,9 @@ impl MultigridHierarchy {
         // `MG_DEBUG=1` traces per-level construction on stderr — the knob
         // for diagnosing aggregation quality on new operator families.
         let debug = std::env::var_os("MG_DEBUG").is_some();
+        let fine = Arc::clone(&a);
         let mut levels = Vec::new();
-        let mut current = a.clone();
+        let mut current = a;
         while current.rows() > config.direct_cells && levels.len() + 1 < config.max_levels {
             let t = std::time::Instant::now();
             let Some((p, coarse)) = coarsen(&current, config)? else {
@@ -374,15 +445,15 @@ impl MultigridHierarchy {
                 );
             }
             let r = p.transpose();
-            let (smoother, damping) = build_smoother(&current, config.smoother)?;
+            let (smoother, damping) = build_smoother(&current, config)?;
             levels.push(MgLevel { a: current, smoother, damping, p, r });
-            current = coarse;
+            current = Arc::new(coarse);
         }
 
         // Only *attempt* the dense factorization on a small enough
         // operator — an O(n³) Cholesky on a stalled multi-thousand-cell
         // coarsest level would dwarf the rest of the build.
-        let coarse = match &current {
+        let coarse = match &*current {
             a if a.rows() <= config.direct_cells => match DenseCholesky::new(a) {
                 Ok(ch) => CoarseSolver::Direct(ch),
                 Err(_) => iterative_coarse(a)?,
@@ -402,7 +473,7 @@ impl MultigridHierarchy {
                 current.nnz(),
             );
         }
-        Ok(Self { levels, coarse_a: current, coarse, config: *config })
+        Ok(Self { fine, levels, coarse_a: current, coarse, config: *config })
     }
 
     /// Number of operator levels, including the coarsest.
@@ -419,7 +490,14 @@ impl MultigridHierarchy {
 
     /// Unknowns of the finest operator.
     pub fn fine_unknowns(&self) -> usize {
-        self.levels.first().map_or(self.coarse_a.rows(), |l| l.a.rows())
+        self.fine.rows()
+    }
+
+    /// The finest-level operator — the same allocation the caller passed
+    /// to [`MultigridHierarchy::build_shared`] (check with
+    /// [`Arc::ptr_eq`]), whichever level slot it occupies.
+    pub fn fine_operator(&self) -> &Arc<CsrMatrix> {
+        &self.fine
     }
 
     /// Stored non-zeros summed over every level operator — the hierarchy's
@@ -485,13 +563,11 @@ impl MultigridHierarchy {
         let kind = self.config.cycle;
         let mut residual = f64::INFINITY;
         for cycles in 0..=opts.max_iterations {
-            // Residual check against the fine operator (levels[0] when the
-            // hierarchy has smoothed levels, the coarse operator when
-            // degenerate).
+            // Residual check against the fine operator, which `self.fine`
+            // aliases explicitly whether or not the hierarchy coarsened.
             {
-                let a = self.levels.first().map_or(&self.coarse_a, |l| &l.a);
                 let bufs = &mut ws.levels[0];
-                a.multiply_into(x, &mut bufs.r);
+                spmv(self.config.parallel_sweeps, &self.fine, x, &mut bufs.r);
                 residual =
                     bufs.r.iter().zip(b).map(|(ax, bi)| (bi - ax) * (bi - ax)).sum::<f64>().sqrt()
                         / b_norm;
@@ -518,30 +594,31 @@ impl MultigridHierarchy {
             self.solve_coarsest_into(&mut bufs[0]);
             return;
         }
+        let parallel = self.config.parallel_sweeps;
         let (cur, rest) = bufs.split_at_mut(1);
         let cur = &mut cur[0];
 
         for _ in 0..self.config.pre_sweeps {
-            smooth(&mut self.levels[level], cur);
+            smooth(parallel, &mut self.levels[level], cur);
         }
-        residual_into(&self.levels[level].a, cur);
-        self.levels[level].r.multiply_into(&cur.r, &mut rest[0].b);
+        residual_into(parallel, &self.levels[level].a, cur);
+        spmv(parallel, &self.levels[level].r, &cur.r, &mut rest[0].b);
         rest[0].x.fill(0.0);
         self.cycle_rec(level + 1, rest, kind);
-        prolong_correct(&self.levels[level].p, &rest[0].x, cur);
+        prolong_correct(parallel, &self.levels[level].p, &rest[0].x, cur);
 
         if kind == CycleKind::F {
             // F-cycle: after the first correction, polish what remains
             // with one V-cycle before post-smoothing.
-            residual_into(&self.levels[level].a, cur);
-            self.levels[level].r.multiply_into(&cur.r, &mut rest[0].b);
+            residual_into(parallel, &self.levels[level].a, cur);
+            spmv(parallel, &self.levels[level].r, &cur.r, &mut rest[0].b);
             rest[0].x.fill(0.0);
             self.cycle_rec(level + 1, rest, CycleKind::V);
-            prolong_correct(&self.levels[level].p, &rest[0].x, cur);
+            prolong_correct(parallel, &self.levels[level].p, &rest[0].x, cur);
         }
 
         for _ in 0..self.config.post_sweeps {
-            smooth(&mut self.levels[level], cur);
+            smooth(parallel, &mut self.levels[level], cur);
         }
     }
 
@@ -585,17 +662,28 @@ fn norm2(v: &[f64]) -> f64 {
     v.iter().map(|x| x * x).sum::<f64>().sqrt()
 }
 
+/// `y = M · x`, auto-threading above the SpMV size gate when `parallel`
+/// and always serial otherwise — the one dispatch point every cycle-path
+/// matrix product goes through.
+fn spmv(parallel: bool, m: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    if parallel {
+        m.multiply_into(x, y);
+    } else {
+        m.mul_vec_into(x, y);
+    }
+}
+
 /// `cur.r = cur.b − A · cur.x`.
-fn residual_into(a: &CsrMatrix, cur: &mut LevelBufs) {
-    a.multiply_into(&cur.x, &mut cur.r);
+fn residual_into(parallel: bool, a: &CsrMatrix, cur: &mut LevelBufs) {
+    spmv(parallel, a, &cur.x, &mut cur.r);
     for (r, b) in cur.r.iter_mut().zip(&cur.b) {
         *r = b - *r;
     }
 }
 
 /// One Richardson sweep `x ← x + s·M⁻¹(b − A x)`.
-fn smooth(level: &mut MgLevel, cur: &mut LevelBufs) {
-    residual_into(&level.a, cur);
+fn smooth(parallel: bool, level: &mut MgLevel, cur: &mut LevelBufs) {
+    residual_into(parallel, &level.a, cur);
     level.smoother.apply(&cur.r, &mut cur.z);
     for (x, z) in cur.x.iter_mut().zip(&cur.z) {
         *x += level.damping * z;
@@ -603,20 +691,29 @@ fn smooth(level: &mut MgLevel, cur: &mut LevelBufs) {
 }
 
 /// `cur.x += P · coarse_x` (uses `cur.z` as the fine-size scratch).
-fn prolong_correct(p: &CsrMatrix, coarse_x: &[f64], cur: &mut LevelBufs) {
-    p.multiply_into(coarse_x, &mut cur.z);
+fn prolong_correct(parallel: bool, p: &CsrMatrix, coarse_x: &[f64], cur: &mut LevelBufs) {
+    spmv(parallel, p, coarse_x, &mut cur.z);
     for (x, z) in cur.x.iter_mut().zip(&cur.z) {
         *x += z;
     }
 }
 
+/// Builds one level's relaxation operator, sharing the level matrix with
+/// the smoother. SSOR smoothers honour `config.parallel_sweeps` through
+/// [`Ssor::auto_bands`]: serial (one band) below the SpMV size gate,
+/// band-parallel block-SSOR above it. Jacobi's application threads
+/// internally (bitwise-identically) whatever the flag says, so no banding
+/// decision arises.
 fn build_smoother(
-    a: &CsrMatrix,
-    kind: SmootherKind,
+    a: &Arc<CsrMatrix>,
+    config: &MultigridConfig,
 ) -> Result<(AnyPreconditioner, f64), NumericsError> {
-    Ok(match kind {
-        SmootherKind::DampedJacobi { omega } => (PreconditionerKind::Jacobi.build(a)?, omega),
-        SmootherKind::Ssor { omega } => (PreconditionerKind::Ssor { omega }.build(a)?, 1.0),
+    Ok(match config.smoother {
+        SmootherKind::DampedJacobi { omega } => (AnyPreconditioner::Jacobi(Jacobi::new(a)?), omega),
+        SmootherKind::Ssor { omega } => {
+            let bands = if config.parallel_sweeps { Ssor::auto_bands(a) } else { 1 };
+            (AnyPreconditioner::Ssor(Ssor::shared_banded(Arc::clone(a), omega, bands)?), 1.0)
+        }
     })
 }
 
@@ -830,7 +927,7 @@ fn estimate_spectral_radius(s: &CsrMatrix, iterations: usize) -> f64 {
 }
 
 /// One multigrid cycle as a [`Preconditioner`]: the form the solve engines
-/// consume via [`PreconditionerKind::Multigrid`].
+/// consume via [`PreconditionerKind::Multigrid`](crate::PreconditionerKind::Multigrid).
 ///
 /// Owns its hierarchy and workspace, so every application is
 /// allocation-free after construction.
@@ -852,6 +949,19 @@ impl Multigrid {
     /// standalone [`MultigridHierarchy`] drivers accept asymmetric sweeps;
     /// only the [`Preconditioner`] wrapper enforces the SPD contract.
     pub fn new(a: &CsrMatrix, config: &MultigridConfig) -> Result<Self, NumericsError> {
+        Self::new_shared(Arc::new(a.clone()), config)
+    }
+
+    /// Like [`Multigrid::new`] but referencing a shared operator instead
+    /// of cloning it (see [`MultigridHierarchy::build_shared`]); the form
+    /// [`PreconditionerKind::Multigrid`](crate::PreconditionerKind::Multigrid)
+    /// builds through
+    /// [`build_shared`](crate::PreconditionerKind::build_shared).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Multigrid::new`].
+    pub fn new_shared(a: Arc<CsrMatrix>, config: &MultigridConfig) -> Result<Self, NumericsError> {
         if config.pre_sweeps != config.post_sweeps || config.pre_sweeps == 0 {
             return Err(NumericsError::BadInput {
                 reason: format!(
@@ -861,7 +971,7 @@ impl Multigrid {
                 ),
             });
         }
-        let hierarchy = MultigridHierarchy::build(a, config)?;
+        let hierarchy = MultigridHierarchy::build_shared(a, config)?;
         let ws = MgWorkspace::for_hierarchy(&hierarchy);
         Ok(Self { hierarchy, ws })
     }
@@ -1074,6 +1184,54 @@ mod tests {
         nonsquare.add(0, 0, 1.0);
         let nonsquare = nonsquare.build();
         assert!(MultigridHierarchy::build(&nonsquare, &MultigridConfig::default()).is_err());
+    }
+
+    #[test]
+    fn hierarchy_shares_the_fine_operator_instead_of_cloning() {
+        let a = Arc::new(poisson_2d(40, 40));
+        let h =
+            MultigridHierarchy::build_shared(Arc::clone(&a), &MultigridConfig::default()).unwrap();
+        assert!(h.level_count() >= 2);
+        assert!(
+            Arc::ptr_eq(h.fine_operator(), &a),
+            "the finest level must alias the caller's allocation"
+        );
+        // The fine level and its SSOR smoother both reference `a`; with the
+        // caller's own handle that is at least 3 strong counts and zero
+        // extra copies of the operator payload.
+        assert!(Arc::strong_count(&a) >= 3, "got {}", Arc::strong_count(&a));
+
+        // Degenerate (direct-solve) hierarchies alias it too.
+        let tiny = Arc::new(poisson_2d(4, 4));
+        let h = MultigridHierarchy::build_shared(Arc::clone(&tiny), &MultigridConfig::default())
+            .unwrap();
+        assert_eq!(h.level_count(), 1);
+        assert!(Arc::ptr_eq(h.fine_operator(), &tiny));
+
+        // The legacy borrowing entry point still owns an independent copy.
+        let owned = MultigridHierarchy::build(&a, &MultigridConfig::default()).unwrap();
+        assert!(!Arc::ptr_eq(owned.fine_operator(), &a));
+    }
+
+    #[test]
+    fn parallel_and_serial_sweep_configs_agree() {
+        // Below the SpMV size gate both configurations must run the same
+        // serial code (bitwise-identical fields); this pins the gating
+        // promise that test-scale meshes are unaffected by threading.
+        let a = poisson_2d(40, 40);
+        let b = rhs(a.rows());
+        let opts = SolveOptions { tolerance: 1e-10, max_iterations: 60, relaxation: 1.0 };
+        let mut results = Vec::new();
+        for parallel_sweeps in [true, false] {
+            let config = MultigridConfig { parallel_sweeps, ..Default::default() };
+            let mut h = MultigridHierarchy::build(&a, &config).unwrap();
+            let mut ws = MgWorkspace::for_hierarchy(&h);
+            let mut x = vec![0.0; a.rows()];
+            let stats = h.solve(&b, &mut x, &opts, &mut ws).expect("converges");
+            results.push((stats.iterations, x));
+        }
+        assert_eq!(results[0].0, results[1].0, "cycle counts must match below the gate");
+        assert_eq!(results[0].1, results[1].1, "fields must be bitwise identical below the gate");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   the strongest *one-level* option and the default for cached transient
 //!   engines, because one factorization amortizes over many right-hand
 //!   sides,
-//! * [`Multigrid`](crate::Multigrid) — a smoothed-aggregation algebraic
+//! * [`Multigrid`] — a smoothed-aggregation algebraic
 //!   multigrid V-cycle (see [`crate::multigrid`]); the only option whose
 //!   iteration counts stay (nearly) mesh-independent, and the default for
 //!   large steady solves.
@@ -21,7 +21,10 @@
 //! All applications are allocation-free so they can sit inside the CG
 //! iteration loop.
 
+use std::sync::Arc;
+
 use crate::multigrid::{Multigrid, MultigridConfig};
+use crate::sparse::hardware_threads;
 use crate::{CsrMatrix, NumericsError};
 
 /// Applies `z = M⁻¹ r` for some SPD approximation `M ≈ A`.
@@ -30,6 +33,34 @@ use crate::{CsrMatrix, NumericsError};
 /// the solver's inner loop stays allocation-free; `&mut self` exists for
 /// implementations that cycle internal workspaces (multigrid), not for
 /// changing the operator.
+///
+/// # Example
+///
+/// Select a kind, build it for a matrix, and hand it to CG — the same
+/// three steps every cached solve engine performs:
+///
+/// ```
+/// use vcsel_numerics::solver::{preconditioned_cg, CgWorkspace, SolveOptions};
+/// use vcsel_numerics::{Preconditioner, PreconditionerKind, TripletBuilder};
+///
+/// let n = 40;
+/// let mut b = TripletBuilder::new(n, n);
+/// for i in 0..n {
+///     b.add(i, i, 2.001);
+///     if i > 0 { b.add(i, i - 1, -1.0); }
+///     if i + 1 < n { b.add(i, i + 1, -1.0); }
+/// }
+/// let a = b.build();
+/// let mut m = PreconditionerKind::Ssor { omega: 1.2 }.build(&a)?;
+/// assert_eq!(m.name(), "ssor");
+///
+/// let rhs = vec![1.0; n];
+/// let mut x = vec![0.0; n];
+/// let mut ws = CgWorkspace::with_capacity(n);
+/// let stats = preconditioned_cg(&a, &rhs, &mut x, &mut m, &SolveOptions::default(), &mut ws)?;
+/// assert!(stats.residual <= 1e-9);
+/// # Ok::<(), vcsel_numerics::NumericsError>(())
+/// ```
 pub trait Preconditioner {
     /// Computes `z = M⁻¹ r`.
     ///
@@ -59,6 +90,12 @@ pub struct Jacobi {
 }
 
 impl Jacobi {
+    /// Element count above which [`Jacobi::apply`] splits the scaling loop
+    /// across threads. The result is bitwise identical to the serial loop
+    /// (each entry is one independent multiply), so the gate is purely a
+    /// spawn-cost amortization threshold.
+    pub const PARALLEL_LEN_THRESHOLD: usize = 1 << 18;
+
     /// Extracts the inverse diagonal of `a`.
     ///
     /// # Errors
@@ -75,13 +112,44 @@ impl Jacobi {
     }
 }
 
+impl Jacobi {
+    /// The scaling loop with an explicit worker count (1 = in-place
+    /// serial). Chunk results are independent, so every count produces
+    /// bitwise-identical output.
+    fn apply_with_threads(&self, r: &[f64], z: &mut [f64], threads: usize) {
+        let n = self.inv_diag.len();
+        assert_eq!(r.len(), n);
+        assert_eq!(z.len(), n);
+        if threads < 2 {
+            for i in 0..n {
+                z[i] = r[i] * self.inv_diag[i];
+            }
+            return;
+        }
+        // Equal chunks are already balanced (one multiply per element).
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for ((zc, rc), dc) in
+                z.chunks_mut(chunk).zip(r.chunks(chunk)).zip(self.inv_diag.chunks(chunk))
+            {
+                scope.spawn(move || {
+                    for ((zi, ri), di) in zc.iter_mut().zip(rc).zip(dc) {
+                        *zi = ri * di;
+                    }
+                });
+            }
+        });
+    }
+}
+
 impl Preconditioner for Jacobi {
     fn apply(&mut self, r: &[f64], z: &mut [f64]) {
-        assert_eq!(r.len(), self.inv_diag.len());
-        assert_eq!(z.len(), self.inv_diag.len());
-        for i in 0..r.len() {
-            z[i] = r[i] * self.inv_diag[i];
-        }
+        let threads = if self.inv_diag.len() < Self::PARALLEL_LEN_THRESHOLD {
+            1
+        } else {
+            hardware_threads().min(CsrMatrix::MAX_SPMV_THREADS)
+        };
+        self.apply_with_threads(r, z, threads);
     }
 
     fn name(&self) -> &'static str {
@@ -220,18 +288,36 @@ impl Preconditioner for IncompleteCholesky {
 /// Symmetric SOR preconditioner,
 /// `M = (D + ωL) D⁻¹ (D + ωLᵀ) / (ω(2 − ω))`.
 ///
-/// Needs no factorization — the two triangular solves run directly on `A`
-/// (stored here so the preconditioner owns everything it touches) — and
+/// Needs no factorization — the two triangular solves run directly on `A`,
+/// held behind an [`Arc`] so a solve engine, a multigrid level and this
+/// preconditioner can all reference **one** copy of the operator — and
 /// sits between Jacobi and IC(0) in strength.
+///
+/// # Band-parallel variant
+///
+/// Triangular solves are inherently sequential, so the exact SSOR sweep
+/// cannot be threaded. [`Ssor::shared_banded`] instead partitions the rows
+/// into contiguous nnz-balanced bands (the same partition as
+/// [`CsrMatrix::mul_vec_into_threaded`]) and applies the SSOR splitting of
+/// each band's *diagonal block* independently — additive block-SSOR.
+/// Couplings that cross a band boundary are dropped from `M` (never from
+/// `A`), which keeps `M` block-diagonal with SPD blocks: still a legal CG
+/// preconditioner, marginally weaker than exact SSOR, and each band solves
+/// on its own thread. With one band the sweep is bitwise-identical to the
+/// classic serial SSOR.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ssor {
-    a: CsrMatrix,
+    a: Arc<CsrMatrix>,
     diag: Vec<f64>,
     omega: f64,
+    /// `bands + 1` ascending row boundaries; two entries = exact serial
+    /// SSOR, more = additive block-SSOR solved band-parallel.
+    band_bounds: Vec<usize>,
 }
 
 impl Ssor {
-    /// Builds the SSOR splitting of `a` with relaxation factor `omega`.
+    /// Builds the exact (serial, single-band) SSOR splitting of `a` with
+    /// relaxation factor `omega`, cloning the operator.
     ///
     /// # Errors
     ///
@@ -239,9 +325,41 @@ impl Ssor {
     /// [`NumericsError::BadMatrix`] for a non-square matrix or non-positive
     /// diagonal.
     pub fn new(a: &CsrMatrix, omega: f64) -> Result<Self, NumericsError> {
+        Self::shared(Arc::new(a.clone()), omega)
+    }
+
+    /// Like [`Ssor::new`] but sharing an already-owned operator instead of
+    /// cloning it — the form the cached solve engines use.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ssor::new`].
+    pub fn shared(a: Arc<CsrMatrix>, omega: f64) -> Result<Self, NumericsError> {
+        Self::shared_banded(a, omega, 1)
+    }
+
+    /// Builds the additive block-SSOR splitting over `bands` contiguous
+    /// nnz-balanced row bands, each applied on its own thread (see the
+    /// type-level docs). `bands = 1` is the exact serial sweep; the band
+    /// count is clamped to the row count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ssor::new`], plus [`NumericsError::BadInput`] for
+    /// `bands = 0`.
+    pub fn shared_banded(
+        a: Arc<CsrMatrix>,
+        omega: f64,
+        bands: usize,
+    ) -> Result<Self, NumericsError> {
         if !(omega > 0.0 && omega < 2.0) {
             return Err(NumericsError::BadInput {
                 reason: format!("SSOR relaxation factor must be in (0,2), got {omega}"),
+            });
+        }
+        if bands == 0 {
+            return Err(NumericsError::BadInput {
+                reason: "block-SSOR needs at least one band".into(),
             });
         }
         if a.rows() != a.cols() {
@@ -249,8 +367,58 @@ impl Ssor {
                 reason: format!("matrix must be square, got {}x{}", a.rows(), a.cols()),
             });
         }
-        let diag = checked_diagonal(a)?;
-        Ok(Self { a: a.clone(), diag, omega })
+        let diag = checked_diagonal(&a)?;
+        let band_bounds = a.nnz_balanced_rows(bands.min(a.rows()).max(1));
+        Ok(Self { a, diag, omega, band_bounds })
+    }
+
+    /// The band count the *auto* policy picks for `a`: one (exact serial
+    /// SSOR) below [`CsrMatrix::PARALLEL_NNZ_THRESHOLD`] stored non-zeros
+    /// — so small systems keep bitwise-deterministic sweeps — and the
+    /// hardware thread count (capped like the threaded SpMV) above it.
+    pub fn auto_bands(a: &CsrMatrix) -> usize {
+        if a.nnz() < CsrMatrix::PARALLEL_NNZ_THRESHOLD {
+            1
+        } else {
+            hardware_threads().clamp(1, CsrMatrix::MAX_SPMV_THREADS)
+        }
+    }
+
+    /// Number of independent SSOR bands (1 = exact serial sweep).
+    pub fn bands(&self) -> usize {
+        self.band_bounds.len() - 1
+    }
+
+    /// One band's forward/diagonal/backward SSOR sweep restricted to the
+    /// band's diagonal block of `A`. `z_band` is the band's slice of the
+    /// output; row/column indices are global.
+    fn apply_band(&self, start: usize, end: usize, r: &[f64], z_band: &mut [f64]) {
+        let w = self.omega;
+        let c = w * (2.0 - w);
+        // (D + ωL) y = c·r (forward, y lands in z).
+        for i in start..end {
+            let mut s = c * r[i];
+            for (j, v) in self.a.row(i) {
+                if (start..i).contains(&j) {
+                    s -= w * v * z_band[j - start];
+                }
+            }
+            z_band[i - start] = s / self.diag[i];
+        }
+        // w = D y.
+        for (zi, d) in z_band.iter_mut().zip(&self.diag[start..end]) {
+            *zi *= d;
+        }
+        // (D + ωLᵀ) x = w (backward, in place).
+        for i in (start..end).rev() {
+            let mut s = z_band[i - start];
+            for (j, v) in self.a.row(i) {
+                if j > i && j < end {
+                    s -= w * v * z_band[j - start];
+                }
+            }
+            z_band[i - start] = s / self.diag[i];
+        }
     }
 }
 
@@ -259,33 +427,23 @@ impl Preconditioner for Ssor {
         let n = self.diag.len();
         assert_eq!(r.len(), n);
         assert_eq!(z.len(), n);
-        let w = self.omega;
-        let c = w * (2.0 - w);
-
-        // (D + ωL) y = c·r (forward, y lands in z).
-        for i in 0..n {
-            let mut s = c * r[i];
-            for (j, v) in self.a.row(i) {
-                if j < i {
-                    s -= w * v * z[j];
+        if self.bands() == 1 {
+            self.apply_band(0, n, r, z);
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut rest = z;
+            for pair in self.band_bounds.windows(2) {
+                let (start, end) = (pair[0], pair[1]);
+                let (band, tail) = rest.split_at_mut(end - start);
+                rest = tail;
+                if band.is_empty() {
+                    continue;
                 }
+                let this = &*self;
+                scope.spawn(move || this.apply_band(start, end, r, band));
             }
-            z[i] = s / self.diag[i];
-        }
-        // w = D y.
-        for (zi, d) in z.iter_mut().zip(&self.diag) {
-            *zi *= d;
-        }
-        // (D + ωLᵀ) x = w (backward, in place).
-        for i in (0..n).rev() {
-            let mut s = z[i];
-            for (j, v) in self.a.row(i) {
-                if j > i {
-                    s -= w * v * z[j];
-                }
-            }
-            z[i] = s / self.diag[i];
-        }
+        });
     }
 
     fn name(&self) -> &'static str {
@@ -333,21 +491,71 @@ pub enum AnyPreconditioner {
 impl PreconditionerKind {
     /// Builds the selected preconditioner for `a`.
     ///
+    /// The operator-holding variants (SSOR, multigrid) clone `a` here;
+    /// engines that already own the matrix behind an [`Arc`] should use
+    /// [`PreconditionerKind::build_shared`] so one copy serves both.
+    ///
     /// # Errors
     ///
     /// Propagates the constructor errors of the selected implementation
     /// (non-square matrix, bad diagonal, IC(0) breakdown, ω out of range).
     pub fn build(&self, a: &CsrMatrix) -> Result<AnyPreconditioner, NumericsError> {
+        match *self {
+            // Jacobi and IC(0) derive their own compact data and never
+            // retain the operator, so no sharing arises.
+            PreconditionerKind::Jacobi | PreconditionerKind::IncompleteCholesky => {
+                self.build_from_parts(a, None)
+            }
+            _ => self.build_from_parts(a, Some(Arc::new(a.clone()))),
+        }
+    }
+
+    /// Like [`PreconditionerKind::build`] but referencing a shared
+    /// operator instead of cloning it: the SSOR splitting and every
+    /// multigrid fine level alias `a`, so a cached solve engine and its
+    /// preconditioner hold **one** copy of the (potentially
+    /// hundreds-of-MB) matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PreconditionerKind::build`].
+    pub fn build_shared(&self, a: &Arc<CsrMatrix>) -> Result<AnyPreconditioner, NumericsError> {
+        self.build_from_parts(a, Some(Arc::clone(a)))
+    }
+
+    fn build_from_parts(
+        &self,
+        a: &CsrMatrix,
+        shared: Option<Arc<CsrMatrix>>,
+    ) -> Result<AnyPreconditioner, NumericsError> {
         Ok(match *self {
             PreconditionerKind::Jacobi => AnyPreconditioner::Jacobi(Jacobi::new(a)?),
             PreconditionerKind::IncompleteCholesky => {
                 AnyPreconditioner::IncompleteCholesky(IncompleteCholesky::new(a)?)
             }
-            PreconditionerKind::Ssor { omega } => AnyPreconditioner::Ssor(Ssor::new(a, omega)?),
+            PreconditionerKind::Ssor { omega } => AnyPreconditioner::Ssor(Ssor::shared(
+                shared.expect("operator-holding kinds receive the shared handle"),
+                omega,
+            )?),
             PreconditionerKind::Multigrid { config } => {
-                AnyPreconditioner::Multigrid(Box::new(Multigrid::new(a, &config)?))
+                AnyPreconditioner::Multigrid(Box::new(Multigrid::new_shared(
+                    shared.expect("operator-holding kinds receive the shared handle"),
+                    &config,
+                )?))
             }
         })
+    }
+}
+
+impl AnyPreconditioner {
+    /// The multigrid wrapper, when this is the multigrid variant — benches
+    /// and tests use it to inspect the hierarchy (level counts, operator
+    /// sharing) behind a cached engine.
+    pub fn as_multigrid(&self) -> Option<&Multigrid> {
+        match self {
+            AnyPreconditioner::Multigrid(m) => Some(m),
+            _ => None,
+        }
     }
 }
 
@@ -494,6 +702,85 @@ mod tests {
             assert!(z.iter().all(|v| v.is_finite()));
             assert!(z.iter().sum::<f64>() > 0.0);
         }
+    }
+
+    #[test]
+    fn jacobi_chunked_apply_is_bitwise_serial() {
+        let n = 1037; // deliberately not a multiple of any chunk count
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 1.0 + (i as f64 * 0.37).sin().abs() + 0.1);
+        }
+        let p = Jacobi::new(&b.build()).unwrap();
+        let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos() * 3.0).collect();
+        let mut serial = vec![0.0; n];
+        p.apply_with_threads(&r, &mut serial, 1);
+        for threads in [2, 3, 7, 16] {
+            let mut par = vec![0.0; n];
+            p.apply_with_threads(&r, &mut par, threads);
+            assert_eq!(par, serial, "mismatch with {threads} threads");
+        }
+    }
+
+    #[test]
+    fn single_band_ssor_matches_legacy_serial_sweep() {
+        let a = std::sync::Arc::new(laplacian_1d(50));
+        let mut legacy = Ssor::new(&a, 1.3).unwrap();
+        let mut banded = Ssor::shared_banded(std::sync::Arc::clone(&a), 1.3, 1).unwrap();
+        assert_eq!(legacy.bands(), 1);
+        assert_eq!(banded.bands(), 1);
+        let r: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut z1 = vec![0.0; 50];
+        let mut z2 = vec![0.0; 50];
+        legacy.apply(&r, &mut z1);
+        banded.apply(&r, &mut z2);
+        assert_eq!(z1, z2, "one band must be the exact serial sweep");
+    }
+
+    #[test]
+    fn banded_block_ssor_is_spd_and_preconditions_cg() {
+        use crate::solver::{preconditioned_cg, CgWorkspace, SolveOptions};
+        let n = 600;
+        let a = std::sync::Arc::new(laplacian_1d(n));
+        let mut banded = Ssor::shared_banded(std::sync::Arc::clone(&a), 1.2, 4).unwrap();
+        assert_eq!(banded.bands(), 4);
+
+        // SPD: symmetry ⟨M⁻¹u, v⟩ = ⟨u, M⁻¹v⟩ and positivity of xᵀM⁻¹x.
+        let u: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        let v: Vec<f64> = (0..n).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
+        let mu = apply_inverse(&mut banded, &u);
+        let mv = apply_inverse(&mut banded, &v);
+        let dot = |x: &[f64], y: &[f64]| x.iter().zip(y).map(|(a, b)| a * b).sum::<f64>();
+        assert!((dot(&mu, &v) - dot(&u, &mv)).abs() < 1e-9, "block-SSOR must stay symmetric");
+        assert!(dot(&u, &mu) > 0.0);
+
+        // As a CG preconditioner it must reach the same solution as the
+        // exact serial sweep (it is a weaker M, never a wrong one).
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+        let rhs = a.mul_vec(&x_true).unwrap();
+        let opts = SolveOptions { tolerance: 1e-12, ..Default::default() };
+        let mut solutions = Vec::new();
+        for mut m in [Ssor::new(&a, 1.2).unwrap(), banded] {
+            let mut x = vec![0.0; n];
+            let mut ws = CgWorkspace::new();
+            preconditioned_cg(&a, &rhs, &mut x, &mut m, &opts, &mut ws).expect("converges");
+            solutions.push(x);
+        }
+        for (s, b) in solutions[0].iter().zip(&solutions[1]) {
+            assert!((s - b).abs() < 1e-8, "serial {s} vs banded {b}");
+        }
+    }
+
+    #[test]
+    fn ssor_banded_validation_and_sharing() {
+        let a = std::sync::Arc::new(laplacian_1d(10));
+        assert!(Ssor::shared_banded(std::sync::Arc::clone(&a), 1.0, 0).is_err());
+        // More bands than rows is clamped, not rejected.
+        let s = Ssor::shared_banded(std::sync::Arc::clone(&a), 1.0, 64).unwrap();
+        assert!(s.bands() <= 10);
+        // Shared construction aliases the operator instead of cloning it.
+        assert_eq!(std::sync::Arc::strong_count(&a), 2);
+        assert_eq!(Ssor::auto_bands(&a), 1, "tiny operators stay serial");
     }
 
     #[test]

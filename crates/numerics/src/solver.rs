@@ -1,7 +1,7 @@
 //! Iterative solvers for the sparse SPD systems produced by FVM assembly.
 //!
 //! The workhorse is [`preconditioned_cg`]: conjugate gradient with a
-//! pluggable [`Preconditioner`](crate::Preconditioner), a warm-start initial
+//! pluggable [`Preconditioner`], a warm-start initial
 //! guess, and caller-owned scratch buffers ([`CgWorkspace`]) so the
 //! iteration loop performs **zero allocations** — the shape repeated
 //! transient stepping and multi-right-hand-side calibration need. Around it:
@@ -254,7 +254,7 @@ pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
 /// zero initial guess.
 ///
 /// This is the legacy one-shot entry point; engines that solve the same
-/// system repeatedly should hold a [`Preconditioner`](crate::Preconditioner)
+/// system repeatedly should hold a [`Preconditioner`]
 /// and a [`CgWorkspace`] and call [`preconditioned_cg`] directly.
 ///
 /// # Errors

@@ -10,7 +10,7 @@ use std::sync::OnceLock;
 use crate::NumericsError;
 
 /// Cached `std::thread::available_parallelism` (queried once per process).
-fn hardware_threads() -> usize {
+pub(crate) fn hardware_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
@@ -179,6 +179,17 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// Heap bytes of the CSR storage (values, column indices, row
+    /// pointers) — what one copy of this operator costs in memory. The
+    /// solve engines use it to report the savings of *sharing* the fine
+    /// operator between a cache and a multigrid hierarchy instead of
+    /// cloning it.
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+            + self.col_idx.len() * std::mem::size_of::<u32>()
+            + self.row_ptr.len() * std::mem::size_of::<usize>()
+    }
+
     /// Returns the entry at `(row, col)` (zero if not stored).
     ///
     /// # Panics
@@ -288,17 +299,7 @@ impl CsrMatrix {
             return;
         }
 
-        // Split rows so every band carries ~nnz/threads stored entries:
-        // uniform row partitions would let a dense band straggle.
-        let total = self.nnz();
-        let mut bounds = Vec::with_capacity(threads + 1);
-        bounds.push(0usize);
-        for t in 1..threads {
-            let target = total * t / threads;
-            let row = self.row_ptr.partition_point(|&p| p < target).min(self.rows);
-            bounds.push(row.max(*bounds.last().expect("non-empty")));
-        }
-        bounds.push(self.rows);
+        let bounds = self.nnz_balanced_rows(threads);
 
         std::thread::scope(|scope| {
             let mut rest = y;
@@ -322,6 +323,30 @@ impl CsrMatrix {
                 });
             }
         });
+    }
+
+    /// Splits the rows into `bands` contiguous bands carrying roughly
+    /// equal stored-non-zero counts, returned as `bands + 1` ascending row
+    /// boundaries (first `0`, last `rows`). Uniform row partitions would
+    /// let a dense band straggle; this is the partition behind
+    /// [`CsrMatrix::mul_vec_into_threaded`] and the band-parallel SSOR
+    /// sweeps of the multigrid smoothers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bands` is zero.
+    pub fn nnz_balanced_rows(&self, bands: usize) -> Vec<usize> {
+        assert!(bands > 0, "need at least one band");
+        let total = self.nnz();
+        let mut bounds = Vec::with_capacity(bands + 1);
+        bounds.push(0usize);
+        for t in 1..bands {
+            let target = total * t / bands;
+            let row = self.row_ptr.partition_point(|&p| p < target).min(self.rows);
+            bounds.push(row.max(*bounds.last().expect("non-empty")));
+        }
+        bounds.push(self.rows);
+        bounds
     }
 
     /// Returns the transpose `Aᵀ` (counting sort over columns, `O(nnz)`).

@@ -25,7 +25,7 @@ use crate::PhotonicsError;
 /// probability and the Q-factor relates to the electrical signal-to-noise
 /// ratio as `Q_factor = √SNR`. The crosstalk computed by the SNR analysis is
 /// treated as Gaussian-equivalent noise — the standard worst-case assumption
-/// in ONoC link-budget papers (e.g. Ye et al. [13]).
+/// in ONoC link-budget papers (e.g. Ye et al. \[13\]).
 ///
 /// # Example
 ///

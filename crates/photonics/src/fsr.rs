@@ -11,7 +11,7 @@
 //! The base [`MicroringResonator`](crate::MicroringResonator) model treats a
 //! single resonance; that is exact as long as all channels live well inside
 //! one FSR. The paper's ONI packs 16 channels around 1550 nm, and the
-//! related job-allocation work it cites ([14], Zhang et al., DATE 2014)
+//! related job-allocation work it cites (\[14\], Zhang et al., DATE 2014)
 //! reasons explicitly about the FSR — so this module provides:
 //!
 //! * [`RingGeometry`] — FSR, resonance order and comb positions from the

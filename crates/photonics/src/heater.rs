@@ -5,7 +5,7 @@
 //! (P_heater) is the key design-space knob of Figure 9-b; at the device
 //! level it also supports active wavelength trimming, whose cost the paper
 //! quotes as 190 µW/nm for heat tuning (red shift) and 130 µW/nm for
-//! voltage tuning (blue shift) [17].
+//! voltage tuning (blue shift) \[17\].
 
 use serde::{Deserialize, Serialize};
 use vcsel_units::{Nanometers, Watts};

@@ -23,7 +23,7 @@
 //! * [`BerModel`] / [`LinkReliability`] — SNR → bit-error rate → effective
 //!   bandwidth after re-emission (Section III-C's "data will be re-emitted"),
 //! * [`MicrodiskLaser`] + the [`Laser`] trait — the microdisk alternative
-//!   of reference [19], for the VCSEL-vs-microdisk comparison.
+//!   of reference \[19\], for the VCSEL-vs-microdisk comparison.
 //!
 //! # Example: the paper's misalignment anchor point
 //!

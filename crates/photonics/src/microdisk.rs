@@ -1,4 +1,4 @@
-//! Microdisk laser comparison model (paper reference [19]).
+//! Microdisk laser comparison model (paper reference \[19\]).
 //!
 //! Section III-C positions the CMOS-compatible VCSEL against electrically
 //! pumped InP **microdisk lasers** (Van Campenhout et al., Optics Express
@@ -8,7 +8,7 @@
 //! with the same L-I-T structure as [`Vcsel`](crate::Vcsel) so the two
 //! laser families can be swapped inside the methodology and compared.
 //!
-//! Anchor values from [19]: Ø7.5 µm disk, ~0.5 mA threshold at room
+//! Anchor values from \[19\]: Ø7.5 µm disk, ~0.5 mA threshold at room
 //! temperature, ~30 µW/mA slope into the waveguide, output saturating around
 //! 100–120 µW — an order of magnitude below the VCSEL.
 
@@ -20,7 +20,7 @@ use crate::{PhotonicsError, Vcsel, VcselOperatingPoint};
 /// Common interface of the on-chip laser families the paper discusses.
 ///
 /// Implemented by [`Vcsel`] (the paper's laser) and [`MicrodiskLaser`]
-/// (the comparison from [19]), so architecture studies can be generic over
+/// (the comparison from \[19\]), so architecture studies can be generic over
 /// the source type.
 pub trait Laser {
     /// Threshold current at temperature `t`.
@@ -61,7 +61,7 @@ impl Laser for Vcsel {
     }
 }
 
-/// Electrically pumped InP microdisk laser (paper reference [19]).
+/// Electrically pumped InP microdisk laser (paper reference \[19\]).
 ///
 /// # Example
 ///
@@ -105,7 +105,7 @@ pub struct MicrodiskLaser {
 }
 
 impl MicrodiskLaser {
-    /// The [19] device: 0.5 mA threshold at 25 °C, T₀ = 45 °C exponential
+    /// The \[19\] device: 0.5 mA threshold at 25 °C, T₀ = 45 °C exponential
     /// threshold rise, 30 µW/mA waveguide-coupled slope decaying 1.5 %/°C,
     /// ~120 µW saturation, 1550 nm emission, 0.1 nm/°C drift, 0.5 nm
     /// linewidth, 10 mA rated maximum.

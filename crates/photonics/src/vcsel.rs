@@ -1,6 +1,6 @@
 //! CMOS-compatible VCSEL model (paper Section III-C / Figure 8).
 //!
-//! The paper's laser is a double-photonic-crystal VCSEL [7][8]: 15 × 30 µm²
+//! The paper's laser is a double-photonic-crystal VCSEL \[7\][8]: 15 × 30 µm²
 //! footprint, < 4 µm thick, 12 GHz direct modulation, ~0.1 nm linewidth,
 //! vertically emitting into a taper with ~70 % coupling efficiency. Its
 //! figures 8-b/8-c give the wall-plug efficiency vs current for

@@ -7,7 +7,7 @@ use crate::PhotonicsError;
 
 /// A silicon waveguide with distributed propagation loss.
 ///
-/// Table 1 of the paper quotes `L_propagation = 0.5 dB/cm` [3]; the case
+/// Table 1 of the paper quotes `L_propagation = 0.5 dB/cm` \[3\]; the case
 /// study rings are 18 mm, 32.4 mm and 46.8 mm long.
 ///
 /// # Example

@@ -24,6 +24,8 @@
 //! matrix and factorization and only re-paint powers via
 //! [`SolveContext::adopt_design`].
 
+use std::sync::Arc;
+
 use vcsel_numerics::solver::{self, CgWorkspace, SolveOptions};
 use vcsel_numerics::{
     AnyPreconditioner, CsrMatrix, MultigridConfig, NumericsError, PreconditionerKind,
@@ -44,6 +46,21 @@ pub(crate) fn factor_preconditioner(
     match kind.build(a) {
         Ok(p) => Ok(p),
         Err(_) if kind != PreconditionerKind::Jacobi => PreconditionerKind::Jacobi.build(a),
+        Err(e) => Err(e),
+    }
+}
+
+/// [`factor_preconditioner`] over a shared operator handle: SSOR and
+/// multigrid alias `a` instead of cloning it, so the engine and its
+/// preconditioner hold **one** copy of the conduction matrix (~215 MB at
+/// `Fidelity::Paper` scale).
+fn factor_preconditioner_shared(
+    a: &Arc<CsrMatrix>,
+    kind: PreconditionerKind,
+) -> Result<AnyPreconditioner, NumericsError> {
+    match kind.build_shared(a) {
+        Ok(p) => Ok(p),
+        Err(_) if kind != PreconditionerKind::Jacobi => PreconditionerKind::Jacobi.build_shared(a),
         Err(e) => Err(e),
     }
 }
@@ -91,20 +108,44 @@ fn paint_design(design: &Design, mesh: &Mesh) -> Result<PaintedPowers, ThermalEr
 ///
 /// # Example
 ///
-/// ```no_run
-/// use vcsel_thermal::{Design, MeshSpec, SolveContext};
-/// # fn get(_: ()) -> (Design, MeshSpec) { unimplemented!() }
-/// # let (design, spec) = get(());
-/// let mut ctx = SolveContext::new(&design, &spec)?;
-/// let reference = ctx.solve()?;                    // all groups at 1x
-/// let heater_off = ctx.solve_scaled(&[("chip", 1.0)])?; // heater omitted -> 0
-/// println!("{} vs {}", reference.hottest().1, heater_off.hottest().1);
+/// ```
+/// use vcsel_thermal::{
+///     Block, Boundary, BoundaryCondition, BoxRegion, Design, Material, MeshSpec, SolveContext,
+/// };
+/// use vcsel_units::{Celsius, Meters, Watts, WattsPerSquareMeterKelvin};
+///
+/// // A 4 x 4 x 1 mm silicon slab, convectively cooled from the top, with
+/// // one grouped heat source.
+/// let mm = Meters::from_millimeters;
+/// let domain = BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(4.0), mm(1.0)])?;
+/// let mut design = Design::new(domain, Material::SILICON)?;
+/// design.set_boundary(
+///     Boundary::top(),
+///     BoundaryCondition::Convective {
+///         h: WattsPerSquareMeterKelvin::new(2_000.0),
+///         ambient: Celsius::new(40.0),
+///     },
+/// );
+/// let src = BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(3.0), mm(3.0), mm(0.2)])?;
+/// design.add_block(
+///     Block::heat_source("laser", src, Material::COPPER, Watts::new(0.5)).with_group("laser"),
+/// );
+///
+/// // Assemble + factor once; every later solve only rebuilds the RHS and
+/// // warm-starts from the previous field.
+/// let mut ctx = SolveContext::new(&design, &MeshSpec::uniform(mm(0.5)))?;
+/// let reference = ctx.solve()?; // all groups at reference power
+/// let dimmed = ctx.solve_scaled(&[("laser", 0.5)])?; // halved source, warm start
+/// assert!(dimmed.hottest().1.value() < reference.hottest().1.value());
 /// # Ok::<(), vcsel_thermal::ThermalError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct SolveContext {
     mesh: Mesh,
-    matrix: CsrMatrix,
+    /// The assembled conduction operator, shared (never cloned) with the
+    /// operator-holding preconditioners — the fine level of a multigrid
+    /// hierarchy and the SSOR splitting alias this same allocation.
+    matrix: Arc<CsrMatrix>,
     /// Boundary-condition contribution to the RHS (no sources).
     boundary_rhs: Vec<f64>,
     boundary_faces: Vec<BoundaryFace>,
@@ -206,14 +247,15 @@ impl SolveContext {
         let (static_power, group_power) = paint_design(design, &mesh)?;
 
         let n = mesh.cell_count();
+        let matrix = Arc::new(disc.matrix);
         let precond = if fallback {
-            factor_preconditioner(&disc.matrix, kind)?
+            factor_preconditioner_shared(&matrix, kind)?
         } else {
-            kind.build(&disc.matrix).map_err(ThermalError::from)?
+            kind.build_shared(&matrix).map_err(ThermalError::from)?
         };
         Ok(Self {
             mesh,
-            matrix: disc.matrix,
+            matrix,
             boundary_rhs: disc.rhs,
             boundary_faces: disc.boundary_faces,
             static_power,
@@ -311,8 +353,22 @@ impl SolveContext {
     ///
     /// Propagates factorization failures for the requested kind.
     pub fn with_preconditioner(mut self, kind: PreconditionerKind) -> Result<Self, ThermalError> {
-        self.precond = kind.build(&self.matrix).map_err(ThermalError::from)?;
+        self.precond = kind.build_shared(&self.matrix).map_err(ThermalError::from)?;
         Ok(self)
+    }
+
+    /// The assembled conduction operator. Shared, not owned: the same
+    /// allocation backs the multigrid hierarchy's finest level (or the
+    /// SSOR splitting), which the engine tests pin with [`Arc::ptr_eq`].
+    pub fn shared_operator(&self) -> &Arc<CsrMatrix> {
+        &self.matrix
+    }
+
+    /// The active preconditioner, for inspection by benches and tests
+    /// (e.g. reaching the multigrid hierarchy behind a paper-scale
+    /// engine via [`AnyPreconditioner::as_multigrid`]).
+    pub fn preconditioner(&self) -> &AnyPreconditioner {
+        &self.precond
     }
 
     /// The mesh the engine solves on.
@@ -346,7 +402,8 @@ impl SolveContext {
         self.total_iterations
     }
 
-    /// Name of the active preconditioner (`"ic0"`, `"jacobi"`, `"ssor"`).
+    /// Name of the active preconditioner (`"ic0"`, `"jacobi"`, `"ssor"`,
+    /// `"multigrid"`).
     pub fn preconditioner_name(&self) -> &'static str {
         use vcsel_numerics::Preconditioner;
         self.precond.name()
@@ -670,6 +727,35 @@ mod tests {
             },
         );
         assert!(matches!(ctx.adopt_design(&rechilled), Err(ThermalError::BadParameter { .. })));
+    }
+
+    #[test]
+    fn engine_and_hierarchy_share_one_fine_operator() {
+        // The shared-operator contract: a multigrid engine must not hold a
+        // second copy of the assembled matrix — the hierarchy's finest
+        // level *is* the context's operator allocation.
+        let (design, spec) = grouped_slab();
+        let ctx = SolveContext::new_preconditioned(
+            &design,
+            &spec,
+            PreconditionerKind::Multigrid { config: vcsel_numerics::MultigridConfig::default() },
+        )
+        .unwrap();
+        let mg = ctx.preconditioner().as_multigrid().expect("multigrid engine");
+        assert!(
+            Arc::ptr_eq(ctx.shared_operator(), mg.hierarchy().fine_operator()),
+            "hierarchy must alias the engine's operator, not clone it"
+        );
+
+        // Same story for the SSOR splitting (it used to clone the matrix).
+        let ssor = SolveContext::new_preconditioned(
+            &design,
+            &spec,
+            PreconditionerKind::Ssor { omega: 1.2 },
+        )
+        .unwrap();
+        // Engine handle + SSOR handle = 2 strong counts, 1 allocation.
+        assert_eq!(Arc::strong_count(ssor.shared_operator()), 2);
     }
 
     #[test]

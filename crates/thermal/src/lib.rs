@@ -16,6 +16,15 @@
 //!   gradient and returns a full-chip [`ThermalMap`] from which gradient and
 //!   average temperatures of any region can be extracted (paper Figure 4).
 //!
+//! The crate's center of gravity is the cached solve engine: every
+//! workload follows the mesh → assembly → [`SolveContext`] →
+//! preconditioner-selection pipeline, where the context assembles the SPD
+//! operator once, holds it behind a shared handle (the multigrid
+//! hierarchy and SSOR splitting alias it rather than clone it), picks
+//! IC(0) below [`SolveContext::MULTIGRID_CELL_THRESHOLD`] unknowns and
+//! the smoothed-aggregation multigrid hierarchy above it, and serves any
+//! number of warm-started right-hand sides.
+//!
 //! Because steady-state conduction with temperature-independent
 //! conductivities is *linear* in the injected powers, the crate also offers
 //! [`ResponseBasis`]: solve once per power *group* and recombine scalar

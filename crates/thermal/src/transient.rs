@@ -1,6 +1,6 @@
 //! Transient thermal simulation.
 //!
-//! The paper's thermal engine, IcTherm, is presented in [23] as an
+//! The paper's thermal engine, IcTherm, is presented in \[23\] as an
 //! *efficient transient* simulator for 3D ICs; the DATE 2015 methodology
 //! only needs its steady-state mode, but a faithful substrate reproduction
 //! includes the transient capability: it is what run-time studies (heating

@@ -1,20 +1,42 @@
 //! Regenerates paper Figure 10: average and gradient temperature with and
 //! without the MR heater (P_heater = 0.3 × P_VCSEL), swept over P_VCSEL.
 //!
-//! Run with `cargo run --release --bin fig10_heater`.
+//! Run with `cargo run --release --bin fig10_heater` (full-die
+//! `Fidelity::Fast` by default). `--fidelity paper` (or
+//! `FIGURE_FIDELITY=paper`) reproduces the paper's 5 µm meshing; paper
+//! runs checkpoint the completed figure under `reports/checkpoints/` so a
+//! re-run after an interruption skips the solves (`--fresh` recomputes).
 
-use vcsel_arch::SccConfig;
-use vcsel_core::experiments::figure10;
-use vcsel_core::ThermalStudy;
+use vcsel_arch::{Fidelity, SccConfig};
+use vcsel_core::experiments::{figure10, Figure10};
+use vcsel_core::{fidelity_label, FigureCli, ThermalStudy};
 use vcsel_thermal::Simulator;
 use vcsel_units::Watts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    eprintln!("building thermal study (FVM response basis) ...");
-    let study = ThermalStudy::new(SccConfig::default(), &Simulator::new())?;
+    let cli = FigureCli::parse(Fidelity::Fast)?;
+    let store = cli.checkpoints("fig10");
+    let config = SccConfig { fidelity: cli.fidelity, ..SccConfig::default() };
 
     let p_vcsel_mw = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
-    let f = figure10(&study, &p_vcsel_mw, 0.3, Watts::new(12.5))?;
+    let f: Figure10 = match store.as_ref().and_then(|s| s.load("figure10")) {
+        Some(f) => {
+            eprintln!("loaded figure from checkpoint (--fresh recomputes)");
+            f
+        }
+        None => {
+            eprintln!(
+                "building thermal study at {} fidelity (FVM response basis) ...",
+                fidelity_label(cli.fidelity)
+            );
+            let study = ThermalStudy::new(config, &Simulator::new())?;
+            let f = figure10(&study, &p_vcsel_mw, 0.3, Watts::new(12.5))?;
+            if let Some(s) = &store {
+                s.store("figure10", &f)?;
+            }
+            f
+        }
+    };
 
     println!("=== Figure 10: w/ and w/o MR heater (P_heater = 0.3 x P_VCSEL) ===");
     println!(
@@ -42,8 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         f.average_with_c[last] - f.average_without_c[last]
     );
 
+    let suffix = if cli.fidelity == Fidelity::Fast {
+        String::new()
+    } else {
+        format!("_{}", fidelity_label(cli.fidelity))
+    };
     std::fs::create_dir_all("reports")?;
-    std::fs::write("reports/figure10.json", serde_json::to_string_pretty(&f)?)?;
-    println!("wrote reports/figure10.json");
+    let path = format!("reports/figure10{suffix}.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&f)?)?;
+    println!("wrote {path}");
     Ok(())
 }

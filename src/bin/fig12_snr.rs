@@ -3,16 +3,28 @@
 //! uniform, diagonal and random chip activities, at the paper's operating
 //! point (P_VCSEL = 3.6 mW, P_heater = 1.08 mW).
 //!
-//! Run with `cargo run --release --bin fig12_snr`.
+//! Run with `cargo run --release --bin fig12_snr` (full-die
+//! `Fidelity::Fast` by default). `--fidelity paper` (or
+//! `FIGURE_FIDELITY=paper`) reproduces the paper's 5 µm meshing — nine
+//! paper-scale thermal studies, a multi-hour campaign. Paper runs
+//! checkpoint every completed (activity, placement) row under
+//! `reports/checkpoints/`, so an interrupted sweep resumes at the first
+//! missing point instead of restarting (`--fresh` discards checkpoints).
+//! Each placement builds one solve engine and re-targets it across the
+//! three activity patterns (`ThermalStudy::reconfigured`), so assembly and
+//! multigrid-hierarchy setup are paid three times, not nine.
 
 use vcsel_arch::Fidelity;
-use vcsel_core::experiments::figure12;
-use vcsel_core::DesignFlow;
+use vcsel_core::experiments::figure12_resumable;
+use vcsel_core::{fidelity_label, DesignFlow, FigureCli};
 use vcsel_numerics::solver::SolveOptions;
 use vcsel_thermal::Simulator;
 use vcsel_units::Watts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli = FigureCli::parse(Fidelity::Fast)?;
+    let store = cli.checkpoints("fig12");
+
     // 1e-6 relative residual = micro-kelvin error; saves ~25 % of the CG
     // iterations over this 45-solve campaign.
     let simulator = Simulator::new().with_options(SolveOptions {
@@ -21,8 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         relaxation: 1.6,
     });
     let flow = DesignFlow::paper().with_simulator(simulator);
-    eprintln!("running 9 thermal studies (3 activities x 3 placements) ...");
-    let rows = figure12(&flow, Fidelity::Fast, Watts::new(12.5))?;
+    eprintln!(
+        "running 9 thermal studies (3 activities x 3 placements) at {} fidelity ...",
+        fidelity_label(cli.fidelity)
+    );
+    if let Some(s) = &store {
+        eprintln!("checkpointing per-point rows under {} ...", s.dir().display());
+    }
+    let rows = figure12_resumable(&flow, cli.fidelity, Watts::new(12.5), store.as_ref())?;
 
     println!("=== Figure 12: worst-case SNR under activities x placements ===");
     println!(
@@ -53,8 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (paper values: uniform 38/25/13 dB, diagonal 19/13/10 dB, random 20/17/12 dB)"
     );
 
+    let suffix = if cli.fidelity == Fidelity::Fast {
+        String::new()
+    } else {
+        format!("_{}", fidelity_label(cli.fidelity))
+    };
     std::fs::create_dir_all("reports")?;
-    std::fs::write("reports/figure12.json", serde_json::to_string_pretty(&rows)?)?;
-    println!("wrote reports/figure12.json");
+    let path = format!("reports/figure12{suffix}.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&rows)?)?;
+    println!("wrote {path}");
     Ok(())
 }

@@ -2,31 +2,76 @@
 //! four chip powers) and Figure 9-b (intra-ONI gradient vs P_heater for
 //! four P_VCSEL values) on the SCC case study.
 //!
-//! Run with `cargo run --release --bin fig9_temperature`.
+//! Run with `cargo run --release --bin fig9_temperature` (full-die
+//! `Fidelity::Fast` by default). `--fidelity paper` (or
+//! `FIGURE_FIDELITY=paper`) reproduces the paper's 5 µm meshing
+//! (~2.6 M unknowns, minutes of multigrid solves); paper runs checkpoint
+//! each completed figure under `reports/checkpoints/` so an interrupted
+//! run resumes instead of re-solving (`--fresh` discards checkpoints).
 
-use vcsel_arch::SccConfig;
-use vcsel_core::experiments::{figure9a, figure9b};
-use vcsel_core::ThermalStudy;
+use vcsel_arch::{Fidelity, SccConfig};
+use vcsel_core::experiments::{figure9a, figure9b, Figure9a, Figure9b};
+use vcsel_core::{fidelity_label, FigureCli, ThermalStudy};
 use vcsel_thermal::Simulator;
 use vcsel_units::Watts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    eprintln!("building thermal study (FVM response basis) ...");
-    let simulator = Simulator::new();
-    let study = ThermalStudy::new(SccConfig::default(), &simulator)?;
+    let cli = FigureCli::parse(Fidelity::Fast)?;
+    let store = cli.checkpoints("fig9");
+    let config = SccConfig { fidelity: cli.fidelity, ..SccConfig::default() };
 
-    // --- Figure 9-a -----------------------------------------------------
     let p_vcsel_mw = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
     let p_chip_w = [12.5, 18.75, 25.0, 31.25];
-    let a = figure9a(&study, &p_vcsel_mw, &p_chip_w)?;
+    let pv_family = [1.0, 2.0, 4.0, 6.0];
+    let ph_axis = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0];
 
+    let cached_a: Option<Figure9a> = store.as_ref().and_then(|s| s.load("figure9a"));
+    let cached_b: Option<Figure9b> = store.as_ref().and_then(|s| s.load("figure9b"));
+    let (a, b) = match (cached_a, cached_b) {
+        (Some(a), Some(b)) => {
+            eprintln!("loaded both figures from checkpoints (--fresh recomputes)");
+            (a, b)
+        }
+        (cached_a, cached_b) => {
+            // One engine serves both figures: the response basis is solved
+            // once and every sweep point is vector arithmetic.
+            eprintln!(
+                "building thermal study at {} fidelity (FVM response basis) ...",
+                fidelity_label(cli.fidelity)
+            );
+            let study = ThermalStudy::new(config, &Simulator::new())?;
+            let a = match cached_a {
+                Some(a) => a,
+                None => {
+                    let a = figure9a(&study, &p_vcsel_mw, &p_chip_w)?;
+                    if let Some(s) = &store {
+                        s.store("figure9a", &a)?;
+                    }
+                    a
+                }
+            };
+            let b = match cached_b {
+                Some(b) => b,
+                None => {
+                    let b = figure9b(&study, &pv_family, &ph_axis, Watts::new(12.5))?;
+                    if let Some(s) = &store {
+                        s.store("figure9b", &b)?;
+                    }
+                    b
+                }
+            };
+            (a, b)
+        }
+    };
+
+    // --- Figure 9-a -----------------------------------------------------
     println!("=== Figure 9-a: ONI average temperature (°C) vs P_VCSEL ===");
     print!("{:>14}", "P_VCSEL (mW)");
-    for chip in &p_chip_w {
+    for chip in &a.p_chip_w {
         print!("{:>12}", format!("{chip} W"));
     }
     println!();
-    for (i, &pv) in p_vcsel_mw.iter().enumerate() {
+    for (i, &pv) in a.p_vcsel_mw.iter().enumerate() {
         print!("{pv:>14.1}");
         for row in &a.average_c {
             print!("{:>12.2}", row[i]);
@@ -40,18 +85,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Figure 9-b -----------------------------------------------------
-    let pv_family = [1.0, 2.0, 4.0, 6.0];
-    let ph_axis = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0];
-    let b = figure9b(&study, &pv_family, &ph_axis, Watts::new(12.5))?;
-
     println!();
     println!("=== Figure 9-b: intra-ONI gradient (°C) vs P_heater ===");
     print!("{:>15}", "P_heater (mW)");
-    for pv in &pv_family {
+    for pv in &b.p_vcsel_mw {
         print!("{:>14}", format!("Pv={pv} mW"));
     }
     println!();
-    for (j, &ph) in ph_axis.iter().enumerate() {
+    for (j, &ph) in b.p_heater_mw.iter().enumerate() {
         print!("{ph:>15.2}");
         for row in &b.gradient_c {
             print!("{:>14.3}", row[j]);
@@ -64,9 +105,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("(paper: ~0.3)");
 
+    let suffix = if cli.fidelity == Fidelity::Fast {
+        String::new()
+    } else {
+        format!("_{}", fidelity_label(cli.fidelity))
+    };
     std::fs::create_dir_all("reports")?;
-    std::fs::write("reports/figure9a.json", serde_json::to_string_pretty(&a)?)?;
-    std::fs::write("reports/figure9b.json", serde_json::to_string_pretty(&b)?)?;
-    println!("wrote reports/figure9a.json, reports/figure9b.json");
+    let path_a = format!("reports/figure9a{suffix}.json");
+    let path_b = format!("reports/figure9b{suffix}.json");
+    std::fs::write(&path_a, serde_json::to_string_pretty(&a)?)?;
+    std::fs::write(&path_b, serde_json::to_string_pretty(&b)?)?;
+    println!("wrote {path_a}, {path_b}");
     Ok(())
 }

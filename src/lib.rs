@@ -52,8 +52,8 @@ pub use vcsel_arch as arch;
 /// The thermal-aware design methodology (the paper's contribution).
 pub use vcsel_core as core;
 
-/// Run-time thermal management: feedback calibration [12], channel
-/// remapping [15], DVFS/migration [16], job allocation [14].
+/// Run-time thermal management: feedback calibration \[12\], channel
+/// remapping \[15\], DVFS/migration \[16\], job allocation \[14\].
 pub use vcsel_control as control;
 
 /// The most common imports, bundled.

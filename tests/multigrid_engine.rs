@@ -1,15 +1,20 @@
 //! Multigrid solve-engine regressions on the real case-study FVM systems.
 //!
-//! Three claims are pinned here:
+//! Five claims are pinned here:
 //!
 //! 1. **Strength** — on the tiny SCC mesh, multigrid-preconditioned CG
 //!    needs at most half the iterations of IC(0)-CG while producing the
 //!    same field.
-//! 2. **Mesh independence** — refining the same floorplan from
+//! 2. **Threading safety** — the threaded V-cycle (banded block-SSOR
+//!    smoothers, threaded transfers) produces the same field as the
+//!    forced-serial cycle, with an essentially unchanged iteration count.
+//! 3. **Shared operator** — the hierarchy's finest level aliases the
+//!    engine's matrix allocation instead of cloning it.
+//! 4. **Mesh independence** — refining the same floorplan from
 //!    `Fidelity::Tiny` to `Fidelity::Fast` may grow the multigrid CG
 //!    iteration count by at most 1.5× (one-level preconditioners grow much
 //!    faster; that growth is why they cannot reach `Fidelity::Paper`).
-//! 3. **Paper scale** — a full-die `Fidelity::Paper` steady solve
+//! 5. **Paper scale** — a full-die `Fidelity::Paper` steady solve
 //!    (~2.6 M unknowns) completes through the multigrid engine. Ignored by
 //!    default: run with `cargo test --release -- --ignored` (minutes, not
 //!    suitable for the debug-profile tier-1 loop).
@@ -55,6 +60,53 @@ fn multigrid_cg_needs_at_most_half_the_ic0_iterations_on_the_scc_mesh() {
     for (a, b) in map_i.temperatures().iter().zip(map_m.temperatures()) {
         assert!((a - b).abs() < 1e-6, "IC(0) {a} vs multigrid {b}");
     }
+}
+
+#[test]
+fn parallel_and_serial_multigrid_engines_agree_on_the_scc_mesh() {
+    // The tiny SCC operator (~465 k nnz) sits above the threading size
+    // gate, so on multi-core machines the default engine runs banded
+    // block-SSOR smoothers and threaded transfer SpMVs. Against the
+    // forced-serial configuration the solved field must agree to solver
+    // tolerance and the CG iteration count must not move by more than the
+    // band-boundary couplings can explain (they are a ~1e-4 fraction of
+    // the operator; on one hardware thread both paths are identical).
+    let (system, spec) = system_at(Fidelity::Tiny);
+    let mut results = Vec::new();
+    for parallel_sweeps in [true, false] {
+        let config = MultigridConfig { parallel_sweeps, ..Default::default() };
+        let mut ctx = SolveContext::new(system.design(), &spec)
+            .expect("context")
+            .with_preconditioner(PreconditionerKind::Multigrid { config })
+            .expect("hierarchy builds");
+        let map = ctx.solve().expect("steady solve");
+        results.push((ctx.last_iterations() as i64, map));
+    }
+    let (parallel, serial) = (&results[0], &results[1]);
+    assert!(
+        (parallel.0 - serial.0).abs() <= 2,
+        "iteration counts diverged: parallel {} vs serial {}",
+        parallel.0,
+        serial.0
+    );
+    for (a, b) in parallel.1.temperatures().iter().zip(serial.1.temperatures()) {
+        assert!((a - b).abs() < 1e-6, "parallel {a} vs serial {b}");
+    }
+}
+
+#[test]
+fn multigrid_engine_holds_one_fine_operator_copy() {
+    // The shared-operator contract of the engine refactor: the multigrid
+    // hierarchy's finest level must be the engine's own matrix allocation
+    // (at paper scale the old clone cost ~215 MB twice over).
+    let (system, spec) = system_at(Fidelity::Tiny);
+    let ctx = SolveContext::new_preconditioned(system.design(), &spec, multigrid_kind())
+        .expect("context");
+    let hierarchy = ctx.preconditioner().as_multigrid().expect("multigrid engine").hierarchy();
+    assert!(
+        std::sync::Arc::ptr_eq(ctx.shared_operator(), hierarchy.fine_operator()),
+        "hierarchy must alias the engine's operator, not clone it"
+    );
 }
 
 #[test]

@@ -1,4 +1,4 @@
-//! Offline shim for [`serde_json`].
+//! Offline shim for [`serde_json`](https://docs.rs/serde_json).
 //!
 //! Renders the `serde` shim's [`Value`] tree to JSON text (`to_string`,
 //! `to_string_pretty`) and parses JSON text back (`from_str`). Numbers
