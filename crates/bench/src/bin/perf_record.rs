@@ -20,10 +20,23 @@
 //!    transfers) vs on (banded block-SSOR + threaded SpMV), recording the
 //!    wall-clock per cycle and the speedup. On machines with at least two
 //!    hardware threads the parallel cycle must be ≥ 1.3× faster.
-//! 4. **200-step transient** — the paper's runtime-management shape — run
-//!    once on the seed-era path (cold-start Jacobi-CG every step) and once
-//!    on the engine path (IC(0) factored once + warm starts), recording
-//!    steps/second and the wall-clock speedup.
+//! 4. **Triangular-solve threading A/B** — on the same fast-fidelity
+//!    operator, one IC(0) application (both triangular solves) with
+//!    `parallel_apply` off (exact serial sweeps) vs on (level-scheduled
+//!    wavefront execution), recording ms/apply, the level-schedule shape
+//!    (level count, mean/max level width) and the speedup. With at least
+//!    two hardware threads the level-scheduled apply must be ≥ 1.3×
+//!    faster — this is the inner loop of the transient workload below.
+//! 5. **200-step transient** — the paper's runtime-management shape — run
+//!    on the seed-era path (cold-start Jacobi-CG every step) and twice on
+//!    the engine path (IC(0) factored once + warm starts): once with the
+//!    serial triangular solves and once with the level-scheduled parallel
+//!    apply, recording steps/second and the wall-clock speedups.
+//!
+//! Every threaded section stamps the worker count it ran with (`threads`,
+//! respecting the `VCSEL_THREADS` override); on a single-core machine the
+//! wall-clock speedup bars are skipped with an explicit note, so a 1-core
+//! record can never read as a threading regression.
 //!
 //! Setting `PERF_RECORD_PAPER=1` additionally runs one full-die
 //! `Fidelity::Paper` steady solve (~2.6 M unknowns) through the multigrid
@@ -42,14 +55,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use vcsel_arch::{Fidelity, SccConfig, SccSystem};
-use vcsel_numerics::{CycleKind, MgWorkspace, MultigridHierarchy};
+use vcsel_numerics::{
+    hardware_threads, CsrMatrix, CycleKind, IncompleteCholesky, MgWorkspace, MultigridHierarchy,
+    Preconditioner,
+};
 use vcsel_thermal::{
-    Design, Mesh, MeshSpec, MultigridConfig, PreconditionerKind, SolveContext, TransientStepper,
+    Design, MeshSpec, MultigridConfig, PreconditionerKind, SolveContext, TransientStepper,
 };
 use vcsel_units::{Celsius, Watts};
 
 const TRANSIENT_DT_S: f64 = 1e-2;
 const STEADY_REPS: usize = 5;
+const TRISOLVE_REPS: usize = 10;
 
 /// Transient step count: 200 by default (the acceptance workload); CI's
 /// smoke job shrinks it via `PERF_RECORD_STEPS` to stay within its budget.
@@ -81,6 +98,19 @@ struct TransientRecord {
     steps_per_s: f64,
     total_iterations: usize,
     final_hottest_c: f64,
+}
+
+struct TrisolveRecord {
+    unknowns: usize,
+    /// Worker count of the level-scheduled candidate (1 when the machine
+    /// or the size gate keeps it serial).
+    threads: usize,
+    levels: usize,
+    mean_level_rows: f64,
+    max_level_rows: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
 }
 
 struct PaperRecord {
@@ -116,29 +146,23 @@ fn peak_rss_mb() -> Option<f64> {
 /// Times one multigrid V-cycle on the assembled operator with the serial
 /// and the threaded sweep configuration (same hierarchy parameters
 /// otherwise, both sharing the same operator allocation).
-fn vcycle_section(design: &Design, mesh: Mesh) -> VcycleRecord {
-    // A throwaway Jacobi engine is the cheapest way to assemble once and
-    // share the operator with both hierarchies.
-    let ctx = SolveContext::on_mesh_with(design, mesh, PreconditionerKind::Jacobi)
-        .expect("fast context assembles");
-    let op = Arc::clone(ctx.shared_operator());
+fn vcycle_section(op: &Arc<CsrMatrix>) -> VcycleRecord {
     let n = op.rows();
     let b = vec![1.0; n];
     let mut times = [0.0f64; 2];
     for (slot, parallel_sweeps) in [(0, false), (1, true)] {
         let config = MultigridConfig { parallel_sweeps, ..Default::default() };
         let mut h =
-            MultigridHierarchy::build_shared(Arc::clone(&op), &config).expect("hierarchy builds");
+            MultigridHierarchy::build_shared(Arc::clone(op), &config).expect("hierarchy builds");
         let mut ws = MgWorkspace::for_hierarchy(&h);
         let mut x = vec![0.0; n];
         h.cycle(CycleKind::V, &b, &mut x, &mut ws); // warm-up (page in buffers)
         let (best, _) = time_best(5, || h.cycle(CycleKind::V, &b, &mut x, &mut ws));
         times[slot] = best * 1e3;
     }
-    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let record = VcycleRecord {
         unknowns: n,
-        threads,
+        threads: hardware_threads(),
         serial_ms: times[0],
         parallel_ms: times[1],
         speedup: times[0] / times[1],
@@ -146,6 +170,50 @@ fn vcycle_section(design: &Design, mesh: Mesh) -> VcycleRecord {
     println!(
         "[vcycle/fast] {} unknowns, {} threads: serial {:.1} ms, parallel {:.1} ms ({:.2}x)",
         record.unknowns, record.threads, record.serial_ms, record.parallel_ms, record.speedup
+    );
+    record
+}
+
+/// Times one IC(0) application (forward + backward triangular solve) on
+/// the assembled operator with the exact serial sweeps vs the
+/// level-scheduled wavefront execution — the inner loop of the transient
+/// workload, two of these per CG iteration.
+fn trisolve_section(op: &Arc<CsrMatrix>) -> TrisolveRecord {
+    let n = op.rows();
+    let r: Vec<f64> = (0..n).map(|i| 1.5 + (i as f64 * 0.37).sin()).collect();
+    let mut z = vec![0.0; n];
+
+    let mut serial = IncompleteCholesky::new(op).expect("IC(0) factors").with_parallel_apply(false);
+    serial.apply(&r, &mut z); // warm-up (page in the factor)
+    let (serial_s, _) = time_best(TRISOLVE_REPS, || serial.apply(&r, &mut z));
+
+    let mut scheduled = IncompleteCholesky::new(op).expect("IC(0) factors");
+    let threads = scheduled.apply_threads();
+    scheduled.apply(&r, &mut z);
+    let (parallel_s, _) = time_best(TRISOLVE_REPS, || scheduled.apply(&r, &mut z));
+
+    let stats = scheduled.level_stats();
+    let record = TrisolveRecord {
+        unknowns: n,
+        threads,
+        levels: stats.levels,
+        mean_level_rows: stats.mean_level_rows,
+        max_level_rows: stats.max_level_rows,
+        serial_ms: serial_s * 1e3,
+        parallel_ms: parallel_s * 1e3,
+        speedup: serial_s / parallel_s,
+    };
+    println!(
+        "[trisolve/fast] {} unknowns, {} threads, {} levels (mean {:.0} / max {} rows): \
+         serial {:.2} ms, level-scheduled {:.2} ms ({:.2}x)",
+        record.unknowns,
+        record.threads,
+        record.levels,
+        record.mean_level_rows,
+        record.max_level_rows,
+        record.serial_ms,
+        record.parallel_ms,
+        record.speedup
     );
     record
 }
@@ -266,8 +334,8 @@ fn main() {
         "all" => &[("ic0", PreconditionerKind::IncompleteCholesky), ("multigrid", multigrid)],
         other => panic!("PERF_RECORD_FAST must be all|mg|off, got '{other}'"),
     };
-    let (fast_unknowns, fast_steady, vcycle) = if fast_kinds.is_empty() {
-        (0, Vec::new(), None)
+    let (fast_unknowns, fast_steady, vcycle, trisolve) = if fast_kinds.is_empty() {
+        (0, Vec::new(), None, None)
     } else {
         let config = SccConfig {
             p_vcsel: Watts::from_milliwatts(4.0),
@@ -277,10 +345,17 @@ fn main() {
         let system = SccSystem::build(&config).expect("fast SCC builds");
         let spec = system.mesh_spec().expect("mesh spec");
         let (unknowns, records) = steady_section("fast", system.design(), &spec, fast_kinds, 1);
-        // ---- V-cycle threading A/B on the same operator ----------------
-        let mesh = Mesh::build(system.design(), &spec).expect("fast mesh builds");
-        let vcycle = vcycle_section(system.design(), mesh);
-        (unknowns, records, Some(vcycle))
+        // ---- Threading A/Bs on the same operator -----------------------
+        // A throwaway Jacobi engine is the cheapest way to assemble once
+        // and share the operator with both hierarchies and both factors.
+        let ctx =
+            SolveContext::new_preconditioned(system.design(), &spec, PreconditionerKind::Jacobi)
+                .expect("fast context assembles");
+        let op = Arc::clone(ctx.shared_operator());
+        drop(ctx);
+        let vcycle = vcycle_section(&op);
+        let trisolve = trisolve_section(&op);
+        (unknowns, records, Some(vcycle), Some(trisolve))
     };
 
     // ---- Optional full-paper-fidelity multigrid solve ------------------
@@ -346,8 +421,21 @@ fn main() {
     let steps = transient_steps();
     let (seed_wall, seed_iters, seed_hot) = run_transient(&mut seed_stepper, &scales, steps);
 
+    // Engine path A/B on the per-iteration IC(0) apply: exact serial
+    // triangular solves vs the level-scheduled wavefront execution.
+    let mut serial_apply_stepper = TransientStepper::new(design, &spec, initial, TRANSIENT_DT_S)
+        .expect("stepper builds")
+        .with_parallel_apply(false);
+    let (serial_apply_wall, serial_apply_iters, serial_apply_hot) =
+        run_transient(&mut serial_apply_stepper, &scales, steps);
+
     let mut engine_stepper =
         TransientStepper::new(design, &spec, initial, TRANSIENT_DT_S).expect("stepper builds");
+    let transient_threads = engine_stepper
+        .preconditioner()
+        .as_incomplete_cholesky()
+        .expect("engine stepper factors IC(0)")
+        .apply_threads();
     let (engine_wall, engine_iters, engine_hot) =
         run_transient(&mut engine_stepper, &scales, steps);
 
@@ -355,7 +443,12 @@ fn main() {
         (seed_hot - engine_hot).abs() < 1e-6,
         "paths disagree: seed {seed_hot} vs engine {engine_hot}"
     );
+    assert!(
+        (serial_apply_hot - engine_hot).abs() < 1e-6,
+        "apply paths disagree: serial {serial_apply_hot} vs level-scheduled {engine_hot}"
+    );
     let speedup = seed_wall / engine_wall;
+    let apply_speedup = serial_apply_wall / engine_wall;
     let transient = [
         TransientRecord {
             label: "seed_jacobi_cold",
@@ -363,6 +456,13 @@ fn main() {
             steps_per_s: steps as f64 / seed_wall,
             total_iterations: seed_iters,
             final_hottest_c: seed_hot,
+        },
+        TransientRecord {
+            label: "engine_ic0_warm_serial_apply",
+            wall_s: serial_apply_wall,
+            steps_per_s: steps as f64 / serial_apply_wall,
+            total_iterations: serial_apply_iters,
+            final_hottest_c: serial_apply_hot,
         },
         TransientRecord {
             label: "engine_ic0_warm",
@@ -374,11 +474,15 @@ fn main() {
     ];
     for t in &transient {
         println!(
-            "[transient] {:>17}: {:>6.2} s ({:>7.1} steps/s, {} CG iterations)",
+            "[transient] {:>28}: {:>6.2} s ({:>7.1} steps/s, {} CG iterations)",
             t.label, t.wall_s, t.steps_per_s, t.total_iterations
         );
     }
     println!("[transient] wall-clock speedup engine vs seed: {speedup:.2}x");
+    println!(
+        "[transient] level-scheduled vs serial apply ({transient_threads} threads): \
+         {apply_speedup:.2}x"
+    );
 
     // ---- Emit JSON -----------------------------------------------------
     let transient_json: Vec<String> = transient
@@ -413,14 +517,49 @@ fn main() {
             _ => String::new(),
         }
     };
+    // A wall-clock speedup bar only binds where threads exist to win with;
+    // a single-core machine correctly records ~1.0x, annotated so the row
+    // can never read as a threading regression.
+    let speedup_note = |threads: usize| {
+        if threads >= 2 {
+            "\"enforced\""
+        } else {
+            "\"skipped: single core\""
+        }
+    };
     let vcycle_json = vcycle
         .as_ref()
         .map(|v| {
             format!(
                 ",\n  \"vcycle_fast\": {{ \"unknowns\": {}, \"threads\": {}, \
                  \"serial_ms_per_cycle\": {:.3}, \"parallel_ms_per_cycle\": {:.3}, \
-                 \"speedup\": {:.3} }}",
-                v.unknowns, v.threads, v.serial_ms, v.parallel_ms, v.speedup
+                 \"speedup\": {:.3}, \"speedup_assertion\": {} }}",
+                v.unknowns,
+                v.threads,
+                v.serial_ms,
+                v.parallel_ms,
+                v.speedup,
+                speedup_note(v.threads)
+            )
+        })
+        .unwrap_or_default();
+    let trisolve_json = trisolve
+        .as_ref()
+        .map(|t| {
+            format!(
+                ",\n  \"trisolve_fast\": {{ \"unknowns\": {}, \"threads\": {}, \
+                 \"levels\": {}, \"mean_level_rows\": {:.1}, \"max_level_rows\": {}, \
+                 \"serial_ms_per_apply\": {:.3}, \"scheduled_ms_per_apply\": {:.3}, \
+                 \"speedup\": {:.3}, \"speedup_assertion\": {} }}",
+                t.unknowns,
+                t.threads,
+                t.levels,
+                t.mean_level_rows,
+                t.max_level_rows,
+                t.serial_ms,
+                t.parallel_ms,
+                t.speedup,
+                speedup_note(t.threads)
             )
         })
         .unwrap_or_default();
@@ -446,13 +585,15 @@ fn main() {
         })
         .unwrap_or_default();
     let json = format!(
-        "{{\n  \"schema\": \"bench_solvers_v3\",\n  \"generated_by\": \"perf_record\",\n  \
+        "{{\n  \"schema\": \"bench_solvers_v4\",\n  \"generated_by\": \"perf_record\",\n  \
          \"workload\": \"SccConfig tiny_test + full-die Fast, p_vcsel = 4 mW\",\n  \
          \"unknowns\": {unknowns},\n  \
-         \"steady\": [\n{}\n  ]{fast_json}{fast_ratio}{vcycle_json}{paper_json},\n  \
+         \"steady\": [\n{}\n  ]{fast_json}{fast_ratio}{vcycle_json}{trisolve_json}{paper_json},\n  \
          \"transient\": {{\n    \
-         \"steps\": {steps},\n    \"dt_s\": {TRANSIENT_DT_S},\n    \"paths\": [\n{}\n    ],\n    \
-         \"speedup_engine_vs_seed\": {speedup:.3}\n  }},\n  \
+         \"steps\": {steps},\n    \"dt_s\": {TRANSIENT_DT_S},\n    \
+         \"threads\": {transient_threads},\n    \"paths\": [\n{}\n    ],\n    \
+         \"speedup_engine_vs_seed\": {speedup:.3},\n    \
+         \"speedup_scheduled_vs_serial_apply\": {apply_speedup:.3}\n  }},\n  \
          \"ic0_vs_jacobi_cold_iteration_ratio\": {:.4}\n}}\n",
         steady_json(&steady, "    "),
         transient_json.join(",\n"),
@@ -505,6 +646,30 @@ fn main() {
                 v.speedup,
                 v.threads
             );
+        } else if v.threads < 2 {
+            println!("[vcycle/fast] single-core: speedup assertion skipped");
         }
+    }
+    // The triangular-solve bar asserts whenever at least two hardware
+    // threads are reported — including CI's reduced smoke run, so the
+    // level-scheduled path's win is re-proven on every push of a
+    // multicore runner.
+    if let Some(t) = &trisolve {
+        if t.threads >= 2 {
+            assert!(
+                t.speedup >= 1.3,
+                "level-scheduled IC(0) apply speedup {:.2}x < 1.3x on {} threads \
+                 ({} levels, mean width {:.0})",
+                t.speedup,
+                t.threads,
+                t.levels,
+                t.mean_level_rows
+            );
+        } else {
+            println!("[trisolve/fast] single-core: speedup assertion skipped");
+        }
+    }
+    if transient_threads < 2 {
+        println!("[transient] single-core: threaded-apply speedup assertion skipped");
     }
 }

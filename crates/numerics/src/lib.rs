@@ -16,7 +16,11 @@
 //!   preconditioners behind the [`Preconditioner`] trait. Engines that
 //!   own their matrix behind an [`std::sync::Arc`] build through
 //!   [`PreconditionerKind::build_shared`], so the operator-holding
-//!   preconditioners alias the caller's allocation instead of cloning it,
+//!   preconditioners alias the caller's allocation instead of cloning it.
+//!   IC(0) analyzes its factor into dependency levels at factorization
+//!   time and applies the two triangular solves as level-scheduled
+//!   (wavefront) parallel sweeps on large systems — bitwise-deterministic
+//!   for every worker count, exact-serial below the SpMV size gate,
 //! * [`multigrid`]: a smoothed-aggregation algebraic multigrid hierarchy
 //!   (V-/F-cycles, Galerkin coarse operators, dense coarsest solve,
 //!   size-gated threaded smoothers and transfers) usable standalone or as
@@ -65,7 +69,8 @@ pub use multigrid::{
 };
 pub use optimize::{golden_section_min, grid_argmin, Minimum};
 pub use precond::{
-    AnyPreconditioner, IncompleteCholesky, Jacobi, Preconditioner, PreconditionerKind, Ssor,
+    AnyPreconditioner, IncompleteCholesky, Jacobi, LevelScheduleStats, Preconditioner,
+    PreconditionerKind, Ssor,
 };
-pub use sparse::{CsrMatrix, TripletBuilder};
+pub use sparse::{hardware_threads, CsrMatrix, TripletBuilder};
 pub use stats::Summary;

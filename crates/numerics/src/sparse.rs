@@ -5,16 +5,208 @@
 //! the standard representation; duplicate triplets are summed, which matches
 //! how FVM assembly naturally emits one contribution per face.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use crate::NumericsError;
 
-/// Cached `std::thread::available_parallelism` (queried once per process).
-pub(crate) fn hardware_threads() -> usize {
+/// Parses a `VCSEL_THREADS`-style override: `Some(n.max(1))` for a parsable
+/// value, `None` when unset or unparsable (fall back to the hardware count).
+fn thread_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok()).map(|t| t.max(1))
+}
+
+/// The worker count every threaded kernel in this crate sizes itself
+/// against: the `VCSEL_THREADS` environment variable when set (clamped to
+/// at least 1 — CI and A/B benches use it to pin worker counts), otherwise
+/// [`std::thread::available_parallelism`]. Queried once per process and
+/// cached, so changing the variable after the first call has no effect.
+pub fn hardware_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        thread_override(std::env::var("VCSEL_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        })
     })
+}
+
+/// A scratch vector of `f64` values shared across the wavefront workers of
+/// a level-scheduled triangular solve, stored as relaxed `AtomicU64` bit
+/// patterns. Safe-Rust stand-in for scattered disjoint writes: within one
+/// level every slot is written by exactly one worker, and the level barrier
+/// (or the scope join) orders those writes before any cross-level read, so
+/// relaxed loads/stores are sufficient.
+pub(crate) struct SharedF64(Vec<AtomicU64>);
+
+impl SharedF64 {
+    pub fn new(len: usize) -> Self {
+        Self((0..len).map(|_| AtomicU64::new(0)).collect())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    pub fn load(&self, i: usize) -> f64 {
+        f64::from_bits(self.0[i].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub fn store(&self, i: usize, v: f64) {
+        self.0[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for SharedF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedF64(len = {})", self.0.len())
+    }
+}
+
+impl Clone for SharedF64 {
+    fn clone(&self) -> Self {
+        // Scratch contents are transient per apply; a clone only needs the
+        // capacity, not the bits.
+        Self::new(self.0.len())
+    }
+}
+
+/// A sense-reversing spin barrier for the wavefront solves: `members`
+/// threads synchronize once per dependency level, thousands of times per
+/// second, which is exactly the regime where the mutex/condvar
+/// [`std::sync::Barrier`] pays a wakeup latency per level that can exceed
+/// the level's work. Spins briefly, then yields (so an oversubscribed or
+/// single-core machine still makes progress).
+pub(crate) struct SpinBarrier {
+    members: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    pub fn new(members: usize) -> Self {
+        assert!(members > 0, "barrier needs at least one member");
+        Self { members, arrived: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+    }
+
+    /// Blocks until all `members` threads have called `wait` for the
+    /// current generation. Release/acquire on the generation counter makes
+    /// every write before the barrier visible after it.
+    pub fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.members {
+            // Last arrival: reset the count, then open the next generation.
+            // Waiters only touch `arrived` again after observing the bump,
+            // so the reset cannot race their increments.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.store(generation + 1, Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == generation {
+            spins += 1;
+            if spins < 1 << 12 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// The nnz-balanced sub-range of permuted rows `[level_start, level_end)`
+/// assigned to `worker` of `workers`, computed from cumulative non-zero
+/// counts exactly like [`CsrMatrix::nnz_balanced_rows`] — every worker
+/// derives the same boundaries independently, so no coordination is needed.
+pub(crate) fn nnz_balanced_chunk(
+    row_ptr: &[usize],
+    level_start: usize,
+    level_end: usize,
+    worker: usize,
+    workers: usize,
+) -> (usize, usize) {
+    let base = row_ptr[level_start];
+    let total = row_ptr[level_end] - base;
+    let bound = |t: usize| -> usize {
+        if t == 0 {
+            return level_start;
+        }
+        if t >= workers {
+            return level_end;
+        }
+        let target = base + total * t / workers;
+        (level_start + row_ptr[level_start..level_end].partition_point(|&p| p < target))
+            .min(level_end)
+    };
+    (bound(worker), bound(worker + 1))
+}
+
+/// A triangular factor whose rows are permuted into wavefront (dependency
+/// level) processing order: position `p` holds natural row `rows[p]`, with
+/// its stored entries at `row_ptr[p]..row_ptr[p + 1]` (column indices stay
+/// natural). Rows of one level are contiguous, so the level scheduler
+/// dispatches contiguous row-range micro-kernels whose factor reads stream
+/// sequentially — cache-friendly instead of gather-heavy — while the
+/// solution vector stays in natural ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WavefrontFactor {
+    pub row_ptr: Vec<usize>,
+    /// Natural row index of each permuted position.
+    pub rows: Vec<u32>,
+    pub col_idx: Vec<u32>,
+    pub values: Vec<f64>,
+}
+
+impl WavefrontFactor {
+    /// Gathers the rows of a triangular CSR factor in `order` into a
+    /// contiguous permuted copy.
+    pub fn gather(order: &[u32], row_ptr: &[usize], col_idx: &[u32], values: &[f64]) -> Self {
+        let mut out_ptr = Vec::with_capacity(order.len() + 1);
+        let mut out_idx = Vec::with_capacity(values.len());
+        let mut out_val = Vec::with_capacity(values.len());
+        out_ptr.push(0);
+        for &r in order {
+            let (lo, hi) = (row_ptr[r as usize], row_ptr[r as usize + 1]);
+            out_idx.extend_from_slice(&col_idx[lo..hi]);
+            out_val.extend_from_slice(&values[lo..hi]);
+            out_ptr.push(out_val.len());
+        }
+        Self { row_ptr: out_ptr, rows: order.to_vec(), col_idx: out_idx, values: out_val }
+    }
+
+    /// Forward-substitution micro-kernel over the contiguous permuted row
+    /// range `lo..hi` of a *lower*-triangular factor (diagonal stored last
+    /// in each row): `y[i] = (r[i] − Σ_k l_ik · y[k]) / l_ii`. Every `y`
+    /// slot it reads belongs to an earlier dependency level, every slot it
+    /// writes belongs to the current one.
+    pub fn solve_lower_block(&self, lo: usize, hi: usize, r: &[f64], y: &SharedF64) {
+        for p in lo..hi {
+            let (s, e) = (self.row_ptr[p], self.row_ptr[p + 1]);
+            let i = self.rows[p] as usize;
+            let mut acc = r[i];
+            for k in s..e - 1 {
+                acc -= self.values[k] * y.load(self.col_idx[k] as usize);
+            }
+            y.store(i, acc / self.values[e - 1]);
+        }
+    }
+
+    /// Backward-substitution micro-kernel over the contiguous permuted row
+    /// range `lo..hi` of an *upper*-triangular factor (diagonal stored
+    /// first in each row), in place over `y`:
+    /// `y[i] = (y[i] − Σ_j u_ij · y[j]) / u_ii`.
+    pub fn solve_upper_block(&self, lo: usize, hi: usize, y: &SharedF64) {
+        for p in lo..hi {
+            let (s, e) = (self.row_ptr[p], self.row_ptr[p + 1]);
+            let i = self.rows[p] as usize;
+            let mut acc = y.load(i);
+            for k in s + 1..e {
+                acc -= self.values[k] * y.load(self.col_idx[k] as usize);
+            }
+            y.store(i, acc / self.values[s]);
+        }
+    }
 }
 
 /// Accumulates `(row, col, value)` triplets and compacts them into a
@@ -749,5 +941,93 @@ mod tests {
         let mut y = vec![0.0; 3];
         m.mul_vec_into_threaded(&[1.0, 1.0, 1.0], &mut y, 16);
         assert_eq!(y, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn thread_override_parses_and_clamps() {
+        assert_eq!(thread_override(None), None);
+        assert_eq!(thread_override(Some("garbage")), None);
+        assert_eq!(thread_override(Some("")), None);
+        assert_eq!(thread_override(Some("4")), Some(4));
+        assert_eq!(thread_override(Some(" 2 ")), Some(2));
+        assert_eq!(thread_override(Some("0")), Some(1), "clamped to at least one worker");
+        assert!(hardware_threads() >= 1);
+    }
+
+    #[test]
+    fn nnz_balanced_chunks_cover_and_partition_the_level() {
+        // Skewed row weights so the nnz balancing actually shifts bounds.
+        let row_ptr = [0usize, 10, 11, 12, 13, 14, 30];
+        for workers in [1, 2, 3, 8] {
+            let mut expected = 1; // level [1, 6)
+            for w in 0..workers {
+                let (lo, hi) = nnz_balanced_chunk(&row_ptr, 1, 6, w, workers);
+                assert_eq!(lo, expected, "chunks must tile the level");
+                assert!(hi >= lo);
+                expected = hi;
+            }
+            assert_eq!(expected, 6, "chunks must cover the level");
+        }
+    }
+
+    #[test]
+    fn spin_barrier_orders_writes_across_members() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let members = 4;
+        let barrier = SpinBarrier::new(members);
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..members {
+                scope.spawn(|| {
+                    for round in 1..=3usize {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        // Every member observes all increments of the round.
+                        assert_eq!(hits.load(Ordering::Relaxed), members * round);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn wavefront_blocks_solve_a_bidiagonal_factor() {
+        // L from the 1-D Laplacian Cholesky-like shape: diag 2, sub -1.
+        let n = 6;
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+        }
+        let l = b.build();
+        let order: Vec<u32> = (0..n as u32).collect();
+        let fwd = WavefrontFactor::gather(&order, &l.row_ptr, &l.col_idx, &l.values);
+        let r: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let y = SharedF64::new(n);
+        // A bidiagonal factor has strictly sequential levels: one row each.
+        for i in 0..n {
+            fwd.solve_lower_block(i, i + 1, &r, &y);
+        }
+        // Check L y = r by substitution.
+        for (i, ri) in r.iter().enumerate() {
+            let got = 2.0 * y.load(i) - if i > 0 { y.load(i - 1) } else { 0.0 };
+            assert!((got - ri).abs() < 1e-12, "row {i}: {got} vs {ri}");
+        }
+        // Upper solve on Lᵀ (diag first) back-substitutes in place.
+        let u = l.transpose();
+        let rev: Vec<u32> = (0..n as u32).rev().collect();
+        let bwd = WavefrontFactor::gather(&rev, &u.row_ptr, &u.col_idx, &u.values);
+        let before: Vec<f64> = (0..n).map(|i| y.load(i)).collect();
+        for p in 0..n {
+            bwd.solve_upper_block(p, p + 1, &y);
+        }
+        for (i, bi) in before.iter().enumerate() {
+            let got = 2.0 * y.load(i) - if i + 1 < n { y.load(i + 1) } else { 0.0 };
+            assert!((got - bi).abs() < 1e-12, "col {i}: {got} vs {bi}");
+        }
+        assert_eq!(y.len(), n);
     }
 }

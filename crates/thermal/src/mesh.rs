@@ -253,21 +253,40 @@ impl Mesh {
     fn build_axis(design: &Design, spec: &MeshSpec, axis: usize) -> Result<Axis, ThermalError> {
         let lo = design.domain().min(axis).value();
         let hi = design.domain().max(axis).value();
-        let extent = hi - lo;
-        let eps = 1e-9 * extent.max(1e-12);
 
-        // 1. Collect breakpoints: domain + block + refinement boundaries.
+        // 1. Collect breakpoints: domain + block + refinement boundaries
+        //    (refinements pre-clamp, since they may legally overhang the
+        //    domain).
         let mut breaks = vec![lo, hi];
         for b in design.blocks() {
             breaks.push(b.region().min(axis).value());
             breaks.push(b.region().max(axis).value());
         }
+        let clamp_from = breaks.len();
         for r in &spec.refinements {
-            breaks.push(r.region().min(axis).value().clamp(lo, hi));
-            breaks.push(r.region().max(axis).value().clamp(lo, hi));
+            breaks.push(r.region().min(axis).value());
+            breaks.push(r.region().max(axis).value());
+        }
+        // Validate every breakpoint up front. The constructors reject
+        // non-finite coordinates, but deserialized designs/specs bypass
+        // them — and a NaN or infinite breakpoint downstream either
+        // panics the sort, silently drops a block boundary, or explodes
+        // the interval subdivision.
+        if let Some(bad) = breaks.iter().find(|v| !v.is_finite()) {
+            return Err(ThermalError::BadRegion {
+                reason: format!(
+                    "non-finite mesh breakpoint {bad} on axis {axis}; the domain, a block or \
+                     a refinement region carries a non-finite coordinate"
+                ),
+            });
+        }
+        let extent = hi - lo;
+        let eps = 1e-9 * extent.max(1e-12);
+        for v in &mut breaks[clamp_from..] {
+            *v = v.clamp(lo, hi);
         }
         breaks.retain(|v| *v >= lo - eps && *v <= hi + eps);
-        breaks.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        breaks.sort_by(f64::total_cmp);
         breaks.dedup_by(|a, b| (*a - *b).abs() <= eps);
 
         // 2. Subdivide each interval to meet the finest applicable cap.
@@ -403,6 +422,36 @@ mod tests {
     fn slab_design() -> Design {
         let domain = BoxRegion::new([Meters::ZERO; 3], [mm(10.0), mm(8.0), mm(1.0)]).unwrap();
         Design::new(domain, Material::SILICON).unwrap()
+    }
+
+    #[test]
+    fn non_finite_breakpoints_are_rejected_not_panicked() {
+        // The geometry constructors validate finiteness, but a
+        // deserialized design bypasses them (serde fills fields
+        // directly) — a JSON `1e999` parses to +∞. Before the up-front
+        // breakpoint validation this either panicked the breakpoint sort
+        // deep inside mesh construction or made the interval subdivision
+        // attempt ~usize::MAX ticks; now it is a typed error.
+        let mut d = slab_design();
+        let block =
+            BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(2.0), mm(2.0), mm(0.5)]).unwrap();
+        d.add_block(crate::Block::passive("b", block, Material::COPPER));
+        let json = serde_json::to_string(&d).expect("serializes");
+
+        // Poison the domain max (10 mm) and, separately, a block corner.
+        for (needle, what) in [("0.01", "domain max"), ("0.002", "block corner")] {
+            let poisoned = json.replacen(needle, "1e999", 1);
+            assert_ne!(poisoned, json, "replacement must hit ({what})");
+            let bad: Design = serde_json::from_str(&poisoned).expect("deserializes");
+            let err = Mesh::build(&bad, &MeshSpec::uniform(mm(1.0)))
+                .expect_err("non-finite breakpoint must be rejected");
+            match err {
+                ThermalError::BadRegion { reason } => {
+                    assert!(reason.contains("non-finite"), "unexpected reason: {reason} ({what})");
+                }
+                other => panic!("expected BadRegion, got {other:?} ({what})"),
+            }
+        }
     }
 
     #[test]

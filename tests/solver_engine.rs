@@ -8,8 +8,8 @@
 //! preconditioner and the warm-start path agree with the one-shot solver).
 
 use vcsel_arch::{SccConfig, SccSystem};
-use vcsel_thermal::{PreconditionerKind, Simulator, SolveContext};
-use vcsel_units::Watts;
+use vcsel_thermal::{PreconditionerKind, Simulator, SolveContext, TransientStepper};
+use vcsel_units::{Celsius, Watts};
 
 fn tiny_system() -> (SccSystem, vcsel_thermal::MeshSpec) {
     let config = SccConfig { p_vcsel: Watts::from_milliwatts(4.0), ..SccConfig::tiny_test() };
@@ -58,6 +58,39 @@ fn cached_engine_matches_the_one_shot_simulator_on_the_scc_system() {
         assert!((a - b).abs() < 1e-6, "one-shot {a} vs engine {b}");
         assert!((b - c).abs() < 1e-9, "warm re-solve drifted: {b} vs {c}");
     }
+}
+
+#[test]
+fn threaded_and_serial_transient_steppers_agree_on_the_scc_mesh() {
+    // The 200-step transient of `BENCH_solvers.json` runs two IC(0)
+    // triangular solves inside every CG iteration; the level-scheduled
+    // (wavefront) parallel apply must not move the trajectory. Pinning the
+    // worker count forces the threaded path even on a single-core machine,
+    // so this pins serial-vs-parallel agreement on the real case-study
+    // system, not just on synthetic stencils.
+    let (system, spec) = tiny_system();
+    let design = system.design();
+    let groups: Vec<String> = design.group_names().iter().map(|g| g.to_string()).collect();
+    let scales: Vec<(&str, f64)> = groups.iter().map(|g| (g.as_str(), 1.0)).collect();
+
+    let mut serial = TransientStepper::new(design, &spec, Celsius::new(40.0), 1e-2)
+        .expect("stepper builds")
+        .with_parallel_apply(false);
+    let mut wavefront = TransientStepper::new(design, &spec, Celsius::new(40.0), 1e-2)
+        .expect("stepper builds")
+        .with_apply_threads(4);
+    for _ in 0..10 {
+        serial.step(&scales).expect("serial step");
+        wavefront.step(&scales).expect("wavefront step");
+    }
+    let (hot_s, hot_w) =
+        (serial.snapshot().hottest().1.value(), wavefront.snapshot().hottest().1.value());
+    assert!((hot_s - hot_w).abs() < 1e-6, "serial {hot_s} vs level-scheduled {hot_w}");
+    assert_eq!(
+        serial.total_iterations(),
+        wavefront.total_iterations(),
+        "identical preconditioner arithmetic must give identical CG trajectories"
+    );
 }
 
 #[test]
