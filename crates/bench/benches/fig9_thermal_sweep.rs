@@ -13,8 +13,8 @@ fn bench_fig9(c: &mut Criterion) {
     let a = figure9a(study, &[0.0, 2.0, 4.0, 6.0], &[1.0, 2.0, 3.0]).expect("fig 9-a");
     println!(
         "[fig9a] slopes: {:.2} C/W chip (paper ~0.53), {:.2} C/mW P_VCSEL (paper ~1.8)",
-        a.chip_power_slope(),
-        a.vcsel_power_slope()
+        a.chip_power_slope().expect("slope on a 3x4 figure"),
+        a.vcsel_power_slope().expect("slope on a 3x4 figure")
     );
     let b =
         figure9b(study, &[2.0, 6.0], &[0.0, 0.6, 1.2, 1.8, 2.4], Watts::new(2.0)).expect("fig 9-b");

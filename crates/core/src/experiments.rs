@@ -66,18 +66,58 @@ pub struct Figure9a {
 impl Figure9a {
     /// Average-temperature slope per watt of chip power at P_VCSEL = 0
     /// (paper: ≈ 3.3 °C per 6.25 W, i.e. ≈ 0.53 °C/W).
-    pub fn chip_power_slope(&self) -> f64 {
-        let first = self.average_c.first().expect("non-empty family")[0];
-        let last = self.average_c.last().expect("non-empty family")[0];
-        (last - first) / (self.p_chip_w.last().unwrap() - self.p_chip_w.first().unwrap())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::BadConfig`] when the figure holds fewer than
+    /// two chip powers or an empty temperature row — possible for a figure
+    /// deserialized from a truncated artifact, so it is a typed error
+    /// rather than a panic.
+    pub fn chip_power_slope(&self) -> Result<f64, FlowError> {
+        let (first_p, last_p, first_row, last_row) = match (
+            self.p_chip_w.first(),
+            self.p_chip_w.last(),
+            self.average_c.first(),
+            self.average_c.last(),
+        ) {
+            (Some(fp), Some(lp), Some(fr), Some(lr)) if self.p_chip_w.len() >= 2 => {
+                (fp, lp, fr, lr)
+            }
+            _ => {
+                return Err(FlowError::BadConfig {
+                    reason: "Figure 9-a needs at least two chip powers for a slope".into(),
+                })
+            }
+        };
+        match (first_row.first(), last_row.first()) {
+            (Some(first), Some(last)) => Ok((last - first) / (last_p - first_p)),
+            _ => {
+                Err(FlowError::BadConfig { reason: "Figure 9-a temperature rows are empty".into() })
+            }
+        }
     }
 
     /// Average-temperature rise per mW of P_VCSEL at the lowest chip power
     /// (paper: ≈ 11 °C per 6 mW, i.e. ≈ 1.8 °C/mW).
-    pub fn vcsel_power_slope(&self) -> f64 {
-        let row = &self.average_c[0];
-        (row.last().unwrap() - row.first().unwrap())
-            / (self.p_vcsel_mw.last().unwrap() - self.p_vcsel_mw.first().unwrap())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::BadConfig`] when the figure holds fewer than
+    /// two P_VCSEL points or no temperature rows.
+    pub fn vcsel_power_slope(&self) -> Result<f64, FlowError> {
+        let row = self.average_c.first().ok_or_else(|| FlowError::BadConfig {
+            reason: "Figure 9-a holds no temperature rows".into(),
+        })?;
+        match (row.first(), row.last(), self.p_vcsel_mw.first(), self.p_vcsel_mw.last()) {
+            (Some(first), Some(last), Some(first_p), Some(last_p))
+                if self.p_vcsel_mw.len() >= 2 =>
+            {
+                Ok((last - first) / (last_p - first_p))
+            }
+            _ => Err(FlowError::BadConfig {
+                reason: "Figure 9-a needs at least two P_VCSEL points for a slope".into(),
+            }),
+        }
     }
 }
 
@@ -368,8 +408,8 @@ mod tests {
     fn figure9a_slopes_have_paper_signs() {
         let study = tiny_study();
         let f = figure9a(study, &[0.0, 3.0, 6.0], &[1.0, 2.0, 3.0]).unwrap();
-        assert!(f.chip_power_slope() > 0.0);
-        assert!(f.vcsel_power_slope() > 0.0);
+        assert!(f.chip_power_slope().unwrap() > 0.0);
+        assert!(f.vcsel_power_slope().unwrap() > 0.0);
         // Temperatures grow along both axes.
         assert!(f.average_c[0][0] < f.average_c[2][0]);
         assert!(f.average_c[0][0] < f.average_c[0][2]);

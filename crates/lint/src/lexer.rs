@@ -1,0 +1,523 @@
+//! A hand-rolled, string/comment/attribute-aware Rust lexer.
+//!
+//! The rules in this crate need exactly three things a regex over raw
+//! source cannot give them: (1) `unwrap()` inside a comment, string or
+//! doc example must not count, (2) `#[cfg(test)]` / `#[test]` regions must
+//! be excluded from production-code rules, and (3) findings need accurate
+//! line numbers. A full parser (syn) would be overkill — the same
+//! philosophy as the workspace's `serde_derive` shim, which lexes token
+//! streams by hand instead of pulling in syn/quote.
+
+/// Token classes the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Ordering`, …).
+    Ident,
+    /// A lifetime such as `'a` (kept distinct so `'a` is never a char).
+    Lifetime,
+    /// String, raw-string, byte-string or char literal (content dropped
+    /// except for plain `"…"` strings, which rules inspect — env names).
+    Str,
+    /// Numeric literal.
+    Number,
+    /// Line or block comment, including doc comments. Text retained so
+    /// justification markers (`// ORDER: …`) can be found.
+    Comment,
+    /// Any other single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text. For [`TokKind::Str`] this is the *unquoted* content of
+    /// plain `"…"` strings and empty for raw/byte/char literals; for
+    /// [`TokKind::Comment`] the full comment text.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    fn new(kind: TokKind, text: impl Into<String>, line: usize) -> Self {
+        Self { kind, text: text.into(), line }
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into tokens, never failing: unterminated constructs are
+/// closed at end of input (a lint pass must degrade gracefully on code
+/// rustc itself would reject).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::with_capacity(src.len() / 4);
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments (also doc `///` and `//!`).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.push(Token::new(TokKind::Comment, b[start..i].iter().collect::<String>(), line));
+            continue;
+        }
+        // Block comments, nested per the Rust grammar.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let (start, start_line) = (i, line);
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 1;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 1;
+                }
+                i += 1;
+            }
+            out.push(Token::new(
+                TokKind::Comment,
+                b[start..i.min(n)].iter().collect::<String>(),
+                start_line,
+            ));
+            continue;
+        }
+        // Raw strings r"…" / r#"…"# (and br…), which contain no escapes.
+        if (c == 'r' || c == 'b') && {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            j + 1 < n && b[j] == 'r' && (b[j + 1] == '"' || b[j + 1] == '#')
+        } {
+            let start_line = line;
+            while i < n && b[i] != '"' && b[i] != '#' {
+                i += 1;
+            }
+            let mut hashes = 0usize;
+            while i < n && b[i] == '#' {
+                hashes += 1;
+                i += 1;
+            }
+            if i < n && b[i] == '"' {
+                i += 1;
+                loop {
+                    if i >= n {
+                        break;
+                    }
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                        continue;
+                    }
+                    if b[i] == '"' {
+                        let mut j = i + 1;
+                        let mut seen = 0usize;
+                        while j < n && b[j] == '#' && seen < hashes {
+                            seen += 1;
+                            j += 1;
+                        }
+                        if seen == hashes {
+                            i = j;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                out.push(Token::new(TokKind::Str, "", start_line));
+                continue;
+            }
+            // `r` / `b` not actually starting a raw string: fall through as
+            // an identifier from the original position.
+        }
+        // Plain and byte strings with escapes.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start_line = line;
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            let content_start = i;
+            while i < n && b[i] != '"' {
+                if b[i] == '\\' && i + 1 < n {
+                    i += 1;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            let content: String = b[content_start..i.min(n)].iter().collect();
+            i += 1; // closing quote
+            out.push(Token::new(
+                TokKind::Str,
+                if c == '"' { content } else { String::new() },
+                start_line,
+            ));
+            continue;
+        }
+        // Lifetimes vs char literals.
+        if c == '\'' {
+            // 'static, 'a → lifetime: quote + ident-start and NOT closed by
+            // a quote right after one ident char (which would be 'x').
+            if i + 1 < n && is_ident_start(b[i + 1]) && !(i + 2 < n && b[i + 2] == '\'') {
+                let start = i;
+                i += 1;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                out.push(Token::new(
+                    TokKind::Lifetime,
+                    b[start..i].iter().collect::<String>(),
+                    line,
+                ));
+                continue;
+            }
+            // Char literal, possibly escaped ('\n', '\u{7FFF}', '\'').
+            i += 1;
+            while i < n && b[i] != '\'' {
+                if b[i] == '\\' && i + 1 < n {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            out.push(Token::new(TokKind::Str, "", line));
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            out.push(Token::new(TokKind::Ident, b[start..i].iter().collect::<String>(), line));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n
+                && (is_ident_cont(b[i])
+                    || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit())
+                    || ((b[i] == '+' || b[i] == '-')
+                        && i > start
+                        && (b[i - 1] == 'e' || b[i - 1] == 'E')))
+            {
+                i += 1;
+            }
+            out.push(Token::new(TokKind::Number, b[start..i].iter().collect::<String>(), line));
+            continue;
+        }
+        out.push(Token::new(TokKind::Punct, c, line));
+        i += 1;
+    }
+    out
+}
+
+/// Marks every token index that lives inside test-only code: an item
+/// annotated `#[test]` or `#[cfg(test)]` (but **not** `#[cfg(not(test))]`),
+/// including whole `mod tests { … }` blocks.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#')
+            && i + 1 < tokens.len()
+            && (tokens[i + 1].is_punct('[')
+                || (tokens[i + 1].is_punct('!')
+                    && i + 2 < tokens.len()
+                    && tokens[i + 2].is_punct('[')))
+        {
+            let bracket = if tokens[i + 1].is_punct('[') { i + 1 } else { i + 2 };
+            let (attr_end, is_test) = scan_attribute(tokens, bracket);
+            if is_test {
+                // Skip trailing attributes/comments, then mark the item.
+                let mut j = attr_end;
+                loop {
+                    j = skip_comments(tokens, j);
+                    if j + 1 < tokens.len()
+                        && tokens[j].is_punct('#')
+                        && tokens[j + 1].is_punct('[')
+                    {
+                        let (e, _) = scan_attribute(tokens, j + 1);
+                        j = e;
+                    } else {
+                        break;
+                    }
+                }
+                let item_end = item_block_end(tokens, j);
+                for m in mask.iter_mut().take(item_end).skip(i) {
+                    *m = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans an attribute whose `[` is at `open`; returns (index one past the
+/// closing `]`, whether the attribute marks test-only code).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            idents.push(&t.text);
+        }
+        j += 1;
+    }
+    let is_test = match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    };
+    (j, is_test)
+}
+
+fn skip_comments(tokens: &[Token], mut j: usize) -> usize {
+    while j < tokens.len() && tokens[j].kind == TokKind::Comment {
+        j += 1;
+    }
+    j
+}
+
+/// Returns the index one past the annotated item starting at `j`: through
+/// the matching `}` of its first top-level brace block, or one past the
+/// first top-level `;` for block-less items.
+fn item_block_end(tokens: &[Token], j: usize) -> usize {
+    let mut k = j;
+    let mut paren = 0isize;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if paren == 0 && t.is_punct(';') {
+            return k + 1;
+        } else if paren == 0 && t.is_punct('{') {
+            let mut depth = 0isize;
+            while k < tokens.len() {
+                if tokens[k].is_punct('{') {
+                    depth += 1;
+                } else if tokens[k].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+                k += 1;
+            }
+            return tokens.len();
+        }
+        k += 1;
+    }
+    tokens.len()
+}
+
+/// A named function and the token range of its body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Token index range of the body, `{` inclusive to `}` inclusive.
+    pub body: (usize, usize),
+}
+
+/// Extracts every named `fn` and its body token range (brace matching;
+/// trait-declaration signatures without a body are skipped).
+pub fn functions(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && i + 1 < tokens.len() && tokens[i + 1].kind == TokKind::Ident
+        {
+            let name = tokens[i + 1].text.clone();
+            let line = tokens[i].line;
+            // Walk the signature: the body starts at the first `{` outside
+            // any paren/bracket nesting; a `;` there means no body.
+            let mut j = i + 2;
+            let mut depth = 0isize;
+            let mut body = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(';') {
+                    break;
+                } else if depth == 0 && t.is_punct('{') {
+                    let open = j;
+                    let mut braces = 0isize;
+                    while j < tokens.len() {
+                        if tokens[j].is_punct('{') {
+                            braces += 1;
+                        } else if tokens[j].is_punct('}') {
+                            braces -= 1;
+                            if braces == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    body = Some((open, j.min(tokens.len() - 1)));
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(body) = body {
+                out.push(FnSpan { name, line, body });
+            }
+            i = j.max(i + 2);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let toks = lex("let a = \"unwrap()\"; // unwrap()\n/* panic! */ b.unwrap();");
+        let idents: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, vec!["let", "a", "b", "unwrap"]);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Comment).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let toks = lex("r#\"x \"quoted\" unwrap()\"# 'a' '\\n' &'static str foo::<'b>()");
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!toks.iter().any(|t| t.is_ident("quoted")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str && t.text.is_empty()).count(),
+            3,
+            "raw string + two char literals"
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let toks = lex("a\n\nb /* c\nd */ e");
+        let find = |s: &str| toks.iter().find(|t| t.is_ident(s)).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(3));
+        assert_eq!(find("e"), Some(4));
+    }
+
+    #[test]
+    fn string_content_is_kept_for_plain_strings() {
+        let toks = lex("env::var(\"VCSEL_THREADS\")");
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).expect("string token");
+        assert_eq!(s.text, "VCSEL_THREADS");
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod_but_not_cfg_not_test() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(not(test))] fn also_live() { y.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n fn helper() { z.unwrap(); }\n}\n";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let masked: Vec<&str> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, &m)| m && t.kind == TokKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"helper"));
+        assert!(masked.contains(&"z"));
+        assert!(!masked.contains(&"live"));
+        assert!(!masked.contains(&"also_live"));
+        assert!(!masked.contains(&"y"));
+    }
+
+    #[test]
+    fn test_attribute_on_fn_masks_only_that_fn() {
+        let src = "#[test]\nfn a_test() { x.unwrap(); }\nfn real() { y.unwrap(); }";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let live: Vec<&str> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, &m)| !m && t.kind == TokKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(live.contains(&"real"));
+        assert!(live.contains(&"y"));
+        assert!(!live.contains(&"a_test"));
+    }
+
+    #[test]
+    fn functions_map_names_to_body_ranges() {
+        let src = "fn outer(a: &[u8]) -> usize { inner(); a.len() }\n\
+                   trait T { fn decl(&self); }\n\
+                   fn inner() {}";
+        let toks = lex(src);
+        let fns = functions(&toks);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        let outer = &fns[0];
+        assert!(toks[outer.body.0].is_punct('{') && toks[outer.body.1].is_punct('}'));
+        let body: Vec<&str> = toks[outer.body.0..=outer.body.1]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(body.contains(&"inner"));
+    }
+}

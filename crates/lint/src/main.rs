@@ -1,0 +1,130 @@
+//! CLI for the workspace invariant analyzer.
+//!
+//! ```text
+//! cargo run -p vcsel_lint -- --check               # CI gate: fail on findings
+//! cargo run -p vcsel_lint -- --check-suppressions  # fail on stale allowlist entries
+//! cargo run -p vcsel_lint -- --json                # unallowlisted findings as JSON
+//! ```
+//!
+//! All modes accept `--root <dir>` to override the workspace root (default:
+//! two levels above this crate's manifest, i.e. the repository root).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vcsel_lint::{
+    apply_allowlist, collect_workspace_files, config, findings_to_json, lint_all,
+    stale_suppressions,
+};
+
+enum Mode {
+    Check,
+    CheckSuppressions,
+    Json,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vcsel_lint [--root <dir>] (--check | --check-suppressions | --json)\n\
+         \n\
+         --check               run all rules, fail on any unallowlisted finding\n\
+         --check-suppressions  fail if any lint.toml allowlist entry no longer\n\
+         \u{20}                     matches a real source line\n\
+         --json                print unallowlisted findings as a JSON array"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut mode = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Some(Mode::Check),
+            "--check-suppressions" => mode = Some(Mode::CheckSuppressions),
+            "--json" => mode = Some(Mode::Json),
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(mode) = mode else {
+        return usage();
+    };
+    let root = root.unwrap_or_else(|| {
+        // crates/lint → crates → workspace root.
+        let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+        manifest.parent().and_then(Path::parent).unwrap_or(manifest).to_path_buf()
+    });
+    match run(&mode, &root) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("vcsel_lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(mode: &Mode, root: &Path) -> Result<ExitCode, String> {
+    let cfg_path = root.join("lint.toml");
+    let cfg_text = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
+    let cfg = config::parse(&cfg_text).map_err(|e| e.to_string())?;
+    let files = collect_workspace_files(root).map_err(|e| format!("workspace scan: {e}"))?;
+    if files.is_empty() {
+        return Err(format!("no sources found under {}", root.display()));
+    }
+
+    if matches!(mode, Mode::CheckSuppressions) {
+        let stale = stale_suppressions(&files, &cfg);
+        return if stale.is_empty() {
+            println!(
+                "vcsel_lint: all {} allowlist entries match a live source line",
+                cfg.allow.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        } else {
+            for s in &stale {
+                eprintln!("{s}");
+            }
+            eprintln!("vcsel_lint: {} stale suppression(s) — prune lint.toml", stale.len());
+            Ok(ExitCode::FAILURE)
+        };
+    }
+
+    let env_doc_path = root.join(&cfg.env_registry_doc);
+    let env_doc = std::fs::read_to_string(&env_doc_path)
+        .map_err(|e| format!("cannot read {}: {e}", env_doc_path.display()))?;
+    let findings = lint_all(&files, &cfg, &env_doc);
+    let (kept, suppressed) = apply_allowlist(findings, &files, &cfg);
+
+    match mode {
+        Mode::Json => {
+            println!("{}", findings_to_json(&kept));
+            Ok(if kept.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        Mode::Check | Mode::CheckSuppressions => {
+            for f in &kept {
+                println!("{f}");
+            }
+            if kept.is_empty() {
+                println!(
+                    "vcsel_lint: {} file(s) clean across 5 rules ({} finding(s) allowlisted)",
+                    files.len(),
+                    suppressed.len()
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                eprintln!(
+                    "vcsel_lint: {} unallowlisted finding(s); fix them or add a justified \
+                     entry to lint.toml",
+                    kept.len()
+                );
+                Ok(ExitCode::FAILURE)
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Acceptance test: the committed workspace must be clean under every rule
+//! with the committed `lint.toml`, and no allowlist entry may be stale.
+//!
+//! This is the same scan `cargo run -p vcsel_lint -- --check` performs, run
+//! as a test so `cargo test --workspace` catches invariant regressions even
+//! when CI is not in the loop.
+
+use std::fs;
+use std::path::Path;
+
+use vcsel_lint::{apply_allowlist, collect_workspace_files, config, lint_all, stale_suppressions};
+
+fn workspace_root() -> &'static Path {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    assert!(root.join("lint.toml").exists(), "workspace root {} has no lint.toml", root.display());
+    root
+}
+
+#[test]
+fn committed_workspace_has_no_unallowed_findings() {
+    let root = workspace_root();
+    let cfg_text = fs::read_to_string(root.join("lint.toml")).expect("lint.toml is readable");
+    let cfg = config::parse(&cfg_text).expect("lint.toml parses");
+    let env_doc = fs::read_to_string(root.join(&cfg.env_registry_doc)).expect("env doc readable");
+
+    let files = collect_workspace_files(root).expect("workspace sources readable");
+    assert!(files.len() > 50, "workspace walk looks truncated: {} files", files.len());
+
+    let findings = lint_all(&files, &cfg, &env_doc);
+    let (kept, _suppressed) = apply_allowlist(findings, &files, &cfg);
+    let rendered: Vec<String> = kept.iter().map(ToString::to_string).collect();
+    assert!(kept.is_empty(), "workspace has unallowlisted lint findings:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn committed_allowlist_has_no_stale_entries() {
+    let root = workspace_root();
+    let cfg_text = fs::read_to_string(root.join("lint.toml")).expect("lint.toml is readable");
+    let cfg = config::parse(&cfg_text).expect("lint.toml parses");
+
+    let files = collect_workspace_files(root).expect("workspace sources readable");
+    let stale = stale_suppressions(&files, &cfg);
+    assert!(stale.is_empty(), "lint.toml has stale allowlist entries:\n{}", stale.join("\n"));
+}

@@ -818,6 +818,14 @@ fn coarsen(
     // --- Galerkin coarse operator ----------------------------------------
     let ap = a.multiply_matrix(&p)?;
     let coarse = p.transpose().multiply_matrix(&ap)?;
+    // RAP of a valid symmetric fine operator must stay structurally valid
+    // and symmetric; a failure here means the transfer construction above
+    // is broken (debug builds only).
+    debug_assert!(
+        coarse.validate_symmetric().is_ok(),
+        "Galerkin product produced an invalid coarse operator: {:?}",
+        coarse.validate_symmetric().err()
+    );
     Ok(Some((p, coarse)))
 }
 

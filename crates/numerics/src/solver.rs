@@ -221,9 +221,7 @@ pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
         a.multiply_into(&ws.p, &mut ws.ap);
         let pap = dot(&ws.p, &ws.ap);
         if pap <= 0.0 {
-            return Err(NumericsError::BadMatrix {
-                reason: format!("matrix is not positive definite (pᵀAp = {pap:.3e})"),
-            });
+            return Err(indefinite_matrix_error(pap));
         }
         let alpha = rz / pap;
         for (i, xi) in x.iter_mut().enumerate() {
@@ -248,6 +246,17 @@ pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
         residual: res,
         tolerance: opts.tolerance,
     })
+}
+
+/// Builds the indefinite-matrix error outside the CG iteration loop: the
+/// loop body is a registered hot path (lint.toml) and must stay
+/// allocation-free, while this failure path may format freely.
+#[cold]
+#[inline(never)]
+fn indefinite_matrix_error(pap: f64) -> NumericsError {
+    NumericsError::BadMatrix {
+        reason: format!("matrix is not positive definite (pᵀAp = {pap:.3e})"),
+    }
 }
 
 /// Solves `A x = b` with Jacobi-preconditioned conjugate gradient from a

@@ -49,11 +49,15 @@ impl SharedF64 {
 
     #[inline]
     pub fn load(&self, i: usize) -> f64 {
+        // ORDER: cross-level visibility comes from the level barrier (or
+        // scope join); within a level each slot has exactly one writer.
         f64::from_bits(self.0[i].load(Ordering::Relaxed))
     }
 
     #[inline]
     pub fn store(&self, i: usize, v: f64) {
+        // ORDER: disjoint slots per worker within a level; the barrier's
+        // release/acquire pair publishes the bits to the next level.
         self.0[i].store(v.to_bits(), Ordering::Relaxed);
     }
 }
@@ -99,6 +103,8 @@ impl SpinBarrier {
             // Last arrival: reset the count, then open the next generation.
             // Waiters only touch `arrived` again after observing the bump,
             // so the reset cannot race their increments.
+            // ORDER: the generation store below is the publishing release;
+            // the reset itself needs no ordering of its own.
             self.arrived.store(0, Ordering::Relaxed);
             self.generation.store(generation + 1, Ordering::Release);
             return;
@@ -337,14 +343,13 @@ impl CsrMatrix {
         col_idx: Vec<u32>,
         values: Vec<f64>,
     ) -> Self {
-        debug_assert_eq!(row_ptr.len(), rows + 1);
-        debug_assert_eq!(col_idx.len(), values.len());
-        debug_assert_eq!(*row_ptr.last().expect("non-empty row_ptr"), col_idx.len());
-        debug_assert!(row_ptr
-            .windows(2)
-            .all(|w| col_idx[w[0]..w[1]].windows(2).all(|c| c[0] < c[1])
-                && col_idx[w[0]..w[1]].iter().all(|&c| (c as usize) < cols)));
-        Self { rows, cols, row_ptr, col_idx, values }
+        let m = Self { rows, cols, row_ptr, col_idx, values };
+        debug_assert!(
+            m.validate().is_ok(),
+            "from_sorted_parts received malformed CSR arrays: {:?}",
+            m.validate().err()
+        );
+        m
     }
 
     /// Identity matrix of size `n`.
@@ -672,6 +677,109 @@ impl CsrMatrix {
             row_ptr.push(col_idx.len());
         }
         Ok(CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values })
+    }
+
+    /// Structural validation of the CSR invariants every kernel in this
+    /// crate assumes: `row_ptr` has `rows + 1` monotone entries starting at
+    /// 0 and ending at `nnz`, column indices are strictly ascending and
+    /// in-bounds within each row, and every stored value is finite.
+    ///
+    /// Wired into `debug_assertions` at the assembly and Galerkin-product
+    /// sites, so a malformed operator fails loudly at construction instead
+    /// of as a wrong answer ten solver layers later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::BadMatrix`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), NumericsError> {
+        let bad = |reason: String| Err(NumericsError::BadMatrix { reason });
+        if self.row_ptr.len() != self.rows + 1 {
+            return bad(format!(
+                "row_ptr has {} entries for {} rows (want rows + 1)",
+                self.row_ptr.len(),
+                self.rows
+            ));
+        }
+        if self.row_ptr[0] != 0 {
+            return bad(format!("row_ptr must start at 0, starts at {}", self.row_ptr[0]));
+        }
+        if self.col_idx.len() != self.values.len() {
+            return bad(format!(
+                "{} column indices vs {} values",
+                self.col_idx.len(),
+                self.values.len()
+            ));
+        }
+        if *self.row_ptr.last().unwrap_or(&0) != self.values.len() {
+            return bad(format!(
+                "row_ptr ends at {} but {} non-zeros are stored",
+                self.row_ptr.last().unwrap_or(&0),
+                self.values.len()
+            ));
+        }
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            if lo > hi {
+                return bad(format!("row_ptr decreases at row {r} ({lo} > {hi})"));
+            }
+            let row = &self.col_idx[lo..hi];
+            if let Some(w) = row.windows(2).find(|w| w[0] >= w[1]) {
+                return bad(format!(
+                    "row {r} columns not strictly ascending ({} then {})",
+                    w[0], w[1]
+                ));
+            }
+            if let Some(&c) = row.iter().find(|&&c| c as usize >= self.cols) {
+                return bad(format!("row {r} column {c} out of bounds (cols = {})", self.cols));
+            }
+            if let Some(k) = self.values[lo..hi].iter().position(|v| !v.is_finite()) {
+                return bad(format!("non-finite value at row {r}, column {}", row[k]));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`validate`](Self::validate) plus the extra invariants of a
+    /// symmetric operator: square shape, symmetric sparsity *pattern*
+    /// (entry `(i, j)` stored iff `(j, i)` is), and a strictly positive
+    /// diagonal — what FVM assembly and Galerkin coarsening must produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::BadMatrix`] naming the first violated
+    /// invariant.
+    pub fn validate_symmetric(&self) -> Result<(), NumericsError> {
+        self.validate()?;
+        let bad = |reason: String| Err(NumericsError::BadMatrix { reason });
+        if self.rows != self.cols {
+            return bad(format!(
+                "symmetric operator must be square, got {}x{}",
+                self.rows, self.cols
+            ));
+        }
+        for r in 0..self.rows {
+            let mut has_diag = false;
+            for (c, _) in self.row(r) {
+                if c == r {
+                    has_diag = true;
+                } else {
+                    let (lo, hi) = (self.row_ptr[c], self.row_ptr[c + 1]);
+                    if self.col_idx[lo..hi].binary_search(&(r as u32)).is_err() {
+                        return bad(format!(
+                            "sparsity pattern not symmetric: ({r}, {c}) stored, ({c}, {r}) missing"
+                        ));
+                    }
+                }
+            }
+            if !has_diag || self.get(r, r) <= 0.0 {
+                return bad(format!(
+                    "diagonal entry ({r}, {r}) = {} must be strictly positive",
+                    self.get(r, r)
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Checks structural + numerical symmetry to a relative tolerance.
@@ -1029,5 +1137,206 @@ mod tests {
             assert!((got - bi).abs() < 1e-12, "col {i}: {got} vs {bi}");
         }
         assert_eq!(y.len(), n);
+    }
+
+    #[test]
+    fn validate_accepts_built_matrices() {
+        let a = laplacian_1d(8);
+        a.validate().unwrap();
+        a.validate_symmetric().unwrap();
+        CsrMatrix::identity(3).validate_symmetric().unwrap();
+        // Empty rows are legal CSR.
+        TripletBuilder::new(4, 4).build().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_each_structural_corruption() {
+        let cases = [
+            // row_ptr length mismatch.
+            CsrMatrix {
+                rows: 2,
+                cols: 2,
+                row_ptr: vec![0, 1],
+                col_idx: vec![0],
+                values: vec![1.0],
+            },
+            // row_ptr does not end at nnz.
+            CsrMatrix {
+                rows: 2,
+                cols: 2,
+                row_ptr: vec![0, 1, 3],
+                col_idx: vec![0, 1],
+                values: vec![1.0, 1.0],
+            },
+            // Unsorted columns within a row.
+            CsrMatrix {
+                rows: 1,
+                cols: 2,
+                row_ptr: vec![0, 2],
+                col_idx: vec![1, 0],
+                values: vec![1.0, 2.0],
+            },
+            // Duplicate column within a row.
+            CsrMatrix {
+                rows: 1,
+                cols: 2,
+                row_ptr: vec![0, 2],
+                col_idx: vec![1, 1],
+                values: vec![1.0, 2.0],
+            },
+            // Out-of-bounds column.
+            CsrMatrix {
+                rows: 1,
+                cols: 1,
+                row_ptr: vec![0, 1],
+                col_idx: vec![3],
+                values: vec![1.0],
+            },
+            // Non-finite value.
+            CsrMatrix {
+                rows: 1,
+                cols: 1,
+                row_ptr: vec![0, 1],
+                col_idx: vec![0],
+                values: vec![f64::NAN],
+            },
+        ];
+        for (k, m) in cases.iter().enumerate() {
+            assert!(m.validate().is_err(), "corruption case {k} must fail");
+        }
+    }
+
+    #[test]
+    fn validate_symmetric_rejects_pattern_and_diagonal_defects() {
+        // (0, 1) stored without its (1, 0) mirror.
+        let asym = CsrMatrix {
+            rows: 2,
+            cols: 2,
+            row_ptr: vec![0, 2, 3],
+            col_idx: vec![0, 1, 1],
+            values: vec![2.0, 1.0, 2.0],
+        };
+        asym.validate().unwrap();
+        assert!(asym.validate_symmetric().is_err());
+        // Missing / non-positive diagonal.
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, -1.0);
+        b.add(1, 1, 1.0);
+        assert!(b.build().validate_symmetric().is_err());
+        // Rectangular operators cannot be symmetric.
+        let rect = CsrMatrix {
+            rows: 1,
+            cols: 2,
+            row_ptr: vec![0, 1],
+            col_idx: vec![0],
+            values: vec![1.0],
+        };
+        assert!(rect.validate_symmetric().is_err());
+    }
+
+    mod validate_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Whatever triplets go in, the builder's output satisfies every
+            /// structural CSR invariant.
+            #[test]
+            fn built_matrices_always_validate(
+                n in 1usize..12,
+                entries in proptest::collection::vec(
+                    (0usize..12, 0usize..12, -5.0f64..5.0), 0..40),
+            ) {
+                let mut b = TripletBuilder::new(n, n);
+                for (r, c, v) in entries {
+                    b.add(r % n, c % n, v);
+                }
+                prop_assert!(b.build().validate().is_ok());
+            }
+
+            /// Symmetrized stencils with a dominant diagonal pass the
+            /// symmetric-operator validation (the FVM assembly shape).
+            #[test]
+            fn symmetrized_builds_validate_symmetric(
+                n in 1usize..10,
+                entries in proptest::collection::vec(
+                    (0usize..10, 0usize..10, -5.0f64..5.0), 0..30),
+            ) {
+                let mut b = TripletBuilder::new(n, n);
+                for i in 0..n {
+                    b.add(i, i, 500.0);
+                }
+                for (r, c, v) in entries {
+                    b.add(r % n, c % n, v);
+                    b.add(c % n, r % n, v);
+                }
+                prop_assert!(b.build().validate_symmetric().is_ok());
+            }
+        }
+    }
+
+    /// Interleaving stress for the wavefront primitives (PR 6 satellite):
+    /// 2–8 workers chain level computations through [`SharedF64`] with a
+    /// [`SpinBarrier`] between levels, while a per-worker schedule injects
+    /// `thread::yield_now` at the barrier boundaries. Whatever the OS
+    /// schedule does, the float pipeline must come out bitwise identical —
+    /// the determinism claim the level-scheduled IC(0) solves rely on.
+    #[test]
+    fn barrier_and_shared_f64_are_schedule_independent() {
+        const LEVELS: usize = 6;
+        const REPS: usize = 100;
+        // Bitwise reference per worker count (workers change the sums).
+        let mut reference: [Option<Vec<u64>>; 7] = Default::default();
+        for rep in 0..REPS {
+            let workers = 2 + rep % 7;
+            // Deterministic LCG so failures replay; different stream per rep.
+            let mut state = 0x9e37_79b9_7f4a_7c15u64.wrapping_add(rep as u64);
+            let mut lcg = || {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                state >> 16
+            };
+            let yield_bits: Vec<u64> = (0..workers).map(|_| lcg()).collect();
+            let shared = SharedF64::new(workers * (LEVELS + 1));
+            for w in 0..workers {
+                shared.store(w, 1.0 + w as f64);
+            }
+            let barrier = SpinBarrier::new(workers);
+            std::thread::scope(|s| {
+                for (w, &bits) in yield_bits.iter().enumerate() {
+                    let (shared, barrier) = (&shared, &barrier);
+                    s.spawn(move || {
+                        for level in 1..=LEVELS {
+                            // Reads of level-1 slots are ordered by the
+                            // previous barrier (or the scope spawn).
+                            let base = (level - 1) * workers;
+                            let mut acc = 0.0f64;
+                            for k in 0..workers {
+                                acc += shared.load(base + k) * (1.0 + 1e-9 * (k + 1) as f64);
+                            }
+                            shared.store(level * workers + w, acc * (1.0 + 1e-12 * w as f64));
+                            if bits >> (2 * level) & 1 == 1 {
+                                std::thread::yield_now();
+                            }
+                            barrier.wait();
+                            if bits >> (2 * level + 1) & 1 == 1 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    });
+                }
+            });
+            let bits: Vec<u64> = (0..shared.len()).map(|i| shared.load(i).to_bits()).collect();
+            match &reference[workers - 2] {
+                None => reference[workers - 2] = Some(bits),
+                Some(expected) => assert_eq!(
+                    expected, &bits,
+                    "schedule changed the bits for {workers} workers at rep {rep}"
+                ),
+            }
+        }
     }
 }

@@ -38,11 +38,8 @@
 //! assert!((drop - 0.5).abs() < 1e-9);
 //! ```
 
-#![forbid(unsafe_code)]
-// `!(x > 0.0)` is used deliberately throughout as a NaN-rejecting validity
-// check (`x <= 0.0` would silently accept NaN).
-#![allow(clippy::neg_cmp_op_on_partial_ord)]
-#![warn(missing_docs)]
+// Lint levels (forbid(unsafe_code), warn(missing_docs), the clippy set)
+// come from [workspace.lints] in the root Cargo.toml.
 
 mod ber;
 mod error;

@@ -182,7 +182,16 @@ pub(crate) fn assemble(design: &Design, mesh: &Mesh) -> Result<Discretization, T
         }
     }
 
-    Ok(Discretization { matrix: builder.build(), rhs, cell_power: q, boundary_faces })
+    let matrix = builder.build();
+    // The FVM conduction operator must come out structurally valid and
+    // symmetric with a positive diagonal; catch assembly bugs here rather
+    // than as solver divergence (debug builds only — the check is O(nnz log)).
+    debug_assert!(
+        matrix.validate_symmetric().is_ok(),
+        "FVM assembly produced an invalid operator: {:?}",
+        matrix.validate_symmetric().err()
+    );
+    Ok(Discretization { matrix, rhs, cell_power: q, boundary_faces })
 }
 
 fn mesh_index_checked(mesh: &Mesh, i: usize, j: usize, k: usize, _axis: usize) -> Option<usize> {

@@ -239,10 +239,9 @@ impl Mesh {
     /// * [`ThermalError::MeshTooLarge`] if the resulting cell count exceeds
     ///   the spec's limit.
     pub fn build(design: &Design, spec: &MeshSpec) -> Result<Self, ThermalError> {
-        let axes: Vec<Axis> =
-            (0..3).map(|a| Self::build_axis(design, spec, a)).collect::<Result<_, _>>()?;
-        let mut it = axes.into_iter();
-        let (x, y, z) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
+        let x = Self::build_axis(design, spec, 0)?;
+        let y = Self::build_axis(design, spec, 1)?;
+        let z = Self::build_axis(design, spec, 2)?;
         let cells = x.cell_count() * y.cell_count() * z.cell_count();
         if cells > spec.cell_limit {
             return Err(ThermalError::MeshTooLarge { cells, limit: spec.cell_limit });
@@ -327,6 +326,11 @@ impl Mesh {
     }
 
     /// Axis by index (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `a >= 3` — the index is a documented contract (callers
+    /// iterate `0..3`), not runtime input.
     pub fn axis(&self, a: usize) -> &Axis {
         match a {
             0 => &self.x,

@@ -80,8 +80,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "slopes: {:.2} °C/W of chip power (paper ~0.53), {:.2} °C/mW of P_VCSEL (paper ~1.8)",
-        a.chip_power_slope(),
-        a.vcsel_power_slope()
+        a.chip_power_slope()?,
+        a.vcsel_power_slope()?
     );
 
     // --- Figure 9-b -----------------------------------------------------

@@ -40,13 +40,13 @@ fn e3_average_temperature_slopes() {
     // Figure 9-a: average temperature rises with both chip power and
     // P_VCSEL, and P_VCSEL dominates per-milliwatt.
     let f = figure9a(tiny_study(), &[0.0, 2.0, 4.0, 6.0], &[1.0, 2.0, 3.0]).unwrap();
-    assert!(f.chip_power_slope() > 0.0);
+    assert!(f.chip_power_slope().unwrap() > 0.0);
     // Per *watt*, local VCSEL power heats the ONI orders of magnitude more
     // than chip power spread over the whole die (paper: 11 °C / 6 mW vs
     // 3.3 °C / 6.25 W, a ~2000x ratio; the reduced die shrinks the chip
     // spreading area, so only demand two orders of magnitude here).
-    let vcsel_per_watt = f.vcsel_power_slope() * 1000.0;
-    let chip_per_watt = f.chip_power_slope();
+    let vcsel_per_watt = f.vcsel_power_slope().unwrap() * 1000.0;
+    let chip_per_watt = f.chip_power_slope().unwrap();
     assert!(
         vcsel_per_watt > 100.0 * chip_per_watt,
         "VCSEL heating must dominate per watt: {vcsel_per_watt} vs {chip_per_watt}"
