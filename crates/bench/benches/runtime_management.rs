@@ -62,7 +62,7 @@ fn bench_runtime_management(c: &mut Criterion) {
         &temps,
         &powers,
         &analyzer,
-        &RemapConfig { channel_budget: 12, max_moves: 20 },
+        &RemapConfig { channel_budget: 12, max_moves: 20, ..Default::default() },
     )
     .expect("remaps");
     println!(

@@ -22,12 +22,16 @@ use crate::ControlError;
 pub struct RemapResult {
     /// The remapped communication set (same order as the input).
     pub comms: Vec<Communication>,
-    /// Worst-case SNR of the input assignment, dB.
+    /// Worst-case SNR of the starting assignment, dB. When the input used
+    /// dead channels this is scored *after* the forced evacuation — an
+    /// assignment driving dead hardware has no meaningful SNR to report.
     pub initial_worst_db: f64,
     /// Worst-case SNR after remapping, dB.
     pub final_worst_db: f64,
-    /// Accepted moves.
+    /// Accepted search moves (excluding forced evacuations).
     pub moves: usize,
+    /// Communications forcibly moved off dead channels before the search.
+    pub evacuated: usize,
 }
 
 impl RemapResult {
@@ -46,11 +50,34 @@ pub struct RemapConfig {
     pub channel_budget: usize,
     /// Maximum accepted moves before the search stops.
     pub max_moves: usize,
+    /// Bitmask of failed channels (bit `c` set = channel `c` is dead:
+    /// its VCSEL group or ring bank has failed). Dead channels are never
+    /// assigned, and input communications found on one are forcibly
+    /// evacuated before the search. Covers channels 0–63, which bounds
+    /// every ORNoC configuration in this repo.
+    pub dead_channels: u64,
 }
 
 impl Default for RemapConfig {
     fn default() -> Self {
-        Self { channel_budget: 8, max_moves: 200 }
+        Self { channel_budget: 8, max_moves: 200, dead_channels: 0 }
+    }
+}
+
+impl RemapConfig {
+    /// Marks `channel` dead (builder style). Channels ≥ 64 cannot be
+    /// tracked and are ignored.
+    #[must_use]
+    pub fn with_dead_channel(mut self, channel: usize) -> Self {
+        if channel < u64::BITS as usize {
+            self.dead_channels |= 1 << channel;
+        }
+        self
+    }
+
+    /// Whether `channel` is marked dead.
+    pub fn is_dead(&self, channel: usize) -> bool {
+        channel < u64::BITS as usize && self.dead_channels & (1 << channel) != 0
     }
 }
 
@@ -95,10 +122,17 @@ fn with_channel(
 /// 2. **swap** — exchange the channels of two communications (when both
 ///    stay feasible).
 ///
+/// Channels marked dead in [`RemapConfig::dead_channels`] are treated as
+/// failed hardware: communications found on one are forcibly evacuated to
+/// their best feasible live channel before the search starts, and the
+/// search itself never assigns a dead channel.
+///
 /// # Errors
 ///
 /// * [`ControlError::BadParameter`] when an input communication uses a
-///   channel at or above the budget, or the input set itself is infeasible,
+///   channel at or above the budget, the input set itself is infeasible,
+///   or a dead-channel communication has no feasible live channel to
+///   evacuate to,
 /// * [`ControlError::DimensionMismatch`] via the analyzer for wrong-length
 ///   temperature/power arrays.
 ///
@@ -133,6 +167,7 @@ pub fn remap_channels(
             initial_worst_db: f64::INFINITY,
             final_worst_db: f64::INFINITY,
             moves: 0,
+            evacuated: 0,
         });
     }
     for c in comms {
@@ -160,6 +195,46 @@ pub fn remap_channels(
     };
 
     let mut current: Vec<Communication> = comms.to_vec();
+
+    // Evacuation pre-pass: communications sitting on dead channels are
+    // moved to their best feasible live channel before any scoring — they
+    // carry no light, so leaving them in place is not an option.
+    let mut evacuated = 0usize;
+    for idx in 0..current.len() {
+        if !config.is_dead(current[idx].channel()) {
+            continue;
+        }
+        let mut best: Option<(Vec<Communication>, f64)> = None;
+        for ch in 0..config.channel_budget {
+            if config.is_dead(ch) || !feasible(topology, &current, idx, ch) {
+                continue;
+            }
+            let mut cand = current.clone();
+            cand[idx] = with_channel(topology, &current[idx], ch)?;
+            let s = score(&cand)?;
+            if best.as_ref().is_none_or(|(_, b)| s > *b) {
+                best = Some((cand, s));
+            }
+        }
+        match best {
+            Some((cand, _)) => {
+                current = cand;
+                evacuated += 1;
+            }
+            None => {
+                return Err(ControlError::BadParameter {
+                    reason: format!(
+                        "communication {} sits on dead channel {} and no feasible live \
+                         channel exists within the budget {}",
+                        current[idx],
+                        current[idx].channel(),
+                        config.channel_budget
+                    ),
+                });
+            }
+        }
+    }
+
     let initial_worst_db = score(&current)?;
     let mut best_score = initial_worst_db;
     let mut moves = 0usize;
@@ -170,7 +245,10 @@ pub fn remap_channels(
         // Neighborhood 1: single-communication channel moves.
         for idx in 0..current.len() {
             for ch in 0..config.channel_budget {
-                if ch == current[idx].channel() || !feasible(topology, &current, idx, ch) {
+                if ch == current[idx].channel()
+                    || config.is_dead(ch)
+                    || !feasible(topology, &current, idx, ch)
+                {
                     continue;
                 }
                 let mut cand = current.clone();
@@ -212,7 +290,13 @@ pub fn remap_channels(
         }
     }
 
-    Ok(RemapResult { comms: current, initial_worst_db, final_worst_db: best_score, moves })
+    Ok(RemapResult {
+        comms: current,
+        initial_worst_db,
+        final_worst_db: best_score,
+        moves,
+        evacuated,
+    })
 }
 
 #[cfg(test)]
@@ -249,7 +333,7 @@ mod tests {
         let temps = skewed_temps(5);
         let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
         // 5-ONI all-to-all needs 9 channels under first-fit; leave headroom.
-        let config = RemapConfig { channel_budget: 12, max_moves: 50 };
+        let config = RemapConfig { channel_budget: 12, max_moves: 50, ..Default::default() };
         let r = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &config).unwrap();
         assert_eq!(r.comms.len(), comms.len());
         // Same (source, destination) pairs, order preserved.
@@ -271,7 +355,7 @@ mod tests {
         let (topo, comms, analyzer) = setup(4);
         let temps = vec![Celsius::new(50.0); 4];
         let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
-        let roomy = RemapConfig { channel_budget: 10, max_moves: 100 };
+        let roomy = RemapConfig { channel_budget: 10, max_moves: 100, ..Default::default() };
         let r = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &roomy).unwrap();
         assert!(r.gain_db() >= 0.0);
         assert!(r.final_worst_db.is_finite());
@@ -297,7 +381,7 @@ mod tests {
         let (topo, comms, analyzer) = setup(4);
         let temps = vec![Celsius::new(50.0); 4];
         let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
-        let tight = RemapConfig { channel_budget: 1, max_moves: 10 };
+        let tight = RemapConfig { channel_budget: 1, max_moves: 10, ..Default::default() };
         // all_to_all on 4 ONIs needs ≥ 2 channels: input violates budget.
         assert!(remap_channels(&topo, &comms, &temps, &powers, &analyzer, &tight).is_err());
     }
@@ -316,6 +400,76 @@ mod tests {
         .unwrap();
         assert_eq!(r.moves, 0);
         assert!(r.comms.is_empty());
+    }
+
+    #[test]
+    fn hot_channel_death_evacuates_and_gains() {
+        // Kill the channel the hottest ONI transmits on: its comms must be
+        // evacuated to live channels and the search must still end with a
+        // non-negative, physically plausible gain.
+        let (topo, comms, analyzer) = setup(4);
+        let temps = skewed_temps(4);
+        let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+        let dead = comms[0].channel();
+        let config = RemapConfig { channel_budget: 12, max_moves: 100, ..Default::default() }
+            .with_dead_channel(dead);
+        assert!(config.is_dead(dead));
+        let r = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &config).unwrap();
+        assert!(r.evacuated >= 1, "at least comms[0] sat on the dead channel");
+        assert!(r.comms.iter().all(|c| !config.is_dead(c.channel())), "no comm on a dead channel");
+        assert!(r.gain_db() >= -1e-12, "gain must be non-negative, got {}", r.gain_db());
+        assert!(r.gain_db() < 20.0, "gain must be physically bounded, got {}", r.gain_db());
+        assert!(r.final_worst_db.is_finite());
+        // Feasibility survives the evacuation + search.
+        for idx in 0..r.comms.len() {
+            assert!(feasible(&topo, &r.comms, idx, r.comms[idx].channel()));
+        }
+    }
+
+    #[test]
+    fn dead_wavelength_group_is_fully_evacuated() {
+        // An entire wavelength group fails: every channel the first-fit
+        // assignment used. The remap must rebuild the assignment on the
+        // spare channels alone.
+        let (topo, comms, analyzer) = setup(4);
+        let temps = skewed_temps(4);
+        let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+        let used_max = comms.iter().map(|c| c.channel()).max().unwrap();
+        let mut config = RemapConfig { channel_budget: 12, max_moves: 100, ..Default::default() };
+        for ch in 0..=used_max {
+            config = config.with_dead_channel(ch);
+        }
+        let r = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &config).unwrap();
+        assert_eq!(r.evacuated, comms.len(), "every comm sat in the dead group");
+        assert!(r.comms.iter().all(|c| c.channel() > used_max));
+        assert!(r.gain_db() >= -1e-12);
+        assert!(r.gain_db() < 20.0);
+
+        // With no spare capacity left, the evacuation must fail loudly.
+        let all_dead = RemapConfig {
+            channel_budget: used_max + 1,
+            max_moves: 10,
+            dead_channels: (1 << (used_max + 1)) - 1,
+        };
+        assert!(remap_channels(&topo, &comms, &temps, &powers, &analyzer, &all_dead).is_err());
+    }
+
+    #[test]
+    fn healthy_hardware_is_a_no_op_for_the_fault_path() {
+        // dead_channels = 0 must reproduce the plain search exactly.
+        let (topo, comms, analyzer) = setup(4);
+        let temps = skewed_temps(4);
+        let powers = vec![Watts::from_milliwatts(0.3); comms.len()];
+        let cfg = RemapConfig::default();
+        let r = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &cfg).unwrap();
+        assert_eq!(r.evacuated, 0);
+        assert!(r.gain_db() >= -1e-12);
+        assert!(r.gain_db() < 20.0);
+        let again = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &cfg).unwrap();
+        assert_eq!(r.final_worst_db, again.final_worst_db);
+        for (x, y) in r.comms.iter().zip(&again.comms) {
+            assert_eq!(x.channel(), y.channel());
+        }
     }
 
     #[test]

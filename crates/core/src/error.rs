@@ -3,6 +3,7 @@
 use core::fmt;
 
 use vcsel_arch::ArchError;
+use vcsel_control::ControlError;
 use vcsel_network::NetworkError;
 use vcsel_numerics::NumericsError;
 use vcsel_photonics::PhotonicsError;
@@ -27,6 +28,8 @@ pub enum FlowError {
     Network(NetworkError),
     /// Numerical optimization failed.
     Numerics(NumericsError),
+    /// A run-time management policy (remapping, DVFS, calibration) failed.
+    Control(ControlError),
     /// Reading or writing a report/checkpoint file failed.
     Report {
         /// The file or directory involved.
@@ -45,6 +48,7 @@ impl fmt::Display for FlowError {
             Self::Photonics(e) => write!(f, "device model: {e}"),
             Self::Network(e) => write!(f, "network analysis: {e}"),
             Self::Numerics(e) => write!(f, "numerics: {e}"),
+            Self::Control(e) => write!(f, "runtime management: {e}"),
             Self::Report { path, reason } => write!(f, "report file {path}: {reason}"),
         }
     }
@@ -59,6 +63,7 @@ impl std::error::Error for FlowError {
             Self::Photonics(e) => Some(e),
             Self::Network(e) => Some(e),
             Self::Numerics(e) => Some(e),
+            Self::Control(e) => Some(e),
         }
     }
 }
@@ -90,6 +95,12 @@ impl From<NetworkError> for FlowError {
 impl From<NumericsError> for FlowError {
     fn from(e: NumericsError) -> Self {
         Self::Numerics(e)
+    }
+}
+
+impl From<ControlError> for FlowError {
+    fn from(e: ControlError) -> Self {
+        Self::Control(e)
     }
 }
 

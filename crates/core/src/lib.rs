@@ -49,6 +49,7 @@ pub mod experiments;
 mod flow;
 mod power;
 pub mod report;
+pub mod scenarios;
 mod snr;
 pub mod spec;
 
@@ -56,4 +57,7 @@ pub use error::FlowError;
 pub use flow::{HeaterExploration, HeaterPoint, ThermalOutcome, ThermalStudy};
 pub use power::{explore_vcsel_power, PowerExploration, PowerPoint};
 pub use report::{fidelity_label, parse_fidelity, CheckpointStore, FigureCli};
+pub use scenarios::{
+    FaultEvent, FaultKind, FaultPlan, MetricPins, Scenario, ScenarioReport, TrafficPattern,
+};
 pub use snr::{DesignFlow, SnrSummary, WaveguideSnr};

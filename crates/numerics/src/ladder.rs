@@ -1,0 +1,554 @@
+//! Escalating solve ladder: a sequence of preconditioners tried in order
+//! until one converges.
+//!
+//! The thermal engines default to the strongest preconditioner the problem
+//! size justifies (multigrid on large meshes, IC(0) elsewhere). Strong
+//! preconditioners are also the most fragile: a pathological design edit
+//! can make the IC(0) factor break down, and a corrupted apply (the
+//! fault-injection hooks simulate one) silently destroys CG's search
+//! directions instead of erroring. A [`SolveLadder`] turns both failure
+//! shapes into *recovery*: it runs [`preconditioned_cg`] on the active
+//! rung, and when the solve stalls, diverges, hits its iteration cap, or
+//! the preconditioner cannot even be built, it restores the caller's
+//! initial guess and escalates to the next (weaker but sturdier) rung —
+//! typically `Multigrid → IC(0) → Jacobi`. Jacobi only requires a positive
+//! diagonal, which FVM assembly guarantees, so the last rung is always
+//! buildable and the ladder degrades gracefully instead of panicking.
+//!
+//! Every attempt is recorded as a [`RungAttempt`] so callers can surface
+//! *why* a solve was slow or degraded (the thermal layer forwards them in
+//! its `SolveHealth` report). Escalation is sticky: once a rung has failed
+//! it stays retired for the lifetime of the ladder, because a preconditioner
+//! that broke once on this operator will break again.
+
+use std::sync::Arc;
+
+use crate::precond::{AnyPreconditioner, Preconditioner, PreconditionerKind};
+use crate::solver::{preconditioned_cg, CgStop, CgSummary, CgWorkspace, SolveOptions};
+use crate::{CsrMatrix, NumericsError};
+
+/// How a single rung's attempt at the solve ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RungOutcome {
+    /// The rung converged; its solution is in the caller's `x`.
+    Converged,
+    /// The rung ran out of iterations with the residual above tolerance.
+    IterationCap,
+    /// The residual stopped improving (see
+    /// [`STALL_WINDOW`](crate::solver::STALL_WINDOW)).
+    Stalled,
+    /// The residual blew past
+    /// [`DIVERGENCE_LIMIT`](crate::solver::DIVERGENCE_LIMIT) or went
+    /// non-finite.
+    Diverged,
+    /// The preconditioner itself failed (indefinite `pᵀAp`, factor
+    /// breakdown) — see the attempt's `detail`.
+    Breakdown,
+    /// The rung's preconditioner could not be constructed for this
+    /// operator at all.
+    BuildFailed,
+}
+
+/// Diagnostic record of one rung's attempt inside [`SolveLadder::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungAttempt {
+    /// Preconditioner name of the rung (`"multigrid"`, `"ic0"`, …).
+    pub rung: &'static str,
+    /// CG iterations the attempt consumed (0 for build failures).
+    pub iterations: usize,
+    /// Relative residual when the attempt ended (∞ for build failures).
+    pub residual: f64,
+    /// How the attempt ended.
+    pub outcome: RungOutcome,
+    /// Human-readable failure detail, when the rung produced one.
+    pub detail: Option<String>,
+}
+
+/// Aggregate result of one [`SolveLadder::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderSummary {
+    /// Iterations of the final (deciding) attempt.
+    pub iterations: usize,
+    /// Iterations across every attempt of this call, including failed
+    /// rungs — the honest cost of the solve.
+    pub total_iterations: usize,
+    /// Relative residual of the final attempt.
+    pub residual: f64,
+    /// Whether the final attempt met the tolerance. `false` means even
+    /// the last rung failed; the caller's `x` holds that rung's final
+    /// iterate and should be treated as unconverged.
+    pub converged: bool,
+    /// Rungs retired during this call.
+    pub escalations: usize,
+}
+
+#[derive(Clone)]
+struct Rung {
+    kind: PreconditionerKind,
+    /// Built lazily on first activation, `None` until then (and forever,
+    /// for rungs whose construction failed).
+    precond: Option<AnyPreconditioner>,
+    /// Fault-injection flag: when set, the rung's apply is corrupted (sign
+    /// flip) so tests and scenarios can exercise the escalation path with
+    /// a *genuine* CG failure rather than a mocked one.
+    faulted: bool,
+}
+
+/// A prioritized chain of preconditioners with automatic escalation.
+///
+/// See the [module docs](self) for semantics. Construction builds only the
+/// first usable rung; later rungs are built on demand when escalation
+/// reaches them, so a healthy ladder costs exactly one factorization.
+#[derive(Clone)]
+pub struct SolveLadder {
+    rungs: Vec<Rung>,
+    active: usize,
+    saved_guess: Vec<f64>,
+    attempts: Vec<RungAttempt>,
+    parallel_apply: Option<bool>,
+    apply_threads: Option<usize>,
+}
+
+impl std::fmt::Debug for SolveLadder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveLadder")
+            .field("rungs", &self.rungs.iter().map(|r| kind_label(&r.kind)).collect::<Vec<_>>())
+            .field("active", &self.active)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolveLadder {
+    /// Builds a ladder over `kinds`, tried in order.
+    ///
+    /// `strict` controls how a rung-0 construction failure is handled:
+    /// strict ladders (an explicitly requested preconditioner) propagate
+    /// the error so the caller hears about the exact kind it asked for;
+    /// non-strict ladders (engine defaults) record a
+    /// [`RungOutcome::BuildFailed`] attempt and fall through to the next
+    /// rung.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::BadInput`] if `kinds` is empty,
+    /// * the first rung's construction error when `strict`,
+    /// * [`NumericsError::BadMatrix`] if no rung at all can be built.
+    pub fn new(
+        a: &Arc<CsrMatrix>,
+        kinds: &[PreconditionerKind],
+        strict: bool,
+    ) -> Result<Self, NumericsError> {
+        if kinds.is_empty() {
+            return Err(NumericsError::BadInput {
+                reason: "solve ladder needs at least one preconditioner kind".into(),
+            });
+        }
+        let mut ladder = Self {
+            rungs: kinds.iter().map(|&kind| Rung { kind, precond: None, faulted: false }).collect(),
+            active: 0,
+            saved_guess: Vec::new(),
+            attempts: Vec::new(),
+            parallel_apply: None,
+            apply_threads: None,
+        };
+        // Activate the first buildable rung now so construction-time
+        // errors surface at construction, not mid-solve.
+        loop {
+            match ladder.build_rung(a, ladder.active) {
+                Ok(()) => break,
+                Err(err) if strict && ladder.active == 0 => return Err(err),
+                Err(err) => {
+                    ladder.record_build_failure(ladder.active, &err);
+                    if ladder.active + 1 >= ladder.rungs.len() {
+                        return Err(NumericsError::BadMatrix {
+                            reason: format!(
+                                "no rung of the solve ladder could be built (last: {err})"
+                            ),
+                        });
+                    }
+                    ladder.active += 1;
+                }
+            }
+        }
+        Ok(ladder)
+    }
+
+    /// The preconditioner kinds of the rungs, in priority order.
+    pub fn kinds(&self) -> Vec<PreconditionerKind> {
+        self.rungs.iter().map(|r| r.kind).collect()
+    }
+
+    /// Name of the rung currently answering solves.
+    pub fn active_name(&self) -> &'static str {
+        kind_label(&self.rungs[self.active].kind)
+    }
+
+    /// The active rung's preconditioner.
+    pub fn active_preconditioner(&self) -> &AnyPreconditioner {
+        self.rungs[self.active].precond.as_ref().expect("active rung is always built")
+    }
+
+    /// Mutable access to the active rung's preconditioner.
+    pub fn active_preconditioner_mut(&mut self) -> &mut AnyPreconditioner {
+        self.rungs[self.active].precond.as_mut().expect("active rung is always built")
+    }
+
+    /// Diagnostics of every attempt made by the most recent
+    /// [`solve`](SolveLadder::solve) call.
+    pub fn attempts(&self) -> &[RungAttempt] {
+        &self.attempts
+    }
+
+    /// The initial guess captured at the start of the most recent solve —
+    /// what `x` held before any rung touched it. Steppers use it to roll
+    /// their state back when even the last rung fails.
+    pub fn saved_guess(&self) -> &[f64] {
+        &self.saved_guess
+    }
+
+    /// Forwards [`AnyPreconditioner::set_parallel_apply`] to the active
+    /// rung and remembers the setting for rungs built by later
+    /// escalations. Returns whether the active rung honors it.
+    pub fn set_parallel_apply(&mut self, on: bool) -> bool {
+        self.parallel_apply = Some(on);
+        self.active_preconditioner_mut().set_parallel_apply(on)
+    }
+
+    /// Forwards [`AnyPreconditioner::set_apply_threads`] to the active
+    /// rung and remembers the setting for rungs built by later
+    /// escalations. Returns whether the active rung honors it.
+    pub fn set_apply_threads(&mut self, threads: usize) -> bool {
+        self.apply_threads = Some(threads);
+        self.active_preconditioner_mut().set_apply_threads(threads)
+    }
+
+    /// Corrupts the active rung's preconditioner apply (an
+    /// order-reversing, sign-alternating `CorruptApply` wrapper) until
+    /// [`clear_apply_faults`](SolveLadder::clear_apply_faults) is called.
+    /// The next solve on that rung will genuinely stall or diverge and the
+    /// ladder will escalate past it. Test/scenario hook.
+    pub fn inject_apply_fault(&mut self) {
+        self.rungs[self.active].faulted = true;
+    }
+
+    /// Clears every injected apply fault (already-retired rungs stay
+    /// retired).
+    pub fn clear_apply_faults(&mut self) {
+        for rung in &mut self.rungs {
+            rung.faulted = false;
+        }
+    }
+
+    /// Solves `A x = b` through the ladder, escalating on failure.
+    ///
+    /// On a converged return, `x` holds the solution of the rung that
+    /// succeeded. On an `Ok` with [`LadderSummary::converged`] `false`,
+    /// every remaining rung failed; `x` holds the last rung's final
+    /// iterate and the per-rung story is in
+    /// [`attempts`](SolveLadder::attempts). Escalations persist across
+    /// calls: the next solve starts on the rung that last worked.
+    ///
+    /// # Errors
+    ///
+    /// Input-shape errors ([`NumericsError::DimensionMismatch`],
+    /// [`NumericsError::BadInput`]) propagate immediately — no rung can
+    /// fix a malformed system. Preconditioner breakdowns
+    /// ([`NumericsError::BadMatrix`]) are consumed as
+    /// [`RungOutcome::Breakdown`] attempts and trigger escalation.
+    pub fn solve(
+        &mut self,
+        a: &Arc<CsrMatrix>,
+        b: &[f64],
+        x: &mut [f64],
+        opts: &SolveOptions,
+        ws: &mut CgWorkspace,
+    ) -> Result<LadderSummary, NumericsError> {
+        self.attempts.clear();
+        self.saved_guess.resize(x.len(), 0.0);
+        self.saved_guess.copy_from_slice(x);
+
+        let mut total_iterations = 0usize;
+        let mut escalations = 0usize;
+        loop {
+            let rung = &mut self.rungs[self.active];
+            let label = kind_label(&rung.kind);
+            let precond = rung.precond.as_mut().expect("active rung is always built");
+            match solve_on_rung(a, b, x, precond, rung.faulted, opts, ws) {
+                Ok(stats) => {
+                    total_iterations += stats.iterations;
+                    self.attempts.push(RungAttempt {
+                        rung: label,
+                        iterations: stats.iterations,
+                        residual: stats.residual,
+                        outcome: match stats.stop {
+                            CgStop::Converged => RungOutcome::Converged,
+                            CgStop::IterationCap => RungOutcome::IterationCap,
+                            CgStop::Stalled => RungOutcome::Stalled,
+                            CgStop::Diverged => RungOutcome::Diverged,
+                        },
+                        detail: None,
+                    });
+                    if stats.converged {
+                        return Ok(LadderSummary {
+                            iterations: stats.iterations,
+                            total_iterations,
+                            residual: stats.residual,
+                            converged: true,
+                            escalations,
+                        });
+                    }
+                }
+                Err(err @ NumericsError::BadMatrix { .. }) => {
+                    self.attempts.push(RungAttempt {
+                        rung: label,
+                        iterations: 0,
+                        residual: f64::INFINITY,
+                        outcome: RungOutcome::Breakdown,
+                        detail: Some(err.to_string()),
+                    });
+                }
+                Err(err) => return Err(err),
+            }
+
+            if !self.escalate(a) {
+                let last = self.attempts.last().expect("at least one attempt was recorded");
+                return Ok(LadderSummary {
+                    iterations: last.iterations,
+                    total_iterations,
+                    residual: last.residual,
+                    converged: false,
+                    escalations,
+                });
+            }
+            escalations += 1;
+            // A failed rung may have scrambled x (a diverged iterate is
+            // poison as a warm start); restart the next rung from the
+            // caller's original guess.
+            x.copy_from_slice(&self.saved_guess);
+        }
+    }
+
+    /// Retires the active rung and activates the next buildable one.
+    /// Returns `false` when no rung is left.
+    fn escalate(&mut self, a: &Arc<CsrMatrix>) -> bool {
+        let mut next = self.active + 1;
+        while next < self.rungs.len() {
+            match self.build_rung(a, next) {
+                Ok(()) => {
+                    self.active = next;
+                    return true;
+                }
+                Err(err) => {
+                    self.record_build_failure(next, &err);
+                    next += 1;
+                }
+            }
+        }
+        false
+    }
+
+    fn build_rung(&mut self, a: &Arc<CsrMatrix>, index: usize) -> Result<(), NumericsError> {
+        if self.rungs[index].precond.is_some() {
+            return Ok(());
+        }
+        let mut built = self.rungs[index].kind.build_shared(a)?;
+        if let Some(on) = self.parallel_apply {
+            built.set_parallel_apply(on);
+        }
+        if let Some(threads) = self.apply_threads {
+            built.set_apply_threads(threads);
+        }
+        self.rungs[index].precond = Some(built);
+        Ok(())
+    }
+
+    fn record_build_failure(&mut self, index: usize, err: &NumericsError) {
+        self.attempts.push(RungAttempt {
+            rung: kind_label(&self.rungs[index].kind),
+            iterations: 0,
+            residual: f64::INFINITY,
+            outcome: RungOutcome::BuildFailed,
+            detail: Some(err.to_string()),
+        });
+    }
+}
+
+/// Wrapper that models a corrupted preconditioner apply: the healthy
+/// result is reversed and every other entry sign-flipped, so the effective
+/// `M⁻¹` is neither symmetric nor definite. (A uniform sign flip would not
+/// do — CG is invariant under `M → cM`, the flipped `α` and `p` cancel.)
+/// CG's search directions lose conjugacy and the residual stalls or runs
+/// away — a real failure for the stall/divergence detectors to catch, not
+/// a mock.
+struct CorruptApply<'a>(&'a mut AnyPreconditioner);
+
+impl Preconditioner for CorruptApply<'_> {
+    fn apply(&mut self, r: &[f64], z: &mut [f64]) {
+        self.0.apply(r, z);
+        z.reverse();
+        for zi in z.iter_mut().skip(1).step_by(2) {
+            *zi = -*zi;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fault-injected"
+    }
+}
+
+/// Runs one rung's CG attempt. Registered as a hot path (lint.toml): it
+/// sits between the stepper loop and [`preconditioned_cg`], so it must not
+/// allocate — all diagnostics recording happens in the caller.
+fn solve_on_rung(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &mut AnyPreconditioner,
+    faulted: bool,
+    opts: &SolveOptions,
+    ws: &mut CgWorkspace,
+) -> Result<CgSummary, NumericsError> {
+    if faulted {
+        let mut corrupted = CorruptApply(precond);
+        preconditioned_cg(a, b, x, &mut corrupted, opts, ws)
+    } else {
+        preconditioned_cg(a, b, x, precond, opts, ws)
+    }
+}
+
+fn kind_label(kind: &PreconditionerKind) -> &'static str {
+    match kind {
+        PreconditionerKind::Jacobi => "jacobi",
+        PreconditionerKind::IncompleteCholesky => "ic0",
+        PreconditionerKind::Ssor { .. } => "ssor",
+        PreconditionerKind::Multigrid { .. } => "multigrid",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletBuilder;
+
+    /// 1-D Laplacian with Dirichlet ends: SPD, well conditioned at n = 50.
+    fn laplacian(n: usize) -> Arc<CsrMatrix> {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        Arc::new(b.build())
+    }
+
+    const CHAIN: &[PreconditionerKind] =
+        &[PreconditionerKind::IncompleteCholesky, PreconditionerKind::Jacobi];
+
+    #[test]
+    fn healthy_ladder_converges_on_first_rung() {
+        let a = laplacian(50);
+        let b = vec![1.0; 50];
+        let mut x = vec![0.0; 50];
+        let mut ladder = SolveLadder::new(&a, CHAIN, true).unwrap();
+        let mut ws = CgWorkspace::new();
+        let summary = ladder.solve(&a, &b, &mut x, &SolveOptions::default(), &mut ws).unwrap();
+        assert!(summary.converged);
+        assert_eq!(summary.escalations, 0);
+        assert_eq!(ladder.attempts().len(), 1);
+        assert_eq!(ladder.attempts()[0].outcome, RungOutcome::Converged);
+        assert_eq!(ladder.active_name(), "ic0");
+    }
+
+    #[test]
+    fn injected_fault_escalates_and_recovers_to_same_answer() {
+        let a = laplacian(50);
+        let b = vec![1.0; 50];
+        let opts = SolveOptions::default();
+        let mut ws = CgWorkspace::new();
+
+        let mut healthy = vec![0.0; 50];
+        let mut ladder = SolveLadder::new(&a, CHAIN, true).unwrap();
+        ladder.solve(&a, &b, &mut healthy, &opts, &mut ws).unwrap();
+
+        let mut faulted = vec![0.0; 50];
+        let mut ladder = SolveLadder::new(&a, CHAIN, true).unwrap();
+        ladder.inject_apply_fault();
+        let summary = ladder.solve(&a, &b, &mut faulted, &opts, &mut ws).unwrap();
+        assert!(summary.converged, "ladder must recover through the Jacobi rung");
+        assert_eq!(summary.escalations, 1);
+        assert_eq!(ladder.active_name(), "jacobi");
+        let first = &ladder.attempts()[0];
+        assert_eq!(first.rung, "ic0");
+        assert!(
+            matches!(first.outcome, RungOutcome::Stalled | RungOutcome::Diverged),
+            "corrupted apply must be caught by the stall/divergence detectors, got {:?}",
+            first.outcome
+        );
+        for (h, f) in healthy.iter().zip(&faulted) {
+            assert!((h - f).abs() <= 1e-9 * h.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn escalation_is_sticky_across_solves() {
+        let a = laplacian(50);
+        let b = vec![1.0; 50];
+        let opts = SolveOptions::default();
+        let mut ws = CgWorkspace::new();
+        let mut x = vec![0.0; 50];
+        let mut ladder = SolveLadder::new(&a, CHAIN, true).unwrap();
+        ladder.inject_apply_fault();
+        ladder.solve(&a, &b, &mut x, &opts, &mut ws).unwrap();
+        assert_eq!(ladder.active_name(), "jacobi");
+        // The retired IC(0) rung stays retired even after the fault clears.
+        ladder.clear_apply_faults();
+        x.fill(0.0);
+        let summary = ladder.solve(&a, &b, &mut x, &opts, &mut ws).unwrap();
+        assert!(summary.converged);
+        assert_eq!(summary.escalations, 0);
+        assert_eq!(ladder.active_name(), "jacobi");
+        assert_eq!(ladder.attempts().len(), 1);
+    }
+
+    #[test]
+    fn last_rung_failure_returns_unconverged_summary() {
+        let a = laplacian(50);
+        let b = vec![1.0; 50];
+        let opts = SolveOptions::default();
+        let mut ws = CgWorkspace::new();
+        let mut x = vec![0.0; 50];
+        // Single-rung ladder with its only rung corrupted: nothing to
+        // escalate to, so the failure must surface as a typed summary.
+        let mut ladder = SolveLadder::new(&a, &[PreconditionerKind::Jacobi], true).unwrap();
+        ladder.inject_apply_fault();
+        let summary = ladder.solve(&a, &b, &mut x, &opts, &mut ws).unwrap();
+        assert!(!summary.converged);
+        assert_eq!(summary.escalations, 0);
+        assert_eq!(ladder.attempts().len(), 1);
+    }
+
+    #[test]
+    fn strict_ladder_propagates_rung_zero_build_errors() {
+        let a = laplacian(10);
+        let bad = &[PreconditionerKind::Ssor { omega: 5.0 }, PreconditionerKind::Jacobi];
+        assert!(SolveLadder::new(&a, bad, true).is_err());
+        // Non-strict falls through to Jacobi and records the failure.
+        let ladder = SolveLadder::new(&a, bad, false).unwrap();
+        assert_eq!(ladder.active_name(), "jacobi");
+        assert_eq!(ladder.attempts()[0].outcome, RungOutcome::BuildFailed);
+    }
+
+    #[test]
+    fn ladder_does_not_retain_the_operator() {
+        let a = laplacian(10);
+        let _ladder = SolveLadder::new(&a, &[PreconditionerKind::Jacobi], true).unwrap();
+        // Jacobi keeps only the inverse diagonal; the ladder itself must
+        // not clone the Arc, or engines sharing one operator would see
+        // phantom owners.
+        assert_eq!(Arc::strong_count(&a), 1);
+    }
+}

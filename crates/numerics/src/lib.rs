@@ -51,6 +51,7 @@
 
 mod error;
 mod interp;
+pub mod ladder;
 pub mod multigrid;
 mod optimize;
 pub mod precond;
@@ -61,6 +62,7 @@ mod stats;
 
 pub use error::NumericsError;
 pub use interp::{Interp1d, Interp2d};
+pub use ladder::{LadderSummary, RungAttempt, RungOutcome, SolveLadder};
 pub use multigrid::{
     CycleKind, MgWorkspace, Multigrid, MultigridConfig, MultigridHierarchy, SmootherKind,
 };

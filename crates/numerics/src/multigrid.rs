@@ -557,7 +557,12 @@ impl MultigridHierarchy {
         let b_norm = norm2(b);
         if b_norm == 0.0 {
             x.fill(0.0);
-            return Ok(crate::solver::CgSummary { iterations: 0, residual: 0.0 });
+            return Ok(crate::solver::CgSummary {
+                iterations: 0,
+                residual: 0.0,
+                converged: true,
+                stop: crate::solver::CgStop::Converged,
+            });
         }
         ws.ensure(self);
         let kind = self.config.cycle;
@@ -573,7 +578,12 @@ impl MultigridHierarchy {
                         / b_norm;
             }
             if residual <= opts.tolerance {
-                return Ok(crate::solver::CgSummary { iterations: cycles, residual });
+                return Ok(crate::solver::CgSummary {
+                    iterations: cycles,
+                    residual,
+                    converged: true,
+                    stop: crate::solver::CgStop::Converged,
+                });
             }
             if cycles == opts.max_iterations {
                 break;

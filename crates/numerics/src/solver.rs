@@ -52,6 +52,12 @@ pub struct Solution {
     pub iterations: usize,
     /// Final relative residual norm.
     pub residual: f64,
+    /// Whether the residual met the requested tolerance. The one-shot
+    /// drivers ([`conjugate_gradient`], [`sor`], [`bicgstab`]) error on
+    /// non-convergence, so their `Ok` solutions always carry `true`; the
+    /// field exists so callers that forward a [`Solution`] never have to
+    /// re-derive convergence from `residual` themselves.
+    pub converged: bool,
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -117,6 +123,42 @@ impl CgWorkspace {
     }
 }
 
+/// Iterations without a meaningful best-residual improvement (relative
+/// improvement below 10⁻⁶) before [`preconditioned_cg`] declares a stall.
+///
+/// Healthy CG on our SPD systems improves its best residual far more than
+/// one part in 10⁶ every few iterations even when convergence is slow; a
+/// window this long without progress means the iteration is going nowhere
+/// (e.g. a corrupted preconditioner made the search directions useless)
+/// and burning the remaining iteration budget would not change that.
+pub const STALL_WINDOW: usize = 500;
+
+/// Minimum relative best-residual improvement that counts as progress for
+/// the [`STALL_WINDOW`] stall detector.
+const STALL_IMPROVEMENT: f64 = 1e-6;
+
+/// Relative residual beyond which [`preconditioned_cg`] declares
+/// divergence. A cold start begins at a relative residual of 1 and a warm
+/// start near it; growth past this limit (or a NaN/Inf residual) means the
+/// iterate is running away, not converging.
+pub const DIVERGENCE_LIMIT: f64 = 1e10;
+
+/// Why a [`preconditioned_cg`] run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CgStop {
+    /// The relative residual met the tolerance.
+    Converged,
+    /// The iteration cap was reached with the residual still above the
+    /// tolerance.
+    IterationCap,
+    /// The best residual made no meaningful progress for
+    /// [`STALL_WINDOW`] consecutive iterations.
+    Stalled,
+    /// The residual exceeded [`DIVERGENCE_LIMIT`] or became non-finite.
+    /// The caller's `x` holds a runaway iterate and must not be used.
+    Diverged,
+}
+
 /// Iteration statistics of a [`preconditioned_cg`] solve (the solution
 /// itself lands in the caller's `x`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,6 +167,34 @@ pub struct CgSummary {
     pub iterations: usize,
     /// Final relative residual norm ‖b − Ax‖₂ / ‖b‖₂.
     pub residual: f64,
+    /// Whether `residual` met the requested tolerance. A `false` here is a
+    /// typed outcome, not an error: the caller decides whether to escalate
+    /// (e.g. through a [`SolveLadder`](crate::SolveLadder)), retry, or fail.
+    pub converged: bool,
+    /// Why the iteration stopped.
+    pub stop: CgStop,
+}
+
+impl CgSummary {
+    /// Converts a non-converged summary into the legacy
+    /// [`NumericsError::NoConvergence`] error, for callers that have no
+    /// recovery path and must fail loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::NoConvergence`] when
+    /// [`converged`](CgSummary::converged) is `false`.
+    pub fn require_converged(self, opts: &SolveOptions) -> Result<CgSummary, NumericsError> {
+        if self.converged {
+            Ok(self)
+        } else {
+            Err(NumericsError::NoConvergence {
+                iterations: self.iterations,
+                residual: self.residual,
+                tolerance: opts.tolerance,
+            })
+        }
+    }
 }
 
 /// Solves `A x = b` with preconditioned conjugate gradient, warm-starting
@@ -141,14 +211,23 @@ pub struct CgSummary {
 /// term). Convergence is declared on the *relative* residual, so a warm
 /// start that already satisfies the tolerance returns after zero iterations.
 ///
+/// Failure to converge is a **typed outcome**, not an error: hitting the
+/// iteration cap, stalling ([`STALL_WINDOW`] iterations without progress)
+/// or diverging (residual past [`DIVERGENCE_LIMIT`] or non-finite) returns
+/// `Ok` with [`CgSummary::converged`] `false` and the reason in
+/// [`CgSummary::stop`]. Callers must check the flag — `x` holds the last
+/// iterate, which after a [`CgStop::Diverged`] stop must not be used.
+/// Callers without a recovery path can use
+/// [`CgSummary::require_converged`]; callers with fallback preconditioners
+/// should use a [`SolveLadder`](crate::SolveLadder).
+///
 /// # Errors
 ///
 /// * [`NumericsError::BadMatrix`] if `A` is not square or indefiniteness is
 ///   detected (`pᵀAp ≤ 0`),
 /// * [`NumericsError::DimensionMismatch`] if `b` or `x` have the wrong
 ///   length,
-/// * [`NumericsError::BadInput`] for non-finite entries in `b` or `x`,
-/// * [`NumericsError::NoConvergence`] if the iteration cap is reached.
+/// * [`NumericsError::BadInput`] for non-finite entries in `b` or `x`.
 ///
 /// # Example
 ///
@@ -195,7 +274,12 @@ pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
     let b_norm = norm2(b);
     if b_norm == 0.0 {
         x.fill(0.0);
-        return Ok(CgSummary { iterations: 0, residual: 0.0 });
+        return Ok(CgSummary {
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+            stop: CgStop::Converged,
+        });
     }
 
     ws.ensure(n);
@@ -212,10 +296,39 @@ pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
     ws.p.copy_from_slice(&ws.z);
     let mut rz = dot(&ws.r, &ws.z);
 
+    let mut best_res = f64::INFINITY;
+    let mut since_best = 0usize;
     for iteration in 0..opts.max_iterations {
         let res = norm2(&ws.r) / b_norm;
         if res <= opts.tolerance {
-            return Ok(CgSummary { iterations: iteration, residual: res });
+            return Ok(CgSummary {
+                iterations: iteration,
+                residual: res,
+                converged: true,
+                stop: CgStop::Converged,
+            });
+        }
+        if !res.is_finite() || res > DIVERGENCE_LIMIT {
+            return Ok(CgSummary {
+                iterations: iteration,
+                residual: res,
+                converged: false,
+                stop: CgStop::Diverged,
+            });
+        }
+        if res < best_res * (1.0 - STALL_IMPROVEMENT) {
+            best_res = res;
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= STALL_WINDOW {
+                return Ok(CgSummary {
+                    iterations: iteration,
+                    residual: res,
+                    converged: false,
+                    stop: CgStop::Stalled,
+                });
+            }
         }
 
         a.multiply_into(&ws.p, &mut ws.ap);
@@ -238,13 +351,12 @@ pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
     }
 
     let res = norm2(&ws.r) / b_norm;
-    if res <= opts.tolerance {
-        return Ok(CgSummary { iterations: opts.max_iterations, residual: res });
-    }
-    Err(NumericsError::NoConvergence {
+    let converged = res <= opts.tolerance;
+    Ok(CgSummary {
         iterations: opts.max_iterations,
         residual: res,
-        tolerance: opts.tolerance,
+        converged,
+        stop: if converged { CgStop::Converged } else { CgStop::IterationCap },
     })
 }
 
@@ -295,8 +407,13 @@ pub fn conjugate_gradient(
     let mut m = Jacobi::new(a)?;
     let mut x = vec![0.0; a.rows()];
     let mut ws = CgWorkspace::new();
-    let stats = preconditioned_cg(a, b, &mut x, &mut m, opts, &mut ws)?;
-    Ok(Solution { solution: x, iterations: stats.iterations, residual: stats.residual })
+    let stats = preconditioned_cg(a, b, &mut x, &mut m, opts, &mut ws)?.require_converged(opts)?;
+    Ok(Solution {
+        solution: x,
+        iterations: stats.iterations,
+        residual: stats.residual,
+        converged: stats.converged,
+    })
 }
 
 /// Solves `A x = b` with successive over-relaxation.
@@ -325,7 +442,12 @@ pub fn sor(a: &CsrMatrix, b: &[f64], opts: &SolveOptions) -> Result<Solution, Nu
 
     let b_norm = norm2(b);
     if b_norm == 0.0 {
-        return Ok(Solution { solution: vec![0.0; n], iterations: 0, residual: 0.0 });
+        return Ok(Solution {
+            solution: vec![0.0; n],
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        });
     }
 
     let mut x = vec![0.0; n];
@@ -349,7 +471,12 @@ pub fn sor(a: &CsrMatrix, b: &[f64], opts: &SolveOptions) -> Result<Solution, Nu
             }
             let res = norm2(&residual_buf) / b_norm;
             if res <= opts.tolerance {
-                return Ok(Solution { solution: x, iterations: iteration + 1, residual: res });
+                return Ok(Solution {
+                    solution: x,
+                    iterations: iteration + 1,
+                    residual: res,
+                    converged: true,
+                });
             }
         }
     }
@@ -387,7 +514,12 @@ pub fn bicgstab(a: &CsrMatrix, b: &[f64], opts: &SolveOptions) -> Result<Solutio
 
     let b_norm = norm2(b);
     if b_norm == 0.0 {
-        return Ok(Solution { solution: vec![0.0; n], iterations: 0, residual: 0.0 });
+        return Ok(Solution {
+            solution: vec![0.0; n],
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        });
     }
 
     let mut x = vec![0.0; n];
@@ -406,7 +538,12 @@ pub fn bicgstab(a: &CsrMatrix, b: &[f64], opts: &SolveOptions) -> Result<Solutio
     for iteration in 0..opts.max_iterations {
         let res = norm2(&r) / b_norm;
         if res <= opts.tolerance {
-            return Ok(Solution { solution: x, iterations: iteration, residual: res });
+            return Ok(Solution {
+                solution: x,
+                iterations: iteration,
+                residual: res,
+                converged: true,
+            });
         }
         let rho_next = dot(&r_hat, &r);
         if rho_next == 0.0 {
@@ -442,7 +579,12 @@ pub fn bicgstab(a: &CsrMatrix, b: &[f64], opts: &SolveOptions) -> Result<Solutio
 
     let res = norm2(&r) / b_norm;
     if res <= opts.tolerance {
-        return Ok(Solution { solution: x, iterations: opts.max_iterations, residual: res });
+        return Ok(Solution {
+            solution: x,
+            iterations: opts.max_iterations,
+            residual: res,
+            converged: true,
+        });
     }
     Err(NumericsError::NoConvergence {
         iterations: opts.max_iterations,

@@ -26,19 +26,22 @@
 
 use std::sync::Arc;
 
-use vcsel_numerics::solver::{self, CgWorkspace, SolveOptions};
+use vcsel_numerics::solver::{CgWorkspace, SolveOptions};
 use vcsel_numerics::{
-    AnyPreconditioner, CsrMatrix, MultigridConfig, NumericsError, PreconditionerKind,
+    AnyPreconditioner, CsrMatrix, MultigridConfig, NumericsError, PreconditionerKind, SolveLadder,
 };
 use vcsel_units::{Celsius, Meters};
 
 use crate::assembly::{self, BoundaryFace};
-use crate::{Design, Mesh, MeshSpec, ThermalError, ThermalMap};
+use crate::{Design, Mesh, MeshSpec, SolveHealth, ThermalError, ThermalMap};
 
 /// Factors the preferred preconditioner for an SPD FVM system, falling back
 /// to Jacobi if the requested factorization breaks down (IC(0) cannot fail
 /// on the M-matrices our assembly produces, but a fallback keeps the engine
-/// total for exotic user matrices).
+/// total for exotic user matrices). The one-shot [`TransientSimulator`]
+/// (crate::TransientSimulator) still uses this directly; the cached engines
+/// get the same behaviour — plus runtime escalation — from their
+/// [`SolveLadder`].
 pub(crate) fn factor_preconditioner(
     a: &CsrMatrix,
     kind: PreconditionerKind,
@@ -50,18 +53,20 @@ pub(crate) fn factor_preconditioner(
     }
 }
 
-/// [`factor_preconditioner`] over a shared operator handle: SSOR and
-/// multigrid alias `a` instead of cloning it, so the engine and its
-/// preconditioner hold **one** copy of the conduction matrix (~215 MB at
-/// `Fidelity::Paper` scale).
-fn factor_preconditioner_shared(
-    a: &Arc<CsrMatrix>,
-    kind: PreconditionerKind,
-) -> Result<AnyPreconditioner, NumericsError> {
-    match kind.build_shared(a) {
-        Ok(p) => Ok(p),
-        Err(_) if kind != PreconditionerKind::Jacobi => PreconditionerKind::Jacobi.build_shared(a),
-        Err(e) => Err(e),
+/// The escalation chain a ladder-backed engine runs for a preferred
+/// preconditioner `kind`: the kind itself, then progressively cheaper,
+/// sturdier rungs down to Jacobi — which only needs the positive diagonal
+/// FVM assembly guarantees, so the last rung always builds and the engine
+/// degrades gracefully instead of failing.
+pub(crate) fn escalation_chain(kind: PreconditionerKind) -> Vec<PreconditionerKind> {
+    match kind {
+        PreconditionerKind::Multigrid { .. } => {
+            vec![kind, PreconditionerKind::IncompleteCholesky, PreconditionerKind::Jacobi]
+        }
+        PreconditionerKind::IncompleteCholesky | PreconditionerKind::Ssor { .. } => {
+            vec![kind, PreconditionerKind::Jacobi]
+        }
+        PreconditionerKind::Jacobi => vec![kind],
     }
 }
 
@@ -160,7 +165,10 @@ pub struct SolveContext {
     conductivity: Vec<f64>,
     /// Boundary conditions at construction, also validated on adoption.
     boundaries: crate::BoundarySet,
-    precond: AnyPreconditioner,
+    /// The escalating preconditioner chain every solve runs through.
+    ladder: SolveLadder,
+    /// Health report of the most recent solve.
+    health: SolveHealth,
     options: SolveOptions,
     /// Last solution; doubles as the next solve's warm-start guess.
     temps: Vec<f64>,
@@ -248,11 +256,11 @@ impl SolveContext {
 
         let n = mesh.cell_count();
         let matrix = Arc::new(disc.matrix);
-        let precond = if fallback {
-            factor_preconditioner_shared(&matrix, kind)?
-        } else {
-            kind.build_shared(&matrix).map_err(ThermalError::from)?
-        };
+        // Default engines (`fallback`) may open on a weaker rung if the
+        // preferred kind cannot build; explicit choices (strict) propagate
+        // the exact kind's construction error instead.
+        let ladder = SolveLadder::new(&matrix, &escalation_chain(kind), !fallback)
+            .map_err(ThermalError::from)?;
         Ok(Self {
             mesh,
             matrix,
@@ -262,7 +270,8 @@ impl SolveContext {
             group_power,
             conductivity,
             boundaries,
-            precond,
+            ladder,
+            health: SolveHealth::default(),
             options: SolveOptions { tolerance: 1e-9, max_iterations: 50_000, relaxation: 1.6 },
             temps: vec![0.0; n],
             rhs: vec![0.0; n],
@@ -357,7 +366,8 @@ impl SolveContext {
     ///
     /// Propagates factorization failures for the requested kind.
     pub fn with_preconditioner(mut self, kind: PreconditionerKind) -> Result<Self, ThermalError> {
-        self.precond = kind.build_shared(&self.matrix).map_err(ThermalError::from)?;
+        self.ladder = SolveLadder::new(&self.matrix, &escalation_chain(kind), true)
+            .map_err(ThermalError::from)?;
         Ok(self)
     }
 
@@ -377,7 +387,7 @@ impl SolveContext {
     /// In-place form of [`SolveContext::with_parallel_apply`]; returns
     /// whether the knob landed on a cached IC(0) factor.
     pub fn set_parallel_apply(&mut self, on: bool) -> bool {
-        self.precond.set_parallel_apply(on)
+        self.ladder.set_parallel_apply(on)
     }
 
     /// Pins the IC(0) wavefront worker count (builder style), forcing the
@@ -386,7 +396,7 @@ impl SolveContext {
     /// effect on non-IC(0) preconditioners.
     #[must_use]
     pub fn with_apply_threads(mut self, threads: usize) -> Self {
-        self.precond.set_apply_threads(threads);
+        self.ladder.set_apply_threads(threads);
         self
     }
 
@@ -401,7 +411,21 @@ impl SolveContext {
     /// (e.g. reaching the multigrid hierarchy behind a paper-scale
     /// engine via [`AnyPreconditioner::as_multigrid`]).
     pub fn preconditioner(&self) -> &AnyPreconditioner {
-        &self.precond
+        self.ladder.active_preconditioner()
+    }
+
+    /// Health report of the most recent solve: which ladder rungs ran, how
+    /// many escalations it took, and whether the answer is degraded.
+    pub fn health(&self) -> &SolveHealth {
+        &self.health
+    }
+
+    /// Corrupts the active preconditioner's apply until the next ladder
+    /// escalation (fault-injection hook for the scenario engine and the
+    /// recovery tests — the next solve genuinely stalls on the corrupted
+    /// rung and recovers on the one below it).
+    pub fn inject_solver_fault(&mut self) {
+        self.ladder.inject_apply_fault();
     }
 
     /// The mesh the engine solves on.
@@ -438,8 +462,7 @@ impl SolveContext {
     /// Name of the active preconditioner (`"ic0"`, `"jacobi"`, `"ssor"`,
     /// `"multigrid"`).
     pub fn preconditioner_name(&self) -> &'static str {
-        use vcsel_numerics::Preconditioner;
-        self.precond.name()
+        self.ladder.active_name()
     }
 
     /// Discards the warm-start state so the next solve starts from zero
@@ -540,16 +563,26 @@ impl SolveContext {
             }
             injected += scale * q.iter().sum::<f64>();
         }
-        let stats = solver::preconditioned_cg(
+        let summary = self.ladder.solve(
             &self.matrix,
             &self.rhs,
             &mut self.temps,
-            &mut self.precond,
             &self.options,
             &mut self.ws,
         )?;
-        self.last_iterations = stats.iterations;
-        self.total_iterations += stats.iterations;
+        self.last_iterations = summary.iterations;
+        self.total_iterations += summary.total_iterations;
+        self.health = SolveHealth::from_ladder(summary, self.ladder.attempts());
+        if !summary.converged {
+            // The field buffer holds the failed rung's final iterate —
+            // poison both as an answer and as the next warm start.
+            self.reset_guess();
+            return Err(ThermalError::Solver(NumericsError::NoConvergence {
+                iterations: summary.iterations,
+                residual: summary.residual,
+                tolerance: self.options.tolerance,
+            }));
+        }
         Ok(injected)
     }
 

@@ -76,9 +76,11 @@ mod convergence;
 mod error;
 mod export;
 mod geometry;
+mod health;
 mod map;
 mod material;
 mod mesh;
+mod schedule;
 mod simulator;
 mod stepper;
 mod superposition;
@@ -91,9 +93,11 @@ pub use convergence::{ConvergenceLevel, ConvergenceStudy};
 pub use error::ThermalError;
 pub use export::MapSlice;
 pub use geometry::{Block, BoxRegion, Design};
+pub use health::SolveHealth;
 pub use map::ThermalMap;
 pub use material::Material;
 pub use mesh::{Axis, Mesh, MeshSpec, RefineRegion};
+pub use schedule::{PowerEvent, PowerSchedule};
 pub use simulator::Simulator;
 pub use stepper::TransientStepper;
 pub use superposition::ResponseBasis;
@@ -102,3 +106,6 @@ pub use transient::{TransientSimulator, TransientTrace};
 /// (including the multigrid hierarchy and its tuning knobs) without
 /// depending on `vcsel_numerics` directly.
 pub use vcsel_numerics::{CycleKind, MultigridConfig, PreconditionerKind, SmootherKind};
+/// Re-exported so downstream crates can read the per-rung story inside a
+/// [`SolveHealth`] report without depending on `vcsel_numerics` directly.
+pub use vcsel_numerics::{RungAttempt, RungOutcome};

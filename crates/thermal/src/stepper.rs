@@ -17,14 +17,17 @@
 //! per-step allocations) and warm-starts from the current field.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use vcsel_numerics::solver::{self, CgWorkspace, SolveOptions};
-use vcsel_numerics::{AnyPreconditioner, CsrMatrix, PreconditionerKind, TripletBuilder};
+use vcsel_numerics::solver::{CgWorkspace, SolveOptions};
+use vcsel_numerics::{
+    AnyPreconditioner, CsrMatrix, NumericsError, PreconditionerKind, SolveLadder, TripletBuilder,
+};
 use vcsel_units::{Celsius, Meters};
 
 use crate::assembly::{self, BoundaryFace};
-use crate::context::factor_preconditioner;
-use crate::{Design, Mesh, MeshSpec, ThermalError, ThermalMap};
+use crate::context::escalation_chain;
+use crate::{Design, Mesh, MeshSpec, PowerSchedule, SolveHealth, ThermalError, ThermalMap};
 
 /// A backward-Euler integrator whose group powers can change every step.
 ///
@@ -45,8 +48,8 @@ use crate::{Design, Mesh, MeshSpec, ThermalError, ThermalMap};
 #[derive(Debug, Clone)]
 pub struct TransientStepper {
     mesh: Mesh,
-    /// `A + C/Δt` (SPD).
-    system: CsrMatrix,
+    /// `A + C/Δt` (SPD), shared with the ladder's operator-holding rungs.
+    system: Arc<CsrMatrix>,
     /// Boundary-condition contribution to the RHS (no sources).
     boundary_rhs: Vec<f64>,
     /// Power of blocks without a group, applied at scale 1 every step.
@@ -60,9 +63,12 @@ pub struct TransientStepper {
     dt_s: f64,
     steps: usize,
     options: SolveOptions,
-    /// Factored once in [`TransientStepper::new`]; the `A + C/Δt` matrix
-    /// never changes, so it serves every step.
-    precond: AnyPreconditioner,
+    /// Escalating preconditioner chain, IC(0) → Jacobi by default. The
+    /// active rung is factored once in [`TransientStepper::new`]; the
+    /// `A + C/Δt` matrix never changes, so it serves every step.
+    ladder: SolveLadder,
+    /// Health report of the most recent step's solve.
+    health: SolveHealth,
     /// Reusable right-hand-side buffer (no per-step allocation).
     rhs: Vec<f64>,
     ws: CgWorkspace,
@@ -141,8 +147,13 @@ impl TransientStepper {
             capacity_over_dt.push(c_dt);
         }
 
-        let system = builder.build();
-        let precond = factor_preconditioner(&system, PreconditionerKind::IncompleteCholesky)?;
+        let system = Arc::new(builder.build());
+        let ladder = SolveLadder::new(
+            &system,
+            &escalation_chain(PreconditionerKind::IncompleteCholesky),
+            false,
+        )
+        .map_err(ThermalError::from)?;
         Ok(Self {
             system,
             boundary_rhs: disc.rhs,
@@ -155,7 +166,8 @@ impl TransientStepper {
             dt_s,
             steps: 0,
             options: SolveOptions { tolerance: 1e-9, max_iterations: 50_000, relaxation: 1.6 },
-            precond,
+            ladder,
+            health: SolveHealth::default(),
             rhs: vec![0.0; n],
             ws: CgWorkspace::with_capacity(n),
             warm_start: true,
@@ -184,7 +196,8 @@ impl TransientStepper {
     ///
     /// Propagates factorization failures for the requested kind.
     pub fn with_preconditioner(mut self, kind: PreconditionerKind) -> Result<Self, ThermalError> {
-        self.precond = kind.build(&self.system).map_err(ThermalError::from)?;
+        self.ladder = SolveLadder::new(&self.system, &escalation_chain(kind), true)
+            .map_err(ThermalError::from)?;
         Ok(self)
     }
 
@@ -206,7 +219,7 @@ impl TransientStepper {
     /// `BENCH_solvers.json`.
     #[must_use]
     pub fn with_parallel_apply(mut self, on: bool) -> Self {
-        self.precond.set_parallel_apply(on);
+        self.ladder.set_parallel_apply(on);
         self
     }
 
@@ -216,7 +229,7 @@ impl TransientStepper {
     /// effect on non-IC(0) preconditioners.
     #[must_use]
     pub fn with_apply_threads(mut self, threads: usize) -> Self {
-        self.precond.set_apply_threads(threads);
+        self.ladder.set_apply_threads(threads);
         self
     }
 
@@ -229,7 +242,20 @@ impl TransientStepper {
     /// tests (e.g. reading the IC(0) level-schedule statistics behind a
     /// cached stepper).
     pub fn preconditioner(&self) -> &AnyPreconditioner {
-        &self.precond
+        self.ladder.active_preconditioner()
+    }
+
+    /// Health report of the most recent step's solve: ladder attempts,
+    /// escalations, and whether the answer is degraded.
+    pub fn health(&self) -> &SolveHealth {
+        &self.health
+    }
+
+    /// Corrupts the active preconditioner's apply until the next ladder
+    /// escalation (fault-injection hook; the next step genuinely stalls on
+    /// the corrupted rung and recovers on the one below it).
+    pub fn inject_solver_fault(&mut self) {
+        self.ladder.inject_apply_fault();
     }
 
     /// Elapsed simulated time, seconds.
@@ -293,17 +319,51 @@ impl TransientStepper {
         if !self.warm_start {
             self.temps.fill(0.0);
         }
-        let stats = solver::preconditioned_cg(
+        let summary = self.ladder.solve(
             &self.system,
             &self.rhs,
             &mut self.temps,
-            &mut self.precond,
             &self.options,
             &mut self.ws,
         )?;
-        self.last_iterations = stats.iterations;
-        self.total_iterations += stats.iterations;
+        self.last_iterations = summary.iterations;
+        self.total_iterations += summary.total_iterations;
+        self.health = SolveHealth::from_ladder(summary, self.ladder.attempts());
+        if !summary.converged {
+            // Roll the field back to the pre-solve guess (the previous
+            // field under warm starts, the default) and refuse to advance:
+            // a failed step must never smuggle a bad iterate into the
+            // trajectory.
+            self.temps.copy_from_slice(self.ladder.saved_guess());
+            return Err(ThermalError::Solver(NumericsError::NoConvergence {
+                iterations: summary.iterations,
+                residual: summary.residual,
+                tolerance: self.options.tolerance,
+            }));
+        }
         self.steps += 1;
+        Ok(())
+    }
+
+    /// Replays `schedule` for `steps` steps: before each step the schedule
+    /// is sampled at the current simulation time and the resulting group
+    /// scales applied — the declarative, event-driven counterpart of
+    /// hand-rolled [`TransientStepper::step`] loops.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TransientStepper::step`]; the field stops at the
+    /// last successful step.
+    pub fn run_schedule(
+        &mut self,
+        schedule: &PowerSchedule,
+        steps: usize,
+    ) -> Result<(), ThermalError> {
+        for _ in 0..steps {
+            let scales = schedule.scales_at(self.time());
+            let borrowed: Vec<(&str, f64)> = scales.iter().map(|(g, s)| (g.as_str(), *s)).collect();
+            self.step(&borrowed)?;
+        }
         Ok(())
     }
 

@@ -181,7 +181,8 @@ impl TransientSimulator {
                 &mut precond,
                 &self.options,
                 &mut ws,
-            )?;
+            )?
+            .require_converged(&self.options)?;
             times_s.push(dt_s * (step + 1) as f64);
             for (series, &cell) in probe_series.iter_mut().zip(&probe_cells) {
                 series.push(temps[cell]);

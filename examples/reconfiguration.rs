@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nworst-case SNR before remapping: {:>6.2} dB", before.worst_snr_db());
 
     for budget in [16, 20] {
-        let config = RemapConfig { channel_budget: budget, max_moves: 25 };
+        let config = RemapConfig { channel_budget: budget, max_moves: 25, ..Default::default() };
         let result = remap_channels(&topo, &comms, &temps, &powers, &analyzer, &config)?;
         println!(
             "remap with {budget:>2}-channel budget: {:>6.2} dB (+{:.2} dB, {} moves)",
