@@ -49,7 +49,9 @@
 //! Usage: `cargo run --release -p vcsel_bench --bin perf_record [out.json]`
 //! (default output `BENCH_solvers.json` in the working directory). The
 //! default sections run in minutes; CI shrinks the transient via
-//! `PERF_RECORD_STEPS`.
+//! `PERF_RECORD_STEPS`. With `VCSEL_TRACE=full` the run also writes a
+//! chrome-trace JSON under `reports/traces/perf_record.trace.json` whose
+//! top-level spans mirror the record's `phases` array.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -310,10 +312,24 @@ fn steady_json(records: &[SteadyRecord], indent: &str) -> String {
 }
 
 fn main() {
+    // The root span must drop before the trace flushes, hence the inner
+    // function; `finish_global` is a no-op unless VCSEL_TRACE=full.
+    run();
+    vcsel_telemetry::finish_global("perf_record");
+}
+
+fn run() {
+    let sink = vcsel_telemetry::global();
+    let _root = sink.span("report", "perf_record");
+    // Per-phase wall clock for the JSON record — coarser than the trace
+    // spans but present even when tracing is off.
+    let mut phases: Vec<(&'static str, f64)> = Vec::new();
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_solvers.json".to_string());
     let multigrid = PreconditionerKind::Multigrid { config: MultigridConfig::default() };
 
     // ---- Tiny steady solves per preconditioner -------------------------
+    let phase_t = Instant::now();
+    let phase_span = sink.span("perf", "steady_tiny");
     let config = SccConfig { p_vcsel: Watts::from_milliwatts(4.0), ..SccConfig::tiny_test() };
     let system = SccSystem::build(&config).expect("tiny SCC builds");
     let spec = system.mesh_spec().expect("mesh spec");
@@ -325,6 +341,8 @@ fn main() {
         ("multigrid", multigrid),
     ];
     let (unknowns, steady) = steady_section("tiny", design, &spec, &kinds, STEADY_REPS);
+    drop(phase_span);
+    phases.push(("steady_tiny", phase_t.elapsed().as_secs_f64() * 1e3));
 
     // ---- Fast steady solves: IC(0) vs multigrid at full-die scale ------
     let fast = fast_mode();
@@ -337,6 +355,8 @@ fn main() {
     let (fast_unknowns, fast_steady, vcycle, trisolve) = if fast_kinds.is_empty() {
         (0, Vec::new(), None, None)
     } else {
+        let phase_t = Instant::now();
+        let phase_span = sink.span("perf", "steady_fast");
         let config = SccConfig {
             p_vcsel: Watts::from_milliwatts(4.0),
             fidelity: Fidelity::Fast,
@@ -353,13 +373,27 @@ fn main() {
                 .expect("fast context assembles");
         let op = Arc::clone(ctx.shared_operator());
         drop(ctx);
+        drop(phase_span);
+        phases.push(("steady_fast", phase_t.elapsed().as_secs_f64() * 1e3));
+
+        let phase_t = Instant::now();
+        let phase_span = sink.span("perf", "vcycle_ab");
         let vcycle = vcycle_section(&op);
+        drop(phase_span);
+        phases.push(("vcycle_ab", phase_t.elapsed().as_secs_f64() * 1e3));
+
+        let phase_t = Instant::now();
+        let phase_span = sink.span("perf", "trisolve_ab");
         let trisolve = trisolve_section(&op);
+        drop(phase_span);
+        phases.push(("trisolve_ab", phase_t.elapsed().as_secs_f64() * 1e3));
         (unknowns, records, Some(vcycle), Some(trisolve))
     };
 
     // ---- Optional full-paper-fidelity multigrid solve ------------------
     let paper = if paper_enabled() {
+        let phase_t = Instant::now();
+        let phase_span = sink.span("perf", "paper");
         let config = SccConfig {
             p_vcsel: Watts::from_milliwatts(4.0),
             fidelity: Fidelity::Paper,
@@ -403,12 +437,17 @@ fn main() {
             record.fine_operator_mb,
             record.peak_rss_mb.map_or_else(|| "n/a".to_string(), |mb| format!("{mb:.0} MB")),
         );
+        sink.rss_snapshot("perf", "paper_peak_rss");
+        drop(phase_span);
+        phases.push(("paper", phase_t.elapsed().as_secs_f64() * 1e3));
         Some(record)
     } else {
         None
     };
 
     // ---- 200-step transient: seed path vs engine path ------------------
+    let phase_t = Instant::now();
+    let phase_span = sink.span("perf", "transient");
     let group_names: Vec<String> = design.group_names().iter().map(|g| g.to_string()).collect();
     let scales: Vec<(&str, f64)> = group_names.iter().map(|g| (g.as_str(), 1.0)).collect();
     let initial = Celsius::new(40.0);
@@ -438,6 +477,9 @@ fn main() {
         .apply_threads();
     let (engine_wall, engine_iters, engine_hot) =
         run_transient(&mut engine_stepper, &scales, steps);
+    drop(phase_span);
+    phases.push(("transient", phase_t.elapsed().as_secs_f64() * 1e3));
+    sink.rss_snapshot("perf", "final_peak_rss");
 
     assert!(
         (seed_hot - engine_hot).abs() < 1e-6,
@@ -563,6 +605,15 @@ fn main() {
             )
         })
         .unwrap_or_default();
+    // Per-phase wall clock (v5): the same section boundaries the trace
+    // spans use, so a record and a Perfetto trace line up by name.
+    let phases_json = {
+        let rows: Vec<String> = phases
+            .iter()
+            .map(|(name, ms)| format!("    {{ \"phase\": \"{name}\", \"wall_ms\": {ms:.1} }}"))
+            .collect();
+        format!(",\n  \"phases\": [\n{}\n  ]", rows.join(",\n"))
+    };
     let paper_json = paper
         .as_ref()
         .map(|p| {
@@ -585,10 +636,11 @@ fn main() {
         })
         .unwrap_or_default();
     let json = format!(
-        "{{\n  \"schema\": \"bench_solvers_v4\",\n  \"generated_by\": \"perf_record\",\n  \
+        "{{\n  \"schema\": \"bench_solvers_v5\",\n  \"generated_by\": \"perf_record\",\n  \
          \"workload\": \"SccConfig tiny_test + full-die Fast, p_vcsel = 4 mW\",\n  \
          \"unknowns\": {unknowns},\n  \
-         \"steady\": [\n{}\n  ]{fast_json}{fast_ratio}{vcycle_json}{trisolve_json}{paper_json},\n  \
+         \"steady\": [\n{}\n  ]{fast_json}{fast_ratio}{vcycle_json}{trisolve_json}{paper_json}\
+         {phases_json},\n  \
          \"transient\": {{\n    \
          \"steps\": {steps},\n    \"dt_s\": {TRANSIENT_DT_S},\n    \
          \"threads\": {transient_threads},\n    \"paths\": [\n{}\n    ],\n    \

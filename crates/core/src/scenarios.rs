@@ -32,6 +32,7 @@ use vcsel_arch::{Fidelity, PlacementCase, SccConfig, SccFloorplan, SccSystem};
 use vcsel_control::{remap_channels, RemapConfig, RemapResult};
 use vcsel_network::{assign_channels, traffic, OniId, SnrAnalyzer, WavelengthGrid};
 use vcsel_numerics::solver::SolveOptions;
+use vcsel_telemetry::{Arg, ArgValue, TelemetrySink};
 use vcsel_thermal::{Design, TransientStepper};
 use vcsel_units::{Celsius, Meters, Watts};
 
@@ -75,6 +76,20 @@ pub enum FaultKind {
     /// Corrupts the active preconditioner of the thermal solver; the next
     /// step must recover through the solve ladder.
     SolverFault,
+}
+
+impl FaultKind {
+    /// Stable label for telemetry events and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::VcselDeath { .. } => "vcsel_death",
+            Self::HeaterStuckOff { .. } => "heater_stuck_off",
+            Self::TrafficBurst { .. } => "traffic_burst",
+            Self::DvfsThrottle { .. } => "dvfs_throttle",
+            Self::SensorDropout { .. } => "sensor_dropout",
+            Self::SolverFault => "solver_fault",
+        }
+    }
 }
 
 /// A fault scheduled at a simulation step.
@@ -311,6 +326,15 @@ pub struct ScenarioReport {
     pub converged: bool,
     /// Worst-case SNR of the final assignment on the final field, dB.
     pub worst_snr_db: f64,
+    /// Wall-clock milliseconds of plant setup (mesh, assembly, painting,
+    /// preconditioner factorization). Telemetry, never pinned.
+    pub setup_ms: f64,
+    /// Wall-clock milliseconds inside the transient steps (the solver
+    /// ladder's CG work). Telemetry, never pinned.
+    pub step_ms: f64,
+    /// Wall-clock milliseconds in control actions (DVFS updates, channel
+    /// remaps, SNR analysis). Telemetry, never pinned.
+    pub control_ms: f64,
 }
 
 /// The 4-ONI reduced plant every scenario runs on: 2×2 tiles on an
@@ -371,20 +395,48 @@ fn oni_index_of(name: &str) -> Option<usize> {
 /// exhausts the whole ladder surfaces as a typed non-convergence error,
 /// never as a silently degraded field.
 pub fn run_scenario(scenario: &Scenario, seed: u64) -> Result<ScenarioReport, FlowError> {
+    run_scenario_with(scenario, seed, vcsel_telemetry::global())
+}
+
+/// [`run_scenario`] with an explicit telemetry sink: every fault firing,
+/// DVFS move and channel remap lands as a `scenario`-category instant, the
+/// whole run under one `scenario_run` span, and the stepper's per-step
+/// spans and solve samples record through the same handle. Tests inject
+/// private sinks here; production callers use [`run_scenario`] and the
+/// process-wide sink.
+///
+/// # Errors
+///
+/// Same contract as [`run_scenario`].
+pub fn run_scenario_with(
+    scenario: &Scenario,
+    seed: u64,
+    sink: &TelemetrySink,
+) -> Result<ScenarioReport, FlowError> {
     if scenario.steps == 0 || scenario.control_period == 0 {
         return Err(FlowError::BadConfig {
             reason: "scenario needs at least one step and a positive control period".into(),
         });
     }
+    let mut run_span = sink.span("scenario", "scenario_run");
+    run_span.arg("name", ArgValue::Str(scenario.name));
+    run_span.arg("seed", ArgValue::U64(seed));
     let plan = FaultPlan::new(scenario.events.clone(), seed);
     let config = scenario_config();
+    let setup_timer = std::time::Instant::now();
+    let setup_span = sink.span("scenario", "setup");
     let system = SccSystem::build(&config)?;
     let design = per_oni_design(&system);
     let spec = system.mesh_spec()?;
     // 1e-8 on a ~Kelvin-scale field is far below any metric pin's
     // resolution and saves a third of the CG work per step.
     let mut stepper = TransientStepper::new(&design, &spec, config.ambient, scenario.dt_s)?
-        .with_options(SolveOptions { tolerance: 1e-8, max_iterations: 50_000, relaxation: 1.6 });
+        .with_options(SolveOptions { tolerance: 1e-8, max_iterations: 50_000, relaxation: 1.6 })
+        .with_telemetry(sink.clone());
+    drop(setup_span);
+    let setup_ms = setup_timer.elapsed().as_secs_f64() * 1e3;
+    let mut step_ms = 0.0f64;
+    let mut control_ms = 0.0f64;
 
     let n = system.onis().len();
     let optical = system.stack().optical_layer_z();
@@ -427,6 +479,11 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> Result<ScenarioReport, Fl
 
     for step in 1..=scenario.steps {
         for event in plan.due(step) {
+            sink.instant(
+                "scenario",
+                "fault",
+                &[Arg::str("kind", event.kind.label()), Arg::u64("step", step as u64)],
+            );
             match event.kind {
                 FaultKind::VcselDeath { oni } => {
                     if oni < n {
@@ -466,7 +523,9 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> Result<ScenarioReport, Fl
             scales.push((l[1].as_str(), vcsel_scale[k]));
             scales.push((l[2].as_str(), heater_scale[k]));
         }
+        let step_timer = std::time::Instant::now();
         stepper.step(&scales)?;
+        step_ms += step_timer.elapsed().as_secs_f64() * 1e3;
         escalations += stepper.health().escalations;
 
         for (i, p) in probes.iter().enumerate() {
@@ -489,13 +548,22 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> Result<ScenarioReport, Fl
         }
 
         if step % scenario.control_period == 0 {
+            let control_timer = std::time::Instant::now();
             let sensed_peak = sensed.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let dvfs_before = dvfs_scale;
             if sensed_peak > limit {
                 dvfs_scale = (dvfs_scale * 0.8).max(0.2);
             } else if dvfs_scale < 1.0 {
                 dvfs_scale = (dvfs_scale * 1.1).min(1.0);
             }
             min_dvfs = min_dvfs.min(dvfs_scale);
+            if dvfs_scale != dvfs_before {
+                sink.instant(
+                    "scenario",
+                    "dvfs",
+                    &[Arg::f64("scale", dvfs_scale), Arg::u64("step", step as u64)],
+                );
+            }
 
             if remap_pending {
                 let temps: Vec<Celsius> = sensed.iter().map(|&t| Celsius::new(t)).collect();
@@ -504,11 +572,24 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> Result<ScenarioReport, Fl
                 for &ch in &dead_channels {
                     cfg = cfg.with_dead_channel(ch);
                 }
+                let remap_span = sink.span("scenario", "remap_search");
                 let result = remap_channels(topology, &comms, &temps, &injected, &analyzer, &cfg)?;
+                drop(remap_span);
+                sink.instant(
+                    "scenario",
+                    "remap",
+                    &[
+                        Arg::f64("gain_db", result.gain_db()),
+                        Arg::u64("moves", result.moves as u64),
+                        Arg::u64("evacuated", result.evacuated as u64),
+                        Arg::u64("step", step as u64),
+                    ],
+                );
                 comms = result.comms.clone();
                 remap = Some(result);
                 remap_pending = false;
             }
+            control_ms += control_timer.elapsed().as_secs_f64() * 1e3;
         }
     }
 
@@ -537,6 +618,9 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> Result<ScenarioReport, Fl
         solver_escalations: escalations,
         converged: stepper.health().converged,
         worst_snr_db: snr.worst_snr_db(),
+        setup_ms,
+        step_ms,
+        control_ms,
     })
 }
 
@@ -770,6 +854,9 @@ mod tests {
             solver_escalations: 0,
             converged: false,
             worst_snr_db: 10.0,
+            setup_ms: 0.0,
+            step_ms: 0.0,
+            control_ms: 0.0,
         };
         let pins = MetricPins {
             peak_c: (40.0, 60.0),

@@ -23,6 +23,8 @@
 
 use std::sync::Arc;
 
+use vcsel_telemetry::{Arg, AttemptSample, SolveSample, TelemetrySink};
+
 use crate::precond::{AnyPreconditioner, Preconditioner, PreconditionerKind};
 use crate::solver::{preconditioned_cg, CgStop, CgSummary, CgWorkspace, SolveOptions};
 use crate::{CsrMatrix, NumericsError};
@@ -47,6 +49,21 @@ pub enum RungOutcome {
     /// The rung's preconditioner could not be constructed for this
     /// operator at all.
     BuildFailed,
+}
+
+impl RungOutcome {
+    /// Stable lower-case label (`"converged"`, `"stalled"`, …) used in
+    /// telemetry events and trace files.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Converged => "converged",
+            Self::IterationCap => "iteration_cap",
+            Self::Stalled => "stalled",
+            Self::Diverged => "diverged",
+            Self::Breakdown => "breakdown",
+            Self::BuildFailed => "build_failed",
+        }
+    }
 }
 
 /// Diagnostic record of one rung's attempt inside [`SolveLadder::solve`].
@@ -107,6 +124,10 @@ pub struct SolveLadder {
     attempts: Vec<RungAttempt>,
     parallel_apply: Option<bool>,
     apply_threads: Option<usize>,
+    /// Telemetry handle: rung-build spans, per-attempt and escalation
+    /// events. Defaults to the process-wide sink; engines and tests
+    /// inject their own via [`SolveLadder::set_telemetry`].
+    telemetry: TelemetrySink,
 }
 
 impl std::fmt::Debug for SolveLadder {
@@ -150,6 +171,7 @@ impl SolveLadder {
             attempts: Vec::new(),
             parallel_apply: None,
             apply_threads: None,
+            telemetry: vcsel_telemetry::global().clone(),
         };
         // Activate the first buildable rung now so construction-time
         // errors surface at construction, not mid-solve.
@@ -197,6 +219,17 @@ impl SolveLadder {
     /// [`solve`](SolveLadder::solve) call.
     pub fn attempts(&self) -> &[RungAttempt] {
         &self.attempts
+    }
+
+    /// Replaces the ladder's telemetry sink (engines forward theirs; tests
+    /// inject private sinks so parallel tests never share buffers).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
+    }
+
+    /// The ladder's telemetry sink.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// The initial guess captured at the start of the most recent solve —
@@ -267,6 +300,14 @@ impl SolveLadder {
         self.saved_guess.resize(x.len(), 0.0);
         self.saved_guess.copy_from_slice(x);
 
+        // Telemetry full mode captures per-iteration residuals. The CG
+        // loop only pushes into the history, so reserve the worst case
+        // here — the cold path — and the hot loop never reallocates.
+        ws.log_residuals = self.telemetry.capture_residuals();
+        if ws.log_residuals {
+            ws.residual_history.reserve(opts.max_iterations + 2);
+        }
+
         let mut total_iterations = 0usize;
         let mut escalations = 0usize;
         loop {
@@ -276,16 +317,27 @@ impl SolveLadder {
             match solve_on_rung(a, b, x, precond, rung.faulted, opts, ws) {
                 Ok(stats) => {
                     total_iterations += stats.iterations;
+                    let outcome = match stats.stop {
+                        CgStop::Converged => RungOutcome::Converged,
+                        CgStop::IterationCap => RungOutcome::IterationCap,
+                        CgStop::Stalled => RungOutcome::Stalled,
+                        CgStop::Diverged => RungOutcome::Diverged,
+                    };
+                    self.telemetry.instant(
+                        "solver",
+                        "rung_attempt",
+                        &[
+                            Arg::str("rung", label),
+                            Arg::u64("iterations", stats.iterations as u64),
+                            Arg::str("outcome", outcome.label()),
+                            Arg::f64("residual", stats.residual),
+                        ],
+                    );
                     self.attempts.push(RungAttempt {
                         rung: label,
                         iterations: stats.iterations,
                         residual: stats.residual,
-                        outcome: match stats.stop {
-                            CgStop::Converged => RungOutcome::Converged,
-                            CgStop::IterationCap => RungOutcome::IterationCap,
-                            CgStop::Stalled => RungOutcome::Stalled,
-                            CgStop::Diverged => RungOutcome::Diverged,
-                        },
+                        outcome,
                         detail: None,
                     });
                     if stats.converged {
@@ -299,6 +351,11 @@ impl SolveLadder {
                     }
                 }
                 Err(err @ NumericsError::BadMatrix { .. }) => {
+                    self.telemetry.instant(
+                        "solver",
+                        "rung_attempt",
+                        &[Arg::str("rung", label), Arg::str("outcome", "breakdown")],
+                    );
                     self.attempts.push(RungAttempt {
                         rung: label,
                         iterations: 0,
@@ -310,6 +367,7 @@ impl SolveLadder {
                 Err(err) => return Err(err),
             }
 
+            let failed_rung = self.active_name();
             if !self.escalate(a) {
                 let last = self.attempts.last().expect("at least one attempt was recorded");
                 return Ok(LadderSummary {
@@ -321,11 +379,62 @@ impl SolveLadder {
                 });
             }
             escalations += 1;
+            self.telemetry.instant(
+                "solver",
+                "escalation",
+                &[Arg::str("from", failed_rung), Arg::str("to", self.active_name())],
+            );
             // A failed rung may have scrambled x (a diverged iterate is
             // poison as a warm start); restart the next rung from the
             // caller's original guess.
             x.copy_from_slice(&self.saved_guess);
         }
+    }
+
+    /// Assembles a telemetry [`SolveSample`] for the most recent
+    /// [`solve`](SolveLadder::solve) call: rung attempts, warm-start
+    /// quality, the residual history (when captured into `ws`) and the
+    /// derived work counters — one SpMV per CG iteration plus the
+    /// warm-start residual evaluation, one preconditioner apply per
+    /// iteration plus the initial apply, V-cycles for multigrid rungs and
+    /// two triangular solves per IC(0)/SSOR apply. The caller owns the
+    /// label, category, timing and system-size fields.
+    pub fn telemetry_sample(&self, summary: &LadderSummary, ws: &CgWorkspace) -> SolveSample {
+        let mut sample = SolveSample {
+            solver: self.active_name(),
+            unknowns: self.saved_guess.len() as u64,
+            iterations: summary.iterations as u64,
+            total_iterations: summary.total_iterations as u64,
+            escalations: summary.escalations as u64,
+            converged: summary.converged,
+            residual: summary.residual,
+            initial_residual: ws.residual_history.first().copied().unwrap_or(f64::NAN),
+            ..SolveSample::default()
+        };
+        if ws.log_residuals {
+            sample.residual_history = ws.residual_history.clone();
+        }
+        for attempt in &self.attempts {
+            let iterations = attempt.iterations as u64;
+            sample.attempts.push(AttemptSample {
+                rung: attempt.rung,
+                iterations,
+                residual: attempt.residual,
+                outcome: attempt.outcome.label(),
+            });
+            if matches!(attempt.outcome, RungOutcome::BuildFailed) {
+                continue;
+            }
+            let applies = iterations + 1;
+            sample.spmv += iterations + 1;
+            sample.precond_applies += applies;
+            match attempt.rung {
+                "multigrid" => sample.vcycles += applies,
+                "ic0" | "ssor" => sample.trisolves += 2 * applies,
+                _ => {}
+            }
+        }
+        sample
     }
 
     /// Retires the active rung and activates the next buildable one.
@@ -351,6 +460,8 @@ impl SolveLadder {
         if self.rungs[index].precond.is_some() {
             return Ok(());
         }
+        let mut span = self.telemetry.span("solver", "rung_build");
+        span.arg("rung", vcsel_telemetry::ArgValue::Str(kind_label(&self.rungs[index].kind)));
         let mut built = self.rungs[index].kind.build_shared(a)?;
         if let Some(on) = self.parallel_apply {
             built.set_parallel_apply(on);
@@ -363,6 +474,14 @@ impl SolveLadder {
     }
 
     fn record_build_failure(&mut self, index: usize, err: &NumericsError) {
+        self.telemetry.instant(
+            "solver",
+            "rung_attempt",
+            &[
+                Arg::str("rung", kind_label(&self.rungs[index].kind)),
+                Arg::str("outcome", "build_failed"),
+            ],
+        );
         self.attempts.push(RungAttempt {
             rung: kind_label(&self.rungs[index].kind),
             iterations: 0,

@@ -59,6 +59,8 @@
 
 use std::sync::Arc;
 
+use vcsel_telemetry::{Arg, ArgValue, TelemetrySink};
+
 use crate::precond::{AnyPreconditioner, Jacobi, Preconditioner, Ssor};
 use crate::solver::{preconditioned_cg, CgWorkspace, SolveOptions};
 use crate::{CsrMatrix, NumericsError};
@@ -388,6 +390,25 @@ impl MultigridHierarchy {
         a: Arc<CsrMatrix>,
         config: &MultigridConfig,
     ) -> Result<Self, NumericsError> {
+        Self::build_shared_with(a, config, vcsel_telemetry::global())
+    }
+
+    /// Like [`MultigridHierarchy::build_shared`], but recording build
+    /// telemetry (per-level coarsening spans, coarsest-solver choice, grid
+    /// and operator complexities) into an explicit sink instead of the
+    /// process-wide one — the hook tests use to observe the build without
+    /// touching the environment. The legacy `MG_DEBUG` stderr lines are
+    /// mirrored when the sink asks for them
+    /// (see [`TelemetrySink::mg_debug_mirror`](vcsel_telemetry::TelemetrySink::mg_debug_mirror)).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MultigridHierarchy::build`].
+    pub fn build_shared_with(
+        a: Arc<CsrMatrix>,
+        config: &MultigridConfig,
+        sink: &TelemetrySink,
+    ) -> Result<Self, NumericsError> {
         if a.rows() != a.cols() {
             return Err(NumericsError::BadMatrix {
                 reason: format!("matrix must be square, got {}x{}", a.rows(), a.cols()),
@@ -422,18 +443,38 @@ impl MultigridHierarchy {
             });
         }
 
-        // `MG_DEBUG=1` traces per-level construction on stderr — the knob
-        // for diagnosing aggregation quality on new operator families.
-        let debug = std::env::var_os("MG_DEBUG").is_some();
+        // Per-level construction telemetry: structured `multigrid` span
+        // events for aggregation-quality diagnosis, with the historical
+        // `MG_DEBUG` stderr lines mirrored when that alias is active.
+        let mirror = sink.mg_debug_mirror();
+        let mut build_span = sink.span("multigrid", "mg_build");
         let fine = Arc::clone(&a);
         let mut levels = Vec::new();
         let mut current = a;
         while current.rows() > config.direct_cells && levels.len() + 1 < config.max_levels {
+            let start_ns = vcsel_telemetry::now_ns();
             let t = std::time::Instant::now();
             let Some((p, coarse)) = coarsen(&current, config)? else {
                 break; // Coarsening stalled; solve this level iteratively.
             };
-            if debug {
+            if sink.is_enabled() {
+                let mut ev = vcsel_telemetry::Event::new(
+                    vcsel_telemetry::EventKind::Span,
+                    "multigrid",
+                    "mg_level",
+                )
+                .with_args(&[
+                    Arg::u64("level", levels.len() as u64),
+                    Arg::u64("cells", current.rows() as u64),
+                    Arg::u64("nnz", current.nnz() as u64),
+                    Arg::u64("coarse_cells", coarse.rows() as u64),
+                ]);
+                ev.start_ns = start_ns;
+                ev.dur_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                ev.tid = vcsel_telemetry::thread_id();
+                sink.record_event(ev);
+            }
+            if mirror {
                 eprintln!(
                     "[multigrid] level {}: {} cells / {} nnz -> {} cells / {} nnz ({:.2} s)",
                     levels.len(),
@@ -462,18 +503,43 @@ impl MultigridHierarchy {
             // fall back to Jacobi-CG per visit.
             a => iterative_coarse(a)?,
         };
-        if debug {
-            let kind = match &coarse {
-                CoarseSolver::Direct(_) => "dense Cholesky",
-                CoarseSolver::Iterative { .. } => "Jacobi-CG",
-            };
+        let coarse_kind = match &coarse {
+            CoarseSolver::Direct(_) => "dense Cholesky",
+            CoarseSolver::Iterative { .. } => "Jacobi-CG",
+        };
+        sink.instant(
+            "multigrid",
+            "mg_coarsest",
+            &[
+                Arg::u64("cells", current.rows() as u64),
+                Arg::u64("nnz", current.nnz() as u64),
+                Arg::str("solver", coarse_kind),
+            ],
+        );
+        if mirror {
             eprintln!(
-                "[multigrid] coarsest: {} cells / {} nnz ({kind})",
+                "[multigrid] coarsest: {} cells / {} nnz ({coarse_kind})",
                 current.rows(),
                 current.nnz(),
             );
         }
-        Ok(Self { fine, levels, coarse_a: current, coarse, config: *config })
+        let built = Self { fine, levels, coarse_a: current, coarse, config: *config };
+        if build_span.is_armed() {
+            // Grid complexity Σ level cells / fine cells, operator
+            // complexity Σ level nnz / fine nnz: the aggregation-health
+            // numbers the module docs quote (1.2–1.6 is healthy).
+            let fine_cells = built.fine_unknowns().max(1);
+            let grid_cells: usize = built.level_sizes().iter().sum();
+            build_span.arg("levels", ArgValue::U64(built.level_count() as u64));
+            build_span.arg("cells", ArgValue::U64(built.fine_unknowns() as u64));
+            build_span.arg("grid_complexity", ArgValue::F64(grid_cells as f64 / fine_cells as f64));
+            build_span.arg(
+                "operator_complexity",
+                ArgValue::F64(built.total_nnz() as f64 / built.fine.nnz().max(1) as f64),
+            );
+        }
+        drop(build_span);
+        Ok(built)
     }
 
     /// Number of operator levels, including the coarsest.

@@ -354,12 +354,17 @@ pub struct IncompleteCholesky {
     /// Explicit worker-count override (benches and forced-schedule tests);
     /// `None` means [`hardware_threads`] capped like the threaded SpMV.
     apply_threads: Option<usize>,
+    /// Applications run so far (each is one forward + one backward
+    /// triangular sweep) — a plain counter read by telemetry, incremented
+    /// in the apply dispatcher, never inside the sweep loops.
+    applies: u64,
 }
 
 impl PartialEq for IncompleteCholesky {
     fn eq(&self, other: &Self) -> bool {
-        // The schedule and scratch are derived from the factor; equality is
-        // the factor plus the apply configuration.
+        // The schedule and scratch are derived from the factor, and the
+        // apply counter is run history, not identity; equality is the
+        // factor plus the apply configuration.
         self.row_ptr == other.row_ptr
             && self.col_idx == other.col_idx
             && self.values == other.values
@@ -455,7 +460,15 @@ impl IncompleteCholesky {
             scratch: SharedF64::new(0),
             parallel_apply: true,
             apply_threads: None,
+            applies: 0,
         })
+    }
+
+    /// Applications run since construction: each apply is one forward and
+    /// one backward triangular sweep, so telemetry counts `2 × applies`
+    /// triangular solves.
+    pub fn applies(&self) -> u64 {
+        self.applies
     }
 
     /// Enables/disables the level-scheduled parallel triangular solves
@@ -630,6 +643,7 @@ impl Preconditioner for IncompleteCholesky {
         let n = self.row_ptr.len() - 1;
         assert_eq!(r.len(), n);
         assert_eq!(z.len(), n);
+        self.applies += 1;
         if self.runs_parallel() {
             self.ensure_schedule();
             self.apply_wavefront(r, z, self.configured_threads());

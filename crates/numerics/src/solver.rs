@@ -100,6 +100,20 @@ pub struct CgWorkspace {
     z: Vec<f64>,
     p: Vec<f64>,
     ap: Vec<f64>,
+    /// Relative residual per iteration of the most recent
+    /// [`preconditioned_cg`] run, index 0 holding the pre-iteration
+    /// (warm-start) residual. Cleared by every solve; filled only while
+    /// [`log_residuals`](CgWorkspace::log_residuals) is set. The solver
+    /// only ever `clear`s and `push`es — callers that enable logging
+    /// should `reserve` for `max_iterations + 2` entries up front so the
+    /// CG loop itself never reallocates (the `SolveLadder` does).
+    pub residual_history: Vec<f64>,
+    /// Telemetry switch: when `true`, [`preconditioned_cg`] records its
+    /// per-iteration residuals into
+    /// [`residual_history`](CgWorkspace::residual_history). Capturing
+    /// never feeds back into the iteration, so enabling it cannot change
+    /// a single bit of the solution.
+    pub log_residuals: bool,
 }
 
 impl CgWorkspace {
@@ -110,7 +124,14 @@ impl CgWorkspace {
 
     /// Pre-sizes every buffer for systems of `n` unknowns.
     pub fn with_capacity(n: usize) -> Self {
-        Self { r: vec![0.0; n], z: vec![0.0; n], p: vec![0.0; n], ap: vec![0.0; n] }
+        Self {
+            r: vec![0.0; n],
+            z: vec![0.0; n],
+            p: vec![0.0; n],
+            ap: vec![0.0; n],
+            residual_history: Vec::new(),
+            log_residuals: false,
+        }
     }
 
     fn ensure(&mut self, n: usize) {
@@ -270,6 +291,9 @@ pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
             reason: "initial guess contains non-finite values".into(),
         });
     }
+    // A stale history from the previous solve must never be read as this
+    // solve's; clearing keeps the buffer's capacity (no allocation).
+    ws.residual_history.clear();
 
     let b_norm = norm2(b);
     if b_norm == 0.0 {
@@ -300,6 +324,9 @@ pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
     let mut since_best = 0usize;
     for iteration in 0..opts.max_iterations {
         let res = norm2(&ws.r) / b_norm;
+        if ws.log_residuals {
+            ws.residual_history.push(res);
+        }
         if res <= opts.tolerance {
             return Ok(CgSummary {
                 iterations: iteration,
@@ -351,6 +378,9 @@ pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
     }
 
     let res = norm2(&ws.r) / b_norm;
+    if ws.log_residuals {
+        ws.residual_history.push(res);
+    }
     let converged = res <= opts.tolerance;
     Ok(CgSummary {
         iterations: opts.max_iterations,

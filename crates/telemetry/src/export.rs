@@ -1,0 +1,403 @@
+//! Trace export: `chrome://tracing` / Perfetto JSON and the human summary
+//! table.
+//!
+//! The JSON writer is hand-rolled (this crate is dependency-free) and
+//! emits the Trace Event Format's JSON-object flavor: a top-level
+//! `"traceEvents"` array of duration (`"ph": "X"`), instant (`"ph": "i"`)
+//! and counter (`"ph": "C"`) events with microsecond `"ts"`/`"dur"`
+//! fields. Solve samples export as `"solve_sample"` instant events whose
+//! `"args"` carry the full metric record — residual histories included —
+//! so one trace file holds both the timeline and the per-solve numerics.
+
+use std::fmt::Write as _;
+
+use crate::ring::{ArgValue, Event, EventKind};
+use crate::SolveSample;
+
+/// Everything drained from a sink: events (sorted by start time), solve
+/// samples, and the count of ring-overflow drops.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TraceData {
+    /// Span / instant / counter events, oldest first.
+    pub events: Vec<Event>,
+    /// Per-solve metric samples, in recording order.
+    pub samples: Vec<SolveSample>,
+    /// Events lost to ring overflow (oldest-dropped).
+    pub dropped: u64,
+}
+
+impl TraceData {
+    /// The timeline extent `[min ts, max ts+dur]` over all events and
+    /// samples, in nanoseconds — the "measured wall-clock" that span
+    /// coverage is judged against. `None` when the trace is empty.
+    pub fn extent_ns(&self) -> Option<(u64, u64)> {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for ev in &self.events {
+            lo = lo.min(ev.start_ns);
+            hi = hi.max(ev.start_ns.saturating_add(ev.dur_ns));
+        }
+        for s in &self.samples {
+            lo = lo.min(s.start_ns);
+            hi = hi.max(s.start_ns.saturating_add(s.dur_ns));
+        }
+        (lo <= hi && (!self.events.is_empty() || !self.samples.is_empty())).then_some((lo, hi))
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// JSON has no NaN/Infinity; map them to `null` rather than emit an
+/// unparsable file.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_micros(out: &mut String, ns: u64) {
+    // Microseconds with nanosecond precision kept as decimals.
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+fn push_arg_value(out: &mut String, value: &ArgValue) {
+    match value {
+        ArgValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ArgValue::F64(v) => push_f64(out, *v),
+        ArgValue::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        ArgValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+fn push_event(out: &mut String, ev: &Event) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, ev.name);
+    out.push_str("\",\"cat\":\"");
+    escape_into(out, ev.cat);
+    out.push_str("\",\"ph\":\"");
+    out.push_str(match ev.kind {
+        EventKind::Span => "X",
+        EventKind::Instant => "i",
+        EventKind::Counter => "C",
+    });
+    out.push_str("\",\"ts\":");
+    push_micros(out, ev.start_ns);
+    if ev.kind == EventKind::Span {
+        out.push_str(",\"dur\":");
+        push_micros(out, ev.dur_ns);
+    }
+    if ev.kind == EventKind::Instant {
+        // Instant scope: thread-local marker.
+        out.push_str(",\"s\":\"t\"");
+    }
+    let _ = write!(out, ",\"pid\":1,\"tid\":{}", ev.tid);
+    let args: Vec<_> = ev.args.iter().flatten().collect();
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, arg) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(out, arg.key);
+            out.push_str("\":");
+            push_arg_value(out, &arg.value);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+fn push_sample(out: &mut String, s: &SolveSample) {
+    out.push_str("{\"name\":\"solve_sample\",\"cat\":\"");
+    escape_into(out, s.cat);
+    out.push_str("\",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+    // Stamp the sample at the solve's *end* so it sits inside the solve
+    // span even when the span opened before the sample was assembled.
+    push_micros(out, s.start_ns.saturating_add(s.dur_ns));
+    out.push_str(",\"pid\":1,\"tid\":1,\"args\":{\"label\":\"");
+    escape_into(out, &s.label);
+    out.push_str("\",\"solver\":\"");
+    escape_into(out, s.solver);
+    let _ = write!(
+        out,
+        "\",\"unknowns\":{},\"iterations\":{},\"total_iterations\":{},\"escalations\":{},\
+         \"converged\":{},\"spmv\":{},\"precond_applies\":{},\"vcycles\":{},\"trisolves\":{}",
+        s.unknowns,
+        s.iterations,
+        s.total_iterations,
+        s.escalations,
+        s.converged,
+        s.spmv,
+        s.precond_applies,
+        s.vcycles,
+        s.trisolves,
+    );
+    out.push_str(",\"duration_ms\":");
+    push_f64(out, s.dur_ns as f64 / 1e6);
+    out.push_str(",\"residual\":");
+    push_f64(out, s.residual);
+    out.push_str(",\"initial_residual\":");
+    push_f64(out, s.initial_residual);
+    out.push_str(",\"residuals\":[");
+    for (i, r) in s.residual_history.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, *r);
+    }
+    out.push_str("],\"attempts\":[");
+    for (i, a) in s.attempts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rung\":\"");
+        escape_into(out, a.rung);
+        out.push_str("\",\"outcome\":\"");
+        escape_into(out, a.outcome);
+        let _ = write!(out, "\",\"iterations\":{},\"residual\":", a.iterations);
+        push_f64(out, a.residual);
+        out.push('}');
+    }
+    out.push_str("]}}");
+}
+
+/// Renders `data` as a chrome-trace JSON document (the
+/// `chrome://tracing` / Perfetto "JSON object format").
+pub fn chrome_trace_json(data: &TraceData) -> String {
+    let mut out = String::with_capacity(256 + 256 * (data.events.len() + data.samples.len()));
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"vcsel_telemetry\"");
+    let _ = write!(out, ",\"dropped_events\":{}", data.dropped);
+    out.push_str("},\"traceEvents\":[");
+    let mut first = true;
+    for ev in &data.events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_event(&mut out, ev);
+    }
+    for s in &data.samples {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_sample(&mut out, s);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders `data` as a human summary: per-span-name aggregates, counter
+/// last-values, and a one-line solve digest. This is what
+/// `VCSEL_TRACE=summary` prints.
+pub fn summary_table(data: &TraceData) -> String {
+    let mut out = String::new();
+    let wall_ms = data.extent_ns().map_or(0.0, |(lo, hi)| (hi - lo) as f64 / 1e6);
+    let _ = writeln!(
+        out,
+        "telemetry: {} event(s), {} solve sample(s), {} dropped, {:.1} ms traced",
+        data.events.len(),
+        data.samples.len(),
+        data.dropped,
+        wall_ms,
+    );
+
+    // Per-name span aggregates, ordered by total time.
+    let mut rows: Vec<(&str, &str, u64, u64, u64)> = Vec::new();
+    for ev in data.events.iter().filter(|e| e.kind == EventKind::Span) {
+        match rows.iter_mut().find(|r| r.0 == ev.name && r.1 == ev.cat) {
+            Some(row) => {
+                row.2 += 1;
+                row.3 += ev.dur_ns;
+                row.4 = row.4.max(ev.dur_ns);
+            }
+            None => rows.push((ev.name, ev.cat, 1, ev.dur_ns, ev.dur_ns)),
+        }
+    }
+    rows.sort_by_key(|row| std::cmp::Reverse(row.3));
+    if !rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>7} {:>12} {:>12} {:>12}",
+            "span (cat/name)", "count", "total ms", "mean ms", "max ms"
+        );
+        for (name, cat, count, total, max) in &rows {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>7} {:>12.3} {:>12.3} {:>12.3}",
+                format!("{cat}/{name}"),
+                count,
+                *total as f64 / 1e6,
+                *total as f64 / 1e6 / *count as f64,
+                *max as f64 / 1e6,
+            );
+        }
+    }
+
+    // Latest value of each counter track.
+    let mut counters: Vec<(&str, f64)> = Vec::new();
+    for ev in data.events.iter().filter(|e| e.kind == EventKind::Counter) {
+        let value = match ev.args[0] {
+            Some(arg) => match arg.value {
+                ArgValue::F64(v) => v,
+                ArgValue::U64(v) => v as f64,
+                _ => continue,
+            },
+            None => continue,
+        };
+        match counters.iter_mut().find(|c| c.0 == ev.name) {
+            Some(c) => c.1 = value,
+            None => counters.push((ev.name, value)),
+        }
+    }
+    for (name, value) in &counters {
+        let _ = writeln!(out, "  counter {name} = {value:.3}");
+    }
+
+    if !data.samples.is_empty() {
+        let solves = data.samples.len();
+        let converged = data.samples.iter().filter(|s| s.converged).count();
+        let iters: u64 = data.samples.iter().map(|s| s.total_iterations).sum();
+        let escalations: u64 = data.samples.iter().map(|s| s.escalations).sum();
+        let warm: Vec<f64> =
+            data.samples.iter().map(|s| s.initial_residual).filter(|r| r.is_finite()).collect();
+        let _ = write!(
+            out,
+            "  solves: {solves} ({converged} converged), {iters} CG iteration(s), \
+             {escalations} escalation(s)"
+        );
+        if !warm.is_empty() {
+            let mean = warm.iter().sum::<f64>() / warm.len() as f64;
+            let _ = write!(out, ", mean initial residual {mean:.3e}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::Arg;
+    use crate::AttemptSample;
+
+    fn span(name: &'static str, start: u64, dur: u64) -> Event {
+        let mut e = Event::new(EventKind::Span, "test", name);
+        e.start_ns = start;
+        e.dur_ns = dur;
+        e.tid = 1;
+        e
+    }
+
+    fn sample() -> SolveSample {
+        SolveSample {
+            label: "steady/\"quoted\"".into(),
+            solver: "ic0",
+            start_ns: 1_000,
+            dur_ns: 9_000,
+            unknowns: 100,
+            iterations: 12,
+            total_iterations: 12,
+            converged: true,
+            residual: 1e-10,
+            initial_residual: 1.0,
+            residual_history: vec![1.0, 0.1, 1e-10],
+            attempts: vec![AttemptSample {
+                rung: "ic0",
+                iterations: 12,
+                residual: 1e-10,
+                outcome: "converged",
+            }],
+            spmv: 13,
+            precond_applies: 13,
+            trisolves: 26,
+            ..SolveSample::default()
+        }
+    }
+
+    #[test]
+    fn json_contains_spans_instants_counters_and_samples() {
+        let mut data = TraceData::default();
+        data.events.push(span("root", 0, 10_000));
+        let mut i = Event::new(EventKind::Instant, "solver", "escalation")
+            .with_args(&[Arg::str("from", "ic0"), Arg::u64("step", 3)]);
+        i.start_ns = 5_000;
+        i.tid = 1;
+        data.events.push(i);
+        let mut c = Event::new(EventKind::Counter, "process", "peak_rss_mb")
+            .with_args(&[Arg::f64("value", 12.5)]);
+        c.start_ns = 9_000;
+        data.events.push(c);
+        data.samples.push(sample());
+
+        let json = chrome_trace_json(&data);
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"root\",\"cat\":\"test\",\"ph\":\"X\",\"ts\":0.000"));
+        assert!(json.contains("\"dur\":10.000"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"from\":\"ic0\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"value\":12.5"));
+        assert!(json.contains("\"solve_sample\""));
+        assert!(json.contains("\"residuals\":[1,0.1,0.0000000001]"));
+        assert!(json.contains("\"label\":\"steady/\\\"quoted\\\"\""));
+        assert!(json.contains("\"outcome\":\"converged\""));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut data = TraceData::default();
+        data.samples.push(SolveSample {
+            residual: f64::INFINITY,
+            initial_residual: f64::NAN,
+            ..SolveSample::default()
+        });
+        let json = chrome_trace_json(&data);
+        assert!(json.contains("\"residual\":null"));
+        assert!(json.contains("\"initial_residual\":null"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn extent_spans_events_and_samples() {
+        let mut data = TraceData::default();
+        assert_eq!(data.extent_ns(), None);
+        data.events.push(span("a", 2_000, 3_000));
+        data.samples.push(SolveSample { start_ns: 1_000, dur_ns: 9_000, ..SolveSample::default() });
+        assert_eq!(data.extent_ns(), Some((1_000, 10_000)));
+    }
+
+    #[test]
+    fn summary_table_aggregates_spans() {
+        let mut data = TraceData::default();
+        data.events.push(span("step", 0, 2_000_000));
+        data.events.push(span("step", 3_000_000, 4_000_000));
+        data.samples.push(sample());
+        let table = summary_table(&data);
+        assert!(table.contains("test/step"), "table:\n{table}");
+        assert!(table.contains("2 "), "count column:\n{table}");
+        assert!(table.contains("solves: 1 (1 converged), 12 CG iteration(s)"));
+    }
+}

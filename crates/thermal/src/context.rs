@@ -30,6 +30,7 @@ use vcsel_numerics::solver::{CgWorkspace, SolveOptions};
 use vcsel_numerics::{
     AnyPreconditioner, CsrMatrix, MultigridConfig, NumericsError, PreconditionerKind, SolveLadder,
 };
+use vcsel_telemetry::{ArgValue, TelemetrySink};
 use vcsel_units::{Celsius, Meters};
 
 use crate::assembly::{self, BoundaryFace};
@@ -420,6 +421,26 @@ impl SolveContext {
         &self.health
     }
 
+    /// Replaces the engine's telemetry sink. The [`SolveLadder`] owns the
+    /// handle, so rung attempts, escalations and the engine's own
+    /// `steady_solve` spans all record through the same buffer. Engines
+    /// default to [`vcsel_telemetry::global`]; tests inject private sinks.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.ladder.set_telemetry(sink);
+    }
+
+    /// Builder form of [`SolveContext::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.set_telemetry(sink);
+        self
+    }
+
+    /// The engine's telemetry sink (disabled unless tracing is on).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        self.ladder.telemetry()
+    }
+
     /// Corrupts the active preconditioner's apply until the next ladder
     /// escalation (fault-injection hook for the scenario engine and the
     /// recovery tests — the next solve genuinely stalls on the corrupted
@@ -563,13 +584,28 @@ impl SolveContext {
             }
             injected += scale * q.iter().sum::<f64>();
         }
-        let summary = self.ladder.solve(
-            &self.matrix,
-            &self.rhs,
-            &mut self.temps,
-            &self.options,
-            &mut self.ws,
-        )?;
+        let sink = self.ladder.telemetry().clone();
+        let start_ns = vcsel_telemetry::now_ns();
+        let timer = std::time::Instant::now();
+        let summary = {
+            let mut span = sink.span("thermal", "steady_solve");
+            span.arg("unknowns", ArgValue::U64(n as u64));
+            self.ladder.solve(
+                &self.matrix,
+                &self.rhs,
+                &mut self.temps,
+                &self.options,
+                &mut self.ws,
+            )?
+        };
+        if sink.is_enabled() {
+            let mut sample = self.ladder.telemetry_sample(&summary, &self.ws);
+            sample.label = String::from("steady_solve");
+            sample.cat = "thermal";
+            sample.start_ns = start_ns;
+            sample.dur_ns = u64::try_from(timer.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            sink.record_sample(sample);
+        }
         self.last_iterations = summary.iterations;
         self.total_iterations += summary.total_iterations;
         self.health = SolveHealth::from_ladder(summary, self.ladder.attempts());

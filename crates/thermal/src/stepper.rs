@@ -23,6 +23,7 @@ use vcsel_numerics::solver::{CgWorkspace, SolveOptions};
 use vcsel_numerics::{
     AnyPreconditioner, CsrMatrix, NumericsError, PreconditionerKind, SolveLadder, TripletBuilder,
 };
+use vcsel_telemetry::{ArgValue, TelemetrySink};
 use vcsel_units::{Celsius, Meters};
 
 use crate::assembly::{self, BoundaryFace};
@@ -251,6 +252,25 @@ impl TransientStepper {
         &self.health
     }
 
+    /// Replaces the stepper's telemetry sink. The [`SolveLadder`] owns the
+    /// handle, so rung attempts, escalations and the per-step
+    /// `transient_step` spans all record through the same buffer.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.ladder.set_telemetry(sink);
+    }
+
+    /// Builder form of [`TransientStepper::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.set_telemetry(sink);
+        self
+    }
+
+    /// The stepper's telemetry sink (disabled unless tracing is on).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        self.ladder.telemetry()
+    }
+
     /// Corrupts the active preconditioner's apply until the next ladder
     /// escalation (fault-injection hook; the next step genuinely stalls on
     /// the corrupted rung and recovers on the one below it).
@@ -319,13 +339,29 @@ impl TransientStepper {
         if !self.warm_start {
             self.temps.fill(0.0);
         }
-        let summary = self.ladder.solve(
-            &self.system,
-            &self.rhs,
-            &mut self.temps,
-            &self.options,
-            &mut self.ws,
-        )?;
+        let sink = self.ladder.telemetry().clone();
+        let start_ns = vcsel_telemetry::now_ns();
+        let timer = std::time::Instant::now();
+        let summary = {
+            let mut span = sink.span("thermal", "transient_step");
+            span.arg("step", ArgValue::U64(self.steps as u64));
+            span.arg("unknowns", ArgValue::U64(self.temps.len() as u64));
+            self.ladder.solve(
+                &self.system,
+                &self.rhs,
+                &mut self.temps,
+                &self.options,
+                &mut self.ws,
+            )?
+        };
+        if sink.is_enabled() {
+            let mut sample = self.ladder.telemetry_sample(&summary, &self.ws);
+            sample.label = format!("transient_step/{}", self.steps);
+            sample.cat = "thermal";
+            sample.start_ns = start_ns;
+            sample.dur_ns = u64::try_from(timer.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            sink.record_sample(sample);
+        }
         self.last_iterations = summary.iterations;
         self.total_iterations += summary.total_iterations;
         self.health = SolveHealth::from_ladder(summary, self.ladder.attempts());

@@ -14,6 +14,15 @@ use vcsel_thermal::Simulator;
 use vcsel_units::Watts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Root span drops at the end of `run`, then the trace flushes
+    // (`finish_global` is a no-op unless VCSEL_TRACE=full).
+    let result = run();
+    vcsel_telemetry::finish_global("fig10");
+    result
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let _root = vcsel_telemetry::global().span("report", "fig10");
     let cli = FigureCli::parse(Fidelity::Fast)?;
     let store = cli.checkpoints("fig10");
     let config = SccConfig { fidelity: cli.fidelity, ..SccConfig::default() };

@@ -16,6 +16,15 @@ use vcsel_thermal::Simulator;
 use vcsel_units::Watts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The root span must drop before the trace is flushed, hence the
+    // inner function; `finish_global` is a no-op unless VCSEL_TRACE=full.
+    let result = run();
+    vcsel_telemetry::finish_global("fig9");
+    result
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let _root = vcsel_telemetry::global().span("report", "fig9");
     let cli = FigureCli::parse(Fidelity::Fast)?;
     let store = cli.checkpoints("fig9");
     let config = SccConfig { fidelity: cli.fidelity, ..SccConfig::default() };

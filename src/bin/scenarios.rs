@@ -68,6 +68,7 @@ fn parse_cli() -> Result<Cli, FlowError> {
 }
 
 fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let _root = vcsel_telemetry::global().span("report", "scenarios");
     let cli = parse_cli()?;
     let all = catalogue();
 
@@ -129,7 +130,11 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    // The root span drops inside `run`, so the flush below sees the full
+    // timeline (`finish_global` is a no-op unless VCSEL_TRACE=full).
+    let outcome = run();
+    vcsel_telemetry::finish_global("scenarios");
+    match outcome {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,0 +1,220 @@
+//! Validates a chrome-trace JSON file written by the telemetry subsystem
+//! (`VCSEL_TRACE=full` + any report binary) — the CI gate that keeps the
+//! trace output loadable by `chrome://tracing` / Perfetto.
+//!
+//! Checks, in order:
+//!
+//! 1. the file parses as JSON and has the Trace Event Format shape:
+//!    a top-level object with a `"traceEvents"` array whose entries carry
+//!    `name`/`cat`/`ph`/`ts` (and `dur` for `"ph": "X"` spans);
+//! 2. every span named with `--expect-span` is present;
+//! 3. the expected spans cover at least `--min-coverage` (default 0.95)
+//!    of the trace's wall-clock extent — the "no untraced gaps" bar;
+//! 4. with `--expect-samples`, at least one `solve_sample` instant with a
+//!    non-empty `residuals` history is present.
+//!
+//! ```text
+//! cargo run --release --bin trace_check -- reports/traces/fig9.trace.json \
+//!     --expect-span fig9 --expect-samples
+//! ```
+//!
+//! Exits non-zero with a one-line reason on the first failed check.
+
+use std::process::ExitCode;
+
+use serde::{Deserialize, Value};
+
+/// Newtype so the dynamic JSON tree can ride through `serde_json::from_str`
+/// (the offline shim's `Value` has no blanket `Deserialize` impl).
+struct Json(Value);
+
+impl Deserialize for Json {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        Ok(Json(value.clone()))
+    }
+}
+
+struct Cli {
+    path: String,
+    expect_spans: Vec<String>,
+    min_coverage: f64,
+    expect_samples: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut path = None;
+    let mut expect_spans = Vec::new();
+    let mut min_coverage = 0.95;
+    let mut expect_samples = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--expect-span" => {
+                expect_spans.push(args.next().ok_or("--expect-span needs a span name")?);
+            }
+            "--min-coverage" => {
+                let v = args.next().ok_or("--min-coverage needs a fraction")?;
+                min_coverage = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|c| (0.0..=1.0).contains(c))
+                    .ok_or_else(|| format!("--min-coverage must be in [0, 1], got '{v}'"))?;
+            }
+            "--expect-samples" => expect_samples = true,
+            other => {
+                if path.is_none() && !other.starts_with('-') {
+                    path = Some(other.to_string());
+                } else {
+                    return Err(format!("unknown argument '{other}'"));
+                }
+            }
+        }
+    }
+    Ok(Cli {
+        path: path.ok_or(
+            "usage: trace_check <trace.json> [--expect-span NAME]... \
+                          [--min-coverage F] [--expect-samples]",
+        )?,
+        expect_spans,
+        min_coverage,
+        expect_samples,
+    })
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn check(cli: &Cli) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(&cli.path).map_err(|e| format!("cannot read {}: {e}", cli.path))?;
+    let Json(root) = serde_json::from_str(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing top-level \"traceEvents\"")?
+        .as_array()
+        .ok_or("\"traceEvents\" is not an array")?;
+    if events.is_empty() {
+        return Err("trace has no events".into());
+    }
+
+    // Per-event schema + extent accumulation (ts/dur are microseconds).
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut spans: Vec<(&str, f64, f64)> = Vec::new();
+    let mut sampled_residuals = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(as_str)
+            .ok_or_else(|| format!("event {i}: missing \"name\""))?;
+        ev.get("cat")
+            .and_then(as_str)
+            .ok_or_else(|| format!("event {i} ({name}): missing \"cat\""))?;
+        let ph = ev
+            .get("ph")
+            .and_then(as_str)
+            .ok_or_else(|| format!("event {i} ({name}): missing \"ph\""))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i} ({name}): missing numeric \"ts\""))?;
+        let end = match ph {
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("span {i} ({name}): missing numeric \"dur\""))?;
+                spans.push((name, ts, ts + dur));
+                ts + dur
+            }
+            "i" | "C" => ts,
+            other => return Err(format!("event {i} ({name}): unknown ph \"{other}\"")),
+        };
+        lo = lo.min(ts);
+        hi = hi.max(end);
+        if name == "solve_sample" {
+            let residuals = ev
+                .get("args")
+                .and_then(|a| a.get("residuals"))
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("event {i}: solve_sample without a residuals history"))?;
+            sampled_residuals += usize::from(!residuals.is_empty());
+        }
+    }
+
+    for expected in &cli.expect_spans {
+        if !spans.iter().any(|(name, _, _)| name == expected) {
+            return Err(format!("expected span \"{expected}\" not found"));
+        }
+    }
+
+    // Coverage: union of the expected spans' intervals over the extent.
+    // (With no --expect-span, all spans count.)
+    let mut intervals: Vec<(f64, f64)> = spans
+        .iter()
+        .filter(|(name, _, _)| {
+            cli.expect_spans.is_empty() || cli.expect_spans.iter().any(|e| e == name)
+        })
+        .map(|&(_, a, b)| (a, b))
+        .collect();
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut covered = 0.0;
+    let mut cursor = f64::NEG_INFINITY;
+    for (a, b) in intervals {
+        let a = a.max(cursor);
+        if b > a {
+            covered += b - a;
+            cursor = b;
+        }
+    }
+    let extent = hi - lo;
+    let coverage = if extent > 0.0 { covered / extent } else { 1.0 };
+    if coverage < cli.min_coverage {
+        return Err(format!(
+            "span coverage {:.1}% of the {:.1} ms extent is below the {:.1}% bar",
+            coverage * 100.0,
+            extent / 1e3,
+            cli.min_coverage * 100.0
+        ));
+    }
+
+    if cli.expect_samples && sampled_residuals == 0 {
+        return Err("no solve_sample with a non-empty residual history".into());
+    }
+
+    Ok(format!(
+        "{}: {} event(s), {} span(s), {} solve sample(s) with residuals, \
+         {:.1}% coverage of {:.1} ms",
+        cli.path,
+        events.len(),
+        spans.len(),
+        sampled_residuals,
+        coverage * 100.0,
+        extent / 1e3,
+    ))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("trace_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&cli) {
+        Ok(report) => {
+            println!("trace_check OK — {report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_check FAILED [{}]: {e}", cli.path);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Observability contract tests: the telemetry subsystem end to end.
+//!
+//! Three bars from the observability PR are pinned here:
+//!
+//! 1. **Zero observable effect**: solving with a full-capture sink must
+//!    produce the bitwise-identical temperature field and the same CG
+//!    iteration count as solving with telemetry disabled — instrumentation
+//!    may time and count, never steer.
+//! 2. **Export validity**: the hand-rolled chrome-trace writer must emit
+//!    JSON that a strict parser accepts, with the Trace Event Format
+//!    fields intact (round-tripped through the `serde_json` shim).
+//! 3. **Event coverage**: a scenario run through an attached sink must
+//!    leave the story in the trace — rung attempts, the forced
+//!    escalation, the remap triggered by a VCSEL death, the fault
+//!    markers and per-solve samples with residual histories.
+
+use vcsel_arch::{SccConfig, SccSystem};
+use vcsel_core::scenarios::{
+    run_scenario_with, FaultEvent, FaultKind, MetricPins, Scenario, TrafficPattern, DEFAULT_SEED,
+};
+use vcsel_telemetry::{export, EventKind, TelemetrySink, TraceMode};
+use vcsel_thermal::SolveContext;
+use vcsel_units::{Celsius, Watts};
+
+fn tiny_system() -> (SccSystem, vcsel_thermal::MeshSpec) {
+    let config = SccConfig { p_vcsel: Watts::from_milliwatts(4.0), ..SccConfig::tiny_test() };
+    let system = SccSystem::build(&config).expect("tiny SCC builds");
+    let spec = system.mesh_spec().expect("mesh spec");
+    (system, spec)
+}
+
+#[test]
+fn tracing_on_and_off_produce_bitwise_identical_solves() {
+    let (system, spec) = tiny_system();
+
+    let mut off = SolveContext::new(system.design(), &spec)
+        .expect("context")
+        .with_telemetry(TelemetrySink::disabled());
+    let sink = TelemetrySink::new(TraceMode::Full);
+    let mut on =
+        SolveContext::new(system.design(), &spec).expect("context").with_telemetry(sink.clone());
+
+    let map_off = off.solve().expect("untraced solve");
+    let map_on = on.solve().expect("traced solve");
+
+    assert_eq!(
+        off.last_iterations(),
+        on.last_iterations(),
+        "tracing changed the CG iteration count"
+    );
+    assert_eq!(map_off.temperatures().len(), map_on.temperatures().len());
+    for (i, (a, b)) in map_off.temperatures().iter().zip(map_on.temperatures()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "cell {i}: {a} (off) vs {b} (on)");
+    }
+
+    // The traced run must actually have captured something.
+    let data = sink.drain();
+    assert!(
+        data.events.iter().any(|e| e.name == "steady_solve" && e.cat == "thermal"),
+        "missing the steady_solve span"
+    );
+    let sample = data.samples.first().expect("one solve sample");
+    assert_eq!(sample.iterations as usize, on.last_iterations());
+    assert!(
+        !sample.residual_history.is_empty(),
+        "full mode must capture the per-iteration residual history"
+    );
+    assert!(sample.converged && sample.residual.is_finite());
+}
+
+#[test]
+fn chrome_trace_export_round_trips_through_a_strict_json_parser() {
+    let sink = TelemetrySink::new(TraceMode::Full);
+    {
+        let mut root = sink.span("test", "root");
+        root.arg("label", vcsel_telemetry::ArgValue::Str("a\"quoted\"\nlabel"));
+        let _inner = sink.span("test", "inner");
+    }
+    sink.instant("test", "marker", &[vcsel_telemetry::Arg::f64("value", 1.5)]);
+    sink.counter("test", "gauge", 42.0);
+
+    let data = sink.drain();
+    assert_eq!(data.events.len(), 4);
+    let json = export::chrome_trace_json(&data);
+
+    // The shim's parser is strict (rejects trailing garbage, bad escapes,
+    // non-finite numbers), so a clean parse is the validity bar.
+    let root: serde::Value = {
+        struct Raw(serde::Value);
+        impl serde::Deserialize for Raw {
+            fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+                Ok(Raw(value.clone()))
+            }
+        }
+        serde_json::from_str::<Raw>(&json).expect("trace JSON parses").0
+    };
+
+    let events = root
+        .get("traceEvents")
+        .and_then(serde::Value::as_array)
+        .expect("traceEvents array present");
+    assert_eq!(events.len(), 4);
+    for ev in events {
+        let ph = ev.get("ph").expect("ph present");
+        assert!(
+            matches!(ph, serde::Value::Str(s) if ["X", "i", "C"].contains(&s.as_str())),
+            "unknown phase {ph:?}"
+        );
+        assert!(ev.get("ts").and_then(serde::Value::as_f64).is_some(), "numeric ts");
+        if matches!(ph, serde::Value::Str(s) if s == "X") {
+            assert!(ev.get("dur").and_then(serde::Value::as_f64).is_some(), "span dur");
+        }
+    }
+    // The escaped arg string survives the round trip intact.
+    let root_span = events
+        .iter()
+        .find(|e| e.get("name") == Some(&serde::Value::Str("root".into())))
+        .expect("root span exported");
+    assert_eq!(
+        root_span.get("args").and_then(|a| a.get("label")),
+        Some(&serde::Value::Str("a\"quoted\"\nlabel".into()))
+    );
+}
+
+#[test]
+fn scenario_trace_carries_escalation_remap_and_fault_events() {
+    // The compressed cascade from the fault-injection suite, this time
+    // with a sink attached: the closed-loop responses must appear as
+    // structured events, not just aggregate report counters.
+    let scenario = Scenario {
+        name: "telemetry-cascade",
+        description: "compressed cascade for the trace contract",
+        steps: 12,
+        dt_s: 1e-2,
+        control_period: 3,
+        temp_limit: Celsius::new(95.0),
+        traffic: TrafficPattern::AllToAll,
+        events: vec![
+            FaultEvent { at_step: 2, kind: FaultKind::SolverFault },
+            FaultEvent { at_step: 4, kind: FaultKind::VcselDeath { oni: 1 } },
+            FaultEvent { at_step: 6, kind: FaultKind::TrafficBurst { multiplier: 2.0 } },
+        ],
+        pins: MetricPins::default(),
+    };
+    let sink = TelemetrySink::new(TraceMode::Full);
+    let report = run_scenario_with(&scenario, DEFAULT_SEED, &sink).expect("scenario runs");
+    assert!(report.solver_escalations >= 1 && report.remap_ran);
+
+    let data = sink.drain();
+    let has = |cat: &str, name: &str| data.events.iter().any(|e| e.cat == cat && e.name == name);
+    assert!(has("solver", "rung_attempt"), "rung attempts missing from the trace");
+    assert!(has("solver", "escalation"), "the forced escalation missing from the trace");
+    assert!(has("scenario", "remap"), "the remap event missing from the trace");
+    assert!(has("scenario", "remap_search"), "the remap search span missing");
+    assert!(has("scenario", "fault"), "fault markers missing from the trace");
+    assert!(has("scenario", "scenario_run"), "the run-level span missing");
+    assert!(has("thermal", "transient_step"), "per-step spans missing");
+
+    // Spans nest: every transient_step must sit inside the run span.
+    let run_span = data
+        .events
+        .iter()
+        .find(|e| e.name == "scenario_run" && e.kind == EventKind::Span)
+        .expect("run span recorded");
+    let run_end = run_span.start_ns + run_span.dur_ns;
+    for step in data.events.iter().filter(|e| e.name == "transient_step") {
+        assert!(
+            step.start_ns >= run_span.start_ns && step.start_ns + step.dur_ns <= run_end,
+            "a step span escaped the run span"
+        );
+    }
+
+    // One solve sample per transient step, each with its residual history
+    // and the scenario phase timings accounted for in the report.
+    assert_eq!(data.samples.len(), scenario.steps);
+    assert!(data.samples.iter().all(|s| !s.residual_history.is_empty()));
+    let sampled: u64 = data.samples.iter().map(|s| s.total_iterations).sum();
+    assert_eq!(sampled as usize, report.cg_iterations, "sampled CG iterations disagree");
+    assert!(report.setup_ms > 0.0 && report.step_ms > 0.0, "phase timings missing");
+}
