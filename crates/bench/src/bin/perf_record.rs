@@ -32,6 +32,14 @@
 //!    the engine path (IC(0) factored once + warm starts): once with the
 //!    serial triangular solves and once with the level-scheduled parallel
 //!    apply, recording steps/second and the wall-clock speedups.
+//! 6. **Batched DSE sweep** — a 100-point power sweep on the tiny system
+//!    evaluated two ways: the sequential path (one warm-started
+//!    `solve_scaled` per point) vs the batched path (a
+//!    `ResponseBasis::build_on_batched` block solve, then one `compose`
+//!    per point). Records both wall clocks and the throughput ratio; on
+//!    machines with at least two hardware threads the batched path must
+//!    be ≥ 3× faster. `PERF_RECORD_DSE=smoke` shrinks the sweep to 20
+//!    points for CI.
 //!
 //! Every threaded section stamps the worker count it ran with (`threads`,
 //! respecting the `VCSEL_THREADS` override); on a single-core machine the
@@ -62,7 +70,8 @@ use vcsel_numerics::{
     Preconditioner,
 };
 use vcsel_thermal::{
-    Design, MeshSpec, MultigridConfig, PreconditionerKind, SolveContext, TransientStepper,
+    Design, MeshSpec, MultigridConfig, PreconditionerKind, ResponseBasis, SolveContext,
+    TransientStepper,
 };
 use vcsel_units::{Celsius, Watts};
 
@@ -83,6 +92,25 @@ fn fast_mode() -> String {
 
 fn paper_enabled() -> bool {
     matches!(std::env::var("PERF_RECORD_PAPER").as_deref(), Ok("1") | Ok("true"))
+}
+
+/// DSE sweep size: 100 by default; `PERF_RECORD_DSE=smoke` is CI's
+/// 20-point budget, any integer picks an explicit size.
+fn dse_points() -> usize {
+    match std::env::var("PERF_RECORD_DSE").as_deref() {
+        Ok("smoke") => 20,
+        Ok(v) => v.parse().unwrap_or(100),
+        Err(_) => 100,
+    }
+}
+
+struct DseBatchRecord {
+    points: usize,
+    unknowns: usize,
+    threads: usize,
+    sequential_s: f64,
+    batched_s: f64,
+    throughput_ratio: f64,
 }
 
 struct SteadyRecord {
@@ -526,6 +554,59 @@ fn run() {
          {apply_speedup:.2}x"
     );
 
+    // ---- Batched DSE sweep: shared basis vs per-point solves -----------
+    let phase_t = Instant::now();
+    let phase_span = sink.span("perf", "dse_batch");
+    let dse_n = dse_points();
+    // Every point paints all power groups at the same scale; the spread
+    // is wide enough that warm starts cannot make the sequential loop
+    // trivially cheap.
+    let dse_scales: Vec<f64> =
+        (0..dse_n).map(|i| 0.25 + 2.75 * i as f64 / (dse_n.max(2) - 1) as f64).collect();
+    let dse_paintings: Vec<Vec<(&str, f64)>> =
+        dse_scales.iter().map(|&s| group_names.iter().map(|g| (g.as_str(), s)).collect()).collect();
+
+    let mut seq_ctx = SolveContext::new(design, &spec).expect("sequential DSE context");
+    let seq_t = Instant::now();
+    let seq_hot: Vec<f64> = dse_paintings
+        .iter()
+        .map(|p| seq_ctx.solve_scaled(p).expect("sequential point solves").hottest().1.value())
+        .collect();
+    let sequential_s = seq_t.elapsed().as_secs_f64();
+
+    let mut batch_ctx = SolveContext::new(design, &spec).expect("batched DSE context");
+    let batch_t = Instant::now();
+    let basis = ResponseBasis::build_on_batched(&mut batch_ctx).expect("batched basis builds");
+    let batch_hot: Vec<f64> = dse_paintings
+        .iter()
+        .map(|p| basis.compose(p).expect("point composes").hottest().1.value())
+        .collect();
+    let batched_s = batch_t.elapsed().as_secs_f64();
+
+    for (i, (a, b)) in seq_hot.iter().zip(&batch_hot).enumerate() {
+        assert!((a - b).abs() < 1e-5, "DSE point {i}: sequential hottest {a} vs batched {b}");
+    }
+    let dse = DseBatchRecord {
+        points: dse_n,
+        unknowns,
+        threads: hardware_threads(),
+        sequential_s,
+        batched_s,
+        throughput_ratio: sequential_s / batched_s,
+    };
+    println!(
+        "[dse_batch] {} points on {} unknowns: sequential {:.3} s, batched {:.3} s \
+         ({:.1}x throughput, {} threads)",
+        dse.points,
+        dse.unknowns,
+        dse.sequential_s,
+        dse.batched_s,
+        dse.throughput_ratio,
+        dse.threads,
+    );
+    drop(phase_span);
+    phases.push(("dse_batch", phase_t.elapsed().as_secs_f64() * 1e3));
+
     // ---- Emit JSON -----------------------------------------------------
     let transient_json: Vec<String> = transient
         .iter()
@@ -614,6 +695,18 @@ fn run() {
             .collect();
         format!(",\n  \"phases\": [\n{}\n  ]", rows.join(",\n"))
     };
+    let dse_json = format!(
+        ",\n  \"dse_batch\": {{ \"points\": {}, \"unknowns\": {}, \"threads\": {}, \
+         \"sequential_s\": {:.4}, \"batched_s\": {:.4}, \"throughput_ratio\": {:.3}, \
+         \"ratio_assertion\": {} }}",
+        dse.points,
+        dse.unknowns,
+        dse.threads,
+        dse.sequential_s,
+        dse.batched_s,
+        dse.throughput_ratio,
+        speedup_note(dse.threads),
+    );
     let paper_json = paper
         .as_ref()
         .map(|p| {
@@ -636,10 +729,10 @@ fn run() {
         })
         .unwrap_or_default();
     let json = format!(
-        "{{\n  \"schema\": \"bench_solvers_v5\",\n  \"generated_by\": \"perf_record\",\n  \
+        "{{\n  \"schema\": \"bench_solvers_v6\",\n  \"generated_by\": \"perf_record\",\n  \
          \"workload\": \"SccConfig tiny_test + full-die Fast, p_vcsel = 4 mW\",\n  \
          \"unknowns\": {unknowns},\n  \
-         \"steady\": [\n{}\n  ]{fast_json}{fast_ratio}{vcycle_json}{trisolve_json}{paper_json}\
+         \"steady\": [\n{}\n  ]{fast_json}{fast_ratio}{vcycle_json}{trisolve_json}{dse_json}{paper_json}\
          {phases_json},\n  \
          \"transient\": {{\n    \
          \"steps\": {steps},\n    \"dt_s\": {TRANSIENT_DT_S},\n    \
@@ -723,5 +816,19 @@ fn run() {
     }
     if transient_threads < 2 {
         println!("[transient] single-core: threaded-apply speedup assertion skipped");
+    }
+    // The batched-DSE bar: the shared basis + compose path must deliver at
+    // least 3x the sweep throughput of per-point solves. The win is
+    // algorithmic, but it is still a wall-clock ratio, so it follows the
+    // same single-core skip convention as the threading bars.
+    if dse.threads >= 2 {
+        assert!(
+            dse.throughput_ratio >= 3.0,
+            "batched DSE throughput {:.2}x < 3x over {} points",
+            dse.throughput_ratio,
+            dse.points
+        );
+    } else {
+        println!("[dse_batch] single-core: throughput assertion skipped");
     }
 }

@@ -13,8 +13,11 @@ const REF_DEVICE_POWER: Watts = Watts::from_milliwatts(1.0);
 
 /// A solved-and-reusable thermal model of one system configuration.
 ///
-/// Construction performs the expensive FVM solves (one per power group);
-/// every subsequent [`ThermalStudy::evaluate`] is vector arithmetic. The
+/// Construction performs the expensive FVM solves — the baseline plus one
+/// per power group, batched through a single multi-right-hand-side block
+/// solve ([`ResponseBasis::build_on_batched`]) so every operator sweep
+/// serves all basis columns; every subsequent [`ThermalStudy::evaluate`]
+/// is vector arithmetic. The
 /// chip-activity *pattern* and all geometry are fixed at construction;
 /// P_VCSEL, P_heater and P_chip vary freely.
 ///
@@ -62,13 +65,13 @@ impl ThermalStudy {
             // The reuse path must honour the caller's solver options
             // exactly like the rebuild path does.
             self.ctx.set_options(*sim.options());
-            self.basis = ResponseBasis::build_on(&mut self.ctx)?;
+            self.basis = ResponseBasis::build_on_batched(&mut self.ctx)?;
             self.system = system;
             self.ref_chip_power = ref_chip_power;
             return Ok(self);
         }
         let mut ctx = SolveContext::on_mesh(system.design(), mesh)?.with_options(*sim.options());
-        let basis = ResponseBasis::build_on(&mut ctx)?;
+        let basis = ResponseBasis::build_on_batched(&mut ctx)?;
         Ok(Self { system, ctx, basis, ref_chip_power })
     }
 
@@ -79,7 +82,7 @@ impl ThermalStudy {
     ) -> Result<Self, FlowError> {
         let spec = system.mesh_spec()?;
         let mut ctx = SolveContext::new(system.design(), &spec)?.with_options(*sim.options());
-        let basis = ResponseBasis::build_on(&mut ctx)?;
+        let basis = ResponseBasis::build_on_batched(&mut ctx)?;
         Ok(Self { system, ctx, basis, ref_chip_power })
     }
 

@@ -43,6 +43,7 @@
 // Lint levels (forbid(unsafe_code), warn(missing_docs), the clippy set)
 // come from [workspace.lints] in the root Cargo.toml.
 
+pub mod batch;
 pub mod calibration;
 mod error;
 pub mod experiments;
@@ -53,6 +54,7 @@ pub mod scenarios;
 mod snr;
 pub mod spec;
 
+pub use batch::{BatchPlan, SweepOverride, SweepSpec};
 pub use error::FlowError;
 pub use flow::{HeaterExploration, HeaterPoint, ThermalOutcome, ThermalStudy};
 pub use power::{explore_vcsel_power, PowerExploration, PowerPoint};

@@ -311,6 +311,25 @@ pub fn run_spec(spec: &SystemSpec) -> Result<DseReport, FlowError> {
     let config = spec.to_config()?;
     let flow = DesignFlow::paper();
     let study = ThermalStudy::new(config, flow.simulator())?;
+    evaluate_with_study(spec, &study, &flow)
+}
+
+/// The heater-sizing → SNR → report tail of [`run_spec`], on an **already
+/// built** [`ThermalStudy`]. Batched sweeps ([`crate::BatchPlan`]) call
+/// this once per point while re-targeting one shared study, so the
+/// expensive assembly/factorization/basis work amortizes across every
+/// point that shares the engine. `study` must have been built from
+/// `spec.to_config()` (or re-targeted to it via
+/// [`ThermalStudy::reconfigured`]).
+///
+/// # Errors
+///
+/// Propagates configuration, solver and analysis errors.
+pub fn evaluate_with_study(
+    spec: &SystemSpec,
+    study: &ThermalStudy,
+    flow: &DesignFlow,
+) -> Result<DseReport, FlowError> {
     let p_vcsel = Watts::from_milliwatts(spec.p_vcsel_mw);
     let p_chip = Watts::new(spec.p_chip_w);
 

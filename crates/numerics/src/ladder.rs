@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use vcsel_telemetry::{Arg, AttemptSample, SolveSample, TelemetrySink};
 
+use crate::block_solver::{block_preconditioned_cg, BlockCgWorkspace, BlockVector};
 use crate::precond::{AnyPreconditioner, Preconditioner, PreconditionerKind};
 use crate::solver::{preconditioned_cg, CgStop, CgSummary, CgWorkspace, SolveOptions};
 use crate::{CsrMatrix, NumericsError};
@@ -435,6 +436,40 @@ impl SolveLadder {
             }
         }
         sample
+    }
+
+    /// Solves `A X = B` for a block of right-hand sides on the **active
+    /// rung** with [`block_preconditioned_cg`], honouring an injected
+    /// apply fault exactly like the scalar path (the block runs against
+    /// the same `CorruptApply` wrapper, so fault scenarios see the same
+    /// stall/divergence behaviour batched as sequential).
+    ///
+    /// Unlike [`solve`](SolveLadder::solve) there is **no escalation**:
+    /// per-column failures come back as typed [`CgSummary`] outcomes and
+    /// the caller decides which columns to re-solve through the scalar
+    /// ladder. This keeps batched throughput predictable — one rung, one
+    /// pass — while the self-healing story stays available per column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`block_preconditioned_cg`]'s shape/definiteness errors.
+    pub fn solve_block(
+        &mut self,
+        a: &CsrMatrix,
+        b: &BlockVector,
+        x: &mut BlockVector,
+        opts: &SolveOptions,
+        ws: &mut BlockCgWorkspace,
+    ) -> Result<Vec<CgSummary>, NumericsError> {
+        let faulted = self.rungs[self.active].faulted;
+        let precond =
+            self.rungs[self.active].precond.as_mut().expect("active rung is always built");
+        if faulted {
+            let mut corrupted = CorruptApply(precond);
+            block_preconditioned_cg(a, b, x, &mut corrupted, opts, ws)
+        } else {
+            block_preconditioned_cg(a, b, x, precond, opts, ws)
+        }
     }
 
     /// Retires the active rung and activates the next buildable one.

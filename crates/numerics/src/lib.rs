@@ -21,6 +21,10 @@
 //!   time and applies the two triangular solves as level-scheduled
 //!   (wavefront) parallel sweeps on large systems — bitwise-deterministic
 //!   for every worker count, exact-serial below the SpMV size gate,
+//! * [`block_solver`]: multi-RHS block CG — k independent recurrences in
+//!   lockstep over a [`BlockVector`] bundle, one operator stream per
+//!   iteration shared by every active column, converged columns deflated
+//!   from the sweep — the engine behind batched design-space sweeps,
 //! * [`multigrid`]: a smoothed-aggregation algebraic multigrid hierarchy
 //!   (V-/F-cycles, Galerkin coarse operators, dense coarsest solve,
 //!   size-gated threaded smoothers and transfers) usable standalone or as
@@ -49,6 +53,7 @@
 // Lint levels (forbid(unsafe_code), warn(missing_docs), the clippy set)
 // come from [workspace.lints] in the root Cargo.toml.
 
+pub mod block_solver;
 mod error;
 mod interp;
 pub mod ladder;
@@ -60,6 +65,7 @@ mod sparse;
 pub mod special;
 mod stats;
 
+pub use block_solver::{block_preconditioned_cg, BlockCgWorkspace, BlockVector};
 pub use error::NumericsError;
 pub use interp::{Interp1d, Interp2d};
 pub use ladder::{LadderSummary, RungAttempt, RungOutcome, SolveLadder};

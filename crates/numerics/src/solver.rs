@@ -60,11 +60,11 @@ pub struct Solution {
     pub converged: bool,
 }
 
-fn dot(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-fn norm2(a: &[f64]) -> f64 {
+pub(crate) fn norm2(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
@@ -156,7 +156,7 @@ pub const STALL_WINDOW: usize = 500;
 
 /// Minimum relative best-residual improvement that counts as progress for
 /// the [`STALL_WINDOW`] stall detector.
-const STALL_IMPROVEMENT: f64 = 1e-6;
+pub(crate) const STALL_IMPROVEMENT: f64 = 1e-6;
 
 /// Relative residual beyond which [`preconditioned_cg`] declares
 /// divergence. A cold start begins at a relative residual of 1 and a warm
@@ -395,7 +395,7 @@ pub fn preconditioned_cg<P: Preconditioner + ?Sized>(
 /// allocation-free, while this failure path may format freely.
 #[cold]
 #[inline(never)]
-fn indefinite_matrix_error(pap: f64) -> NumericsError {
+pub(crate) fn indefinite_matrix_error(pap: f64) -> NumericsError {
     NumericsError::BadMatrix {
         reason: format!("matrix is not positive definite (pᵀAp = {pap:.3e})"),
     }

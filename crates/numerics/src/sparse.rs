@@ -8,6 +8,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use crate::block_solver::BlockVector;
 use crate::NumericsError;
 
 /// Parses a `VCSEL_THREADS`-style override: `Some(n.max(1))` for a parsable
@@ -544,6 +545,115 @@ impl CsrMatrix {
         }
         bounds.push(self.rows);
         bounds
+    }
+
+    /// Computes `Y = A * X` for a k-column block in **one sweep** of the
+    /// operator: each row's nonzeros are read once and serve all k column
+    /// accumulations while still hot, instead of being re-streamed from
+    /// memory k times by k scalar [`CsrMatrix::multiply_into`] calls.
+    ///
+    /// Per column the accumulation order is exactly
+    /// [`CsrMatrix::mul_vec_into`]'s, and the threaded path reuses the
+    /// same nnz-balanced row partition with the same gate, so every column
+    /// of the result is bitwise identical to its scalar product — the
+    /// property the block-CG degeneracy tests pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` disagree in shape with the operator or each
+    /// other.
+    pub fn multiply_block_into(&self, x: &BlockVector, y: &mut BlockVector) {
+        let threads = hardware_threads().min(Self::MAX_SPMV_THREADS);
+        if threads < 2 || self.nnz() < Self::PARALLEL_NNZ_THRESHOLD {
+            self.mul_block_into(x, y);
+        } else {
+            self.mul_block_into_threaded(x, y, threads);
+        }
+    }
+
+    /// Serial block SpMV kernel: rows outer, columns inner, so each row's
+    /// values/indices stay in cache across the k column accumulations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer shapes are wrong.
+    pub fn mul_block_into(&self, x: &BlockVector, y: &mut BlockVector) {
+        let k = x.columns();
+        assert_eq!(x.rows(), self.cols);
+        assert_eq!(y.rows(), self.rows);
+        assert_eq!(y.columns(), k);
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            for j in 0..k {
+                let xj = x.column(j);
+                let mut acc = 0.0;
+                for t in lo..hi {
+                    acc += self.values[t] * xj[self.col_idx[t] as usize];
+                }
+                y.column_mut(j)[r] = acc;
+            }
+        }
+    }
+
+    /// Hands each worker one nnz-balanced row band of **every** column:
+    /// band `b` owns rows `bounds[b]..bounds[b+1]` of all k output
+    /// columns, carved out of the column-major storage as disjoint
+    /// `&mut` slices up front so the scoped workers need no further
+    /// synchronisation. Same bands as [`CsrMatrix::mul_vec_into_threaded`],
+    /// so per column the result is bitwise identical to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer shapes are wrong or `threads` is zero.
+    pub fn mul_block_into_threaded(&self, x: &BlockVector, y: &mut BlockVector, threads: usize) {
+        let k = x.columns();
+        assert_eq!(x.rows(), self.cols);
+        assert_eq!(y.rows(), self.rows);
+        assert_eq!(y.columns(), k);
+        assert!(threads > 0, "need at least one worker thread");
+        let threads = threads.min(self.rows.max(1));
+        if threads == 1 {
+            self.mul_block_into(x, y);
+            return;
+        }
+
+        let bounds = self.nnz_balanced_rows(threads);
+        let rows = self.rows;
+
+        // bands[b][j] = rows bounds[b]..bounds[b+1] of output column j.
+        let mut bands: Vec<Vec<&mut [f64]>> =
+            (1..bounds.len()).map(|_| Vec::with_capacity(k)).collect();
+        for column in y.data_mut().chunks_mut(rows) {
+            let mut rest = column;
+            for (b, pair) in bounds.windows(2).enumerate() {
+                let (head, tail) = rest.split_at_mut(pair[1] - pair[0]);
+                rest = tail;
+                bands[b].push(head);
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for (b, band_columns) in bands.into_iter().enumerate() {
+                let start = bounds[b];
+                if bounds[b + 1] == start {
+                    continue;
+                }
+                scope.spawn(move || {
+                    for (j, band) in band_columns.into_iter().enumerate() {
+                        let xj = x.column(j);
+                        for (offset, yr) in band.iter_mut().enumerate() {
+                            let r = start + offset;
+                            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+                            let mut acc = 0.0;
+                            for t in lo..hi {
+                                acc += self.values[t] * xj[self.col_idx[t] as usize];
+                            }
+                            *yr = acc;
+                        }
+                    }
+                });
+            }
+        });
     }
 
     /// Returns the transpose `Aᵀ` (counting sort over columns, `O(nnz)`).

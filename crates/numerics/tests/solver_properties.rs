@@ -6,8 +6,9 @@ use vcsel_numerics::solver::{
     bicgstab, conjugate_gradient, preconditioned_cg, sor, CgWorkspace, SolveOptions,
 };
 use vcsel_numerics::{
-    golden_section_min, grid_argmin, CsrMatrix, IncompleteCholesky, Interp1d, MultigridConfig,
-    Preconditioner, PreconditionerKind, TripletBuilder,
+    block_preconditioned_cg, golden_section_min, grid_argmin, BlockCgWorkspace, BlockVector,
+    CsrMatrix, IncompleteCholesky, Interp1d, MultigridConfig, Preconditioner, PreconditionerKind,
+    TripletBuilder,
 };
 
 /// Random SPD stencil matrix: a 2-D 5-point grid Laplacian with per-edge
@@ -257,6 +258,63 @@ proptest! {
             // summation order (gather over Lᵀ vs scatter over L).
             prop_assert!((s - w).abs() <= 1e-15 * scale,
                 "serial {s} vs level-scheduled {w} (scale {scale})");
+        }
+    }
+
+    #[test]
+    fn block_cg_matches_sequential_cg_on_random_stencils(
+        nx in 3usize..7,
+        ny in 3usize..7,
+        nz in 2usize..5,
+        k_pick in 0usize..4,
+        seed in proptest::collection::vec(-2.0f64..2.0, 56),
+        rhs_seed in proptest::collection::vec(-5.0f64..5.0, 512),
+    ) {
+        // One block_preconditioned_cg call on a k-column RHS must land every
+        // column on the field the scalar solver produces for that column
+        // alone — for each preconditioner rung the solve ladder uses. The
+        // tight 1e-12 tolerance makes the 1e-10 agreement bound measure the
+        // block engine itself, not the stopping criterion.
+        let a = random_spd_stencil_3d(nx, ny, nz, &seed);
+        let n = nx * ny * nz;
+        let k = [1usize, 2, 4, 7][k_pick];
+        let columns: Vec<Vec<f64>> = (0..k)
+            .map(|j| (0..n).map(|i| rhs_seed[(j * n + i) % rhs_seed.len()]).collect())
+            .collect();
+        let opts = SolveOptions { tolerance: 1e-12, max_iterations: 50_000, relaxation: 1.5 };
+        let mg_config = MultigridConfig { direct_cells: 8, ..MultigridConfig::default() };
+        let kinds = [
+            PreconditionerKind::Jacobi,
+            PreconditionerKind::IncompleteCholesky,
+            PreconditionerKind::Multigrid { config: mg_config },
+        ];
+        let mut ws = CgWorkspace::new();
+        let mut block_ws = BlockCgWorkspace::new();
+        for kind in kinds {
+            let mut m = kind.build(&a).expect("SPD stencil factors");
+            let mut sequential = Vec::new();
+            for rhs in &columns {
+                let mut x = vec![0.0; n];
+                preconditioned_cg(&a, rhs, &mut x, &mut m, &opts, &mut ws).expect("scalar");
+                sequential.push(x);
+            }
+
+            let refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+            let b = BlockVector::from_columns(&refs).expect("uniform columns");
+            let mut x_block = BlockVector::zeros(n, k);
+            let summaries =
+                block_preconditioned_cg(&a, &b, &mut x_block, &mut m, &opts, &mut block_ws)
+                    .expect("block solve");
+            for (j, (summary, scalar)) in summaries.iter().zip(&sequential).enumerate() {
+                prop_assert!(summary.converged, "column {j} failed: {summary:?}");
+                let scale = scalar.iter().map(|v| v.abs()).fold(1e-12, f64::max);
+                for (p, q) in scalar.iter().zip(x_block.column(j)) {
+                    prop_assert!(
+                        (p - q).abs() / scale <= 1e-10,
+                        "column {j}: scalar {p} vs block {q}"
+                    );
+                }
+            }
         }
     }
 

@@ -28,9 +28,10 @@ use std::sync::Arc;
 
 use vcsel_numerics::solver::{CgWorkspace, SolveOptions};
 use vcsel_numerics::{
-    AnyPreconditioner, CsrMatrix, MultigridConfig, NumericsError, PreconditionerKind, SolveLadder,
+    AnyPreconditioner, BlockCgWorkspace, BlockVector, CsrMatrix, MultigridConfig, NumericsError,
+    PreconditionerKind, SolveLadder,
 };
-use vcsel_telemetry::{ArgValue, TelemetrySink};
+use vcsel_telemetry::{ArgValue, SolveSample, TelemetrySink};
 use vcsel_units::{Celsius, Meters};
 
 use crate::assembly::{self, BoundaryFace};
@@ -100,6 +101,47 @@ fn paint_design(design: &Design, mesh: &Mesh) -> Result<PaintedPowers, ThermalEr
     }
     let static_power = assembly::paint_power(&ungrouped, mesh)?;
     Ok((static_power, group_power))
+}
+
+/// Validates `scales` against the painted groups and builds one right-hand
+/// side into `rhs`: boundary + static power, plus each group's painted
+/// vector at its requested (or default) scale. Returns the injected power
+/// in watts. Shared by the scalar solve path and the batched multi-RHS
+/// path, so both reject exactly the same paintings.
+fn paint_rhs(
+    boundary_rhs: &[f64],
+    static_power: &[f64],
+    group_power: &[(String, Vec<f64>)],
+    scales: &[(&str, f64)],
+    default_scale: f64,
+    rhs: &mut [f64],
+) -> Result<f64, ThermalError> {
+    for &(name, s) in scales {
+        if !group_power.iter().any(|(g, _)| g == name) {
+            return Err(ThermalError::UnknownGroup { group: name.to_string() });
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ThermalError::BadParameter {
+                reason: format!("scale for group '{name}' must be non-negative, got {s}"),
+            });
+        }
+    }
+    for ((ri, bi), si) in rhs.iter_mut().zip(boundary_rhs).zip(static_power) {
+        *ri = bi + si;
+    }
+    let mut injected = static_power.iter().sum::<f64>();
+    for (g, q) in group_power {
+        let scale =
+            scales.iter().find(|(name, _)| name == g).map(|&(_, s)| s).unwrap_or(default_scale);
+        if scale == 0.0 {
+            continue;
+        }
+        for (ri, qi) in rhs.iter_mut().zip(q) {
+            *ri += scale * qi;
+        }
+        injected += scale * q.iter().sum::<f64>();
+    }
+    Ok(injected)
 }
 
 /// A cached, reusable solve engine for one `(design, mesh)` pair.
@@ -175,6 +217,9 @@ pub struct SolveContext {
     temps: Vec<f64>,
     rhs: Vec<f64>,
     ws: CgWorkspace,
+    /// Block scratch for [`SolveContext::solve_batch`], sized lazily on the
+    /// first batched call and reused after that.
+    block_ws: BlockCgWorkspace,
     last_iterations: usize,
     total_iterations: usize,
 }
@@ -277,6 +322,7 @@ impl SolveContext {
             temps: vec![0.0; n],
             rhs: vec![0.0; n],
             ws: CgWorkspace::with_capacity(n),
+            block_ws: BlockCgWorkspace::new(),
             last_iterations: 0,
             total_iterations: 0,
         })
@@ -518,6 +564,197 @@ impl SolveContext {
         Ok(self.snapshot(injected))
     }
 
+    /// Solves a **batch** of power paintings against the one cached
+    /// operator, preconditioner and mesh — the design-space-exploration
+    /// shape, where many `(group, scale)` combinations interrogate the same
+    /// silicon. Each painting follows [`SolveContext::solve_scaled`]
+    /// semantics (omitted groups contribute zero; ungrouped blocks always
+    /// dissipate), but the right-hand sides solve **together**: one
+    /// [`BlockVector`] runs through the ladder's block conjugate-gradient
+    /// path, so every operator sweep streams the matrix nonzeros from
+    /// memory once and serves every still-active column.
+    ///
+    /// Failure is per slot, not wholesale: a poisoned painting (unknown
+    /// group, negative scale) gets its own `Err` while the remaining
+    /// columns still solve; a column the active rung cannot converge
+    /// re-solves through the full scalar ladder (escalation included).
+    /// The outer `Err` is reserved for systemic failures — a broken
+    /// operator fails every painting identically.
+    ///
+    /// The warm-start field after a batch is the last successful column,
+    /// exactly where a sequential sweep of the same paintings would have
+    /// left it.
+    ///
+    /// # Errors
+    ///
+    /// Outer: shape/definiteness failures from the block solver. Inner,
+    /// per painting: [`ThermalError::UnknownGroup`],
+    /// [`ThermalError::BadParameter`], and solver failures that survive
+    /// the scalar-ladder fallback.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vcsel_thermal::{
+    ///     Block, Boundary, BoundaryCondition, BoxRegion, Design, Material, MeshSpec, SolveContext,
+    /// };
+    /// use vcsel_units::{Celsius, Meters, Watts, WattsPerSquareMeterKelvin};
+    ///
+    /// let mm = Meters::from_millimeters;
+    /// let domain = BoxRegion::new([Meters::ZERO; 3], [mm(4.0), mm(4.0), mm(1.0)])?;
+    /// let mut design = Design::new(domain, Material::SILICON)?;
+    /// design.set_boundary(
+    ///     Boundary::top(),
+    ///     BoundaryCondition::Convective {
+    ///         h: WattsPerSquareMeterKelvin::new(2_000.0),
+    ///         ambient: Celsius::new(40.0),
+    ///     },
+    /// );
+    /// let src = BoxRegion::new([mm(1.0), mm(1.0), Meters::ZERO], [mm(3.0), mm(3.0), mm(0.2)])?;
+    /// design.add_block(
+    ///     Block::heat_source("laser", src, Material::COPPER, Watts::new(0.5)).with_group("laser"),
+    /// );
+    /// let mut ctx = SolveContext::new(&design, &MeshSpec::uniform(mm(0.5)))?;
+    ///
+    /// // Three power points, one operator sweep stream — and a poisoned
+    /// // painting that fails alone without taking the batch down.
+    /// let maps = ctx.solve_batch(&[
+    ///     &[("laser", 1.0)],
+    ///     &[("laser", 0.5)],
+    ///     &[("no-such-group", 1.0)],
+    /// ])?;
+    /// let full = maps[0].as_ref().unwrap();
+    /// let dimmed = maps[1].as_ref().unwrap();
+    /// assert!(dimmed.hottest().1.value() < full.hottest().1.value());
+    /// assert!(maps[2].is_err());
+    /// # Ok::<(), vcsel_thermal::ThermalError>(())
+    /// ```
+    pub fn solve_batch(
+        &mut self,
+        paintings: &[&[(&str, f64)]],
+    ) -> Result<Vec<Result<ThermalMap, ThermalError>>, ThermalError> {
+        let n = self.temps.len();
+        // Pre-fill every slot; each is overwritten exactly once below.
+        let mut results: Vec<Result<ThermalMap, ThermalError>> = paintings
+            .iter()
+            .map(|_| {
+                Err(ThermalError::BadParameter {
+                    reason: "batched solve did not reach this painting".into(),
+                })
+            })
+            .collect();
+        // Validate and paint every right-hand side up front; a poisoned
+        // painting fails its own slot and drops out of the block.
+        let mut columns: Vec<Vec<f64>> = Vec::new();
+        let mut injected: Vec<f64> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for (slot, scales) in paintings.iter().enumerate() {
+            let mut rhs = vec![0.0; n];
+            match paint_rhs(
+                &self.boundary_rhs,
+                &self.static_power,
+                &self.group_power,
+                scales,
+                0.0,
+                &mut rhs,
+            ) {
+                Ok(w) => {
+                    columns.push(rhs);
+                    injected.push(w);
+                    slots.push(slot);
+                }
+                Err(e) => results[slot] = Err(e),
+            }
+        }
+        if columns.is_empty() {
+            return Ok(results);
+        }
+
+        let refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+        let b = BlockVector::from_columns(&refs).map_err(ThermalError::from)?;
+        let mut x = BlockVector::zeros(n, columns.len());
+        for c in 0..columns.len() {
+            x.column_mut(c).copy_from_slice(&self.temps);
+        }
+        let sink = self.ladder.telemetry().clone();
+        let start_ns = vcsel_telemetry::now_ns();
+        let timer = std::time::Instant::now();
+        let summaries = {
+            let mut span = sink.span("thermal", "batch_solve");
+            span.arg("unknowns", ArgValue::U64(n as u64));
+            span.arg("points", ArgValue::U64(paintings.len() as u64));
+            span.arg("columns", ArgValue::U64(columns.len() as u64));
+            self.ladder
+                .solve_block(&self.matrix, &b, &mut x, &self.options, &mut self.block_ws)
+                .map_err(ThermalError::from)?
+        };
+        if sink.is_enabled() {
+            let mut sample = self.batch_sample(&summaries);
+            sample.start_ns = start_ns;
+            sample.dur_ns = u64::try_from(timer.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            sink.record_sample(sample);
+        }
+
+        // Snapshot the converged columns; the last one becomes the next
+        // warm start, exactly where a sequential sweep would have parked.
+        let mut last_good = None;
+        let mut block_iterations = 0;
+        for (c, summary) in summaries.iter().enumerate() {
+            self.total_iterations += summary.iterations;
+            if summary.converged {
+                block_iterations = block_iterations.max(summary.iterations);
+                results[slots[c]] = Ok(ThermalMap::new(
+                    self.mesh.clone(),
+                    x.column(c).to_vec(),
+                    self.boundary_faces.clone(),
+                    injected[c],
+                ));
+                last_good = Some(c);
+            }
+        }
+        if let Some(c) = last_good {
+            self.last_iterations = block_iterations;
+            self.temps.copy_from_slice(x.column(c));
+        }
+        // Columns the active rung could not converge re-solve through the
+        // full scalar ladder — escalation and self-healing included — so a
+        // batch degrades per column, never wholesale.
+        for (c, summary) in summaries.iter().enumerate() {
+            if !summary.converged {
+                results[slots[c]] = self.solve_scaled(paintings[slots[c]]);
+            }
+        }
+        Ok(results)
+    }
+
+    /// Assembles the telemetry [`SolveSample`] for one batched solve: the
+    /// operator-sweep count stands in for `spmv` (each sweep streams the
+    /// nonzeros once, however many columns it serves), while
+    /// preconditioner applies stay per column — blocking does not amortize
+    /// them. The caller stamps the timing fields.
+    fn batch_sample(&self, summaries: &[vcsel_numerics::solver::CgSummary]) -> SolveSample {
+        let applies = self.block_ws.preconditioner_applies();
+        let mut sample = SolveSample {
+            label: String::from("batch_solve"),
+            cat: "thermal",
+            solver: self.ladder.active_name(),
+            unknowns: self.temps.len() as u64,
+            iterations: summaries.iter().map(|s| s.iterations as u64).max().unwrap_or(0),
+            total_iterations: summaries.iter().map(|s| s.iterations as u64).sum(),
+            converged: summaries.iter().all(|s| s.converged),
+            residual: summaries.iter().map(|s| s.residual).fold(0.0, f64::max),
+            spmv: self.block_ws.operator_sweeps(),
+            precond_applies: applies,
+            ..SolveSample::default()
+        };
+        match sample.solver {
+            "multigrid" => sample.vcycles = applies,
+            "ic0" | "ssor" => sample.trisolves = 2 * applies,
+            _ => {}
+        }
+        sample
+    }
+
     /// Solves like [`SolveContext::solve_scaled`] but returns only the
     /// temperatures at `probes` — the multi-right-hand-side shape influence
     /// calibration needs, without cloning the mesh into a full
@@ -557,33 +794,15 @@ impl SolveContext {
         scales: &[(&str, f64)],
         default_scale: f64,
     ) -> Result<f64, ThermalError> {
-        for &(name, s) in scales {
-            if !self.group_power.iter().any(|(g, _)| g == name) {
-                return Err(ThermalError::UnknownGroup { group: name.to_string() });
-            }
-            if !s.is_finite() || s < 0.0 {
-                return Err(ThermalError::BadParameter {
-                    reason: format!("scale for group '{name}' must be non-negative, got {s}"),
-                });
-            }
-        }
         let n = self.temps.len();
-        let mut injected = 0.0;
-        for i in 0..n {
-            self.rhs[i] = self.boundary_rhs[i] + self.static_power[i];
-        }
-        injected += self.static_power.iter().sum::<f64>();
-        for (g, q) in &self.group_power {
-            let scale =
-                scales.iter().find(|(name, _)| name == g).map(|&(_, s)| s).unwrap_or(default_scale);
-            if scale == 0.0 {
-                continue;
-            }
-            for (ri, qi) in self.rhs.iter_mut().zip(q) {
-                *ri += scale * qi;
-            }
-            injected += scale * q.iter().sum::<f64>();
-        }
+        let injected = paint_rhs(
+            &self.boundary_rhs,
+            &self.static_power,
+            &self.group_power,
+            scales,
+            default_scale,
+            &mut self.rhs,
+        )?;
         let sink = self.ladder.telemetry().clone();
         let start_ns = vcsel_telemetry::now_ns();
         let timer = std::time::Instant::now();
@@ -904,6 +1123,55 @@ mod tests {
             .with_preconditioner(PreconditionerKind::Jacobi)
             .unwrap();
         assert!(!jacobi.set_parallel_apply(false));
+    }
+
+    #[test]
+    fn batched_solve_matches_sequential_point_for_point() {
+        let (design, spec) = grouped_slab();
+        let scales = [0.0, 0.4, 1.0, 1.7, 2.5];
+        let mut seq = SolveContext::new(&design, &spec).unwrap();
+        let sequential: Vec<ThermalMap> =
+            scales.iter().map(|&s| seq.solve_scaled(&[("src", s)]).unwrap()).collect();
+
+        let mut batched = SolveContext::new(&design, &spec).unwrap();
+        let paintings: Vec<Vec<(&str, f64)>> = scales.iter().map(|&s| vec![("src", s)]).collect();
+        let refs: Vec<&[(&str, f64)]> = paintings.iter().map(Vec::as_slice).collect();
+        let maps = batched.solve_batch(&refs).unwrap();
+        assert_eq!(maps.len(), scales.len());
+        for (i, (map, reference)) in maps.iter().zip(&sequential).enumerate() {
+            let map = map.as_ref().unwrap();
+            let scale = reference.temperatures().iter().fold(1.0f64, |m, v| m.max(v.abs()));
+            for (a, b) in map.temperatures().iter().zip(reference.temperatures()) {
+                assert!((a - b).abs() / scale < 1e-10, "point {i}: batched {a} vs sequential {b}");
+            }
+            assert!(
+                (map.injected_power().value() - reference.injected_power().value()).abs() < 1e-12
+            );
+        }
+        // Warm-start continuity: the batch leaves the field where the
+        // sequential sweep would, so a repeat of the last point is free.
+        batched.solve_scaled(&[("src", 2.5)]).unwrap();
+        assert_eq!(batched.last_iterations(), 0);
+    }
+
+    #[test]
+    fn poisoned_painting_fails_alone() {
+        let (design, spec) = grouped_slab();
+        let mut ctx = SolveContext::new(&design, &spec).unwrap();
+        let maps = ctx
+            .solve_batch(&[&[("src", 1.0)], &[("ghost", 1.0)], &[("src", -3.0)], &[("src", 0.5)]])
+            .unwrap();
+        assert!(maps[0].is_ok());
+        assert!(matches!(maps[1], Err(ThermalError::UnknownGroup { .. })));
+        assert!(matches!(maps[2], Err(ThermalError::BadParameter { .. })));
+        assert!(maps[3].is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (design, spec) = grouped_slab();
+        let mut ctx = SolveContext::new(&design, &spec).unwrap();
+        assert!(ctx.solve_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -98,6 +98,56 @@ impl ResponseBasis {
         Ok(Self { baseline, responses })
     }
 
+    /// Like [`ResponseBasis::build_on`], but all `1 + #groups` basis
+    /// fields solve in **one** [`SolveContext::solve_batch`] call: the
+    /// baseline painting and every solo-group painting share each operator
+    /// sweep instead of streaming the matrix once per solve. Identical
+    /// fields, fewer memory passes — the batched design-space campaigns
+    /// build their bases this way.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ResponseBasis::build_on`]; a per-column solver
+    /// failure surfaces as that painting's error.
+    pub fn build_on_batched(ctx: &mut SolveContext) -> Result<Self, ThermalError> {
+        let groups: Vec<String> = ctx.groups().into_iter().map(str::to_string).collect();
+        if groups.is_empty() {
+            return Err(ThermalError::BadParameter {
+                reason: "design has no power groups; tag blocks with `with_group`".into(),
+            });
+        }
+
+        // Painting 0 is the baseline (all groups off); painting 1 + i is
+        // group i alone at reference power.
+        let mut paintings: Vec<Vec<(&str, f64)>> = vec![Vec::new()];
+        paintings.extend(groups.iter().map(|g| vec![(g.as_str(), 1.0)]));
+        let refs: Vec<&[(&str, f64)]> = paintings.iter().map(Vec::as_slice).collect();
+        let mut maps = ctx.solve_batch(&refs)?.into_iter();
+
+        let baseline = match maps.next() {
+            Some(map) => map?,
+            None => {
+                return Err(ThermalError::BadParameter {
+                    reason: "batched basis solve returned no baseline".into(),
+                })
+            }
+        };
+        let mut responses = Vec::with_capacity(groups.len());
+        for (g, map) in groups.iter().zip(maps) {
+            let solved = map?;
+            let rise: Vec<f64> = solved
+                .temperatures()
+                .iter()
+                .zip(baseline.temperatures())
+                .map(|(t, t0)| t - t0)
+                .collect();
+            let reference = ctx.group_reference_power(g).unwrap_or(0.0);
+            responses.push((g.clone(), reference, rise));
+        }
+
+        Ok(Self { baseline, responses })
+    }
+
     /// Names of the groups the basis can scale.
     pub fn groups(&self) -> Vec<&str> {
         self.responses.iter().map(|(g, _, _)| g.as_str()).collect()
@@ -203,6 +253,26 @@ mod tests {
         for (a, b) in direct.temperatures().iter().zip(composed.temperatures()) {
             assert!((a - b).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn batched_basis_matches_sequential_basis() {
+        let design = grouped_design();
+        let spec = MeshSpec::uniform(mm(0.3));
+        let sim = Simulator::new();
+        let mut seq_ctx = SolveContext::new(&design, &spec).unwrap().with_options(*sim.options());
+        let sequential = ResponseBasis::build_on(&mut seq_ctx).unwrap();
+        let mut batch_ctx = SolveContext::new(&design, &spec).unwrap().with_options(*sim.options());
+        let batched = ResponseBasis::build_on_batched(&mut batch_ctx).unwrap();
+
+        assert_eq!(sequential.groups(), batched.groups());
+        let a = sequential.compose(&[("chip", 1.3), ("vcsel", 2.0)]).unwrap();
+        let b = batched.compose(&[("chip", 1.3), ("vcsel", 2.0)]).unwrap();
+        let scale = a.temperatures().iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (p, q) in a.temperatures().iter().zip(b.temperatures()) {
+            assert!((p - q).abs() / scale < 1e-10, "sequential {p} vs batched {q}");
+        }
+        assert!((a.injected_power().value() - b.injected_power().value()).abs() < 1e-12);
     }
 
     #[test]

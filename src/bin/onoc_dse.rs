@@ -2,29 +2,39 @@
 //!
 //! ```text
 //! Usage: onoc_dse [SPEC.json] [--json] [--out FILE]
+//!        onoc_dse --sweep SWEEP.json [--json] [--out FILE]
 //!
-//!   SPEC.json   system specification (see specs/ for samples);
-//!               omitted = the paper's Section V-C operating point
-//!   --json      emit the report as JSON instead of markdown
-//!   --out FILE  write the report to FILE instead of stdout
+//!   SPEC.json     system specification (see specs/ for samples);
+//!                 omitted = the paper's Section V-C operating point
+//!   --sweep FILE  batched design-space sweep: FILE holds a SweepSpec
+//!                 (base spec + per-point overrides); points sharing an
+//!                 operator are solved through one shared engine and
+//!                 each finished report is checkpointed under
+//!                 reports/dse/<sweep-name>/ so a re-run resumes
+//!   --json        emit the report as JSON instead of markdown
+//!   --out FILE    write the report to FILE instead of stdout
 //! ```
 //!
 //! Exit code 0 when the run succeeds and all declared constraints pass,
-//! 1 on constraint failure, 2 on usage/IO/analysis errors.
+//! 1 on constraint failure (or, for sweeps, any failed point), 2 on
+//! usage/IO/analysis errors.
 
 use std::fs;
 use std::process::ExitCode;
 
 use vcsel_core::spec::{run_spec, DseReport, SystemSpec};
+use vcsel_core::{BatchPlan, CheckpointStore, DesignFlow, FlowError, SweepSpec};
 
 struct Args {
     spec_path: Option<String>,
+    sweep_path: Option<String>,
     json: bool,
     out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut spec_path = None;
+    let mut sweep_path = None;
     let mut json = false;
     let mut out = None;
     let mut it = std::env::args().skip(1);
@@ -34,8 +44,16 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = Some(it.next().ok_or("--out needs a file argument")?);
             }
+            "--sweep" => {
+                let path = it.next().ok_or("--sweep needs a file argument")?;
+                if sweep_path.replace(path).is_some() {
+                    return Err("at most one --sweep file".into());
+                }
+            }
             "--help" | "-h" => {
-                return Err("usage: onoc_dse [SPEC.json] [--json] [--out FILE]".into());
+                return Err(
+                    "usage: onoc_dse [SPEC.json | --sweep SWEEP.json] [--json] [--out FILE]".into(),
+                );
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other}"));
@@ -47,7 +65,10 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
-    Ok(Args { spec_path, json, out })
+    if sweep_path.is_some() && spec_path.is_some() {
+        return Err("--sweep replaces the positional spec file; pass one or the other".into());
+    }
+    Ok(Args { spec_path, sweep_path, json, out })
 }
 
 fn load_spec(path: Option<&str>) -> Result<SystemSpec, String> {
@@ -60,11 +81,131 @@ fn load_spec(path: Option<&str>) -> Result<SystemSpec, String> {
     }
 }
 
-fn render(report: &DseReport, json: bool) -> String {
+fn render(report: &DseReport, json: bool) -> Result<String, String> {
     if json {
-        serde_json::to_string_pretty(report).expect("report serializes")
+        serde_json::to_string_pretty(report).map_err(|e| format!("cannot serialize report: {e}"))
     } else {
-        report.to_markdown()
+        Ok(report.to_markdown())
+    }
+}
+
+fn emit(text: &str, out: Option<&str>) -> Result<(), String> {
+    match out {
+        None => {
+            println!("{text}");
+            Ok(())
+        }
+        Some(path) => {
+            fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("report written to {path}");
+            Ok(())
+        }
+    }
+}
+
+/// Renders the per-point sweep outcome as a markdown table (or, with
+/// `--json`, an array mixing report objects and `{"error": ...}` slots).
+fn render_sweep(
+    names: &[String],
+    results: &[Result<DseReport, FlowError>],
+    json: bool,
+) -> Result<String, String> {
+    if json {
+        // The vendored serde_json has no Value type, so the array is
+        // assembled from per-slot serializations.
+        let slots: Vec<String> = results
+            .iter()
+            .map(|r| match r {
+                Ok(report) => serde_json::to_string_pretty(report)
+                    .map_err(|e| format!("cannot serialize report: {e}")),
+                Err(e) => {
+                    let msg = serde_json::to_string(&e.to_string())
+                        .map_err(|e| format!("cannot serialize error: {e}"))?;
+                    Ok(format!("{{\"error\": {msg}}}"))
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(format!("[\n{}\n]", slots.join(",\n")))
+    } else {
+        use core::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "| point | P_vcsel mW | worst grad C | worst SNR dB | status |");
+        let _ = writeln!(s, "|---|---|---|---|---|");
+        for (name, r) in names.iter().zip(results) {
+            match r {
+                Ok(rep) => {
+                    let ok = rep.meets_gradient_constraint && rep.meets_snr_target.unwrap_or(true);
+                    let _ = writeln!(
+                        s,
+                        "| {name} | {:.2} | {:.3} | {:.2} | {} |",
+                        rep.p_vcsel_mw,
+                        rep.worst_gradient_c,
+                        rep.worst_snr_db,
+                        if ok { "ok" } else { "CONSTRAINT" },
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(s, "| {name} | - | - | - | FAILED: {e} |");
+                }
+            }
+        }
+        Ok(s)
+    }
+}
+
+fn run_sweep(path: &str, json: bool, out: Option<&str>) -> ExitCode {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let sweep: SweepSpec = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if sweep.points.is_empty() {
+        eprintln!("sweep '{}' declares no points", sweep.name);
+        return ExitCode::from(2);
+    }
+    let plan = BatchPlan::for_sweep(&sweep);
+    let names: Vec<String> = plan.specs().iter().map(|s| s.name.clone()).collect();
+    let store = CheckpointStore::new(format!("reports/dse/{}", sweep.name));
+    eprintln!(
+        "sweep '{}': {} points in {} operator group(s), checkpoints in reports/dse/{}/",
+        sweep.name,
+        plan.point_count(),
+        plan.group_count(),
+        sweep.name,
+    );
+    let flow = DesignFlow::paper();
+    let results = plan.run(&flow, Some(&store));
+    let rendered = match render_sweep(&names, &results, json) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(msg) = emit(&rendered, out) {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
+    }
+    let failed = results.iter().filter(|r| r.is_err()).count();
+    let violated = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .filter(|rep| !(rep.meets_gradient_constraint && rep.meets_snr_target.unwrap_or(true)))
+        .count();
+    if failed > 0 || violated > 0 {
+        eprintln!("{failed} point(s) failed, {violated} violated declared constraints");
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -76,6 +217,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(sweep) = &args.sweep_path {
+        return run_sweep(sweep, args.json, args.out.as_deref());
+    }
     let spec = match load_spec(args.spec_path.as_deref()) {
         Ok(s) => s,
         Err(msg) => {
@@ -91,16 +235,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let text = render(&report, args.json);
-    match &args.out {
-        None => println!("{text}"),
-        Some(path) => {
-            if let Err(e) = fs::write(path, &text) {
-                eprintln!("cannot write {path}: {e}");
-                return ExitCode::from(2);
-            }
-            eprintln!("report written to {path}");
+    let text = match render(&report, args.json) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
         }
+    };
+    if let Err(msg) = emit(&text, args.out.as_deref()) {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
     }
     let constraints_ok =
         report.meets_gradient_constraint && report.meets_snr_target.unwrap_or(true);

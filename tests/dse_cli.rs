@@ -1,0 +1,81 @@
+//! CLI contract tests for `onoc_dse --sweep`: usage and input errors must
+//! exit with code 2 and say why on stderr, never panic, and never start a
+//! solve. The happy path is covered by `tests/batch_engine.rs` and the
+//! in-crate `vcsel_core::batch` tests; these pin the error surface.
+
+use std::process::Command;
+
+fn onoc_dse(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_onoc_dse")).args(args).output().expect("onoc_dse spawns")
+}
+
+#[test]
+fn sweep_without_file_argument_is_a_usage_error() {
+    let out = onoc_dse(&["--sweep"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--sweep needs a file argument"), "stderr: {err}");
+}
+
+#[test]
+fn sweep_with_missing_file_is_an_io_error() {
+    let out = onoc_dse(&["--sweep", "definitely/not/a/file.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read"), "stderr: {err}");
+}
+
+#[test]
+fn sweep_with_unparsable_file_is_a_parse_error() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/tmp");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("dse-cli-garbage-{}.json", std::process::id()));
+    std::fs::write(&path, "{ not json").expect("write garbage");
+    let out = onoc_dse(&["--sweep", path.to_str().expect("utf8 path")]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot parse"), "stderr: {err}");
+}
+
+#[test]
+fn sweep_and_positional_spec_are_mutually_exclusive() {
+    let out = onoc_dse(&["--sweep", "a.json", "b.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("pass one or the other"), "stderr: {err}");
+}
+
+#[test]
+fn empty_point_list_is_rejected_before_any_solve() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/tmp");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("dse-cli-empty-{}.json", std::process::id()));
+    std::fs::write(
+        &path,
+        r#"{
+            "name": "empty",
+            "base": {
+                "name": "tiny", "placement": "case1", "oni_count": 4,
+                "layout": "chessboard", "activity": "Uniform",
+                "p_chip_w": 2.0, "p_vcsel_mw": 3.6,
+                "heater": {"fixed": {"ratio": 0.3}}, "fidelity": "tiny"
+            },
+            "points": []
+        }"#,
+    )
+    .expect("write sweep");
+    let out = onoc_dse(&["--sweep", path.to_str().expect("utf8 path")]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("declares no points"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_option_is_a_usage_error() {
+    let out = onoc_dse(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown option"), "stderr: {err}");
+}

@@ -142,4 +142,81 @@ proptest! {
         prop_assert!((d + t - 1.0).abs() < 1e-12);
         prop_assert!(d <= ring.drop_fraction(Nanometers::ZERO) + 1e-15);
     }
+
+    /// The block engine is k independent CG recurrences in lockstep:
+    /// for any SPD stencil and any bundle of right-hand sides, one block
+    /// solve must land on the same answers as k scalar solves.
+    #[test]
+    fn block_solve_agrees_with_scalar_solves(
+        nx in 3usize..8,
+        ny in 3usize..8,
+        k in 1usize..5,
+        seed in proptest::collection::vec(-2.0f64..2.0, 40),
+        rhs_seed in proptest::collection::vec(-5.0f64..5.0, 64),
+    ) {
+        use vcsel_onoc::numerics::solver::{preconditioned_cg, CgWorkspace, SolveOptions};
+        use vcsel_onoc::numerics::{
+            block_preconditioned_cg, BlockCgWorkspace, BlockVector, PreconditionerKind,
+            TripletBuilder,
+        };
+
+        // 5-point SPD stencil with random positive conductances.
+        let n = nx * ny;
+        let mut b = TripletBuilder::with_capacity(n, n, 5 * n);
+        let draw = |idx: usize| 0.05 + seed[idx % seed.len()].abs();
+        let mut diag = vec![0.0; n];
+        for j in 0..ny {
+            for i in 0..nx {
+                let c = j * nx + i;
+                if i + 1 < nx {
+                    let g = draw(c * 3 + 1);
+                    b.add(c, c + 1, -g);
+                    b.add(c + 1, c, -g);
+                    diag[c] += g;
+                    diag[c + 1] += g;
+                }
+                if j + 1 < ny {
+                    let g = draw(c * 5 + 2);
+                    b.add(c, c + nx, -g);
+                    b.add(c + nx, c, -g);
+                    diag[c] += g;
+                    diag[c + nx] += g;
+                }
+            }
+        }
+        for (c, d) in diag.iter().enumerate() {
+            b.add(c, c, d + 0.01 + 0.1 * seed[(c * 7 + 3) % seed.len()].abs());
+        }
+        let a = b.build();
+
+        let columns: Vec<Vec<f64>> = (0..k)
+            .map(|j| (0..n).map(|i| rhs_seed[(j * n + i) % rhs_seed.len()]).collect())
+            .collect();
+        let opts = SolveOptions { tolerance: 1e-12, max_iterations: 50_000, relaxation: 1.5 };
+        let mut pc = PreconditionerKind::Jacobi.build(&a).unwrap();
+
+        let mut scalars = Vec::with_capacity(k);
+        let mut scalar_ws = CgWorkspace::default();
+        for rhs in &columns {
+            let mut x = vec![0.0; n];
+            preconditioned_cg(&a, rhs, &mut x, &mut pc, &opts, &mut scalar_ws).unwrap();
+            scalars.push(x);
+        }
+
+        let refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+        let bvec = BlockVector::from_columns(&refs).unwrap();
+        let mut x = BlockVector::zeros(n, k);
+        let mut ws = BlockCgWorkspace::new();
+        block_preconditioned_cg(&a, &bvec, &mut x, &mut pc, &opts, &mut ws).unwrap();
+
+        for (c, scalar) in scalars.iter().enumerate() {
+            let scale = scalar.iter().fold(1.0f64, |m, v: &f64| m.max(v.abs()));
+            for (p, q) in x.column(c).iter().zip(scalar) {
+                prop_assert!(
+                    (p - q).abs() / scale <= 1e-10,
+                    "column {}: block {} vs scalar {}", c, p, q
+                );
+            }
+        }
+    }
 }
