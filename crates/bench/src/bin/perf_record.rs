@@ -32,7 +32,14 @@
 //!    the engine path (IC(0) factored once + warm starts): once with the
 //!    serial triangular solves and once with the level-scheduled parallel
 //!    apply, recording steps/second and the wall-clock speedups.
-//! 6. **Batched DSE sweep** — a 100-point power sweep on the tiny system
+//! 6. **Engine-cache cold/warm** — on the same fast-fidelity system, one
+//!    cold engine construction through the persistent cache (fresh build
+//!    plus artifact store under `reports/cache/`) and one warm
+//!    construction (artifact restore with zero factorizations), recording
+//!    both setup times and the restore speedup. The warm probe must hit,
+//!    and with at least two hardware threads the restore must be ≥ 2×
+//!    faster than the fresh build.
+//! 7. **Batched DSE sweep** — a 100-point power sweep on the tiny system
 //!    evaluated two ways: the sequential path (one warm-started
 //!    `solve_scaled` per point) vs the batched path (a
 //!    `ResponseBasis::build_on_batched` block solve, then one `compose`
@@ -50,9 +57,11 @@
 //! `Fidelity::Paper` steady solve (~2.6 M unknowns) through the multigrid
 //! engine — the workload that is intractable with one-level
 //! preconditioners — and records it in the output, together with the
-//! memory story of the shared-operator engine: the fine operator's size,
+//! memory story of the shared-operator engine (the fine operator's size,
 //! a pointer-identity check that the hierarchy aliases (rather than
-//! clones) it, and the process peak RSS.
+//! clones) it, the process peak RSS) and the paper-scale engine-artifact
+//! restore time (the factored hierarchy deserialized with zero
+//! factorizations).
 //!
 //! Usage: `cargo run --release -p vcsel_bench --bin perf_record [out.json]`
 //! (default output `BENCH_solvers.json` in the working directory). The
@@ -65,13 +74,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use vcsel_arch::{Fidelity, SccConfig, SccSystem};
+use vcsel_core::{CacheMode, CacheStore, EngineCache};
 use vcsel_numerics::{
     hardware_threads, CsrMatrix, CycleKind, IncompleteCholesky, MgWorkspace, MultigridHierarchy,
     Preconditioner,
 };
 use vcsel_thermal::{
-    Design, MeshSpec, MultigridConfig, PreconditionerKind, ResponseBasis, SolveContext,
-    TransientStepper,
+    Design, EngineBlueprint, MeshSpec, MultigridConfig, PreconditionerKind, ResponseBasis,
+    SolveContext, TransientStepper,
 };
 use vcsel_units::{Celsius, Watts};
 
@@ -143,12 +153,28 @@ struct TrisolveRecord {
     speedup: f64,
 }
 
+struct EngineCacheRecord {
+    unknowns: usize,
+    threads: usize,
+    /// Fresh-path engine setup (assembly + factorization + artifact
+    /// store), the cost a cache hit erases.
+    cold_setup_ms: f64,
+    /// Warm-path engine setup (artifact load + revalidating restore, zero
+    /// factorizations).
+    warm_setup_ms: f64,
+    restore_speedup: f64,
+    warm_hit: bool,
+}
+
 struct PaperRecord {
     unknowns: usize,
     setup_s: f64,
     solve_s: f64,
     iterations: usize,
     hottest_c: f64,
+    /// Wall time to restore the factored paper-scale engine from its
+    /// artifact (zero factorizations).
+    restore_s: f64,
     /// One copy of the fine conduction operator, in MB — the allocation
     /// the engine and the multigrid hierarchy now *share* (pre-sharing,
     /// it was held three times: context, fine level, SSOR smoother).
@@ -244,6 +270,56 @@ fn trisolve_section(op: &Arc<CsrMatrix>) -> TrisolveRecord {
         record.serial_ms,
         record.parallel_ms,
         record.speedup
+    );
+    record
+}
+
+/// Cold-then-warm engine construction through the real persistent cache
+/// (`reports/cache/`): the cold probe builds fresh and stores the
+/// artifact, the warm probe must restore it with zero factorizations.
+/// The key's entry is removed first so the cold timing is honest even
+/// when a previous run left the cache populated.
+fn engine_cache_section(
+    config: &SccConfig,
+    system: &SccSystem,
+    spec: &MeshSpec,
+) -> EngineCacheRecord {
+    let blueprint = EngineBlueprint::new(system.design(), spec).expect("fast blueprint meshes");
+    let cache = EngineCache::new(
+        CacheMode::ReadWrite,
+        CacheStore::new(vcsel_core::cache::DEFAULT_CACHE_DIR),
+    );
+    let key = EngineCache::key(config, blueprint.content_hash());
+    let _ = std::fs::remove_file(cache.store().path(&key));
+
+    let cold_t = Instant::now();
+    let (cold_ctx, cold_outcome) = cache.obtain(config, &blueprint).expect("cold engine builds");
+    let cold_setup_ms = cold_t.elapsed().as_secs_f64() * 1e3;
+    assert!(!cold_outcome.is_hit(), "cold probe hit a key that was just removed");
+    let unknowns = cold_ctx.unknowns();
+    drop(cold_ctx);
+
+    let warm_t = Instant::now();
+    let (warm_ctx, warm_outcome) = cache.obtain(config, &blueprint).expect("warm engine obtains");
+    let warm_setup_ms = warm_t.elapsed().as_secs_f64() * 1e3;
+    drop(warm_ctx);
+
+    let record = EngineCacheRecord {
+        unknowns,
+        threads: hardware_threads(),
+        cold_setup_ms,
+        warm_setup_ms,
+        restore_speedup: cold_setup_ms / warm_setup_ms,
+        warm_hit: warm_outcome.is_hit(),
+    };
+    println!(
+        "[engine_cache/fast] {} unknowns: cold build {:.0} ms, warm restore {:.0} ms \
+         ({:.1}x, hit: {})",
+        record.unknowns,
+        record.cold_setup_ms,
+        record.warm_setup_ms,
+        record.restore_speedup,
+        record.warm_hit
     );
     record
 }
@@ -380,8 +456,8 @@ fn run() {
         "all" => &[("ic0", PreconditionerKind::IncompleteCholesky), ("multigrid", multigrid)],
         other => panic!("PERF_RECORD_FAST must be all|mg|off, got '{other}'"),
     };
-    let (fast_unknowns, fast_steady, vcycle, trisolve) = if fast_kinds.is_empty() {
-        (0, Vec::new(), None, None)
+    let (fast_unknowns, fast_steady, vcycle, trisolve, engine_cache) = if fast_kinds.is_empty() {
+        (0, Vec::new(), None, None, None)
     } else {
         let phase_t = Instant::now();
         let phase_span = sink.span("perf", "steady_fast");
@@ -415,7 +491,13 @@ fn run() {
         let trisolve = trisolve_section(&op);
         drop(phase_span);
         phases.push(("trisolve_ab", phase_t.elapsed().as_secs_f64() * 1e3));
-        (unknowns, records, Some(vcycle), Some(trisolve))
+
+        let phase_t = Instant::now();
+        let phase_span = sink.span("perf", "engine_cache");
+        let engine_cache = engine_cache_section(&config, &system, &spec);
+        drop(phase_span);
+        phases.push(("engine_cache", phase_t.elapsed().as_secs_f64() * 1e3));
+        (unknowns, records, Some(vcycle), Some(trisolve), Some(engine_cache))
     };
 
     // ---- Optional full-paper-fidelity multigrid solve ------------------
@@ -445,23 +527,42 @@ fn run() {
         let fine_operator_mb = ctx.shared_operator().storage_bytes() as f64 / 1e6;
         let solve = Instant::now();
         let map = ctx.solve().expect("paper-scale steady solve");
+        let solve_s = solve.elapsed().as_secs_f64();
+        let iterations = ctx.last_iterations();
+        let unknowns = ctx.unknowns();
+        // The engine-cache story at the scale where it pays most: restore
+        // the factored hierarchy from its artifact with zero
+        // factorizations. The live engine is dropped first so the peak
+        // memory stays one engine + one artifact.
+        let blueprint =
+            EngineBlueprint::new(system.design(), &spec).expect("paper blueprint meshes");
+        let artifact = blueprint.engine_artifact(&ctx).expect("paper engine is cacheable");
+        drop(ctx);
+        let restore = Instant::now();
+        let restored = blueprint.restore(&artifact).expect("paper engine restores");
+        let restore_s = restore.elapsed().as_secs_f64();
+        drop(restored);
         let record = PaperRecord {
-            unknowns: ctx.unknowns(),
+            unknowns,
             setup_s,
-            solve_s: solve.elapsed().as_secs_f64(),
-            iterations: ctx.last_iterations(),
+            solve_s,
+            iterations,
             hottest_c: map.hottest().1.value(),
+            restore_s,
             fine_operator_mb,
             peak_rss_mb: peak_rss_mb(),
         };
         println!(
             "[paper] multigrid: {} unknowns, setup {:.1} s, cold solve {:.1} s / {} iters, \
-             hottest {:.2} C, operator {:.0} MB shared (1 copy), peak RSS {}",
+             hottest {:.2} C, artifact restore {:.1} s ({:.1}x vs setup), \
+             operator {:.0} MB shared (1 copy), peak RSS {}",
             record.unknowns,
             record.setup_s,
             record.solve_s,
             record.iterations,
             record.hottest_c,
+            record.restore_s,
+            record.setup_s / record.restore_s,
             record.fine_operator_mb,
             record.peak_rss_mb.map_or_else(|| "n/a".to_string(), |mb| format!("{mb:.0} MB")),
         );
@@ -686,7 +787,7 @@ fn run() {
             )
         })
         .unwrap_or_default();
-    // Per-phase wall clock (v5): the same section boundaries the trace
+    // Per-phase wall clock (since v5): the same section boundaries the trace
     // spans use, so a record and a Perfetto trace line up by name.
     let phases_json = {
         let rows: Vec<String> = phases
@@ -695,6 +796,23 @@ fn run() {
             .collect();
         format!(",\n  \"phases\": [\n{}\n  ]", rows.join(",\n"))
     };
+    let engine_cache_json = engine_cache
+        .as_ref()
+        .map(|c| {
+            format!(
+                ",\n  \"engine_cache\": {{ \"unknowns\": {}, \"threads\": {}, \
+                 \"mode\": \"readwrite\", \"cold_setup_ms\": {:.1}, \"warm_setup_ms\": {:.1}, \
+                 \"restore_speedup\": {:.3}, \"warm_hit\": {}, \"speedup_assertion\": {} }}",
+                c.unknowns,
+                c.threads,
+                c.cold_setup_ms,
+                c.warm_setup_ms,
+                c.restore_speedup,
+                c.warm_hit,
+                speedup_note(c.threads)
+            )
+        })
+        .unwrap_or_default();
     let dse_json = format!(
         ",\n  \"dse_batch\": {{ \"points\": {}, \"unknowns\": {}, \"threads\": {}, \
          \"sequential_s\": {:.4}, \"batched_s\": {:.4}, \"throughput_ratio\": {:.3}, \
@@ -712,7 +830,8 @@ fn run() {
         .map(|p| {
             format!(
                 ",\n  \"paper\": {{ \"unknowns\": {}, \"setup_s\": {:.2}, \"solve_s\": {:.2}, \
-                 \"iterations\": {}, \"hottest_c\": {:.4}, \"fine_operator_mb\": {:.1}, \
+                 \"iterations\": {}, \"hottest_c\": {:.4}, \"restore_s\": {:.2}, \
+                 \"restore_speedup\": {:.3}, \"fine_operator_mb\": {:.1}, \
                  \"fine_operator_copies\": 1, \"shared_operator_savings_mb\": {:.1}, \
                  \"peak_rss_mb\": {} }}",
                 p.unknowns,
@@ -720,6 +839,8 @@ fn run() {
                 p.solve_s,
                 p.iterations,
                 p.hottest_c,
+                p.restore_s,
+                p.setup_s / p.restore_s,
                 p.fine_operator_mb,
                 // Pre-sharing, the operator was held three times (context
                 // + fine level + fine-level SSOR): two copies saved.
@@ -729,10 +850,10 @@ fn run() {
         })
         .unwrap_or_default();
     let json = format!(
-        "{{\n  \"schema\": \"bench_solvers_v6\",\n  \"generated_by\": \"perf_record\",\n  \
+        "{{\n  \"schema\": \"bench_solvers_v7\",\n  \"generated_by\": \"perf_record\",\n  \
          \"workload\": \"SccConfig tiny_test + full-die Fast, p_vcsel = 4 mW\",\n  \
          \"unknowns\": {unknowns},\n  \
-         \"steady\": [\n{}\n  ]{fast_json}{fast_ratio}{vcycle_json}{trisolve_json}{dse_json}{paper_json}\
+         \"steady\": [\n{}\n  ]{fast_json}{fast_ratio}{vcycle_json}{trisolve_json}{engine_cache_json}{dse_json}{paper_json}\
          {phases_json},\n  \
          \"transient\": {{\n    \
          \"steps\": {steps},\n    \"dt_s\": {TRANSIENT_DT_S},\n    \
@@ -816,6 +937,37 @@ fn run() {
     }
     if transient_threads < 2 {
         println!("[transient] single-core: threaded-apply speedup assertion skipped");
+    }
+    // The engine-cache bars: the warm probe must restore (a miss means the
+    // artifact pipeline regressed — deterministic, asserted everywhere),
+    // and the restore must erase at least half the fresh setup cost (a
+    // wall-clock ratio, so it follows the single-core skip convention).
+    if let Some(c) = &engine_cache {
+        assert!(c.warm_hit, "warm engine-cache probe rebuilt instead of restoring");
+        if c.threads >= 2 {
+            assert!(
+                c.restore_speedup >= 2.0,
+                "engine-cache restore speedup {:.2}x < 2x (cold {:.0} ms, warm {:.0} ms)",
+                c.restore_speedup,
+                c.cold_setup_ms,
+                c.warm_setup_ms
+            );
+        } else {
+            println!("[engine_cache/fast] single-core: restore speedup assertion skipped");
+        }
+    }
+    if let Some(p) = &paper {
+        if hardware_threads() >= 2 {
+            assert!(
+                p.setup_s / p.restore_s >= 2.0,
+                "paper-scale restore speedup {:.2}x < 2x (setup {:.1} s, restore {:.1} s)",
+                p.setup_s / p.restore_s,
+                p.setup_s,
+                p.restore_s
+            );
+        } else {
+            println!("[paper] single-core: restore speedup assertion skipped");
+        }
     }
     // The batched-DSE bar: the shared basis + compose path must deliver at
     // least 3x the sweep throughput of per-point solves. The win is

@@ -2,9 +2,10 @@
 
 use vcsel_arch::{OniThermals, SccConfig, SccSystem};
 use vcsel_numerics::golden_section_min;
-use vcsel_thermal::{Mesh, ResponseBasis, Simulator, SolveContext, ThermalMap};
+use vcsel_thermal::{EngineBlueprint, Mesh, ResponseBasis, Simulator, SolveContext, ThermalMap};
 use vcsel_units::{Celsius, TemperatureDelta, Watts};
 
+use crate::cache::EngineCache;
 use crate::FlowError;
 
 /// Reference powers the response basis is built at (scales are relative to
@@ -41,8 +42,11 @@ impl ThermalStudy {
     ///
     /// Propagates architecture and solver errors.
     pub fn new(config: SccConfig, simulator: &Simulator) -> Result<Self, FlowError> {
+        // The engine-cache key only reads operator axes (placement, layout,
+        // fidelity, ONI count), which reference_system never touches.
+        let key_config = config.clone();
         let (system, ref_chip_power) = Self::reference_system(config)?;
-        Self::new_from_built(system, ref_chip_power, simulator)
+        Self::new_from_built(system, ref_chip_power, simulator, &key_config)
     }
 
     /// Rebuilds the study for `config`, reusing the held solve engine
@@ -56,6 +60,7 @@ impl ThermalStudy {
     ///
     /// Propagates architecture and solver errors.
     pub fn reconfigured(mut self, config: SccConfig, sim: &Simulator) -> Result<Self, FlowError> {
+        let key_config = config.clone();
         let (system, ref_chip_power) = Self::reference_system(config)?;
         let spec = system.mesh_spec()?;
         // Meshing is cheap next to assembly; build it once and either
@@ -70,7 +75,9 @@ impl ThermalStudy {
             self.ref_chip_power = ref_chip_power;
             return Ok(self);
         }
-        let mut ctx = SolveContext::on_mesh(system.design(), mesh)?.with_options(*sim.options());
+        let blueprint = EngineBlueprint::on_mesh(system.design(), mesh);
+        let (ctx, _) = EngineCache::from_env().obtain(&key_config, &blueprint)?;
+        let mut ctx = ctx.with_options(*sim.options());
         let basis = ResponseBasis::build_on_batched(&mut ctx)?;
         Ok(Self { system, ctx, basis, ref_chip_power })
     }
@@ -79,9 +86,15 @@ impl ThermalStudy {
         system: SccSystem,
         ref_chip_power: Watts,
         sim: &Simulator,
+        key_config: &SccConfig,
     ) -> Result<Self, FlowError> {
         let spec = system.mesh_spec()?;
-        let mut ctx = SolveContext::new(system.design(), &spec)?.with_options(*sim.options());
+        // Engine construction goes through the blueprint pipeline: a cache
+        // hit restores the assembled operator and factored preconditioner
+        // from `reports/cache/` with zero factorizations (`VCSEL_CACHE`).
+        let blueprint = EngineBlueprint::new(system.design(), &spec)?;
+        let (ctx, _) = EngineCache::from_env().obtain(key_config, &blueprint)?;
+        let mut ctx = ctx.with_options(*sim.options());
         let basis = ResponseBasis::build_on_batched(&mut ctx)?;
         Ok(Self { system, ctx, basis, ref_chip_power })
     }

@@ -44,6 +44,7 @@
 // come from [workspace.lints] in the root Cargo.toml.
 
 pub mod batch;
+pub mod cache;
 pub mod calibration;
 mod error;
 pub mod experiments;
@@ -55,6 +56,7 @@ mod snr;
 pub mod spec;
 
 pub use batch::{BatchPlan, SweepOverride, SweepSpec};
+pub use cache::{CacheMode, CacheOutcome, CacheStore, EngineCache};
 pub use error::FlowError;
 pub use flow::{HeaterExploration, HeaterPoint, ThermalOutcome, ThermalStudy};
 pub use power::{explore_vcsel_power, PowerExploration, PowerPoint};

@@ -1,0 +1,1223 @@
+//! Versioned, checksummed binary artifacts for solver-engine state.
+//!
+//! The engine cache (ROADMAP direction 5) needs to move a factored engine —
+//! the assembled operator, its IC(0) factor, or a whole multigrid hierarchy —
+//! between processes without re-paying assembly and factorization. This
+//! module is the dependency-free codec behind that: little-endian sections
+//! inside a fixed envelope, no external crates (the serde shims stay
+//! JSON-only and are never on this path).
+//!
+//! # Envelope
+//!
+//! ```text
+//! magic "VCAF" | version u32 | kind u8 | payload … | checksum u64
+//! ```
+//!
+//! The trailing checksum (FNV-1a over everything before it) covers the
+//! header too, so header corruption is caught, and the version is checked
+//! *before* the checksum so a format bump reports [`ArtifactError::VersionSkew`]
+//! rather than a misleading mismatch.
+//!
+//! # Safety contract
+//!
+//! Decoding untrusted bytes **never panics**: every read is bounds-checked
+//! ([`ArtifactError::Truncated`]), every payload is re-validated against the
+//! structural invariants the kernels assume (via the existing
+//! [`CsrMatrix::validate`] / [`CsrMatrix::validate_symmetric`] checkers plus
+//! codec-local factor checks), and failures come back as typed
+//! [`ArtifactError`] values so callers can fall back to a fresh build.
+
+use std::sync::Arc;
+
+use crate::multigrid::{Multigrid, MultigridConfig, MultigridHierarchy};
+use crate::precond::{IncompleteCholesky, LevelSchedule};
+use crate::sparse::WavefrontFactor;
+use crate::{CsrMatrix, CycleKind, NumericsError, SmootherKind};
+
+/// Format version written into (and required from) every artifact envelope.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Envelope magic: "VCsel Artifact Format".
+const MAGIC: [u8; 4] = *b"VCAF";
+
+/// Envelope kind byte for a [`CsrMatrix`] artifact.
+pub const KIND_CSR_MATRIX: u8 = 1;
+/// Envelope kind byte for an [`IncompleteCholesky`] artifact.
+pub const KIND_INCOMPLETE_CHOLESKY: u8 = 2;
+/// Envelope kind byte for a [`MultigridHierarchy`] artifact.
+pub const KIND_MULTIGRID_HIERARCHY: u8 = 3;
+/// First kind byte available to downstream crates composing their own
+/// envelopes out of [`ArtifactWriter`] / [`ArtifactReader`] (the thermal
+/// engine artifact uses this range); 1–15 are reserved for this crate.
+pub const KIND_DOWNSTREAM_BASE: u8 = 16;
+
+/// Bytes before the payload: magic (4) + version (4) + kind (1).
+const HEADER_LEN: usize = 9;
+/// Trailing checksum length.
+const CHECKSUM_LEN: usize = 8;
+
+/// Typed decode failure — the restore paths turn each of these into a
+/// fall-back-to-fresh-build, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// The byte stream ended before a read completed.
+    Truncated {
+        /// Bytes the read needed to reach.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The trailing checksum does not match the stored bytes.
+    ChecksumMismatch {
+        /// Checksum stored in the envelope.
+        stored: u64,
+        /// Checksum recomputed over the received bytes.
+        computed: u64,
+    },
+    /// The envelope was written by a different format version.
+    VersionSkew {
+        /// Version this build understands.
+        supported: u32,
+        /// Version found in the envelope.
+        found: u32,
+    },
+    /// The leading magic bytes are not an artifact envelope.
+    BadMagic,
+    /// The envelope holds a different artifact kind than requested.
+    WrongKind {
+        /// Kind byte the caller asked to decode.
+        expected: u8,
+        /// Kind byte found in the envelope.
+        found: u8,
+    },
+    /// The payload decoded but violates a structural invariant.
+    BadStructure {
+        /// First violated invariant.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated { needed, available } => {
+                write!(f, "artifact truncated: needed {needed} bytes, have {available}")
+            }
+            Self::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            Self::VersionSkew { supported, found } => write!(
+                f,
+                "artifact version skew: this build reads v{supported}, envelope is v{found}"
+            ),
+            Self::BadMagic => write!(f, "not an artifact envelope (bad magic)"),
+            Self::WrongKind { expected, found } => {
+                write!(f, "artifact kind mismatch: expected {expected}, found {found}")
+            }
+            Self::BadStructure { reason } => write!(f, "artifact payload invalid: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<NumericsError> for ArtifactError {
+    fn from(err: NumericsError) -> Self {
+        Self::BadStructure { reason: err.to_string() }
+    }
+}
+
+fn bad(reason: String) -> ArtifactError {
+    ArtifactError::BadStructure { reason }
+}
+
+// ---------------------------------------------------------------------------
+// Checksum / content hashing.
+
+/// FNV-1a-64 over an 8-byte-chunked stream (the envelope checksum). The
+/// chunking folds whole little-endian words per multiply, so checksumming a
+/// paper-scale hierarchy costs milliseconds, not a per-byte pass.
+fn checksum64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        h ^= w;
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Streaming FNV-1a-64 hasher for cache-key content hashes (conductivity
+/// fields, boundary sets). Byte-exact: two inputs hash equal iff the pushed
+/// byte streams are identical, so `f64` payloads are folded as IEEE bit
+/// patterns and distinguish `0.0` from `-0.0` — exactly the bitwise
+/// invalidation contract the engine cache documents.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u64,
+}
+
+impl ContentHasher {
+    /// Starts a hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: 0xcbf2_9ce4_8422_2325 }
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Folds one byte.
+    pub fn push_u8(&mut self, v: u8) {
+        self.push_bytes(&[v]);
+    }
+
+    /// Folds a `u64` as its little-endian bytes.
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` as its IEEE-754 bit pattern.
+    pub fn push_f64(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+
+    /// The accumulated 64-bit hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot [`ContentHasher`] over a byte slice.
+#[must_use]
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h = ContentHasher::new();
+    h.push_bytes(bytes);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Encode/decode inner loops (registered in lint.toml's rule-3 hot-path
+// audit: they run once per stored non-zero and must not allocate).
+
+/// Appends each `u32` as little-endian bytes.
+fn extend_u32_le(buf: &mut Vec<u8>, vals: &[u32]) {
+    for &v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends each `usize` as a little-endian `u64`.
+fn extend_usize_le(buf: &mut Vec<u8>, vals: &[usize]) {
+    for &v in vals {
+        buf.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+}
+
+/// Appends each `f64` as its little-endian IEEE-754 bit pattern.
+fn extend_f64_le(buf: &mut Vec<u8>, vals: &[f64]) {
+    for &v in vals {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Fills `dst` from packed little-endian `u32`s (`src.len() == 4 * dst.len()`).
+fn fill_u32_le(dst: &mut [u32], src: &[u8]) {
+    for (i, d) in dst.iter_mut().enumerate() {
+        let o = 4 * i;
+        *d = u32::from_le_bytes([src[o], src[o + 1], src[o + 2], src[o + 3]]);
+    }
+}
+
+/// Fills `dst` from packed little-endian `u64`s, returning `false` if any
+/// value overflows `usize` (32-bit targets).
+fn fill_usize_le(dst: &mut [usize], src: &[u8]) -> bool {
+    for (i, d) in dst.iter_mut().enumerate() {
+        let o = 8 * i;
+        let w = u64::from_le_bytes([
+            src[o],
+            src[o + 1],
+            src[o + 2],
+            src[o + 3],
+            src[o + 4],
+            src[o + 5],
+            src[o + 6],
+            src[o + 7],
+        ]);
+        let Ok(v) = usize::try_from(w) else {
+            return false;
+        };
+        *d = v;
+    }
+    true
+}
+
+/// Fills `dst` from packed little-endian `f64` bit patterns.
+fn fill_f64_le(dst: &mut [f64], src: &[u8]) {
+    for (i, d) in dst.iter_mut().enumerate() {
+        let o = 8 * i;
+        *d = f64::from_bits(u64::from_le_bytes([
+            src[o],
+            src[o + 1],
+            src[o + 2],
+            src[o + 3],
+            src[o + 4],
+            src[o + 5],
+            src[o + 6],
+            src[o + 7],
+        ]));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Envelope writer / reader.
+
+/// Builds one artifact envelope: header up front, sections appended in
+/// order, checksum sealed by [`ArtifactWriter::finish`]. Downstream crates
+/// (the thermal engine artifact) compose their own envelopes from the same
+/// primitives using kinds at or above [`KIND_DOWNSTREAM_BASE`].
+#[derive(Debug)]
+pub struct ArtifactWriter {
+    buf: Vec<u8>,
+}
+
+impl ArtifactWriter {
+    /// Starts an envelope of the given kind at [`ARTIFACT_VERSION`].
+    #[must_use]
+    pub fn new(kind: u8) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+        buf.push(kind);
+        Self { buf }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `bool` as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its little-endian bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte blob (e.g. a nested artifact).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, vals: &[u32]) {
+        self.put_u64(vals.len() as u64);
+        self.buf.reserve(4 * vals.len());
+        extend_u32_le(&mut self.buf, vals);
+    }
+
+    /// Appends a length-prefixed `usize` slice (stored as `u64`s).
+    pub fn put_usize_slice(&mut self, vals: &[usize]) {
+        self.put_u64(vals.len() as u64);
+        self.buf.reserve(8 * vals.len());
+        extend_usize_le(&mut self.buf, vals);
+    }
+
+    /// Appends a length-prefixed `f64` slice (IEEE bit patterns).
+    pub fn put_f64_slice(&mut self, vals: &[f64]) {
+        self.put_u64(vals.len() as u64);
+        self.buf.reserve(8 * vals.len());
+        extend_f64_le(&mut self.buf, vals);
+    }
+
+    /// Seals the envelope: appends the checksum and returns the bytes.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        let c = checksum64(&self.buf);
+        self.buf.extend_from_slice(&c.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Bounds-checked reader over a verified envelope. Obtained from
+/// [`ArtifactReader::open`], which has already validated magic, version,
+/// checksum and kind; every getter then fails typed instead of panicking.
+#[derive(Debug)]
+pub struct ArtifactReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ArtifactReader<'a> {
+    /// Verifies the envelope (magic, version, trailing checksum, kind) and
+    /// positions a reader at the start of the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] when shorter than the fixed envelope,
+    /// [`ArtifactError::BadMagic`] / [`ArtifactError::VersionSkew`] /
+    /// [`ArtifactError::ChecksumMismatch`] / [`ArtifactError::WrongKind`]
+    /// for the corresponding header defects. The version is checked before
+    /// the checksum, so a future format reports skew, not corruption.
+    pub fn open(bytes: &'a [u8], kind: u8) -> Result<Self, ArtifactError> {
+        let min = HEADER_LEN + CHECKSUM_LEN;
+        if bytes.len() < min {
+            return Err(ArtifactError::Truncated { needed: min, available: bytes.len() });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let found = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if found != ARTIFACT_VERSION {
+            return Err(ArtifactError::VersionSkew { supported: ARTIFACT_VERSION, found });
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+        let stored = u64::from_le_bytes([
+            tail[0], tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7],
+        ]);
+        let computed = checksum64(body);
+        if stored != computed {
+            return Err(ArtifactError::ChecksumMismatch { stored, computed });
+        }
+        if body[8] != kind {
+            return Err(ArtifactError::WrongKind { expected: kind, found: body[8] });
+        }
+        Ok(Self { buf: body, pos: HEADER_LEN })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(ArtifactError::Truncated { needed: usize::MAX, available: self.buf.len() })?;
+        if end > self.buf.len() {
+            return Err(ArtifactError::Truncated { needed: end, available: self.buf.len() });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn slice_len(&mut self, elem_bytes: usize) -> Result<usize, ArtifactError> {
+        let len = self.get_u64()?;
+        let len = usize::try_from(len).map_err(|_| bad(format!("slice length {len} overflows")))?;
+        len.checked_mul(elem_bytes)
+            .ok_or_else(|| bad(format!("slice byte length overflows ({len} elements)")))?;
+        Ok(len)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] at end of payload.
+    pub fn get_u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `bool` encoded as one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] at end of payload,
+    /// [`ArtifactError::BadStructure`] for a byte other than 0/1.
+    pub fn get_bool(&mut self) -> Result<bool, ArtifactError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(bad(format!("bool byte must be 0 or 1, got {v}"))),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] at end of payload.
+    pub fn get_u32(&mut self) -> Result<u32, ArtifactError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] at end of payload.
+    pub fn get_u64(&mut self) -> Result<u64, ArtifactError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    /// Reads a `u64` and converts it to `usize`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] at end of payload,
+    /// [`ArtifactError::BadStructure`] on overflow (32-bit targets).
+    pub fn get_usize(&mut self) -> Result<usize, ArtifactError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| bad(format!("value {v} overflows usize")))
+    }
+
+    /// Reads an `f64` from its little-endian bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] at end of payload.
+    pub fn get_f64(&mut self) -> Result<f64, ArtifactError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed byte blob.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] when the declared length outruns the
+    /// payload.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], ArtifactError> {
+        let len = self.slice_len(1)?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] when the declared length outruns the
+    /// payload, [`ArtifactError::BadStructure`] for invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<&'a str, ArtifactError> {
+        std::str::from_utf8(self.get_bytes()?)
+            .map_err(|e| bad(format!("string is not valid UTF-8: {e}")))
+    }
+
+    /// Reads a length-prefixed `u32` slice.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] when the declared length outruns the
+    /// payload.
+    pub fn get_u32_slice(&mut self) -> Result<Vec<u32>, ArtifactError> {
+        let len = self.slice_len(4)?;
+        let src = self.take(4 * len)?;
+        let mut out = vec![0u32; len];
+        fill_u32_le(&mut out, src);
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `usize` slice (stored as `u64`s).
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] when the declared length outruns the
+    /// payload, [`ArtifactError::BadStructure`] on `usize` overflow.
+    pub fn get_usize_slice(&mut self) -> Result<Vec<usize>, ArtifactError> {
+        let len = self.slice_len(8)?;
+        let src = self.take(8 * len)?;
+        let mut out = vec![0usize; len];
+        if !fill_usize_le(&mut out, src) {
+            return Err(bad("usize slice element overflows this target".into()));
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `f64` slice (IEEE bit patterns).
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] when the declared length outruns the
+    /// payload.
+    pub fn get_f64_slice(&mut self) -> Result<Vec<f64>, ArtifactError> {
+        let len = self.slice_len(8)?;
+        let src = self.take(8 * len)?;
+        let mut out = vec![0.0f64; len];
+        fill_f64_le(&mut out, src);
+        Ok(out)
+    }
+
+    /// Asserts the payload is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::BadStructure`] when trailing bytes remain — a
+    /// writer/reader schema drift, not corruption (the checksum passed).
+    pub fn expect_end(&self) -> Result<(), ArtifactError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad(format!("{} trailing payload bytes", self.buf.len() - self.pos)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CsrMatrix codec.
+
+/// Writes the CSR arrays of `a` as payload sections (no envelope).
+fn write_csr_body(w: &mut ArtifactWriter, a: &CsrMatrix) {
+    let (row_ptr, col_idx, values) = a.raw_parts();
+    w.put_u64(a.rows() as u64);
+    w.put_u64(a.cols() as u64);
+    w.put_usize_slice(row_ptr);
+    w.put_u32_slice(col_idx);
+    w.put_f64_slice(values);
+}
+
+/// Reads CSR arrays and revalidates them through [`CsrMatrix::validate`].
+fn read_csr_body(r: &mut ArtifactReader<'_>) -> Result<CsrMatrix, ArtifactError> {
+    let rows = r.get_usize()?;
+    let cols = r.get_usize()?;
+    let row_ptr = r.get_usize_slice()?;
+    let col_idx = r.get_u32_slice()?;
+    let values = r.get_f64_slice()?;
+    Ok(CsrMatrix::try_from_sorted_parts(rows, cols, row_ptr, col_idx, values)?)
+}
+
+/// [`read_csr_body`] plus the symmetric-operator invariants
+/// ([`CsrMatrix::validate_symmetric`]) the level operators must satisfy.
+fn read_sym_csr_body(r: &mut ArtifactReader<'_>) -> Result<CsrMatrix, ArtifactError> {
+    let m = read_csr_body(r)?;
+    m.validate_symmetric()?;
+    Ok(m)
+}
+
+impl CsrMatrix {
+    /// Serializes the matrix into a standalone artifact envelope.
+    #[must_use]
+    pub fn to_artifact(&self) -> Vec<u8> {
+        let mut w = ArtifactWriter::new(KIND_CSR_MATRIX);
+        write_csr_body(&mut w, self);
+        w.finish()
+    }
+
+    /// Decodes a matrix from [`CsrMatrix::to_artifact`] bytes, revalidating
+    /// the CSR invariants via [`CsrMatrix::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`]: envelope defects (truncation, checksum
+    /// mismatch, version skew) or structural violations in the payload.
+    pub fn from_artifact(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let mut r = ArtifactReader::open(bytes, KIND_CSR_MATRIX)?;
+        let m = read_csr_body(&mut r)?;
+        r.expect_end()?;
+        Ok(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IncompleteCholesky codec.
+
+/// Structural invariants of an IC(0) factor: square CSR with each row
+/// non-empty, columns strictly ascending, the diagonal stored last (column
+/// == row) with a strictly positive value, and every value finite.
+fn validate_ic0_factor(
+    n: usize,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+) -> Result<(), ArtifactError> {
+    if row_ptr.len() != n + 1 {
+        return Err(bad(format!("factor row_ptr has {} entries for {n} rows", row_ptr.len())));
+    }
+    if row_ptr[0] != 0 {
+        return Err(bad(format!("factor row_ptr must start at 0, starts at {}", row_ptr[0])));
+    }
+    if col_idx.len() != values.len() || *row_ptr.last().unwrap_or(&0) != values.len() {
+        return Err(bad(format!(
+            "factor arrays disagree: row_ptr ends at {}, {} columns, {} values",
+            row_ptr.last().unwrap_or(&0),
+            col_idx.len(),
+            values.len()
+        )));
+    }
+    for i in 0..n {
+        let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+        if lo >= hi {
+            return Err(bad(format!("factor row {i} is empty or row_ptr decreases")));
+        }
+        if col_idx[hi - 1] as usize != i {
+            return Err(bad(format!(
+                "factor row {i} must store its diagonal last, last column is {}",
+                col_idx[hi - 1]
+            )));
+        }
+        if let Some(w) = col_idx[lo..hi].windows(2).find(|w| w[0] >= w[1]) {
+            return Err(bad(format!(
+                "factor row {i} columns not strictly ascending ({} then {})",
+                w[0], w[1]
+            )));
+        }
+        if !(values[hi - 1] > 0.0) || !values[hi - 1].is_finite() {
+            return Err(bad(format!("factor pivot {} at row {i} is not positive", values[hi - 1])));
+        }
+        if let Some(k) = values[lo..hi].iter().position(|v| !v.is_finite()) {
+            return Err(bad(format!("non-finite factor value at row {i}, entry {k}")));
+        }
+    }
+    Ok(())
+}
+
+fn write_wavefront(w: &mut ArtifactWriter, level_ptr: &[usize], wf: &WavefrontFactor) {
+    w.put_usize_slice(level_ptr);
+    w.put_usize_slice(&wf.row_ptr);
+    w.put_u32_slice(&wf.rows);
+    w.put_u32_slice(&wf.col_idx);
+    w.put_f64_slice(&wf.values);
+}
+
+/// Reads one wavefront (level-scheduled permuted factor) and checks every
+/// index the solve kernels will touch: the level pointers partition the `n`
+/// permuted rows, the rows are a permutation of `0..n`, and all stored
+/// indices are in bounds with `nnz` matching the serial factor.
+fn read_wavefront(
+    r: &mut ArtifactReader<'_>,
+    n: usize,
+    nnz: usize,
+    dir: &str,
+) -> Result<(Vec<usize>, WavefrontFactor), ArtifactError> {
+    let level_ptr = r.get_usize_slice()?;
+    let row_ptr = r.get_usize_slice()?;
+    let rows = r.get_u32_slice()?;
+    let col_idx = r.get_u32_slice()?;
+    let values = r.get_f64_slice()?;
+    if level_ptr.first() != Some(&0) || level_ptr.last() != Some(&n) {
+        return Err(bad(format!("{dir} schedule levels must span 0..{n}")));
+    }
+    if level_ptr.windows(2).any(|w| w[0] > w[1]) {
+        return Err(bad(format!("{dir} schedule level pointers decrease")));
+    }
+    if rows.len() != n || row_ptr.len() != n + 1 {
+        return Err(bad(format!(
+            "{dir} schedule shape mismatch: {} rows, {} pointers for n = {n}",
+            rows.len(),
+            row_ptr.len()
+        )));
+    }
+    if row_ptr.first() != Some(&0)
+        || row_ptr.last() != Some(&nnz)
+        || row_ptr.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(bad(format!("{dir} schedule row pointers do not cover {nnz} non-zeros")));
+    }
+    if col_idx.len() != nnz || values.len() != nnz {
+        return Err(bad(format!(
+            "{dir} schedule stores {} columns / {} values, factor has {nnz}",
+            col_idx.len(),
+            values.len()
+        )));
+    }
+    let mut seen = vec![false; n];
+    for &row in &rows {
+        let row = row as usize;
+        if row >= n || seen[row] {
+            return Err(bad(format!("{dir} schedule rows are not a permutation of 0..{n}")));
+        }
+        seen[row] = true;
+    }
+    if col_idx.iter().any(|&c| c as usize >= n) {
+        return Err(bad(format!("{dir} schedule column index out of bounds")));
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(bad(format!("{dir} schedule holds a non-finite value")));
+    }
+    Ok((level_ptr, WavefrontFactor { row_ptr, rows, col_idx, values }))
+}
+
+impl IncompleteCholesky {
+    /// Serializes the factor, its apply configuration, and — when built —
+    /// the level schedule, so a restore skips both the factorization and
+    /// the wavefront analysis.
+    #[must_use]
+    pub fn to_artifact(&self) -> Vec<u8> {
+        let mut w = ArtifactWriter::new(KIND_INCOMPLETE_CHOLESKY);
+        let (row_ptr, col_idx, values) = self.factor_parts();
+        let n = row_ptr.len().saturating_sub(1);
+        w.put_u64(n as u64);
+        w.put_usize_slice(row_ptr);
+        w.put_u32_slice(col_idx);
+        w.put_f64_slice(values);
+        let (parallel_apply, apply_threads) = self.apply_config();
+        w.put_bool(parallel_apply);
+        match apply_threads {
+            Some(t) => {
+                w.put_bool(true);
+                w.put_u64(t as u64);
+            }
+            None => {
+                w.put_bool(false);
+                w.put_u64(0);
+            }
+        }
+        match self.schedule_ref() {
+            Some(s) => {
+                w.put_bool(true);
+                write_wavefront(&mut w, &s.fwd_level_ptr, &s.fwd);
+                write_wavefront(&mut w, &s.bwd_level_ptr, &s.bwd);
+            }
+            None => w.put_bool(false),
+        }
+        w.finish()
+    }
+
+    /// Decodes a factor from [`IncompleteCholesky::to_artifact`] bytes with
+    /// full structural revalidation; the apply counter restarts at zero.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`]: envelope defects or a factor/schedule that
+    /// violates the triangular-solve invariants.
+    pub fn from_artifact(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let mut r = ArtifactReader::open(bytes, KIND_INCOMPLETE_CHOLESKY)?;
+        let n = r.get_usize()?;
+        let row_ptr = r.get_usize_slice()?;
+        let col_idx = r.get_u32_slice()?;
+        let values = r.get_f64_slice()?;
+        validate_ic0_factor(n, &row_ptr, &col_idx, &values)?;
+        let parallel_apply = r.get_bool()?;
+        let has_threads = r.get_bool()?;
+        let threads = r.get_u64()?;
+        let apply_threads = if has_threads {
+            let t = usize::try_from(threads)
+                .map_err(|_| bad(format!("apply thread count {threads} overflows")))?;
+            Some(t.max(1))
+        } else {
+            None
+        };
+        let schedule = if r.get_bool()? {
+            let nnz = values.len();
+            let (fwd_level_ptr, fwd) = read_wavefront(&mut r, n, nnz, "forward")?;
+            let (bwd_level_ptr, bwd) = read_wavefront(&mut r, n, nnz, "backward")?;
+            Some(LevelSchedule { fwd_level_ptr, fwd, bwd_level_ptr, bwd })
+        } else {
+            None
+        };
+        r.expect_end()?;
+        Ok(Self::from_restored_parts(
+            row_ptr,
+            col_idx,
+            values,
+            schedule,
+            parallel_apply,
+            apply_threads,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MultigridHierarchy codec.
+
+fn write_config(w: &mut ArtifactWriter, c: &MultigridConfig) {
+    w.put_f64(c.strength_threshold);
+    w.put_f64(c.prolongation_damping);
+    match c.smoother {
+        SmootherKind::DampedJacobi { omega } => {
+            w.put_u8(0);
+            w.put_f64(omega);
+        }
+        SmootherKind::Ssor { omega } => {
+            w.put_u8(1);
+            w.put_f64(omega);
+        }
+    }
+    w.put_u64(c.pre_sweeps as u64);
+    w.put_u64(c.post_sweeps as u64);
+    w.put_u64(c.max_levels as u64);
+    w.put_u64(c.direct_cells as u64);
+    w.put_u8(match c.cycle {
+        CycleKind::V => 0,
+        CycleKind::F => 1,
+    });
+    w.put_bool(c.parallel_sweeps);
+}
+
+fn read_config(r: &mut ArtifactReader<'_>) -> Result<MultigridConfig, ArtifactError> {
+    let strength_threshold = r.get_f64()?;
+    let prolongation_damping = r.get_f64()?;
+    let smoother = match r.get_u8()? {
+        0 => SmootherKind::DampedJacobi { omega: r.get_f64()? },
+        1 => SmootherKind::Ssor { omega: r.get_f64()? },
+        t => return Err(bad(format!("unknown smoother tag {t}"))),
+    };
+    let pre_sweeps = r.get_usize()?;
+    let post_sweeps = r.get_usize()?;
+    let max_levels = r.get_usize()?;
+    let direct_cells = r.get_usize()?;
+    let cycle = match r.get_u8()? {
+        0 => CycleKind::V,
+        1 => CycleKind::F,
+        t => return Err(bad(format!("unknown cycle tag {t}"))),
+    };
+    let parallel_sweeps = r.get_bool()?;
+    Ok(MultigridConfig {
+        strength_threshold,
+        prolongation_damping,
+        smoother,
+        pre_sweeps,
+        post_sweeps,
+        max_levels,
+        direct_cells,
+        cycle,
+        parallel_sweeps,
+    })
+}
+
+impl MultigridHierarchy {
+    /// Serializes every level operator and prolongator, the coarsest
+    /// operator, the coarsest dense Cholesky factor (when the hierarchy
+    /// uses one), and the build configuration. Restrictions (`R = Pᵀ`) and
+    /// smoother state are deterministic functions of the level operators
+    /// and are rebuilt on restore instead of being stored twice.
+    #[must_use]
+    pub fn to_artifact(&self) -> Vec<u8> {
+        let mut w = ArtifactWriter::new(KIND_MULTIGRID_HIERARCHY);
+        write_config(&mut w, self.config());
+        let pairs: Vec<_> = self.transfer_pairs().collect();
+        w.put_u64(pairs.len() as u64);
+        for (a, p) in pairs {
+            write_csr_body(&mut w, a);
+            write_csr_body(&mut w, p);
+        }
+        write_csr_body(&mut w, self.coarse_matrix());
+        match self.coarse_dense_factor() {
+            Some((n, l)) => {
+                w.put_bool(true);
+                w.put_u64(n as u64);
+                w.put_f64_slice(l);
+            }
+            None => w.put_bool(false),
+        }
+        w.finish()
+    }
+
+    /// Decodes a hierarchy from [`MultigridHierarchy::to_artifact`] bytes:
+    /// level operators are revalidated with
+    /// [`CsrMatrix::validate_symmetric`], prolongators with
+    /// [`CsrMatrix::validate`], the transfer-chain dimensions are checked,
+    /// and smoothers plus restrictions are rebuilt from the restored
+    /// operators. No coarsening, factorization or spectral estimation runs.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`]: envelope defects, operator/prolongator
+    /// structural violations, a broken transfer chain, or an invalid
+    /// configuration or dense coarse factor.
+    pub fn from_artifact(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let mut r = ArtifactReader::open(bytes, KIND_MULTIGRID_HIERARCHY)?;
+        let config = read_config(&mut r)?;
+        let level_count = r.get_usize()?;
+        let mut ops = Vec::with_capacity(level_count);
+        let mut prolongators = Vec::with_capacity(level_count);
+        for _ in 0..level_count {
+            ops.push(Arc::new(read_sym_csr_body(&mut r)?));
+            prolongators.push(read_csr_body(&mut r)?);
+        }
+        let coarse_a = read_sym_csr_body(&mut r)?;
+        let coarse_dense = if r.get_bool()? {
+            let n = r.get_usize()?;
+            if n != coarse_a.rows() {
+                return Err(bad(format!(
+                    "dense coarse factor is {n}x{n} but the coarsest operator has {} rows",
+                    coarse_a.rows()
+                )));
+            }
+            Some(r.get_f64_slice()?)
+        } else {
+            None
+        };
+        r.expect_end()?;
+        Ok(Self::from_restored_parts(ops, prolongators, coarse_a, coarse_dense, config)?)
+    }
+}
+
+impl Multigrid {
+    /// Serializes the underlying hierarchy (the cycle workspace is scratch
+    /// and is re-sized on restore).
+    #[must_use]
+    pub fn to_artifact(&self) -> Vec<u8> {
+        self.hierarchy().to_artifact()
+    }
+
+    /// Decodes a [`Multigrid`] preconditioner from
+    /// [`MultigridHierarchy::to_artifact`] bytes and re-sizes its cycle
+    /// workspace — the zero-factorization restore path of the engine cache.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`] from [`MultigridHierarchy::from_artifact`],
+    /// plus [`ArtifactError::BadStructure`] when the stored sweep
+    /// configuration is not a valid CG preconditioner (see
+    /// [`Multigrid::from_hierarchy`]).
+    pub fn from_artifact(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let h = MultigridHierarchy::from_artifact(bytes)?;
+        Ok(Self::from_hierarchy(h)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletBuilder;
+
+    fn poisson_1d(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.001);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn csr_round_trip_is_bitwise() {
+        let a = poisson_1d(64);
+        let bytes = a.to_artifact();
+        let back = CsrMatrix::from_artifact(&bytes).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn envelope_rejects_truncation_checksum_version_and_kind() {
+        let a = poisson_1d(16);
+        let bytes = a.to_artifact();
+
+        for cut in [0, 3, HEADER_LEN, bytes.len() - CHECKSUM_LEN - 1] {
+            let err = CsrMatrix::from_artifact(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ArtifactError::Truncated { .. } | ArtifactError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            CsrMatrix::from_artifact(&flipped).unwrap_err(),
+            ArtifactError::ChecksumMismatch { .. }
+        ));
+
+        let mut payload_flip = bytes.clone();
+        payload_flip[HEADER_LEN + 4] ^= 0x80;
+        assert!(matches!(
+            CsrMatrix::from_artifact(&payload_flip).unwrap_err(),
+            ArtifactError::ChecksumMismatch { .. }
+        ));
+
+        let mut skew = bytes.clone();
+        skew[4] = skew[4].wrapping_add(1);
+        assert!(matches!(
+            CsrMatrix::from_artifact(&skew).unwrap_err(),
+            ArtifactError::VersionSkew { found, .. } if found == ARTIFACT_VERSION + 1
+        ));
+
+        let mut magic = bytes.clone();
+        magic[0] = b'X';
+        assert!(matches!(CsrMatrix::from_artifact(&magic).unwrap_err(), ArtifactError::BadMagic));
+
+        let err = IncompleteCholesky::from_artifact(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            ArtifactError::WrongKind { expected: KIND_INCOMPLETE_CHOLESKY, found: KIND_CSR_MATRIX }
+        ));
+    }
+
+    #[test]
+    fn csr_decode_revalidates_structure() {
+        // A structurally broken payload behind a *valid* envelope must be
+        // rejected by the revalidation pass, not trusted.
+        let mut w = ArtifactWriter::new(KIND_CSR_MATRIX);
+        w.put_u64(2);
+        w.put_u64(2);
+        w.put_usize_slice(&[0, 1, 3]); // row_ptr ends past nnz
+        w.put_u32_slice(&[0, 1]);
+        w.put_f64_slice(&[1.0, 2.0]);
+        let err = CsrMatrix::from_artifact(&w.finish()).unwrap_err();
+        assert!(matches!(err, ArtifactError::BadStructure { .. }), "{err}");
+    }
+
+    #[test]
+    fn ic0_round_trip_matches_fresh_factor() {
+        let a = poisson_1d(200);
+        let fresh = IncompleteCholesky::new(&a).unwrap();
+        let restored = IncompleteCholesky::from_artifact(&fresh.to_artifact()).unwrap();
+        // PartialEq covers the factor arrays plus the apply configuration.
+        assert_eq!(fresh, restored);
+
+        use crate::precond::Preconditioner;
+        let r: Vec<f64> = (0..200).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut z1 = vec![0.0; 200];
+        let mut z2 = vec![0.0; 200];
+        let mut fresh = fresh;
+        let mut restored = restored;
+        fresh.apply(&r, &mut z1);
+        restored.apply(&r, &mut z2);
+        assert_eq!(z1, z2, "restored apply must be bitwise identical");
+    }
+
+    #[test]
+    fn ic0_with_schedule_round_trips() {
+        let a = poisson_1d(300);
+        let mut fresh = IncompleteCholesky::new(&a).unwrap().with_apply_threads(2);
+        use crate::precond::Preconditioner;
+        let r: Vec<f64> = (0..300).map(|i| (i as f64 * 0.11).sin()).collect();
+        let mut z1 = vec![0.0; 300];
+        fresh.apply(&r, &mut z1); // forces the lazy schedule build
+        let restored = IncompleteCholesky::from_artifact(&fresh.to_artifact()).unwrap();
+        assert_eq!(fresh, restored);
+        let mut z2 = vec![0.0; 300];
+        let mut restored = restored;
+        restored.apply(&r, &mut z2);
+        assert_eq!(z1, z2, "schedule-carrying restore must replay bitwise");
+    }
+
+    #[test]
+    fn ic0_decode_rejects_broken_factor() {
+        let a = poisson_1d(32);
+        let fresh = IncompleteCholesky::new(&a).unwrap();
+        let (row_ptr, col_idx, values) = fresh.factor_parts();
+        // Negate a pivot: structurally intact envelope, invalid factor.
+        let mut w = ArtifactWriter::new(KIND_INCOMPLETE_CHOLESKY);
+        w.put_u64(32);
+        w.put_usize_slice(row_ptr);
+        w.put_u32_slice(col_idx);
+        let mut vals = values.to_vec();
+        vals[row_ptr[1] - 1] = -vals[row_ptr[1] - 1];
+        w.put_f64_slice(&vals);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_u64(0);
+        w.put_bool(false);
+        let err = IncompleteCholesky::from_artifact(&w.finish()).unwrap_err();
+        assert!(matches!(err, ArtifactError::BadStructure { .. }), "{err}");
+    }
+
+    #[test]
+    fn hierarchy_round_trip_preserves_structure_and_cycles() {
+        let a = poisson_1d(1500);
+        let h = MultigridHierarchy::build(&a, &MultigridConfig::default()).unwrap();
+        let restored = MultigridHierarchy::from_artifact(&h.to_artifact()).unwrap();
+        assert_eq!(h.level_count(), restored.level_count());
+        assert_eq!(h.level_sizes(), restored.level_sizes());
+        assert_eq!(h.total_nnz(), restored.total_nnz());
+        assert_eq!(h.config(), restored.config());
+
+        // One V-cycle from zero must be bitwise identical: same operators,
+        // same smoothers (rebuilt deterministically), same coarse factor.
+        let b: Vec<f64> = (0..1500).map(|i| (i as f64 * 0.07).sin() + 0.2).collect();
+        let mut x1 = vec![0.0; 1500];
+        let mut x2 = vec![0.0; 1500];
+        let mut h = h;
+        let mut restored = restored;
+        let mut ws1 = crate::MgWorkspace::for_hierarchy(&h);
+        let mut ws2 = crate::MgWorkspace::for_hierarchy(&restored);
+        h.cycle(CycleKind::V, &b, &mut x1, &mut ws1);
+        restored.cycle(CycleKind::V, &b, &mut x2, &mut ws2);
+        assert_eq!(x1, x2, "restored V-cycle must be bitwise identical");
+    }
+
+    #[test]
+    fn hierarchy_decode_rejects_broken_transfer_chain() {
+        let a = poisson_1d(1500);
+        let h = MultigridHierarchy::build(&a, &MultigridConfig::default()).unwrap();
+        assert!(h.level_count() >= 2, "fixture must coarsen");
+        // Re-encode with a prolongator whose column count disagrees with
+        // the next level: caught by the dimension-chain check.
+        let mut w = ArtifactWriter::new(KIND_MULTIGRID_HIERARCHY);
+        write_config(&mut w, h.config());
+        let pairs: Vec<_> = h.transfer_pairs().collect();
+        w.put_u64(pairs.len() as u64);
+        for (a_l, _) in &pairs {
+            write_csr_body(&mut w, a_l);
+            write_csr_body(&mut w, &CsrMatrix::identity(a_l.rows())); // wrong P
+        }
+        write_csr_body(&mut w, h.coarse_matrix());
+        w.put_bool(false);
+        let err = MultigridHierarchy::from_artifact(&w.finish()).unwrap_err();
+        assert!(matches!(err, ArtifactError::BadStructure { .. }), "{err}");
+    }
+
+    #[test]
+    fn multigrid_from_artifact_is_a_working_preconditioner() {
+        use crate::precond::Preconditioner;
+        let a = poisson_1d(1200);
+        let shared = Arc::new(a);
+        let fresh =
+            Multigrid::new_shared(Arc::clone(&shared), &MultigridConfig::default()).unwrap();
+        let mut restored = Multigrid::from_artifact(&fresh.to_artifact()).unwrap();
+        let mut fresh = fresh;
+        let r: Vec<f64> = (0..1200).map(|i| (i as f64 * 0.19).cos()).collect();
+        let mut z1 = vec![0.0; 1200];
+        let mut z2 = vec![0.0; 1200];
+        fresh.apply(&r, &mut z1);
+        restored.apply(&r, &mut z2);
+        assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn content_hasher_is_order_and_bit_sensitive() {
+        let mut a = ContentHasher::new();
+        a.push_f64(1.0);
+        a.push_f64(2.0);
+        let mut b = ContentHasher::new();
+        b.push_f64(2.0);
+        b.push_f64(1.0);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = ContentHasher::new();
+        c.push_f64(0.0);
+        let mut d = ContentHasher::new();
+        d.push_f64(-0.0);
+        assert_ne!(c.finish(), d.finish(), "bitwise contract distinguishes signed zero");
+        assert_eq!(content_hash(b"abc"), content_hash(b"abc"));
+        assert_ne!(content_hash(b"abc"), content_hash(b"abd"));
+    }
+}

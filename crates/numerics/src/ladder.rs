@@ -196,6 +196,51 @@ impl SolveLadder {
         Ok(ladder)
     }
 
+    /// Builds a ladder whose first rung adopts `prebuilt` instead of
+    /// factoring anything — the engine-cache restore path: a cache hit
+    /// hands the deserialized preconditioner straight to rung 0, so the
+    /// ladder performs **zero** factorizations. Later rungs stay lazy and
+    /// are only built if escalation ever reaches them, exactly as after
+    /// [`SolveLadder::new`]. Like `new`, the ladder retains no reference
+    /// to the operator.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::BadInput`] if `kinds` is empty, or if
+    ///   `prebuilt`'s kind does not match `kinds[0]` (the restored bytes
+    ///   answered a different escalation chain than the caller wants).
+    pub fn with_prebuilt(
+        prebuilt: AnyPreconditioner,
+        kinds: &[PreconditionerKind],
+    ) -> Result<Self, NumericsError> {
+        if kinds.is_empty() {
+            return Err(NumericsError::BadInput {
+                reason: "solve ladder needs at least one preconditioner kind".into(),
+            });
+        }
+        let expected = kind_label(&kinds[0]);
+        if prebuilt.name() != expected {
+            return Err(NumericsError::BadInput {
+                reason: format!(
+                    "prebuilt preconditioner is '{}' but the ladder's first rung is '{expected}'",
+                    prebuilt.name()
+                ),
+            });
+        }
+        let mut rungs: Vec<Rung> =
+            kinds.iter().map(|&kind| Rung { kind, precond: None, faulted: false }).collect();
+        rungs[0].precond = Some(prebuilt);
+        Ok(Self {
+            rungs,
+            active: 0,
+            saved_guess: Vec::new(),
+            attempts: Vec::new(),
+            parallel_apply: None,
+            apply_threads: None,
+            telemetry: vcsel_telemetry::global().clone(),
+        })
+    }
+
     /// The preconditioner kinds of the rungs, in priority order.
     pub fn kinds(&self) -> Vec<PreconditionerKind> {
         self.rungs.iter().map(|r| r.kind).collect()

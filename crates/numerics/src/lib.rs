@@ -29,6 +29,11 @@
 //!   (V-/F-cycles, Galerkin coarse operators, dense coarsest solve,
 //!   size-gated threaded smoothers and transfers) usable standalone or as
 //!   a mesh-independent CG preconditioner,
+//! * [`artifact`]: a dependency-free, versioned, checksummed binary codec
+//!   for solver-engine state — `to_artifact`/`from_artifact` on
+//!   [`CsrMatrix`], [`IncompleteCholesky`] and [`MultigridHierarchy`] —
+//!   behind the persistent engine cache, with typed [`ArtifactError`]
+//!   failures and full structural revalidation on restore,
 //! * [`Interp1d`] / [`Interp2d`]: piecewise-linear lookup tables (the paper's
 //!   "VCSEL model library" is consumed in this form),
 //! * [`golden_section_min`] / [`grid_argmin`]: 1-D minimizers used by the
@@ -53,6 +58,7 @@
 // Lint levels (forbid(unsafe_code), warn(missing_docs), the clippy set)
 // come from [workspace.lints] in the root Cargo.toml.
 
+pub mod artifact;
 pub mod block_solver;
 mod error;
 mod interp;
@@ -65,6 +71,7 @@ mod sparse;
 pub mod special;
 mod stats;
 
+pub use artifact::{content_hash, ArtifactError, ArtifactReader, ArtifactWriter, ContentHasher};
 pub use block_solver::{block_preconditioned_cg, BlockCgWorkspace, BlockVector};
 pub use error::NumericsError;
 pub use interp::{Interp1d, Interp2d};

@@ -226,6 +226,34 @@ impl DenseCholesky {
         Ok(Self { n, l })
     }
 
+    /// Adopts an already-computed row-major lower factor from the artifact
+    /// restore path, re-checking the invariants [`DenseCholesky::solve`]
+    /// divides by: `n²` entries, all finite, strictly positive diagonal.
+    fn from_restored(n: usize, l: Vec<f64>) -> Result<Self, NumericsError> {
+        let expected = n.checked_mul(n).ok_or_else(|| NumericsError::BadMatrix {
+            reason: format!("dense factor dimension {n} overflows"),
+        })?;
+        if l.len() != expected {
+            return Err(NumericsError::BadMatrix {
+                reason: format!(
+                    "dense factor holds {} entries, a {n}x{n} factor needs {expected}",
+                    l.len()
+                ),
+            });
+        }
+        if let Some(i) = l.iter().position(|v| !v.is_finite()) {
+            return Err(NumericsError::BadMatrix {
+                reason: format!("dense factor entry {i} is not finite"),
+            });
+        }
+        if let Some(j) = (0..n).find(|&j| !(l[j * n + j] > 0.0)) {
+            return Err(NumericsError::BadMatrix {
+                reason: format!("dense factor pivot {j} is not positive"),
+            });
+        }
+        Ok(Self { n, l })
+    }
+
     // Indexed loops are deliberate: the backward pass reads the strided
     // column `l[j*n + i]`, which has no contiguous-slice form.
     #[allow(clippy::needless_range_loop)]
@@ -414,34 +442,7 @@ impl MultigridHierarchy {
                 reason: format!("matrix must be square, got {}x{}", a.rows(), a.cols()),
             });
         }
-        if !(0.0..1.0).contains(&config.strength_threshold) {
-            return Err(NumericsError::BadInput {
-                reason: format!(
-                    "strength threshold must lie in [0,1), got {}",
-                    config.strength_threshold
-                ),
-            });
-        }
-        if !(config.prolongation_damping >= 0.0) || !config.prolongation_damping.is_finite() {
-            return Err(NumericsError::BadInput {
-                reason: format!(
-                    "prolongation damping must be non-negative, got {}",
-                    config.prolongation_damping
-                ),
-            });
-        }
-        if let SmootherKind::DampedJacobi { omega } = config.smoother {
-            if !(omega > 0.0 && omega <= 1.0) {
-                return Err(NumericsError::BadInput {
-                    reason: format!("Jacobi smoother damping must be in (0,1], got {omega}"),
-                });
-            }
-        }
-        if config.max_levels == 0 || config.direct_cells == 0 {
-            return Err(NumericsError::BadInput {
-                reason: "max_levels and direct_cells must be positive".into(),
-            });
-        }
+        validate_config(config)?;
 
         // Per-level construction telemetry: structured `multigrid` span
         // events for aggregation-quality diagnosis, with the historical
@@ -578,6 +579,81 @@ impl MultigridHierarchy {
         &self.config
     }
 
+    /// `(operator, prolongator)` per non-coarsest level, fine to coarse —
+    /// the state the artifact codec persists (restrictions and smoothers
+    /// are deterministic functions of these and are rebuilt on restore).
+    pub(crate) fn transfer_pairs(&self) -> impl Iterator<Item = (&Arc<CsrMatrix>, &CsrMatrix)> {
+        self.levels.iter().map(|l| (&l.a, &l.p))
+    }
+
+    /// The coarsest-level operator.
+    pub(crate) fn coarse_matrix(&self) -> &CsrMatrix {
+        &self.coarse_a
+    }
+
+    /// The dense Cholesky factor of the coarsest level as `(n, row-major
+    /// L)`, or `None` when the coarsest solve is the Jacobi-CG fallback.
+    pub(crate) fn coarse_dense_factor(&self) -> Option<(usize, &[f64])> {
+        match &self.coarse {
+            CoarseSolver::Direct(ch) => Some((ch.n, &ch.l)),
+            CoarseSolver::Iterative { .. } => None,
+        }
+    }
+
+    /// Reassembles a hierarchy from artifact-validated parts without any
+    /// coarsening, factorization or spectral estimation: restrictions are
+    /// re-transposed from the prolongators, smoothers rebuilt from the
+    /// restored level operators (sharing their [`Arc`]s), and the coarse
+    /// solver either adopts the stored dense factor or re-creates the
+    /// cheap Jacobi-CG fallback.
+    pub(crate) fn from_restored_parts(
+        ops: Vec<Arc<CsrMatrix>>,
+        prolongators: Vec<CsrMatrix>,
+        coarse_a: CsrMatrix,
+        coarse_dense: Option<Vec<f64>>,
+        config: MultigridConfig,
+    ) -> Result<Self, NumericsError> {
+        validate_config(&config)?;
+        if ops.len() != prolongators.len() {
+            return Err(NumericsError::BadMatrix {
+                reason: format!(
+                    "restored hierarchy has {} operators but {} prolongators",
+                    ops.len(),
+                    prolongators.len()
+                ),
+            });
+        }
+        for (idx, (a, p)) in ops.iter().zip(&prolongators).enumerate() {
+            let next_rows = ops.get(idx + 1).map_or(coarse_a.rows(), |coarser| coarser.rows());
+            if p.rows() != a.rows() || p.cols() != next_rows {
+                return Err(NumericsError::BadMatrix {
+                    reason: format!(
+                        "restored prolongator {idx} is {}x{}, transfer chain needs {}x{next_rows}",
+                        p.rows(),
+                        p.cols(),
+                        a.rows()
+                    ),
+                });
+            }
+        }
+        let mut levels = Vec::with_capacity(ops.len());
+        for (a, p) in ops.into_iter().zip(prolongators) {
+            let r = p.transpose();
+            let (smoother, damping) = build_smoother(&a, &config)?;
+            levels.push(MgLevel { a, smoother, damping, p, r });
+        }
+        let coarse_a = Arc::new(coarse_a);
+        let coarse = match coarse_dense {
+            Some(l) => CoarseSolver::Direct(DenseCholesky::from_restored(coarse_a.rows(), l)?),
+            None => iterative_coarse(&coarse_a)?,
+        };
+        let fine = match levels.first() {
+            Some(l) => Arc::clone(&l.a),
+            None => Arc::clone(&coarse_a),
+        };
+        Ok(Self { fine, levels, coarse_a, coarse, config })
+    }
+
     /// Runs one multigrid cycle on `A x = b`, improving `x` in place from
     /// its incoming value (pass zeros for a pure preconditioner
     /// application).
@@ -711,6 +787,50 @@ impl MultigridHierarchy {
             }
         }
     }
+}
+
+/// Range checks on [`MultigridConfig`], shared by the build path and the
+/// artifact restore path (which must re-reject a config that a newer or
+/// corrupted artifact smuggles in).
+fn validate_config(config: &MultigridConfig) -> Result<(), NumericsError> {
+    if !(0.0..1.0).contains(&config.strength_threshold) {
+        return Err(NumericsError::BadInput {
+            reason: format!(
+                "strength threshold must lie in [0,1), got {}",
+                config.strength_threshold
+            ),
+        });
+    }
+    if !(config.prolongation_damping >= 0.0) || !config.prolongation_damping.is_finite() {
+        return Err(NumericsError::BadInput {
+            reason: format!(
+                "prolongation damping must be non-negative, got {}",
+                config.prolongation_damping
+            ),
+        });
+    }
+    match config.smoother {
+        SmootherKind::DampedJacobi { omega } => {
+            if !(omega > 0.0 && omega <= 1.0) {
+                return Err(NumericsError::BadInput {
+                    reason: format!("Jacobi smoother damping must be in (0,1], got {omega}"),
+                });
+            }
+        }
+        SmootherKind::Ssor { omega } => {
+            if !(omega > 0.0 && omega < 2.0 && omega.is_finite()) {
+                return Err(NumericsError::BadInput {
+                    reason: format!("SSOR smoother relaxation must be in (0,2), got {omega}"),
+                });
+            }
+        }
+    }
+    if config.max_levels == 0 || config.direct_cells == 0 {
+        return Err(NumericsError::BadInput {
+            reason: "max_levels and direct_cells must be positive".into(),
+        });
+    }
+    Ok(())
 }
 
 /// The CG fallback for a coarsest level that resisted dense factorization
@@ -1046,16 +1166,23 @@ impl Multigrid {
     ///
     /// Same contract as [`Multigrid::new`].
     pub fn new_shared(a: Arc<CsrMatrix>, config: &MultigridConfig) -> Result<Self, NumericsError> {
-        if config.pre_sweeps != config.post_sweeps || config.pre_sweeps == 0 {
-            return Err(NumericsError::BadInput {
-                reason: format!(
-                    "a CG-preconditioning V-cycle needs equal, non-zero pre/post sweeps \
-                     (got {}/{}): asymmetry breaks M's symmetry, zero sweeps its rank",
-                    config.pre_sweeps, config.post_sweeps
-                ),
-            });
-        }
+        require_symmetric_sweeps(config)?;
         let hierarchy = MultigridHierarchy::build_shared(a, config)?;
+        let ws = MgWorkspace::for_hierarchy(&hierarchy);
+        Ok(Self { hierarchy, ws })
+    }
+
+    /// Wraps an already-built (typically artifact-restored) hierarchy as a
+    /// CG preconditioner, paying only the workspace sizing — the
+    /// zero-factorization path of the engine cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::BadInput`] when the hierarchy's sweep
+    /// configuration violates the SPD contract (`pre_sweeps` must equal
+    /// `post_sweeps` and be at least 1), same as [`Multigrid::new`].
+    pub fn from_hierarchy(hierarchy: MultigridHierarchy) -> Result<Self, NumericsError> {
+        require_symmetric_sweeps(hierarchy.config())?;
         let ws = MgWorkspace::for_hierarchy(&hierarchy);
         Ok(Self { hierarchy, ws })
     }
@@ -1065,6 +1192,21 @@ impl Multigrid {
     pub fn hierarchy(&self) -> &MultigridHierarchy {
         &self.hierarchy
     }
+}
+
+/// The SPD-preconditioner sweep contract [`Multigrid`] enforces on both
+/// its build and restore constructors.
+fn require_symmetric_sweeps(config: &MultigridConfig) -> Result<(), NumericsError> {
+    if config.pre_sweeps != config.post_sweeps || config.pre_sweeps == 0 {
+        return Err(NumericsError::BadInput {
+            reason: format!(
+                "a CG-preconditioning V-cycle needs equal, non-zero pre/post sweeps \
+                 (got {}/{}): asymmetry breaks M's symmetry, zero sweeps its rank",
+                config.pre_sweeps, config.post_sweeps
+            ),
+        });
+    }
+    Ok(())
 }
 
 impl Preconditioner for Multigrid {

@@ -168,17 +168,17 @@ impl Preconditioner for Jacobi {
 /// solve: `l_ji ≠ 0` with `j > i` forces `level(j) > level(i)`, so every
 /// dependency of a backward row lives in a later level.
 #[derive(Debug, Clone, PartialEq)]
-struct LevelSchedule {
+pub(crate) struct LevelSchedule {
     /// `levels + 1` boundaries into the forward permuted rows.
-    fwd_level_ptr: Vec<usize>,
+    pub(crate) fwd_level_ptr: Vec<usize>,
     /// `L` with rows gathered into level order (within a level: ascending
     /// natural index, so the schedule is deterministic).
-    fwd: WavefrontFactor,
+    pub(crate) fwd: WavefrontFactor,
     /// `levels + 1` boundaries into the backward permuted rows.
-    bwd_level_ptr: Vec<usize>,
+    pub(crate) bwd_level_ptr: Vec<usize>,
     /// `Lᵀ` with rows gathered into backward processing order (levels
     /// descending, ascending natural index within a level).
-    bwd: WavefrontFactor,
+    pub(crate) bwd: WavefrontFactor,
 }
 
 impl LevelSchedule {
@@ -469,6 +469,53 @@ impl IncompleteCholesky {
     /// triangular solves.
     pub fn applies(&self) -> u64 {
         self.applies
+    }
+
+    /// The serial factor arrays `(row_ptr, col_idx, values)` — lower
+    /// triangular, diagonal stored last per row (the artifact codec's
+    /// source of truth).
+    pub(crate) fn factor_parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.row_ptr, &self.col_idx, &self.values)
+    }
+
+    /// The level schedule, when one has been built (lazily, on the first
+    /// parallel apply).
+    pub(crate) fn schedule_ref(&self) -> Option<&LevelSchedule> {
+        self.schedule.as_deref()
+    }
+
+    /// The apply configuration `(parallel_apply, apply_threads)` the
+    /// artifact codec persists alongside the factor.
+    pub(crate) fn apply_config(&self) -> (bool, Option<usize>) {
+        (self.parallel_apply, self.apply_threads)
+    }
+
+    /// Reassembles a factor from artifact-validated parts: the apply
+    /// counter restarts at zero, scratch is sized for the carried schedule,
+    /// and — matching [`IncompleteCholesky::set_parallel_apply`] — a
+    /// schedule the current configuration would never use is dropped.
+    pub(crate) fn from_restored_parts(
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+        schedule: Option<LevelSchedule>,
+        parallel_apply: bool,
+        apply_threads: Option<usize>,
+    ) -> Self {
+        let n = row_ptr.len().saturating_sub(1);
+        let scratch = if schedule.is_some() { SharedF64::new(n) } else { SharedF64::new(0) };
+        let mut restored = Self {
+            row_ptr,
+            col_idx,
+            values,
+            schedule: schedule.map(Box::new),
+            scratch,
+            parallel_apply,
+            apply_threads,
+            applies: 0,
+        };
+        restored.drop_stale_schedule();
+        restored
     }
 
     /// Enables/disables the level-scheduled parallel triangular solves

@@ -353,6 +353,29 @@ impl CsrMatrix {
         m
     }
 
+    /// Fallible counterpart of [`CsrMatrix::from_sorted_parts`] for arrays
+    /// that come from *outside* the process — the artifact restore path —
+    /// where malformed input must surface as a typed error, not a
+    /// debug-assert panic. Runs the full [`CsrMatrix::validate`] pass in
+    /// every build profile.
+    pub(crate) fn try_from_sorted_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, NumericsError> {
+        let m = Self { rows, cols, row_ptr, col_idx, values };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// The raw CSR arrays `(row_ptr, col_idx, values)`, for the artifact
+    /// codec's zero-transformation encode.
+    pub(crate) fn raw_parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.row_ptr, &self.col_idx, &self.values)
+    }
+
     /// Identity matrix of size `n`.
     pub fn identity(n: usize) -> Self {
         let mut b = TripletBuilder::new(n, n);

@@ -1,0 +1,419 @@
+//! The blueprint layer: engine construction as an explicit, cacheable
+//! **build → artifact → restore** pipeline.
+//!
+//! [`SolveContext`] construction used to interleave meshing, FVM assembly,
+//! power painting and preconditioner factorization inside one private
+//! constructor. [`EngineBlueprint`] splits that into phases with a stable
+//! identity in the middle:
+//!
+//! 1. **Key** — the blueprint captures everything that determines the
+//!    operator: the mesh, the painted conductivity field and the boundary
+//!    set, folded into a [`content hash`](EngineBlueprint::content_hash)
+//!    (bitwise over IEEE values — see
+//!    [`ContentHasher`](vcsel_numerics::ContentHasher)).
+//! 2. **Build** — [`EngineBlueprint::build`] runs the classic fresh path:
+//!    assembly, painting, one ladder factorization.
+//! 3. **Artifact** — [`EngineBlueprint::engine_artifact`] serializes the
+//!    built engine's operator-derived state (operator + factor, or the
+//!    whole multigrid hierarchy) into one checksummed envelope.
+//! 4. **Restore** — [`EngineBlueprint::restore`] rebuilds a full engine
+//!    from those bytes with **zero factorizations**: the deserialized
+//!    preconditioner goes straight onto the ladder's first rung via
+//!    [`SolveLadder::with_prebuilt`], while powers are re-painted from the
+//!    design (they are not part of the operator key).
+//!
+//! Restore never panics on hostile bytes: every failure — truncation,
+//! checksum mismatch, version skew, a key collision caught by the content
+//! hash, shape drift — surfaces as a typed [`RestoreError`] so the caller
+//! (the `vcsel_core` engine cache) can fall back to [`EngineBlueprint::build`].
+
+use std::sync::Arc;
+
+use vcsel_numerics::artifact::KIND_DOWNSTREAM_BASE;
+use vcsel_numerics::{
+    AnyPreconditioner, ArtifactError, ArtifactReader, ArtifactWriter, ContentHasher, CsrMatrix,
+    IncompleteCholesky, Multigrid, MultigridHierarchy, NumericsError, Preconditioner,
+    PreconditionerKind, SolveLadder,
+};
+
+use crate::assembly::{self, BoundaryFace};
+use crate::context::{escalation_chain, paint_design, EngineParts};
+use crate::{
+    Boundary, BoundaryCondition, BoundarySet, Design, Mesh, MeshSpec, SolveContext, ThermalError,
+};
+
+/// Artifact-envelope kind byte of a serialized thermal engine (the first
+/// value in the downstream range `vcsel_numerics` reserves for composed
+/// envelopes).
+pub const ENGINE_ARTIFACT_KIND: u8 = KIND_DOWNSTREAM_BASE;
+
+/// Why an engine restore was rejected. Every variant is a
+/// fall-back-to-fresh-build signal, never a panic; the engine cache logs
+/// the value in its probe attempt log.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum RestoreError {
+    /// The envelope or a nested section failed decoding or revalidation
+    /// (truncation, checksum mismatch, version skew, structural damage).
+    Artifact(ArtifactError),
+    /// The artifact's stored content hash disagrees with the blueprint's —
+    /// a cache-key collision or stale entry for a different conductivity
+    /// field / boundary set.
+    ContentMismatch {
+        /// Hash stored in the artifact.
+        stored: u64,
+        /// Hash this blueprint computed from its design and mesh.
+        expected: u64,
+    },
+    /// Decoded state is internally consistent but does not fit this
+    /// blueprint's mesh (cell counts, vector lengths, face indices).
+    Shape {
+        /// First violated expectation.
+        reason: String,
+    },
+    /// A fresh-construction step that restore shares with the build path
+    /// (power painting, ladder adoption) failed.
+    Build(ThermalError),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Artifact(e) => write!(f, "engine artifact rejected: {e}"),
+            Self::ContentMismatch { stored, expected } => write!(
+                f,
+                "engine artifact content mismatch: stored {stored:#018x}, expected {expected:#018x}"
+            ),
+            Self::Shape { reason } => write!(f, "engine artifact shape mismatch: {reason}"),
+            Self::Build(e) => write!(f, "engine restore fell over in a shared build step: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Artifact(e) => Some(e),
+            Self::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArtifactError> for RestoreError {
+    fn from(e: ArtifactError) -> Self {
+        Self::Artifact(e)
+    }
+}
+
+impl From<NumericsError> for RestoreError {
+    fn from(e: NumericsError) -> Self {
+        Self::Artifact(ArtifactError::from(e))
+    }
+}
+
+impl From<ThermalError> for RestoreError {
+    fn from(e: ThermalError) -> Self {
+        Self::Build(e)
+    }
+}
+
+fn shape(reason: String) -> RestoreError {
+    RestoreError::Shape { reason }
+}
+
+/// The display name the engine's first ladder rung will carry for `kind`
+/// (matches [`vcsel_numerics::Preconditioner::name`]).
+fn kind_name(kind: PreconditionerKind) -> &'static str {
+    match kind {
+        PreconditionerKind::Jacobi => "jacobi",
+        PreconditionerKind::IncompleteCholesky => "ic0",
+        PreconditionerKind::Ssor { .. } => "ssor",
+        PreconditionerKind::Multigrid { .. } => "multigrid",
+    }
+}
+
+/// A serializable description of how to construct one solve engine — the
+/// `(design, mesh, preconditioner kind)` triple plus the content hash that
+/// names the resulting operator. See the module-level docs above for the
+/// build → artifact → restore pipeline.
+#[derive(Debug, Clone)]
+pub struct EngineBlueprint {
+    design: Design,
+    mesh: Mesh,
+    kind: PreconditionerKind,
+    /// Whether a rung-0 construction failure propagates (explicit kind)
+    /// instead of degrading to a weaker rung (engine default).
+    strict: bool,
+    /// Painted per-cell conductivity — computed once here, shared by the
+    /// content hash and the built engine's adopt-design fingerprint.
+    conductivity: Vec<f64>,
+    boundaries: BoundarySet,
+    content_hash: u64,
+}
+
+impl EngineBlueprint {
+    /// Meshes `design` per `spec` and captures the blueprint with the
+    /// size-based default preconditioner
+    /// ([`SolveContext::default_steady_kind`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates meshing failures ([`ThermalError::MeshTooLarge`],
+    /// [`ThermalError::BadParameter`]).
+    pub fn new(design: &Design, spec: &MeshSpec) -> Result<Self, ThermalError> {
+        let mesh = Mesh::build(design, spec)?;
+        Ok(Self::on_mesh(design, mesh))
+    }
+
+    /// Captures a blueprint on an already-built mesh (sweeps share one).
+    pub fn on_mesh(design: &Design, mesh: Mesh) -> Self {
+        let kind = SolveContext::default_steady_kind(mesh.cell_count());
+        let conductivity = assembly::paint_conductivity(design, &mesh);
+        let boundaries = *design.boundaries();
+        let content_hash = fingerprint(&mesh, &conductivity, &boundaries);
+        Self {
+            design: design.clone(),
+            mesh,
+            kind,
+            strict: false,
+            conductivity,
+            boundaries,
+            content_hash,
+        }
+    }
+
+    /// Overrides the preconditioner kind (builder style). An explicit kind
+    /// is *strict*: its construction failure propagates instead of
+    /// degrading to a weaker rung, matching
+    /// [`SolveContext::new_preconditioned`].
+    #[must_use]
+    pub fn with_kind(mut self, kind: PreconditionerKind) -> Self {
+        self.kind = kind;
+        self.strict = true;
+        self
+    }
+
+    /// The operator content hash: mesh shape, the painted per-cell
+    /// conductivity (bitwise IEEE), and the boundary set. Two blueprints
+    /// share a hash iff they assemble the identical operator and boundary
+    /// RHS — the invalidation contract the engine cache keys on.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// The preconditioner kind engines from this blueprint lead with.
+    pub fn kind(&self) -> PreconditionerKind {
+        self.kind
+    }
+
+    /// The blueprint's mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The classic fresh path: FVM assembly, power painting, one ladder
+    /// factorization. Exactly what [`SolveContext::on_mesh`] /
+    /// [`SolveContext::on_mesh_with`] do — they now delegate here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly failures ([`ThermalError::NoHeatPath`],
+    /// [`ThermalError::BadParameter`]) and, for strict blueprints, the
+    /// requested preconditioner's construction error.
+    pub fn build(&self) -> Result<SolveContext, ThermalError> {
+        // Assembling a zero-power clone yields the conduction matrix and the
+        // pure boundary RHS; power only ever moves the right-hand side.
+        let mut hollow = self.design.clone();
+        for b in hollow.blocks_mut() {
+            b.set_power(vcsel_units::Watts::ZERO);
+        }
+        let disc = assembly::assemble(&hollow, &self.mesh)?;
+        let (static_power, group_power) = paint_design(&self.design, &self.mesh)?;
+        let matrix = Arc::new(disc.matrix);
+        // Default engines (non-strict) may open on a weaker rung if the
+        // preferred kind cannot build; explicit choices propagate the exact
+        // kind's construction error instead.
+        let ladder = SolveLadder::new(&matrix, &escalation_chain(self.kind), self.strict)
+            .map_err(ThermalError::from)?;
+        Ok(SolveContext::from_parts(EngineParts {
+            mesh: self.mesh.clone(),
+            matrix,
+            boundary_rhs: disc.rhs,
+            boundary_faces: disc.boundary_faces,
+            static_power,
+            group_power,
+            conductivity: self.conductivity.clone(),
+            boundaries: self.boundaries,
+            ladder,
+        }))
+    }
+
+    /// Serializes `ctx`'s operator-derived state — keyed by this
+    /// blueprint's content hash — into one artifact envelope: the
+    /// multigrid hierarchy (which embeds the operator as its finest
+    /// level), or the operator plus its IC(0) factor.
+    ///
+    /// Returns `None` when the engine is not in a cacheable state: its
+    /// active preconditioner is not the blueprint's lead kind (the ladder
+    /// escalated, or a non-cacheable kind like Jacobi/SSOR leads), or the
+    /// preconditioner does not alias the engine's operator.
+    pub fn engine_artifact(&self, ctx: &SolveContext) -> Option<Vec<u8>> {
+        let n = self.mesh.cell_count();
+        if ctx.shared_operator().rows() != n {
+            return None;
+        }
+        if ctx.preconditioner().name() != kind_name(self.kind) {
+            return None;
+        }
+        let mut w = ArtifactWriter::new(ENGINE_ARTIFACT_KIND);
+        w.put_u64(self.content_hash);
+        w.put_u64(n as u64);
+        match ctx.preconditioner() {
+            AnyPreconditioner::Multigrid(m) => {
+                if !Arc::ptr_eq(m.hierarchy().fine_operator(), ctx.shared_operator()) {
+                    return None;
+                }
+                w.put_u8(0);
+                // The hierarchy artifact embeds the operator as its finest
+                // level, so the ~paper-scale matrix is stored exactly once.
+                w.put_bytes(&m.to_artifact());
+            }
+            AnyPreconditioner::IncompleteCholesky(ic) => {
+                w.put_u8(1);
+                w.put_bytes(&ctx.shared_operator().to_artifact());
+                w.put_bytes(&ic.to_artifact());
+            }
+            _ => return None,
+        }
+        w.put_f64_slice(ctx.boundary_rhs_ref());
+        let faces = ctx.boundary_faces_ref();
+        w.put_u64(faces.len() as u64);
+        for f in faces {
+            w.put_u64(f.cell as u64);
+            w.put_f64(f.conductance);
+            w.put_f64(f.reference);
+        }
+        Some(w.finish())
+    }
+
+    /// Rebuilds a full engine from [`EngineBlueprint::engine_artifact`]
+    /// bytes with **zero factorizations**: the operator and preconditioner
+    /// deserialize (with full structural revalidation) onto the ladder's
+    /// first rung, and only the cheap power painting runs fresh. The first
+    /// solve of the restored engine is bitwise identical to a fresh
+    /// build's.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`RestoreError`] for every rejection: envelope or payload
+    /// damage, a content-hash mismatch (key collision / stale entry),
+    /// shape drift against this blueprint's mesh, or a failure in the
+    /// shared fresh-construction steps.
+    pub fn restore(&self, bytes: &[u8]) -> Result<SolveContext, RestoreError> {
+        let mut r = ArtifactReader::open(bytes, ENGINE_ARTIFACT_KIND)?;
+        let stored = r.get_u64()?;
+        if stored != self.content_hash {
+            return Err(RestoreError::ContentMismatch { stored, expected: self.content_hash });
+        }
+        let n = r.get_usize()?;
+        if n != self.mesh.cell_count() {
+            return Err(shape(format!(
+                "artifact engine has {n} cells, blueprint mesh has {}",
+                self.mesh.cell_count()
+            )));
+        }
+        let (matrix, precond) = match r.get_u8()? {
+            0 => {
+                let h = MultigridHierarchy::from_artifact(r.get_bytes()?)?;
+                let matrix = Arc::clone(h.fine_operator());
+                let mg = Multigrid::from_hierarchy(h)?;
+                (matrix, AnyPreconditioner::Multigrid(Box::new(mg)))
+            }
+            1 => {
+                let m = CsrMatrix::from_artifact(r.get_bytes()?)?;
+                m.validate_symmetric()?;
+                let ic = IncompleteCholesky::from_artifact(r.get_bytes()?)?;
+                (Arc::new(m), AnyPreconditioner::IncompleteCholesky(ic))
+            }
+            t => {
+                return Err(RestoreError::Artifact(ArtifactError::BadStructure {
+                    reason: format!("unknown engine preconditioner tag {t}"),
+                }))
+            }
+        };
+        if matrix.rows() != n {
+            return Err(shape(format!(
+                "restored operator has {} rows for a {n}-cell engine",
+                matrix.rows()
+            )));
+        }
+        let boundary_rhs = r.get_f64_slice()?;
+        if boundary_rhs.len() != n {
+            return Err(shape(format!(
+                "restored boundary RHS has {} entries for {n} cells",
+                boundary_rhs.len()
+            )));
+        }
+        let face_count = r.get_usize()?;
+        let mut boundary_faces = Vec::with_capacity(face_count.min(bytes.len() / 24));
+        for _ in 0..face_count {
+            let cell = r.get_usize()?;
+            let conductance = r.get_f64()?;
+            let reference = r.get_f64()?;
+            if cell >= n || !conductance.is_finite() || !reference.is_finite() {
+                return Err(shape(format!(
+                    "restored boundary face is out of range (cell {cell}, g {conductance})"
+                )));
+            }
+            boundary_faces.push(BoundaryFace { cell, conductance, reference });
+        }
+        r.expect_end()?;
+
+        // Powers are not part of the operator key: re-paint them from the
+        // design, exactly as the fresh path would.
+        let (static_power, group_power) = paint_design(&self.design, &self.mesh)?;
+        // Zero factorizations: the deserialized preconditioner *is* rung 0.
+        let ladder = SolveLadder::with_prebuilt(precond, &escalation_chain(self.kind))?;
+        Ok(SolveContext::from_parts(EngineParts {
+            mesh: self.mesh.clone(),
+            matrix,
+            boundary_rhs,
+            boundary_faces,
+            static_power,
+            group_power,
+            conductivity: self.conductivity.clone(),
+            boundaries: self.boundaries,
+            ladder,
+        }))
+    }
+}
+
+/// The operator content hash: mesh shape and cell count, the painted
+/// conductivity field (IEEE-bitwise), and the boundary set.
+fn fingerprint(mesh: &Mesh, conductivity: &[f64], boundaries: &BoundarySet) -> u64 {
+    let mut h = ContentHasher::new();
+    let (nx, ny, nz) = mesh.shape();
+    h.push_u64(nx as u64);
+    h.push_u64(ny as u64);
+    h.push_u64(nz as u64);
+    h.push_u64(mesh.cell_count() as u64);
+    for &k in conductivity {
+        h.push_f64(k);
+    }
+    for face in Boundary::all() {
+        match boundaries.get(face) {
+            BoundaryCondition::Adiabatic => h.push_u8(0),
+            BoundaryCondition::Convective { h: hc, ambient } => {
+                h.push_u8(1);
+                h.push_f64(hc.value());
+                h.push_f64(ambient.value());
+            }
+            BoundaryCondition::Isothermal { temperature } => {
+                h.push_u8(2);
+                h.push_f64(temperature.value());
+            }
+        }
+    }
+    h.finish()
+}

@@ -77,8 +77,10 @@ pub(crate) fn escalation_chain(kind: PreconditionerKind) -> Vec<PreconditionerKi
 type PaintedPowers = (Vec<f64>, Vec<(String, Vec<f64>)>);
 
 /// Paints the static (ungrouped) power vector and one per-group power
-/// vector at the design's reference block powers.
-fn paint_design(design: &Design, mesh: &Mesh) -> Result<PaintedPowers, ThermalError> {
+/// vector at the design's reference block powers. Shared with the
+/// blueprint layer: the fresh build and the cache-restore path must paint
+/// powers identically for restored first solves to be bitwise-equal.
+pub(crate) fn paint_design(design: &Design, mesh: &Mesh) -> Result<PaintedPowers, ThermalError> {
     let mut groups: Vec<String> =
         design.blocks().iter().filter_map(|b| b.group().map(str::to_owned)).collect();
     groups.sort();
@@ -142,6 +144,23 @@ fn paint_rhs(
         injected += scale * q.iter().sum::<f64>();
     }
     Ok(injected)
+}
+
+/// The operator-derived state of one engine, as produced by the blueprint
+/// layer (fresh build or artifact restore) and consumed by
+/// [`SolveContext::from_parts`]. Everything here is a function of the
+/// `(design, mesh)` pair; the solve-time state (options, warm-start field,
+/// workspaces) is layered on top by `from_parts`.
+pub(crate) struct EngineParts {
+    pub(crate) mesh: Mesh,
+    pub(crate) matrix: Arc<CsrMatrix>,
+    pub(crate) boundary_rhs: Vec<f64>,
+    pub(crate) boundary_faces: Vec<BoundaryFace>,
+    pub(crate) static_power: Vec<f64>,
+    pub(crate) group_power: Vec<(String, Vec<f64>)>,
+    pub(crate) conductivity: Vec<f64>,
+    pub(crate) boundaries: crate::BoundarySet,
+    pub(crate) ladder: SolveLadder,
 }
 
 /// A cached, reusable solve engine for one `(design, mesh)` pair.
@@ -260,8 +279,7 @@ impl SolveContext {
     ///
     /// Same contract as [`SolveContext::new`], minus the meshing errors.
     pub fn on_mesh(design: &Design, mesh: Mesh) -> Result<Self, ThermalError> {
-        let kind = Self::default_steady_kind(mesh.cell_count());
-        Self::assemble_engine(design, mesh, kind, true)
+        crate::EngineBlueprint::on_mesh(design, mesh).build()
     }
 
     /// [`SolveContext::on_mesh`] with an explicit preconditioner choice.
@@ -275,48 +293,28 @@ impl SolveContext {
         mesh: Mesh,
         kind: PreconditionerKind,
     ) -> Result<Self, ThermalError> {
-        Self::assemble_engine(design, mesh, kind, false)
+        crate::EngineBlueprint::on_mesh(design, mesh).with_kind(kind).build()
     }
 
-    /// Shared constructor body. `fallback` enables the defensive
-    /// downgrade-to-Jacobi path used by the *default* engines (where any
-    /// working preconditioner beats an error); explicit choices propagate
-    /// their factorization failures instead, matching
-    /// [`SolveContext::with_preconditioner`].
-    fn assemble_engine(
-        design: &Design,
-        mesh: Mesh,
-        kind: PreconditionerKind,
-        fallback: bool,
-    ) -> Result<Self, ThermalError> {
-        // Assembling a zero-power clone yields the conduction matrix and the
-        // pure boundary RHS; power only ever moves the right-hand side.
-        let mut hollow = design.clone();
-        for b in hollow.blocks_mut() {
-            b.set_power(vcsel_units::Watts::ZERO);
-        }
-        let disc = assembly::assemble(&hollow, &mesh)?;
-        let conductivity = assembly::paint_conductivity(design, &mesh);
-        let boundaries = *design.boundaries();
-        let (static_power, group_power) = paint_design(design, &mesh)?;
-
-        let n = mesh.cell_count();
-        let matrix = Arc::new(disc.matrix);
-        // Default engines (`fallback`) may open on a weaker rung if the
-        // preferred kind cannot build; explicit choices (strict) propagate
-        // the exact kind's construction error instead.
-        let ladder = SolveLadder::new(&matrix, &escalation_chain(kind), !fallback)
-            .map_err(ThermalError::from)?;
-        Ok(Self {
-            mesh,
-            matrix,
-            boundary_rhs: disc.rhs,
-            boundary_faces: disc.boundary_faces,
-            static_power,
-            group_power,
-            conductivity,
-            boundaries,
-            ladder,
+    /// Final assembly step of the blueprint pipeline: wraps the expensive
+    /// operator-derived parts — produced either by a fresh
+    /// [`EngineBlueprint::build`](crate::EngineBlueprint::build) or a
+    /// zero-factorization
+    /// [`EngineBlueprint::restore`](crate::EngineBlueprint::restore) —
+    /// with the per-engine solve state (options, warm-start field, scratch
+    /// workspaces).
+    pub(crate) fn from_parts(parts: EngineParts) -> Self {
+        let n = parts.mesh.cell_count();
+        Self {
+            mesh: parts.mesh,
+            matrix: parts.matrix,
+            boundary_rhs: parts.boundary_rhs,
+            boundary_faces: parts.boundary_faces,
+            static_power: parts.static_power,
+            group_power: parts.group_power,
+            conductivity: parts.conductivity,
+            boundaries: parts.boundaries,
+            ladder: parts.ladder,
             health: SolveHealth::default(),
             options: SolveOptions { tolerance: 1e-9, max_iterations: 50_000, relaxation: 1.6 },
             temps: vec![0.0; n],
@@ -325,7 +323,18 @@ impl SolveContext {
             block_ws: BlockCgWorkspace::new(),
             last_iterations: 0,
             total_iterations: 0,
-        })
+        }
+    }
+
+    /// Boundary-condition RHS contribution (no sources) — serialized into
+    /// the engine artifact, since it is a function of the operator key.
+    pub(crate) fn boundary_rhs_ref(&self) -> &[f64] {
+        &self.boundary_rhs
+    }
+
+    /// The boundary faces the transient stepper and artifact codec read.
+    pub(crate) fn boundary_faces_ref(&self) -> &[BoundaryFace] {
+        &self.boundary_faces
     }
 
     /// Unknown count at which steady engines switch their default

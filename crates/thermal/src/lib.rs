@@ -23,7 +23,11 @@
 //! hierarchy and SSOR splitting alias it rather than clone it), picks
 //! IC(0) below [`SolveContext::MULTIGRID_CELL_THRESHOLD`] unknowns and
 //! the smoothed-aggregation multigrid hierarchy above it, and serves any
-//! number of warm-started right-hand sides.
+//! number of warm-started right-hand sides. Engine construction itself is
+//! an explicit [`EngineBlueprint`] pipeline — build → artifact → restore —
+//! so a process can serialize a factored engine and a later process can
+//! restore it with zero factorizations (the persistent engine cache in
+//! `vcsel_core` rides on this).
 //!
 //! Because steady-state conduction with temperature-independent
 //! conductivities is *linear* in the injected powers, the crate also offers
@@ -69,6 +73,7 @@
 // come from [workspace.lints] in the root Cargo.toml.
 
 mod assembly;
+mod blueprint;
 mod boundary;
 mod compact;
 mod context;
@@ -86,6 +91,7 @@ mod stepper;
 mod superposition;
 mod transient;
 
+pub use blueprint::{EngineBlueprint, RestoreError, ENGINE_ARTIFACT_KIND};
 pub use boundary::{Boundary, BoundaryCondition, BoundarySet};
 pub use compact::{ResistanceStack, StackLayer};
 pub use context::SolveContext;

@@ -82,5 +82,6 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let path = format!("reports/figure10{suffix}.json");
     std::fs::write(&path, serde_json::to_string_pretty(&f)?)?;
     println!("wrote {path}");
+    eprintln!("{}", vcsel_core::EngineCache::summary_line());
     Ok(())
 }

@@ -89,5 +89,6 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let path = format!("reports/figure12{suffix}.json");
     std::fs::write(&path, serde_json::to_string_pretty(&rows)?)?;
     println!("wrote {path}");
+    eprintln!("{}", vcsel_core::EngineCache::summary_line());
     Ok(())
 }

@@ -125,5 +125,6 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(&path_a, serde_json::to_string_pretty(&a)?)?;
     std::fs::write(&path_b, serde_json::to_string_pretty(&b)?)?;
     println!("wrote {path_a}, {path_b}");
+    eprintln!("{}", vcsel_core::EngineCache::summary_line());
     Ok(())
 }

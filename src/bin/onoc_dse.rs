@@ -201,6 +201,7 @@ fn run_sweep(path: &str, json: bool, out: Option<&str>) -> ExitCode {
         .filter_map(|r| r.as_ref().ok())
         .filter(|rep| !(rep.meets_gradient_constraint && rep.meets_snr_target.unwrap_or(true)))
         .count();
+    eprintln!("{}", vcsel_core::EngineCache::summary_line());
     if failed > 0 || violated > 0 {
         eprintln!("{failed} point(s) failed, {violated} violated declared constraints");
         ExitCode::from(1)
@@ -246,6 +247,7 @@ fn main() -> ExitCode {
         eprintln!("{msg}");
         return ExitCode::from(2);
     }
+    eprintln!("{}", vcsel_core::EngineCache::summary_line());
     let constraints_ok =
         report.meets_gradient_constraint && report.meets_snr_target.unwrap_or(true);
     if constraints_ok {
